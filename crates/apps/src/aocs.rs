@@ -1,0 +1,269 @@
+//! Attitude and Orbit Control System (hypervisor use case, from SELENE).
+//!
+//! A fixed-point (Q16) rigid-body attitude model with a PD detumbling and
+//! pointing controller — the control-loop partition of the paper's
+//! XtratuM evaluation scenario. Runs as a native partition task
+//! ([`AocsTask`]) publishing its attitude on a sampling port.
+
+use hermes_xng::partition::{NativeTask, TaskCtx};
+
+/// Fixed-point fractional bits.
+pub const Q: u32 = 16;
+/// 1.0 in Q16.
+pub const ONE: i64 = 1 << Q;
+
+fn mul_q(a: i64, b: i64) -> i64 {
+    (a * b) >> Q
+}
+
+/// Integer square root (floor) of a non-negative value.
+pub fn isqrt(v: i64) -> i64 {
+    if v <= 0 {
+        return 0;
+    }
+    let mut x = v;
+    let mut y = (x + 1) / 2;
+    while y < x {
+        x = y;
+        y = (x + v / x) / 2;
+    }
+    x
+}
+
+/// Attitude state: a unit quaternion (scalar-first, Q16) and body rates
+/// (Q16 rad/s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AocsState {
+    /// Quaternion `[w, x, y, z]` in Q16.
+    pub q: [i64; 4],
+    /// Body angular rate `[x, y, z]` in Q16 rad/s.
+    pub omega: [i64; 3],
+}
+
+impl Default for AocsState {
+    fn default() -> Self {
+        AocsState {
+            q: [ONE, 0, 0, 0],
+            omega: [0, 0, 0],
+        }
+    }
+}
+
+impl AocsState {
+    /// A tumbling initial state with the given Q16 rates.
+    pub fn tumbling(omega: [i64; 3]) -> Self {
+        AocsState {
+            q: [ONE, 0, 0, 0],
+            omega,
+        }
+    }
+
+    /// Quaternion norm squared (Q16).
+    fn norm_sq(&self) -> i64 {
+        self.q.iter().map(|&c| mul_q(c, c)).sum()
+    }
+
+    /// Renormalize the quaternion (first-order).
+    fn renormalize(&mut self) {
+        let n2 = self.norm_sq();
+        // correction factor ~ (3 - n2) / 2 for n2 near 1 (Q16)
+        let corr = (3 * ONE - n2) / 2;
+        for c in &mut self.q {
+            *c = mul_q(*c, corr);
+        }
+    }
+
+    /// Propagate attitude by `dt` (Q16 seconds): `q̇ = ½ q ⊗ [0, ω]`.
+    pub fn propagate(&mut self, dt: i64) {
+        let [w, x, y, z] = self.q;
+        let [ox, oy, oz] = self.omega;
+        let half_dt = dt / 2;
+        let dw = mul_q(-(mul_q(x, ox) + mul_q(y, oy) + mul_q(z, oz)), half_dt);
+        let dx = mul_q(mul_q(w, ox) + mul_q(y, oz) - mul_q(z, oy), half_dt);
+        let dy = mul_q(mul_q(w, oy) - mul_q(x, oz) + mul_q(z, ox), half_dt);
+        let dz = mul_q(mul_q(w, oz) + mul_q(x, oy) - mul_q(y, ox), half_dt);
+        self.q = [w + dw, x + dx, y + dy, z + dz];
+        self.renormalize();
+    }
+
+    /// Apply a body torque-induced rate change `dω = τ/I · dt` (Q16, unit
+    /// inertia).
+    pub fn apply_torque(&mut self, torque: [i64; 3], dt: i64) {
+        for (o, t) in self.omega.iter_mut().zip(torque) {
+            *o += mul_q(t, dt);
+        }
+    }
+
+    /// Pointing error: angle proxy `2·|vec(q)|` relative to the identity
+    /// attitude, Q16 radians (small-angle).
+    pub fn pointing_error(&self) -> i64 {
+        let v2: i64 = self.q[1..].iter().map(|&c| mul_q(c, c)).sum();
+        2 * isqrt(v2 << Q)
+    }
+
+    /// Rate magnitude |ω| in Q16.
+    pub fn rate_magnitude(&self) -> i64 {
+        let v2: i64 = self.omega.iter().map(|&c| mul_q(c, c)).sum();
+        isqrt(v2 << Q)
+    }
+}
+
+/// PD attitude controller gains (Q16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PdGains {
+    /// Proportional gain on the attitude error.
+    pub kp: i64,
+    /// Derivative gain on the body rate.
+    pub kd: i64,
+}
+
+impl Default for PdGains {
+    fn default() -> Self {
+        PdGains {
+            kp: ONE / 2,
+            kd: 3 * ONE,
+        }
+    }
+}
+
+/// One controller step: returns the commanded torque for the current state
+/// (pointing to the identity attitude).
+pub fn pd_control(state: &AocsState, gains: PdGains) -> [i64; 3] {
+    let mut torque = [0i64; 3];
+    for i in 0..3 {
+        // vector part of the error quaternion = q[1..] (target = identity)
+        torque[i] = -mul_q(gains.kp, state.q[i + 1]) - mul_q(gains.kd, state.omega[i]);
+    }
+    torque
+}
+
+/// Run the closed loop for `steps` iterations of `dt` and report the final
+/// state (used by tests and the benches).
+pub fn run_closed_loop(mut state: AocsState, gains: PdGains, dt: i64, steps: u32) -> AocsState {
+    for _ in 0..steps {
+        let torque = pd_control(&state, gains);
+        state.apply_torque(torque, dt);
+        state.propagate(dt);
+    }
+    state
+}
+
+/// The AOCS partition task: one control step per activation; publishes the
+/// quaternion on the `att` sampling port (if configured) and charges a
+/// realistic cycle cost.
+pub struct AocsTask {
+    /// Current state.
+    pub state: AocsState,
+    gains: PdGains,
+    dt: i64,
+    /// Cycles one control step costs on the CPU (measured figure for a
+    /// fixed-point PD loop of this size).
+    pub cycles_per_step: u64,
+    initial: AocsState,
+}
+
+impl AocsTask {
+    /// A task starting from a tumbling state.
+    pub fn new(initial: AocsState) -> Self {
+        AocsTask {
+            state: initial,
+            gains: PdGains::default(),
+            dt: ONE / 10, // 100 ms control period
+            cycles_per_step: 1_200,
+            initial,
+        }
+    }
+}
+
+impl NativeTask for AocsTask {
+    fn name(&self) -> &str {
+        "aocs"
+    }
+
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), String> {
+        let torque = pd_control(&self.state, self.gains);
+        self.state.apply_torque(torque, self.dt);
+        self.state.propagate(self.dt);
+        ctx.consume(self.cycles_per_step);
+        // publish attitude (ignore absence of the port: standalone runs)
+        let mut msg = Vec::with_capacity(32);
+        for c in self.state.q {
+            msg.extend_from_slice(&(c as i32).to_le_bytes());
+        }
+        for c in self.state.omega {
+            msg.extend_from_slice(&(c as i32).to_le_bytes());
+        }
+        let _ = ctx.write_port("att", &msg);
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.state = self.initial;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_exact_squares() {
+        for v in [0i64, 1, 4, 9, 100, 65536, 1 << 30] {
+            let r = isqrt(v);
+            assert!(r * r <= v && (r + 1) * (r + 1) > v, "isqrt({v}) = {r}");
+        }
+    }
+
+    #[test]
+    fn identity_attitude_is_stable() {
+        let s = run_closed_loop(AocsState::default(), PdGains::default(), ONE / 10, 100);
+        assert_eq!(s.pointing_error(), 0);
+        assert_eq!(s.rate_magnitude(), 0);
+    }
+
+    #[test]
+    fn detumbling_converges() {
+        let initial = AocsState::tumbling([ONE / 4, -ONE / 8, ONE / 16]);
+        let start_rate = initial.rate_magnitude();
+        let s = run_closed_loop(initial, PdGains::default(), ONE / 10, 400);
+        assert!(
+            s.rate_magnitude() < start_rate / 20,
+            "rates should decay: {} -> {}",
+            start_rate,
+            s.rate_magnitude()
+        );
+        assert!(
+            s.pointing_error() < ONE / 10,
+            "pointing error settles: {}",
+            s.pointing_error()
+        );
+    }
+
+    #[test]
+    fn quaternion_stays_normalized() {
+        let mut s = AocsState::tumbling([ONE / 6, ONE / 7, -ONE / 9]);
+        for _ in 0..500 {
+            s.propagate(ONE / 20);
+            let n2 = s.q.iter().map(|&c| mul_q(c, c)).sum::<i64>();
+            assert!(
+                (n2 - ONE).abs() < ONE / 16,
+                "norm drifted: {n2} vs {ONE}"
+            );
+        }
+    }
+
+    #[test]
+    fn uncontrolled_tumble_does_not_converge() {
+        let initial = AocsState::tumbling([ONE / 4, 0, 0]);
+        let mut s = initial;
+        for _ in 0..400 {
+            s.propagate(ONE / 10);
+        }
+        assert_eq!(
+            s.rate_magnitude(),
+            initial.rate_magnitude(),
+            "no controller, no decay"
+        );
+        assert!(s.pointing_error() > ONE / 4, "attitude drifts");
+    }
+}

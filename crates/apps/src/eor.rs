@@ -1,0 +1,211 @@
+//! Electrical Orbit Raising (hypervisor use case): low-thrust spiral
+//! planning and propagation.
+//!
+//! Models the continuous-thrust circular-orbit-raising problem solved by
+//! electric propulsion (the Edelbaum approximation for coplanar transfer):
+//! required Δv = v₀ − v₁, transfer time = Δv / a_thrust. The propagator
+//! advances orbit radius each control period; [`EorTask`] runs it as a
+//! partition publishing progress.
+
+use crate::aocs::isqrt;
+use hermes_xng::partition::{NativeTask, TaskCtx};
+
+/// Scaled gravitational parameter: μ in km³/s² for Earth is 398600.4;
+/// stored ×1000 for integer math (km³/s² · 1e3).
+pub const MU_SCALED: i64 = 398_600_400;
+
+/// Circular orbit velocity in m/s for a radius in km.
+pub fn circular_velocity_ms(radius_km: i64) -> i64 {
+    // v = sqrt(mu/r): mu_scaled/r gives (km²/s²)·1e3 = m²/s² · 1e-3... work
+    // in m²/s²: mu[km³/s²]/r[km] = km²/s² -> ×1e6 = m²/s².
+    isqrt(MU_SCALED / radius_km * 1_000_000 / 1_000)
+}
+
+/// An Edelbaum-style transfer plan between circular orbits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferPlan {
+    /// Start radius, km.
+    pub r_start_km: i64,
+    /// Target radius, km.
+    pub r_target_km: i64,
+    /// Total Δv, m/s.
+    pub delta_v_ms: i64,
+    /// Transfer duration, seconds, at the given thrust acceleration.
+    pub duration_s: i64,
+}
+
+/// Plan a coplanar low-thrust raise with `accel_um_s2` thrust acceleration
+/// in µm/s² (electric thrusters deliver 10–300 µm/s² on comsat-class
+/// spacecraft).
+///
+/// # Panics
+///
+/// Panics if radii are non-positive or the target is below the start
+/// (lowering uses the same Δv but this planner only raises).
+pub fn plan_transfer(r_start_km: i64, r_target_km: i64, accel_um_s2: i64) -> TransferPlan {
+    assert!(r_start_km > 0 && r_target_km >= r_start_km);
+    let v0 = circular_velocity_ms(r_start_km);
+    let v1 = circular_velocity_ms(r_target_km);
+    let delta_v = v0 - v1; // raising a circular orbit *lowers* velocity
+    let duration = if accel_um_s2 > 0 {
+        delta_v * 1_000_000 / accel_um_s2
+    } else {
+        i64::MAX
+    };
+    TransferPlan {
+        r_start_km,
+        r_target_km,
+        delta_v_ms: delta_v,
+        duration_s: duration,
+    }
+}
+
+/// Orbit-raising propagator state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EorState {
+    /// Current orbit radius, km.
+    pub radius_km: i64,
+    /// Δv expended so far, µm/s (integer accumulator; see
+    /// [`EorState::delta_v_spent_ms`]).
+    pub delta_v_spent_um: i64,
+    /// Elapsed transfer time, s.
+    pub elapsed_s: i64,
+}
+
+impl EorState {
+    /// Start of the transfer.
+    pub fn new(r_start_km: i64) -> Self {
+        EorState {
+            radius_km: r_start_km,
+            delta_v_spent_um: 0,
+            elapsed_s: 0,
+        }
+    }
+
+    /// Δv expended so far, m/s.
+    pub fn delta_v_spent_ms(&self) -> i64 {
+        self.delta_v_spent_um / 1_000_000
+    }
+
+    /// Advance the spiral by `dt_s` seconds at `accel_um_s2`: the radius
+    /// rate for a slow spiral is `dr/dt = 2 a r / v`.
+    pub fn advance(&mut self, plan: &TransferPlan, accel_um_s2: i64, dt_s: i64) {
+        if self.radius_km >= plan.r_target_km {
+            return;
+        }
+        let v = circular_velocity_ms(self.radius_km).max(1);
+        // dr[km] = 2 * a[µm/s²] * r[km] * dt[s] / v[m/s] / 1e6
+        let dr = 2 * accel_um_s2 * self.radius_km / v * dt_s / 1_000_000;
+        self.radius_km = (self.radius_km + dr.max(1)).min(plan.r_target_km);
+        self.delta_v_spent_um += accel_um_s2 * dt_s;
+        self.elapsed_s += dt_s;
+    }
+
+    /// Whether the target radius has been reached.
+    pub fn arrived(&self, plan: &TransferPlan) -> bool {
+        self.radius_km >= plan.r_target_km
+    }
+}
+
+/// The EOR partition task: one propagation step per activation, publishing
+/// `(radius_km, elapsed_s)` on the `orbit` sampling port.
+pub struct EorTask {
+    /// The plan.
+    pub plan: TransferPlan,
+    /// Thrust acceleration in µm/s².
+    pub accel_um_s2: i64,
+    /// Propagation step per activation, seconds.
+    pub dt_s: i64,
+    /// State.
+    pub state: EorState,
+    /// Cycles one propagation step costs.
+    pub cycles_per_step: u64,
+}
+
+impl EorTask {
+    /// A GTO→GEO-like raise (24,400 km → 42,164 km) at 100 µm/s².
+    pub fn gto_to_geo() -> Self {
+        let plan = plan_transfer(24_400, 42_164, 100);
+        EorTask {
+            plan,
+            accel_um_s2: 100,
+            dt_s: 3600, // one-hour steps
+            state: EorState::new(plan.r_start_km),
+            cycles_per_step: 800,
+        }
+    }
+}
+
+impl NativeTask for EorTask {
+    fn name(&self) -> &str {
+        "eor"
+    }
+
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), String> {
+        self.state.advance(&self.plan, self.accel_um_s2, self.dt_s);
+        ctx.consume(self.cycles_per_step);
+        let mut msg = Vec::with_capacity(8);
+        msg.extend_from_slice(&(self.state.radius_km as i32).to_le_bytes());
+        msg.extend_from_slice(&(self.state.elapsed_s as i32).to_le_bytes());
+        let _ = ctx.write_port("orbit", &msg);
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.state = EorState::new(self.plan.r_start_km);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circular_velocities_are_physical() {
+        // LEO ~ 7.6 km/s, GEO ~ 3.07 km/s
+        let leo = circular_velocity_ms(6_778);
+        let geo = circular_velocity_ms(42_164);
+        assert!((7_500..7_800).contains(&leo), "LEO v = {leo}");
+        assert!((3_000..3_150).contains(&geo), "GEO v = {geo}");
+    }
+
+    #[test]
+    fn gto_to_geo_plan_is_reasonable() {
+        let plan = plan_transfer(24_400, 42_164, 100);
+        // Edelbaum circular-to-circular (no inclination): ~ 970 m/s
+        assert!(
+            (900..1_100).contains(&plan.delta_v_ms),
+            "Δv = {} m/s",
+            plan.delta_v_ms
+        );
+        // at 100 µm/s² that's ~112 days
+        let days = plan.duration_s / 86_400;
+        assert!((90..140).contains(&days), "duration = {days} days");
+    }
+
+    #[test]
+    fn propagation_reaches_target_monotonically() {
+        let plan = plan_transfer(24_400, 42_164, 100);
+        let mut s = EorState::new(plan.r_start_km);
+        let mut last = s.radius_km;
+        let mut steps = 0;
+        while !s.arrived(&plan) && steps < 10_000 {
+            s.advance(&plan, 100, 3600);
+            assert!(s.radius_km >= last, "radius must not decrease");
+            last = s.radius_km;
+            steps += 1;
+        }
+        assert!(s.arrived(&plan), "never arrived after {steps} steps");
+        assert_eq!(s.radius_km, plan.r_target_km);
+        // spent Δv within 2x of plan (spiral losses + integer steps)
+        assert!(s.delta_v_spent_ms() >= plan.delta_v_ms / 2);
+        assert!(s.delta_v_spent_ms() <= plan.delta_v_ms * 2);
+    }
+
+    #[test]
+    fn more_thrust_is_faster() {
+        let plan_lo = plan_transfer(24_400, 42_164, 50);
+        let plan_hi = plan_transfer(24_400, 42_164, 200);
+        assert!(plan_hi.duration_s < plan_lo.duration_s / 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Image and vision processing kernels (HLS use case #1).
+//!
+//! On-board optical payloads pre-process frames before downlink (the
+//! low-bandwidth motivation of the paper's introduction): edge extraction
+//! (Sobel), smoothing (3×3 convolution), and statistics (histogram).
+
+/// Sobel edge magnitude, C-subset kernel. `src` and `dst` are row-major
+/// `w × h` images; border pixels are zeroed. Magnitude is `|gx| + |gy|`
+/// clamped to 255.
+pub const SOBEL_SOURCE: &str = r#"
+void sobel(int *src, int *dst, int w, int h) {
+    for (int y = 0; y < h; y++) {
+        for (int x = 0; x < w; x++) {
+            if (y == 0 || y == h - 1 || x == 0 || x == w - 1) {
+                dst[y * w + x] = 0;
+            } else {
+                int p00 = src[(y - 1) * w + (x - 1)];
+                int p01 = src[(y - 1) * w + x];
+                int p02 = src[(y - 1) * w + (x + 1)];
+                int p10 = src[y * w + (x - 1)];
+                int p12 = src[y * w + (x + 1)];
+                int p20 = src[(y + 1) * w + (x - 1)];
+                int p21 = src[(y + 1) * w + x];
+                int p22 = src[(y + 1) * w + (x + 1)];
+                int gx = (p02 + 2 * p12 + p22) - (p00 + 2 * p10 + p20);
+                int gy = (p20 + 2 * p21 + p22) - (p00 + 2 * p01 + p02);
+                if (gx < 0) gx = 0 - gx;
+                if (gy < 0) gy = 0 - gy;
+                int mag = gx + gy;
+                if (mag > 255) mag = 255;
+                dst[y * w + x] = mag;
+            }
+        }
+    }
+}
+"#;
+
+/// 3×3 convolution with a caller-supplied kernel (q4 fixed point, result
+/// shifted right by 4), C-subset kernel.
+pub const CONV3_SOURCE: &str = r#"
+void conv3(int *src, int *dst, int *kernel, int w, int h) {
+    for (int y = 1; y < h - 1; y++) {
+        for (int x = 1; x < w - 1; x++) {
+            int acc = 0;
+            for (int ky = 0; ky < 3; ky++) {
+                for (int kx = 0; kx < 3; kx++) {
+                    acc += src[(y + ky - 1) * w + (x + kx - 1)] * kernel[ky * 3 + kx];
+                }
+            }
+            acc = acc >> 4;
+            if (acc < 0) acc = 0;
+            if (acc > 255) acc = 255;
+            dst[y * w + x] = acc;
+        }
+    }
+}
+"#;
+
+/// 256-bin histogram, C-subset kernel.
+pub const HISTOGRAM_SOURCE: &str = r#"
+void histogram(int *src, int *bins, int n) {
+    for (int i = 0; i < 256; i++) {
+        bins[i] = 0;
+    }
+    for (int i = 0; i < n; i++) {
+        int v = src[i] & 255;
+        bins[v] += 1;
+    }
+}
+"#;
+
+/// Rust reference for [`SOBEL_SOURCE`].
+pub fn sobel_ref(src: &[i64], w: usize, h: usize) -> Vec<i64> {
+    let mut dst = vec![0i64; w * h];
+    for y in 1..h.saturating_sub(1) {
+        for x in 1..w.saturating_sub(1) {
+            let p = |dy: isize, dx: isize| {
+                src[(y as isize + dy) as usize * w + (x as isize + dx) as usize]
+            };
+            let gx = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) - (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
+            let gy = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) - (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
+            dst[y * w + x] = (gx.abs() + gy.abs()).min(255);
+        }
+    }
+    dst
+}
+
+/// Rust reference for [`CONV3_SOURCE`].
+pub fn conv3_ref(src: &[i64], kernel: &[i64; 9], w: usize, h: usize) -> Vec<i64> {
+    let mut dst = vec![0i64; w * h];
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let mut acc = 0i64;
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    acc += src[(y + ky - 1) * w + (x + kx - 1)] * kernel[ky * 3 + kx];
+                }
+            }
+            dst[y * w + x] = (acc >> 4).clamp(0, 255);
+        }
+    }
+    dst
+}
+
+/// Rust reference for [`HISTOGRAM_SOURCE`].
+pub fn histogram_ref(src: &[i64]) -> Vec<i64> {
+    let mut bins = vec![0i64; 256];
+    for &v in src {
+        bins[(v & 255) as usize] += 1;
+    }
+    bins
+}
+
+/// Generate a synthetic star-field test frame: dark background, a handful
+/// of bright gaussian-ish blobs (deterministic).
+pub fn star_field(w: usize, h: usize, stars: usize, seed: u64) -> Vec<i64> {
+    let mut gen = crate::TestDataGen::new(seed);
+    let mut img = vec![8i64; w * h]; // dark noise floor
+    for i in 0..w * h {
+        img[i] += (gen.below(8)) as i64;
+    }
+    for _ in 0..stars {
+        let cx = gen.below(w as u64) as isize;
+        let cy = gen.below(h as u64) as isize;
+        let peak = 150 + gen.below(100) as i64;
+        for dy in -2isize..=2 {
+            for dx in -2isize..=2 {
+                let (x, y) = (cx + dx, cy + dy);
+                if x >= 0 && y >= 0 && (x as usize) < w && (y as usize) < h {
+                    let falloff = 1 + (dx.abs() + dy.abs()) as i64;
+                    let px = &mut img[y as usize * w + x as usize];
+                    *px = (*px + peak / falloff).min(255);
+                }
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_hls::simulate::ExternalMemory;
+    use hermes_hls::HlsFlow;
+
+    #[test]
+    fn sobel_hls_matches_reference() {
+        let (w, h) = (12usize, 10usize);
+        let img = star_field(w, h, 4, 42);
+        let design = HlsFlow::new().unroll_limit(0).compile(SOBEL_SOURCE).unwrap();
+        let mut ext = ExternalMemory::buffers(vec![
+            (hermes_hls::ir::ArrayId(0), img.clone()),
+            (hermes_hls::ir::ArrayId(1), vec![0; w * h]),
+        ]);
+        design
+            .simulate_with_memory(&[w as i64, h as i64], &mut ext)
+            .unwrap();
+        let got = ext.buffer(hermes_hls::ir::ArrayId(1)).unwrap();
+        let want = sobel_ref(&img, w, h);
+        assert_eq!(got, &want);
+    }
+
+    #[test]
+    fn conv3_hls_matches_reference() {
+        let (w, h) = (8usize, 8usize);
+        let img = star_field(w, h, 3, 7);
+        // box blur kernel in q4: 16/9 ~ 1 each + center heavier
+        let kernel: [i64; 9] = [1, 2, 1, 2, 4, 2, 1, 2, 1];
+        let design = HlsFlow::new().unroll_limit(0).compile(CONV3_SOURCE).unwrap();
+        let mut ext = ExternalMemory::buffers(vec![
+            (hermes_hls::ir::ArrayId(0), img.clone()),
+            (hermes_hls::ir::ArrayId(1), vec![0; w * h]),
+            (hermes_hls::ir::ArrayId(2), kernel.to_vec()),
+        ]);
+        design
+            .simulate_with_memory(&[w as i64, h as i64], &mut ext)
+            .unwrap();
+        let got = ext.buffer(hermes_hls::ir::ArrayId(1)).unwrap();
+        let want = conv3_ref(&img, &kernel, w, h);
+        assert_eq!(got, &want);
+    }
+
+    #[test]
+    fn histogram_hls_matches_reference() {
+        let img = star_field(16, 8, 5, 3);
+        let design = HlsFlow::new()
+            .unroll_limit(0)
+            .compile(HISTOGRAM_SOURCE)
+            .unwrap();
+        let mut ext = ExternalMemory::buffers(vec![
+            (hermes_hls::ir::ArrayId(0), img.clone()),
+            (hermes_hls::ir::ArrayId(1), vec![0; 256]),
+        ]);
+        design
+            .simulate_with_memory(&[img.len() as i64], &mut ext)
+            .unwrap();
+        let got = ext.buffer(hermes_hls::ir::ArrayId(1)).unwrap();
+        assert_eq!(got, &histogram_ref(&img));
+    }
+
+    #[test]
+    fn references_are_sane() {
+        let img = star_field(16, 16, 3, 9);
+        assert!(img.iter().all(|&p| (0..=255).contains(&p)));
+        let edges = sobel_ref(&img, 16, 16);
+        assert!(edges.iter().any(|&e| e > 0), "stars produce edges");
+        assert!(edges.iter().all(|&e| (0..=255).contains(&e)));
+        let bins = histogram_ref(&img);
+        assert_eq!(bins.iter().sum::<i64>(), 256);
+    }
+}

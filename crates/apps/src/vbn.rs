@@ -1,0 +1,181 @@
+//! Visual-Based Navigation (hypervisor use case): centroid extraction.
+//!
+//! The VBN partition processes camera frames into target centroids (the
+//! image-processing element of the SELENE-derived scenario). The kernel —
+//! intensity-weighted centroiding above a threshold — exists both as a
+//! C-subset HLS kernel and as the Rust reference, and [`VbnTask`] wraps it
+//! as a partition consuming frames from a queuing port and publishing
+//! centroids on a sampling port.
+
+use hermes_xng::partition::{NativeTask, TaskCtx};
+
+/// Centroid extraction, C-subset kernel. Writes `out[0] = cx_q8`,
+/// `out[1] = cy_q8`, `out[2] = mass` (0 mass = no target; cx/cy then 0).
+pub const CENTROID_SOURCE: &str = r#"
+void centroid(int *img, int *out, int w, int h, int threshold) {
+    int mass = 0;
+    int mx = 0;
+    int my = 0;
+    for (int y = 0; y < h; y++) {
+        for (int x = 0; x < w; x++) {
+            int v = img[y * w + x];
+            if (v > threshold) {
+                mass += v;
+                mx += v * x;
+                my += v * y;
+            }
+        }
+    }
+    if (mass > 0) {
+        out[0] = (mx << 8) / mass;
+        out[1] = (my << 8) / mass;
+    } else {
+        out[0] = 0;
+        out[1] = 0;
+    }
+    out[2] = mass;
+}
+"#;
+
+/// Rust reference for [`CENTROID_SOURCE`]: `(cx_q8, cy_q8, mass)`.
+pub fn centroid_ref(img: &[i64], w: usize, h: usize, threshold: i64) -> (i64, i64, i64) {
+    let mut mass = 0i64;
+    let mut mx = 0i64;
+    let mut my = 0i64;
+    for y in 0..h {
+        for x in 0..w {
+            let v = img[y * w + x];
+            if v > threshold {
+                mass += v;
+                mx += v * x as i64;
+                my += v * y as i64;
+            }
+        }
+    }
+    if mass > 0 {
+        ((mx << 8) / mass, (my << 8) / mass, mass)
+    } else {
+        (0, 0, 0)
+    }
+}
+
+/// Paint a single bright blob at `(cx, cy)` on a dark frame.
+pub fn blob_frame(w: usize, h: usize, cx: usize, cy: usize, peak: i64) -> Vec<i64> {
+    let mut img = vec![5i64; w * h];
+    for dy in -2isize..=2 {
+        for dx in -2isize..=2 {
+            let x = cx as isize + dx;
+            let y = cy as isize + dy;
+            if x >= 0 && y >= 0 && (x as usize) < w && (y as usize) < h {
+                let falloff = 1 + (dx.abs() + dy.abs()) as i64;
+                img[y as usize * w + x as usize] = (peak / falloff).min(255);
+            }
+        }
+    }
+    img
+}
+
+/// The VBN partition task: dequeues frame descriptors (`[cx, cy]` of a
+/// synthetic blob, 2×u32 LE) from the `frames` queuing port, runs the
+/// centroider, and publishes `(cx_q8, cy_q8)` on the `nav` sampling port.
+pub struct VbnTask {
+    /// Frame geometry.
+    pub width: usize,
+    /// Frame geometry.
+    pub height: usize,
+    /// Detection threshold.
+    pub threshold: i64,
+    /// Cycles charged per processed pixel (software centroiding cost).
+    pub cycles_per_pixel: u64,
+    /// Centroids produced so far.
+    pub processed: u64,
+}
+
+impl VbnTask {
+    /// A task for `w × h` frames.
+    pub fn new(w: usize, h: usize) -> Self {
+        VbnTask {
+            width: w,
+            height: h,
+            threshold: 50,
+            cycles_per_pixel: 6,
+            processed: 0,
+        }
+    }
+}
+
+impl NativeTask for VbnTask {
+    fn name(&self) -> &str {
+        "vbn"
+    }
+
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), String> {
+        while let Ok(Some(msg)) = ctx.read_queuing("frames") {
+            if msg.len() < 8 {
+                return Err("short frame descriptor".into());
+            }
+            let cx = u32::from_le_bytes([msg[0], msg[1], msg[2], msg[3]]) as usize;
+            let cy = u32::from_le_bytes([msg[4], msg[5], msg[6], msg[7]]) as usize;
+            let img = blob_frame(self.width, self.height, cx, cy, 220);
+            let (qx, qy, _mass) = centroid_ref(&img, self.width, self.height, self.threshold);
+            ctx.consume(self.cycles_per_pixel * (self.width * self.height) as u64);
+            self.processed += 1;
+            let mut out = Vec::with_capacity(8);
+            out.extend_from_slice(&(qx as i32).to_le_bytes());
+            out.extend_from_slice(&(qy as i32).to_le_bytes());
+            let _ = ctx.write_port("nav", &out);
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.processed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_hls::ir::ArrayId;
+    use hermes_hls::simulate::ExternalMemory;
+    use hermes_hls::HlsFlow;
+
+    #[test]
+    fn centroid_hls_matches_reference() {
+        let (w, h) = (16usize, 12usize);
+        let img = blob_frame(w, h, 11, 4, 200);
+        let design = HlsFlow::new()
+            .unroll_limit(0)
+            .compile(CENTROID_SOURCE)
+            .unwrap();
+        let mut ext = ExternalMemory::buffers(vec![
+            (ArrayId(0), img.clone()),
+            (ArrayId(1), vec![0; 3]),
+        ]);
+        design
+            .simulate_with_memory(&[w as i64, h as i64, 50], &mut ext)
+            .unwrap();
+        let got = ext.buffer(ArrayId(1)).unwrap();
+        let (cx, cy, mass) = centroid_ref(&img, w, h, 50);
+        assert_eq!(got[0], cx);
+        assert_eq!(got[1], cy);
+        assert_eq!(got[2], mass);
+    }
+
+    #[test]
+    fn centroid_lands_on_the_blob() {
+        let (w, h) = (32usize, 32usize);
+        let img = blob_frame(w, h, 20, 9, 240);
+        let (cx, cy, mass) = centroid_ref(&img, w, h, 50);
+        assert!(mass > 0);
+        // Q8 coordinates within half a pixel of the blob centre
+        assert!((cx - (20 << 8)).abs() < 128, "cx = {}", cx as f64 / 256.0);
+        assert!((cy - (9 << 8)).abs() < 128, "cy = {}", cy as f64 / 256.0);
+    }
+
+    #[test]
+    fn empty_frame_reports_no_target() {
+        let img = vec![3i64; 64];
+        assert_eq!(centroid_ref(&img, 8, 8, 50), (0, 0, 0));
+    }
+}

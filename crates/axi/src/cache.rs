@@ -1,0 +1,389 @@
+//! Accelerator-side cache with prefetch — the extension Section II of the
+//! paper plans for Bambu's AXI subsystem: "adding support for prefetching
+//! and caching mechanisms might drastically reduce the average access time.
+//! Furthermore, Bambu will be extended to support the customization of
+//! cache sizes, associativity, and other features".
+//!
+//! [`AxiCache`] sits between an accelerator's byte-level requests and the
+//! [`AxiTestbench`] bus: set-associative with LRU replacement,
+//! write-through with write-around, line-granular fills, and optional
+//! next-line prefetch. [`CacheConfig`] exposes exactly the knobs the paper
+//! names (size, associativity, line length, prefetch).
+
+use crate::testbench::AxiTestbench;
+use crate::AxiError;
+
+/// Cache geometry and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Bytes per line (power of two).
+    pub line_bytes: u32,
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Ways per set.
+    pub ways: u32,
+    /// Fetch line `n+1` in the background after a miss on line `n`.
+    pub prefetch_next_line: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            line_bytes: 64,
+            sets: 16,
+            ways: 2,
+            prefetch_next_line: true,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u32 {
+        self.line_bytes * self.sets * self.ways
+    }
+}
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Read requests served from the cache.
+    pub hits: u64,
+    /// Read requests that went to the bus.
+    pub misses: u64,
+    /// Lines brought in by prefetch.
+    pub prefetches: u64,
+    /// Prefetched lines that were later hit.
+    pub prefetch_hits: u64,
+    /// Write-throughs performed.
+    pub writes: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all reads.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    data: Vec<u8>,
+    lru: u64,
+    prefetched: bool,
+}
+
+/// The cache.
+#[derive(Debug, Clone)]
+pub struct AxiCache {
+    config: CacheConfig,
+    lines: Vec<Line>, // sets * ways
+    tick: u64,
+    /// Statistics.
+    pub stats: CacheStats,
+}
+
+impl AxiCache {
+    /// Build a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless line bytes and set count are nonzero powers of two and
+    /// there is at least one way.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes.is_power_of_two() && config.line_bytes > 0);
+        assert!(config.sets.is_power_of_two() && config.sets > 0);
+        assert!(config.ways > 0);
+        AxiCache {
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    data: vec![0; config.line_bytes as usize],
+                    lru: 0,
+                    prefetched: false,
+                };
+                (config.sets * config.ways) as usize
+            ],
+            config,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / u64::from(self.config.line_bytes)) % u64::from(self.config.sets)) as usize
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / u64::from(self.config.line_bytes) / u64::from(self.config.sets)
+    }
+
+    fn find(&mut self, addr: u64) -> Option<usize> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.config.ways as usize;
+        (base..base + self.config.ways as usize)
+            .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+    }
+
+    fn victim(&self, addr: u64) -> usize {
+        let set = self.set_of(addr);
+        let base = set * self.config.ways as usize;
+        (base..base + self.config.ways as usize)
+            .min_by_key(|&i| {
+                if self.lines[i].valid {
+                    self.lines[i].lru
+                } else {
+                    0 // invalid lines are free victims
+                }
+            })
+            .expect("ways >= 1")
+    }
+
+    fn fill(
+        &mut self,
+        bus: &mut AxiTestbench,
+        line_addr: u64,
+        prefetched: bool,
+    ) -> Result<usize, AxiError> {
+        let lb = u64::from(self.config.line_bytes);
+        let (data, _) = bus.read_blocking(line_addr, lb as usize)?;
+        let idx = self.victim(line_addr);
+        self.tick += 1;
+        let tag = self.tag_of(line_addr);
+        let line = &mut self.lines[idx];
+        line.tag = tag;
+        line.valid = true;
+        line.data = data;
+        line.lru = self.tick;
+        line.prefetched = prefetched;
+        Ok(idx)
+    }
+
+    /// Read `len` bytes at `addr` through the cache; returns the data.
+    ///
+    /// Accesses crossing a line boundary are split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus errors from line fills.
+    pub fn read(
+        &mut self,
+        bus: &mut AxiTestbench,
+        addr: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, AxiError> {
+        let lb = u64::from(self.config.line_bytes);
+        let mut out = Vec::with_capacity(len);
+        let mut cur = addr;
+        let end = addr + len as u64;
+        while cur < end {
+            let line_addr = cur / lb * lb;
+            let take = ((line_addr + lb).min(end) - cur) as usize;
+            let idx = match self.find(cur) {
+                Some(i) => {
+                    self.stats.hits += 1;
+                    self.tick += 1;
+                    if self.lines[i].prefetched {
+                        self.stats.prefetch_hits += 1;
+                        self.lines[i].prefetched = false;
+                    }
+                    self.lines[i].lru = self.tick;
+                    i
+                }
+                None => {
+                    self.stats.misses += 1;
+                    let i = self.fill(bus, line_addr, false)?;
+                    if self.config.prefetch_next_line {
+                        let next = line_addr + lb;
+                        if self.find(next).is_none() {
+                            self.fill(bus, next, true)?;
+                            self.stats.prefetches += 1;
+                        }
+                    }
+                    i
+                }
+            };
+            let off = (cur - line_addr) as usize;
+            out.extend_from_slice(&self.lines[idx].data[off..off + take]);
+            cur += take as u64;
+        }
+        Ok(out)
+    }
+
+    /// Write-through with write-around (no allocation on write miss; hits
+    /// update the cached copy to stay coherent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus errors.
+    pub fn write(
+        &mut self,
+        bus: &mut AxiTestbench,
+        addr: u64,
+        data: &[u8],
+    ) -> Result<(), AxiError> {
+        bus.write_blocking(addr, data)?;
+        self.stats.writes += 1;
+        // coherence: patch any cached bytes in the written range
+        let lb = u64::from(self.config.line_bytes);
+        let mut cur = addr;
+        let end = addr + data.len() as u64;
+        while cur < end {
+            let line_addr = cur / lb * lb;
+            let take = ((line_addr + lb).min(end) - cur) as usize;
+            if let Some(i) = self.find(cur) {
+                let off = (cur - line_addr) as usize;
+                let src = ((cur - addr) as usize)..((cur - addr) as usize + take);
+                self.lines[i].data[off..off + take].copy_from_slice(&data[src]);
+            }
+            cur += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Drop every line (e.g. when the host rewrites a buffer).
+    pub fn invalidate_all(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryTiming;
+
+    fn bus_with_pattern(size: usize) -> AxiTestbench {
+        let mut tb = AxiTestbench::new(size, MemoryTiming::default());
+        for i in 0..size {
+            tb.memory_mut().poke(i as u64, &[(i % 251) as u8]);
+        }
+        tb
+    }
+
+    #[test]
+    fn reads_are_correct_and_hit_after_fill() {
+        let mut bus = bus_with_pattern(8192);
+        let mut cache = AxiCache::new(CacheConfig::default());
+        let a = cache.read(&mut bus, 100, 40).unwrap();
+        let expected: Vec<u8> = (100..140).map(|i| (i % 251) as u8).collect();
+        assert_eq!(a, expected);
+        assert!(cache.stats.misses >= 1);
+        let hits_before = cache.stats.hits;
+        let b = cache.read(&mut bus, 100, 40).unwrap();
+        assert_eq!(b, expected);
+        assert!(cache.stats.hits > hits_before, "second read hits");
+    }
+
+    #[test]
+    fn sequential_scan_benefits_from_prefetch() {
+        let mut bus = bus_with_pattern(16 * 1024);
+        let mut with = AxiCache::new(CacheConfig {
+            prefetch_next_line: true,
+            ..CacheConfig::default()
+        });
+        let mut without = AxiCache::new(CacheConfig {
+            prefetch_next_line: false,
+            ..CacheConfig::default()
+        });
+        let mut bus2 = bus_with_pattern(16 * 1024);
+        for i in 0..512u64 {
+            with.read(&mut bus, i * 4, 4).unwrap();
+            without.read(&mut bus2, i * 4, 4).unwrap();
+        }
+        assert!(with.stats.prefetch_hits > 0);
+        assert!(
+            with.stats.misses < without.stats.misses,
+            "prefetch should cut demand misses: {} vs {}",
+            with.stats.misses,
+            without.stats.misses
+        );
+    }
+
+    #[test]
+    fn write_through_keeps_coherence() {
+        let mut bus = bus_with_pattern(4096);
+        let mut cache = AxiCache::new(CacheConfig::default());
+        cache.read(&mut bus, 200, 16).unwrap(); // fill
+        cache.write(&mut bus, 204, &[0xAA, 0xBB]).unwrap();
+        let data = cache.read(&mut bus, 200, 16).unwrap();
+        assert_eq!(data[4], 0xAA);
+        assert_eq!(data[5], 0xBB);
+        // memory also updated (write-through)
+        assert_eq!(bus.memory().peek(204, 2), &[0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn line_crossing_reads_split_correctly() {
+        let mut bus = bus_with_pattern(4096);
+        let mut cache = AxiCache::new(CacheConfig {
+            line_bytes: 16,
+            sets: 4,
+            ways: 1,
+            prefetch_next_line: false,
+        });
+        let got = cache.read(&mut bus, 10, 20).unwrap(); // spans 2-3 lines
+        let expected: Vec<u8> = (10..30).map(|i| (i % 251) as u8).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn associativity_prevents_thrash() {
+        // two addresses mapping to the same set
+        let cfg_direct = CacheConfig {
+            line_bytes: 16,
+            sets: 4,
+            ways: 1,
+            prefetch_next_line: false,
+        };
+        let cfg_assoc = CacheConfig {
+            ways: 2,
+            ..cfg_direct
+        };
+        let stride = u64::from(cfg_direct.line_bytes * cfg_direct.sets);
+        let mut direct = AxiCache::new(cfg_direct);
+        let mut assoc = AxiCache::new(cfg_assoc);
+        let mut bus1 = bus_with_pattern(8192);
+        let mut bus2 = bus_with_pattern(8192);
+        for _ in 0..8 {
+            direct.read(&mut bus1, 0, 4).unwrap();
+            direct.read(&mut bus1, stride, 4).unwrap();
+            assoc.read(&mut bus2, 0, 4).unwrap();
+            assoc.read(&mut bus2, stride, 4).unwrap();
+        }
+        assert!(
+            assoc.stats.misses < direct.stats.misses,
+            "2-way should stop the ping-pong: {} vs {}",
+            assoc.stats.misses,
+            direct.stats.misses
+        );
+        assert!(assoc.stats.hit_rate() > direct.stats.hit_rate());
+    }
+
+    #[test]
+    fn invalidate_forces_refetch() {
+        let mut bus = bus_with_pattern(4096);
+        let mut cache = AxiCache::new(CacheConfig::default());
+        cache.read(&mut bus, 0, 8).unwrap();
+        bus.memory_mut().poke(0, &[0xEE]);
+        // stale without invalidation
+        assert_ne!(cache.read(&mut bus, 0, 1).unwrap()[0], 0xEE);
+        cache.invalidate_all();
+        assert_eq!(cache.read(&mut bus, 0, 1).unwrap()[0], 0xEE);
+    }
+}

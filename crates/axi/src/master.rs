@@ -1,0 +1,231 @@
+//! AXI4 master engine: byte-level requests to legal burst plans.
+//!
+//! The master performs the job of Bambu's generated AXI controller modules:
+//! the user asks for "read/write N bytes at address A" with no protocol
+//! knowledge, and the engine splits the request into specification-legal
+//! bursts — aligning beats to the bus width, masking head/tail bytes with
+//! write strobes (unaligned support), capping burst length at 256 beats,
+//! and never crossing a 4 KiB boundary.
+
+use crate::transaction::{Burst, BurstType, WriteBeat};
+use crate::AxiError;
+
+/// A planned read burst plus the byte range of interest within it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadPlan {
+    /// The burst to issue.
+    pub burst: Burst,
+    /// Offset of the first wanted byte within the burst data.
+    pub skip: usize,
+    /// Number of wanted bytes.
+    pub take: usize,
+}
+
+/// The master engine configuration.
+#[derive(Debug, Clone)]
+pub struct AxiMaster {
+    /// Data-bus width in bytes (power of two, 1..=128).
+    pub bus_bytes: u8,
+    next_id: u16,
+}
+
+impl AxiMaster {
+    /// Create a master for a bus of `bus_bytes` bytes per beat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bus_bytes` is not a power of two in 1..=128.
+    pub fn new(bus_bytes: u8) -> Self {
+        assert!(
+            bus_bytes.is_power_of_two() && bus_bytes <= 128,
+            "bus width must be a power of two up to 128 bytes"
+        );
+        AxiMaster {
+            bus_bytes,
+            next_id: 0,
+        }
+    }
+
+    fn alloc_id(&mut self) -> u16 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        id
+    }
+
+    /// Split `[addr, addr + len)` into chunks that each stay within one
+    /// 4 KiB page and one 256-beat burst.
+    fn chunk(&self, addr: u64, len: usize) -> Vec<(u64, usize)> {
+        let bb = u64::from(self.bus_bytes);
+        let max_burst_bytes = 256 * bb;
+        let mut chunks = Vec::new();
+        let mut cur = addr;
+        let mut remaining = len as u64;
+        while remaining > 0 {
+            let page_end = (cur | 0xFFF) + 1;
+            let aligned = cur & !(bb - 1);
+            let burst_cap = aligned + max_burst_bytes - cur;
+            let n = remaining.min(page_end - cur).min(burst_cap);
+            chunks.push((cur, n as usize));
+            cur += n;
+            remaining -= n;
+        }
+        chunks
+    }
+
+    /// Plan the bursts for a read of `len` bytes at `addr` (any alignment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates burst-validation failures (should not occur for plans
+    /// produced here; the validation is defense in depth).
+    pub fn plan_read(&mut self, addr: u64, len: usize) -> Result<Vec<ReadPlan>, AxiError> {
+        let bb = u64::from(self.bus_bytes);
+        let mut plans = Vec::new();
+        for (a, n) in self.chunk(addr, len) {
+            let start_aligned = a & !(bb - 1);
+            let end = a + n as u64;
+            let end_aligned = end.div_ceil(bb) * bb;
+            let beats = ((end_aligned - start_aligned) / bb) as u16;
+            let burst = Burst::new(self.alloc_id(), a, beats, self.bus_bytes, BurstType::Incr)?;
+            plans.push(ReadPlan {
+                burst,
+                skip: (a - start_aligned) as usize,
+                take: n,
+            });
+        }
+        Ok(plans)
+    }
+
+    /// Plan the bursts and strobed data beats for a write of `data` at
+    /// `addr` (any alignment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates burst-validation failures (defense in depth).
+    pub fn plan_write(
+        &mut self,
+        addr: u64,
+        data: &[u8],
+    ) -> Result<Vec<(Burst, Vec<WriteBeat>)>, AxiError> {
+        let bb = u64::from(self.bus_bytes);
+        let mut out = Vec::new();
+        let mut consumed = 0usize;
+        for (a, n) in self.chunk(addr, data.len()) {
+            let start_aligned = a & !(bb - 1);
+            let end = a + n as u64;
+            let end_aligned = end.div_ceil(bb) * bb;
+            let beats = ((end_aligned - start_aligned) / bb) as u16;
+            let burst = Burst::new(self.alloc_id(), a, beats, self.bus_bytes, BurstType::Incr)?;
+            let chunk = &data[consumed..consumed + n];
+            consumed += n;
+            let mut beat_vec = Vec::with_capacity(beats as usize);
+            for i in 0..beats {
+                let beat_start = start_aligned + u64::from(i) * bb;
+                let mut bytes = vec![0u8; self.bus_bytes as usize];
+                let mut strobe = vec![false; self.bus_bytes as usize];
+                for j in 0..bb {
+                    let byte_addr = beat_start + j;
+                    if byte_addr >= a && byte_addr < end {
+                        bytes[j as usize] = chunk[(byte_addr - a) as usize];
+                        strobe[j as usize] = true;
+                    }
+                }
+                beat_vec.push(WriteBeat {
+                    data: bytes,
+                    strobe,
+                    last: i + 1 == beats,
+                });
+            }
+            out.push((burst, beat_vec));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_read_single_burst() {
+        let mut m = AxiMaster::new(8);
+        let plans = m.plan_read(0x100, 64).unwrap();
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].burst.beats, 8);
+        assert_eq!(plans[0].skip, 0);
+        assert_eq!(plans[0].take, 64);
+    }
+
+    #[test]
+    fn unaligned_read_pads_beats() {
+        let mut m = AxiMaster::new(8);
+        let plans = m.plan_read(0x103, 10).unwrap();
+        assert_eq!(plans.len(), 1);
+        // bytes 0x103..0x10D span beats 0x100..0x110 -> 2 beats
+        assert_eq!(plans[0].burst.beats, 2);
+        assert_eq!(plans[0].skip, 3);
+        assert_eq!(plans[0].take, 10);
+    }
+
+    #[test]
+    fn page_crossing_splits() {
+        let mut m = AxiMaster::new(8);
+        let plans = m.plan_read(0xFF8, 16).unwrap();
+        assert_eq!(plans.len(), 2, "crosses 4K page");
+        assert_eq!(plans[0].burst.addr, 0xFF8);
+        assert_eq!(plans[1].burst.addr, 0x1000);
+    }
+
+    #[test]
+    fn long_transfer_splits_at_256_beats() {
+        let mut m = AxiMaster::new(1);
+        // 300 bytes on a 1-byte bus = more than 256 beats
+        let plans = m.plan_read(0, 300).unwrap();
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].burst.beats, 256);
+        assert_eq!(plans[1].burst.beats, 44);
+    }
+
+    #[test]
+    fn unaligned_write_strobes_head_and_tail() {
+        let mut m = AxiMaster::new(4);
+        let plans = m.plan_write(0x102, &[0xAA, 0xBB, 0xCC]).unwrap();
+        assert_eq!(plans.len(), 1);
+        let (burst, beats) = &plans[0];
+        assert_eq!(burst.beats, 2);
+        // beat 0 covers 0x100..0x104: strobes on bytes 2, 3
+        assert_eq!(beats[0].strobe, vec![false, false, true, true]);
+        assert_eq!(beats[0].data[2], 0xAA);
+        assert_eq!(beats[0].data[3], 0xBB);
+        // beat 1 covers 0x104..0x108: strobe on byte 0
+        assert_eq!(beats[1].strobe, vec![true, false, false, false]);
+        assert_eq!(beats[1].data[0], 0xCC);
+        assert!(beats[1].last);
+        assert!(!beats[0].last);
+    }
+
+    #[test]
+    fn all_planned_bursts_are_legal() {
+        let mut m = AxiMaster::new(16);
+        for addr in [0u64, 1, 7, 0xFFD, 0x1FFE, 12345] {
+            for len in [1usize, 3, 16, 100, 5000] {
+                let plans = m.plan_read(addr, len).unwrap();
+                let total: usize = plans.iter().map(|p| p.take).sum();
+                assert_eq!(total, len);
+                let writes = m.plan_write(addr, &vec![0x5A; len]).unwrap();
+                let wrote: usize = writes
+                    .iter()
+                    .flat_map(|(_, beats)| beats.iter())
+                    .map(|b| b.strobe.iter().filter(|&&s| s).count())
+                    .sum();
+                assert_eq!(wrote, len);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_bus_width_panics() {
+        let _ = AxiMaster::new(3);
+    }
+}

@@ -1,0 +1,361 @@
+//! Latency-configurable AXI4 slave memory.
+//!
+//! Models a DDR-backed memory controller: a fixed access latency before the
+//! first beat of a burst, then back-to-back data beats (with an optional
+//! inter-beat gap), separate read/write paths, and a bounded number of
+//! outstanding transactions. These are the "memory delay estimates" the
+//! paper says Bambu's AXI testbench lets users configure.
+
+use crate::transaction::{Burst, ReadBeat, Response, WriteBeat, WriteResponse};
+use std::collections::VecDeque;
+
+/// Timing configuration of the memory model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryTiming {
+    /// Cycles between accepting AR and the first R beat.
+    pub read_latency: u32,
+    /// Cycles between the last W beat and the B response.
+    pub write_latency: u32,
+    /// Extra cycles between consecutive data beats (0 = fully pipelined).
+    pub beat_gap: u32,
+    /// Maximum outstanding transactions per direction.
+    pub outstanding: usize,
+}
+
+impl Default for MemoryTiming {
+    fn default() -> Self {
+        MemoryTiming {
+            read_latency: 12,
+            write_latency: 6,
+            beat_gap: 0,
+            outstanding: 4,
+        }
+    }
+}
+
+impl MemoryTiming {
+    /// An idealized zero-latency memory (for isolating compute cycles).
+    pub fn ideal() -> Self {
+        MemoryTiming {
+            read_latency: 1,
+            write_latency: 1,
+            beat_gap: 0,
+            outstanding: 16,
+        }
+    }
+
+    /// A slow external memory (e.g. radiation-tolerant SDRAM).
+    pub fn slow() -> Self {
+        MemoryTiming {
+            read_latency: 60,
+            write_latency: 30,
+            beat_gap: 2,
+            outstanding: 2,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PendingRead {
+    burst: Burst,
+    countdown: u32,
+    next_beat: u16,
+}
+
+#[derive(Debug)]
+struct PendingWrite {
+    burst: Burst,
+    beats: Vec<WriteBeat>,
+    countdown: Option<u32>,
+}
+
+/// The slave memory.
+#[derive(Debug)]
+pub struct AxiMemory {
+    data: Vec<u8>,
+    timing: MemoryTiming,
+    reads: VecDeque<PendingRead>,
+    writes: VecDeque<PendingWrite>,
+    read_out: VecDeque<ReadBeat>,
+    write_resp_out: VecDeque<WriteResponse>,
+    /// Total cycles stepped (exposed for stats).
+    pub cycles: u64,
+    /// Total data beats transferred.
+    pub beats_served: u64,
+}
+
+impl AxiMemory {
+    /// Create a memory of `size` bytes with the given timing.
+    pub fn new(size: usize, timing: MemoryTiming) -> Self {
+        AxiMemory {
+            data: vec![0; size],
+            timing,
+            reads: VecDeque::new(),
+            writes: VecDeque::new(),
+            read_out: VecDeque::new(),
+            write_resp_out: VecDeque::new(),
+            cycles: 0,
+            beats_served: 0,
+        }
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Backdoor read (testbench initialization / checking).
+    pub fn peek(&self, addr: u64, len: usize) -> &[u8] {
+        let a = addr as usize;
+        &self.data[a..a + len]
+    }
+
+    /// Backdoor write.
+    pub fn poke(&mut self, addr: u64, bytes: &[u8]) {
+        let a = addr as usize;
+        self.data[a..a + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Whether a new read burst can be accepted this cycle (ARREADY).
+    pub fn ar_ready(&self) -> bool {
+        self.reads.len() < self.timing.outstanding
+    }
+
+    /// Whether a new write burst can be accepted this cycle (AWREADY).
+    pub fn aw_ready(&self) -> bool {
+        self.writes.len() < self.timing.outstanding
+    }
+
+    /// Present a read burst (AR handshake). Returns `false` if not ready.
+    pub fn push_read(&mut self, burst: Burst) -> bool {
+        if !self.ar_ready() {
+            return false;
+        }
+        self.reads.push_back(PendingRead {
+            countdown: self.timing.read_latency,
+            burst,
+            next_beat: 0,
+        });
+        true
+    }
+
+    /// Present a write burst with all its data beats (AW + W handshakes).
+    /// Returns `false` if not ready.
+    pub fn push_write(&mut self, burst: Burst, beats: Vec<WriteBeat>) -> bool {
+        if !self.aw_ready() {
+            return false;
+        }
+        self.writes.push_back(PendingWrite {
+            burst,
+            beats,
+            countdown: None,
+        });
+        true
+    }
+
+    /// Pop a read-data beat if one is available (R handshake).
+    pub fn pop_read_beat(&mut self) -> Option<ReadBeat> {
+        self.read_out.pop_front()
+    }
+
+    /// Pop a write response if one is available (B handshake).
+    pub fn pop_write_response(&mut self) -> Option<WriteResponse> {
+        self.write_resp_out.pop_front()
+    }
+
+    fn in_range(&self, burst: &Burst) -> bool {
+        let end = burst.beat_addr(burst.beats - 1) + u64::from(burst.beat_bytes);
+        end <= self.data.len() as u64 && burst.beat_addr(0) < self.data.len() as u64
+    }
+
+    /// Advance one clock cycle: age latencies, emit at most one read beat
+    /// and one write response.
+    pub fn step(&mut self) {
+        self.cycles += 1;
+        // Read path: head-of-line burst streams beats after its latency.
+        let emit = match self.reads.front_mut() {
+            Some(front) if front.countdown > 0 => {
+                front.countdown -= 1;
+                None
+            }
+            Some(front) => Some((front.burst.clone(), front.next_beat)),
+            None => None,
+        };
+        if let Some((burst, i)) = emit {
+            let (resp, bytes) = if !self.in_range(&burst) {
+                (Response::DecErr, vec![0u8; burst.beat_bytes as usize])
+            } else {
+                let a = burst.beat_addr(i) as usize;
+                (
+                    Response::Okay,
+                    self.data[a..a + burst.beat_bytes as usize].to_vec(),
+                )
+            };
+            let last = i + 1 == burst.beats;
+            self.read_out.push_back(ReadBeat {
+                id: burst.id,
+                data: bytes,
+                resp,
+                last,
+            });
+            self.beats_served += 1;
+            if last {
+                self.reads.pop_front();
+            } else {
+                let front = self.reads.front_mut().expect("burst still pending");
+                front.next_beat += 1;
+                front.countdown = self.timing.beat_gap;
+            }
+        }
+        // Write path: head-of-line burst commits after its latency.
+        let commit = match self.writes.front_mut() {
+            Some(front) => match &mut front.countdown {
+                None => {
+                    // absorb data beats: 1 per cycle + gap
+                    let absorbed = front.beats.len() as u32;
+                    front.countdown = Some(
+                        self.timing.write_latency
+                            + absorbed.saturating_sub(1) * (1 + self.timing.beat_gap),
+                    );
+                    false
+                }
+                Some(0) => true,
+                Some(n) => {
+                    *n -= 1;
+                    false
+                }
+            },
+            None => false,
+        };
+        if commit {
+            let pw = self.writes.pop_front().expect("front exists");
+            let resp = if !self.in_range(&pw.burst) {
+                Response::DecErr
+            } else {
+                for (i, beat) in pw.beats.iter().enumerate() {
+                    let a = pw.burst.beat_addr(i as u16) as usize;
+                    for (j, (&byte, &st)) in beat.data.iter().zip(beat.strobe.iter()).enumerate() {
+                        if st {
+                            self.data[a + j] = byte;
+                        }
+                    }
+                    self.beats_served += 1;
+                }
+                Response::Okay
+            };
+            self.write_resp_out.push_back(WriteResponse {
+                id: pw.burst.id,
+                resp,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::BurstType;
+
+    fn beat(data: Vec<u8>, last: bool) -> WriteBeat {
+        let strobe = vec![true; data.len()];
+        WriteBeat { data, strobe, last }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut m = AxiMemory::new(4096, MemoryTiming::default());
+        let wb = Burst::new(1, 0x100, 2, 4, BurstType::Incr).unwrap();
+        assert!(m.push_write(
+            wb,
+            vec![beat(vec![1, 2, 3, 4], false), beat(vec![5, 6, 7, 8], true)]
+        ));
+        for _ in 0..100 {
+            m.step();
+        }
+        let resp = m.pop_write_response().unwrap();
+        assert_eq!(resp.resp, Response::Okay);
+        assert_eq!(m.peek(0x100, 8), &[1, 2, 3, 4, 5, 6, 7, 8]);
+
+        let rb = Burst::new(2, 0x100, 2, 4, BurstType::Incr).unwrap();
+        assert!(m.push_read(rb));
+        let mut beats = Vec::new();
+        for _ in 0..100 {
+            m.step();
+            while let Some(b) = m.pop_read_beat() {
+                beats.push(b);
+            }
+        }
+        assert_eq!(beats.len(), 2);
+        assert_eq!(beats[0].data, vec![1, 2, 3, 4]);
+        assert!(beats[1].last);
+    }
+
+    #[test]
+    fn read_latency_respected() {
+        let timing = MemoryTiming {
+            read_latency: 20,
+            ..MemoryTiming::default()
+        };
+        let mut m = AxiMemory::new(4096, timing);
+        m.push_read(Burst::new(0, 0, 1, 4, BurstType::Incr).unwrap());
+        let mut first_beat_cycle = None;
+        for c in 0..100 {
+            m.step();
+            if m.pop_read_beat().is_some() {
+                first_beat_cycle = Some(c);
+                break;
+            }
+        }
+        assert_eq!(first_beat_cycle, Some(20));
+    }
+
+    #[test]
+    fn strobes_mask_bytes() {
+        let mut m = AxiMemory::new(64, MemoryTiming::ideal());
+        m.poke(0, &[0xAA; 8]);
+        let wb = Burst::new(0, 0, 1, 8, BurstType::Incr).unwrap();
+        let strobe = vec![true, false, true, false, false, false, false, true];
+        m.push_write(
+            wb,
+            vec![WriteBeat {
+                data: vec![1, 2, 3, 4, 5, 6, 7, 8],
+                strobe,
+                last: true,
+            }],
+        );
+        for _ in 0..20 {
+            m.step();
+        }
+        assert_eq!(m.peek(0, 8), &[1, 0xAA, 3, 0xAA, 0xAA, 0xAA, 0xAA, 8]);
+    }
+
+    #[test]
+    fn out_of_range_gets_decerr() {
+        let mut m = AxiMemory::new(64, MemoryTiming::ideal());
+        m.push_read(Burst::new(0, 4096, 1, 4, BurstType::Incr).unwrap());
+        let mut got = None;
+        for _ in 0..20 {
+            m.step();
+            if let Some(b) = m.pop_read_beat() {
+                got = Some(b);
+                break;
+            }
+        }
+        assert_eq!(got.unwrap().resp, Response::DecErr);
+    }
+
+    #[test]
+    fn outstanding_limit_backpressures() {
+        let timing = MemoryTiming {
+            outstanding: 2,
+            read_latency: 50,
+            ..MemoryTiming::default()
+        };
+        let mut m = AxiMemory::new(4096, timing);
+        let b = |id| Burst::new(id, 0, 1, 4, BurstType::Incr).unwrap();
+        assert!(m.push_read(b(0)));
+        assert!(m.push_read(b(1)));
+        assert!(!m.push_read(b(2)), "third outstanding read refused");
+        assert!(!m.ar_ready());
+    }
+}

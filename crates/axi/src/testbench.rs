@@ -1,0 +1,290 @@
+//! Cycle-stepped master↔slave testbench.
+//!
+//! [`AxiTestbench`] wires an [`AxiMaster`] plan generator to an
+//! [`AxiMemory`] slave through the [`ProtocolChecker`], advancing both one
+//! clock at a time — the simulated counterpart of the AXI4 testbench Bambu
+//! generates around HLS accelerators. Blocking helpers measure exact cycle
+//! costs so accelerator models can account for data transfer time.
+
+use crate::checker::ProtocolChecker;
+use crate::master::AxiMaster;
+use crate::memory::{AxiMemory, MemoryTiming};
+use crate::transaction::Response;
+use crate::AxiError;
+
+/// Aggregated traffic statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BusStats {
+    /// Total bus cycles elapsed.
+    pub cycles: u64,
+    /// Bytes read by the master.
+    pub bytes_read: u64,
+    /// Bytes written by the master.
+    pub bytes_written: u64,
+    /// Read bursts issued.
+    pub read_bursts: u64,
+    /// Write bursts issued.
+    pub write_bursts: u64,
+    /// Sum of per-read-request latencies (first request to last beat).
+    pub total_read_latency: u64,
+}
+
+impl BusStats {
+    /// Average cycles per read request.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.read_bursts == 0 {
+            0.0
+        } else {
+            self.total_read_latency as f64 / self.read_bursts as f64
+        }
+    }
+
+    /// Achieved bandwidth in bytes per cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.bytes_read + self.bytes_written) as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The testbench harness.
+#[derive(Debug)]
+pub struct AxiTestbench {
+    master: AxiMaster,
+    memory: AxiMemory,
+    checker: ProtocolChecker,
+    stats: BusStats,
+    /// Cycle budget for blocking operations before declaring a hang.
+    pub timeout_cycles: u64,
+}
+
+impl AxiTestbench {
+    /// Build a testbench over `mem_size` bytes of slave memory with the
+    /// given timing and a 64-bit data bus.
+    pub fn new(mem_size: usize, timing: MemoryTiming) -> Self {
+        Self::with_bus_width(mem_size, timing, 8)
+    }
+
+    /// Build a testbench with an explicit bus width in bytes.
+    pub fn with_bus_width(mem_size: usize, timing: MemoryTiming, bus_bytes: u8) -> Self {
+        AxiTestbench {
+            master: AxiMaster::new(bus_bytes),
+            memory: AxiMemory::new(mem_size, timing),
+            checker: ProtocolChecker::new(),
+            stats: BusStats::default(),
+            timeout_cycles: 1_000_000,
+        }
+    }
+
+    /// Direct (zero-time) access to the slave memory for initialization.
+    pub fn memory_mut(&mut self) -> &mut AxiMemory {
+        &mut self.memory
+    }
+
+    /// Direct read-only access to the slave memory.
+    pub fn memory(&self) -> &AxiMemory {
+        &self.memory
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Protocol violations observed so far.
+    pub fn violations(&self) -> &[crate::checker::Violation] {
+        self.checker.violations()
+    }
+
+    fn step(&mut self) {
+        self.memory.step();
+        self.checker.tick();
+        self.stats.cycles += 1;
+    }
+
+    /// Issue a read of `len` bytes at `addr` and step the bus until the data
+    /// returns. Returns the data and the cycles consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxiError::Decode`] / [`AxiError::SlaveError`] on bad
+    /// responses and [`AxiError::Timeout`] if the bus hangs.
+    pub fn read_blocking(&mut self, addr: u64, len: usize) -> Result<(Vec<u8>, u64), AxiError> {
+        let start_cycles = self.stats.cycles;
+        let plans = self.master.plan_read(addr, len)?;
+        let mut out = Vec::with_capacity(len);
+        for plan in plans {
+            // wait for AR acceptance
+            let mut waited = 0u64;
+            while !self.memory.push_read(plan.burst.clone()) {
+                self.step();
+                waited += 1;
+                if waited > self.timeout_cycles {
+                    return Err(AxiError::Timeout { cycles: waited });
+                }
+            }
+            self.checker.on_read_burst(&plan.burst);
+            self.stats.read_bursts += 1;
+            let issue_cycle = self.stats.cycles;
+            // collect beats
+            let mut raw = Vec::with_capacity(plan.burst.total_bytes() as usize);
+            let mut beats_seen = 0u16;
+            while beats_seen < plan.burst.beats {
+                self.step();
+                while let Some(beat) = self.memory.pop_read_beat() {
+                    self.checker.on_read_beat(&beat);
+                    match beat.resp {
+                        Response::Okay => {}
+                        Response::DecErr => return Err(AxiError::Decode { addr }),
+                        Response::SlvErr => return Err(AxiError::SlaveError { addr }),
+                    }
+                    raw.extend_from_slice(&beat.data);
+                    beats_seen += 1;
+                }
+                if self.stats.cycles - issue_cycle > self.timeout_cycles {
+                    return Err(AxiError::Timeout {
+                        cycles: self.stats.cycles - issue_cycle,
+                    });
+                }
+            }
+            self.stats.total_read_latency += self.stats.cycles - issue_cycle;
+            out.extend_from_slice(&raw[plan.skip..plan.skip + plan.take]);
+        }
+        self.stats.bytes_read += len as u64;
+        Ok((out, self.stats.cycles - start_cycles))
+    }
+
+    /// Issue a write of `data` at `addr` and step until the response
+    /// arrives. Returns the cycles consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxiError::Decode`] / [`AxiError::SlaveError`] on bad
+    /// responses and [`AxiError::Timeout`] if the bus hangs.
+    pub fn write_blocking(&mut self, addr: u64, data: &[u8]) -> Result<u64, AxiError> {
+        let start_cycles = self.stats.cycles;
+        let plans = self.master.plan_write(addr, data)?;
+        for (burst, beats) in plans {
+            let mut waited = 0u64;
+            while !self.memory.aw_ready() {
+                self.step();
+                waited += 1;
+                if waited > self.timeout_cycles {
+                    return Err(AxiError::Timeout { cycles: waited });
+                }
+            }
+            self.checker.on_write_burst(&burst);
+            for beat in &beats {
+                self.checker
+                    .on_write_beat(burst.id, beat, self.master.bus_bytes);
+            }
+            self.memory.push_write(burst.clone(), beats);
+            self.stats.write_bursts += 1;
+            // wait for B
+            let issue = self.stats.cycles;
+            loop {
+                self.step();
+                if let Some(resp) = self.memory.pop_write_response() {
+                    self.checker.on_write_response(&resp);
+                    match resp.resp {
+                        Response::Okay => break,
+                        Response::DecErr => return Err(AxiError::Decode { addr }),
+                        Response::SlvErr => return Err(AxiError::SlaveError { addr }),
+                    }
+                }
+                if self.stats.cycles - issue > self.timeout_cycles {
+                    return Err(AxiError::Timeout {
+                        cycles: self.stats.cycles - issue,
+                    });
+                }
+            }
+        }
+        self.stats.bytes_written += data.len() as u64;
+        Ok(self.stats.cycles - start_cycles)
+    }
+
+    /// Let the bus idle for `n` cycles (models compute phases between
+    /// transfers).
+    pub fn idle(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_aligned() {
+        let mut tb = AxiTestbench::new(4096, MemoryTiming::default());
+        let data: Vec<u8> = (0..64u8).collect();
+        tb.write_blocking(0x200, &data).unwrap();
+        let (back, _) = tb.read_blocking(0x200, 64).unwrap();
+        assert_eq!(back, data);
+        assert!(tb.violations().is_empty());
+    }
+
+    #[test]
+    fn roundtrip_unaligned_spanning_pages() {
+        let mut tb = AxiTestbench::new(16 * 1024, MemoryTiming::default());
+        let data: Vec<u8> = (0..255u8).collect();
+        tb.write_blocking(0xFF1, &data).unwrap();
+        let (back, _) = tb.read_blocking(0xFF1, 255).unwrap();
+        assert_eq!(back, data);
+        assert!(tb.violations().is_empty());
+    }
+
+    #[test]
+    fn slower_memory_costs_more_cycles() {
+        let mut fast = AxiTestbench::new(4096, MemoryTiming::ideal());
+        let mut slow = AxiTestbench::new(4096, MemoryTiming::slow());
+        let (_, cf) = fast.read_blocking(0, 64).unwrap();
+        let (_, cs) = slow.read_blocking(0, 64).unwrap();
+        assert!(
+            cs > 2 * cf,
+            "slow memory should dominate: fast={cf}, slow={cs}"
+        );
+    }
+
+    #[test]
+    fn unaligned_read_costs_at_least_aligned() {
+        let timing = MemoryTiming::default();
+        let mut a = AxiTestbench::new(4096, timing);
+        let mut u = AxiTestbench::new(4096, timing);
+        let (_, ca) = a.read_blocking(0x100, 64).unwrap();
+        let (_, cu) = u.read_blocking(0x103, 64).unwrap();
+        assert!(cu >= ca, "unaligned {cu} >= aligned {ca}");
+    }
+
+    #[test]
+    fn decode_error_surfaces() {
+        let mut tb = AxiTestbench::new(256, MemoryTiming::ideal());
+        let err = tb.read_blocking(10_000, 4).unwrap_err();
+        assert!(matches!(err, AxiError::Decode { .. }));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut tb = AxiTestbench::new(4096, MemoryTiming::default());
+        tb.write_blocking(0, &[0u8; 128]).unwrap();
+        tb.read_blocking(0, 128).unwrap();
+        let s = tb.stats();
+        assert_eq!(s.bytes_written, 128);
+        assert_eq!(s.bytes_read, 128);
+        assert!(s.read_bursts >= 1);
+        assert!(s.avg_read_latency() > 0.0);
+        assert!(s.bytes_per_cycle() > 0.0);
+    }
+
+    #[test]
+    fn backdoor_and_bus_agree() {
+        let mut tb = AxiTestbench::new(1024, MemoryTiming::ideal());
+        tb.memory_mut().poke(0x40, &[9, 8, 7]);
+        let (v, _) = tb.read_blocking(0x40, 3).unwrap();
+        assert_eq!(v, vec![9, 8, 7]);
+    }
+}

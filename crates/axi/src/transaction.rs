@@ -1,0 +1,214 @@
+//! AXI4 burst descriptors and responses.
+
+use crate::AxiError;
+
+/// AXI4 burst type (AxBURST).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BurstType {
+    /// Fixed address every beat (FIFO-style).
+    Fixed,
+    /// Incrementing address (the common case).
+    #[default]
+    Incr,
+    /// Wrapping burst (cache-line fills); length must be 2, 4, 8, or 16.
+    Wrap,
+}
+
+/// AXI4 response code (xRESP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Response {
+    /// OKAY.
+    #[default]
+    Okay,
+    /// SLVERR — slave reached but errored.
+    SlvErr,
+    /// DECERR — no slave at this address.
+    DecErr,
+}
+
+/// One read or write burst, as carried on the AR/AW channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Burst {
+    /// Transaction id (AxID).
+    pub id: u16,
+    /// Start address (AxADDR).
+    pub addr: u64,
+    /// Beats in the burst, 1..=256 (AxLEN + 1).
+    pub beats: u16,
+    /// Bytes per beat, power of two 1..=128 (decoded AxSIZE).
+    pub beat_bytes: u8,
+    /// Burst type (AxBURST).
+    pub burst: BurstType,
+}
+
+impl Burst {
+    /// Construct and validate a burst descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxiError::IllegalBurst`] when the descriptor violates the
+    /// AXI4 specification: beat counts out of range, non-power-of-two beat
+    /// size, INCR bursts crossing a 4 KiB boundary, WRAP bursts with illegal
+    /// length or unaligned start.
+    pub fn new(
+        id: u16,
+        addr: u64,
+        beats: u16,
+        beat_bytes: u8,
+        burst: BurstType,
+    ) -> Result<Self, AxiError> {
+        let err = |rule: &str| AxiError::IllegalBurst { rule: rule.into() };
+        if beats == 0 || beats > 256 {
+            return Err(err("burst length must be 1..=256 beats"));
+        }
+        if !beat_bytes.is_power_of_two() || beat_bytes > 128 {
+            return Err(err("beat size must be a power of two up to 128 bytes"));
+        }
+        match burst {
+            BurstType::Incr => {
+                let aligned_start = addr & !u64::from(beat_bytes - 1);
+                let end = aligned_start + u64::from(beats) * u64::from(beat_bytes) - 1;
+                if addr >> 12 != end >> 12 {
+                    return Err(err("INCR burst must not cross a 4 KiB boundary"));
+                }
+            }
+            BurstType::Wrap => {
+                if !matches!(beats, 2 | 4 | 8 | 16) {
+                    return Err(err("WRAP burst length must be 2, 4, 8, or 16"));
+                }
+                if addr % u64::from(beat_bytes) != 0 {
+                    return Err(err("WRAP burst start must be size-aligned"));
+                }
+            }
+            BurstType::Fixed => {
+                if beats > 16 {
+                    return Err(err("FIXED burst length must be 1..=16"));
+                }
+            }
+        }
+        Ok(Burst {
+            id,
+            addr,
+            beats,
+            beat_bytes,
+            burst,
+        })
+    }
+
+    /// Address of beat `i` (0-based), applying the burst addressing rules.
+    pub fn beat_addr(&self, i: u16) -> u64 {
+        let size = u64::from(self.beat_bytes);
+        match self.burst {
+            BurstType::Fixed => self.addr,
+            BurstType::Incr => (self.addr & !(size - 1)) + u64::from(i) * size,
+            BurstType::Wrap => {
+                let container = size * u64::from(self.beats);
+                let base = self.addr & !(container - 1);
+                let offset = (self.addr - base + u64::from(i) * size) % container;
+                base + offset
+            }
+        }
+    }
+
+    /// Total bytes covered by the burst.
+    pub fn total_bytes(&self) -> u64 {
+        u64::from(self.beats) * u64::from(self.beat_bytes)
+    }
+}
+
+/// One write-data beat (W channel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteBeat {
+    /// Data bytes, `beat_bytes` long.
+    pub data: Vec<u8>,
+    /// Per-byte write strobes (WSTRB); `strobe[i]` gates `data[i]`.
+    pub strobe: Vec<bool>,
+    /// WLAST flag.
+    pub last: bool,
+}
+
+/// One read-data beat (R channel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadBeat {
+    /// Transaction id (RID).
+    pub id: u16,
+    /// Data bytes.
+    pub data: Vec<u8>,
+    /// Response code.
+    pub resp: Response,
+    /// RLAST flag.
+    pub last: bool,
+}
+
+/// A write response (B channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteResponse {
+    /// Transaction id (BID).
+    pub id: u16,
+    /// Response code.
+    pub resp: Response,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incr_addressing() {
+        let b = Burst::new(0, 0x1000, 4, 8, BurstType::Incr).unwrap();
+        assert_eq!(b.beat_addr(0), 0x1000);
+        assert_eq!(b.beat_addr(3), 0x1018);
+        assert_eq!(b.total_bytes(), 32);
+    }
+
+    #[test]
+    fn incr_unaligned_start_aligns_following_beats() {
+        let b = Burst::new(0, 0x1003, 2, 4, BurstType::Incr).unwrap();
+        assert_eq!(b.beat_addr(0), 0x1000);
+        assert_eq!(b.beat_addr(1), 0x1004);
+    }
+
+    #[test]
+    fn fixed_addressing_repeats() {
+        let b = Burst::new(0, 0x2000, 4, 4, BurstType::Fixed).unwrap();
+        for i in 0..4 {
+            assert_eq!(b.beat_addr(i), 0x2000);
+        }
+    }
+
+    #[test]
+    fn wrap_addressing_wraps() {
+        // 4 beats x 4 bytes = 16-byte container; start mid-container
+        let b = Burst::new(0, 0x1008, 4, 4, BurstType::Wrap).unwrap();
+        assert_eq!(b.beat_addr(0), 0x1008);
+        assert_eq!(b.beat_addr(1), 0x100C);
+        assert_eq!(b.beat_addr(2), 0x1000); // wrapped
+        assert_eq!(b.beat_addr(3), 0x1004);
+    }
+
+    #[test]
+    fn boundary_4k_enforced() {
+        // 0xFE0 + 16 beats x 8 bytes ends at 0x1060: crosses 4K
+        let e = Burst::new(0, 0xFE0, 16, 8, BurstType::Incr).unwrap_err();
+        assert!(matches!(e, AxiError::IllegalBurst { .. }));
+        // exactly up to the boundary is fine
+        Burst::new(0, 0xF80, 16, 8, BurstType::Incr).unwrap();
+    }
+
+    #[test]
+    fn wrap_length_restricted() {
+        assert!(Burst::new(0, 0, 3, 4, BurstType::Wrap).is_err());
+        assert!(Burst::new(0, 2, 4, 4, BurstType::Wrap).is_err()); // unaligned
+        assert!(Burst::new(0, 0, 16, 4, BurstType::Wrap).is_ok());
+    }
+
+    #[test]
+    fn size_and_length_validation() {
+        assert!(Burst::new(0, 0, 0, 4, BurstType::Incr).is_err());
+        assert!(Burst::new(0, 0, 1, 3, BurstType::Incr).is_err());
+        assert!(Burst::new(0, 0, 1, 0, BurstType::Incr).is_err());
+        assert!(Burst::new(0, 0, 17, 4, BurstType::Fixed).is_err());
+        // 256 beats of 1 byte stays within 4K
+        assert!(Burst::new(0, 0, 256, 1, BurstType::Incr).is_ok());
+    }
+}

@@ -1,0 +1,210 @@
+//! Criterion micro-benchmarks of the ecosystem's hot paths — one group per
+//! experiment family, so `cargo bench --workspace` exercises the same code
+//! the E1–E9 tables report on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hermes_axi::memory::MemoryTiming;
+use hermes_axi::testbench::AxiTestbench;
+use hermes_boot::bl1::{Bl1, BootSource};
+use hermes_boot::flash::{FlashImageBuilder, RedundancyMode};
+use hermes_boot::loadlist::LoadList;
+use hermes_cpu::cluster::Cluster;
+use hermes_cpu::isa::assemble;
+use hermes_cpu::memmap::layout;
+use hermes_fpga::device::DeviceProfile;
+use hermes_fpga::flow::{FlowOptions, NxFlow};
+use hermes_hls::HlsFlow;
+use hermes_rad::campaign::{Campaign, Protection};
+use hermes_rad::edac;
+use hermes_rtl::sim::Simulator;
+use hermes_xng::config::{PartitionConfig, Plan, Slot, XngConfig};
+use hermes_xng::hypervisor::Hypervisor;
+use hermes_xng::partition::native_task;
+
+const FIR: &str = hermes_apps::sdr::FIR_SOURCE;
+
+fn bench_hls(c: &mut Criterion) {
+    let flow = HlsFlow::new().unroll_limit(0);
+    c.bench_function("e1_hls_compile_fir", |b| {
+        b.iter(|| flow.compile(FIR).expect("compiles"))
+    });
+    let design = flow
+        .compile("int gcd(int a, int b) { while (b != 0) { int t = b; b = a % b; a = t; } return a; }")
+        .expect("compiles");
+    c.bench_function("e1_hls_simulate_gcd", |b| {
+        b.iter(|| design.simulate(&[123456, 7890]).expect("simulates"))
+    });
+}
+
+fn bench_fpga(c: &mut Criterion) {
+    let flow = HlsFlow::new().unroll_limit(0);
+    let design = flow.compile(FIR).expect("compiles");
+    let device = DeviceProfile::ng_medium_like();
+    c.bench_function("e2_fpga_flow_fir", |b| {
+        b.iter(|| {
+            NxFlow::new(
+                device.clone(),
+                FlowOptions {
+                    effort: hermes_fpga::place::Effort::Zero,
+                    ..FlowOptions::default()
+                },
+            )
+            .run(design.netlist())
+            .expect("implements")
+        })
+    });
+    let netlist = design.netlist();
+    c.bench_function("e1_rtl_simulate_100_cycles", |b| {
+        b.iter_batched(
+            || Simulator::new(netlist).expect("valid netlist"),
+            |mut sim| sim.run(100).expect("runs"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_axi(c: &mut Criterion) {
+    c.bench_function("e4_axi_read_4k", |b| {
+        b.iter_batched(
+            || AxiTestbench::new(16 * 1024, MemoryTiming::default()),
+            |mut tb| tb.read_blocking(0, 4096).expect("reads"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cpu_and_xng(c: &mut Criterion) {
+    let prog = assemble(
+        "addi r1, r0, 2000\nloop:\naddi r1, r1, -1\nbne r1, r0, loop\nhalt",
+    )
+    .expect("asm");
+    c.bench_function("e5_cpu_run_6k_instructions", |b| {
+        b.iter_batched(
+            || {
+                let mut cl = Cluster::new();
+                cl.load_program(0, layout::SRAM_BASE, &prog).expect("load");
+                cl.start_core(0, layout::SRAM_BASE);
+                cl
+            },
+            |mut cl| cl.run(10_000).expect("runs"),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("e5_hypervisor_10k_cycles", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = XngConfig::new("bench");
+                let a = cfg.add_partition(PartitionConfig::new("a"));
+                let z = cfg.add_partition(PartitionConfig::new("b"));
+                cfg.set_plan(0, Plan::new(vec![Slot::new(a, 1000), Slot::new(z, 1000)]));
+                let mut hv = Hypervisor::new(cfg).expect("config");
+                hv.attach_native(a, native_task("a", |c| {
+                    c.consume(100);
+                    Ok(())
+                }))
+                .expect("attach");
+                hv.attach_native(z, native_task("b", |c| {
+                    c.consume(100);
+                    Ok(())
+                }))
+                .expect("attach");
+                hv
+            },
+            |mut hv| hv.run(10_000).expect("runs"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_boot_and_rad(c: &mut Criterion) {
+    c.bench_function("e6_full_flash_boot", |b| {
+        b.iter_batched(
+            || {
+                let app = assemble("addi r1, r0, 1\nhalt").expect("asm");
+                let mut builder = FlashImageBuilder::new();
+                let e = builder.add_software(layout::DDR_BASE, layout::DDR_BASE, &app);
+                builder.build(&LoadList { entries: vec![e] }, RedundancyMode::Tmr)
+            },
+            |flash| Bl1::new(BootSource::Flash(flash)).boot().expect("boots"),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("e8_edac_encode_decode", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..64u32 {
+                acc ^= edac::encode(v.wrapping_mul(0x9E37_79B9));
+            }
+            acc
+        })
+    });
+    c.bench_function("e8_tmr_campaign_256w", |b| {
+        b.iter(|| {
+            Campaign::new(256, 1)
+                .upsets(100)
+                .scrub_interval(Some(1000))
+                .run(Protection::Tmr)
+        })
+    });
+}
+
+fn bench_characterization_and_dataflow(c: &mut Criterion) {
+    c.bench_function("e3_characterize_adder_sweep", |b| {
+        b.iter(|| {
+            hermes_eucalyptus::Eucalyptus::new(DeviceProfile::ng_medium_like())
+                .with_kinds(vec![hermes_rtl::component::ComponentKind::Adder])
+                .characterize(&hermes_eucalyptus::SweepConfig {
+                    widths: vec![8, 16, 32],
+                    pipeline_stages: vec![0, 1],
+                })
+                .expect("characterizes")
+        })
+    });
+    c.bench_function("e9_dataflow_synthesis_6_flows", |b| {
+        use hermes_hls::dataflow::{synthesize_dataflow, synthesize_monolithic, Task, TaskGraph};
+        b.iter(|| {
+            let mut g = TaskGraph::new();
+            for i in 0..6 {
+                let a = g.add_task(Task {
+                    name: format!("p{i}"),
+                    states: 12,
+                    latency: 100,
+                });
+                let z = g.add_task(Task {
+                    name: format!("c{i}"),
+                    states: 12,
+                    latency: 100,
+                });
+                g.connect(a, z, 4);
+            }
+            (
+                synthesize_monolithic(&g, 200),
+                synthesize_dataflow(&g, 200),
+            )
+        })
+    });
+    c.bench_function("e7_usecase_sobel_cosim", |b| {
+        let flow = HlsFlow::new().unroll_limit(0);
+        let design = flow
+            .compile(hermes_apps::image::SOBEL_SOURCE)
+            .expect("compiles");
+        let (w, h) = (16usize, 12usize);
+        let frame = hermes_apps::image::star_field(w, h, 5, 99);
+        b.iter(|| {
+            let mut ext = hermes_hls::simulate::ExternalMemory::buffers(vec![
+                (hermes_hls::ir::ArrayId(0), frame.clone()),
+                (hermes_hls::ir::ArrayId(1), vec![0; w * h]),
+            ]);
+            design
+                .simulate_with_memory(&[w as i64, h as i64], &mut ext)
+                .expect("simulates")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_hls, bench_fpga, bench_axi, bench_cpu_and_xng, bench_boot_and_rad, bench_characterization_and_dataflow
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Run every experiment (or a named subset) and print the tables that
+//! EXPERIMENTS.md records.
+//!
+//! ```sh
+//! cargo run --release -p hermes-bench --bin experiments        # all
+//! cargo run --release -p hermes-bench --bin experiments e5 e9  # subset
+//! ```
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    for (id, title, runner) in hermes_bench::all_experiments() {
+        if !filter.is_empty() && !filter.iter().any(|f| f == id) {
+            continue;
+        }
+        println!("==================================================================");
+        println!("{} — {}", id.to_uppercase(), title);
+        println!("==================================================================");
+        let start = std::time::Instant::now();
+        let output = runner();
+        println!("{output}");
+        println!("[{} completed in {:.2} s]\n", id, start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,54 @@
+//! E1 — HLS flow metrics (Fig. 2 of the paper).
+//!
+//! For every suite kernel: front-end CDFG size, optimizer activity,
+//! schedule length, binding results, FSM size, and cycle count on the
+//! standard stimulus — the per-stage artifacts of the Bambu pipeline.
+
+use crate::kernels::suite;
+use crate::table::Table;
+use crate::cells;
+use hermes_hls::HlsFlow;
+
+/// Run E1 and render its table.
+pub fn run() -> String {
+    let flow = HlsFlow::new().unroll_limit(0);
+    let mut t = Table::new(&[
+        "kernel", "blocks", "nodes", "edges", "chain", "folded", "cse", "states",
+        "fus", "regs", "fsm_bits", "cycles",
+    ]);
+    for k in suite() {
+        let d = k.compile(&flow);
+        let r = k.simulate(&d);
+        t.row(cells![
+            k.name,
+            d.cdfg_stats.blocks,
+            d.cdfg_stats.nodes,
+            d.cdfg_stats.data_edges,
+            d.cdfg_stats.critical_chain,
+            d.opt_stats.folded,
+            d.opt_stats.cse_hits,
+            d.sched.total_states(),
+            d.binding.fus.len(),
+            d.binding.reg_count(),
+            d.fsm.state_bits(),
+            r.cycles,
+        ]);
+    }
+    format!(
+        "E1: HLS flow metrics (clock 10 ns, default allocation)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e1_produces_all_kernels() {
+        let out = super::run();
+        for k in [
+            "sobel", "conv3", "histogram", "fir", "correlate", "dft", "centroid", "mlp",
+        ] {
+            assert!(out.contains(k), "missing {k} in:\n{out}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # hermes-bench
+//!
+//! The experiment harness: one module per experiment of EXPERIMENTS.md
+//! (E1–E9), each regenerating the corresponding table. The paper itself is
+//! a project report with architecture figures rather than result tables;
+//! each experiment therefore reproduces the *measurable claim* behind a
+//! figure or section, as mapped in DESIGN.md.
+//!
+//! Run all experiments:
+//!
+//! ```sh
+//! cargo run --release -p hermes-bench --bin experiments
+//! ```
+//!
+//! or one of them: `cargo run --release -p hermes-bench --bin experiments e5`.
+
+pub mod e1_hls_flow;
+pub mod e2_fpga_flow;
+pub mod e3_characterization;
+pub mod e4_axi;
+pub mod e5_hypervisor;
+pub mod e6_boot;
+pub mod e7_usecases;
+pub mod e8_radiation;
+pub mod e9_dataflow;
+pub mod hdl_check;
+pub mod kernels;
+pub mod table;
+
+/// Every experiment: `(id, title, runner)`.
+pub fn all_experiments() -> Vec<(&'static str, &'static str, fn() -> String)> {
+    vec![
+        ("e1", "HLS flow metrics (Fig. 2)", e1_hls_flow::run as fn() -> String),
+        ("e2", "FPGA implementation flow (Fig. 3)", e2_fpga_flow::run),
+        ("e3", "Eucalyptus characterization (§II)", e3_characterization::run),
+        ("e4", "AXI memory-delay sensitivity (§II)", e4_axi::run),
+        ("e5", "Hypervisor TSP guarantees (Fig. 4, §III)", e5_hypervisor::run),
+        ("e6", "Boot sequence (Fig. 5, §IV)", e6_boot::run),
+        ("e7", "Use-case speedups (§V)", e7_usecases::run),
+        ("e8", "Radiation hardening (§I)", e8_radiation::run),
+        ("e9", "Dataflow vs monolithic FSM (§II)", e9_dataflow::run),
+    ]
+}

@@ -1,0 +1,167 @@
+//! BL0: the eROM first-stage loader.
+//!
+//! "A small application hard-coded into the SoC internal ROM that fetches a
+//! binary executable (called BL1 …) from either local boot FLASH memory or
+//! remotely from the SpaceWire bus" (Section IV). BL0 parses the BL1 image
+//! header, fetches and integrity-checks the blob (falling back across
+//! redundant flash copies if needed), and hands control to BL1.
+
+use crate::flash::{Flash, ImageHeader, RedundancyMode, COPIES};
+use crate::spacewire::SpaceWireLink;
+use crate::BootError;
+use hermes_fpga::bitstream::crc32;
+
+/// Result of the BL0 stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bl0Outcome {
+    /// Cycles consumed fetching and checking BL1.
+    pub cycles: u64,
+    /// Flash copies tried (1 = first copy was good).
+    pub attempts: u32,
+    /// Whether redundancy had to repair or fall back.
+    pub recovered: bool,
+}
+
+/// Fetch and verify the BL1 image from flash.
+///
+/// # Errors
+///
+/// Returns [`BootError::Integrity`] if every copy fails its CRC.
+pub fn fetch_bl1_from_flash(flash: &mut Flash) -> Result<Bl0Outcome, BootError> {
+    let start_cycles = flash.read_cycles;
+    let corrected_before = flash.corrected_bytes;
+    let header_raw = flash.read_redundant(0, ImageHeader::BYTES)?;
+    let header = ImageHeader::from_bytes(&header_raw)?;
+    match flash.mode {
+        RedundancyMode::Tmr | RedundancyMode::None => {
+            let blob = flash.read_redundant(ImageHeader::BYTES, header.size)?;
+            if crc32(&blob) != header.crc {
+                return Err(BootError::Integrity {
+                    what: "BL1 image".into(),
+                });
+            }
+            Ok(Bl0Outcome {
+                cycles: flash.read_cycles - start_cycles,
+                attempts: 1,
+                recovered: flash.corrected_bytes > corrected_before,
+            })
+        }
+        RedundancyMode::Sequential => {
+            for copy in 0..COPIES {
+                let blob = flash.read_copy(copy, ImageHeader::BYTES, header.size)?;
+                if crc32(&blob) == header.crc {
+                    return Ok(Bl0Outcome {
+                        cycles: flash.read_cycles - start_cycles,
+                        attempts: copy as u32 + 1,
+                        recovered: copy > 0,
+                    });
+                }
+            }
+            Err(BootError::Integrity {
+                what: "BL1 image".into(),
+            })
+        }
+    }
+}
+
+/// Fetch and verify the BL1 image over SpaceWire (object `"bl1"` with a
+/// 12-byte [`ImageHeader`] prefix).
+///
+/// # Errors
+///
+/// Returns [`BootError::SpaceWire`] / [`BootError::Integrity`].
+pub fn fetch_bl1_from_spacewire(link: &mut SpaceWireLink) -> Result<Bl0Outcome, BootError> {
+    let start = link.cycles;
+    let raw = link.fetch("bl1")?;
+    let header = ImageHeader::from_bytes(&raw)?;
+    let blob = raw
+        .get(ImageHeader::BYTES as usize..(ImageHeader::BYTES + header.size) as usize)
+        .ok_or_else(|| BootError::Integrity {
+            what: "BL1 image (truncated)".into(),
+        })?;
+    if crc32(blob) != header.crc {
+        return Err(BootError::Integrity {
+            what: "BL1 image".into(),
+        });
+    }
+    Ok(Bl0Outcome {
+        cycles: link.cycles - start,
+        attempts: 1,
+        recovered: link.retransmissions > 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flash::FlashImageBuilder;
+    use crate::loadlist::LoadList;
+    use crate::spacewire::RemoteNode;
+
+    fn flash_with_bl1(mode: RedundancyMode) -> Flash {
+        FlashImageBuilder::new().build(&LoadList::default(), mode)
+    }
+
+    #[test]
+    fn clean_fetch() {
+        let mut flash = flash_with_bl1(RedundancyMode::Tmr);
+        let o = fetch_bl1_from_flash(&mut flash).unwrap();
+        assert_eq!(o.attempts, 1);
+        assert!(!o.recovered);
+        assert!(o.cycles > 0);
+    }
+
+    #[test]
+    fn tmr_recovers_from_single_copy_corruption() {
+        let mut flash = flash_with_bl1(RedundancyMode::Tmr);
+        for b in 0..50 {
+            flash.flip_bit(0, 100 + b, (b % 8) as u8);
+        }
+        let o = fetch_bl1_from_flash(&mut flash).unwrap();
+        assert!(o.recovered);
+    }
+
+    #[test]
+    fn sequential_falls_back_to_next_copy() {
+        let mut flash = flash_with_bl1(RedundancyMode::Sequential);
+        flash.flip_bit(0, 200, 1); // corrupt BL1 blob in copy 0
+        let o = fetch_bl1_from_flash(&mut flash).unwrap();
+        assert_eq!(o.attempts, 2);
+        assert!(o.recovered);
+    }
+
+    #[test]
+    fn unprotected_boot_fails_on_corruption() {
+        let mut flash = flash_with_bl1(RedundancyMode::None);
+        flash.flip_bit(0, 200, 1);
+        assert!(matches!(
+            fetch_bl1_from_flash(&mut flash),
+            Err(BootError::Integrity { .. })
+        ));
+    }
+
+    #[test]
+    fn all_copies_corrupt_fails() {
+        let mut flash = flash_with_bl1(RedundancyMode::Sequential);
+        for c in 0..COPIES {
+            flash.flip_bit(c, 300, 2);
+        }
+        assert!(fetch_bl1_from_flash(&mut flash).is_err());
+    }
+
+    #[test]
+    fn spacewire_fetch() {
+        let blob: Vec<u8> = (0..2048u32).flat_map(|i| i.to_le_bytes()).collect();
+        let header = ImageHeader {
+            size: blob.len() as u32,
+            crc: crc32(&blob),
+        };
+        let mut raw = header.to_bytes().to_vec();
+        raw.extend_from_slice(&blob);
+        let mut remote = RemoteNode::new();
+        remote.publish("bl1", raw);
+        let mut link = SpaceWireLink::new(remote);
+        let o = fetch_bl1_from_spacewire(&mut link).unwrap();
+        assert!(o.cycles > 0);
+    }
+}

@@ -1,0 +1,459 @@
+//! BL1: the generic level-1 boot loader developed in HERMES.
+//!
+//! Implements the "common functionalities of the BL1 for the NG-ULTRA SoC"
+//! of Section IV: privileged CPU and hardware initialization (clock PLLs,
+//! DDR, flash, SpaceWire, TCMs, MPU), load-list management from flash or
+//! SpaceWire, integrity and redundancy handling, eFPGA programming, boot
+//! report generation, and the final branch to application software.
+
+use crate::bl0;
+use crate::flash::{Flash, RedundancyMode, COPIES, LOADLIST_OFFSET};
+use crate::loadlist::{ImageKind, LoadEntry, LoadList};
+use crate::report::{BootReport, StageStatus, BOOT_REPORT_ADDR};
+use crate::spacewire::SpaceWireLink;
+use crate::BootError;
+use hermes_fpga::bitstream::{crc32, Bitstream};
+use hermes_cpu::cluster::Cluster;
+
+/// Fixed initialization costs in cycles (hardware bring-up latencies of the
+/// kind the BL1 specification sequences: PLL lock, DDR training, …).
+pub mod costs {
+    /// CPU#0 registers, caches, exceptions.
+    pub const CPU_INIT: u64 = 400;
+    /// Clock PLL lock.
+    pub const CLOCK_PLL: u64 = 2_000;
+    /// DDR controller training.
+    pub const DDR_INIT: u64 = 20_000;
+    /// Flash controller setup.
+    pub const FLASH_CTRL: u64 = 500;
+    /// SpaceWire controller setup.
+    pub const SPW_CTRL: u64 = 800;
+    /// Tightly-coupled memory enable.
+    pub const TCM_INIT: u64 = 1_000;
+    /// MPU programming.
+    pub const MPU_INIT: u64 = 300;
+    /// eFPGA configuration per bitstream frame.
+    pub const EFPGA_PER_FRAME: u64 = 8;
+}
+
+/// Where BL1 fetches the boot chain from.
+#[derive(Debug)]
+pub enum BootSource {
+    /// Local boot flash.
+    Flash(Flash),
+    /// Remote SpaceWire node (objects `loadlist` and `obj@0x<offset>`).
+    SpaceWire(SpaceWireLink),
+}
+
+impl BootSource {
+    /// Publish a flash layout onto a remote node under the naming scheme
+    /// BL1 uses for SpaceWire boot (testbench convenience).
+    pub fn spacewire_from_flash(
+        mut flash: Flash,
+        list: &LoadList,
+    ) -> Result<SpaceWireLink, BootError> {
+        let mut remote = crate::spacewire::RemoteNode::new();
+        // BL1 image with header
+        let header = flash.read_redundant(0, crate::flash::ImageHeader::BYTES)?;
+        let parsed = crate::flash::ImageHeader::from_bytes(&header)?;
+        let mut bl1 = header;
+        bl1.extend(flash.read_redundant(crate::flash::ImageHeader::BYTES, parsed.size)?);
+        remote.publish("bl1", bl1);
+        remote.publish("loadlist", list.to_bytes());
+        for e in &list.entries {
+            let data = flash.read_redundant(e.offset, e.size)?;
+            remote.publish(format!("obj@{:#x}", e.offset), data);
+        }
+        Ok(SpaceWireLink::new(remote))
+    }
+}
+
+/// Result of a complete BL0→BL1→branch sequence.
+#[derive(Debug)]
+pub struct BootOutcome {
+    /// The boot report (also deposited at [`BOOT_REPORT_ADDR`]).
+    pub report: BootReport,
+    /// The processor cluster, with images loaded and entry cores having
+    /// executed their startup (bounded).
+    pub cluster: Cluster,
+    /// Verified bitstreams "programmed" into the eFPGA.
+    pub bitstreams: Vec<Bitstream>,
+}
+
+/// The BL1 boot-loader engine.
+#[derive(Debug)]
+pub struct Bl1 {
+    source: BootSource,
+    /// Cycles the started applications may run before BL1 returns
+    /// (0 = load only, don't execute).
+    pub app_run_budget: u64,
+}
+
+impl Bl1 {
+    /// A BL1 booting from the given source.
+    pub fn new(source: BootSource) -> Self {
+        Bl1 {
+            source,
+            app_run_budget: 1_000_000,
+        }
+    }
+
+    /// Execute the full boot sequence (Fig. 5 of the paper: BL0 fetch,
+    /// hardware init, load list processing, eFPGA programming, branch).
+    ///
+    /// # Errors
+    ///
+    /// Unrecoverable integrity or protocol failures abort the boot; the
+    /// partially filled report is contained in successful outcomes only
+    /// (callers needing the failure report can inspect the error and the
+    /// stage at which it occurred from the error detail).
+    pub fn boot(&mut self) -> Result<BootOutcome, BootError> {
+        let mut report = BootReport::default();
+        let mut cluster = Cluster::new();
+        let mut bitstreams = Vec::new();
+
+        // --- BL0 ---
+        let bl0_outcome = match &mut self.source {
+            BootSource::Flash(flash) => bl0::fetch_bl1_from_flash(flash)?,
+            BootSource::SpaceWire(link) => bl0::fetch_bl1_from_spacewire(link)?,
+        };
+        report.stage(
+            "bl0-fetch-bl1",
+            bl0_outcome.cycles,
+            if bl0_outcome.recovered {
+                StageStatus::Recovered
+            } else {
+                StageStatus::Ok
+            },
+            format!("{} attempt(s)", bl0_outcome.attempts),
+        );
+
+        // --- hardware initialization ---
+        report.stage("cpu0-init", costs::CPU_INIT, StageStatus::Ok, "");
+        report.stage("clock-pll", costs::CLOCK_PLL, StageStatus::Ok, "600 MHz");
+        report.stage("ddr-init", costs::DDR_INIT, StageStatus::Ok, "");
+        let (flash_status, spw_status) = match self.source {
+            BootSource::Flash(_) => (StageStatus::Ok, StageStatus::Skipped),
+            BootSource::SpaceWire(_) => (StageStatus::Skipped, StageStatus::Ok),
+        };
+        report.stage("flash-ctrl", costs::FLASH_CTRL, flash_status, "");
+        report.stage("spw-ctrl", costs::SPW_CTRL, spw_status, "");
+        report.stage("tcm-init", costs::TCM_INIT, StageStatus::Ok, "");
+        report.stage("mpu-init", costs::MPU_INIT, StageStatus::Ok, "");
+
+        // --- load list ---
+        let list = self.fetch_loadlist(&mut report)?;
+
+        // --- images ---
+        let mut started: Vec<(u8, u32)> = Vec::new();
+        for (i, entry) in list.entries.iter().enumerate() {
+            let (payload, stage_cycles, recovered) =
+                self.fetch_payload(entry, &format!("image {i}"))?;
+            match entry.kind {
+                ImageKind::Software => {
+                    cluster.bus.load_bytes(entry.dest, &payload)?;
+                    report.images_loaded += 1;
+                    report.stage(
+                        format!("load image {i}"),
+                        stage_cycles,
+                        if recovered {
+                            StageStatus::Recovered
+                        } else {
+                            StageStatus::Ok
+                        },
+                        format!("{} bytes -> {:#010x}", payload.len(), entry.dest),
+                    );
+                    if entry.entry != 0 {
+                        started.push((entry.core, entry.entry));
+                    }
+                }
+                ImageKind::Bitstream => {
+                    let bs = Bitstream::from_bytes(&payload)?;
+                    bs.verify()?;
+                    let program_cycles =
+                        bs.frames.len() as u64 * costs::EFPGA_PER_FRAME;
+                    report.bitstreams_programmed += 1;
+                    report.stage(
+                        format!("program bitstream {i}"),
+                        stage_cycles + program_cycles,
+                        if recovered {
+                            StageStatus::Recovered
+                        } else {
+                            StageStatus::Ok
+                        },
+                        format!("{} frames ({})", bs.frames.len(), bs.design_name),
+                    );
+                    bitstreams.push(bs);
+                }
+            }
+        }
+
+        // --- statistics from the transport ---
+        match &self.source {
+            BootSource::Flash(flash) => {
+                report.flash_corrected_bytes = flash.corrected_bytes;
+            }
+            BootSource::SpaceWire(link) => {
+                report.spw_retransmissions = link.retransmissions;
+            }
+        }
+
+        // --- boot report to SRAM, then branch ---
+        report.success = true;
+        cluster
+            .bus
+            .load_bytes(BOOT_REPORT_ADDR, &report.to_bytes())?;
+        for &(core, entry) in &started {
+            cluster.start_core(core as usize, entry);
+        }
+        let mut branch_cycles = 0;
+        if !started.is_empty() && self.app_run_budget > 0 {
+            cluster.run(self.app_run_budget)?;
+            branch_cycles = cluster.cycles;
+        }
+        report.stage(
+            "branch",
+            branch_cycles,
+            StageStatus::Ok,
+            format!("{} core(s) started", started.len()),
+        );
+
+        Ok(BootOutcome {
+            report,
+            cluster,
+            bitstreams,
+        })
+    }
+
+    fn fetch_loadlist(&mut self, report: &mut BootReport) -> Result<LoadList, BootError> {
+        match &mut self.source {
+            BootSource::Flash(flash) => {
+                let start = flash.read_cycles;
+                // read a generous window; the parser knows the real length
+                let window = 8 * 1024;
+                let raw = flash.read_redundant(LOADLIST_OFFSET, window)?;
+                let list = LoadList::from_bytes(&raw)?;
+                report.stage(
+                    "fetch load list",
+                    flash.read_cycles - start,
+                    StageStatus::Ok,
+                    format!("{} entries", list.entries.len()),
+                );
+                Ok(list)
+            }
+            BootSource::SpaceWire(link) => {
+                let start = link.cycles;
+                let raw = link.fetch("loadlist")?;
+                let list = LoadList::from_bytes(&raw)?;
+                report.stage(
+                    "fetch load list",
+                    link.cycles - start,
+                    StageStatus::Ok,
+                    format!("{} entries", list.entries.len()),
+                );
+                Ok(list)
+            }
+        }
+    }
+
+    fn fetch_payload(
+        &mut self,
+        entry: &LoadEntry,
+        what: &str,
+    ) -> Result<(Vec<u8>, u64, bool), BootError> {
+        match &mut self.source {
+            BootSource::Flash(flash) => {
+                let start = flash.read_cycles;
+                let corrected_before = flash.corrected_bytes;
+                let data = flash.read_redundant(entry.offset, entry.size)?;
+                if crc32(&data) == entry.crc {
+                    let recovered = flash.corrected_bytes > corrected_before;
+                    return Ok((data, flash.read_cycles - start, recovered));
+                }
+                // sequential fallback across copies
+                if flash.mode == RedundancyMode::Sequential {
+                    for copy in 1..COPIES {
+                        let alt = flash.read_copy(copy, entry.offset, entry.size)?;
+                        if crc32(&alt) == entry.crc {
+                            return Ok((alt, flash.read_cycles - start, true));
+                        }
+                    }
+                }
+                Err(BootError::Integrity { what: what.into() })
+            }
+            BootSource::SpaceWire(link) => {
+                let start = link.cycles;
+                let retr_before = link.retransmissions;
+                let data = link.fetch(&format!("obj@{:#x}", entry.offset))?;
+                if crc32(&data) != entry.crc {
+                    return Err(BootError::Integrity { what: what.into() });
+                }
+                Ok((
+                    data,
+                    link.cycles - start,
+                    link.retransmissions > retr_before,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flash::FlashImageBuilder;
+    use hermes_cpu::isa::assemble;
+    use hermes_cpu::memmap::layout;
+
+    fn app_words(marker: u32) -> Vec<u32> {
+        assemble(&format!("addi r1, r0, {marker}\nhalt")).unwrap()
+    }
+
+    fn simple_flash(mode: RedundancyMode) -> (Flash, LoadList) {
+        let mut b = FlashImageBuilder::new();
+        let e = b.add_software(layout::DDR_BASE, layout::DDR_BASE, &app_words(77));
+        let list = LoadList { entries: vec![e] };
+        (b.build(&list, mode), list)
+    }
+
+    #[test]
+    fn full_flash_boot_runs_app() {
+        let (flash, _) = simple_flash(RedundancyMode::Tmr);
+        let mut bl1 = Bl1::new(BootSource::Flash(flash));
+        let out = bl1.boot().unwrap();
+        assert!(out.report.success);
+        assert_eq!(out.report.images_loaded, 1);
+        assert_eq!(out.cluster.core(0).reg(1), 77, "application executed");
+        // report deposited in SRAM
+        let stored = out.cluster.bus.read_bytes(BOOT_REPORT_ADDR, 4).unwrap();
+        assert_eq!(&stored, b"HRPT");
+        let text = out.report.render();
+        assert!(text.contains("ddr-init"));
+        assert!(text.contains("branch"));
+    }
+
+    #[test]
+    fn boot_with_corrupted_copy_recovers_under_tmr() {
+        let (mut flash, list) = simple_flash(RedundancyMode::Tmr);
+        let off = list.entries[0].offset;
+        for i in 0..8 {
+            flash.flip_bit(1, off + i, (i % 8) as u8);
+        }
+        let mut bl1 = Bl1::new(BootSource::Flash(flash));
+        let out = bl1.boot().unwrap();
+        assert!(out.report.success);
+        assert!(out.report.flash_corrected_bytes >= 8);
+        assert_eq!(out.cluster.core(0).reg(1), 77);
+    }
+
+    #[test]
+    fn boot_fails_without_redundancy() {
+        let (mut flash, list) = simple_flash(RedundancyMode::None);
+        flash.flip_bit(0, list.entries[0].offset, 0);
+        let mut bl1 = Bl1::new(BootSource::Flash(flash));
+        assert!(matches!(bl1.boot(), Err(BootError::Integrity { .. })));
+    }
+
+    #[test]
+    fn sequential_mode_recovers() {
+        let (mut flash, list) = simple_flash(RedundancyMode::Sequential);
+        flash.flip_bit(0, list.entries[0].offset, 3);
+        let mut bl1 = Bl1::new(BootSource::Flash(flash));
+        let out = bl1.boot().unwrap();
+        assert!(out.report.success);
+        assert_eq!(out.cluster.core(0).reg(1), 77);
+    }
+
+    #[test]
+    fn spacewire_boot_works_and_is_slower() {
+        let (flash, list) = simple_flash(RedundancyMode::Tmr);
+        let flash_cycles = {
+            let (f2, _) = simple_flash(RedundancyMode::Tmr);
+            let mut bl1 = Bl1::new(BootSource::Flash(f2));
+            let out = bl1.boot().unwrap();
+            out.report
+                .stages
+                .iter()
+                .filter(|s| s.name.contains("fetch") || s.name.contains("load image"))
+                .map(|s| s.cycles)
+                .sum::<u64>()
+        };
+        let link = BootSource::spacewire_from_flash(flash, &list).unwrap();
+        let mut bl1 = Bl1::new(BootSource::SpaceWire(link));
+        let out = bl1.boot().unwrap();
+        assert!(out.report.success);
+        assert_eq!(out.cluster.core(0).reg(1), 77);
+        let spw_cycles: u64 = out
+            .report
+            .stages
+            .iter()
+            .filter(|s| s.name.contains("fetch") || s.name.contains("load image"))
+            .map(|s| s.cycles)
+            .sum();
+        assert!(
+            spw_cycles > flash_cycles,
+            "SpaceWire transfer should be slower: {spw_cycles} vs {flash_cycles}"
+        );
+    }
+
+    #[test]
+    fn bitstream_entry_is_programmed() {
+        use hermes_fpga::device::DeviceProfile;
+        use hermes_fpga::flow::{FlowOptions, NxFlow};
+        use hermes_rtl::netlist::{CellOp, Netlist};
+        let mut nl = Netlist::new("blinker");
+        let a = nl.add_input("a", 4);
+        let y = nl.add_net("y", 4);
+        nl.add_cell("n", CellOp::Not, &[a], &[y]).unwrap();
+        nl.mark_output(y);
+        let (_, art) = NxFlow::new(DeviceProfile::ng_medium_like(), FlowOptions::default())
+            .run_with_artifacts(&nl)
+            .unwrap();
+
+        let mut b = FlashImageBuilder::new();
+        let e1 = b.add_bitstream(&art.bitstream);
+        let e2 = b.add_software(layout::DDR_BASE, layout::DDR_BASE, &app_words(5));
+        let list = LoadList {
+            entries: vec![e1, e2],
+        };
+        let flash = b.build(&list, RedundancyMode::Tmr);
+        let mut bl1 = Bl1::new(BootSource::Flash(flash));
+        let out = bl1.boot().unwrap();
+        assert_eq!(out.report.bitstreams_programmed, 1);
+        assert_eq!(out.bitstreams.len(), 1);
+        assert_eq!(out.bitstreams[0].design_name, "blinker");
+        assert_eq!(out.cluster.core(0).reg(1), 5);
+    }
+
+    #[test]
+    fn corrupted_bitstream_rejected() {
+        use hermes_fpga::bitstream::Frame;
+        let bs = Bitstream {
+            device_name: "d".into(),
+            design_name: "x".into(),
+            frames: vec![Frame::new([0u8; 64])],
+        };
+        let mut bytes = bs.to_bytes();
+        let n = bytes.len();
+        bytes[n - 10] ^= 1; // corrupt a frame byte after CRC computation
+        let mut b = FlashImageBuilder::new();
+        let mut entry = b.add_data(0, &bytes);
+        entry.kind = ImageKind::Bitstream;
+        let list = LoadList {
+            entries: vec![entry],
+        };
+        let flash = b.build(&list, RedundancyMode::Tmr);
+        let mut bl1 = Bl1::new(BootSource::Flash(flash));
+        assert!(matches!(bl1.boot(), Err(BootError::Bitstream(_))));
+    }
+
+    #[test]
+    fn load_only_mode() {
+        let (flash, _) = simple_flash(RedundancyMode::Tmr);
+        let mut bl1 = Bl1::new(BootSource::Flash(flash));
+        bl1.app_run_budget = 0;
+        let out = bl1.boot().unwrap();
+        assert!(out.report.success);
+        assert_eq!(out.cluster.core(0).reg(1), 0, "app not executed");
+    }
+}

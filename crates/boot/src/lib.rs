@@ -1,0 +1,119 @@
+//! # hermes-boot
+//!
+//! The NG-ULTRA boot chain of Section IV of the paper:
+//!
+//! * **BL0** — the small eROM-resident loader (developed in DAHLIA)
+//!   that fetches BL1 from local boot flash or remotely over SpaceWire;
+//! * **BL1** — the field-loadable generic level-1 boot loader developed in
+//!   HERMES: initializes clocks/PLLs, DDR, flash and SpaceWire controllers,
+//!   tightly-coupled memories and the MPU; processes a **load list**
+//!   describing application software images and eFPGA bitstreams; manages
+//!   **integrity** (CRC-32) and **basic redundancy** of flash-resident
+//!   software (TMR or sequential copies); and produces a **boot report**
+//!   for the next stage;
+//! * **BL2 / application** — the loaded software, started on the
+//!   `hermes-cpu` quad-core cluster.
+//!
+//! ## Example
+//!
+//! ```
+//! use hermes_boot::flash::{Flash, RedundancyMode};
+//! use hermes_boot::loadlist::{ImageKind, LoadEntry, LoadList};
+//! use hermes_boot::bl1::{Bl1, BootSource};
+//!
+//! # fn main() -> Result<(), hermes_boot::BootError> {
+//! // Build a flash image holding BL1 + a load list + one application.
+//! let app_words = hermes_cpu::isa::assemble("addi r1, r0, 42\nhalt")
+//!     .map_err(hermes_boot::BootError::Cpu)?;
+//! let mut builder = hermes_boot::flash::FlashImageBuilder::new();
+//! let app = builder.add_software(0x1000_0000, 0x1000_0000, &app_words);
+//! let list = LoadList { entries: vec![app] };
+//! let flash = builder.build(&list, RedundancyMode::Tmr);
+//!
+//! let mut bl1 = Bl1::new(BootSource::Flash(flash));
+//! let outcome = bl1.boot()?;
+//! assert!(outcome.report.success);
+//! // the application actually ran on core 0:
+//! assert_eq!(outcome.cluster.core(0).reg(1), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bl0;
+pub mod bl1;
+pub mod flash;
+pub mod loadlist;
+pub mod report;
+pub mod spacewire;
+
+use std::fmt;
+
+/// Errors produced by the boot chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BootError {
+    /// An image failed its integrity check on all available copies.
+    Integrity {
+        /// What was being loaded.
+        what: String,
+    },
+    /// The load list is malformed.
+    LoadList {
+        /// Detail message.
+        detail: String,
+    },
+    /// A flash access was out of range.
+    FlashRange {
+        /// Offset requested.
+        offset: u32,
+        /// Length requested.
+        len: u32,
+    },
+    /// The SpaceWire link failed to deliver a requested image.
+    SpaceWire {
+        /// Detail message.
+        detail: String,
+    },
+    /// A bitstream failed verification.
+    Bitstream(hermes_fpga::FpgaError),
+    /// Loading into target memory failed.
+    Cpu(hermes_cpu::CpuError),
+}
+
+impl fmt::Display for BootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BootError::Integrity { what } => {
+                write!(f, "integrity failure loading {what} (all copies corrupt)")
+            }
+            BootError::LoadList { detail } => write!(f, "malformed load list: {detail}"),
+            BootError::FlashRange { offset, len } => {
+                write!(f, "flash access out of range: {len} bytes at {offset:#x}")
+            }
+            BootError::SpaceWire { detail } => write!(f, "spacewire failure: {detail}"),
+            BootError::Bitstream(e) => write!(f, "bitstream rejected: {e}"),
+            BootError::Cpu(e) => write!(f, "load failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BootError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BootError::Bitstream(e) => Some(e),
+            BootError::Cpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hermes_fpga::FpgaError> for BootError {
+    fn from(e: hermes_fpga::FpgaError) -> Self {
+        BootError::Bitstream(e)
+    }
+}
+
+impl From<hermes_cpu::CpuError> for BootError {
+    fn from(e: hermes_cpu::CpuError) -> Self {
+        BootError::Cpu(e)
+    }
+}

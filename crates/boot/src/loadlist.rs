@@ -1,0 +1,202 @@
+//! The load list: the BL1 manifest "describing a set of application
+//! software to be deployed to memory, and bitstream to be programmed in the
+//! eFPGA matrix" (Section IV).
+//!
+//! Binary format (little-endian):
+//!
+//! ```text
+//! magic "HLDL" | u16 version | u16 entry count | entries…
+//! entry: u8 kind | u32 flash offset | u32 size | u32 dest | u32 entry_pc
+//!        | u8 core | u32 crc32(payload)
+//! ```
+
+use crate::BootError;
+use hermes_fpga::bitstream::crc32;
+
+/// What an entry deploys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageKind {
+    /// Software image copied to memory and (optionally) started.
+    Software,
+    /// eFPGA configuration bitstream.
+    Bitstream,
+}
+
+/// One load-list entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadEntry {
+    /// Image kind.
+    pub kind: ImageKind,
+    /// Byte offset of the payload in the boot medium.
+    pub offset: u32,
+    /// Payload size in bytes.
+    pub size: u32,
+    /// Destination address for software (ignored for bitstreams).
+    pub dest: u32,
+    /// Entry PC for software started at boot (0 = load only).
+    pub entry: u32,
+    /// Core to start (software only).
+    pub core: u8,
+    /// CRC-32 of the payload.
+    pub crc: u32,
+}
+
+/// The manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoadList {
+    /// Entries in deployment order.
+    pub entries: Vec<LoadEntry>,
+}
+
+/// Magic bytes of a serialized load list.
+pub const MAGIC: [u8; 4] = *b"HLDL";
+/// Current format version.
+pub const VERSION: u16 = 1;
+const ENTRY_BYTES: usize = 1 + 4 + 4 + 4 + 4 + 1 + 4;
+
+impl LoadList {
+    /// Serialize to the binary manifest format (with its own trailing CRC).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(8 + self.entries.len() * ENTRY_BYTES + 4);
+        v.extend_from_slice(&MAGIC);
+        v.extend_from_slice(&VERSION.to_le_bytes());
+        v.extend_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        for e in &self.entries {
+            v.push(match e.kind {
+                ImageKind::Software => 0,
+                ImageKind::Bitstream => 1,
+            });
+            v.extend_from_slice(&e.offset.to_le_bytes());
+            v.extend_from_slice(&e.size.to_le_bytes());
+            v.extend_from_slice(&e.dest.to_le_bytes());
+            v.extend_from_slice(&e.entry.to_le_bytes());
+            v.push(e.core);
+            v.extend_from_slice(&e.crc.to_le_bytes());
+        }
+        let crc = crc32(&v);
+        v.extend_from_slice(&crc.to_le_bytes());
+        v
+    }
+
+    /// Parse a binary manifest, verifying its CRC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BootError::LoadList`] for malformed or corrupt input.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, BootError> {
+        let err = |detail: &str| BootError::LoadList {
+            detail: detail.into(),
+        };
+        if data.len() < 12 {
+            return Err(err("truncated header"));
+        }
+        if data[..4] != MAGIC {
+            return Err(err("bad magic"));
+        }
+        let version = u16::from_le_bytes([data[4], data[5]]);
+        if version != VERSION {
+            return Err(err("unsupported version"));
+        }
+        let count = u16::from_le_bytes([data[6], data[7]]) as usize;
+        let body_len = 8 + count * ENTRY_BYTES;
+        if data.len() < body_len + 4 {
+            return Err(err("truncated entries"));
+        }
+        let stored_crc = u32::from_le_bytes([
+            data[body_len],
+            data[body_len + 1],
+            data[body_len + 2],
+            data[body_len + 3],
+        ]);
+        if crc32(&data[..body_len]) != stored_crc {
+            return Err(err("manifest CRC mismatch"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let b = &data[8 + i * ENTRY_BYTES..8 + (i + 1) * ENTRY_BYTES];
+            let u32_at =
+                |o: usize| u32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]]);
+            entries.push(LoadEntry {
+                kind: match b[0] {
+                    0 => ImageKind::Software,
+                    1 => ImageKind::Bitstream,
+                    k => {
+                        return Err(BootError::LoadList {
+                            detail: format!("unknown image kind {k}"),
+                        })
+                    }
+                },
+                offset: u32_at(1),
+                size: u32_at(5),
+                dest: u32_at(9),
+                entry: u32_at(13),
+                core: b[17],
+                crc: u32_at(18),
+            });
+        }
+        Ok(LoadList { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LoadList {
+        LoadList {
+            entries: vec![
+                LoadEntry {
+                    kind: ImageKind::Software,
+                    offset: 0x2000,
+                    size: 256,
+                    dest: 0x4000_0000,
+                    entry: 0x4000_0000,
+                    core: 0,
+                    crc: 0xDEAD_BEEF,
+                },
+                LoadEntry {
+                    kind: ImageKind::Bitstream,
+                    offset: 0x3000,
+                    size: 4096,
+                    dest: 0,
+                    entry: 0,
+                    core: 0,
+                    crc: 0x1234_5678,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let l = sample();
+        let bytes = l.to_bytes();
+        let back = LoadList::from_bytes(&bytes).unwrap();
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = sample().to_bytes();
+        bytes[10] ^= 0x40;
+        assert!(matches!(
+            LoadList::from_bytes(&bytes),
+            Err(BootError::LoadList { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_magic_checked() {
+        assert!(LoadList::from_bytes(b"HLDL").is_err());
+        assert!(LoadList::from_bytes(b"XXXXxxxxxxxxxxxx").is_err());
+        let mut bytes = sample().to_bytes();
+        bytes.truncate(bytes.len() - 6);
+        assert!(LoadList::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_list_roundtrips() {
+        let l = LoadList::default();
+        assert_eq!(LoadList::from_bytes(&l.to_bytes()).unwrap(), l);
+    }
+}

@@ -1,0 +1,148 @@
+//! The boot report: "generation of a BL1 boot report made available for
+//! next-stage software" (Section IV).
+
+use hermes_fpga::bitstream::crc32;
+
+/// Address in shared SRAM where BL1 deposits the serialized report.
+pub const BOOT_REPORT_ADDR: u32 = 0x100F_0000;
+
+/// Outcome of one boot stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageStatus {
+    /// Completed normally.
+    Ok,
+    /// Completed after correcting errors (redundancy/retransmission).
+    Recovered,
+    /// Failed.
+    Failed,
+    /// Skipped (e.g. SpaceWire controller on a flash-only boot).
+    Skipped,
+}
+
+/// One stage record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRecord {
+    /// Stage name.
+    pub name: String,
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// Status.
+    pub status: StageStatus,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// The complete report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BootReport {
+    /// Stage records in execution order.
+    pub stages: Vec<StageRecord>,
+    /// Flash bytes corrected by TMR voting.
+    pub flash_corrected_bytes: u64,
+    /// SpaceWire packets retransmitted.
+    pub spw_retransmissions: u64,
+    /// Software images deployed.
+    pub images_loaded: u32,
+    /// Bitstreams programmed.
+    pub bitstreams_programmed: u32,
+    /// Whether the whole boot succeeded.
+    pub success: bool,
+}
+
+impl BootReport {
+    /// Record a stage.
+    pub fn stage(
+        &mut self,
+        name: impl Into<String>,
+        cycles: u64,
+        status: StageStatus,
+        detail: impl Into<String>,
+    ) {
+        self.stages.push(StageRecord {
+            name: name.into(),
+            cycles,
+            status,
+            detail: detail.into(),
+        });
+    }
+
+    /// Total cycles across all stages.
+    pub fn total_cycles(&self) -> u64 {
+        self.stages.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Human-readable rendering (what a BL2 would print on the UART).
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "BL1 boot report: {} ({} cycles)\n",
+            if self.success { "SUCCESS" } else { "FAILED" },
+            self.total_cycles()
+        );
+        for st in &self.stages {
+            s.push_str(&format!(
+                "  {:<22} {:>9} cy  {:<9} {}\n",
+                st.name,
+                st.cycles,
+                format!("{:?}", st.status),
+                st.detail
+            ));
+        }
+        s.push_str(&format!(
+            "  corrected {} flash bytes, {} SpW retransmissions, \
+             {} images, {} bitstreams\n",
+            self.flash_corrected_bytes,
+            self.spw_retransmissions,
+            self.images_loaded,
+            self.bitstreams_programmed
+        ));
+        s
+    }
+
+    /// Compact binary serialization (what lands at [`BOOT_REPORT_ADDR`]):
+    /// a summary block with a trailing CRC.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        v.extend_from_slice(b"HRPT");
+        v.push(u8::from(self.success));
+        v.extend_from_slice(&(self.stages.len() as u16).to_le_bytes());
+        v.extend_from_slice(&self.total_cycles().to_le_bytes());
+        v.extend_from_slice(&self.flash_corrected_bytes.to_le_bytes());
+        v.extend_from_slice(&self.spw_retransmissions.to_le_bytes());
+        v.extend_from_slice(&self.images_loaded.to_le_bytes());
+        v.extend_from_slice(&self.bitstreams_programmed.to_le_bytes());
+        let crc = crc32(&v);
+        v.extend_from_slice(&crc.to_le_bytes());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_and_renders() {
+        let mut r = BootReport::default();
+        r.stage("clock-pll", 2000, StageStatus::Ok, "600 MHz");
+        r.stage("ddr-init", 20000, StageStatus::Ok, "");
+        r.stage("image 0", 512, StageStatus::Recovered, "1 byte voted");
+        r.success = true;
+        r.images_loaded = 1;
+        assert_eq!(r.total_cycles(), 22512);
+        let text = r.render();
+        assert!(text.contains("SUCCESS"));
+        assert!(text.contains("clock-pll"));
+        assert!(text.contains("Recovered"));
+    }
+
+    #[test]
+    fn binary_form_has_crc() {
+        let mut r = BootReport::default();
+        r.stage("x", 1, StageStatus::Ok, "");
+        let bytes = r.to_bytes();
+        assert_eq!(&bytes[..4], b"HRPT");
+        let body = &bytes[..bytes.len() - 4];
+        let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+        assert_eq!(crc32(body), crc);
+    }
+}

@@ -1,0 +1,102 @@
+//! # hermes-core
+//!
+//! The HERMES ecosystem façade: one API spanning the full design flow the
+//! paper describes — C-subset source through HLS (`hermes-hls`), FPGA
+//! implementation (`hermes-fpga`), flash image packing and the BL0/BL1 boot
+//! chain (`hermes-boot`), up to a time-and-space-partitioned software
+//! configuration on the quad-core processor subsystem (`hermes-xng`).
+//!
+//! * [`accelerator::AcceleratorFlow`] — "C to bitstream" in one call, with
+//!   all intermediate artifacts exposed;
+//! * [`mission::MissionBuilder`] — packages accelerator bitstreams and
+//!   application software into a boot flash and runs the boot sequence.
+//!
+//! ## Example
+//!
+//! ```
+//! use hermes_core::accelerator::AcceleratorFlow;
+//!
+//! # fn main() -> Result<(), hermes_core::CoreError> {
+//! let artifact = AcceleratorFlow::new()
+//!     .clock_ns(10.0)
+//!     .build("int scale(int a) { return a * 3; }")?;
+//! assert!(artifact.flow_report.timing.fmax_mhz > 0.0);
+//! assert!(artifact.verilog.contains("module scale"));
+//! artifact.bitstream.verify().map_err(hermes_core::CoreError::Fpga)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod accelerator;
+pub mod mission;
+
+use std::fmt;
+
+/// Errors spanning the whole ecosystem flow.
+#[derive(Debug)]
+pub enum CoreError {
+    /// HLS failure.
+    Hls(hermes_hls::HlsError),
+    /// FPGA implementation failure.
+    Fpga(hermes_fpga::FpgaError),
+    /// Boot chain failure.
+    Boot(hermes_boot::BootError),
+    /// Hypervisor failure.
+    Xng(hermes_xng::XngError),
+    /// CPU substrate failure.
+    Cpu(hermes_cpu::CpuError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Hls(e) => write!(f, "hls: {e}"),
+            CoreError::Fpga(e) => write!(f, "fpga: {e}"),
+            CoreError::Boot(e) => write!(f, "boot: {e}"),
+            CoreError::Xng(e) => write!(f, "hypervisor: {e}"),
+            CoreError::Cpu(e) => write!(f, "cpu: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Hls(e) => Some(e),
+            CoreError::Fpga(e) => Some(e),
+            CoreError::Boot(e) => Some(e),
+            CoreError::Xng(e) => Some(e),
+            CoreError::Cpu(e) => Some(e),
+        }
+    }
+}
+
+impl From<hermes_hls::HlsError> for CoreError {
+    fn from(e: hermes_hls::HlsError) -> Self {
+        CoreError::Hls(e)
+    }
+}
+
+impl From<hermes_fpga::FpgaError> for CoreError {
+    fn from(e: hermes_fpga::FpgaError) -> Self {
+        CoreError::Fpga(e)
+    }
+}
+
+impl From<hermes_boot::BootError> for CoreError {
+    fn from(e: hermes_boot::BootError) -> Self {
+        CoreError::Boot(e)
+    }
+}
+
+impl From<hermes_xng::XngError> for CoreError {
+    fn from(e: hermes_xng::XngError) -> Self {
+        CoreError::Xng(e)
+    }
+}
+
+impl From<hermes_cpu::CpuError> for CoreError {
+    fn from(e: hermes_cpu::CpuError) -> Self {
+        CoreError::Cpu(e)
+    }
+}

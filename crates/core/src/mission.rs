@@ -1,0 +1,162 @@
+//! Mission packaging: bitstreams + application software → boot flash →
+//! booted system, optionally with a partitioned software configuration.
+//!
+//! This is the deployment path a HERMES end user follows: accelerators from
+//! the Bambu/NXmap flow and compiled application images are placed in the
+//! load list, BL0/BL1 bring the system up, and the XtratuM-NG analogue
+//! hosts the partitioned mission software.
+
+use crate::CoreError;
+use hermes_boot::bl1::{Bl1, BootOutcome, BootSource};
+use hermes_boot::flash::{Flash, FlashImageBuilder, RedundancyMode};
+use hermes_boot::loadlist::LoadList;
+use hermes_cpu::isa::assemble;
+use hermes_fpga::bitstream::Bitstream;
+
+/// Builds a bootable mission image.
+#[derive(Debug)]
+pub struct MissionBuilder {
+    builder: FlashImageBuilder,
+    entries: Vec<hermes_boot::loadlist::LoadEntry>,
+    redundancy: RedundancyMode,
+}
+
+impl Default for MissionBuilder {
+    fn default() -> Self {
+        MissionBuilder::new()
+    }
+}
+
+impl MissionBuilder {
+    /// An empty mission with TMR flash redundancy.
+    pub fn new() -> Self {
+        MissionBuilder {
+            builder: FlashImageBuilder::new(),
+            entries: Vec::new(),
+            redundancy: RedundancyMode::Tmr,
+        }
+    }
+
+    /// Choose the flash redundancy policy.
+    pub fn redundancy(mut self, mode: RedundancyMode) -> Self {
+        self.redundancy = mode;
+        self
+    }
+
+    /// Add an eFPGA bitstream to program at boot.
+    pub fn with_bitstream(mut self, bitstream: &Bitstream) -> Self {
+        self.entries.push(self.builder.add_bitstream(bitstream));
+        self
+    }
+
+    /// Add an application from assembly source, loaded and started at
+    /// `addr` on `core`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler failures.
+    pub fn with_application_asm(
+        mut self,
+        addr: u32,
+        core: u8,
+        asm: &str,
+    ) -> Result<Self, CoreError> {
+        let words = assemble(asm)?;
+        self.entries
+            .push(self.builder.add_software_on_core(addr, addr, core, &words));
+        Ok(self)
+    }
+
+    /// Add pre-assembled machine words, loaded and started at `addr`.
+    pub fn with_application_words(mut self, addr: u32, core: u8, words: &[u32]) -> Self {
+        self.entries
+            .push(self.builder.add_software_on_core(addr, addr, core, words));
+        self
+    }
+
+    /// Add a data image (loaded, not executed).
+    pub fn with_data(mut self, addr: u32, bytes: &[u8]) -> Self {
+        self.entries.push(self.builder.add_data(addr, bytes));
+        self
+    }
+
+    /// Build the boot flash.
+    pub fn build_flash(self) -> (Flash, LoadList) {
+        let list = LoadList {
+            entries: self.entries,
+        };
+        let flash = self.builder.build(&list, self.redundancy);
+        (flash, list)
+    }
+
+    /// Build and boot in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates boot failures.
+    pub fn boot(self) -> Result<BootOutcome, CoreError> {
+        let (flash, _) = self.build_flash();
+        let mut bl1 = Bl1::new(BootSource::Flash(flash));
+        Ok(bl1.boot()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::AcceleratorFlow;
+    use hermes_cpu::memmap::layout;
+
+    #[test]
+    fn full_mission_boot() {
+        let artifact = AcceleratorFlow::new()
+            .build("int twice(int a) { return a + a; }")
+            .unwrap();
+        let outcome = MissionBuilder::new()
+            .with_bitstream(&artifact.bitstream)
+            .with_application_asm(
+                layout::DDR_BASE,
+                0,
+                "addi r1, r0, 123\nhalt",
+            )
+            .unwrap()
+            .boot()
+            .unwrap();
+        assert!(outcome.report.success);
+        assert_eq!(outcome.report.bitstreams_programmed, 1);
+        assert_eq!(outcome.bitstreams[0].design_name, "twice");
+        assert_eq!(outcome.cluster.core(0).reg(1), 123);
+    }
+
+    #[test]
+    fn multicore_mission() {
+        let mut builder = MissionBuilder::new();
+        for core in 0..4u8 {
+            builder = builder
+                .with_application_asm(
+                    layout::DDR_BASE + u32::from(core) * 0x1000,
+                    core,
+                    &format!("addi r1, r0, {}\nhalt", 10 + core),
+                )
+                .unwrap();
+        }
+        let outcome = builder.boot().unwrap();
+        for core in 0..4usize {
+            assert_eq!(outcome.cluster.core(core).reg(1), 10 + core as u32);
+        }
+    }
+
+    #[test]
+    fn data_images_deploy_without_execution() {
+        let outcome = MissionBuilder::new()
+            .with_data(layout::SRAM_BASE + 0x100, b"CONFIG")
+            .boot()
+            .unwrap();
+        let bytes = outcome
+            .cluster
+            .bus
+            .read_bytes(layout::SRAM_BASE + 0x100, 6)
+            .unwrap();
+        assert_eq!(&bytes, b"CONFIG");
+    }
+}

@@ -1,0 +1,256 @@
+//! The quad-core cluster.
+//!
+//! Four [`Hart`]s share one [`SystemBus`]. Each cluster cycle steps every
+//! running core once; simultaneous accesses to shared (non-TCM) memory
+//! stall the extra cores for one cycle each, modelling interconnect
+//! contention — the interference that time-and-space partitioning is
+//! designed to bound.
+
+use crate::hart::{Event, Hart};
+use crate::memmap::SystemBus;
+use crate::mpu::Privilege;
+use crate::CpuError;
+
+/// Number of cores, as on the NG-ULTRA's R52 subsystem.
+pub const CORE_COUNT: usize = 4;
+
+/// What happened on one core during a cluster cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreEvent {
+    /// Core index.
+    pub core: usize,
+    /// The event.
+    pub event: Event,
+}
+
+/// The cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    harts: Vec<Hart>,
+    /// The shared bus (public for device/backdoor access).
+    pub bus: SystemBus,
+    /// Total cluster cycles elapsed.
+    pub cycles: u64,
+    /// Total stall cycles inserted for shared-memory contention.
+    pub contention_stalls: u64,
+    stall: [u32; CORE_COUNT],
+}
+
+impl Default for Cluster {
+    fn default() -> Self {
+        Cluster::new()
+    }
+}
+
+impl Cluster {
+    /// A cluster with the default memory map, all cores stopped.
+    pub fn new() -> Self {
+        Cluster {
+            harts: (0..CORE_COUNT as u32).map(Hart::new).collect(),
+            bus: SystemBus::new(),
+            cycles: 0,
+            contention_stalls: 0,
+            stall: [0; CORE_COUNT],
+        }
+    }
+
+    /// Immutable core access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= CORE_COUNT`.
+    pub fn core(&self, core: usize) -> &Hart {
+        &self.harts[core]
+    }
+
+    /// Mutable core access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= CORE_COUNT`.
+    pub fn core_mut(&mut self, core: usize) -> &mut Hart {
+        &mut self.harts[core]
+    }
+
+    /// Load machine words at `addr` (typically into SRAM/DDR/TCM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::LoadOverflow`] if the program does not fit.
+    pub fn load_program(&mut self, _core: usize, addr: u32, words: &[u32]) -> Result<(), CpuError> {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.bus.load_bytes(addr, &bytes)
+    }
+
+    /// Start a core at `pc` in privileged mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= CORE_COUNT`.
+    pub fn start_core(&mut self, core: usize, pc: u32) {
+        self.harts[core].start(pc, Privilege::Privileged);
+    }
+
+    /// Step the whole cluster one cycle; returns noteworthy per-core
+    /// events (halts, hypervisor calls, unhandled traps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates internal bus errors (never architectural faults, which
+    /// become events).
+    pub fn step(&mut self) -> Result<Vec<CoreEvent>, CpuError> {
+        self.cycles += 1;
+        self.bus.shared_accesses_this_cycle = 0;
+        let mut events = Vec::new();
+        let mut shared_before = 0u32;
+        for i in 0..self.harts.len() {
+            // stopped or parked harts make no progress and raise no events
+            if !self.harts[i].running || self.harts[i].waiting {
+                continue;
+            }
+            if self.stall[i] > 0 {
+                self.stall[i] -= 1;
+                continue;
+            }
+            let ev = self.harts[i].step(&mut self.bus)?;
+            // contention: each additional shared access this cycle stalls
+            let after = self.bus.shared_accesses_this_cycle;
+            if after > shared_before && after > 1 {
+                self.stall[i] += 1;
+                self.contention_stalls += 1;
+            }
+            shared_before = after;
+            match ev {
+                Event::None | Event::Waiting => {}
+                other => events.push(CoreEvent {
+                    core: i,
+                    event: other,
+                }),
+            }
+        }
+        Ok(events)
+    }
+
+    /// Run up to `max_cycles`, stopping early once no core is runnable.
+    /// Returns all noteworthy events in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Self::step`].
+    pub fn run(&mut self, max_cycles: u64) -> Result<Vec<CoreEvent>, CpuError> {
+        let mut events = Vec::new();
+        for _ in 0..max_cycles {
+            let active = self
+                .harts
+                .iter()
+                .any(|h| h.running && !h.waiting);
+            if !active {
+                break;
+            }
+            events.extend(self.step()?);
+        }
+        Ok(events)
+    }
+
+    /// Whether any core is still running (and not parked in `wfi`).
+    pub fn any_active(&self) -> bool {
+        self.harts.iter().any(|h| h.running && !h.waiting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::assemble;
+    use crate::memmap::layout;
+
+    #[test]
+    fn four_cores_run_independently() {
+        let mut cluster = Cluster::new();
+        // each core sums its hartid+1 .. stored in its own TCM
+        for core in 0..CORE_COUNT {
+            let prog = assemble(&format!(
+                r#"
+                csrr r1, 6        ; hartid
+                addi r1, r1, 1
+                add  r2, r1, r1
+                sw   r2, 0x80(r0) ; TCM-relative via base reg
+                halt
+                "#,
+            ))
+            .unwrap();
+            let base = layout::TCM_BASE + core as u32 * layout::TCM_STRIDE;
+            cluster.load_program(core, base, &prog).unwrap();
+            cluster.start_core(core, base);
+        }
+        cluster.run(100).unwrap();
+        for core in 0..CORE_COUNT {
+            assert_eq!(
+                cluster.core(core).reg(2),
+                2 * (core as u32 + 1),
+                "core {core}"
+            );
+        }
+    }
+
+    #[test]
+    fn contention_slows_shared_access() {
+        // all four cores hammer shared SRAM
+        let hammer = assemble(&format!(
+            r#"
+            lui  r1, {hi}
+            addi r3, r0, 200
+        loop:
+            lw   r2, (r1)
+            addi r3, r3, -1
+            bne  r3, r0, loop
+            halt
+            "#,
+            hi = layout::SRAM_BASE >> 16
+        ))
+        .unwrap();
+        // single-core baseline
+        let mut solo = Cluster::new();
+        solo.load_program(0, layout::DDR_BASE, &hammer).unwrap();
+        solo.start_core(0, layout::DDR_BASE);
+        solo.run(1_000_000).unwrap();
+        let solo_cycles = solo.core(0).cycles;
+
+        let mut full = Cluster::new();
+        for core in 0..CORE_COUNT {
+            full.load_program(core, layout::DDR_BASE, &hammer).unwrap();
+            full.start_core(core, layout::DDR_BASE);
+        }
+        full.run(1_000_000).unwrap();
+        assert!(full.contention_stalls > 0, "contention must occur");
+        assert!(
+            full.cycles > solo_cycles,
+            "4-core contention should stretch wall clock: {} vs {}",
+            full.cycles,
+            solo_cycles
+        );
+    }
+
+    #[test]
+    fn halt_events_reported() {
+        let mut cluster = Cluster::new();
+        let prog = assemble("halt").unwrap();
+        cluster
+            .load_program(0, layout::SRAM_BASE, &prog)
+            .unwrap();
+        cluster.start_core(0, layout::SRAM_BASE);
+        let events = cluster.run(10).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.core == 0 && e.event == Event::Halted));
+        assert!(!cluster.any_active());
+    }
+
+    #[test]
+    fn idle_cluster_stops_early() {
+        let mut cluster = Cluster::new();
+        let events = cluster.run(1000).unwrap();
+        assert!(events.is_empty());
+        assert_eq!(cluster.cycles, 0);
+    }
+}

@@ -1,0 +1,545 @@
+//! A single hardware thread (core).
+//!
+//! Executes the ISA of [`crate::isa`] against a shared [`SystemBus`], with
+//! per-core [`Mpu`] enforcement, two privilege levels, precise traps, and a
+//! CSR file. `ecall` from unprivileged code returns control to the
+//! embedding software (the hypervisor model), mirroring a trap to EL2 on
+//! the real R52.
+
+use crate::isa::{AluOp, BranchCond, Instr, MemKind};
+use crate::memmap::SystemBus;
+use crate::mpu::{Access, Mpu, Privilege};
+use crate::CpuError;
+
+/// CSR indices.
+pub mod csr {
+    /// Exception PC.
+    pub const EPC: u16 = 0;
+    /// Trap cause.
+    pub const CAUSE: u16 = 1;
+    /// Current privilege (read-only).
+    pub const MODE: u16 = 2;
+    /// Trap vector address.
+    pub const TVEC: u16 = 3;
+    /// Scratch register for trap handlers.
+    pub const SCRATCH: u16 = 4;
+    /// Cycle counter (low 32 bits, read-only).
+    pub const CYCLE: u16 = 5;
+    /// Hart id (read-only).
+    pub const HARTID: u16 = 6;
+    /// Privilege level before the last trap.
+    pub const PREV_MODE: u16 = 7;
+    /// Number of CSRs.
+    pub const COUNT: usize = 8;
+}
+
+/// Trap causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapCause {
+    /// Illegal or undecodable instruction.
+    IllegalInstruction,
+    /// MPU denied a data access.
+    MpuDataFault,
+    /// MPU denied an instruction fetch.
+    MpuFetchFault,
+    /// Bus error (unmapped address).
+    BusError,
+    /// Unaligned access.
+    Unaligned,
+    /// Privileged instruction from user mode.
+    PrivilegeViolation,
+}
+
+impl TrapCause {
+    /// Numeric code stored in the CAUSE CSR.
+    pub fn code(self) -> u32 {
+        match self {
+            TrapCause::IllegalInstruction => 1,
+            TrapCause::MpuDataFault => 2,
+            TrapCause::MpuFetchFault => 3,
+            TrapCause::BusError => 4,
+            TrapCause::Unaligned => 5,
+            TrapCause::PrivilegeViolation => 6,
+        }
+    }
+}
+
+/// What a single step produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Normal forward progress.
+    None,
+    /// The core executed `halt`.
+    Halted,
+    /// The core executed `wfi` and idles until resumed.
+    Waiting,
+    /// `ecall` from *unprivileged* code: control returns to the embedder
+    /// (hypervisor) with the call code. Privileged ecalls vector through
+    /// TVEC like traps.
+    HypervisorCall(u16),
+    /// A trap occurred and no trap vector is installed — fatal for the
+    /// current context; the embedder decides (health monitor).
+    UnhandledTrap(TrapCause),
+}
+
+/// One core.
+#[derive(Debug, Clone)]
+pub struct Hart {
+    regs: [u32; 16],
+    /// Program counter (byte address).
+    pub pc: u32,
+    csrs: [u32; csr::COUNT],
+    /// Current privilege.
+    pub privilege: Privilege,
+    /// The core's MPU.
+    pub mpu: Mpu,
+    /// Executed-cycle counter.
+    pub cycles: u64,
+    /// Whether the core is running (false after `halt`, before `start`).
+    pub running: bool,
+    /// Whether the core is parked in `wfi`.
+    pub waiting: bool,
+}
+
+impl Hart {
+    /// A stopped hart with the given id.
+    pub fn new(hartid: u32) -> Self {
+        let mut csrs = [0u32; csr::COUNT];
+        csrs[csr::HARTID as usize] = hartid;
+        Hart {
+            regs: [0; 16],
+            pc: 0,
+            csrs,
+            privilege: Privilege::Privileged,
+            mpu: Mpu::new(),
+            cycles: 0,
+            running: false,
+            waiting: false,
+        }
+    }
+
+    /// Read a general register (`r0` is always 0).
+    pub fn reg(&self, i: u8) -> u32 {
+        if i == 0 {
+            0
+        } else {
+            self.regs[i as usize & 0xF]
+        }
+    }
+
+    /// Write a general register (writes to `r0` are discarded).
+    pub fn set_reg(&mut self, i: u8, v: u32) {
+        if i != 0 {
+            self.regs[i as usize & 0xF] = v;
+        }
+    }
+
+    /// Read a CSR.
+    pub fn csr(&self, i: u16) -> u32 {
+        match i {
+            csr::MODE => u32::from(self.privilege == Privilege::Privileged),
+            csr::CYCLE => self.cycles as u32,
+            _ => self.csrs.get(i as usize).copied().unwrap_or(0),
+        }
+    }
+
+    /// Write a CSR (no privilege check here; the instruction path checks).
+    pub fn set_csr(&mut self, i: u16, v: u32) {
+        if let Some(slot) = self.csrs.get_mut(i as usize) {
+            *slot = v;
+        }
+    }
+
+    /// Begin execution at `pc` in the given privilege.
+    pub fn start(&mut self, pc: u32, privilege: Privilege) {
+        self.pc = pc;
+        self.privilege = privilege;
+        self.running = true;
+        self.waiting = false;
+    }
+
+    /// Resume a `wfi`-parked core.
+    pub fn wake(&mut self) {
+        self.waiting = false;
+    }
+
+    fn trap(&mut self, cause: TrapCause) -> Event {
+        let tvec = self.csrs[csr::TVEC as usize];
+        if tvec == 0 {
+            return Event::UnhandledTrap(cause);
+        }
+        self.csrs[csr::EPC as usize] = self.pc;
+        self.csrs[csr::CAUSE as usize] = cause.code();
+        self.csrs[csr::PREV_MODE as usize] =
+            u32::from(self.privilege == Privilege::Privileged);
+        self.privilege = Privilege::Privileged;
+        self.pc = tvec;
+        Event::None
+    }
+
+    /// Execute one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Only internal inconsistencies produce `Err`; architectural faults
+    /// become traps or [`Event::UnhandledTrap`].
+    pub fn step(&mut self, bus: &mut SystemBus) -> Result<Event, CpuError> {
+        if !self.running || self.waiting {
+            return Ok(if self.running {
+                Event::Waiting
+            } else {
+                Event::Halted
+            });
+        }
+        self.cycles += 1;
+
+        // fetch
+        if self.pc % 4 != 0 {
+            return Ok(self.trap(TrapCause::Unaligned));
+        }
+        if !self.mpu.check(self.privilege, Access::Execute, self.pc, 4) {
+            return Ok(self.trap(TrapCause::MpuFetchFault));
+        }
+        let word = match bus.read(self.pc, 4) {
+            Ok(w) => w,
+            Err(_) => return Ok(self.trap(TrapCause::BusError)),
+        };
+        let Some(instr) = Instr::decode(word) else {
+            return Ok(self.trap(TrapCause::IllegalInstruction));
+        };
+        let mut next_pc = self.pc.wrapping_add(4);
+
+        match instr {
+            Instr::Halt => {
+                self.running = false;
+                return Ok(Event::Halted);
+            }
+            Instr::Nop => {}
+            Instr::Wfi => {
+                self.waiting = true;
+                self.pc = next_pc;
+                return Ok(Event::Waiting);
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = alu(op, self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                // logical immediates are zero-extended (MIPS-style), so
+                // `lui` + `ori` materializes any 32-bit constant; arithmetic
+                // and comparison immediates are sign-extended
+                let ext = match op {
+                    AluOp::And | AluOp::Or | AluOp::Xor => u32::from(imm as u16),
+                    _ => imm as i32 as u32,
+                };
+                let v = alu(op, self.reg(rs1), ext);
+                self.set_reg(rd, v);
+            }
+            Instr::Lui { rd, imm } => self.set_reg(rd, u32::from(imm) << 16),
+            Instr::Load { kind, rd, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i32 as u32);
+                let size = kind.bytes();
+                if addr % size != 0 {
+                    return Ok(self.trap(TrapCause::Unaligned));
+                }
+                if !self.mpu.check(self.privilege, Access::Read, addr, size) {
+                    return Ok(self.trap(TrapCause::MpuDataFault));
+                }
+                let raw = match bus.read(addr, size) {
+                    Ok(v) => v,
+                    Err(_) => return Ok(self.trap(TrapCause::BusError)),
+                };
+                let v = match kind {
+                    MemKind::Word | MemKind::HalfU | MemKind::ByteU => raw,
+                    MemKind::Half => raw as u16 as i16 as i32 as u32,
+                    MemKind::Byte => raw as u8 as i8 as i32 as u32,
+                };
+                self.set_reg(rd, v);
+            }
+            Instr::Store { kind, rd, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i32 as u32);
+                let size = kind.bytes();
+                if addr % size != 0 {
+                    return Ok(self.trap(TrapCause::Unaligned));
+                }
+                if !self.mpu.check(self.privilege, Access::Write, addr, size) {
+                    return Ok(self.trap(TrapCause::MpuDataFault));
+                }
+                if bus.write(addr, size, self.reg(rd)).is_err() {
+                    return Ok(self.trap(TrapCause::BusError));
+                }
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                imm,
+            } => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => (a as i32) < (b as i32),
+                    BranchCond::Ge => (a as i32) >= (b as i32),
+                    BranchCond::LtU => a < b,
+                    BranchCond::GeU => a >= b,
+                };
+                if taken {
+                    next_pc = self.pc.wrapping_add((imm as i32 * 4) as u32);
+                }
+            }
+            Instr::Jal { rd, imm } => {
+                self.set_reg(rd, next_pc);
+                next_pc = self.pc.wrapping_add((imm as i32 * 4) as u32);
+            }
+            Instr::Jalr { rd, rs1, imm } => {
+                let target = self.reg(rs1).wrapping_add(imm as i32 as u32) & !3;
+                self.set_reg(rd, next_pc);
+                next_pc = target;
+            }
+            Instr::Ecall { code } => {
+                self.pc = next_pc;
+                if self.privilege == Privilege::User {
+                    return Ok(Event::HypervisorCall(code));
+                }
+                // privileged ecall vectors like a trap (system services)
+                return Ok(self.trap(TrapCause::PrivilegeViolation));
+            }
+            Instr::Eret => {
+                if self.privilege != Privilege::Privileged {
+                    return Ok(self.trap(TrapCause::PrivilegeViolation));
+                }
+                next_pc = self.csrs[csr::EPC as usize];
+                self.privilege = if self.csrs[csr::PREV_MODE as usize] == 1 {
+                    Privilege::Privileged
+                } else {
+                    Privilege::User
+                };
+            }
+            Instr::CsrRead { rd, csr: c } => {
+                let v = self.csr(c);
+                self.set_reg(rd, v);
+            }
+            Instr::CsrWrite { rs1, csr: c } => {
+                if self.privilege != Privilege::Privileged {
+                    return Ok(self.trap(TrapCause::PrivilegeViolation));
+                }
+                let v = self.reg(rs1);
+                self.set_csr(c, v);
+            }
+        }
+        self.pc = next_pc;
+        Ok(Event::None)
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                ((a as i32).wrapping_div(b as i32)) as u32
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                ((a as i32).wrapping_rem(b as i32)) as u32
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b & 31),
+        AluOp::Shr => a.wrapping_shr(b & 31),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::assemble;
+    use crate::memmap::layout;
+    use crate::mpu::MpuRegion;
+
+    fn run_asm(src: &str, max_steps: u64) -> (Hart, SystemBus) {
+        let mut bus = SystemBus::new();
+        let prog = assemble(src).unwrap();
+        let bytes: Vec<u8> = prog.iter().flat_map(|w| w.to_le_bytes()).collect();
+        bus.load_bytes(layout::SRAM_BASE, &bytes).unwrap();
+        let mut hart = Hart::new(0);
+        hart.start(layout::SRAM_BASE, Privilege::Privileged);
+        for _ in 0..max_steps {
+            if hart.step(&mut bus).unwrap() == Event::Halted {
+                break;
+            }
+        }
+        (hart, bus)
+    }
+
+    #[test]
+    fn fibonacci() {
+        let (hart, _) = run_asm(
+            r#"
+            addi r1, r0, 0    ; a
+            addi r2, r0, 1    ; b
+            addi r3, r0, 10   ; count
+        loop:
+            add  r4, r1, r2
+            add  r1, r0, r2
+            add  r2, r0, r4
+            addi r3, r3, -1
+            bne  r3, r0, loop
+            halt
+            "#,
+            200,
+        );
+        assert_eq!(hart.reg(1), 55); // fib(10)
+        assert_eq!(hart.reg(2), 89);
+    }
+
+    #[test]
+    fn memory_and_uart() {
+        let (hart, bus) = run_asm(
+            &format!(
+                r#"
+                lui  r1, {sram_hi}
+                addi r2, r0, 1234
+                sw   r2, 0x100(r1)
+                lw   r3, 0x100(r1)
+                lui  r4, {uart_hi}
+                addi r5, r0, 72   ; 'H'
+                sb   r5, (r4)
+                addi r5, r0, 73   ; 'I'
+                sb   r5, (r4)
+                halt
+                "#,
+                sram_hi = layout::SRAM_BASE >> 16,
+                uart_hi = layout::UART_TX >> 16,
+            ),
+            100,
+        );
+        assert_eq!(hart.reg(3), 1234);
+        assert_eq!(bus.uart_output(), b"HI");
+    }
+
+    #[test]
+    fn signed_ops() {
+        let (hart, _) = run_asm(
+            r#"
+            addi r1, r0, -20
+            addi r2, r0, 6
+            div  r3, r1, r2   ; -3
+            rem  r4, r1, r2   ; -2
+            sra  r5, r1, r2   ; -20 >> 6 = -1
+            slt  r6, r1, r2   ; 1
+            halt
+            "#,
+            50,
+        );
+        assert_eq!(hart.reg(3) as i32, -3);
+        assert_eq!(hart.reg(4) as i32, -2);
+        assert_eq!(hart.reg(5) as i32, -1);
+        assert_eq!(hart.reg(6), 1);
+    }
+
+    #[test]
+    fn subroutine_call() {
+        let (hart, _) = run_asm(
+            r#"
+            addi r1, r0, 7
+            jal  r14, double
+            jal  r14, double
+            halt
+        double:
+            add  r1, r1, r1
+            jalr r0, r14, 0
+            "#,
+            100,
+        );
+        assert_eq!(hart.reg(1), 28);
+    }
+
+    #[test]
+    fn mpu_fault_traps_to_vector() {
+        let mut bus = SystemBus::new();
+        // handler at SRAM+0x200 writes a marker and halts
+        let handler = assemble("addi r10, r0, 99\nhalt").unwrap();
+        let main = assemble(&format!(
+            "lui r1, {hi}\nsw r0, 0x500(r1)\nhalt",
+            hi = layout::DDR_BASE >> 16
+        ))
+        .unwrap();
+        let to_bytes =
+            |p: &[u32]| p.iter().flat_map(|w| w.to_le_bytes()).collect::<Vec<u8>>();
+        bus.load_bytes(layout::SRAM_BASE, &to_bytes(&main)).unwrap();
+        bus.load_bytes(layout::SRAM_BASE + 0x200, &to_bytes(&handler))
+            .unwrap();
+        let mut hart = Hart::new(0);
+        hart.set_csr(csr::TVEC, layout::SRAM_BASE + 0x200);
+        hart.mpu.enabled = true;
+        // user may only touch SRAM (not DDR)
+        hart.mpu
+            .program(&[MpuRegion::rwx(layout::SRAM_BASE, layout::SRAM_SIZE)]);
+        hart.start(layout::SRAM_BASE, Privilege::User);
+        for _ in 0..50 {
+            if hart.step(&mut bus).unwrap() == Event::Halted {
+                break;
+            }
+        }
+        assert_eq!(hart.reg(10), 99, "trap handler ran");
+        assert_eq!(hart.csr(csr::CAUSE), TrapCause::MpuDataFault.code());
+        assert_eq!(hart.privilege, Privilege::Privileged);
+    }
+
+    #[test]
+    fn user_ecall_reaches_hypervisor() {
+        let mut bus = SystemBus::new();
+        let prog = assemble("ecall 0x77\nhalt").unwrap();
+        let bytes: Vec<u8> = prog.iter().flat_map(|w| w.to_le_bytes()).collect();
+        bus.load_bytes(layout::SRAM_BASE, &bytes).unwrap();
+        let mut hart = Hart::new(2);
+        hart.start(layout::SRAM_BASE, Privilege::User);
+        let ev = hart.step(&mut bus).unwrap();
+        assert_eq!(ev, Event::HypervisorCall(0x77));
+        assert_eq!(hart.csr(csr::HARTID), 2);
+    }
+
+    #[test]
+    fn csr_write_needs_privilege() {
+        let mut bus = SystemBus::new();
+        let prog = assemble("csrw r1, 3\nhalt").unwrap();
+        let bytes: Vec<u8> = prog.iter().flat_map(|w| w.to_le_bytes()).collect();
+        bus.load_bytes(layout::SRAM_BASE, &bytes).unwrap();
+        let mut hart = Hart::new(0);
+        hart.start(layout::SRAM_BASE, Privilege::User);
+        let ev = hart.step(&mut bus).unwrap();
+        assert_eq!(
+            ev,
+            Event::UnhandledTrap(TrapCause::PrivilegeViolation),
+            "no TVEC installed -> unhandled"
+        );
+    }
+
+    #[test]
+    fn wfi_parks_core() {
+        let (hart, _) = run_asm("wfi\nhalt", 10);
+        assert!(hart.waiting);
+        assert!(hart.running);
+    }
+
+    #[test]
+    fn r0_is_zero() {
+        let (hart, _) = run_asm("addi r0, r0, 55\nadd r1, r0, r0\nhalt", 10);
+        assert_eq!(hart.reg(0), 0);
+        assert_eq!(hart.reg(1), 0);
+    }
+}

@@ -1,0 +1,826 @@
+//! The instruction set: encoding, decoding, a two-pass assembler, and a
+//! disassembler.
+//!
+//! A compact 32-bit RISC encoding with 16 general registers (`r0` is
+//! hard-wired to zero), 16-bit immediates, PC-relative branches, a
+//! hypervisor call (`ecall`), and a small CSR file. See the crate docs for
+//! why this stands in for the proprietary R52 ISA.
+
+use crate::CpuError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Stop the core.
+    Halt,
+    /// No operation.
+    Nop,
+    /// Register-register ALU op: `rd = rs1 <op> rs2`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: u8,
+        /// First source.
+        rs1: u8,
+        /// Second source.
+        rs2: u8,
+    },
+    /// Immediate ALU op: `rd = rs1 <op> imm` (the immediate is
+    /// sign-extended, except for the logical ops and/or/xor which
+    /// zero-extend so `lui`+`ori` can build any 32-bit constant).
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Sign-extended immediate.
+        imm: i16,
+    },
+    /// Load upper immediate: `rd = imm << 16`.
+    Lui {
+        /// Destination register.
+        rd: u8,
+        /// Immediate (treated as unsigned).
+        imm: u16,
+    },
+    /// Memory load: `rd = mem[rs1 + imm]`.
+    Load {
+        /// Access width/sign.
+        kind: MemKind,
+        /// Destination register.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Byte offset.
+        imm: i16,
+    },
+    /// Memory store: `mem[rs1 + imm] = rd`.
+    Store {
+        /// Access width.
+        kind: MemKind,
+        /// Value register.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Byte offset.
+        imm: i16,
+    },
+    /// Conditional branch: `if rs1 <cond> rs2 then pc += imm * 4`.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// First compared register.
+        rs1: u8,
+        /// Second compared register.
+        rs2: u8,
+        /// Instruction-count offset (relative to this instruction).
+        imm: i16,
+    },
+    /// Jump and link: `rd = pc + 4; pc += imm * 4`.
+    Jal {
+        /// Link register.
+        rd: u8,
+        /// Instruction-count offset.
+        imm: i16,
+    },
+    /// Jump and link register: `rd = pc + 4; pc = rs1 + imm`.
+    Jalr {
+        /// Link register.
+        rd: u8,
+        /// Target base register.
+        rs1: u8,
+        /// Byte offset.
+        imm: i16,
+    },
+    /// Hypervisor/system call with an immediate code.
+    Ecall {
+        /// Call code.
+        code: u16,
+    },
+    /// Return from trap (privileged).
+    Eret,
+    /// CSR read: `rd = csr[imm]`.
+    CsrRead {
+        /// Destination register.
+        rd: u8,
+        /// CSR index.
+        csr: u16,
+    },
+    /// CSR write: `csr[imm] = rs1` (privileged).
+    CsrWrite {
+        /// Source register.
+        rs1: u8,
+        /// CSR index.
+        csr: u16,
+    },
+    /// Wait for interrupt (yields the core).
+    Wfi,
+}
+
+/// ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (low 32 bits).
+    Mul,
+    /// Signed division (x/0 = -1).
+    Div,
+    /// Remainder (x%0 = x).
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set if less-than (signed).
+    Slt,
+    /// Set if less-than (unsigned).
+    Sltu,
+}
+
+/// Memory access kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemKind {
+    /// 32-bit word.
+    Word,
+    /// Sign-extended halfword.
+    Half,
+    /// Zero-extended halfword.
+    HalfU,
+    /// Sign-extended byte.
+    Byte,
+    /// Zero-extended byte.
+    ByteU,
+}
+
+impl MemKind {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemKind::Word => 4,
+            MemKind::Half | MemKind::HalfU => 2,
+            MemKind::Byte | MemKind::ByteU => 1,
+        }
+    }
+}
+
+/// Branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    LtU,
+    /// Unsigned greater-or-equal.
+    GeU,
+}
+
+// opcode bytes
+const OP_HALT: u8 = 0x00;
+const OP_NOP: u8 = 0x01;
+const OP_ALU: u8 = 0x10; // + AluOp as offset
+const OP_ALUI: u8 = 0x30; // + AluOp as offset
+const OP_LUI: u8 = 0x50;
+const OP_LOAD: u8 = 0x58; // + MemKind
+const OP_STORE: u8 = 0x60; // + MemKind
+const OP_BRANCH: u8 = 0x68; // + cond
+const OP_JAL: u8 = 0x70;
+const OP_JALR: u8 = 0x71;
+const OP_ECALL: u8 = 0x78;
+const OP_ERET: u8 = 0x79;
+const OP_CSRR: u8 = 0x7A;
+const OP_CSRW: u8 = 0x7B;
+const OP_WFI: u8 = 0x7C;
+
+fn alu_code(op: AluOp) -> u8 {
+    op as u8
+}
+
+fn alu_from(code: u8) -> Option<AluOp> {
+    use AluOp::*;
+    [Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Sra, Slt, Sltu]
+        .get(code as usize)
+        .copied()
+}
+
+fn mem_from(code: u8) -> Option<MemKind> {
+    use MemKind::*;
+    [Word, Half, HalfU, Byte, ByteU].get(code as usize).copied()
+}
+
+fn cond_from(code: u8) -> Option<BranchCond> {
+    use BranchCond::*;
+    [Eq, Ne, Lt, Ge, LtU, GeU].get(code as usize).copied()
+}
+
+impl Instr {
+    /// Encode to the 32-bit machine word.
+    pub fn encode(self) -> u32 {
+        let pack = |op: u8, rd: u8, rs1: u8, imm: u16| -> u32 {
+            (u32::from(op) << 24)
+                | (u32::from(rd & 0xF) << 20)
+                | (u32::from(rs1 & 0xF) << 16)
+                | u32::from(imm)
+        };
+        match self {
+            Instr::Halt => pack(OP_HALT, 0, 0, 0),
+            Instr::Nop => pack(OP_NOP, 0, 0, 0),
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                pack(OP_ALU + alu_code(op), rd, rs1, u16::from(rs2 & 0xF) << 12)
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                pack(OP_ALUI + alu_code(op), rd, rs1, imm as u16)
+            }
+            Instr::Lui { rd, imm } => pack(OP_LUI, rd, 0, imm),
+            Instr::Load { kind, rd, rs1, imm } => {
+                pack(OP_LOAD + kind as u8, rd, rs1, imm as u16)
+            }
+            Instr::Store { kind, rd, rs1, imm } => {
+                pack(OP_STORE + kind as u8, rd, rs1, imm as u16)
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                imm,
+            } => {
+                // imm is 12 bits here (|imm| < 2048), packed with rs2
+                let imm12 = (imm as u16) & 0x0FFF;
+                (u32::from(OP_BRANCH + cond as u8) << 24)
+                    | (u32::from(rs2 & 0xF) << 20)
+                    | (u32::from(rs1 & 0xF) << 16)
+                    | (u32::from(imm12) << 4)
+            }
+            Instr::Jal { rd, imm } => pack(OP_JAL, rd, 0, imm as u16),
+            Instr::Jalr { rd, rs1, imm } => pack(OP_JALR, rd, rs1, imm as u16),
+            Instr::Ecall { code } => pack(OP_ECALL, 0, 0, code),
+            Instr::Eret => pack(OP_ERET, 0, 0, 0),
+            Instr::CsrRead { rd, csr } => pack(OP_CSRR, rd, 0, csr),
+            Instr::CsrWrite { rs1, csr } => pack(OP_CSRW, 0, rs1, csr),
+            Instr::Wfi => pack(OP_WFI, 0, 0, 0),
+        }
+    }
+
+    /// Decode a machine word; `None` for illegal encodings.
+    pub fn decode(word: u32) -> Option<Instr> {
+        let op = (word >> 24) as u8;
+        let rd = ((word >> 20) & 0xF) as u8;
+        let rs1 = ((word >> 16) & 0xF) as u8;
+        let imm = (word & 0xFFFF) as u16;
+        let rs2 = ((word >> 12) & 0xF) as u8;
+        match op {
+            OP_HALT => Some(Instr::Halt),
+            OP_NOP => Some(Instr::Nop),
+            o if (OP_ALU..OP_ALU + 13).contains(&o) => Some(Instr::Alu {
+                op: alu_from(o - OP_ALU)?,
+                rd,
+                rs1,
+                rs2,
+            }),
+            o if (OP_ALUI..OP_ALUI + 13).contains(&o) => Some(Instr::AluImm {
+                op: alu_from(o - OP_ALUI)?,
+                rd,
+                rs1,
+                imm: imm as i16,
+            }),
+            OP_LUI => Some(Instr::Lui { rd, imm }),
+            o if (OP_LOAD..OP_LOAD + 5).contains(&o) => Some(Instr::Load {
+                kind: mem_from(o - OP_LOAD)?,
+                rd,
+                rs1,
+                imm: imm as i16,
+            }),
+            o if (OP_STORE..OP_STORE + 5).contains(&o) => Some(Instr::Store {
+                kind: mem_from(o - OP_STORE)?,
+                rd,
+                rs1,
+                imm: imm as i16,
+            }),
+            o if (OP_BRANCH..OP_BRANCH + 6).contains(&o) => {
+                let imm12 = ((word >> 4) & 0x0FFF) as u16;
+                // sign-extend 12 bits
+                let imm = ((imm12 << 4) as i16) >> 4;
+                Some(Instr::Branch {
+                    cond: cond_from(op - OP_BRANCH)?,
+                    rs1,
+                    rs2: rd,
+                    imm,
+                })
+            }
+            OP_JAL => Some(Instr::Jal {
+                rd,
+                imm: imm as i16,
+            }),
+            OP_JALR => Some(Instr::Jalr {
+                rd,
+                rs1,
+                imm: imm as i16,
+            }),
+            OP_ECALL => Some(Instr::Ecall { code: imm }),
+            OP_ERET => Some(Instr::Eret),
+            OP_CSRR => Some(Instr::CsrRead { rd, csr: imm }),
+            OP_CSRW => Some(Instr::CsrWrite { rs1, csr: imm }),
+            OP_WFI => Some(Instr::Wfi),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Halt => write!(f, "halt"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} r{rd}, r{rs1}, r{rs2}", alu_name(*op))
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{}i r{rd}, r{rs1}, {imm}", alu_name(*op))
+            }
+            Instr::Lui { rd, imm } => write!(f, "lui r{rd}, {imm:#x}"),
+            Instr::Load { kind, rd, rs1, imm } => {
+                write!(f, "l{} r{rd}, {imm}(r{rs1})", mem_suffix(*kind))
+            }
+            Instr::Store { kind, rd, rs1, imm } => {
+                write!(f, "s{} r{rd}, {imm}(r{rs1})", mem_suffix(*kind))
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                imm,
+            } => write!(f, "b{} r{rs1}, r{rs2}, {imm}", cond_name(*cond)),
+            Instr::Jal { rd, imm } => write!(f, "jal r{rd}, {imm}"),
+            Instr::Jalr { rd, rs1, imm } => write!(f, "jalr r{rd}, r{rs1}, {imm}"),
+            Instr::Ecall { code } => write!(f, "ecall {code}"),
+            Instr::Eret => write!(f, "eret"),
+            Instr::CsrRead { rd, csr } => write!(f, "csrr r{rd}, {csr}"),
+            Instr::CsrWrite { rs1, csr } => write!(f, "csrw r{rs1}, {csr}"),
+            Instr::Wfi => write!(f, "wfi"),
+        }
+    }
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Rem => "rem",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+        AluOp::Sra => "sra",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+    }
+}
+
+fn mem_suffix(kind: MemKind) -> &'static str {
+    match kind {
+        MemKind::Word => "w",
+        MemKind::Half => "h",
+        MemKind::HalfU => "hu",
+        MemKind::Byte => "b",
+        MemKind::ByteU => "bu",
+    }
+}
+
+fn cond_name(c: BranchCond) -> &'static str {
+    match c {
+        BranchCond::Eq => "eq",
+        BranchCond::Ne => "ne",
+        BranchCond::Lt => "lt",
+        BranchCond::Ge => "ge",
+        BranchCond::LtU => "ltu",
+        BranchCond::GeU => "geu",
+    }
+}
+
+/// Assemble a program. Supports labels (`name:`), comments (`;` or `#`),
+/// decimal/hex immediates, and label operands in branch/jal positions.
+///
+/// # Errors
+///
+/// Returns [`CpuError::Asm`] with the offending line on malformed input.
+pub fn assemble(src: &str) -> Result<Vec<u32>, CpuError> {
+    // first pass: labels
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut cleaned: Vec<(usize, String)> = Vec::new();
+    let mut pc = 0usize;
+    for (ln, raw) in src.lines().enumerate() {
+        let mut line = raw;
+        if let Some(i) = line.find(';') {
+            line = &line[..i];
+        }
+        if let Some(i) = line.find('#') {
+            line = &line[..i];
+        }
+        let mut line = line.trim().to_string();
+        while let Some(colon) = line.find(':') {
+            let label = line[..colon].trim().to_string();
+            if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(CpuError::Asm {
+                    line: ln + 1,
+                    detail: format!("bad label `{label}`"),
+                });
+            }
+            labels.insert(label, pc);
+            line = line[colon + 1..].trim().to_string();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        cleaned.push((ln + 1, line));
+        pc += 1;
+    }
+    // second pass: encode
+    let mut out = Vec::with_capacity(cleaned.len());
+    for (idx, (ln, line)) in cleaned.iter().enumerate() {
+        let instr = parse_line(line, idx, &labels)
+            .map_err(|detail| CpuError::Asm { line: *ln, detail })?;
+        out.push(instr.encode());
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str, pc: usize, labels: &HashMap<String, usize>) -> Result<Instr, String> {
+    let (mn, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+    let mn = mn.to_ascii_lowercase();
+    let args: Vec<String> = rest
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    let reg = |s: &str| -> Result<u8, String> {
+        let s = s.trim();
+        s.strip_prefix('r')
+            .and_then(|n| n.parse::<u8>().ok())
+            .filter(|&n| n < 16)
+            .ok_or_else(|| format!("bad register `{s}`"))
+    };
+    let imm = |s: &str| -> Result<i64, String> {
+        let s = s.trim();
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(b) => (true, b),
+            None => (false, s),
+        };
+        let v = if let Some(hex) = body.strip_prefix("0x") {
+            i64::from_str_radix(hex, 16)
+        } else {
+            body.parse::<i64>()
+        }
+        .map_err(|_| format!("bad immediate `{s}`"))?;
+        Ok(if neg { -v } else { v })
+    };
+    let target = |s: &str| -> Result<i16, String> {
+        if let Some(&t) = labels.get(s.trim()) {
+            Ok(t as i16 - pc as i16)
+        } else {
+            imm(s).map(|v| v as i16)
+        }
+    };
+    // `imm(rN)` addressing for loads/stores
+    let mem_operand = |s: &str| -> Result<(u8, i16), String> {
+        let s = s.trim();
+        if let Some(open) = s.find('(') {
+            let close = s.find(')').ok_or_else(|| format!("missing `)` in `{s}`"))?;
+            let off = if s[..open].trim().is_empty() {
+                0
+            } else {
+                imm(&s[..open])? as i16
+            };
+            Ok((reg(&s[open + 1..close])?, off))
+        } else {
+            Err(format!("expected `imm(rN)`, got `{s}`"))
+        }
+    };
+    let need = |n: usize| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{mn} expects {n} operands, got {}", args.len()))
+        }
+    };
+    let alu_mn = |m: &str| -> Option<AluOp> {
+        Some(match m {
+            "add" => AluOp::Add,
+            "sub" => AluOp::Sub,
+            "mul" => AluOp::Mul,
+            "div" => AluOp::Div,
+            "rem" => AluOp::Rem,
+            "and" => AluOp::And,
+            "or" => AluOp::Or,
+            "xor" => AluOp::Xor,
+            "shl" => AluOp::Shl,
+            "shr" => AluOp::Shr,
+            "sra" => AluOp::Sra,
+            "slt" => AluOp::Slt,
+            "sltu" => AluOp::Sltu,
+            _ => return None,
+        })
+    };
+    match mn.as_str() {
+        "halt" => Ok(Instr::Halt),
+        "nop" => Ok(Instr::Nop),
+        "wfi" => Ok(Instr::Wfi),
+        "eret" => Ok(Instr::Eret),
+        "ecall" => {
+            need(1)?;
+            Ok(Instr::Ecall {
+                code: imm(&args[0])? as u16,
+            })
+        }
+        "lui" => {
+            need(2)?;
+            Ok(Instr::Lui {
+                rd: reg(&args[0])?,
+                imm: imm(&args[1])? as u16,
+            })
+        }
+        "csrr" => {
+            need(2)?;
+            Ok(Instr::CsrRead {
+                rd: reg(&args[0])?,
+                csr: imm(&args[1])? as u16,
+            })
+        }
+        "csrw" => {
+            need(2)?;
+            Ok(Instr::CsrWrite {
+                rs1: reg(&args[0])?,
+                csr: imm(&args[1])? as u16,
+            })
+        }
+        "jal" => {
+            need(2)?;
+            Ok(Instr::Jal {
+                rd: reg(&args[0])?,
+                imm: target(&args[1])?,
+            })
+        }
+        "jalr" => {
+            need(3)?;
+            Ok(Instr::Jalr {
+                rd: reg(&args[0])?,
+                rs1: reg(&args[1])?,
+                imm: imm(&args[2])? as i16,
+            })
+        }
+        "lw" | "lh" | "lhu" | "lb" | "lbu" => {
+            need(2)?;
+            let kind = match mn.as_str() {
+                "lw" => MemKind::Word,
+                "lh" => MemKind::Half,
+                "lhu" => MemKind::HalfU,
+                "lb" => MemKind::Byte,
+                _ => MemKind::ByteU,
+            };
+            let (rs1, off) = mem_operand(&args[1])?;
+            Ok(Instr::Load {
+                kind,
+                rd: reg(&args[0])?,
+                rs1,
+                imm: off,
+            })
+        }
+        "sw" | "sh" | "sb" => {
+            need(2)?;
+            let kind = match mn.as_str() {
+                "sw" => MemKind::Word,
+                "sh" => MemKind::Half,
+                _ => MemKind::Byte,
+            };
+            let (rs1, off) = mem_operand(&args[1])?;
+            Ok(Instr::Store {
+                kind,
+                rd: reg(&args[0])?,
+                rs1,
+                imm: off,
+            })
+        }
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            need(3)?;
+            let cond = match mn.as_str() {
+                "beq" => BranchCond::Eq,
+                "bne" => BranchCond::Ne,
+                "blt" => BranchCond::Lt,
+                "bge" => BranchCond::Ge,
+                "bltu" => BranchCond::LtU,
+                _ => BranchCond::GeU,
+            };
+            Ok(Instr::Branch {
+                cond,
+                rs1: reg(&args[0])?,
+                rs2: reg(&args[1])?,
+                imm: target(&args[2])?,
+            })
+        }
+        m => {
+            if let Some(op) = m.strip_suffix('i').and_then(alu_mn) {
+                need(3)?;
+                return Ok(Instr::AluImm {
+                    op,
+                    rd: reg(&args[0])?,
+                    rs1: reg(&args[1])?,
+                    imm: imm(&args[2])? as i16,
+                });
+            }
+            if let Some(op) = alu_mn(m) {
+                need(3)?;
+                return Ok(Instr::Alu {
+                    op,
+                    rd: reg(&args[0])?,
+                    rs1: reg(&args[1])?,
+                    rs2: reg(&args[2])?,
+                });
+            }
+            Err(format!("unknown mnemonic `{m}`"))
+        }
+    }
+}
+
+/// Disassemble a word, or render `.word` for illegal encodings.
+pub fn disassemble(word: u32) -> String {
+    match Instr::decode(word) {
+        Some(i) => i.to_string(),
+        None => format!(".word {word:#010x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let instrs = vec![
+            Instr::Halt,
+            Instr::Nop,
+            Instr::Alu {
+                op: AluOp::Mul,
+                rd: 3,
+                rs1: 4,
+                rs2: 5,
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 2,
+                imm: -42,
+            },
+            Instr::Lui { rd: 7, imm: 0xABCD },
+            Instr::Load {
+                kind: MemKind::HalfU,
+                rd: 2,
+                rs1: 9,
+                imm: 16,
+            },
+            Instr::Store {
+                kind: MemKind::Byte,
+                rd: 2,
+                rs1: 9,
+                imm: -1,
+            },
+            Instr::Branch {
+                cond: BranchCond::LtU,
+                rs1: 1,
+                rs2: 2,
+                imm: -100,
+            },
+            Instr::Jal { rd: 14, imm: 50 },
+            Instr::Jalr {
+                rd: 0,
+                rs1: 14,
+                imm: 0,
+            },
+            Instr::Ecall { code: 0x42 },
+            Instr::Eret,
+            Instr::CsrRead { rd: 5, csr: 3 },
+            Instr::CsrWrite { rs1: 5, csr: 3 },
+            Instr::Wfi,
+        ];
+        for i in instrs {
+            assert_eq!(Instr::decode(i.encode()), Some(i), "roundtrip {i}");
+        }
+    }
+
+    #[test]
+    fn assembler_basics() {
+        let prog = assemble(
+            "start:\n  addi r1, r0, 5\n  add r2, r1, r1 ; double\n  bne r2, r0, start\n  halt\n",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 4);
+        assert_eq!(
+            Instr::decode(prog[0]),
+            Some(Instr::AluImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 0,
+                imm: 5
+            })
+        );
+        // branch back to start: offset -2
+        assert_eq!(
+            Instr::decode(prog[2]),
+            Some(Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: 2,
+                rs2: 0,
+                imm: -2
+            })
+        );
+    }
+
+    #[test]
+    fn memory_operands() {
+        let prog = assemble("lw r1, 8(r2)\nsw r1, (r3)\nlbu r4, -4(r5)").unwrap();
+        assert_eq!(
+            Instr::decode(prog[0]),
+            Some(Instr::Load {
+                kind: MemKind::Word,
+                rd: 1,
+                rs1: 2,
+                imm: 8
+            })
+        );
+        assert_eq!(
+            Instr::decode(prog[1]),
+            Some(Instr::Store {
+                kind: MemKind::Word,
+                rd: 1,
+                rs1: 3,
+                imm: 0
+            })
+        );
+        assert_eq!(
+            Instr::decode(prog[2]),
+            Some(Instr::Load {
+                kind: MemKind::ByteU,
+                rd: 4,
+                rs1: 5,
+                imm: -4
+            })
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        match assemble("nop\nbogus r1, r2\n") {
+            Err(CpuError::Asm { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected asm error, got {other:?}"),
+        }
+        assert!(assemble("add r1, r99, r2").is_err());
+        assert!(assemble("lw r1, r2").is_err());
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("lui r1, 0x1234\naddi r2, r0, -100").unwrap();
+        assert_eq!(
+            Instr::decode(p[0]),
+            Some(Instr::Lui { rd: 1, imm: 0x1234 })
+        );
+        assert_eq!(
+            Instr::decode(p[1]),
+            Some(Instr::AluImm {
+                op: AluOp::Add,
+                rd: 2,
+                rs1: 0,
+                imm: -100
+            })
+        );
+    }
+
+    #[test]
+    fn disassembly_is_readable() {
+        let p = assemble("mul r3, r4, r5").unwrap();
+        assert_eq!(disassemble(p[0]), "mul r3, r4, r5");
+        assert!(disassemble(0xFF00_0000).starts_with(".word"));
+    }
+}

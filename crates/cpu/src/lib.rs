@@ -1,0 +1,92 @@
+//! # hermes-cpu
+//!
+//! Instruction-level simulator of the NG-ULTRA processing subsystem: a
+//! quad-core real-time processor cluster modelled after the ARM Cortex-R52
+//! (four cores at 600 MHz, per-core tightly-coupled memories, a memory
+//! protection unit with two privilege levels, and precise exception
+//! handling). The real R52 ISA is proprietary; this crate implements a
+//! compact RISC ISA with the same *architectural features the HERMES
+//! software stack depends on* — privileged/unprivileged execution, MPU
+//! enforcement, traps, and a hypervisor-call instruction — which is what
+//! the XtratuM-NG analogue (`hermes-xng`) and the boot chain
+//! (`hermes-boot`) build on.
+//!
+//! ## Example
+//!
+//! ```
+//! use hermes_cpu::isa::assemble;
+//! use hermes_cpu::cluster::Cluster;
+//!
+//! # fn main() -> Result<(), hermes_cpu::CpuError> {
+//! let program = assemble(r#"
+//!     addi r1, r0, 10      ; n = 10
+//!     addi r2, r0, 0       ; sum = 0
+//! loop:
+//!     add  r2, r2, r1
+//!     addi r1, r1, -1
+//!     bne  r1, r0, loop
+//!     halt
+//! "#)?;
+//! let mut cluster = Cluster::new();
+//! cluster.load_program(0, 0x1000, &program)?;
+//! cluster.start_core(0, 0x1000);
+//! cluster.run(1000)?;
+//! assert_eq!(cluster.core(0).reg(2), 55);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cluster;
+pub mod hart;
+pub mod isa;
+pub mod memmap;
+pub mod mpu;
+
+use std::fmt;
+
+/// Reference clock of the cluster, matching the paper's 600 MHz figure.
+pub const CORE_CLOCK_HZ: u64 = 600_000_000;
+
+/// Errors produced by the CPU model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuError {
+    /// Assembly-language parse failure.
+    Asm {
+        /// 1-based source line.
+        line: usize,
+        /// Detail message.
+        detail: String,
+    },
+    /// Memory access outside any mapped region.
+    Unmapped {
+        /// Offending address.
+        addr: u32,
+    },
+    /// Invalid core index.
+    NoSuchCore {
+        /// The requested core.
+        core: usize,
+    },
+    /// Program load would overflow the target region.
+    LoadOverflow {
+        /// Base address of the attempted load.
+        addr: u32,
+        /// Bytes attempted.
+        bytes: usize,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::Asm { line, detail } => write!(f, "assembly error at line {line}: {detail}"),
+            CpuError::Unmapped { addr } => write!(f, "unmapped address {addr:#010x}"),
+            CpuError::NoSuchCore { core } => write!(f, "no such core {core}"),
+            CpuError::LoadOverflow { addr, bytes } => {
+                write!(f, "program load of {bytes} bytes at {addr:#010x} overflows region")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}

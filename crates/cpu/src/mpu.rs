@@ -1,0 +1,191 @@
+//! Memory protection unit.
+//!
+//! A per-core region-based MPU in the R52 style: a fixed number of regions,
+//! each with a base/limit pair and read/write/execute permissions per
+//! privilege level. The hypervisor (privileged software) programs the MPU
+//! before dispatching a partition; any access outside the partition's
+//! regions traps — this is the *spatial* half of time-and-space
+//! partitioning.
+
+/// Access kinds checked by the MPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+/// Privilege levels (the hypervisor runs privileged; partitions do not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Privilege {
+    /// Hypervisor / boot software (bypasses the MPU).
+    #[default]
+    Privileged,
+    /// Partition (guest) code.
+    User,
+}
+
+/// One MPU region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpuRegion {
+    /// First byte covered.
+    pub base: u32,
+    /// Size in bytes.
+    pub size: u32,
+    /// Allow unprivileged reads.
+    pub user_read: bool,
+    /// Allow unprivileged writes.
+    pub user_write: bool,
+    /// Allow unprivileged instruction fetch.
+    pub user_exec: bool,
+}
+
+impl MpuRegion {
+    /// A read/write/execute region (convenience).
+    pub fn rwx(base: u32, size: u32) -> Self {
+        MpuRegion {
+            base,
+            size,
+            user_read: true,
+            user_write: true,
+            user_exec: true,
+        }
+    }
+
+    /// A read-only data region.
+    pub fn ro(base: u32, size: u32) -> Self {
+        MpuRegion {
+            base,
+            size,
+            user_read: true,
+            user_write: false,
+            user_exec: false,
+        }
+    }
+
+    fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && (addr - self.base) < self.size
+    }
+
+    fn permits(&self, access: Access) -> bool {
+        match access {
+            Access::Read => self.user_read,
+            Access::Write => self.user_write,
+            Access::Execute => self.user_exec,
+        }
+    }
+}
+
+/// Maximum programmable regions (matches the R52's 16+8 EL1/EL2 split,
+/// simplified to one bank).
+pub const MAX_REGIONS: usize = 16;
+
+/// The per-core MPU.
+#[derive(Debug, Clone, Default)]
+pub struct Mpu {
+    regions: Vec<MpuRegion>,
+    /// Whether the MPU enforces unprivileged accesses (disabled at reset,
+    /// enabled by the hypervisor).
+    pub enabled: bool,
+}
+
+impl Mpu {
+    /// An MPU with no regions, disabled.
+    pub fn new() -> Self {
+        Mpu::default()
+    }
+
+    /// Replace the programmed regions (privileged operation; the caller —
+    /// the hypervisor model — is trusted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_REGIONS`] regions are supplied.
+    pub fn program(&mut self, regions: &[MpuRegion]) {
+        assert!(
+            regions.len() <= MAX_REGIONS,
+            "MPU supports at most {MAX_REGIONS} regions"
+        );
+        self.regions = regions.to_vec();
+    }
+
+    /// Clear all regions and disable enforcement.
+    pub fn reset(&mut self) {
+        self.regions.clear();
+        self.enabled = false;
+    }
+
+    /// Currently programmed regions.
+    pub fn regions(&self) -> &[MpuRegion] {
+        &self.regions
+    }
+
+    /// Check an access; `true` = allowed.
+    ///
+    /// Privileged accesses always pass; with the MPU disabled everything
+    /// passes (boot-time behaviour).
+    pub fn check(&self, privilege: Privilege, access: Access, addr: u32, size: u32) -> bool {
+        if privilege == Privilege::Privileged || !self.enabled {
+            return true;
+        }
+        let last = addr.saturating_add(size.saturating_sub(1));
+        self.regions
+            .iter()
+            .any(|r| r.contains(addr) && r.contains(last) && r.permits(access))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_mpu_allows_everything() {
+        let mpu = Mpu::new();
+        assert!(mpu.check(Privilege::User, Access::Write, 0x1234, 4));
+    }
+
+    #[test]
+    fn privileged_bypasses() {
+        let mut mpu = Mpu::new();
+        mpu.enabled = true;
+        assert!(mpu.check(Privilege::Privileged, Access::Write, 0xFFFF_0000, 4));
+        assert!(!mpu.check(Privilege::User, Access::Read, 0xFFFF_0000, 4));
+    }
+
+    #[test]
+    fn region_permissions_enforced() {
+        let mut mpu = Mpu::new();
+        mpu.enabled = true;
+        mpu.program(&[
+            MpuRegion::rwx(0x1000, 0x1000),
+            MpuRegion::ro(0x8000, 0x100),
+        ]);
+        assert!(mpu.check(Privilege::User, Access::Write, 0x1800, 4));
+        assert!(mpu.check(Privilege::User, Access::Execute, 0x1000, 4));
+        assert!(mpu.check(Privilege::User, Access::Read, 0x8010, 4));
+        assert!(!mpu.check(Privilege::User, Access::Write, 0x8010, 4));
+        assert!(!mpu.check(Privilege::User, Access::Read, 0x9000, 4));
+    }
+
+    #[test]
+    fn straddling_access_rejected() {
+        let mut mpu = Mpu::new();
+        mpu.enabled = true;
+        mpu.program(&[MpuRegion::rwx(0x1000, 0x10)]);
+        // 4-byte access whose last byte falls outside the region
+        assert!(!mpu.check(Privilege::User, Access::Read, 0x100E, 4));
+        assert!(mpu.check(Privilege::User, Access::Read, 0x100C, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_regions_panics() {
+        let mut mpu = Mpu::new();
+        let regions = vec![MpuRegion::rwx(0, 16); MAX_REGIONS + 1];
+        mpu.program(&regions);
+    }
+}

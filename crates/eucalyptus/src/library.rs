@@ -1,0 +1,428 @@
+//! The characterization library and its XML serialization.
+//!
+//! Entries are keyed by `(kind mnemonic, input width, pipeline stages)`.
+//! Lookups fall back to the nearest characterized width at or above the
+//! requested one, matching how an HLS tool consumes a sparse library.
+
+use crate::CharError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Characterized cost of one component specialization.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CharEntry {
+    /// Combinational delay through the component, ns (for `stages == 0`
+    /// this is the full path; for pipelined variants, the per-stage path).
+    pub delay_ns: f64,
+    /// Cycles of latency (`stages` for pipelined units, 0 for pure
+    /// combinational unless multi-cycling is required by the clock).
+    pub latency_cycles: u32,
+    /// LUT4s consumed.
+    pub luts: u64,
+    /// Flip-flops consumed.
+    pub ffs: u64,
+    /// DSP blocks consumed.
+    pub dsps: u64,
+    /// Block RAMs consumed.
+    pub rams: u64,
+}
+
+impl CharEntry {
+    /// Cycles needed to execute this component under a clock period,
+    /// respecting pipelining: a pipelined unit takes `latency_cycles`, a
+    /// combinational one takes `ceil(delay / period)` (minimum 1).
+    pub fn cycles_at(&self, clock_period_ns: f64) -> u32 {
+        if self.latency_cycles > 0 {
+            self.latency_cycles
+        } else {
+            (self.delay_ns / clock_period_ns).ceil().max(1.0) as u32
+        }
+    }
+
+    /// Whether the component can chain with others in a single cycle under
+    /// the given clock (its delay uses at most `fraction` of the period).
+    pub fn chainable_at(&self, clock_period_ns: f64, fraction: f64) -> bool {
+        self.latency_cycles == 0 && self.delay_ns <= clock_period_ns * fraction
+    }
+}
+
+/// Key identifying a characterized specialization.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CharKey {
+    /// Component mnemonic (e.g. `add`, `mul`, `cmplts`).
+    pub kind: String,
+    /// Input width in bits.
+    pub width: u32,
+    /// Pipeline stages.
+    pub stages: u32,
+}
+
+/// A library of characterized components for one device.
+#[derive(Debug, Clone, Default)]
+pub struct CharacterizationLibrary {
+    /// Device the library was characterized against.
+    pub device_name: String,
+    entries: BTreeMap<CharKey, CharEntry>,
+}
+
+impl CharacterizationLibrary {
+    /// Create an empty library for a device.
+    pub fn new(device_name: impl Into<String>) -> Self {
+        CharacterizationLibrary {
+            device_name: device_name.into(),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Insert or replace an entry.
+    pub fn insert(&mut self, kind: &str, width: u32, stages: u32, entry: CharEntry) {
+        self.entries.insert(
+            CharKey {
+                kind: kind.to_string(),
+                width,
+                stages,
+            },
+            entry,
+        );
+    }
+
+    /// Exact-match lookup.
+    pub fn lookup(&self, kind: &str, width: u32, stages: u32) -> Option<&CharEntry> {
+        self.entries.get(&CharKey {
+            kind: kind.to_string(),
+            width,
+            stages,
+        })
+    }
+
+    /// Lookup with fallback to the nearest characterized width that can
+    /// implement the requested one (smallest width >= requested; if none,
+    /// the widest available). Stage count must match exactly.
+    pub fn lookup_nearest(&self, kind: &str, width: u32, stages: u32) -> Option<&CharEntry> {
+        if let Some(e) = self.lookup(kind, width, stages) {
+            return Some(e);
+        }
+        let mut best_above: Option<(&CharKey, &CharEntry)> = None;
+        let mut widest: Option<(&CharKey, &CharEntry)> = None;
+        for (k, e) in &self.entries {
+            if k.kind != kind || k.stages != stages {
+                continue;
+            }
+            if k.width >= width {
+                if best_above.map(|(bk, _)| k.width < bk.width).unwrap_or(true) {
+                    best_above = Some((k, e));
+                }
+            }
+            if widest.map(|(wk, _)| k.width > wk.width).unwrap_or(true) {
+                widest = Some((k, e));
+            }
+        }
+        best_above.or(widest).map(|(_, e)| e)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the library has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CharKey, &CharEntry)> {
+        self.entries.iter()
+    }
+
+    /// Serialize to the Bambu-style XML library format.
+    pub fn to_xml(&self) -> String {
+        let mut s = String::new();
+        s.push_str("<?xml version=\"1.0\"?>\n");
+        s.push_str(&format!(
+            "<library device=\"{}\">\n",
+            xml_escape(&self.device_name)
+        ));
+        for (k, e) in &self.entries {
+            s.push_str(&format!(
+                "  <component kind=\"{}\" width=\"{}\" stages=\"{}\" delay_ns=\"{:.4}\" \
+                 latency=\"{}\" luts=\"{}\" ffs=\"{}\" dsps=\"{}\" rams=\"{}\"/>\n",
+                xml_escape(&k.kind),
+                k.width,
+                k.stages,
+                e.delay_ns,
+                e.latency_cycles,
+                e.luts,
+                e.ffs,
+                e.dsps,
+                e.rams
+            ));
+        }
+        s.push_str("</library>\n");
+        s
+    }
+
+    /// Write the library to an XML file (the on-disk artifact "collected …
+    /// as XML files in the Bambu library").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CharError::Parse`] wrapping I/O problems (line 0).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), CharError> {
+        std::fs::write(path, self.to_xml()).map_err(|e| CharError::Parse {
+            line: 0,
+            detail: format!("write failed: {e}"),
+        })
+    }
+
+    /// Load a library from an XML file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CharError::Parse`] for I/O or format problems.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, CharError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CharError::Parse {
+            line: 0,
+            detail: format!("read failed: {e}"),
+        })?;
+        Self::from_xml(&text)
+    }
+
+    /// Parse the XML library format written by [`Self::to_xml`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CharError::Parse`] with the offending line on malformed
+    /// input.
+    pub fn from_xml(text: &str) -> Result<Self, CharError> {
+        let mut lib = CharacterizationLibrary::default();
+        let mut seen_library = false;
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = ln + 1;
+            if line.starts_with("<?xml") || line.is_empty() || line == "</library>" {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("<library") {
+                seen_library = true;
+                if let Some(dev) = attr(rest, "device") {
+                    lib.device_name = xml_unescape(&dev);
+                }
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("<component") {
+                if !seen_library {
+                    return Err(CharError::Parse {
+                        line: lineno,
+                        detail: "component before <library>".into(),
+                    });
+                }
+                let get = |name: &str| -> Result<String, CharError> {
+                    attr(rest, name).ok_or_else(|| CharError::Parse {
+                        line: lineno,
+                        detail: format!("missing attribute `{name}`"),
+                    })
+                };
+                let pf = |v: String| -> Result<f64, CharError> {
+                    v.parse().map_err(|_| CharError::Parse {
+                        line: lineno,
+                        detail: format!("bad number `{v}`"),
+                    })
+                };
+                let pu = |v: String| -> Result<u64, CharError> {
+                    v.parse().map_err(|_| CharError::Parse {
+                        line: lineno,
+                        detail: format!("bad integer `{v}`"),
+                    })
+                };
+                let kind = xml_unescape(&get("kind")?);
+                let width = pu(get("width")?)? as u32;
+                let stages = pu(get("stages")?)? as u32;
+                let entry = CharEntry {
+                    delay_ns: pf(get("delay_ns")?)?,
+                    latency_cycles: pu(get("latency")?)? as u32,
+                    luts: pu(get("luts")?)?,
+                    ffs: pu(get("ffs")?)?,
+                    dsps: pu(get("dsps")?)?,
+                    rams: pu(get("rams")?)?,
+                };
+                lib.insert(&kind, width, stages, entry);
+                continue;
+            }
+            return Err(CharError::Parse {
+                line: lineno,
+                detail: format!("unrecognized line `{line}`"),
+            });
+        }
+        if !seen_library {
+            return Err(CharError::Parse {
+                line: 0,
+                detail: "no <library> element".into(),
+            });
+        }
+        Ok(lib)
+    }
+}
+
+impl fmt::Display for CharacterizationLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "characterization library for {} ({} entries)",
+            self.device_name,
+            self.len()
+        )
+    }
+}
+
+fn attr(text: &str, name: &str) -> Option<String> {
+    let pat = format!("{name}=\"");
+    let start = text.find(&pat)? + pat.len();
+    let end = text[start..].find('"')? + start;
+    Some(text[start..end].to_string())
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn xml_unescape(s: &str) -> String {
+    s.replace("&quot;", "\"")
+        .replace("&gt;", ">")
+        .replace("&lt;", "<")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CharacterizationLibrary {
+        let mut lib = CharacterizationLibrary::new("NG-MEDIUM-like");
+        lib.insert(
+            "add",
+            16,
+            0,
+            CharEntry {
+                delay_ns: 1.2,
+                latency_cycles: 0,
+                luts: 48,
+                ffs: 0,
+                dsps: 0,
+                rams: 0,
+            },
+        );
+        lib.insert(
+            "add",
+            32,
+            0,
+            CharEntry {
+                delay_ns: 2.1,
+                latency_cycles: 0,
+                luts: 96,
+                ffs: 0,
+                dsps: 0,
+                rams: 0,
+            },
+        );
+        lib.insert(
+            "mul",
+            32,
+            2,
+            CharEntry {
+                delay_ns: 1.1,
+                latency_cycles: 2,
+                luts: 64,
+                ffs: 64,
+                dsps: 4,
+                rams: 0,
+            },
+        );
+        lib
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let lib = sample();
+        assert!(lib.lookup("add", 16, 0).is_some());
+        assert!(lib.lookup("add", 16, 1).is_none());
+        assert!(lib.lookup("sub", 16, 0).is_none());
+    }
+
+    #[test]
+    fn nearest_lookup_prefers_width_above() {
+        let lib = sample();
+        let e = lib.lookup_nearest("add", 20, 0).unwrap();
+        assert_eq!(e.luts, 96, "20-bit request served by 32-bit entry");
+        let e = lib.lookup_nearest("add", 64, 0).unwrap();
+        assert_eq!(e.luts, 96, "wider than library falls back to widest");
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let lib = sample();
+        let xml = lib.to_xml();
+        let back = CharacterizationLibrary::from_xml(&xml).unwrap();
+        assert_eq!(back.len(), lib.len());
+        assert_eq!(back.device_name, lib.device_name);
+        let (a, b) = (
+            lib.lookup("mul", 32, 2).unwrap(),
+            back.lookup("mul", 32, 2).unwrap(),
+        );
+        assert!((a.delay_ns - b.delay_ns).abs() < 1e-3);
+        assert_eq!(a.dsps, b.dsps);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "<library device=\"x\">\n<component kind=\"add\"/>\n</library>";
+        match CharacterizationLibrary::from_xml(bad) {
+            Err(CharError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(CharacterizationLibrary::from_xml("<garbage/>").is_err());
+        assert!(CharacterizationLibrary::from_xml("").is_err());
+    }
+
+    #[test]
+    fn cycles_at_clock() {
+        let comb = CharEntry {
+            delay_ns: 4.5,
+            latency_cycles: 0,
+            ..CharEntry::default()
+        };
+        assert_eq!(comb.cycles_at(10.0), 1);
+        assert_eq!(comb.cycles_at(2.0), 3);
+        let piped = CharEntry {
+            delay_ns: 1.0,
+            latency_cycles: 3,
+            ..CharEntry::default()
+        };
+        assert_eq!(piped.cycles_at(10.0), 3);
+        assert!(comb.chainable_at(10.0, 0.5));
+        assert!(!comb.chainable_at(10.0, 0.4));
+        assert!(!piped.chainable_at(10.0, 0.9));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let lib = sample();
+        let path = std::env::temp_dir().join("hermes_euc_lib_test.xml");
+        lib.save(&path).unwrap();
+        let back = CharacterizationLibrary::load(&path).unwrap();
+        assert_eq!(back.len(), lib.len());
+        std::fs::remove_file(&path).ok();
+        assert!(CharacterizationLibrary::load("/nonexistent/nope.xml").is_err());
+    }
+
+    #[test]
+    fn xml_escaping() {
+        let mut lib = CharacterizationLibrary::new("dev \"quoted\" <x>");
+        lib.insert("add", 8, 0, CharEntry::default());
+        let back = CharacterizationLibrary::from_xml(&lib.to_xml()).unwrap();
+        assert_eq!(back.device_name, "dev \"quoted\" <x>");
+    }
+}

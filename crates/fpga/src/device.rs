@@ -1,0 +1,323 @@
+//! Parametric FPGA device model.
+//!
+//! A [`DeviceProfile`] describes a rad-hard NanoXplore-style fabric: a grid
+//! of logic tiles (each holding a cluster of LUT4 + FF pairs), dedicated DSP
+//! and block-RAM columns, and a 28 nm FD-SOI timing model. Two built-in
+//! profiles are provided: [`DeviceProfile::ng_ultra_like`] matching the
+//! paper's headline numbers and the smaller
+//! [`DeviceProfile::ng_medium_like`] used to keep tests and benches fast.
+
+use std::fmt;
+
+/// Timing parameters of the fabric, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// LUT4 propagation delay.
+    pub lut_delay_ns: f64,
+    /// Incremental delay of one carry-chain position.
+    pub carry_delay_ns: f64,
+    /// Flip-flop clock-to-Q delay.
+    pub ff_clk_to_q_ns: f64,
+    /// Flip-flop setup time.
+    pub ff_setup_ns: f64,
+    /// DSP block combinational delay (unpipelined multiply).
+    pub dsp_delay_ns: f64,
+    /// Block-RAM clock-to-out delay.
+    pub ram_clk_to_out_ns: f64,
+    /// Block-RAM address setup.
+    pub ram_setup_ns: f64,
+    /// Base net delay (fanout-1, adjacent tiles).
+    pub net_base_ns: f64,
+    /// Incremental net delay per tile of Manhattan distance.
+    pub net_per_tile_ns: f64,
+    /// Incremental net delay per unit of fanout above 1.
+    pub net_per_fanout_ns: f64,
+}
+
+impl TimingModel {
+    /// 28 nm FD-SOI model tuned so a simple 32-bit datapath closes near the
+    /// quad-core subsystem's 600 MHz reference clock region (paper, §I).
+    pub fn fdsoi_28nm() -> Self {
+        TimingModel {
+            lut_delay_ns: 0.28,
+            carry_delay_ns: 0.045,
+            ff_clk_to_q_ns: 0.14,
+            ff_setup_ns: 0.09,
+            dsp_delay_ns: 2.1,
+            ram_clk_to_out_ns: 1.4,
+            ram_setup_ns: 0.35,
+            net_base_ns: 0.18,
+            net_per_tile_ns: 0.022,
+            net_per_fanout_ns: 0.03,
+        }
+    }
+
+    /// A previous-generation 65 nm rad-hard model: roughly half the speed of
+    /// [`TimingModel::fdsoi_28nm`]. Used for the "twice as fast as current
+    /// rad-hard FPGAs" comparison the paper claims.
+    pub fn radhard_65nm() -> Self {
+        let f = TimingModel::fdsoi_28nm();
+        TimingModel {
+            lut_delay_ns: f.lut_delay_ns * 2.0,
+            carry_delay_ns: f.carry_delay_ns * 2.0,
+            ff_clk_to_q_ns: f.ff_clk_to_q_ns * 2.0,
+            ff_setup_ns: f.ff_setup_ns * 2.0,
+            dsp_delay_ns: f.dsp_delay_ns * 2.0,
+            ram_clk_to_out_ns: f.ram_clk_to_out_ns * 2.0,
+            ram_setup_ns: f.ram_setup_ns * 2.0,
+            net_base_ns: f.net_base_ns * 2.0,
+            net_per_tile_ns: f.net_per_tile_ns * 2.0,
+            net_per_fanout_ns: f.net_per_fanout_ns * 2.0,
+        }
+    }
+}
+
+/// Power parameters of the fabric (relative units, used for the 4× power
+/// comparison in the paper's introduction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Static power per occupied LUT, µW.
+    pub lut_static_uw: f64,
+    /// Dynamic energy per LUT toggle at 100 MHz, µW.
+    pub lut_dynamic_uw_per_100mhz: f64,
+    /// Static power per DSP, µW.
+    pub dsp_static_uw: f64,
+    /// Static power per RAMB, µW.
+    pub ram_static_uw: f64,
+}
+
+impl PowerModel {
+    /// 28 nm FD-SOI power model.
+    pub fn fdsoi_28nm() -> Self {
+        PowerModel {
+            lut_static_uw: 0.9,
+            lut_dynamic_uw_per_100mhz: 2.4,
+            dsp_static_uw: 35.0,
+            ram_static_uw: 60.0,
+        }
+    }
+
+    /// Previous-generation model: 4× the power of 28 nm FD-SOI.
+    pub fn radhard_65nm() -> Self {
+        let f = PowerModel::fdsoi_28nm();
+        PowerModel {
+            lut_static_uw: f.lut_static_uw * 4.0,
+            lut_dynamic_uw_per_100mhz: f.lut_dynamic_uw_per_100mhz * 4.0,
+            dsp_static_uw: f.dsp_static_uw * 4.0,
+            ram_static_uw: f.ram_static_uw * 4.0,
+        }
+    }
+}
+
+/// A rad-hard FPGA device description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Marketing / part name.
+    pub name: String,
+    /// Tile grid width (columns).
+    pub grid_cols: u32,
+    /// Tile grid height (rows).
+    pub grid_rows: u32,
+    /// LUT4 + FF pairs per logic tile.
+    pub luts_per_tile: u32,
+    /// Columns (x coordinates) occupied by DSP sites instead of logic.
+    pub dsp_columns: Vec<u32>,
+    /// DSP sites per DSP column.
+    pub dsps_per_column: u32,
+    /// Multiplier operand width of one DSP block.
+    pub dsp_width: u32,
+    /// Columns occupied by block-RAM sites.
+    pub ram_columns: Vec<u32>,
+    /// RAM sites per RAM column.
+    pub rams_per_column: u32,
+    /// Capacity of one block RAM in bits.
+    pub ram_bits: u32,
+    /// Maximum data width of one block-RAM port.
+    pub ram_port_width: u32,
+    /// Timing model.
+    pub timing: TimingModel,
+    /// Power model.
+    pub power: PowerModel,
+    /// Whether configuration memory is TMR-hardened (affects the SEU model
+    /// in `hermes-rad`, reported here as a device property).
+    pub config_tmr: bool,
+}
+
+impl DeviceProfile {
+    /// A profile matching the published NG-ULTRA headline numbers:
+    /// ~550k LUTs in 28 nm FD-SOI with hardened configuration memory.
+    pub fn ng_ultra_like() -> Self {
+        // 280 logic columns x 246 rows x 8 LUTs = 551,040 LUTs
+        // (plus 28 DSP and 14 RAM columns -> 322 columns total)
+        DeviceProfile {
+            name: "NG-ULTRA-like".into(),
+            grid_cols: 322,
+            grid_rows: 246,
+            luts_per_tile: 8,
+            dsp_columns: (0..28).map(|i| 10 * i + 5).collect(),
+            dsps_per_column: 60,
+            dsp_width: 24,
+            ram_columns: (0..14).map(|i| 20 * i + 12).collect(),
+            rams_per_column: 48,
+            ram_bits: 49_152, // 48 kbit true dual-port
+            ram_port_width: 64,
+            timing: TimingModel::fdsoi_28nm(),
+            power: PowerModel::fdsoi_28nm(),
+            config_tmr: true,
+        }
+    }
+
+    /// A smaller sibling (~32k LUTs), analogous to NG-MEDIUM, convenient for
+    /// fast tests and characterization sweeps.
+    pub fn ng_medium_like() -> Self {
+        DeviceProfile {
+            name: "NG-MEDIUM-like".into(),
+            grid_cols: 64,
+            grid_rows: 64,
+            luts_per_tile: 8,
+            dsp_columns: vec![15, 31, 47],
+            dsps_per_column: 28,
+            dsp_width: 24,
+            ram_columns: vec![7, 39],
+            rams_per_column: 28,
+            ram_bits: 49_152,
+            ram_port_width: 64,
+            timing: TimingModel::fdsoi_28nm(),
+            power: PowerModel::fdsoi_28nm(),
+            config_tmr: true,
+        }
+    }
+
+    /// A previous-generation 65 nm rad-hard baseline device with the same
+    /// logic capacity as [`DeviceProfile::ng_medium_like`] but the slower,
+    /// hungrier process. Used in E2/E3 ablations of the paper's
+    /// "2× faster, 4× lower power" claim.
+    pub fn legacy_radhard_like() -> Self {
+        DeviceProfile {
+            name: "Legacy-65nm-like".into(),
+            timing: TimingModel::radhard_65nm(),
+            power: PowerModel::radhard_65nm(),
+            config_tmr: false,
+            ..DeviceProfile::ng_medium_like()
+        }
+    }
+
+    /// Total LUT4 capacity.
+    pub fn total_luts(&self) -> u64 {
+        let logic_cols = self.grid_cols as u64
+            - self.dsp_columns.len() as u64
+            - self.ram_columns.len() as u64;
+        logic_cols * self.grid_rows as u64 * self.luts_per_tile as u64
+    }
+
+    /// Total flip-flop capacity (one per LUT site).
+    pub fn total_ffs(&self) -> u64 {
+        self.total_luts()
+    }
+
+    /// Total DSP block count.
+    pub fn total_dsps(&self) -> u64 {
+        self.dsp_columns.len() as u64 * self.dsps_per_column as u64
+    }
+
+    /// Total block-RAM count.
+    pub fn total_rams(&self) -> u64 {
+        self.ram_columns.len() as u64 * self.rams_per_column as u64
+    }
+
+    /// Whether column `x` is a DSP column.
+    pub fn is_dsp_column(&self, x: u32) -> bool {
+        self.dsp_columns.contains(&x)
+    }
+
+    /// Whether column `x` is a RAM column.
+    pub fn is_ram_column(&self, x: u32) -> bool {
+        self.ram_columns.contains(&x)
+    }
+
+    /// Number of block RAMs needed for a `depth x width` true dual-port
+    /// memory.
+    pub fn rams_for(&self, depth: u32, width: u32) -> u32 {
+        let width_slices = width.div_ceil(self.ram_port_width);
+        let depth_per_ram = self.ram_bits / self.ram_port_width.min(width.max(1));
+        let depth_slices = depth.div_ceil(depth_per_ram.max(1));
+        width_slices * depth_slices
+    }
+
+    /// Number of DSP blocks needed for a `width x width` multiplier.
+    pub fn dsps_for_multiplier(&self, width: u32) -> u32 {
+        let per_dim = width.div_ceil(self.dsp_width);
+        per_dim * per_dim
+    }
+}
+
+impl fmt::Display for DeviceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} LUTs, {} DSPs, {} RAMBs)",
+            self.name,
+            self.total_luts(),
+            self.total_dsps(),
+            self.total_rams()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ng_ultra_matches_headline_capacity() {
+        let d = DeviceProfile::ng_ultra_like();
+        let luts = d.total_luts();
+        assert!(
+            (500_000..600_000).contains(&luts),
+            "NG-ULTRA-like should be ~550k LUTs, got {luts}"
+        );
+        assert!(d.config_tmr);
+    }
+
+    #[test]
+    fn medium_is_much_smaller() {
+        let m = DeviceProfile::ng_medium_like();
+        assert!(m.total_luts() < DeviceProfile::ng_ultra_like().total_luts() / 10);
+        assert!(m.total_dsps() > 0);
+        assert!(m.total_rams() > 0);
+    }
+
+    #[test]
+    fn legacy_is_slower_and_hungrier() {
+        let m = DeviceProfile::ng_medium_like();
+        let l = DeviceProfile::legacy_radhard_like();
+        assert!(l.timing.lut_delay_ns > 1.9 * m.timing.lut_delay_ns);
+        assert!(l.power.lut_static_uw > 3.9 * m.power.lut_static_uw);
+    }
+
+    #[test]
+    fn ram_sizing() {
+        let d = DeviceProfile::ng_medium_like();
+        // 1024 x 32 fits in one 48kbit RAM (32768 bits)
+        assert_eq!(d.rams_for(1024, 32), 1);
+        // 4096 x 32 = 128kbit needs several
+        assert!(d.rams_for(4096, 32) >= 3);
+        // wide port forces width slicing
+        assert!(d.rams_for(16, 128) >= 2);
+    }
+
+    #[test]
+    fn dsp_sizing() {
+        let d = DeviceProfile::ng_medium_like();
+        assert_eq!(d.dsps_for_multiplier(16), 1);
+        assert_eq!(d.dsps_for_multiplier(24), 1);
+        assert_eq!(d.dsps_for_multiplier(32), 4);
+        assert_eq!(d.dsps_for_multiplier(48), 4);
+    }
+
+    #[test]
+    fn display_mentions_capacity() {
+        let s = DeviceProfile::ng_medium_like().to_string();
+        assert!(s.contains("LUTs"));
+    }
+}

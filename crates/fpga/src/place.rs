@@ -1,0 +1,468 @@
+//! Simulated-annealing placement.
+//!
+//! Assigns every primitive cell to a fabric site: logic primitives (LUTs,
+//! carries, flip-flops) to logic tiles, DSP blocks to DSP columns, block
+//! RAMs to RAM columns, and I/O pads to the device perimeter. The annealer
+//! minimizes total half-perimeter wirelength (HPWL), the classic placement
+//! objective; the result drives routing estimation and timing analysis.
+
+use crate::device::DeviceProfile;
+use crate::primitives::{PCellId, PNetId, PrimNetlist, Primitive};
+use crate::FpgaError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A placed design: one `(x, y)` site per primitive cell.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Site of each cell, indexed by [`PCellId`].
+    pub locations: Vec<(u16, u16)>,
+    /// Final total half-perimeter wirelength, in tile units.
+    pub hpwl: f64,
+    /// HPWL of the initial (pre-annealing) placement, for reporting.
+    pub initial_hpwl: f64,
+    /// Annealing moves attempted.
+    pub moves_tried: u64,
+    /// Annealing moves accepted.
+    pub moves_accepted: u64,
+}
+
+impl Placement {
+    /// Site of a cell.
+    pub fn site(&self, cell: PCellId) -> (u16, u16) {
+        self.locations[cell.0 as usize]
+    }
+
+    /// Manhattan distance between two cells, in tiles.
+    pub fn distance(&self, a: PCellId, b: PCellId) -> u32 {
+        let (ax, ay) = self.site(a);
+        let (bx, by) = self.site(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
+    }
+}
+
+/// Annealing effort level, trading runtime for quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Effort {
+    /// Initial placement only (fastest, for smoke tests).
+    Zero,
+    /// Short anneal.
+    Low,
+    /// Balanced anneal (default).
+    #[default]
+    Medium,
+    /// Long anneal for quality-critical runs.
+    High,
+}
+
+impl Effort {
+    fn moves_per_cell(self) -> u64 {
+        match self {
+            Effort::Zero => 0,
+            Effort::Low => 8,
+            Effort::Medium => 32,
+            Effort::High => 128,
+        }
+    }
+}
+
+/// The placement engine.
+#[derive(Debug, Clone)]
+pub struct Placer {
+    device: DeviceProfile,
+    effort: Effort,
+    seed: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SiteClass {
+    Logic,
+    Dsp,
+    Ram,
+    Io,
+}
+
+impl Placer {
+    /// Create a placer for a device with a deterministic seed.
+    pub fn new(device: DeviceProfile, effort: Effort, seed: u64) -> Self {
+        Placer {
+            device,
+            effort,
+            seed,
+        }
+    }
+
+    /// Place the primitive netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::ResourceOverflow`] if any site class runs out of
+    /// candidate locations.
+    pub fn place(&self, prim: &PrimNetlist) -> Result<Placement, FpgaError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let classes: Vec<SiteClass> = prim
+            .cells()
+            .map(|(_, c)| match c.prim {
+                Primitive::Dsp { .. } => SiteClass::Dsp,
+                Primitive::Ramb { .. } => SiteClass::Ram,
+                Primitive::IoPad { .. } => SiteClass::Io,
+                _ => SiteClass::Logic,
+            })
+            .collect();
+
+        let logic_sites = self.logic_sites();
+        let dsp_sites = self.dsp_sites();
+        let ram_sites = self.ram_sites();
+        let io_sites = self.io_sites();
+
+        // Greedy initial placement: round-robin cells into sites of their
+        // class, clustering cells from the same source coarse cell.
+        let mut locations = vec![(0u16, 0u16); prim.cell_count()];
+        let mut counters = [0usize; 4];
+        // each logic tile packs luts_per_tile LUT sites + as many FF sites
+        let logic_cap = (self.device.luts_per_tile as usize * 2).max(1);
+        let mut site_of = |class: SiteClass| -> Result<(u16, u16), FpgaError> {
+            let (sites, idx, cap, name): (&[(u16, u16)], &mut usize, usize, &str) = match class {
+                SiteClass::Logic => (&logic_sites, &mut counters[0], logic_cap, "logic site"),
+                SiteClass::Dsp => (&dsp_sites, &mut counters[1], 1, "DSP site"),
+                SiteClass::Ram => (&ram_sites, &mut counters[2], 1, "RAM site"),
+                SiteClass::Io => (&io_sites, &mut counters[3], 1, "IO site"),
+            };
+            if *idx / cap >= sites.len() {
+                return Err(FpgaError::ResourceOverflow {
+                    resource: name.into(),
+                    required: (*idx / cap + 1) as u64,
+                    available: sites.len() as u64,
+                });
+            }
+            let s = sites[*idx / cap];
+            *idx += 1;
+            Ok(s)
+        };
+        for (cid, _) in prim.cells() {
+            locations[cid.0 as usize] = site_of(classes[cid.0 as usize])?;
+        }
+
+        // Build net -> pins map for HPWL.
+        let mut net_pins: HashMap<PNetId, Vec<PCellId>> = HashMap::new();
+        for (cid, c) in prim.cells() {
+            for &n in c.inputs.iter().chain(c.outputs.iter()) {
+                net_pins.entry(n).or_default().push(cid);
+            }
+        }
+        let nets: Vec<(PNetId, Vec<PCellId>)> = net_pins
+            .into_iter()
+            .filter(|(_, pins)| pins.len() > 1)
+            .collect();
+        // cell -> nets containing it
+        let mut cell_nets: Vec<Vec<usize>> = vec![Vec::new(); prim.cell_count()];
+        for (i, (_, pins)) in nets.iter().enumerate() {
+            for &p in pins {
+                cell_nets[p.0 as usize].push(i);
+            }
+        }
+
+        let net_hpwl = |locations: &[(u16, u16)], pins: &[PCellId]| -> f64 {
+            let mut min_x = u16::MAX;
+            let mut max_x = 0;
+            let mut min_y = u16::MAX;
+            let mut max_y = 0;
+            for &p in pins {
+                let (x, y) = locations[p.0 as usize];
+                min_x = min_x.min(x);
+                max_x = max_x.max(x);
+                min_y = min_y.min(y);
+                max_y = max_y.max(y);
+            }
+            f64::from(max_x - min_x) + f64::from(max_y - min_y)
+        };
+        let total = |locations: &[(u16, u16)]| -> f64 {
+            nets.iter().map(|(_, p)| net_hpwl(locations, p)).collect::<Vec<_>>().iter().sum()
+        };
+
+        let initial_hpwl = total(&locations);
+        let mut cost = initial_hpwl;
+
+        // Movable cells: logic class only (DSP/RAM/IO stay at legal sites;
+        // swapping within class would also be legal but matters little for
+        // HPWL at these design sizes).
+        let movable: Vec<u32> = (0..prim.cell_count() as u32)
+            .filter(|&i| classes[i as usize] == SiteClass::Logic)
+            .collect();
+
+        let mut moves_tried = 0u64;
+        let mut moves_accepted = 0u64;
+        if !movable.is_empty() && !logic_sites.is_empty() && self.effort != Effort::Zero {
+            let total_moves = self.effort.moves_per_cell() * movable.len() as u64;
+            let temp0 = (cost / nets.len().max(1) as f64).max(1.0) * 2.0;
+            let mut temp = temp0;
+            let cooling = 0.92f64;
+            let moves_per_temp = (movable.len() as u64 * 4).max(64);
+            let mut done = 0u64;
+            let max_dim = self.device.grid_cols.max(self.device.grid_rows) as f64;
+            let mut best_cost = cost;
+            let mut best_locations = locations.clone();
+            while done < total_moves {
+                // Move window shrinks with temperature (VPR-style range limit).
+                let win = ((max_dim * (temp / temp0).min(1.0)) as i32).max(2);
+                for _ in 0..moves_per_temp.min(total_moves - done) {
+                    moves_tried += 1;
+                    let cell = movable[rng.gen_range(0..movable.len())];
+                    let old_site = locations[cell as usize];
+                    let new_site = self.windowed_site(&mut rng, old_site, win, &logic_sites);
+                    if new_site == old_site {
+                        continue;
+                    }
+                    // delta over affected nets
+                    let affected = &cell_nets[cell as usize];
+                    let before: f64 = affected
+                        .iter()
+                        .map(|&i| net_hpwl(&locations, &nets[i].1))
+                        .sum();
+                    locations[cell as usize] = new_site;
+                    let after: f64 = affected
+                        .iter()
+                        .map(|&i| net_hpwl(&locations, &nets[i].1))
+                        .sum();
+                    let delta = after - before;
+                    let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
+                    if accept {
+                        cost += delta;
+                        moves_accepted += 1;
+                    } else {
+                        locations[cell as usize] = old_site;
+                    }
+                }
+                done += moves_per_temp;
+                temp *= cooling;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_locations.copy_from_slice(&locations);
+                }
+                if temp < 0.01 {
+                    break;
+                }
+            }
+            if best_cost < cost {
+                locations.copy_from_slice(&best_locations);
+            }
+            // note: capacity is relaxed during annealing (multiple logic
+            // cells may share a tile up to luts_per_tile); a final
+            // legalization pass redistributes overfull tiles.
+            self.legalize(&mut locations, &classes, &logic_sites);
+            cost = total(&locations);
+        }
+
+        Ok(Placement {
+            locations,
+            hpwl: cost,
+            initial_hpwl,
+            moves_tried,
+            moves_accepted,
+        })
+    }
+
+    /// Pick a legal logic site within `win` tiles of `from` (falling back to
+    /// a uniformly random logic site when the window holds none).
+    fn windowed_site(
+        &self,
+        rng: &mut StdRng,
+        from: (u16, u16),
+        win: i32,
+        logic_sites: &[(u16, u16)],
+    ) -> (u16, u16) {
+        let cols = self.device.grid_cols as i32;
+        let rows = self.device.grid_rows as i32;
+        for _ in 0..8 {
+            let x = (i32::from(from.0) + rng.gen_range(-win..=win)).clamp(1, cols - 2);
+            let y = (i32::from(from.1) + rng.gen_range(-win..=win)).clamp(1, rows - 2);
+            if !self.device.is_dsp_column(x as u32) && !self.device.is_ram_column(x as u32) {
+                return (x as u16, y as u16);
+            }
+        }
+        logic_sites[rng.gen_range(0..logic_sites.len())]
+    }
+
+    /// Spread logic cells so no tile exceeds its LUT capacity.
+    fn legalize(
+        &self,
+        locations: &mut [(u16, u16)],
+        classes: &[SiteClass],
+        logic_sites: &[(u16, u16)],
+    ) {
+        let cap = self.device.luts_per_tile as usize * 2; // LUT + FF sites
+        let mut occupancy: HashMap<(u16, u16), usize> = HashMap::new();
+        for (i, &loc) in locations.iter().enumerate() {
+            if classes[i] == SiteClass::Logic {
+                *occupancy.entry(loc).or_default() += 1;
+            }
+        }
+        let mut free: Vec<(u16, u16)> = logic_sites
+            .iter()
+            .filter(|s| occupancy.get(s).copied().unwrap_or(0) < cap)
+            .copied()
+            .collect();
+        for i in 0..locations.len() {
+            if classes[i] != SiteClass::Logic {
+                continue;
+            }
+            let loc = locations[i];
+            let occ = occupancy.get_mut(&loc).expect("tracked");
+            if *occ > cap {
+                *occ -= 1;
+                // move to nearest free tile
+                if let Some((best_idx, _)) = free
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.0.abs_diff(loc.0) as u32 + s.1.abs_diff(loc.1) as u32)
+                {
+                    let target = free[best_idx];
+                    locations[i] = target;
+                    let t = occupancy.entry(target).or_default();
+                    *t += 1;
+                    if *t >= cap {
+                        free.swap_remove(best_idx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn logic_sites(&self) -> Vec<(u16, u16)> {
+        let mut v = Vec::new();
+        for x in 1..self.device.grid_cols.saturating_sub(1) {
+            if self.device.is_dsp_column(x) || self.device.is_ram_column(x) {
+                continue;
+            }
+            for y in 1..self.device.grid_rows.saturating_sub(1) {
+                v.push((x as u16, y as u16));
+            }
+        }
+        v
+    }
+
+    fn dsp_sites(&self) -> Vec<(u16, u16)> {
+        let mut v = Vec::new();
+        for &x in &self.device.dsp_columns {
+            let step = (self.device.grid_rows / self.device.dsps_per_column.max(1)).max(1);
+            for i in 0..self.device.dsps_per_column {
+                let y = (i * step).min(self.device.grid_rows - 1);
+                v.push((x as u16, y as u16));
+            }
+        }
+        v
+    }
+
+    fn ram_sites(&self) -> Vec<(u16, u16)> {
+        let mut v = Vec::new();
+        for &x in &self.device.ram_columns {
+            let step = (self.device.grid_rows / self.device.rams_per_column.max(1)).max(1);
+            for i in 0..self.device.rams_per_column {
+                let y = (i * step).min(self.device.grid_rows - 1);
+                v.push((x as u16, y as u16));
+            }
+        }
+        v
+    }
+
+    fn io_sites(&self) -> Vec<(u16, u16)> {
+        let mut v = Vec::new();
+        let (w, h) = (self.device.grid_cols as u16, self.device.grid_rows as u16);
+        for x in 0..w {
+            v.push((x, 0));
+            v.push((x, h - 1));
+        }
+        for y in 1..h - 1 {
+            v.push((0, y));
+            v.push((w - 1, y));
+        }
+        // each perimeter tile hosts several pads
+        let mut all = Vec::with_capacity(v.len() * 4);
+        for _ in 0..4 {
+            all.extend_from_slice(&v);
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::Synthesizer;
+    use hermes_rtl::netlist::{CellOp, Netlist};
+
+    fn sample_prim() -> PrimNetlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 16);
+        let b = nl.add_input("b", 16);
+        let p = nl.add_net("p", 16);
+        let y = nl.add_net("y", 16);
+        nl.add_cell("mul", CellOp::Mul, &[a, b], &[p]).unwrap();
+        nl.add_cell("add", CellOp::Add, &[p, a], &[y]).unwrap();
+        nl.mark_output(y);
+        Synthesizer::new(DeviceProfile::ng_medium_like())
+            .synthesize(&nl)
+            .unwrap()
+            .prim
+    }
+
+    #[test]
+    fn placement_assigns_all_cells() {
+        let prim = sample_prim();
+        let p = Placer::new(DeviceProfile::ng_medium_like(), Effort::Low, 42)
+            .place(&prim)
+            .unwrap();
+        assert_eq!(p.locations.len(), prim.cell_count());
+    }
+
+    #[test]
+    fn annealing_improves_or_matches_hpwl() {
+        let prim = sample_prim();
+        let p = Placer::new(DeviceProfile::ng_medium_like(), Effort::Medium, 7)
+            .place(&prim)
+            .unwrap();
+        assert!(
+            p.hpwl <= p.initial_hpwl * 1.05,
+            "anneal should not badly regress: {} -> {}",
+            p.initial_hpwl,
+            p.hpwl
+        );
+        assert!(p.moves_accepted > 0);
+    }
+
+    #[test]
+    fn dsp_cells_land_on_dsp_columns() {
+        let prim = sample_prim();
+        let dev = DeviceProfile::ng_medium_like();
+        let p = Placer::new(dev.clone(), Effort::Zero, 1).place(&prim).unwrap();
+        for (cid, c) in prim.cells() {
+            if matches!(c.prim, Primitive::Dsp { .. }) {
+                let (x, _) = p.site(cid);
+                assert!(dev.is_dsp_column(u32::from(x)), "DSP at col {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let prim = sample_prim();
+        let dev = DeviceProfile::ng_medium_like();
+        let p1 = Placer::new(dev.clone(), Effort::Low, 99).place(&prim).unwrap();
+        let p2 = Placer::new(dev, Effort::Low, 99).place(&prim).unwrap();
+        assert_eq!(p1.locations, p2.locations);
+        assert_eq!(p1.hpwl, p2.hpwl);
+    }
+
+    #[test]
+    fn overflow_on_tiny_device() {
+        let prim = sample_prim();
+        let mut tiny = DeviceProfile::ng_medium_like();
+        tiny.grid_cols = 4;
+        tiny.grid_rows = 4;
+        tiny.dsp_columns = vec![];
+        tiny.ram_columns = vec![];
+        let err = Placer::new(tiny, Effort::Zero, 1).place(&prim).unwrap_err();
+        assert!(matches!(err, FpgaError::ResourceOverflow { .. }));
+    }
+}

@@ -1,0 +1,875 @@
+//! Logic synthesis: technology mapping of coarse netlists to fabric
+//! primitives.
+//!
+//! Every word-level cell is expanded into the primitives a NanoXplore-style
+//! fabric provides, with real per-bit connectivity so that placement and
+//! timing operate on an honest graph:
+//!
+//! * add/sub/compare → hard carry chains (one [`Primitive::Carry`] per bit),
+//! * bitwise logic and muxes → LUT4s,
+//! * variable shifts → log-depth barrel-shifter stages of mux LUTs,
+//! * multiply → DSP blocks (tiled when wider than the DSP operand width),
+//! * divide/modulo → an unrolled restoring-divider array,
+//! * registers → DFFs, memories → block RAMs sized by the device model.
+
+use crate::device::DeviceProfile;
+use crate::primitives::{truth, PNetId, PrimNetlist, Primitive, Utilization};
+use crate::FpgaError;
+use hermes_rtl::component::Comparison;
+use hermes_rtl::netlist::{CellOp, Netlist, NetId};
+use std::collections::HashMap;
+
+/// Outcome of technology mapping.
+#[derive(Debug, Clone)]
+pub struct SynthResult {
+    /// The mapped primitive netlist.
+    pub prim: PrimNetlist,
+    /// Synthesis report.
+    pub report: SynthReport,
+}
+
+/// Per-design synthesis metrics (the "synthesis" row of an NXmap-style
+/// flow report).
+#[derive(Debug, Clone, Default)]
+pub struct SynthReport {
+    /// Resource totals after mapping.
+    pub utilization: Utilization,
+    /// Coarse cells mapped.
+    pub coarse_cells: usize,
+    /// Primitive cells emitted.
+    pub prim_cells: usize,
+    /// Per-coarse-cell primitive counts, for the hierarchy report.
+    pub per_cell: Vec<(String, usize)>,
+}
+
+/// Technology mapper for a given device.
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    device: DeviceProfile,
+}
+
+struct MapCtx {
+    prim: PrimNetlist,
+    bits: HashMap<NetId, Vec<PNetId>>,
+    zero: Option<PNetId>,
+    one: Option<PNetId>,
+}
+
+impl MapCtx {
+    fn bit(&self, net: NetId, i: usize) -> PNetId {
+        self.bits[&net][i]
+    }
+
+    fn const_bit(&mut self, value: bool) -> PNetId {
+        let cached = if value { self.one } else { self.zero };
+        if let Some(n) = cached {
+            return n;
+        }
+        let n = self.prim.new_named_net(if value { "const1" } else { "const0" });
+        self.prim.add(
+            format!("const_{}", u8::from(value)),
+            Primitive::Lut4 {
+                truth: if value { 0xFFFF } else { 0x0000 },
+                used_inputs: 0,
+            },
+            vec![],
+            vec![n],
+            "<const>",
+        );
+        if value {
+            self.one = Some(n);
+        } else {
+            self.zero = Some(n);
+        }
+        n
+    }
+
+    fn lut(
+        &mut self,
+        name: String,
+        truth: u16,
+        used: u8,
+        inputs: Vec<PNetId>,
+        source: &str,
+    ) -> PNetId {
+        let out = self.prim.new_net();
+        self.prim.add(
+            name,
+            Primitive::Lut4 {
+                truth,
+                used_inputs: used,
+            },
+            inputs,
+            vec![out],
+            source,
+        );
+        out
+    }
+
+    /// Carry element: inputs `[a, b, cin]`, outputs `[sum, cout]`.
+    fn carry(&mut self, name: String, a: PNetId, b: PNetId, cin: PNetId, source: &str) -> (PNetId, PNetId) {
+        let sum = self.prim.new_net();
+        let cout = self.prim.new_net();
+        self.prim
+            .add(name, Primitive::Carry, vec![a, b, cin], vec![sum, cout], source);
+        (sum, cout)
+    }
+
+    /// Ripple add of two bit vectors; returns (sum bits, carry out).
+    fn ripple_add(
+        &mut self,
+        name: &str,
+        a: &[PNetId],
+        b: &[PNetId],
+        cin: PNetId,
+        source: &str,
+    ) -> (Vec<PNetId>, PNetId) {
+        let mut carry = cin;
+        let mut sums = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let (s, c) = self.carry(format!("{name}_c{i}"), a[i], b[i], carry, source);
+            sums.push(s);
+            carry = c;
+        }
+        (sums, carry)
+    }
+
+    fn invert_all(&mut self, name: &str, bits: &[PNetId], source: &str) -> Vec<PNetId> {
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| self.lut(format!("{name}_n{i}"), truth::NOT1, 1, vec![b], source))
+            .collect()
+    }
+
+    /// OR-reduce a set of bits with a balanced LUT tree.
+    fn or_reduce(&mut self, name: &str, bits: &[PNetId], source: &str) -> PNetId {
+        assert!(!bits.is_empty());
+        let mut layer: Vec<PNetId> = bits.to_vec();
+        let mut depth = 0;
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for (i, pair) in layer.chunks(2).enumerate() {
+                if pair.len() == 2 {
+                    next.push(self.lut(
+                        format!("{name}_or{depth}_{i}"),
+                        truth::OR2,
+                        2,
+                        vec![pair[0], pair[1]],
+                        source,
+                    ));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+            depth += 1;
+        }
+        layer[0]
+    }
+
+    /// Unsigned `a >= b` via a borrow chain; returns the carry-out of
+    /// `a + !b + 1`.
+    fn geu(&mut self, name: &str, a: &[PNetId], b: &[PNetId], source: &str) -> PNetId {
+        let nb = self.invert_all(&format!("{name}_nb"), b, source);
+        let one = self.const_bit(true);
+        let (_, cout) = self.ripple_add(&format!("{name}_sub"), a, &nb, one, source);
+        cout
+    }
+}
+
+impl Synthesizer {
+    /// Create a mapper targeting `device`.
+    pub fn new(device: DeviceProfile) -> Self {
+        Synthesizer { device }
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// Map a validated coarse netlist to primitives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::Netlist`] for structural problems in the input
+    /// and [`FpgaError::ResourceOverflow`] if the mapped design exceeds the
+    /// device capacity.
+    pub fn synthesize(&self, netlist: &Netlist) -> Result<SynthResult, FpgaError> {
+        netlist.validate()?;
+        let mut ctx = MapCtx {
+            prim: PrimNetlist::new(netlist.name()),
+            bits: HashMap::new(),
+            zero: None,
+            one: None,
+        };
+
+        // Pre-allocate per-bit nets for every coarse net.
+        for (nid, net) in netlist.nets() {
+            let bits = (0..net.width)
+                .map(|i| ctx.prim.new_named_net(format!("{}[{}]", net.name, i)))
+                .collect();
+            ctx.bits.insert(nid, bits);
+        }
+
+        // I/O pads.
+        for &inp in netlist.inputs() {
+            let w = netlist.net(inp).width;
+            for i in 0..w as usize {
+                let b = ctx.bit(inp, i);
+                ctx.prim.add(
+                    format!("{}_pad{}", netlist.net(inp).name, i),
+                    Primitive::IoPad { is_input: true },
+                    vec![],
+                    vec![b],
+                    "<io>",
+                );
+            }
+        }
+        for &out in netlist.outputs() {
+            let w = netlist.net(out).width;
+            for i in 0..w as usize {
+                let b = ctx.bit(out, i);
+                ctx.prim.add(
+                    format!("{}_pad{}", netlist.net(out).name, i),
+                    Primitive::IoPad { is_input: false },
+                    vec![b],
+                    vec![],
+                    "<io>",
+                );
+            }
+        }
+
+        let mut per_cell = Vec::new();
+        for (_, cell) in netlist.cells() {
+            let before = ctx.prim.cell_count();
+            self.map_cell(&mut ctx, netlist, cell)?;
+            per_cell.push((cell.name.clone(), ctx.prim.cell_count() - before));
+        }
+
+        let utilization = ctx.prim.utilization();
+        self.check_capacity(&utilization)?;
+        let report = SynthReport {
+            utilization,
+            coarse_cells: netlist.cell_count(),
+            prim_cells: ctx.prim.cell_count(),
+            per_cell,
+        };
+        Ok(SynthResult {
+            prim: ctx.prim,
+            report,
+        })
+    }
+
+    fn check_capacity(&self, u: &Utilization) -> Result<(), FpgaError> {
+        let checks = [
+            ("LUT4", u.luts, self.device.total_luts()),
+            ("DFF", u.ffs, self.device.total_ffs()),
+            ("DSP", u.dsps, self.device.total_dsps()),
+            ("RAMB", u.rams, self.device.total_rams()),
+        ];
+        for (name, req, avail) in checks {
+            if req > avail {
+                return Err(FpgaError::ResourceOverflow {
+                    resource: name.into(),
+                    required: req,
+                    available: avail,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn map_cell(
+        &self,
+        ctx: &mut MapCtx,
+        netlist: &Netlist,
+        cell: &hermes_rtl::netlist::Cell,
+    ) -> Result<(), FpgaError> {
+        let name = cell.name.clone();
+        let in_bits: Vec<Vec<PNetId>> = cell
+            .inputs
+            .iter()
+            .map(|&n| ctx.bits[&n].clone())
+            .collect();
+        let out_w = cell
+            .outputs
+            .first()
+            .map(|&n| netlist.net(n).width as usize)
+            .unwrap_or(0);
+
+        // Helper: alias computed bits onto the pre-allocated output bit nets
+        // with buffer LUTs (keeps pre-allocation simple and uniform; buffers
+        // model the fabric's output muxing and are counted as LUTs, which
+        // slightly over-approximates area — acceptable and conservative).
+        let drive_out = |ctx: &mut MapCtx, outs: &[PNetId], computed: &[PNetId], src: &str| {
+            for (i, (&o, &c)) in outs.iter().zip(computed.iter()).enumerate() {
+                ctx.prim.add(
+                    format!("{src}_buf{i}"),
+                    Primitive::Lut4 {
+                        truth: truth::BUF1,
+                        used_inputs: 1,
+                    },
+                    vec![c],
+                    vec![o],
+                    src,
+                );
+            }
+        };
+
+        match &cell.op {
+            CellOp::Add | CellOp::Sub => {
+                let a = &in_bits[0];
+                let b0 = &in_bits[1];
+                let (b, cin) = if matches!(cell.op, CellOp::Sub) {
+                    let nb = ctx.invert_all(&format!("{name}_nb"), b0, &name);
+                    (nb, ctx.const_bit(true))
+                } else {
+                    (b0.clone(), ctx.const_bit(false))
+                };
+                let n = a.len().min(b.len()).min(out_w);
+                let (sums, _) = ctx.ripple_add(&name, &a[..n], &b[..n], cin, &name);
+                let outs = ctx.bits[&cell.outputs[0]].clone();
+                drive_out(ctx, &outs[..n], &sums, &name);
+            }
+            CellOp::And | CellOp::Or | CellOp::Xor => {
+                let tt = match cell.op {
+                    CellOp::And => truth::AND2,
+                    CellOp::Or => truth::OR2,
+                    _ => truth::XOR2,
+                };
+                let outs = ctx.bits[&cell.outputs[0]].clone();
+                for i in 0..out_w.min(in_bits[0].len()).min(in_bits[1].len()) {
+                    let (a, b) = (in_bits[0][i], in_bits[1][i]);
+                    ctx.prim.add(
+                        format!("{name}_l{i}"),
+                        Primitive::Lut4 {
+                            truth: tt,
+                            used_inputs: 2,
+                        },
+                        vec![a, b],
+                        vec![outs[i]],
+                        &name,
+                    );
+                }
+            }
+            CellOp::Not => {
+                let outs = ctx.bits[&cell.outputs[0]].clone();
+                for i in 0..out_w.min(in_bits[0].len()) {
+                    let a = in_bits[0][i];
+                    ctx.prim.add(
+                        format!("{name}_l{i}"),
+                        Primitive::Lut4 {
+                            truth: truth::NOT1,
+                            used_inputs: 1,
+                        },
+                        vec![a],
+                        vec![outs[i]],
+                        &name,
+                    );
+                }
+            }
+            CellOp::Mux => {
+                let sel = in_bits[0][0];
+                let outs = ctx.bits[&cell.outputs[0]].clone();
+                for i in 0..out_w {
+                    let a = in_bits[1].get(i).copied().unwrap_or_else(|| ctx.const_bit(false));
+                    let b = in_bits[2].get(i).copied().unwrap_or_else(|| ctx.const_bit(false));
+                    ctx.prim.add(
+                        format!("{name}_m{i}"),
+                        Primitive::Lut4 {
+                            truth: truth::MUX21,
+                            used_inputs: 3,
+                        },
+                        vec![a, b, sel],
+                        vec![outs[i]],
+                        &name,
+                    );
+                }
+            }
+            CellOp::Cmp(c) => {
+                let (a, b) = (in_bits[0].clone(), in_bits[1].clone());
+                let result = match c {
+                    Comparison::Eq | Comparison::Ne => {
+                        let diffs: Vec<PNetId> = (0..a.len())
+                            .map(|i| {
+                                ctx.lut(
+                                    format!("{name}_x{i}"),
+                                    truth::XOR2,
+                                    2,
+                                    vec![a[i], b[i]],
+                                    &name,
+                                )
+                            })
+                            .collect();
+                        let any = ctx.or_reduce(&name, &diffs, &name);
+                        if matches!(c, Comparison::Eq) {
+                            ctx.lut(format!("{name}_inv"), truth::NOT1, 1, vec![any], &name)
+                        } else {
+                            any
+                        }
+                    }
+                    Comparison::GeU | Comparison::LtU => {
+                        let ge = ctx.geu(&name, &a, &b, &name);
+                        if matches!(c, Comparison::GeU) {
+                            ge
+                        } else {
+                            ctx.lut(format!("{name}_inv"), truth::NOT1, 1, vec![ge], &name)
+                        }
+                    }
+                    Comparison::GeS | Comparison::LtS => {
+                        // Bias trick: flip both MSBs, then compare unsigned.
+                        let mut ab = a.clone();
+                        let mut bb = b.clone();
+                        let msb = a.len() - 1;
+                        ab[msb] =
+                            ctx.lut(format!("{name}_fa"), truth::NOT1, 1, vec![a[msb]], &name);
+                        bb[msb] =
+                            ctx.lut(format!("{name}_fb"), truth::NOT1, 1, vec![b[msb]], &name);
+                        let ge = ctx.geu(&name, &ab, &bb, &name);
+                        if matches!(c, Comparison::GeS) {
+                            ge
+                        } else {
+                            ctx.lut(format!("{name}_inv"), truth::NOT1, 1, vec![ge], &name)
+                        }
+                    }
+                };
+                let outs = ctx.bits[&cell.outputs[0]].clone();
+                drive_out(ctx, &outs[..1], &[result], &name);
+            }
+            CellOp::Shl | CellOp::ShrL | CellOp::ShrA => {
+                let a = in_bits[0].clone();
+                let sh = in_bits[1].clone();
+                let w = a.len();
+                let stages = (usize::BITS - (w.max(2) - 1).leading_zeros()) as usize;
+                let fill = match cell.op {
+                    CellOp::ShrA => a[w - 1],
+                    _ => ctx.const_bit(false),
+                };
+                let mut cur = a;
+                for s in 0..stages {
+                    let amount = 1usize << s;
+                    let sel = sh.get(s).copied().unwrap_or_else(|| ctx.const_bit(false));
+                    let mut next = Vec::with_capacity(w);
+                    for i in 0..w {
+                        let shifted = match cell.op {
+                            CellOp::Shl => {
+                                if i >= amount {
+                                    cur[i - amount]
+                                } else {
+                                    fill
+                                }
+                            }
+                            _ => {
+                                if i + amount < w {
+                                    cur[i + amount]
+                                } else {
+                                    fill
+                                }
+                            }
+                        };
+                        next.push(ctx.lut(
+                            format!("{name}_s{s}_{i}"),
+                            truth::MUX21,
+                            3,
+                            vec![cur[i], shifted, sel],
+                            &name,
+                        ));
+                    }
+                    cur = next;
+                }
+                let outs = ctx.bits[&cell.outputs[0]].clone();
+                let n = out_w.min(cur.len());
+                drive_out(ctx, &outs[..n], &cur[..n], &name);
+            }
+            CellOp::Mul => {
+                let w = in_bits[0].len() as u32;
+                let dsps = self.device.dsps_for_multiplier(w);
+                let outs = ctx.bits[&cell.outputs[0]].clone();
+                if dsps == 1 {
+                    let inputs: Vec<PNetId> = in_bits[0]
+                        .iter()
+                        .chain(in_bits[1].iter())
+                        .copied()
+                        .collect();
+                    ctx.prim.add(
+                        format!("{name}_dsp"),
+                        Primitive::Dsp {
+                            width: w as u8,
+                            pipelined: false,
+                        },
+                        inputs,
+                        outs,
+                        &name,
+                    );
+                } else {
+                    // Tile into dsp_width x dsp_width partial products and
+                    // combine with carry-chain adders.
+                    let dw = self.device.dsp_width as usize;
+                    let n = (w as usize).div_ceil(dw);
+                    let mut partials: Vec<Vec<PNetId>> = Vec::new();
+                    for ia in 0..n {
+                        for ib in 0..n {
+                            let a_sl: Vec<PNetId> = in_bits[0]
+                                [ia * dw..((ia + 1) * dw).min(w as usize)]
+                                .to_vec();
+                            let b_sl: Vec<PNetId> = in_bits[1]
+                                [ib * dw..((ib + 1) * dw).min(w as usize)]
+                                .to_vec();
+                            let p: Vec<PNetId> =
+                                (0..out_w).map(|_| ctx.prim.new_net()).collect();
+                            let inputs: Vec<PNetId> =
+                                a_sl.iter().chain(b_sl.iter()).copied().collect();
+                            ctx.prim.add(
+                                format!("{name}_dsp{ia}_{ib}"),
+                                Primitive::Dsp {
+                                    width: dw as u8,
+                                    pipelined: false,
+                                },
+                                inputs,
+                                p.clone(),
+                                &name,
+                            );
+                            partials.push(p);
+                        }
+                    }
+                    let mut acc = partials[0].clone();
+                    for (k, p) in partials.iter().enumerate().skip(1) {
+                        let cin = ctx.const_bit(false);
+                        let (sum, _) =
+                            ctx.ripple_add(&format!("{name}_acc{k}"), &acc, p, cin, &name);
+                        acc = sum;
+                    }
+                    drive_out(ctx, &outs[..acc.len().min(out_w)], &acc, &name);
+                }
+            }
+            CellOp::Div | CellOp::Mod => {
+                // Unrolled restoring divider: `w` stages, each a conditional
+                // subtract (carry chain + mux row).
+                let w = in_bits[0].len();
+                let a = in_bits[0].clone();
+                let b = in_bits[1].clone();
+                let zero = ctx.const_bit(false);
+                let one = ctx.const_bit(true);
+                let mut rem: Vec<PNetId> = vec![zero; w];
+                let mut quot: Vec<PNetId> = Vec::with_capacity(w);
+                for s in (0..w).rev() {
+                    // shift remainder left, bring in bit a[s]
+                    let mut shifted = Vec::with_capacity(w);
+                    shifted.push(a[s]);
+                    shifted.extend_from_slice(&rem[..w - 1]);
+                    // trial subtract: shifted - b
+                    let nb = ctx.invert_all(&format!("{name}_st{s}_nb"), &b, &name);
+                    let (diff, cout) =
+                        ctx.ripple_add(&format!("{name}_st{s}"), &shifted, &nb, one, &name);
+                    // if cout==1 (no borrow) keep diff, else keep shifted
+                    let mut nrem = Vec::with_capacity(w);
+                    for i in 0..w {
+                        nrem.push(ctx.lut(
+                            format!("{name}_st{s}_m{i}"),
+                            truth::MUX21,
+                            3,
+                            vec![shifted[i], diff[i], cout],
+                            &name,
+                        ));
+                    }
+                    rem = nrem;
+                    quot.push(cout);
+                }
+                quot.reverse();
+                let outs = ctx.bits[&cell.outputs[0]].clone();
+                let chosen = if matches!(cell.op, CellOp::Div) {
+                    quot
+                } else {
+                    rem
+                };
+                let n = out_w.min(chosen.len());
+                drive_out(ctx, &outs[..n], &chosen[..n], &name);
+            }
+            CellOp::Const { value } => {
+                let outs = ctx.bits[&cell.outputs[0]].clone();
+                for (i, &o) in outs.iter().enumerate() {
+                    let bit = (*value >> i) & 1 == 1;
+                    ctx.prim.add(
+                        format!("{name}_c{i}"),
+                        Primitive::Lut4 {
+                            truth: if bit { 0xFFFF } else { 0x0000 },
+                            used_inputs: 0,
+                        },
+                        vec![],
+                        vec![o],
+                        &name,
+                    );
+                }
+            }
+            CellOp::Slice { lo, .. } => {
+                let outs = ctx.bits[&cell.outputs[0]].clone();
+                for (i, &o) in outs.iter().enumerate() {
+                    let src_i = *lo as usize + i;
+                    let src = in_bits[0]
+                        .get(src_i)
+                        .copied()
+                        .unwrap_or_else(|| ctx.const_bit(false));
+                    ctx.prim.add(
+                        format!("{name}_b{i}"),
+                        Primitive::Lut4 {
+                            truth: truth::BUF1,
+                            used_inputs: 1,
+                        },
+                        vec![src],
+                        vec![o],
+                        &name,
+                    );
+                }
+            }
+            CellOp::ZeroExtend | CellOp::SignExtend => {
+                let outs = ctx.bits[&cell.outputs[0]].clone();
+                let iw = in_bits[0].len();
+                let fill = if matches!(cell.op, CellOp::SignExtend) {
+                    in_bits[0][iw - 1]
+                } else {
+                    ctx.const_bit(false)
+                };
+                for (i, &o) in outs.iter().enumerate() {
+                    let src = if i < iw { in_bits[0][i] } else { fill };
+                    ctx.prim.add(
+                        format!("{name}_b{i}"),
+                        Primitive::Lut4 {
+                            truth: truth::BUF1,
+                            used_inputs: 1,
+                        },
+                        vec![src],
+                        vec![o],
+                        &name,
+                    );
+                }
+            }
+            CellOp::Register { has_enable, .. } => {
+                let outs = ctx.bits[&cell.outputs[0]].clone();
+                let en = if *has_enable {
+                    Some(in_bits[1][0])
+                } else {
+                    None
+                };
+                for (i, &o) in outs.iter().enumerate() {
+                    let d = in_bits[0]
+                        .get(i)
+                        .copied()
+                        .unwrap_or_else(|| ctx.const_bit(false));
+                    let mut inputs = vec![d];
+                    if let Some(e) = en {
+                        inputs.push(e);
+                    }
+                    ctx.prim.add(
+                        format!("{name}_ff{i}"),
+                        Primitive::Dff {
+                            has_enable: en.is_some(),
+                        },
+                        inputs,
+                        vec![o],
+                        &name,
+                    );
+                }
+            }
+            CellOp::RamTdp { depth, .. } => {
+                let w = netlist.net(cell.outputs[0]).width;
+                let count = self.device.rams_for(*depth, w);
+                let all_inputs: Vec<PNetId> = in_bits.iter().flatten().copied().collect();
+                let ra = ctx.bits[&cell.outputs[0]].clone();
+                let rb = ctx.bits[&cell.outputs[1]].clone();
+                for k in 0..count {
+                    let outs: Vec<PNetId> = if k == 0 {
+                        ra.iter().chain(rb.iter()).copied().collect()
+                    } else {
+                        (0..ra.len() + rb.len())
+                            .map(|_| ctx.prim.new_net())
+                            .collect()
+                    };
+                    ctx.prim.add(
+                        format!("{name}_ramb{k}"),
+                        Primitive::Ramb {
+                            depth: *depth,
+                            width: w.min(64) as u8,
+                        },
+                        all_inputs.clone(),
+                        outs,
+                        &name,
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_rtl::netlist::{CellOp, Netlist};
+
+    fn synth(nl: &Netlist) -> SynthResult {
+        Synthesizer::new(DeviceProfile::ng_medium_like())
+            .synthesize(nl)
+            .expect("synthesis succeeds")
+    }
+
+    fn two_op(op: CellOp, w: u32) -> Netlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", w);
+        let b = nl.add_input("b", w);
+        let y = nl.add_net("y", w);
+        nl.add_cell("op", op, &[a, b], &[y]).unwrap();
+        nl.mark_output(y);
+        nl
+    }
+
+    #[test]
+    fn adder_uses_carry_chain() {
+        let r = synth(&two_op(CellOp::Add, 16));
+        assert_eq!(r.report.utilization.carries, 16);
+        // buffers + carries + io pads
+        assert!(r.report.utilization.luts >= 32);
+    }
+
+    #[test]
+    fn sub_adds_inverters() {
+        let add = synth(&two_op(CellOp::Add, 16));
+        let sub = synth(&two_op(CellOp::Sub, 16));
+        assert!(sub.report.utilization.luts > add.report.utilization.luts);
+        assert_eq!(sub.report.utilization.carries, 16);
+    }
+
+    #[test]
+    fn narrow_multiplier_is_one_dsp() {
+        let r = synth(&two_op(CellOp::Mul, 16));
+        assert_eq!(r.report.utilization.dsps, 1);
+    }
+
+    #[test]
+    fn wide_multiplier_tiles_dsps() {
+        let r = synth(&two_op(CellOp::Mul, 32));
+        assert_eq!(r.report.utilization.dsps, 4);
+        // combiner adders appear
+        assert!(r.report.utilization.carries > 0);
+    }
+
+    #[test]
+    fn divider_is_quadratic_ish() {
+        let d8 = synth(&two_op(CellOp::Div, 8)).report.utilization.luts;
+        let d16 = synth(&two_op(CellOp::Div, 16)).report.utilization.luts;
+        assert!(
+            d16 as f64 > 3.0 * d8 as f64,
+            "divider area should grow super-linearly: {d8} -> {d16}"
+        );
+    }
+
+    #[test]
+    fn barrel_shifter_log_stages() {
+        let r = synth(&two_op(CellOp::Shl, 32));
+        // 5 stages x 32 muxes = 160 LUTs + 32 buffers + pads
+        let u = r.report.utilization;
+        assert!(u.luts >= 160 && u.luts <= 320, "got {}", u.luts);
+    }
+
+    #[test]
+    fn register_maps_to_ffs() {
+        let mut nl = Netlist::new("t");
+        let d = nl.add_input("d", 24);
+        let q = nl.add_net("q", 24);
+        nl.add_cell(
+            "r",
+            CellOp::Register {
+                has_enable: false,
+                has_reset: true,
+            },
+            &[d],
+            &[q],
+        )
+        .unwrap();
+        nl.mark_output(q);
+        let r = synth(&nl);
+        assert_eq!(r.report.utilization.ffs, 24);
+    }
+
+    #[test]
+    fn ram_maps_to_ramb() {
+        let mut nl = Netlist::new("t");
+        let aa = nl.add_input("aa", 10);
+        let da = nl.add_input("da", 32);
+        let wa = nl.add_input("wa", 1);
+        let ab = nl.add_input("ab", 10);
+        let db = nl.add_input("db", 32);
+        let wb = nl.add_input("wb", 1);
+        let ra = nl.add_net("ra", 32);
+        let rb = nl.add_net("rb", 32);
+        nl.add_cell(
+            "m",
+            CellOp::RamTdp {
+                depth: 1024,
+                init: vec![],
+            },
+            &[aa, da, wa, ab, db, wb],
+            &[ra, rb],
+        )
+        .unwrap();
+        nl.mark_output(ra);
+        nl.mark_output(rb);
+        let r = synth(&nl);
+        assert_eq!(r.report.utilization.rams, 1);
+    }
+
+    #[test]
+    fn capacity_overflow_detected() {
+        // A multiplier too wide for the medium device's DSP budget would be
+        // hard to build; instead synthesize a huge register file.
+        let mut nl = Netlist::new("t");
+        let d = nl.add_input("d", 64);
+        let mut prev = d;
+        for i in 0..200 {
+            let q = nl.add_net(format!("q{i}"), 64);
+            nl.add_cell(
+                format!("r{i}"),
+                CellOp::Register {
+                    has_enable: false,
+                    has_reset: true,
+                },
+                &[prev],
+                &[q],
+            )
+            .unwrap();
+            prev = q;
+        }
+        nl.mark_output(prev);
+        // 200 x 64 = 12800 FFs fits NG-MEDIUM (28k); force a tiny device.
+        let mut tiny = DeviceProfile::ng_medium_like();
+        tiny.grid_cols = 8;
+        tiny.grid_rows = 8;
+        tiny.dsp_columns = vec![1];
+        tiny.ram_columns = vec![2];
+        let err = Synthesizer::new(tiny).synthesize(&nl).unwrap_err();
+        assert!(matches!(err, FpgaError::ResourceOverflow { .. }));
+    }
+
+    #[test]
+    fn comparator_produces_single_bit() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 16);
+        let b = nl.add_input("b", 16);
+        let y = nl.add_net("y", 1);
+        nl.add_cell("c", CellOp::Cmp(Comparison::LtS), &[a, b], &[y])
+            .unwrap();
+        nl.mark_output(y);
+        let r = synth(&nl);
+        assert_eq!(r.report.utilization.carries, 16);
+        assert!(r.report.utilization.luts > 16);
+    }
+
+    #[test]
+    fn per_cell_report_covers_all_cells() {
+        let nl = two_op(CellOp::Add, 8);
+        let r = synth(&nl);
+        assert_eq!(r.report.per_cell.len(), 1);
+        assert_eq!(r.report.per_cell[0].0, "op");
+        assert!(r.report.per_cell[0].1 > 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Resource allocation: classify every IR instruction onto a functional-unit
+//! kind and decide how many units of each kind the design may use.
+//!
+//! Allocation is the first of the three classic HLS core steps (allocation,
+//! scheduling, binding — Section II of the paper). Constraints may come from
+//! the user (resource-bound synthesis) or default to a generous but finite
+//! allocation.
+
+use crate::ir::{ArrayId, Instr, IrFunction, IrOp};
+use crate::lang::ast::{BinOp, UnOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Functional-unit kinds shared by allocation, scheduling, and binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuKind {
+    /// Adder/subtractor (also negation).
+    AddSub,
+    /// Multiplier (DSP-backed).
+    Mul,
+    /// Divider / modulo unit.
+    Div,
+    /// Barrel shifter.
+    Shift,
+    /// Bitwise logic (and/or/xor/not) and casts.
+    Logic,
+    /// Comparator.
+    Cmp,
+    /// A port of a local (BRAM) array.
+    LocalMem(ArrayId),
+    /// The external AXI master port.
+    ExtMem,
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuKind::AddSub => write!(f, "addsub"),
+            FuKind::Mul => write!(f, "mul"),
+            FuKind::Div => write!(f, "div"),
+            FuKind::Shift => write!(f, "shift"),
+            FuKind::Logic => write!(f, "logic"),
+            FuKind::Cmp => write!(f, "cmp"),
+            FuKind::LocalMem(a) => write!(f, "bram{}", a.0),
+            FuKind::ExtMem => write!(f, "axi"),
+        }
+    }
+}
+
+/// Classify an instruction onto its FU kind; `None` for free operations
+/// (`SetVar` moves become register enables, constants become wires).
+pub fn fu_kind_of(instr: &Instr, func: &IrFunction) -> Option<FuKind> {
+    match &instr.op {
+        IrOp::Bin { op, .. } => Some(match op {
+            BinOp::Add | BinOp::Sub => FuKind::AddSub,
+            BinOp::Mul => FuKind::Mul,
+            BinOp::Div | BinOp::Mod => FuKind::Div,
+            BinOp::Shl | BinOp::Shr => FuKind::Shift,
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::LogAnd | BinOp::LogOr => FuKind::Logic,
+            _ => FuKind::Cmp,
+        }),
+        IrOp::Un { op, .. } => Some(match op {
+            UnOp::Neg => FuKind::AddSub,
+            UnOp::BitNot | UnOp::LogNot => FuKind::Logic,
+        }),
+        IrOp::Cast { .. } => None, // wiring (sign/zero extension)
+        IrOp::Load { array, .. } | IrOp::Store { array, .. } => {
+            Some(match func.arrays[array.0 as usize].kind {
+                crate::ir::ArrayKind::Local { .. } => FuKind::LocalMem(*array),
+                crate::ir::ArrayKind::External => FuKind::ExtMem,
+            })
+        }
+        IrOp::SetVar { .. } => None,
+    }
+}
+
+/// The mnemonic used to look this FU kind up in the characterization
+/// library (written by `hermes-eucalyptus`).
+pub fn char_mnemonic(kind: FuKind, instr: &Instr) -> &'static str {
+    match kind {
+        FuKind::AddSub => "add",
+        FuKind::Mul => "mul",
+        FuKind::Div => "div",
+        FuKind::Shift => "shl",
+        FuKind::Logic => "and",
+        FuKind::Cmp => {
+            if let IrOp::Bin { op, .. } = &instr.op {
+                if matches!(op, BinOp::Eq | BinOp::Ne) {
+                    "cmpeq"
+                } else {
+                    "cmplts"
+                }
+            } else {
+                "cmpeq"
+            }
+        }
+        FuKind::LocalMem(_) => "ram_tdp",
+        FuKind::ExtMem => "ram_tdp",
+    }
+}
+
+/// Resource constraints: maximum concurrent units per kind.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    limits: HashMap<FuKind, u32>,
+    /// Default limit for kinds not listed.
+    pub default_limit: u32,
+}
+
+impl Default for Allocation {
+    fn default() -> Self {
+        let mut limits = HashMap::new();
+        limits.insert(FuKind::Mul, 4);
+        limits.insert(FuKind::Div, 1);
+        limits.insert(FuKind::ExtMem, 1);
+        Allocation {
+            limits,
+            default_limit: 8,
+        }
+    }
+}
+
+impl Allocation {
+    /// An unconstrained allocation (ASAP-like schedules).
+    pub fn unconstrained() -> Self {
+        Allocation {
+            limits: HashMap::new(),
+            default_limit: u32::MAX,
+        }
+    }
+
+    /// A minimal-area allocation: one unit of every kind.
+    pub fn minimal() -> Self {
+        Allocation {
+            limits: HashMap::new(),
+            default_limit: 1,
+        }
+    }
+
+    /// Set the limit for one kind.
+    pub fn with_limit(mut self, kind: FuKind, limit: u32) -> Self {
+        self.limits.insert(kind, limit);
+        self
+    }
+
+    /// Concurrency limit for a kind. Local memories are capped at 2 (true
+    /// dual port) regardless of the default.
+    pub fn limit(&self, kind: FuKind) -> u32 {
+        if let Some(&l) = self.limits.get(&kind) {
+            return l.max(1);
+        }
+        match kind {
+            FuKind::LocalMem(_) => 2.min(self.default_limit.max(1)),
+            FuKind::ExtMem => 1,
+            _ => self.default_limit.max(1),
+        }
+    }
+}
+
+/// Count how many instructions of each kind a function contains (the
+/// allocation report).
+pub fn demand(func: &IrFunction) -> HashMap<FuKind, u32> {
+    let mut m = HashMap::new();
+    for block in &func.blocks {
+        for instr in &block.instrs {
+            if let Some(k) = fu_kind_of(instr, func) {
+                *m.entry(k).or_insert(0) += 1;
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower;
+    use crate::lang::parse;
+
+    fn func(src: &str) -> IrFunction {
+        lower(&parse(src).unwrap(), None).unwrap()
+    }
+
+    #[test]
+    fn classification() {
+        let f = func("int f(int a, int b, int *m) { m[0] = a * b + (a / b); return m[0] >> 2; }");
+        let d = demand(&f);
+        assert_eq!(d.get(&FuKind::Mul), Some(&1));
+        assert_eq!(d.get(&FuKind::Div), Some(&1));
+        assert_eq!(d.get(&FuKind::AddSub), Some(&1));
+        assert_eq!(d.get(&FuKind::Shift), Some(&1));
+        assert_eq!(d.get(&FuKind::ExtMem), Some(&2)); // one store + one load
+    }
+
+    #[test]
+    fn default_limits() {
+        let a = Allocation::default();
+        assert_eq!(a.limit(FuKind::Div), 1);
+        assert_eq!(a.limit(FuKind::Mul), 4);
+        assert_eq!(a.limit(FuKind::AddSub), 8);
+        assert_eq!(a.limit(FuKind::LocalMem(ArrayId(0))), 2, "true dual port");
+        assert_eq!(a.limit(FuKind::ExtMem), 1);
+    }
+
+    #[test]
+    fn minimal_and_unconstrained() {
+        assert_eq!(Allocation::minimal().limit(FuKind::AddSub), 1);
+        assert_eq!(
+            Allocation::unconstrained().limit(FuKind::AddSub),
+            u32::MAX
+        );
+        let custom = Allocation::default().with_limit(FuKind::AddSub, 2);
+        assert_eq!(custom.limit(FuKind::AddSub), 2);
+    }
+
+    #[test]
+    fn local_arrays_use_bram_ports() {
+        let f = func("int f() { int m[16]; m[0] = 1; m[1] = 2; return m[0] + m[1]; }");
+        let d = demand(&f);
+        let bram_ops: u32 = d
+            .iter()
+            .filter(|(k, _)| matches!(k, FuKind::LocalMem(_)))
+            .map(|(_, &v)| v)
+            .sum();
+        assert_eq!(bram_ops, 4);
+    }
+}

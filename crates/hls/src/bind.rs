@@ -1,0 +1,320 @@
+//! Binding: map scheduled operations onto shared functional units and map
+//! values onto datapath registers (left-edge algorithm).
+//!
+//! Binding is the third classic HLS core step. Functional-unit binding is
+//! greedy by schedule order (optimal instance counts follow from the peak
+//! concurrency the scheduler recorded); register binding minimizes register
+//! count by packing non-overlapping temp lifetimes into shared registers.
+//! Named variables live across blocks and get dedicated registers.
+
+use crate::allocate::fu_kind_of;
+use crate::allocate::FuKind;
+use crate::ir::{IrFunction, IrOp, Operand, TempId};
+use crate::schedule::FunctionSchedule;
+use std::collections::HashMap;
+
+/// A functional-unit instance in the datapath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuInstance {
+    /// The kind of unit.
+    pub kind: FuKind,
+    /// Operand width in bits.
+    pub width: u32,
+}
+
+/// A datapath register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegInfo {
+    /// Width in bits.
+    pub width: u32,
+    /// Debug name.
+    pub name: String,
+}
+
+/// Identifier of a register in the binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId(pub u32);
+
+/// Complete binding result.
+#[derive(Debug, Clone, Default)]
+pub struct Binding {
+    /// All FU instances.
+    pub fus: Vec<FuInstance>,
+    /// FU instance of each bound instruction, keyed by (block, instr index).
+    pub fu_of: HashMap<(u32, usize), usize>,
+    /// All registers.
+    pub regs: Vec<RegInfo>,
+    /// Register of each variable.
+    pub reg_of_var: Vec<RegId>,
+    /// Register of each cross-cycle temp, keyed by temp id.
+    pub reg_of_temp: HashMap<TempId, RegId>,
+    /// Temps that never need a register (chained, consumed in their cycle).
+    pub wire_temps: Vec<TempId>,
+}
+
+impl Binding {
+    /// Number of registers.
+    pub fn reg_count(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Number of FU instances of a given kind.
+    pub fn fu_count(&self, kind: FuKind) -> usize {
+        self.fus.iter().filter(|f| f.kind == kind).count()
+    }
+
+    /// Total register bits.
+    pub fn register_bits(&self) -> u64 {
+        self.regs.iter().map(|r| u64::from(r.width)).sum()
+    }
+}
+
+/// Run FU and register binding over a scheduled function.
+pub fn bind(func: &IrFunction, sched: &FunctionSchedule) -> Binding {
+    let mut binding = Binding::default();
+
+    // --- dedicated registers for variables ---
+    // names carry the register index so shadowed/duplicated source names
+    // stay unique in the generated netlist
+    for (vi, var) in func.vars.iter().enumerate() {
+        let id = RegId(binding.regs.len() as u32);
+        binding.regs.push(RegInfo {
+            width: var.ty.width,
+            name: format!("r{}_{}", id.0, var.name.replace('.', "_")),
+        });
+        debug_assert_eq!(vi, binding.reg_of_var.len());
+        binding.reg_of_var.push(id);
+    }
+
+    // --- FU binding: greedy interval packing per kind ---
+    // instance busy intervals: fu index -> list of (block, start, end)
+    let mut busy: HashMap<usize, Vec<(u32, u32, u32)>> = HashMap::new();
+    for (bi, block) in func.blocks.iter().enumerate() {
+        for (ii, instr) in block.instrs.iter().enumerate() {
+            let Some(kind) = fu_kind_of(instr, func) else {
+                continue;
+            };
+            let s = sched.blocks[bi].instrs[ii];
+            let (lo, hi) = (s.start_cycle, s.finish_cycle());
+            let width = instr.ty.width.max(match &instr.op {
+                IrOp::Bin { a, .. } => func.operand_type(*a).width,
+                _ => 1,
+            });
+            // find an existing instance of same kind & >= width that is free
+            let mut chosen = None;
+            for (fi, fu) in binding.fus.iter().enumerate() {
+                if fu.kind != kind || fu.width < width {
+                    continue;
+                }
+                let overlaps = busy
+                    .get(&fi)
+                    .map(|iv| {
+                        iv.iter()
+                            .any(|&(b, l, h)| b == bi as u32 && l <= hi && lo <= h)
+                    })
+                    .unwrap_or(false);
+                if !overlaps {
+                    chosen = Some(fi);
+                    break;
+                }
+            }
+            let fi = chosen.unwrap_or_else(|| {
+                binding.fus.push(FuInstance { kind, width });
+                binding.fus.len() - 1
+            });
+            busy.entry(fi).or_default().push((bi as u32, lo, hi));
+            binding.fu_of.insert((bi as u32, ii), fi);
+        }
+    }
+
+    // --- register binding for cross-cycle temps: left-edge per block ---
+    for (bi, block) in func.blocks.iter().enumerate() {
+        // lifetimes: temp -> (def finish cycle, last use cycle)
+        let mut def: HashMap<TempId, u32> = HashMap::new();
+        let mut last_use: HashMap<TempId, u32> = HashMap::new();
+        let mut chained_only: HashMap<TempId, bool> = HashMap::new();
+        for (ii, instr) in block.instrs.iter().enumerate() {
+            let s = sched.blocks[bi].instrs[ii];
+            if let Some(dst) = instr.dst {
+                def.insert(dst, s.finish_cycle());
+                chained_only.insert(dst, true);
+            }
+            let mut note_use = |op: &Operand| {
+                if let Operand::Temp(t) = op {
+                    let e = last_use.entry(*t).or_insert(0);
+                    *e = (*e).max(s.start_cycle);
+                    if let Some(&d) = def.get(t) {
+                        if s.start_cycle > d {
+                            chained_only.insert(*t, false);
+                        }
+                    }
+                }
+            };
+            match &instr.op {
+                IrOp::Bin { a, b, .. } => {
+                    note_use(a);
+                    note_use(b);
+                }
+                IrOp::Un { a, .. } | IrOp::Cast { a, .. } => note_use(a),
+                IrOp::Load { index, .. } => note_use(index),
+                IrOp::Store { index, value, .. } => {
+                    note_use(index);
+                    note_use(value);
+                }
+                IrOp::SetVar { value, .. } => note_use(value),
+            }
+        }
+        // temps used by the terminator live to the end of the block
+        let block_end = sched.blocks[bi].length;
+        let mut note_term = |op: &Operand| {
+            if let Operand::Temp(t) = op {
+                last_use.insert(*t, block_end);
+                if def.get(t).map(|&d| block_end > d).unwrap_or(false) {
+                    chained_only.insert(*t, false);
+                }
+            }
+        };
+        match &block.term {
+            crate::ir::Terminator::Branch { cond, .. } => note_term(cond),
+            crate::ir::Terminator::Return(Some(v)) => note_term(v),
+            _ => {}
+        }
+
+        // memory loads always land in a capture register
+        for (ii, instr) in block.instrs.iter().enumerate() {
+            if matches!(instr.op, IrOp::Load { .. }) {
+                if let Some(dst) = instr.dst {
+                    let _ = ii;
+                    chained_only.insert(dst, false);
+                }
+            }
+        }
+
+        // left-edge over temps needing storage
+        let mut intervals: Vec<(TempId, u32, u32, u32)> = def
+            .iter()
+            .filter(|(t, _)| !chained_only.get(t).copied().unwrap_or(true))
+            .map(|(&t, &d)| {
+                let end = last_use.get(&t).copied().unwrap_or(d).max(d);
+                let width = func.temp_types[t.0 as usize].width;
+                (t, d, end, width)
+            })
+            .collect();
+        intervals.sort_by_key(|&(t, d, _, _)| (d, t));
+        // rows: (register id, last end, width)
+        let mut rows: Vec<(RegId, u32, u32)> = Vec::new();
+        for (t, d, e, w) in intervals {
+            let mut placed = false;
+            for row in rows.iter_mut() {
+                if row.1 < d && row.2 >= w {
+                    row.1 = e;
+                    binding.reg_of_temp.insert(t, row.0);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                let id = RegId(binding.regs.len() as u32);
+                binding.regs.push(RegInfo {
+                    width: w,
+                    name: format!("tmp{}_{}", bi, id.0),
+                });
+                rows.push((id, e, w));
+                binding.reg_of_temp.insert(t, id);
+            }
+        }
+        for (t, chained) in chained_only {
+            if chained {
+                binding.wire_temps.push(t);
+            }
+        }
+    }
+
+    binding
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocate::Allocation;
+    use crate::ir::lower;
+    use crate::lang::parse;
+    use crate::schedule::{schedule, ScheduleOptions};
+    use hermes_eucalyptus::{CharacterizationLibrary, Eucalyptus, SweepConfig};
+    use hermes_fpga::device::DeviceProfile;
+    use std::sync::OnceLock;
+
+    fn lib() -> &'static CharacterizationLibrary {
+        static LIB: OnceLock<CharacterizationLibrary> = OnceLock::new();
+        LIB.get_or_init(|| {
+            Eucalyptus::new(DeviceProfile::ng_medium_like())
+                .characterize(&SweepConfig {
+                    widths: vec![8, 16, 32],
+                    pipeline_stages: vec![0],
+                })
+                .expect("characterization")
+        })
+    }
+
+    fn bound(src: &str, alloc: Allocation) -> (IrFunction, FunctionSchedule, Binding) {
+        let mut f = lower(&parse(src).unwrap(), None).unwrap();
+        crate::opt::optimize(&mut f);
+        let s = schedule(&f, &alloc, lib(), &ScheduleOptions::default()).unwrap();
+        let b = bind(&f, &s);
+        (f, s, b)
+    }
+
+    #[test]
+    fn sharing_under_minimal_allocation() {
+        let (_, _, b) = bound(
+            "int f(int a, int b, int c, int d) { return a*b + c*d + a*d; }",
+            Allocation::minimal(),
+        );
+        assert_eq!(b.fu_count(FuKind::Mul), 1, "three muls share one unit");
+    }
+
+    #[test]
+    fn parallel_ops_get_parallel_fus() {
+        let (_, s, b) = bound(
+            "int f(int a, int b, int c, int d) { return a*b + c*d; }",
+            Allocation::default(),
+        );
+        let peak = s.peak_usage.get(&FuKind::Mul).copied().unwrap_or(0);
+        assert_eq!(b.fu_count(FuKind::Mul) as u32, peak);
+        assert!(peak >= 2);
+    }
+
+    #[test]
+    fn every_bound_instr_has_fu() {
+        let (f, _, b) = bound(
+            "int f(int a, int b) { int s = 0; if (a > b) { s = a / b; } return s; }",
+            Allocation::default(),
+        );
+        for (bi, block) in f.blocks.iter().enumerate() {
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                if fu_kind_of(instr, &f).is_some() {
+                    assert!(
+                        b.fu_of.contains_key(&(bi as u32, ii)),
+                        "unbound instr {bi}/{ii}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vars_get_dedicated_registers() {
+        let (f, _, b) = bound(
+            "int f(int a) { int x = a + 1; int y = x * 2; return y; }",
+            Allocation::default(),
+        );
+        assert_eq!(b.reg_of_var.len(), f.vars.len());
+        assert!(b.reg_count() >= f.vars.len());
+    }
+
+    #[test]
+    fn register_bits_accounted() {
+        let (_, _, b) = bound("int64 f(int64 a) { int64 x = a * 3; return x + 1; }", Allocation::default());
+        assert!(b.register_bits() >= 64);
+    }
+}

@@ -1,0 +1,315 @@
+//! Dynamically-controlled (dataflow) accelerator synthesis.
+//!
+//! Section II: "applications based on artificial intelligence … might
+//! contain multiple parallel execution flows (i.e., coarse-grained
+//! parallelism); when synthesized through an HLS tool, the complexity of
+//! the finite state machine controllers for such applications grows
+//! exponentially … Bambu has been extended to efficiently synthesize
+//! dynamically controlled accelerators."
+//!
+//! This module reproduces both synthesis styles over a coarse-grained
+//! [`TaskGraph`]:
+//!
+//! * **Monolithic**: one FSM controls every task — the controller state
+//!   space is the *product* of the per-task state counts (for tasks that
+//!   can be co-active), and execution of one item runs tasks to completion
+//!   in topological order.
+//! * **Dataflow**: each task keeps its own small controller and
+//!   communicates through handshaked FIFO channels — controller cost is the
+//!   *sum* of the parts, and independent tasks overlap (pipeline
+//!   parallelism across stream items).
+
+use std::collections::HashMap;
+
+/// One coarse-grained task (e.g. an HLS kernel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Task name.
+    pub name: String,
+    /// FSM states of the task's own controller.
+    pub states: u32,
+    /// Cycles to process one stream item.
+    pub latency: u64,
+}
+
+impl Task {
+    /// Build a task descriptor from a compiled [`crate::Design`], using a
+    /// representative argument vector to measure latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn from_design(
+        design: &crate::Design,
+        representative_args: &[i64],
+    ) -> Result<Task, crate::HlsError> {
+        let r = design.simulate(representative_args)?;
+        Ok(Task {
+            name: design.name().to_string(),
+            states: design.fsm.state_count() as u32,
+            latency: r.cycles,
+        })
+    }
+}
+
+/// A directed acyclic graph of tasks connected by FIFO channels.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    /// The tasks.
+    pub tasks: Vec<Task>,
+    /// Channels `(producer, consumer, fifo_depth)` by task index.
+    pub channels: Vec<(usize, usize, u32)>,
+}
+
+impl TaskGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Add a task, returning its index.
+    pub fn add_task(&mut self, task: Task) -> usize {
+        self.tasks.push(task);
+        self.tasks.len() - 1
+    }
+
+    /// Connect producer → consumer with a FIFO of `depth` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or the edge would make the
+    /// graph cyclic.
+    pub fn connect(&mut self, producer: usize, consumer: usize, depth: u32) {
+        assert!(producer < self.tasks.len() && consumer < self.tasks.len());
+        self.channels.push((producer, consumer, depth));
+        assert!(
+            self.topo_order().is_some(),
+            "task graph must stay acyclic"
+        );
+    }
+
+    /// Topological order, or `None` if cyclic.
+    pub fn topo_order(&self) -> Option<Vec<usize>> {
+        let n = self.tasks.len();
+        let mut indeg = vec![0usize; n];
+        let mut succ: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &(p, c, _) in &self.channels {
+            indeg[c] += 1;
+            succ.entry(p).or_default().push(c);
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(t) = ready.pop() {
+            order.push(t);
+            for &s in succ.get(&t).into_iter().flatten() {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Independent "parallel flows": tasks with no path between them may be
+    /// co-active, which is what blows up a monolithic controller.
+    fn parallel_groups(&self) -> Vec<Vec<usize>> {
+        // connected components treating channels as undirected
+        let n = self.tasks.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        for &(p, c, _) in &self.channels {
+            let (rp, rc) = (find(&mut parent, p), find(&mut parent, c));
+            if rp != rc {
+                parent[rp] = rc;
+            }
+        }
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().push(i);
+        }
+        groups.into_values().collect()
+    }
+}
+
+/// Controller cost and throughput of one synthesis style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerReport {
+    /// Total controller states (saturating).
+    pub controller_states: u64,
+    /// State-register bits.
+    pub state_bits: u32,
+    /// Cycles to process `items` stream items.
+    pub total_cycles: u64,
+    /// Steady-state initiation interval (cycles between item completions).
+    pub initiation_interval: u64,
+}
+
+/// Synthesize the task graph with a single monolithic controller.
+///
+/// Co-active tasks multiply the state space: within each chain the states
+/// add, but across independent parallel flows the monolithic controller
+/// must track the cross product.
+pub fn synthesize_monolithic(graph: &TaskGraph, items: u64) -> ControllerReport {
+    let groups = graph.parallel_groups();
+    // states: product over groups of (sum of states within the group)
+    let mut states: u64 = 1;
+    for g in &groups {
+        let group_sum: u64 = g.iter().map(|&t| u64::from(graph.tasks[t].states)).sum();
+        states = states.saturating_mul(group_sum.max(1));
+    }
+    // execution: all tasks run to completion per item, serialized by the
+    // single controller
+    let per_item: u64 = graph.tasks.iter().map(|t| t.latency).sum();
+    ControllerReport {
+        controller_states: states,
+        state_bits: bits_for(states),
+        total_cycles: per_item.saturating_mul(items),
+        initiation_interval: per_item,
+    }
+}
+
+/// Cost of one FIFO handshake controller per channel (states).
+const CHANNEL_CTRL_STATES: u64 = 2;
+
+/// Synthesize the task graph in dataflow style: per-task controllers plus
+/// FIFO handshakes; pipeline execution across stream items.
+pub fn synthesize_dataflow(graph: &TaskGraph, items: u64) -> ControllerReport {
+    let states: u64 = graph
+        .tasks
+        .iter()
+        .map(|t| u64::from(t.states))
+        .sum::<u64>()
+        + graph.channels.len() as u64 * CHANNEL_CTRL_STATES;
+    // pipeline: fill = critical path latency; steady state II = slowest task
+    let order = graph.topo_order().expect("graph validated acyclic");
+    let mut path: HashMap<usize, u64> = HashMap::new();
+    for &t in &order {
+        let preds: u64 = graph
+            .channels
+            .iter()
+            .filter(|&&(_, c, _)| c == t)
+            .map(|&(p, _, _)| path.get(&p).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        path.insert(t, preds + graph.tasks[t].latency);
+    }
+    let fill = path.values().copied().max().unwrap_or(0);
+    let ii = graph.tasks.iter().map(|t| t.latency).max().unwrap_or(1);
+    let total = if items == 0 {
+        0
+    } else {
+        fill + ii.saturating_mul(items - 1)
+    };
+    ControllerReport {
+        controller_states: states,
+        state_bits: bits_for(states),
+        total_cycles: total,
+        initiation_interval: ii,
+    }
+}
+
+fn bits_for(states: u64) -> u32 {
+    (64 - states.max(2).saturating_sub(1).leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(name: &str, states: u32, latency: u64) -> Task {
+        Task {
+            name: name.into(),
+            states,
+            latency,
+        }
+    }
+
+    /// N independent parallel flows, the paper's FSM-explosion scenario.
+    fn parallel_flows(n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            let a = g.add_task(task(&format!("prod{i}"), 12, 100));
+            let b = g.add_task(task(&format!("cons{i}"), 12, 100));
+            g.connect(a, b, 4);
+        }
+        g
+    }
+
+    #[test]
+    fn monolithic_states_grow_multiplicatively() {
+        let s2 = synthesize_monolithic(&parallel_flows(2), 1).controller_states;
+        let s4 = synthesize_monolithic(&parallel_flows(4), 1).controller_states;
+        let d2 = synthesize_dataflow(&parallel_flows(2), 1).controller_states;
+        let d4 = synthesize_dataflow(&parallel_flows(4), 1).controller_states;
+        assert!(
+            s4 > s2 * s2 / 2,
+            "monolithic growth should be multiplicative: {s2} -> {s4}"
+        );
+        assert_eq!(d4, d2 * 2, "dataflow growth is linear");
+        assert!(d4 < s4);
+    }
+
+    #[test]
+    fn dataflow_pipelines_streams() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(task("read", 4, 50));
+        let b = g.add_task(task("compute", 8, 80));
+        let c = g.add_task(task("write", 4, 50));
+        g.connect(a, b, 2);
+        g.connect(b, c, 2);
+        let items = 100;
+        let mono = synthesize_monolithic(&g, items);
+        let df = synthesize_dataflow(&g, items);
+        assert_eq!(mono.initiation_interval, 180);
+        assert_eq!(df.initiation_interval, 80, "II = slowest stage");
+        assert!(df.total_cycles < mono.total_cycles / 2);
+    }
+
+    #[test]
+    fn single_task_equivalent() {
+        let mut g = TaskGraph::new();
+        g.add_task(task("only", 10, 42));
+        let mono = synthesize_monolithic(&g, 10);
+        let df = synthesize_dataflow(&g, 10);
+        assert_eq!(mono.controller_states, 10);
+        assert_eq!(df.controller_states, 10);
+        assert_eq!(mono.total_cycles, 420);
+        assert_eq!(df.total_cycles, 42 + 42 * 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn cycles_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(task("a", 2, 1));
+        let b = g.add_task(task("b", 2, 1));
+        g.connect(a, b, 1);
+        g.connect(b, a, 1);
+    }
+
+    #[test]
+    fn zero_items() {
+        let g = parallel_flows(1);
+        assert_eq!(synthesize_dataflow(&g, 0).total_cycles, 0);
+        assert_eq!(synthesize_monolithic(&g, 0).total_cycles, 0);
+    }
+
+    #[test]
+    fn task_from_design() {
+        let d = crate::HlsFlow::new()
+            .compile("int f(int a) { return a * 3 + 1; }")
+            .unwrap();
+        let t = Task::from_design(&d, &[5]).unwrap();
+        assert_eq!(t.name, "f");
+        assert!(t.states >= 1);
+        assert!(t.latency >= 1);
+    }
+}

@@ -1,0 +1,1055 @@
+//! Intermediate representation: a control-flow graph of typed, flat
+//! instructions, plus the AST → IR lowering pass (with function inlining
+//! and integrated type checking).
+//!
+//! The IR is deliberately non-SSA: named variables are storage locations
+//! (they become datapath registers), while expression temporaries are
+//! single-assignment values local to a basic block. This matches the
+//! FSM + datapath structure the back-end produces.
+
+use crate::lang::ast::{BinOp, Expr, Function, IntType, Param, Program, Stmt, UnOp};
+use crate::{HlsError, Loc};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an expression temporary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TempId(pub u32);
+
+/// Identifier of a named variable (a datapath register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// Identifier of an array (a BRAM or an external AXI region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+/// Identifier of a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for TempId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// An expression temporary.
+    Temp(TempId),
+    /// A named variable (read at instruction issue).
+    Var(VarId),
+    /// An immediate constant.
+    Const(i64),
+}
+
+/// Instruction payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrOp {
+    /// Binary arithmetic/logic; destination is a temp.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Unary operation; destination is a temp.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        a: Operand,
+    },
+    /// Width/sign conversion; destination is a temp.
+    Cast {
+        /// Operand.
+        a: Operand,
+        /// Source type of the operand.
+        from: IntType,
+    },
+    /// Array element read; destination is a temp.
+    Load {
+        /// Array accessed.
+        array: ArrayId,
+        /// Element index.
+        index: Operand,
+    },
+    /// Array element write.
+    Store {
+        /// Array accessed.
+        array: ArrayId,
+        /// Element index.
+        index: Operand,
+        /// Value written.
+        value: Operand,
+    },
+    /// Variable write.
+    SetVar {
+        /// Target variable.
+        var: VarId,
+        /// Value written.
+        value: Operand,
+    },
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    /// Destination temp, for value-producing ops.
+    pub dst: Option<TempId>,
+    /// The operation.
+    pub op: IrOp,
+    /// Result type (or value type for stores/setvars).
+    pub ty: IntType,
+    /// Source location for diagnostics.
+    pub loc: Loc,
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on a 1-bit operand.
+    Branch {
+        /// Condition (nonzero = taken).
+        cond: Operand,
+        /// Target when true.
+        then_bb: BlockId,
+        /// Target when false.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Return(Option<Operand>),
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub instrs: Vec<Instr>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+/// Storage class of an array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayKind {
+    /// Function-local array mapped to on-fabric block RAM.
+    Local {
+        /// Initial contents (zero-padded to `size`).
+        init: Vec<i64>,
+    },
+    /// Array parameter accessed through the AXI4 master interface.
+    External,
+}
+
+/// Array metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayInfo {
+    /// Source name.
+    pub name: String,
+    /// Element type.
+    pub ty: IntType,
+    /// Element count (0 = unknown/unbounded external).
+    pub size: u32,
+    /// Storage class.
+    pub kind: ArrayKind,
+}
+
+/// Variable metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarInfo {
+    /// Source name (inlined callees get suffixed names).
+    pub name: String,
+    /// Declared type.
+    pub ty: IntType,
+}
+
+/// How a source parameter maps into the IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamBinding {
+    /// Scalar parameter: a pre-initialized variable.
+    Scalar(VarId),
+    /// Array parameter: an external array.
+    Array(ArrayId),
+}
+
+/// A lowered function ready for HLS.
+#[derive(Debug, Clone)]
+pub struct IrFunction {
+    /// Function name.
+    pub name: String,
+    /// Return type (None = void).
+    pub return_type: Option<IntType>,
+    /// Parameter bindings in declaration order (with source names).
+    pub params: Vec<(String, ParamBinding)>,
+    /// Variables (registers).
+    pub vars: Vec<VarInfo>,
+    /// Arrays (memories).
+    pub arrays: Vec<ArrayInfo>,
+    /// Basic blocks; entry is block 0.
+    pub blocks: Vec<Block>,
+    /// Number of temps allocated.
+    pub temp_count: u32,
+    /// Type of each temp, indexed by `TempId`.
+    pub temp_types: Vec<IntType>,
+}
+
+impl IrFunction {
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Block lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from another function.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Type of an operand.
+    pub fn operand_type(&self, op: Operand) -> IntType {
+        match op {
+            Operand::Temp(t) => self.temp_types[t.0 as usize],
+            Operand::Var(v) => self.vars[v.0 as usize].ty,
+            Operand::Const(_) => IntType::I32,
+        }
+    }
+
+    /// Total instruction count.
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// Render a textual dump (for debugging and golden tests).
+    pub fn dump(&self) -> String {
+        let mut s = format!("function {}:\n", self.name);
+        for (i, b) in self.blocks.iter().enumerate() {
+            s.push_str(&format!("bb{i}:\n"));
+            for instr in &b.instrs {
+                s.push_str(&format!("  {instr:?}\n"));
+            }
+            s.push_str(&format!("  {:?}\n", b.term));
+        }
+        s
+    }
+}
+
+/// Maximum call-inlining depth before recursion is assumed.
+const MAX_INLINE_DEPTH: usize = 16;
+
+/// Lower `program`'s function `top` (or the last defined one when `None`)
+/// into IR, inlining all calls.
+///
+/// # Errors
+///
+/// Returns [`HlsError::Type`] for semantic violations and
+/// [`HlsError::Unsupported`] for recursion or out-of-subset constructs.
+pub fn lower(program: &Program, top: Option<&str>) -> Result<IrFunction, HlsError> {
+    let func = match top {
+        Some(name) => program.function(name).ok_or_else(|| HlsError::Type {
+            loc: Loc::default(),
+            detail: format!("no function named `{name}`"),
+        })?,
+        None => program.functions.last().expect("parser guarantees >= 1"),
+    };
+    let mut lw = Lowerer {
+        program,
+        func: IrFunction {
+            name: func.name.clone(),
+            return_type: func.return_type,
+            params: Vec::new(),
+            vars: Vec::new(),
+            arrays: Vec::new(),
+            blocks: Vec::new(),
+            temp_count: 0,
+            temp_types: Vec::new(),
+        },
+        scopes: vec![HashMap::new()],
+        current: BlockId(0),
+        depth: 0,
+        loop_stack: Vec::new(),
+    };
+    lw.func.blocks.push(Block {
+        instrs: Vec::new(),
+        term: Terminator::Return(None),
+    });
+
+    // Bind parameters.
+    for p in &func.params {
+        let binding = lw.bind_param(p)?;
+        lw.func.params.push((p.name.clone(), binding));
+    }
+    lw.lower_body(&func.body)?;
+    Ok(lw.func)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Binding {
+    Var(VarId),
+    Array(ArrayId),
+}
+
+struct Lowerer<'p> {
+    program: &'p Program,
+    func: IrFunction,
+    scopes: Vec<HashMap<String, Binding>>,
+    current: BlockId,
+    depth: usize,
+    /// Enclosing loops: (continue target, break target).
+    loop_stack: Vec<(BlockId, BlockId)>,
+}
+
+impl<'p> Lowerer<'p> {
+    fn bind_param(&mut self, p: &Param) -> Result<ParamBinding, HlsError> {
+        match p.array {
+            Some(size) => {
+                let id = ArrayId(self.func.arrays.len() as u32);
+                self.func.arrays.push(ArrayInfo {
+                    name: p.name.clone(),
+                    ty: p.ty,
+                    size,
+                    kind: ArrayKind::External,
+                });
+                self.scope_insert(&p.name, Binding::Array(id), p.loc)?;
+                Ok(ParamBinding::Array(id))
+            }
+            None => {
+                let id = self.new_var(&p.name, p.ty);
+                self.scope_insert(&p.name, Binding::Var(id), p.loc)?;
+                Ok(ParamBinding::Scalar(id))
+            }
+        }
+    }
+
+    fn new_var(&mut self, name: &str, ty: IntType) -> VarId {
+        let id = VarId(self.func.vars.len() as u32);
+        self.func.vars.push(VarInfo {
+            name: name.to_string(),
+            ty,
+        });
+        id
+    }
+
+    fn new_temp(&mut self, ty: IntType) -> TempId {
+        let id = TempId(self.func.temp_count);
+        self.func.temp_count += 1;
+        self.func.temp_types.push(ty);
+        id
+    }
+
+    fn scope_insert(&mut self, name: &str, b: Binding, _loc: Loc) -> Result<(), HlsError> {
+        // Redeclaration in the same scope shadows the previous binding
+        // (loop unrolling replicates declarations, so this must be legal).
+        let scope = self.scopes.last_mut().expect("scope stack nonempty");
+        scope.insert(name.to_string(), b);
+        Ok(())
+    }
+
+    fn resolve(&self, name: &str, loc: Loc) -> Result<Binding, HlsError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&b) = scope.get(name) {
+                return Ok(b);
+            }
+        }
+        Err(HlsError::Type {
+            loc,
+            detail: format!("`{name}` is not declared"),
+        })
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(Block {
+            instrs: Vec::new(),
+            term: Terminator::Return(None),
+        });
+        id
+    }
+
+    fn emit(&mut self, instr: Instr) {
+        self.func.blocks[self.current.0 as usize].instrs.push(instr);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        self.func.blocks[self.current.0 as usize].term = term;
+    }
+
+    /// Lower a statement list; returns true if it ended with a `return`.
+    fn lower_body(&mut self, body: &[Stmt]) -> Result<bool, HlsError> {
+        let mut terminated = false;
+        for stmt in body {
+            if terminated {
+                // dead code after return: accept and drop
+                break;
+            }
+            terminated = self.lower_stmt(stmt)?;
+        }
+        Ok(terminated)
+    }
+
+    /// Lower one statement; returns true if it terminated the block with a
+    /// return.
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<bool, HlsError> {
+        match stmt {
+            Stmt::Decl { ty, name, init, loc } => {
+                let var = self.new_var(name, *ty);
+                self.scope_insert(name, Binding::Var(var), *loc)?;
+                if let Some(e) = init {
+                    let (v, vty) = self.lower_expr(e)?;
+                    let v = self.coerce(v, vty, *ty, *loc);
+                    self.emit(Instr {
+                        dst: None,
+                        op: IrOp::SetVar { var, value: v },
+                        ty: *ty,
+                        loc: *loc,
+                    });
+                }
+                Ok(false)
+            }
+            Stmt::ArrayDecl {
+                ty,
+                name,
+                size,
+                init,
+                loc,
+            } => {
+                let id = ArrayId(self.func.arrays.len() as u32);
+                self.func.arrays.push(ArrayInfo {
+                    name: name.clone(),
+                    ty: *ty,
+                    size: *size,
+                    kind: ArrayKind::Local { init: init.clone() },
+                });
+                self.scope_insert(name, Binding::Array(id), *loc)?;
+                Ok(false)
+            }
+            Stmt::Assign { name, value, loc } => {
+                let Binding::Var(var) = self.resolve(name, *loc)? else {
+                    return Err(HlsError::Type {
+                        loc: *loc,
+                        detail: format!("cannot assign to array `{name}` without an index"),
+                    });
+                };
+                let (v, vty) = self.lower_expr(value)?;
+                let target_ty = self.func.vars[var.0 as usize].ty;
+                let v = self.coerce(v, vty, target_ty, *loc);
+                self.emit(Instr {
+                    dst: None,
+                    op: IrOp::SetVar { var, value: v },
+                    ty: target_ty,
+                    loc: *loc,
+                });
+                Ok(false)
+            }
+            Stmt::Store {
+                name,
+                index,
+                value,
+                loc,
+            } => {
+                let Binding::Array(array) = self.resolve(name, *loc)? else {
+                    return Err(HlsError::Type {
+                        loc: *loc,
+                        detail: format!("`{name}` is not an array"),
+                    });
+                };
+                let (iv, _) = self.lower_expr(index)?;
+                let (vv, vty) = self.lower_expr(value)?;
+                let ety = self.func.arrays[array.0 as usize].ty;
+                let vv = self.coerce(vv, vty, ety, *loc);
+                self.emit(Instr {
+                    dst: None,
+                    op: IrOp::Store {
+                        array,
+                        index: iv,
+                        value: vv,
+                    },
+                    ty: ety,
+                    loc: *loc,
+                });
+                Ok(false)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                loc: _,
+            } => {
+                let (c, _) = self.lower_expr(cond)?;
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join_bb = self.new_block();
+                self.terminate(Terminator::Branch {
+                    cond: c,
+                    then_bb,
+                    else_bb,
+                });
+                self.current = then_bb;
+                self.scopes.push(HashMap::new());
+                let then_ret = self.lower_body(then_body)?;
+                self.scopes.pop();
+                if !then_ret {
+                    self.terminate(Terminator::Jump(join_bb));
+                }
+                self.current = else_bb;
+                self.scopes.push(HashMap::new());
+                let else_ret = self.lower_body(else_body)?;
+                self.scopes.pop();
+                if !else_ret {
+                    self.terminate(Terminator::Jump(join_bb));
+                }
+                self.current = join_bb;
+                Ok(false)
+            }
+            Stmt::While { cond, body, loc: _ } => {
+                let head = self.new_block();
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                self.terminate(Terminator::Jump(head));
+                self.current = head;
+                let (c, _) = self.lower_expr(cond)?;
+                self.terminate(Terminator::Branch {
+                    cond: c,
+                    then_bb: body_bb,
+                    else_bb: exit,
+                });
+                self.current = body_bb;
+                self.scopes.push(HashMap::new());
+                self.loop_stack.push((head, exit));
+                let body_ret = self.lower_body(body)?;
+                self.loop_stack.pop();
+                self.scopes.pop();
+                if !body_ret {
+                    self.terminate(Terminator::Jump(head));
+                }
+                self.current = exit;
+                Ok(false)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                loc: _,
+            } => {
+                self.scopes.push(HashMap::new());
+                self.lower_stmt(init)?;
+                let head = self.new_block();
+                let body_bb = self.new_block();
+                let step_bb = self.new_block();
+                let exit = self.new_block();
+                self.terminate(Terminator::Jump(head));
+                self.current = head;
+                let (c, _) = self.lower_expr(cond)?;
+                self.terminate(Terminator::Branch {
+                    cond: c,
+                    then_bb: body_bb,
+                    else_bb: exit,
+                });
+                self.current = body_bb;
+                self.scopes.push(HashMap::new());
+                self.loop_stack.push((step_bb, exit));
+                let body_ret = self.lower_body(body)?;
+                self.loop_stack.pop();
+                self.scopes.pop();
+                if !body_ret {
+                    self.terminate(Terminator::Jump(step_bb));
+                }
+                // the step block runs the step statement, then re-tests
+                self.current = step_bb;
+                self.lower_stmt(step)?;
+                self.terminate(Terminator::Jump(head));
+                self.scopes.pop();
+                self.current = exit;
+                Ok(false)
+            }
+            Stmt::Break { loc } => {
+                let &(_, break_bb) =
+                    self.loop_stack.last().ok_or_else(|| HlsError::Type {
+                        loc: *loc,
+                        detail: "`break` outside of a loop".into(),
+                    })?;
+                self.terminate(Terminator::Jump(break_bb));
+                Ok(true)
+            }
+            Stmt::Continue { loc } => {
+                let &(continue_bb, _) =
+                    self.loop_stack.last().ok_or_else(|| HlsError::Type {
+                        loc: *loc,
+                        detail: "`continue` outside of a loop".into(),
+                    })?;
+                self.terminate(Terminator::Jump(continue_bb));
+                Ok(true)
+            }
+            Stmt::Return { value, loc } => {
+                let op = match (value, self.func.return_type) {
+                    (Some(e), Some(rty)) => {
+                        let (v, vty) = self.lower_expr(e)?;
+                        Some(self.coerce(v, vty, rty, *loc))
+                    }
+                    (None, None) => None,
+                    (Some(_), None) => {
+                        return Err(HlsError::Type {
+                            loc: *loc,
+                            detail: "void function returns a value".into(),
+                        })
+                    }
+                    (None, Some(_)) => {
+                        return Err(HlsError::Type {
+                            loc: *loc,
+                            detail: "non-void function returns nothing".into(),
+                        })
+                    }
+                };
+                self.terminate(Terminator::Return(op));
+                Ok(true)
+            }
+            Stmt::ExprStmt { expr, loc } => match expr {
+                Expr::Call { .. } => {
+                    self.lower_expr(expr)?;
+                    Ok(false)
+                }
+                _ => Err(HlsError::Unsupported {
+                    loc: *loc,
+                    detail: "expression statements must be calls".into(),
+                }),
+            },
+        }
+    }
+
+    fn coerce(&mut self, v: Operand, from: IntType, to: IntType, loc: Loc) -> Operand {
+        if from == to {
+            return v;
+        }
+        if let Operand::Const(_) = v {
+            return v; // constants adapt to context
+        }
+        let dst = self.new_temp(to);
+        self.emit(Instr {
+            dst: Some(dst),
+            op: IrOp::Cast { a: v, from },
+            ty: to,
+            loc,
+        });
+        Operand::Temp(dst)
+    }
+
+    fn lower_expr(&mut self, e: &Expr) -> Result<(Operand, IntType), HlsError> {
+        match e {
+            Expr::Literal { value, .. } => Ok((Operand::Const(*value), IntType::I32)),
+            Expr::Var { name, loc } => match self.resolve(name, *loc)? {
+                Binding::Var(v) => Ok((Operand::Var(v), self.func.vars[v.0 as usize].ty)),
+                Binding::Array(_) => Err(HlsError::Type {
+                    loc: *loc,
+                    detail: format!("array `{name}` used as a scalar"),
+                }),
+            },
+            Expr::Index { name, index, loc } => {
+                let Binding::Array(array) = self.resolve(name, *loc)? else {
+                    return Err(HlsError::Type {
+                        loc: *loc,
+                        detail: format!("`{name}` is not an array"),
+                    });
+                };
+                let (iv, _) = self.lower_expr(index)?;
+                let ety = self.func.arrays[array.0 as usize].ty;
+                let dst = self.new_temp(ety);
+                self.emit(Instr {
+                    dst: Some(dst),
+                    op: IrOp::Load { array, index: iv },
+                    ty: ety,
+                    loc: *loc,
+                });
+                Ok((Operand::Temp(dst), ety))
+            }
+            Expr::Binary { op, lhs, rhs, loc } => {
+                let (a, aty) = self.lower_expr(lhs)?;
+                let (b, bty) = self.lower_expr(rhs)?;
+                let (a, b, opty) = match op {
+                    BinOp::LogAnd | BinOp::LogOr => {
+                        let a = self.to_bool(a, aty, *loc);
+                        let b = self.to_bool(b, bty, *loc);
+                        (a, b, IntType::BOOL)
+                    }
+                    BinOp::Shl | BinOp::Shr => (a, b, aty),
+                    _ => {
+                        let unified = aty.unify(bty);
+                        (
+                            self.coerce(a, aty, unified, *loc),
+                            self.coerce(b, bty, unified, *loc),
+                            unified,
+                        )
+                    }
+                };
+                let result_ty = if op.is_comparison() || matches!(op, BinOp::LogAnd | BinOp::LogOr)
+                {
+                    IntType::BOOL
+                } else {
+                    opty
+                };
+                let dst = self.new_temp(result_ty);
+                self.emit(Instr {
+                    dst: Some(dst),
+                    op: IrOp::Bin { op: *op, a, b },
+                    ty: result_ty,
+                    loc: *loc,
+                });
+                Ok((Operand::Temp(dst), result_ty))
+            }
+            Expr::Unary { op, operand, loc } => {
+                let (a, aty) = self.lower_expr(operand)?;
+                let result_ty = match op {
+                    UnOp::LogNot => IntType::BOOL,
+                    _ => aty,
+                };
+                let a = if matches!(op, UnOp::LogNot) {
+                    self.to_bool(a, aty, *loc)
+                } else {
+                    a
+                };
+                let dst = self.new_temp(result_ty);
+                self.emit(Instr {
+                    dst: Some(dst),
+                    op: IrOp::Un { op: *op, a },
+                    ty: result_ty,
+                    loc: *loc,
+                });
+                Ok((Operand::Temp(dst), result_ty))
+            }
+            Expr::Cast { ty, operand, loc } => {
+                let (a, aty) = self.lower_expr(operand)?;
+                if aty == *ty {
+                    return Ok((a, *ty));
+                }
+                let dst = self.new_temp(*ty);
+                self.emit(Instr {
+                    dst: Some(dst),
+                    op: IrOp::Cast { a, from: aty },
+                    ty: *ty,
+                    loc: *loc,
+                });
+                Ok((Operand::Temp(dst), *ty))
+            }
+            Expr::Call { name, args, loc } => self.inline_call(name, args, *loc),
+        }
+    }
+
+    fn to_bool(&mut self, v: Operand, ty: IntType, loc: Loc) -> Operand {
+        if ty == IntType::BOOL {
+            return v;
+        }
+        let dst = self.new_temp(IntType::BOOL);
+        self.emit(Instr {
+            dst: Some(dst),
+            op: IrOp::Bin {
+                op: BinOp::Ne,
+                a: v,
+                b: Operand::Const(0),
+            },
+            ty: IntType::BOOL,
+            loc,
+        });
+        Operand::Temp(dst)
+    }
+
+    fn inline_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        loc: Loc,
+    ) -> Result<(Operand, IntType), HlsError> {
+        let callee: &Function = self.program.function(name).ok_or_else(|| HlsError::Type {
+            loc,
+            detail: format!("call to undefined function `{name}`"),
+        })?;
+        if callee.name == self.func.name || self.depth >= MAX_INLINE_DEPTH {
+            return Err(HlsError::Unsupported {
+                loc,
+                detail: format!("recursive call to `{name}` cannot be synthesized"),
+            });
+        }
+        if args.len() != callee.params.len() {
+            return Err(HlsError::Type {
+                loc,
+                detail: format!(
+                    "`{name}` expects {} arguments, got {}",
+                    callee.params.len(),
+                    args.len()
+                ),
+            });
+        }
+        // Fresh scope mapping callee parameter names.
+        let mut callee_scope = HashMap::new();
+        for (param, arg) in callee.params.iter().zip(args) {
+            match param.array {
+                Some(_) => {
+                    // array argument must be an array name
+                    let Expr::Var { name: an, loc: aloc } = arg else {
+                        return Err(HlsError::Unsupported {
+                            loc: arg.loc(),
+                            detail: "array arguments must be plain array names".into(),
+                        });
+                    };
+                    let Binding::Array(aid) = self.resolve(an, *aloc)? else {
+                        return Err(HlsError::Type {
+                            loc: *aloc,
+                            detail: format!("`{an}` is not an array"),
+                        });
+                    };
+                    callee_scope.insert(param.name.clone(), Binding::Array(aid));
+                }
+                None => {
+                    let (v, vty) = self.lower_expr(arg)?;
+                    let v = self.coerce(v, vty, param.ty, loc);
+                    let pv = self.new_var(&format!("{name}.{}", param.name), param.ty);
+                    self.emit(Instr {
+                        dst: None,
+                        op: IrOp::SetVar {
+                            var: pv,
+                            value: v,
+                        },
+                        ty: param.ty,
+                        loc,
+                    });
+                    callee_scope.insert(param.name.clone(), Binding::Var(pv));
+                }
+            }
+        }
+        // Result variable for non-void callees.
+        let result_var = callee.return_type.map(|rty| {
+            self.new_var(&format!("{name}.__ret"), rty)
+        });
+        let exit_bb = self.new_block();
+
+        // Lower callee body with a dedicated scope stack and return target.
+        let saved_scopes = std::mem::replace(&mut self.scopes, vec![callee_scope]);
+        let saved_name = std::mem::replace(&mut self.func.name, callee.name.clone());
+        let saved_rty = std::mem::replace(&mut self.func.return_type, callee.return_type);
+        self.depth += 1;
+        let result = self.lower_inlined_body(&callee.body, result_var, exit_bb);
+        self.depth -= 1;
+        self.func.name = saved_name;
+        self.func.return_type = saved_rty;
+        self.scopes = saved_scopes;
+        result?;
+        self.current = exit_bb;
+        match (result_var, callee.return_type) {
+            (Some(v), Some(rty)) => Ok((Operand::Var(v), rty)),
+            _ => Ok((Operand::Const(0), IntType::I32)),
+        }
+    }
+
+    /// Lower an inlined body: returns become `SetVar(result) + Jump(exit)`.
+    fn lower_inlined_body(
+        &mut self,
+        body: &[Stmt],
+        result_var: Option<VarId>,
+        exit_bb: BlockId,
+    ) -> Result<(), HlsError> {
+        for stmt in body {
+            if let Stmt::Return { value, loc } = stmt {
+                if let (Some(e), Some(rv)) = (value, result_var) {
+                    let (v, vty) = self.lower_expr(e)?;
+                    let rty = self.func.vars[rv.0 as usize].ty;
+                    let v = self.coerce(v, vty, rty, *loc);
+                    self.emit(Instr {
+                        dst: None,
+                        op: IrOp::SetVar {
+                            var: rv,
+                            value: v,
+                        },
+                        ty: rty,
+                        loc: *loc,
+                    });
+                }
+                self.terminate(Terminator::Jump(exit_bb));
+                return Ok(());
+            }
+            // For control flow containing returns we recurse specially.
+            match stmt {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    let (c, _) = self.lower_expr(cond)?;
+                    let then_bb = self.new_block();
+                    let else_bb = self.new_block();
+                    let join_bb = self.new_block();
+                    self.terminate(Terminator::Branch {
+                        cond: c,
+                        then_bb,
+                        else_bb,
+                    });
+                    self.current = then_bb;
+                    self.scopes.push(HashMap::new());
+                    self.lower_inlined_body(then_body, result_var, exit_bb)?;
+                    self.scopes.pop();
+                    if !matches!(
+                        self.func.blocks[self.current.0 as usize].term,
+                        Terminator::Jump(_)
+                    ) {
+                        self.terminate(Terminator::Jump(join_bb));
+                    }
+                    self.current = else_bb;
+                    self.scopes.push(HashMap::new());
+                    self.lower_inlined_body(else_body, result_var, exit_bb)?;
+                    self.scopes.pop();
+                    if !matches!(
+                        self.func.blocks[self.current.0 as usize].term,
+                        Terminator::Jump(_)
+                    ) {
+                        self.terminate(Terminator::Jump(join_bb));
+                    }
+                    self.current = join_bb;
+                }
+                _ => {
+                    if self.lower_stmt(stmt)? {
+                        // break/continue terminated the block
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        self.terminate(Terminator::Jump(exit_bb));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse;
+
+    fn lower_src(src: &str) -> IrFunction {
+        let p = parse(src).expect("parses");
+        lower(&p, None).expect("lowers")
+    }
+
+    #[test]
+    fn straight_line_lowering() {
+        let f = lower_src("int f(int a, int b) { int c = a + b; return c * 2; }");
+        assert_eq!(f.blocks.len(), 1);
+        assert!(f.instr_count() >= 3); // add, setvar, mul
+        assert_eq!(f.vars.len(), 3); // a, b, c
+    }
+
+    #[test]
+    fn if_creates_diamond() {
+        let f = lower_src("int f(int a) { int x = 0; if (a > 0) { x = 1; } else { x = 2; } return x; }");
+        // entry, then, else, join
+        assert_eq!(f.blocks.len(), 4);
+        assert!(matches!(
+            f.block(BlockId(0)).term,
+            Terminator::Branch { .. }
+        ));
+    }
+
+    #[test]
+    fn while_creates_loop() {
+        let f = lower_src("int f(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }");
+        assert_eq!(f.blocks.len(), 4); // entry, head, body, exit
+        let head = f.block(BlockId(1));
+        assert!(matches!(head.term, Terminator::Branch { .. }));
+    }
+
+    #[test]
+    fn local_array_becomes_bram() {
+        let f = lower_src("int f() { int m[8] = {1,2,3}; return m[2]; }");
+        assert_eq!(f.arrays.len(), 1);
+        assert!(matches!(f.arrays[0].kind, ArrayKind::Local { .. }));
+        assert_eq!(f.arrays[0].size, 8);
+    }
+
+    #[test]
+    fn param_array_is_external() {
+        let f = lower_src("int f(int *data) { return data[0]; }");
+        assert!(matches!(f.arrays[0].kind, ArrayKind::External));
+        assert!(matches!(f.params[0].1, ParamBinding::Array(_)));
+    }
+
+    #[test]
+    fn inlining_produces_single_function() {
+        let f = lower_src(
+            "int sq(int x) { return x * x; }\nint f(int a) { return sq(a) + sq(a + 1); }",
+        );
+        // both call sites inlined: two mul instructions present
+        let muls = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i.op, IrOp::Bin { op: BinOp::Mul, .. }))
+            .count();
+        assert_eq!(muls, 2);
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let p = parse("int f(int a) { return f(a - 1); }").unwrap();
+        assert!(matches!(
+            lower(&p, None),
+            Err(HlsError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn undeclared_variable_rejected() {
+        let p = parse("int f() { return nope; }").unwrap();
+        assert!(matches!(lower(&p, None), Err(HlsError::Type { .. })));
+    }
+
+    #[test]
+    fn type_coercion_inserts_casts() {
+        let f = lower_src("int16 f(int8 a, int16 b) { return a + b; }");
+        let casts = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i.op, IrOp::Cast { .. }))
+            .count();
+        assert!(casts >= 1, "int8 operand must be widened");
+    }
+
+    #[test]
+    fn top_selection_by_name() {
+        let p = parse("int a() { return 1; }\nint b() { return 2; }").unwrap();
+        let f = lower(&p, Some("a")).unwrap();
+        assert_eq!(f.name, "a");
+        assert!(lower(&p, Some("zz")).is_err());
+    }
+
+    #[test]
+    fn void_function_with_stores() {
+        let f = lower_src("void f(int *out) { out[0] = 42; }");
+        assert!(f.return_type.is_none());
+        let stores = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i.op, IrOp::Store { .. }))
+            .count();
+        assert_eq!(stores, 1);
+    }
+}

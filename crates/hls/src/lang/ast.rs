@@ -1,0 +1,432 @@
+//! Abstract syntax tree of the C subset.
+
+use crate::Loc;
+use std::fmt;
+
+/// A sized integer type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntType {
+    /// Width in bits (1 for `bool`, 8/16/32/64 otherwise).
+    pub width: u32,
+    /// Whether values are two's-complement signed.
+    pub signed: bool,
+}
+
+impl IntType {
+    /// 32-bit signed (`int`, `int32`).
+    pub const I32: IntType = IntType {
+        width: 32,
+        signed: true,
+    };
+    /// 32-bit unsigned.
+    pub const U32: IntType = IntType {
+        width: 32,
+        signed: false,
+    };
+    /// 1-bit boolean.
+    pub const BOOL: IntType = IntType {
+        width: 1,
+        signed: false,
+    };
+
+    /// The usual arithmetic conversion of two operand types (C-style:
+    /// widen to the larger width; unsigned wins at equal width).
+    pub fn unify(self, other: IntType) -> IntType {
+        let width = self.width.max(other.width);
+        let signed = if self.width == other.width {
+            self.signed && other.signed
+        } else if self.width > other.width {
+            self.signed
+        } else {
+            other.signed
+        };
+        IntType { width, signed }
+    }
+
+    /// Parse a type keyword.
+    pub fn from_keyword(kw: &str) -> Option<IntType> {
+        let t = |width, signed| Some(IntType { width, signed });
+        match kw {
+            "bool" => t(1, false),
+            "char" | "int8" => t(8, true),
+            "uint8" | "uchar" => t(8, false),
+            "short" | "int16" => t(16, true),
+            "uint16" | "ushort" => t(16, false),
+            "int" | "int32" => t(32, true),
+            "uint32" | "unsigned" | "uint" => t(32, false),
+            "long" | "int64" => t(64, true),
+            "uint64" | "ulong" => t(64, false),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for IntType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width == 1 {
+            write!(f, "bool")
+        } else {
+            write!(f, "{}int{}", if self.signed { "" } else { "u" }, self.width)
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (lowered to bitwise on 1-bit values)
+    LogAnd,
+    /// `||`
+    LogOr,
+}
+
+impl BinOp {
+    /// Whether the result is a 1-bit boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Symbol for diagnostics and emitted HDL comments.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::LogAnd => "&&",
+            BinOp::LogOr => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `~`
+    BitNot,
+    /// `!`
+    LogNot,
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Literal {
+        /// The value (sign-extended).
+        value: i64,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Variable reference.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Array element read: `name[index]`.
+    Index {
+        /// Array name.
+        name: String,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Function call: `name(args…)`.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Explicit cast: `(type) expr`.
+    Cast {
+        /// Target type.
+        ty: IntType,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Source location.
+        loc: Loc,
+    },
+}
+
+impl Expr {
+    /// Source location of the expression.
+    pub fn loc(&self) -> Loc {
+        match self {
+            Expr::Literal { loc, .. }
+            | Expr::Var { loc, .. }
+            | Expr::Index { loc, .. }
+            | Expr::Binary { loc, .. }
+            | Expr::Unary { loc, .. }
+            | Expr::Call { loc, .. }
+            | Expr::Cast { loc, .. } => *loc,
+        }
+    }
+}
+
+/// A statement node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Variable declaration with optional initializer.
+    Decl {
+        /// Declared type.
+        ty: IntType,
+        /// Variable name.
+        name: String,
+        /// Initializer, if present.
+        init: Option<Expr>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Local array declaration: `type name[size];`.
+    ArrayDecl {
+        /// Element type.
+        ty: IntType,
+        /// Array name.
+        name: String,
+        /// Element count.
+        size: u32,
+        /// Optional initializer list.
+        init: Vec<i64>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Scalar assignment: `name = expr;`.
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Value expression.
+        value: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Array element assignment: `name[index] = expr;`.
+    Store {
+        /// Target array.
+        name: String,
+        /// Index expression.
+        index: Expr,
+        /// Value expression.
+        value: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (may be empty).
+        else_body: Vec<Stmt>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// While loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// For loop (desugared by the parser into init + while when lowering).
+    For {
+        /// Init statement (decl or assign).
+        init: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+        /// Step statement (assign).
+        step: Box<Stmt>,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Exit the innermost loop.
+    Break {
+        /// Source location.
+        loc: Loc,
+    },
+    /// Jump to the innermost loop's next iteration (running a `for` loop's
+    /// step expression).
+    Continue {
+        /// Source location.
+        loc: Loc,
+    },
+    /// Return with optional value.
+    Return {
+        /// Returned expression (absent for `void`).
+        value: Option<Expr>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Expression statement (e.g. a call for its side effects — only
+    /// permitted for calls).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Element type.
+    pub ty: IntType,
+    /// `Some(hint)` if declared as an array/pointer (`type name[]` or
+    /// `type *name`); the hint is a size if given, else 0.
+    pub array: Option<u32>,
+    /// Source location.
+    pub loc: Loc,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type; `None` for `void`.
+    pub return_type: Option<IntType>,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source location.
+    pub loc: Loc,
+}
+
+/// A translation unit: one or more functions. The last function (or the one
+/// named by the user) is the synthesis top.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Functions in declaration order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_unification() {
+        let i8t = IntType {
+            width: 8,
+            signed: true,
+        };
+        let u16t = IntType {
+            width: 16,
+            signed: false,
+        };
+        assert_eq!(i8t.unify(u16t), u16t);
+        assert_eq!(IntType::I32.unify(IntType::U32), IntType::U32);
+        assert_eq!(IntType::I32.unify(IntType::I32), IntType::I32);
+    }
+
+    #[test]
+    fn keyword_types() {
+        assert_eq!(IntType::from_keyword("int"), Some(IntType::I32));
+        assert_eq!(
+            IntType::from_keyword("uint8"),
+            Some(IntType {
+                width: 8,
+                signed: false
+            })
+        );
+        assert_eq!(IntType::from_keyword("float"), None);
+        assert_eq!(IntType::from_keyword("bool"), Some(IntType::BOOL));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(IntType::I32.to_string(), "int32");
+        assert_eq!(IntType::BOOL.to_string(), "bool");
+        assert_eq!(BinOp::Shl.symbol(), "<<");
+    }
+}

@@ -1,0 +1,304 @@
+//! Hand-written lexer for the C subset.
+
+use crate::{HlsError, Loc};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal (decimal or `0x` hex).
+    Int(i64),
+    /// Identifier or keyword.
+    Ident(String),
+    /// Punctuation / operator, e.g. `+`, `<<=`, `{`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub loc: Loc,
+}
+
+/// The lexer.
+#[derive(Debug)]
+pub struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "++", "--", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+];
+
+impl<'s> Lexer<'s> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'s str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn loc(&self) -> Loc {
+        Loc {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), HlsError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    let start = self.loc();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.src.get(self.pos + 1)) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(HlsError::Lex {
+                                    loc: start,
+                                    detail: "unterminated block comment".into(),
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Produce the next token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HlsError::Lex`] on unrecognized characters or malformed
+    /// literals.
+    pub fn next_token(&mut self) -> Result<Token, HlsError> {
+        self.skip_trivia()?;
+        let loc = self.loc();
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                loc,
+            });
+        };
+        if c.is_ascii_digit() {
+            return self.lex_number(loc);
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while self
+                .peek()
+                .map(|c| c.is_ascii_alphanumeric() || c == b'_')
+                .unwrap_or(false)
+            {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos])
+                .expect("ascii ident")
+                .to_string();
+            return Ok(Token {
+                kind: TokenKind::Ident(text),
+                loc,
+            });
+        }
+        for &p in PUNCTS {
+            if self.src[self.pos..].starts_with(p.as_bytes()) {
+                for _ in 0..p.len() {
+                    self.bump();
+                }
+                return Ok(Token {
+                    kind: TokenKind::Punct(p),
+                    loc,
+                });
+            }
+        }
+        Err(HlsError::Lex {
+            loc,
+            detail: format!("unexpected character `{}`", c as char),
+        })
+    }
+
+    fn lex_number(&mut self, loc: Loc) -> Result<Token, HlsError> {
+        let start = self.pos;
+        let hex = self.src[self.pos..].starts_with(b"0x") || self.src[self.pos..].starts_with(b"0X");
+        if hex {
+            self.bump();
+            self.bump();
+        }
+        while self
+            .peek()
+            .map(|c| c.is_ascii_alphanumeric() || c == b'_')
+            .unwrap_or(false)
+        {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii number");
+        let cleaned = text.replace('_', "");
+        let value = if hex {
+            u64::from_str_radix(&cleaned[2..], 16).map(|v| v as i64)
+        } else {
+            cleaned.parse::<i64>()
+        };
+        match value {
+            Ok(v) => Ok(Token {
+                kind: TokenKind::Int(v),
+                loc,
+            }),
+            Err(_) => Err(HlsError::Lex {
+                loc,
+                detail: format!("malformed integer literal `{text}`"),
+            }),
+        }
+    }
+
+    /// Lex the entire input into a vector (including the trailing EOF).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first lexical error.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, HlsError> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("int x = 42;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("="),
+                TokenKind::Int(42),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let k = kinds("a <<= b << c <= d");
+        let puncts: Vec<_> = k
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["<<=", "<<", "<="]);
+    }
+
+    #[test]
+    fn hex_and_underscores() {
+        assert_eq!(kinds("0xFF")[0], TokenKind::Int(255));
+        assert_eq!(kinds("1_000_000")[0], TokenKind::Int(1_000_000));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("a // line\n /* block\n comment */ b");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(matches!(
+            Lexer::new("/* nope").tokenize(),
+            Err(HlsError::Lex { .. })
+        ));
+    }
+
+    #[test]
+    fn locations_track_lines() {
+        let toks = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!(toks[0].loc, Loc { line: 1, col: 1 });
+        assert_eq!(toks[1].loc, Loc { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        assert!(matches!(
+            Lexer::new("a @ b").tokenize(),
+            Err(HlsError::Lex { .. })
+        ));
+    }
+}

@@ -1,0 +1,17 @@
+//! The synthesizable C-subset frontend: lexer, AST, and parser.
+//!
+//! The accepted language covers the constructs the paper's use-case kernels
+//! need: sized integer types (`int8`/`uint8` … `int64`/`uint64`, plus C's
+//! `int`/`unsigned` as 32-bit aliases and `bool`/`char`), one-dimensional
+//! arrays (local or parameters), `if`/`else`, `while`, `for`, `return`,
+//! compound assignment, full C operator precedence, and calls to other
+//! functions defined in the same translation unit (inlined by the
+//! middle-end).
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::parse;

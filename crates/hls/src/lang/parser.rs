@@ -1,0 +1,689 @@
+//! Recursive-descent parser for the C subset.
+
+use super::ast::*;
+use super::lexer::{Lexer, Token, TokenKind};
+use crate::{HlsError, Loc};
+
+/// Parse a full translation unit.
+///
+/// # Errors
+///
+/// Returns [`HlsError::Lex`] / [`HlsError::Parse`] on malformed input.
+pub fn parse(src: &str) -> Result<Program, HlsError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut program = Program::default();
+    while !p.at_eof() {
+        program.functions.push(p.function()?);
+    }
+    if program.functions.is_empty() {
+        return Err(HlsError::Parse {
+            loc: Loc::default(),
+            detail: "no functions in translation unit".into(),
+        });
+    }
+    Ok(program)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, detail: impl Into<String>) -> Result<T, HlsError> {
+        Err(HlsError::Parse {
+            loc: self.peek().loc,
+            detail: detail.into(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<Loc, HlsError> {
+        match &self.peek().kind {
+            TokenKind::Punct(q) if *q == p => Ok(self.bump().loc),
+            other => self.err(format!("expected `{p}`, found {other:?}")),
+        }
+    }
+
+    fn try_punct(&mut self, p: &str) -> bool {
+        if matches!(&self.peek().kind, TokenKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Loc), HlsError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let t = self.bump();
+                match t.kind {
+                    TokenKind::Ident(s) => Ok((s, t.loc)),
+                    _ => unreachable!(),
+                }
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn peek_type(&self) -> Option<IntType> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => IntType::from_keyword(s),
+            _ => None,
+        }
+    }
+
+    fn peek_is_void(&self) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == "void")
+    }
+
+    fn function(&mut self) -> Result<Function, HlsError> {
+        let loc = self.peek().loc;
+        let return_type = if self.peek_is_void() {
+            self.bump();
+            None
+        } else if let Some(ty) = self.peek_type() {
+            self.bump();
+            Some(ty)
+        } else {
+            return self.err("expected return type");
+        };
+        let (name, _) = self.ident()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        if !self.try_punct(")") {
+            loop {
+                let ploc = self.peek().loc;
+                let Some(ty) = self.peek_type() else {
+                    return self.err("expected parameter type");
+                };
+                self.bump();
+                let pointer = self.try_punct("*");
+                let (pname, _) = self.ident()?;
+                let mut array = if pointer { Some(0) } else { None };
+                if self.try_punct("[") {
+                    let size = if let TokenKind::Int(n) = self.peek().kind {
+                        self.bump();
+                        n as u32
+                    } else {
+                        0
+                    };
+                    self.eat_punct("]")?;
+                    array = Some(size);
+                }
+                params.push(Param {
+                    name: pname,
+                    ty,
+                    array,
+                    loc: ploc,
+                });
+                if self.try_punct(")") {
+                    break;
+                }
+                self.eat_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Function {
+            name,
+            return_type,
+            params,
+            body,
+            loc,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, HlsError> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.try_punct("}") {
+            if self.at_eof() {
+                return self.err("unexpected end of input in block");
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, HlsError> {
+        if matches!(&self.peek().kind, TokenKind::Punct("{")) {
+            self.block()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, HlsError> {
+        let loc = self.peek().loc;
+        // declaration
+        if let Some(ty) = self.peek_type() {
+            self.bump();
+            let (name, _) = self.ident()?;
+            if self.try_punct("[") {
+                let size = match self.peek().kind {
+                    TokenKind::Int(n) if n > 0 => {
+                        self.bump();
+                        n as u32
+                    }
+                    _ => return self.err("local array needs a positive constant size"),
+                };
+                self.eat_punct("]")?;
+                let mut init = Vec::new();
+                if self.try_punct("=") {
+                    self.eat_punct("{")?;
+                    if !self.try_punct("}") {
+                        loop {
+                            let neg = self.try_punct("-");
+                            match self.peek().kind {
+                                TokenKind::Int(v) => {
+                                    self.bump();
+                                    init.push(if neg { -v } else { v });
+                                }
+                                _ => return self.err("array initializers must be constants"),
+                            }
+                            if self.try_punct("}") {
+                                break;
+                            }
+                            self.eat_punct(",")?;
+                        }
+                    }
+                }
+                self.eat_punct(";")?;
+                return Ok(Stmt::ArrayDecl {
+                    ty,
+                    name,
+                    size,
+                    init,
+                    loc,
+                });
+            }
+            let init = if self.try_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.eat_punct(";")?;
+            return Ok(Stmt::Decl {
+                ty,
+                name,
+                init,
+                loc,
+            });
+        }
+        // keywords
+        if let TokenKind::Ident(kw) = &self.peek().kind {
+            match kw.as_str() {
+                "if" => {
+                    self.bump();
+                    self.eat_punct("(")?;
+                    let cond = self.expr()?;
+                    self.eat_punct(")")?;
+                    let then_body = self.stmt_or_block()?;
+                    let else_body = if matches!(&self.peek().kind, TokenKind::Ident(s) if s == "else")
+                    {
+                        self.bump();
+                        self.stmt_or_block()?
+                    } else {
+                        Vec::new()
+                    };
+                    return Ok(Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                        loc,
+                    });
+                }
+                "while" => {
+                    self.bump();
+                    self.eat_punct("(")?;
+                    let cond = self.expr()?;
+                    self.eat_punct(")")?;
+                    let body = self.stmt_or_block()?;
+                    return Ok(Stmt::While { cond, body, loc });
+                }
+                "for" => {
+                    self.bump();
+                    self.eat_punct("(")?;
+                    let init = Box::new(self.statement()?); // consumes `;`
+                    let cond = self.expr()?;
+                    self.eat_punct(";")?;
+                    let step = Box::new(self.simple_statement(false)?);
+                    self.eat_punct(")")?;
+                    let body = self.stmt_or_block()?;
+                    return Ok(Stmt::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                        loc,
+                    });
+                }
+                "break" => {
+                    self.bump();
+                    self.eat_punct(";")?;
+                    return Ok(Stmt::Break { loc });
+                }
+                "continue" => {
+                    self.bump();
+                    self.eat_punct(";")?;
+                    return Ok(Stmt::Continue { loc });
+                }
+                "return" => {
+                    self.bump();
+                    let value = if self.try_punct(";") {
+                        None
+                    } else {
+                        let v = self.expr()?;
+                        self.eat_punct(";")?;
+                        Some(v)
+                    };
+                    return Ok(Stmt::Return { value, loc });
+                }
+                _ => {}
+            }
+        }
+        let s = self.simple_statement(true)?;
+        Ok(s)
+    }
+
+    /// Assignment / call / inc-dec statement; `want_semi` controls whether a
+    /// trailing `;` is consumed (false inside `for(...)` steps).
+    fn simple_statement(&mut self, want_semi: bool) -> Result<Stmt, HlsError> {
+        let loc = self.peek().loc;
+        let (name, nloc) = self.ident()?;
+        let stmt = if self.try_punct("[") {
+            let index = self.expr()?;
+            self.eat_punct("]")?;
+            // compound ops on array elements
+            let op = self.assign_op()?;
+            let rhs = self.expr()?;
+            let value = match op {
+                None => rhs,
+                Some(binop) => Expr::Binary {
+                    op: binop,
+                    lhs: Box::new(Expr::Index {
+                        name: name.clone(),
+                        index: Box::new(index.clone()),
+                        loc: nloc,
+                    }),
+                    rhs: Box::new(rhs),
+                    loc,
+                },
+            };
+            Stmt::Store {
+                name,
+                index,
+                value,
+                loc,
+            }
+        } else if self.try_punct("(") {
+            let mut args = Vec::new();
+            if !self.try_punct(")") {
+                loop {
+                    args.push(self.expr()?);
+                    if self.try_punct(")") {
+                        break;
+                    }
+                    self.eat_punct(",")?;
+                }
+            }
+            Stmt::ExprStmt {
+                expr: Expr::Call {
+                    name,
+                    args,
+                    loc: nloc,
+                },
+                loc,
+            }
+        } else if self.try_punct("++") || {
+            // peek for -- without consuming on failure
+            matches!(&self.peek().kind, TokenKind::Punct("--")) && {
+                self.bump();
+                true
+            }
+        } {
+            // `x++` / `x--`: which one did we consume? Inspect previous token.
+            let prev = &self.tokens[self.pos - 1];
+            let op = if matches!(prev.kind, TokenKind::Punct("++")) {
+                BinOp::Add
+            } else {
+                BinOp::Sub
+            };
+            Stmt::Assign {
+                name: name.clone(),
+                value: Expr::Binary {
+                    op,
+                    lhs: Box::new(Expr::Var {
+                        name,
+                        loc: nloc,
+                    }),
+                    rhs: Box::new(Expr::Literal { value: 1, loc }),
+                    loc,
+                },
+                loc,
+            }
+        } else {
+            let op = self.assign_op()?;
+            let rhs = self.expr()?;
+            let value = match op {
+                None => rhs,
+                Some(binop) => Expr::Binary {
+                    op: binop,
+                    lhs: Box::new(Expr::Var {
+                        name: name.clone(),
+                        loc: nloc,
+                    }),
+                    rhs: Box::new(rhs),
+                    loc,
+                },
+            };
+            Stmt::Assign { name, value, loc }
+        };
+        if want_semi {
+            self.eat_punct(";")?;
+        }
+        Ok(stmt)
+    }
+
+    /// Consume `=` or a compound assignment operator, returning the
+    /// underlying binary op for compound forms.
+    fn assign_op(&mut self) -> Result<Option<BinOp>, HlsError> {
+        let ops: &[(&str, BinOp)] = &[
+            ("+=", BinOp::Add),
+            ("-=", BinOp::Sub),
+            ("*=", BinOp::Mul),
+            ("/=", BinOp::Div),
+            ("%=", BinOp::Mod),
+            ("&=", BinOp::And),
+            ("|=", BinOp::Or),
+            ("^=", BinOp::Xor),
+            ("<<=", BinOp::Shl),
+            (">>=", BinOp::Shr),
+        ];
+        for (sym, op) in ops {
+            if self.try_punct(sym) {
+                return Ok(Some(*op));
+            }
+        }
+        self.eat_punct("=")?;
+        Ok(None)
+    }
+
+    fn expr(&mut self) -> Result<Expr, HlsError> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, HlsError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let Some((op, prec)) = self.peek_binop() else {
+                break;
+            };
+            if prec < min_prec {
+                break;
+            }
+            let loc = self.bump().loc;
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                loc,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        let p = match &self.peek().kind {
+            TokenKind::Punct(p) => *p,
+            _ => return None,
+        };
+        Some(match p {
+            "||" => (BinOp::LogOr, 1),
+            "&&" => (BinOp::LogAnd, 2),
+            "|" => (BinOp::Or, 3),
+            "^" => (BinOp::Xor, 4),
+            "&" => (BinOp::And, 5),
+            "==" => (BinOp::Eq, 6),
+            "!=" => (BinOp::Ne, 6),
+            "<" => (BinOp::Lt, 7),
+            "<=" => (BinOp::Le, 7),
+            ">" => (BinOp::Gt, 7),
+            ">=" => (BinOp::Ge, 7),
+            "<<" => (BinOp::Shl, 8),
+            ">>" => (BinOp::Shr, 8),
+            "+" => (BinOp::Add, 9),
+            "-" => (BinOp::Sub, 9),
+            "*" => (BinOp::Mul, 10),
+            "/" => (BinOp::Div, 10),
+            "%" => (BinOp::Mod, 10),
+            _ => return None,
+        })
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, HlsError> {
+        let loc = self.peek().loc;
+        if self.try_punct("-") {
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(self.unary_expr()?),
+                loc,
+            });
+        }
+        if self.try_punct("~") {
+            return Ok(Expr::Unary {
+                op: UnOp::BitNot,
+                operand: Box::new(self.unary_expr()?),
+                loc,
+            });
+        }
+        if self.try_punct("!") {
+            return Ok(Expr::Unary {
+                op: UnOp::LogNot,
+                operand: Box::new(self.unary_expr()?),
+                loc,
+            });
+        }
+        if self.try_punct("+") {
+            return self.unary_expr();
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, HlsError> {
+        let loc = self.peek().loc;
+        match self.peek().kind.clone() {
+            TokenKind::Int(value) => {
+                self.bump();
+                Ok(Expr::Literal { value, loc })
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                // cast or parenthesized expression
+                if let Some(ty) = self.peek_type() {
+                    // lookahead: `(type)` followed by expression
+                    if matches!(
+                        self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                        Some(TokenKind::Punct(")"))
+                    ) {
+                        self.bump(); // type
+                        self.eat_punct(")")?;
+                        let operand = self.unary_expr()?;
+                        return Ok(Expr::Cast {
+                            ty,
+                            operand: Box::new(operand),
+                            loc,
+                        });
+                    }
+                }
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if name == "true" || name == "false" {
+                    self.bump();
+                    return Ok(Expr::Literal {
+                        value: i64::from(name == "true"),
+                        loc,
+                    });
+                }
+                self.bump();
+                if self.try_punct("[") {
+                    let index = self.expr()?;
+                    self.eat_punct("]")?;
+                    Ok(Expr::Index {
+                        name,
+                        index: Box::new(index),
+                        loc,
+                    })
+                } else if self.try_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.try_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.try_punct(")") {
+                                break;
+                            }
+                            self.eat_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call { name, args, loc })
+                } else {
+                    Ok(Expr::Var { name, loc })
+                }
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_function() {
+        let p = parse("int f(int a) { return a + 1; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.return_type, Some(IntType::I32));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("int f() { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!("expected return");
+        };
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else {
+            panic!("expected + at top, got {e:?}");
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn for_loop_and_arrays() {
+        let src = r#"
+            void f(int32 *src, int32 dst[64]) {
+                int32 acc = 0;
+                for (int i = 0; i < 64; i++) {
+                    dst[i] = src[i] * 2;
+                    acc += src[i];
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let f = &p.functions[0];
+        assert!(f.return_type.is_none());
+        assert_eq!(f.params[0].array, Some(0));
+        assert_eq!(f.params[1].array, Some(64));
+        assert!(matches!(f.body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn local_array_with_init() {
+        let src = "int f() { int16 coef[4] = {1, -2, 3, 4}; return coef[0]; }";
+        let p = parse(src).unwrap();
+        let Stmt::ArrayDecl { size, init, .. } = &p.functions[0].body[0] else {
+            panic!("expected array decl");
+        };
+        assert_eq!(*size, 4);
+        assert_eq!(init, &vec![1, -2, 3, 4]);
+    }
+
+    #[test]
+    fn if_else_and_compound_assign() {
+        let src = r#"
+            int f(int a) {
+                int x = 0;
+                if (a > 10) { x += a; } else x -= a;
+                while (x > 0) x >>= 1;
+                return x;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.functions[0].body.len(), 4);
+    }
+
+    #[test]
+    fn casts_parse() {
+        let p = parse("int f(int a) { return (int8)a + (uint32)5; }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        let Expr::Binary { lhs, .. } = e else { panic!() };
+        assert!(matches!(**lhs, Expr::Cast { .. }));
+    }
+
+    #[test]
+    fn multiple_functions_and_calls() {
+        let src = r#"
+            int sq(int x) { return x * x; }
+            int f(int a, int b) { return sq(a) + sq(b); }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.functions.len(), 2);
+        assert!(p.function("sq").is_some());
+    }
+
+    #[test]
+    fn error_messages_have_locations() {
+        let err = parse("int f( { }").unwrap_err();
+        match err {
+            HlsError::Parse { loc, .. } => assert_eq!(loc.line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse("").is_err());
+        assert!(parse("int f() { return 1 }").is_err()); // missing ;
+    }
+
+    #[test]
+    fn logical_operators() {
+        let p = parse("bool f(int a, int b) { return a > 0 && b > 0 || !a; }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e, Expr::Binary { op: BinOp::LogOr, .. }));
+    }
+}

@@ -1,0 +1,161 @@
+//! # hermes-hls
+//!
+//! High-Level Synthesis for the HERMES ecosystem — the open Rust analogue of
+//! the Bambu HLS tool the paper integrates: a C-subset frontend, a
+//! control-and-data-flow-graph middle-end with classic optimizations, and a
+//! back-end performing allocation, scheduling, and binding before emitting
+//! an FSM + datapath design as Verilog/VHDL, as a coarse netlist for the
+//! `hermes-fpga` implementation flow, and as a cycle-accurate executable
+//! model for co-simulation (including AXI4 master interfaces with
+//! configurable memory delay, as described in Section II of the paper).
+//!
+//! ## Pipeline (Fig. 2 of the paper)
+//!
+//! ```text
+//!  C source --lang--> AST --typeck/ir--> CFG --opt--> CDFG
+//!     --allocate/schedule/bind--> FSM + datapath
+//!     --emit--> Verilog / VHDL | netlist | simulation model
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use hermes_hls::HlsFlow;
+//!
+//! # fn main() -> Result<(), hermes_hls::HlsError> {
+//! let src = r#"
+//!     int32 accumulate(int32 a, int32 b, int32 c) {
+//!         int32 s = a + b;
+//!         return s * c;
+//!     }
+//! "#;
+//! let design = HlsFlow::new().clock_ns(10.0).compile(src)?;
+//! let result = design.simulate(&[3, 4, 5])?;
+//! assert_eq!(result.return_value, Some(35));
+//! assert!(result.cycles > 0);
+//! let verilog = design.emit_verilog();
+//! assert!(verilog.contains("module accumulate"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod allocate;
+pub mod bind;
+pub mod cdfg;
+pub mod dataflow;
+pub mod datapath;
+pub mod emit;
+pub mod estimate;
+pub mod flow;
+pub mod fsm;
+pub mod interface;
+pub mod ir;
+pub mod lang;
+pub mod opt;
+pub mod schedule;
+pub mod simulate;
+
+pub use flow::{Design, HlsFlow};
+
+use std::fmt;
+
+/// Source location (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Loc {
+    /// Line number.
+    pub line: u32,
+    /// Column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors produced along the HLS pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HlsError {
+    /// Lexical error.
+    Lex {
+        /// Location of the bad character.
+        loc: Loc,
+        /// Detail message.
+        detail: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Location of the unexpected token.
+        loc: Loc,
+        /// Detail message.
+        detail: String,
+    },
+    /// Semantic / type error.
+    Type {
+        /// Location of the violation.
+        loc: Loc,
+        /// Detail message.
+        detail: String,
+    },
+    /// A construct outside the synthesizable subset.
+    Unsupported {
+        /// Location of the construct.
+        loc: Loc,
+        /// What is unsupported.
+        detail: String,
+    },
+    /// Scheduling could not satisfy the constraints.
+    Schedule {
+        /// Detail message.
+        detail: String,
+    },
+    /// Simulation fault (bad inputs, out-of-bounds access, watchdog).
+    Simulation {
+        /// Detail message.
+        detail: String,
+    },
+    /// Error from the AXI bus model during co-simulation.
+    Axi(hermes_axi::AxiError),
+    /// Error from downstream netlist construction.
+    Rtl(hermes_rtl::RtlError),
+}
+
+impl fmt::Display for HlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlsError::Lex { loc, detail } => write!(f, "lex error at {loc}: {detail}"),
+            HlsError::Parse { loc, detail } => write!(f, "parse error at {loc}: {detail}"),
+            HlsError::Type { loc, detail } => write!(f, "type error at {loc}: {detail}"),
+            HlsError::Unsupported { loc, detail } => {
+                write!(f, "unsupported construct at {loc}: {detail}")
+            }
+            HlsError::Schedule { detail } => write!(f, "scheduling failed: {detail}"),
+            HlsError::Simulation { detail } => write!(f, "simulation fault: {detail}"),
+            HlsError::Axi(e) => write!(f, "axi co-simulation error: {e}"),
+            HlsError::Rtl(e) => write!(f, "netlist generation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HlsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HlsError::Axi(e) => Some(e),
+            HlsError::Rtl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hermes_axi::AxiError> for HlsError {
+    fn from(e: hermes_axi::AxiError) -> Self {
+        HlsError::Axi(e)
+    }
+}
+
+impl From<hermes_rtl::RtlError> for HlsError {
+    fn from(e: hermes_rtl::RtlError) -> Self {
+        HlsError::Rtl(e)
+    }
+}

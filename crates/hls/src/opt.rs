@@ -1,0 +1,905 @@
+//! Middle-end optimizations over the IR: constant folding and propagation,
+//! common-subexpression elimination, strength reduction, dead-code
+//! elimination, CFG simplification, and (at the AST level) full loop
+//! unrolling for constant-trip `for` loops.
+//!
+//! This module also owns the *evaluation semantics* of the subset
+//! ([`eval_bin`] / [`eval_un`] / [`normalize`]): the optimizer, the
+//! cycle-accurate simulator, and the datapath all agree on these semantics,
+//! which is what makes HLS-vs-software co-simulation meaningful.
+//! Division by zero yields all-ones (quotient) / the dividend (remainder),
+//! matching the hardware divider in `hermes-rtl`.
+
+use crate::ir::{Instr, IrFunction, IrOp, Operand, TempId, Terminator, VarId};
+use crate::lang::ast::{BinOp, IntType, Stmt, UnOp};
+use std::collections::{HashMap, HashSet};
+
+/// Normalize a raw value to the canonical representation of `ty`:
+/// masked to `ty.width` bits, then sign- or zero-extended into `i64`.
+pub fn normalize(value: i64, ty: IntType) -> i64 {
+    let w = ty.width;
+    if w >= 64 {
+        return value;
+    }
+    let masked = (value as u64) & ((1u64 << w) - 1);
+    if ty.signed {
+        let shift = 64 - w;
+        ((masked << shift) as i64) >> shift
+    } else {
+        masked as i64
+    }
+}
+
+/// Evaluate a binary operation on canonical values of `ty` (the unified
+/// operand type), returning a canonical result.
+pub fn eval_bin(op: BinOp, a: i64, b: i64, ty: IntType) -> i64 {
+    let ua = normalize(a, ty) as u64 & mask(ty.width);
+    let ub = normalize(b, ty) as u64 & mask(ty.width);
+    let sa = normalize(a, ty);
+    let sb = normalize(b, ty);
+    let raw: i64 = match op {
+        BinOp::Add => sa.wrapping_add(sb),
+        BinOp::Sub => sa.wrapping_sub(sb),
+        BinOp::Mul => sa.wrapping_mul(sb),
+        BinOp::Div => {
+            if ub == 0 || (ty.signed && sb == 0) {
+                -1 // all-ones
+            } else if ty.signed {
+                sa.wrapping_div(sb)
+            } else {
+                (ua / ub) as i64
+            }
+        }
+        BinOp::Mod => {
+            if ub == 0 || (ty.signed && sb == 0) {
+                sa
+            } else if ty.signed {
+                sa.wrapping_rem(sb)
+            } else {
+                (ua % ub) as i64
+            }
+        }
+        BinOp::And => sa & sb,
+        BinOp::Or => sa | sb,
+        BinOp::Xor => sa ^ sb,
+        BinOp::Shl => {
+            let sh = (ub & 0x3F).min(63) as u32;
+            ((ua << sh) & mask(ty.width)) as i64
+        }
+        BinOp::Shr => {
+            let sh = (ub & 0x3F).min(63) as u32;
+            if ty.signed {
+                sa >> sh
+            } else {
+                (ua >> sh) as i64
+            }
+        }
+        BinOp::Lt => i64::from(if ty.signed { sa < sb } else { ua < ub }),
+        BinOp::Le => i64::from(if ty.signed { sa <= sb } else { ua <= ub }),
+        BinOp::Gt => i64::from(if ty.signed { sa > sb } else { ua > ub }),
+        BinOp::Ge => i64::from(if ty.signed { sa >= sb } else { ua >= ub }),
+        BinOp::Eq => i64::from(ua == ub),
+        BinOp::Ne => i64::from(ua != ub),
+        BinOp::LogAnd => i64::from(sa != 0 && sb != 0),
+        BinOp::LogOr => i64::from(sa != 0 || sb != 0),
+    };
+    let result_ty = if op.is_comparison() || matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+        IntType::BOOL
+    } else {
+        ty
+    };
+    normalize(raw, result_ty)
+}
+
+/// Evaluate a unary operation on a canonical value.
+pub fn eval_un(op: UnOp, a: i64, ty: IntType) -> i64 {
+    match op {
+        UnOp::Neg => normalize(normalize(a, ty).wrapping_neg(), ty),
+        UnOp::BitNot => normalize(!normalize(a, ty), ty),
+        UnOp::LogNot => i64::from(normalize(a, ty) == 0),
+    }
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Optimization statistics (for flow reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions folded to constants.
+    pub folded: usize,
+    /// Instructions removed as dead.
+    pub dce_removed: usize,
+    /// Duplicate expressions eliminated.
+    pub cse_hits: usize,
+    /// Multiplications/divisions strength-reduced to shifts/masks.
+    pub strength_reduced: usize,
+    /// Blocks removed by CFG simplification.
+    pub blocks_removed: usize,
+}
+
+/// Run the full optimization pipeline to a fixpoint (bounded).
+pub fn optimize(func: &mut IrFunction) -> OptStats {
+    let mut stats = OptStats::default();
+    for _ in 0..8 {
+        let mut changed = false;
+        changed |= constant_fold(func, &mut stats);
+        changed |= strength_reduce(func, &mut stats);
+        changed |= cse(func, &mut stats);
+        changed |= dce(func, &mut stats);
+        changed |= simplify_cfg(func, &mut stats);
+        if !changed {
+            break;
+        }
+    }
+    stats
+}
+
+/// Per-block constant folding and propagation (temps and block-local
+/// variable values), plus constant-branch elimination.
+pub fn constant_fold(func: &mut IrFunction, stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    let temp_types = func.temp_types.clone();
+    for block in &mut func.blocks {
+        let mut temp_const: HashMap<TempId, i64> = HashMap::new();
+        let mut var_const: HashMap<VarId, i64> = HashMap::new();
+        let subst = |op: Operand,
+                     temp_const: &HashMap<TempId, i64>,
+                     var_const: &HashMap<VarId, i64>| match op {
+            Operand::Temp(t) => temp_const
+                .get(&t)
+                .map(|&v| Operand::Const(v))
+                .unwrap_or(op),
+            Operand::Var(v) => var_const
+                .get(&v)
+                .map(|&c| Operand::Const(c))
+                .unwrap_or(op),
+            c => c,
+        };
+        let mut new_instrs = Vec::with_capacity(block.instrs.len());
+        for mut instr in block.instrs.drain(..) {
+            // substitute known-constant operands
+            match &mut instr.op {
+                IrOp::Bin { a, b, .. } => {
+                    *a = subst(*a, &temp_const, &var_const);
+                    *b = subst(*b, &temp_const, &var_const);
+                }
+                IrOp::Un { a, .. } | IrOp::Cast { a, .. } => {
+                    *a = subst(*a, &temp_const, &var_const);
+                }
+                IrOp::Load { index, .. } => {
+                    *index = subst(*index, &temp_const, &var_const);
+                }
+                IrOp::Store { index, value, .. } => {
+                    *index = subst(*index, &temp_const, &var_const);
+                    *value = subst(*value, &temp_const, &var_const);
+                }
+                IrOp::SetVar { value, .. } => {
+                    *value = subst(*value, &temp_const, &var_const);
+                }
+            }
+            // evaluate
+            match &instr.op {
+                IrOp::Bin {
+                    op,
+                    a: Operand::Const(a),
+                    b: Operand::Const(b),
+                } => {
+                    let operand_ty = instr_operand_ty(&instr, &temp_types);
+                    let v = eval_bin(*op, *a, *b, operand_ty);
+                    temp_const.insert(instr.dst.expect("bin has dst"), v);
+                    stats.folded += 1;
+                    changed = true;
+                    continue; // instruction removed
+                }
+                IrOp::Un {
+                    op,
+                    a: Operand::Const(a),
+                } => {
+                    let v = eval_un(*op, *a, instr.ty);
+                    temp_const.insert(instr.dst.expect("un has dst"), v);
+                    stats.folded += 1;
+                    changed = true;
+                    continue;
+                }
+                IrOp::Cast {
+                    a: Operand::Const(a),
+                    from,
+                } => {
+                    let v = normalize(normalize(*a, *from), instr.ty);
+                    temp_const.insert(instr.dst.expect("cast has dst"), v);
+                    stats.folded += 1;
+                    changed = true;
+                    continue;
+                }
+                IrOp::SetVar { var, value } => {
+                    match value {
+                        Operand::Const(c) => {
+                            let c = normalize(*c, func.vars[var.0 as usize].ty);
+                            var_const.insert(*var, c);
+                        }
+                        _ => {
+                            var_const.remove(var);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            new_instrs.push(instr);
+        }
+        block.instrs = new_instrs;
+        // fold constant branches
+        if let Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } = block.term.clone()
+        {
+            let c = subst(cond, &temp_const, &var_const);
+            match c {
+                Operand::Const(v) => {
+                    block.term = Terminator::Jump(if v != 0 { then_bb } else { else_bb });
+                    changed = true;
+                }
+                other if other != cond => {
+                    block.term = Terminator::Branch {
+                        cond: other,
+                        then_bb,
+                        else_bb,
+                    };
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        // substitute constants into Jump/Return terminators
+        if let Terminator::Return(Some(v)) = block.term.clone() {
+            let s = subst(v, &temp_const, &var_const);
+            if s != v {
+                block.term = Terminator::Return(Some(s));
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+fn instr_operand_ty(instr: &Instr, temp_types: &[IntType]) -> IntType {
+    // For comparisons the unified operand type is not the result type;
+    // reconstruct it from the operand temps if possible.
+    if let IrOp::Bin { op, a, b } = &instr.op {
+        if op.is_comparison() || matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+            let ty_of = |o: &Operand| match o {
+                Operand::Temp(t) => Some(temp_types[t.0 as usize]),
+                _ => None,
+            };
+            return match (ty_of(a), ty_of(b)) {
+                (Some(x), Some(y)) => x.unify(y),
+                (Some(x), None) | (None, Some(x)) => x,
+                // Both operands are canonical constants: compare them as
+                // 64-bit signed, which is exact for canonical values.
+                (None, None) => IntType {
+                    width: 64,
+                    signed: true,
+                },
+            };
+        }
+    }
+    instr.ty
+}
+
+/// Rewrite multiply/divide/modulo by powers of two into shifts/masks
+/// (unsigned only for division, as in C semantics for non-negative values).
+pub fn strength_reduce(func: &mut IrFunction, stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    for block in &mut func.blocks {
+        for instr in &mut block.instrs {
+            let IrOp::Bin { op, a, b } = &instr.op else {
+                continue;
+            };
+            let Operand::Const(c) = *b else { continue };
+            if c <= 0 || (c as u64).count_ones() != 1 {
+                continue;
+            }
+            let log2 = (c as u64).trailing_zeros() as i64;
+            let new = match op {
+                BinOp::Mul => Some(IrOp::Bin {
+                    op: BinOp::Shl,
+                    a: *a,
+                    b: Operand::Const(log2),
+                }),
+                BinOp::Div if !instr.ty.signed => Some(IrOp::Bin {
+                    op: BinOp::Shr,
+                    a: *a,
+                    b: Operand::Const(log2),
+                }),
+                BinOp::Mod if !instr.ty.signed => Some(IrOp::Bin {
+                    op: BinOp::And,
+                    a: *a,
+                    b: Operand::Const(c - 1),
+                }),
+                _ => None,
+            };
+            if let Some(new_op) = new {
+                instr.op = new_op;
+                stats.strength_reduced += 1;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Per-block common-subexpression elimination over pure ops.
+pub fn cse(func: &mut IrFunction, stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    for block in &mut func.blocks {
+        let mut seen: HashMap<String, TempId> = HashMap::new();
+        let mut alias: HashMap<TempId, TempId> = HashMap::new();
+        let resolve = |op: Operand, alias: &HashMap<TempId, TempId>| match op {
+            Operand::Temp(t) => Operand::Temp(alias.get(&t).copied().unwrap_or(t)),
+            o => o,
+        };
+        let mut kept = Vec::with_capacity(block.instrs.len());
+        for mut instr in block.instrs.drain(..) {
+            // rewrite operands through aliases
+            match &mut instr.op {
+                IrOp::Bin { a, b, .. } => {
+                    *a = resolve(*a, &alias);
+                    *b = resolve(*b, &alias);
+                }
+                IrOp::Un { a, .. } | IrOp::Cast { a, .. } => *a = resolve(*a, &alias),
+                IrOp::Load { index, .. } => *index = resolve(*index, &alias),
+                IrOp::Store { index, value, .. } => {
+                    *index = resolve(*index, &alias);
+                    *value = resolve(*value, &alias);
+                }
+                IrOp::SetVar { value, .. } => *value = resolve(*value, &alias),
+            }
+            let key = match &instr.op {
+                IrOp::Bin { op, a, b } => Some(format!("b{op:?}{a:?}{b:?}")),
+                IrOp::Un { op, a } => Some(format!("u{op:?}{a:?}")),
+                IrOp::Cast { a, from } => Some(format!("c{from:?}{a:?}{:?}", instr.ty)),
+                _ => None,
+            };
+            // Keys involving Var operands are only valid until that var is
+            // rewritten; invalidate conservatively on SetVar.
+            if let IrOp::SetVar { var, .. } = &instr.op {
+                let var_str = format!("{:?}", Operand::Var(*var));
+                seen.retain(|k, _| !k.contains(&var_str));
+            }
+            if let (Some(key), Some(dst)) = (key, instr.dst) {
+                if let Some(&prev) = seen.get(&key) {
+                    alias.insert(dst, prev);
+                    stats.cse_hits += 1;
+                    changed = true;
+                    continue;
+                }
+                seen.insert(key, dst);
+            }
+            kept.push(instr);
+        }
+        block.instrs = kept;
+        // terminators
+        if changed {
+            match &mut block.term {
+                Terminator::Branch { cond, .. } => *cond = resolve(*cond, &alias),
+                Terminator::Return(Some(v)) => *v = resolve(*v, &alias),
+                _ => {}
+            }
+        }
+    }
+    changed
+}
+
+/// Remove instructions whose results are never used and `SetVar`s to
+/// variables never read (excluding stores, which are side effects).
+pub fn dce(func: &mut IrFunction, stats: &mut OptStats) -> bool {
+    let mut used_temps: HashSet<TempId> = HashSet::new();
+    let mut read_vars: HashSet<VarId> = HashSet::new();
+    let mut note = |op: &Operand| match op {
+        Operand::Temp(t) => {
+            used_temps.insert(*t);
+        }
+        Operand::Var(v) => {
+            read_vars.insert(*v);
+        }
+        _ => {}
+    };
+    for block in &func.blocks {
+        for instr in &block.instrs {
+            match &instr.op {
+                IrOp::Bin { a, b, .. } => {
+                    note(a);
+                    note(b);
+                }
+                IrOp::Un { a, .. } | IrOp::Cast { a, .. } => note(a),
+                IrOp::Load { index, .. } => note(index),
+                IrOp::Store { index, value, .. } => {
+                    note(index);
+                    note(value);
+                }
+                IrOp::SetVar { value, .. } => note(value),
+            }
+        }
+        match &block.term {
+            Terminator::Branch { cond, .. } => note(cond),
+            Terminator::Return(Some(v)) => note(v),
+            _ => {}
+        }
+    }
+    let mut changed = false;
+    for block in &mut func.blocks {
+        let before = block.instrs.len();
+        block.instrs.retain(|instr| match (&instr.op, instr.dst) {
+            (IrOp::Store { .. }, _) => true,
+            (IrOp::SetVar { var, .. }, _) => read_vars.contains(var),
+            (_, Some(dst)) => used_temps.contains(&dst),
+            _ => true,
+        });
+        let removed = before - block.instrs.len();
+        if removed > 0 {
+            stats.dce_removed += removed;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Remove empty forwarding blocks and unreachable blocks.
+pub fn simplify_cfg(func: &mut IrFunction, stats: &mut OptStats) -> bool {
+    use crate::ir::BlockId;
+    let mut changed = false;
+    // Forwarding map: empty block with Jump(t) forwards to t.
+    let mut forward: HashMap<BlockId, BlockId> = HashMap::new();
+    for (i, b) in func.blocks.iter().enumerate() {
+        if i != 0 && b.instrs.is_empty() {
+            if let Terminator::Jump(t) = b.term {
+                if t.0 as usize != i {
+                    forward.insert(BlockId(i as u32), t);
+                }
+            }
+        }
+    }
+    let chase = |mut b: BlockId, forward: &HashMap<BlockId, BlockId>| {
+        let mut hops = 0;
+        while let Some(&t) = forward.get(&b) {
+            b = t;
+            hops += 1;
+            if hops > forward.len() {
+                break;
+            }
+        }
+        b
+    };
+    if !forward.is_empty() {
+        for b in &mut func.blocks {
+            match &mut b.term {
+                Terminator::Jump(t) => {
+                    let nt = chase(*t, &forward);
+                    if nt != *t {
+                        *t = nt;
+                        changed = true;
+                    }
+                }
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => {
+                    let (nt, ne) = (chase(*then_bb, &forward), chase(*else_bb, &forward));
+                    if nt != *then_bb || ne != *else_bb {
+                        *then_bb = nt;
+                        *else_bb = ne;
+                        changed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Unreachable-block elimination: mark from entry.
+    let mut reachable = vec![false; func.blocks.len()];
+    let mut stack = vec![BlockId(0)];
+    while let Some(b) = stack.pop() {
+        if std::mem::replace(&mut reachable[b.0 as usize], true) {
+            continue;
+        }
+        match &func.block(b).term {
+            Terminator::Jump(t) => stack.push(*t),
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                stack.push(*then_bb);
+                stack.push(*else_bb);
+            }
+            Terminator::Return(_) => {}
+        }
+    }
+    if reachable.iter().any(|&r| !r) {
+        // compact blocks, remapping ids
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let mut new_blocks = Vec::new();
+        for (i, b) in func.blocks.drain(..).enumerate() {
+            if reachable[i] {
+                remap.insert(i as u32, new_blocks.len() as u32);
+                new_blocks.push(b);
+            } else {
+                stats.blocks_removed += 1;
+                changed = true;
+            }
+        }
+        for b in &mut new_blocks {
+            match &mut b.term {
+                Terminator::Jump(t) => t.0 = remap[&t.0],
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => {
+                    then_bb.0 = remap[&then_bb.0];
+                    else_bb.0 = remap[&else_bb.0];
+                }
+                _ => {}
+            }
+        }
+        func.blocks = new_blocks;
+    }
+    changed
+}
+
+/// AST-level full unrolling of `for` loops with compile-time-constant
+/// bounds and step, up to `limit` iterations. Returns how many loops were
+/// unrolled.
+pub fn unroll_for_loops(stmts: &mut Vec<Stmt>, limit: u32) -> usize {
+    let mut count = 0;
+    let mut i = 0;
+    while i < stmts.len() {
+        // recurse into nested bodies first
+        match &mut stmts[i] {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                count += unroll_for_loops(then_body, limit);
+                count += unroll_for_loops(else_body, limit);
+            }
+            Stmt::While { body, .. } => {
+                count += unroll_for_loops(body, limit);
+            }
+            Stmt::For { body, .. } => {
+                count += unroll_for_loops(body, limit);
+            }
+            _ => {}
+        }
+        if let Some(trip) = const_trip_count(&stmts[i], limit) {
+            let Stmt::For {
+                init, step, body, ..
+            } = stmts.remove(i)
+            else {
+                unreachable!()
+            };
+            let mut expansion = Vec::with_capacity(1 + trip as usize * (body.len() + 1));
+            expansion.push(*init);
+            for _ in 0..trip {
+                expansion.extend(body.iter().cloned());
+                expansion.push((*step).clone());
+            }
+            let n = expansion.len();
+            stmts.splice(i..i, expansion);
+            i += n;
+            count += 1;
+        } else {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Compute the trip count of a canonical counted `for` loop
+/// (`for (T i = c0; i < cN; i += s)` and friends) when all three parts are
+/// constants, body does not reassign the induction variable, and the count
+/// does not exceed `limit`.
+fn const_trip_count(stmt: &Stmt, limit: u32) -> Option<u64> {
+    use crate::lang::ast::Expr;
+    let Stmt::For {
+        init,
+        cond,
+        step,
+        body,
+        ..
+    } = stmt
+    else {
+        return None;
+    };
+    let (ivar, start) = match &**init {
+        Stmt::Decl {
+            name,
+            init: Some(Expr::Literal { value, .. }),
+            ..
+        } => (name.clone(), *value),
+        Stmt::Assign {
+            name,
+            value: Expr::Literal { value, .. },
+            ..
+        } => (name.clone(), *value),
+        _ => return None,
+    };
+    let (op, bound) = match cond {
+        Expr::Binary {
+            op,
+            lhs,
+            rhs,
+            ..
+        } => match (&**lhs, &**rhs) {
+            (Expr::Var { name, .. }, Expr::Literal { value, .. }) if *name == ivar => {
+                (*op, *value)
+            }
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let stride = match &**step {
+        Stmt::Assign {
+            name,
+            value:
+                Expr::Binary {
+                    op: BinOp::Add,
+                    lhs,
+                    rhs,
+                    ..
+                },
+            ..
+        } if *name == ivar => match (&**lhs, &**rhs) {
+            (Expr::Var { name: n2, .. }, Expr::Literal { value, .. }) if *n2 == ivar => *value,
+            _ => return None,
+        },
+        Stmt::Assign {
+            name,
+            value:
+                Expr::Binary {
+                    op: BinOp::Sub,
+                    lhs,
+                    rhs,
+                    ..
+                },
+            ..
+        } if *name == ivar => match (&**lhs, &**rhs) {
+            (Expr::Var { name: n2, .. }, Expr::Literal { value, .. }) if *n2 == ivar => -*value,
+            _ => return None,
+        },
+        _ => return None,
+    };
+    if stride == 0 {
+        return None;
+    }
+    // induction variable must not be written in the body
+    fn writes_var(stmts: &[Stmt], var: &str) -> bool {
+        stmts.iter().any(|s| match s {
+            Stmt::Assign { name, .. } | Stmt::Decl { name, .. } => name == var,
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => writes_var(then_body, var) || writes_var(else_body, var),
+            Stmt::While { body, .. } => writes_var(body, var),
+            Stmt::For {
+                init, step, body, ..
+            } => {
+                writes_var(std::slice::from_ref(init), var)
+                    || writes_var(std::slice::from_ref(step), var)
+                    || writes_var(body, var)
+            }
+            _ => false,
+        })
+    }
+    if writes_var(body, &ivar) {
+        return None;
+    }
+    // break/continue change the trip count dynamically: never unroll
+    fn has_loop_ctl(stmts: &[Stmt]) -> bool {
+        stmts.iter().any(|s| match s {
+            Stmt::Break { .. } | Stmt::Continue { .. } => true,
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => has_loop_ctl(then_body) || has_loop_ctl(else_body),
+            // nested loops own their break/continue
+            _ => false,
+        })
+    }
+    if has_loop_ctl(body) {
+        return None;
+    }
+    let mut trips: u64 = 0;
+    let mut x = start;
+    loop {
+        let cont = match op {
+            BinOp::Lt => x < bound,
+            BinOp::Le => x <= bound,
+            BinOp::Gt => x > bound,
+            BinOp::Ge => x >= bound,
+            BinOp::Ne => x != bound,
+            _ => return None,
+        };
+        if !cont {
+            break;
+        }
+        trips += 1;
+        if trips > u64::from(limit) {
+            return None;
+        }
+        x += stride;
+    }
+    Some(trips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower;
+    use crate::lang::parse;
+
+    fn optimized(src: &str) -> (IrFunction, OptStats) {
+        let p = parse(src).unwrap();
+        let mut f = lower(&p, None).unwrap();
+        let stats = optimize(&mut f);
+        (f, stats)
+    }
+
+    #[test]
+    fn folds_constant_expressions() {
+        let (f, stats) = optimized("int f() { return 2 + 3 * 4; }");
+        assert!(stats.folded >= 2);
+        assert_eq!(f.instr_count(), 0, "everything folds away");
+        assert!(matches!(
+            f.block(crate::ir::BlockId(0)).term,
+            Terminator::Return(Some(Operand::Const(14)))
+        ));
+    }
+
+    #[test]
+    fn eval_semantics_wrap() {
+        let u8t = IntType {
+            width: 8,
+            signed: false,
+        };
+        assert_eq!(eval_bin(BinOp::Add, 250, 10, u8t), 4);
+        let i8t = IntType {
+            width: 8,
+            signed: true,
+        };
+        assert_eq!(eval_bin(BinOp::Add, 127, 1, i8t), -128);
+        assert_eq!(eval_bin(BinOp::Div, 5, 0, i8t), -1);
+        assert_eq!(eval_bin(BinOp::Mod, 5, 0, i8t), 5);
+        assert_eq!(eval_bin(BinOp::Shr, -8, 1, i8t), -4, "arithmetic shift");
+        assert_eq!(eval_bin(BinOp::Shr, 0xF0, 4, u8t), 0xF);
+        assert_eq!(eval_un(UnOp::Neg, -128, i8t), -128, "INT_MIN negation wraps");
+    }
+
+    #[test]
+    fn signed_vs_unsigned_compare() {
+        let i8t = IntType {
+            width: 8,
+            signed: true,
+        };
+        let u8t = IntType {
+            width: 8,
+            signed: false,
+        };
+        assert_eq!(eval_bin(BinOp::Lt, -1, 1, i8t), 1);
+        assert_eq!(eval_bin(BinOp::Lt, 255, 1, u8t), 0);
+    }
+
+    #[test]
+    fn strength_reduces_mul_by_pow2() {
+        let (f, stats) = optimized("int f(int a) { return a * 8; }");
+        assert_eq!(stats.strength_reduced, 1);
+        let has_shl = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i.op, IrOp::Bin { op: BinOp::Shl, .. }));
+        assert!(has_shl);
+    }
+
+    #[test]
+    fn unsigned_div_becomes_shift() {
+        let (_, stats) = optimized("uint32 f(uint32 a) { return a / 16 + a % 16; }");
+        assert_eq!(stats.strength_reduced, 2);
+        // signed division must NOT be reduced
+        let (_, s2) = optimized("int f(int a) { return a / 16; }");
+        assert_eq!(s2.strength_reduced, 0);
+    }
+
+    #[test]
+    fn cse_removes_duplicates() {
+        let (f, stats) = optimized("int f(int a, int b) { return (a + b) * (a + b); }");
+        assert!(stats.cse_hits >= 1);
+        let adds = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i.op, IrOp::Bin { op: BinOp::Add, .. }))
+            .count();
+        assert_eq!(adds, 1);
+    }
+
+    #[test]
+    fn dce_removes_unused() {
+        let (f, stats) = optimized("int f(int a) { int unused = a * 77; return a; }");
+        assert!(stats.dce_removed >= 1);
+        assert_eq!(f.instr_count(), 0);
+    }
+
+    #[test]
+    fn constant_branch_elided() {
+        let (f, _) = optimized("int f(int a) { if (1 < 2) { return a; } return 0 - a; }");
+        // after folding the branch and CFG cleanup only the taken path remains
+        assert!(f.blocks.len() <= 2, "got {} blocks", f.blocks.len());
+    }
+
+    #[test]
+    fn unroll_counted_loop() {
+        let p = parse("int f(int a) { int s = 0; for (int i = 0; i < 4; i++) { s += a; } return s; }")
+            .unwrap();
+        let mut func_ast = p.functions[0].clone();
+        let n = unroll_for_loops(&mut func_ast.body, 64);
+        assert_eq!(n, 1);
+        // no For statements remain
+        assert!(!func_ast
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::For { .. })));
+    }
+
+    #[test]
+    fn unroll_respects_limit_and_dynamic_bounds() {
+        let p = parse("int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }")
+            .unwrap();
+        let mut body = p.functions[0].body.clone();
+        assert_eq!(unroll_for_loops(&mut body, 64), 0, "dynamic bound kept");
+        let p2 = parse("int f() { int s = 0; for (int i = 0; i < 1000; i++) { s += i; } return s; }")
+            .unwrap();
+        let mut body2 = p2.functions[0].body.clone();
+        assert_eq!(unroll_for_loops(&mut body2, 64), 0, "over-limit kept");
+    }
+
+    #[test]
+    fn unrolled_loop_fully_folds() {
+        let p = parse("int f() { int s = 0; for (int i = 1; i <= 5; i++) { s += i; } return s; }")
+            .unwrap();
+        let mut func_ast = p.functions[0].clone();
+        unroll_for_loops(&mut func_ast.body, 64);
+        let prog = crate::lang::ast::Program {
+            functions: vec![func_ast],
+        };
+        let mut f = lower(&prog, None).unwrap();
+        optimize(&mut f);
+        assert!(matches!(
+            f.block(crate::ir::BlockId(0)).term,
+            Terminator::Return(Some(Operand::Const(15)))
+        ));
+    }
+
+    #[test]
+    fn nested_loops_unroll() {
+        let src = "int f() { int s = 0; for (int i = 0; i < 3; i++) { for (int j = 0; j < 2; j++) { s += 1; } } return s; }";
+        let p = parse(src).unwrap();
+        let mut func_ast = p.functions[0].clone();
+        let n = unroll_for_loops(&mut func_ast.body, 64);
+        assert_eq!(n, 2, "inner unrolled once (pre-clone), then outer");
+        let prog = crate::lang::ast::Program {
+            functions: vec![func_ast],
+        };
+        let mut f = lower(&prog, None).unwrap();
+        optimize(&mut f);
+        assert!(matches!(
+            f.block(crate::ir::BlockId(0)).term,
+            Terminator::Return(Some(Operand::Const(6)))
+        ));
+    }
+}

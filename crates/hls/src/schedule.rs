@@ -1,0 +1,478 @@
+//! Resource-constrained list scheduling with operator chaining.
+//!
+//! Each basic block is scheduled independently (the FSM sequences blocks).
+//! Operation delays come from the Eucalyptus characterization library, so a
+//! tighter clock constraint yields deeper multi-cycle operations and less
+//! chaining — the clock-period-aware optimization the paper highlights in
+//! the Bambu/NXmap integration.
+//!
+//! ASAP and ALAP schedules are also provided; list scheduling uses
+//! longest-path priorities and honors [`Allocation`] concurrency limits.
+
+use crate::allocate::{char_mnemonic, fu_kind_of, Allocation, FuKind};
+use crate::cdfg::{build_block_dfg, BlockDfg};
+use crate::ir::{IrFunction, IrOp};
+use crate::HlsError;
+use hermes_eucalyptus::CharacterizationLibrary;
+use std::collections::HashMap;
+
+/// Scheduling options.
+#[derive(Debug, Clone)]
+pub struct ScheduleOptions {
+    /// Target clock period in nanoseconds.
+    pub clock_ns: f64,
+    /// Whether operator chaining is enabled.
+    pub chaining: bool,
+    /// Fraction of the clock period usable by a chained path.
+    pub chain_fraction: f64,
+    /// Static latency estimate (cycles) for external (AXI) memory reads.
+    pub ext_mem_read_latency: u32,
+    /// Static latency estimate (cycles) for external memory writes.
+    pub ext_mem_write_latency: u32,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> Self {
+        ScheduleOptions {
+            clock_ns: 10.0,
+            chaining: true,
+            chain_fraction: 0.9,
+            ext_mem_read_latency: 14,
+            ext_mem_write_latency: 8,
+        }
+    }
+}
+
+/// Scheduling result for one instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstrSchedule {
+    /// First cycle (state) in which the operation executes, block-relative.
+    pub start_cycle: u32,
+    /// Cycles occupied (0 = free wiring folded into the producer's cycle).
+    pub latency: u32,
+    /// Combinational finish offset within the final cycle, ns (chaining).
+    pub finish_offset_ns: f64,
+}
+
+impl InstrSchedule {
+    /// Last cycle the operation occupies.
+    pub fn finish_cycle(&self) -> u32 {
+        self.start_cycle + self.latency.max(1) - 1
+    }
+}
+
+/// Schedule of one block.
+#[derive(Debug, Clone)]
+pub struct BlockSchedule {
+    /// Per-instruction schedules (indexed like `Block::instrs`).
+    pub instrs: Vec<InstrSchedule>,
+    /// States the block occupies (>= 1; the last state also evaluates the
+    /// terminator).
+    pub length: u32,
+}
+
+/// Schedule of the whole function.
+#[derive(Debug, Clone)]
+pub struct FunctionSchedule {
+    /// Per-block schedules.
+    pub blocks: Vec<BlockSchedule>,
+    /// The options used.
+    pub options: ScheduleOptions,
+    /// Peak concurrent use of each FU kind (drives binding).
+    pub peak_usage: HashMap<FuKind, u32>,
+}
+
+impl FunctionSchedule {
+    /// Total FSM states implied by the schedule.
+    pub fn total_states(&self) -> u32 {
+        self.blocks.iter().map(|b| b.length).sum()
+    }
+}
+
+/// Operation timing derived from the characterization library.
+#[derive(Debug, Clone, Copy)]
+pub struct OpTiming {
+    /// Combinational delay (ns) for chaining decisions.
+    pub delay_ns: f64,
+    /// Fixed latency in cycles (0 = chainable combinational).
+    pub fixed_latency: u32,
+    /// Whether the op may chain with neighbours.
+    pub chainable: bool,
+}
+
+/// Compute the timing of one instruction under the given library and clock.
+pub fn op_timing(
+    instr: &crate::ir::Instr,
+    func: &IrFunction,
+    lib: &CharacterizationLibrary,
+    opts: &ScheduleOptions,
+) -> OpTiming {
+    let Some(kind) = fu_kind_of(instr, func) else {
+        // casts and variable moves are wiring
+        return OpTiming {
+            delay_ns: 0.05,
+            fixed_latency: 0,
+            chainable: true,
+        };
+    };
+    match kind {
+        FuKind::LocalMem(_) => {
+            let is_load = matches!(instr.op, IrOp::Load { .. });
+            OpTiming {
+                delay_ns: opts.clock_ns,
+                // synchronous BRAM: one cycle to present the address, data
+                // captured at the following edge
+                fixed_latency: if is_load { 2 } else { 1 },
+                chainable: false,
+            }
+        }
+        FuKind::ExtMem => {
+            let is_load = matches!(instr.op, IrOp::Load { .. });
+            OpTiming {
+                delay_ns: opts.clock_ns,
+                fixed_latency: if is_load {
+                    opts.ext_mem_read_latency.max(2)
+                } else {
+                    opts.ext_mem_write_latency.max(1)
+                },
+                chainable: false,
+            }
+        }
+        _ => {
+            let width = instr.ty.width.max(
+                // comparisons: operand width drives the comparator size
+                match &instr.op {
+                    IrOp::Bin { a, .. } => func.operand_type(*a).width,
+                    _ => 1,
+                },
+            );
+            let mn = char_mnemonic(kind, instr);
+            let delay = lib
+                .lookup_nearest(mn, width, 0)
+                .map(|e| e.delay_ns)
+                .unwrap_or(opts.clock_ns * 0.5);
+            if delay > opts.clock_ns * opts.chain_fraction {
+                OpTiming {
+                    delay_ns: delay,
+                    fixed_latency: (delay / opts.clock_ns).ceil().max(1.0) as u32,
+                    chainable: false,
+                }
+            } else {
+                OpTiming {
+                    delay_ns: delay,
+                    fixed_latency: 0,
+                    chainable: true,
+                }
+            }
+        }
+    }
+}
+
+/// ASAP schedule of one block (ignores resources; used as a bound and for
+/// mobility computation).
+pub fn asap_lengths(func: &IrFunction) -> Vec<u32> {
+    func.blocks
+        .iter()
+        .map(|b| {
+            let dfg = build_block_dfg(b);
+            let mut level = vec![0u32; dfg.len()];
+            for i in dfg.topo_order() {
+                level[i] = dfg.preds[i]
+                    .iter()
+                    .map(|&p| level[p] + 1)
+                    .max()
+                    .unwrap_or(0);
+            }
+            level.iter().copied().max().map(|m| m + 1).unwrap_or(1)
+        })
+        .collect()
+}
+
+/// Run resource-constrained list scheduling over the whole function.
+///
+/// # Errors
+///
+/// Returns [`HlsError::Schedule`] if an instruction cannot be placed within
+/// an internal bound (indicates an inconsistent allocation).
+pub fn schedule(
+    func: &IrFunction,
+    alloc: &Allocation,
+    lib: &CharacterizationLibrary,
+    opts: &ScheduleOptions,
+) -> Result<FunctionSchedule, HlsError> {
+    let mut blocks = Vec::with_capacity(func.blocks.len());
+    let mut peak_usage: HashMap<FuKind, u32> = HashMap::new();
+    for block in &func.blocks {
+        let dfg = build_block_dfg(block);
+        let bs = schedule_block(func, block, &dfg, alloc, lib, opts, &mut peak_usage)?;
+        blocks.push(bs);
+    }
+    Ok(FunctionSchedule {
+        blocks,
+        options: opts.clone(),
+        peak_usage,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn schedule_block(
+    func: &IrFunction,
+    block: &crate::ir::Block,
+    dfg: &BlockDfg,
+    alloc: &Allocation,
+    lib: &CharacterizationLibrary,
+    opts: &ScheduleOptions,
+    peak_usage: &mut HashMap<FuKind, u32>,
+) -> Result<BlockSchedule, HlsError> {
+    let n = block.instrs.len();
+    let mut result: Vec<Option<InstrSchedule>> = vec![None; n];
+    let mut usage: HashMap<(FuKind, u32), u32> = HashMap::new();
+    let mut indeg: Vec<usize> = dfg.preds.iter().map(Vec::len).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+
+    let mut scheduled = 0usize;
+    while scheduled < n {
+        // highest-priority ready instruction (ties: program order)
+        ready.sort_by_key(|&i| (std::cmp::Reverse(dfg.priority[i]), i));
+        let Some(&i) = ready.first() else {
+            return Err(HlsError::Schedule {
+                detail: "dependence cycle in block DFG".into(),
+            });
+        };
+        ready.remove(0);
+        let instr = &block.instrs[i];
+        let timing = op_timing(instr, func, lib, opts);
+        let kind = fu_kind_of(instr, func);
+
+        // earliest start from dependences, with chaining
+        let mut earliest_cycle = 0u32;
+        let mut chain_offset = 0.0f64;
+        for &p in &dfg.preds[i] {
+            let ps = result[p].expect("pred scheduled");
+            let can_chain = opts.chaining
+                && timing.chainable
+                && timing.fixed_latency == 0
+                && ps.finish_offset_ns + timing.delay_ns <= opts.clock_ns * opts.chain_fraction
+                // memory results and multi-cycle results arrive at a
+                // register boundary; they cannot be chained from
+                && result[p].map(|s| s.latency <= 1).unwrap_or(true)
+                && block.instrs[p].dst.is_some();
+            let (c, off) = if can_chain {
+                (ps.finish_cycle(), ps.finish_offset_ns)
+            } else {
+                (ps.finish_cycle() + 1, 0.0)
+            };
+            if c > earliest_cycle {
+                earliest_cycle = c;
+                chain_offset = off;
+            } else if c == earliest_cycle {
+                chain_offset = chain_offset.max(off);
+            }
+        }
+
+        let occupied = timing.fixed_latency.max(1);
+        // find a resource-feasible start cycle
+        let mut start = earliest_cycle;
+        let mut offset = chain_offset + timing.delay_ns;
+        if timing.fixed_latency > 0 {
+            offset = timing.delay_ns % opts.clock_ns;
+        }
+        if let Some(kind) = kind {
+            let limit = alloc.limit(kind);
+            let mut guard = 0;
+            'search: loop {
+                for c in start..start + occupied {
+                    if usage.get(&(kind, c)).copied().unwrap_or(0) >= limit {
+                        start += 1;
+                        offset = timing.delay_ns.min(opts.clock_ns);
+                        guard += 1;
+                        if guard > 100_000 {
+                            return Err(HlsError::Schedule {
+                                detail: format!("cannot place op {i} under {kind} limit {limit}"),
+                            });
+                        }
+                        continue 'search;
+                    }
+                }
+                break;
+            }
+            // moving off the chain start resets the offset
+            if start > earliest_cycle {
+                offset = timing.delay_ns;
+            }
+            for c in start..start + occupied {
+                let u = usage.entry((kind, c)).or_insert(0);
+                *u += 1;
+                let p = peak_usage.entry(kind).or_insert(0);
+                *p = (*p).max(*u);
+            }
+        }
+        let sched = InstrSchedule {
+            start_cycle: start,
+            latency: timing.fixed_latency.max(1),
+            finish_offset_ns: offset.min(opts.clock_ns),
+        };
+        result[i] = Some(sched);
+        scheduled += 1;
+        for &s in &dfg.succs[i] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+
+    let instrs: Vec<InstrSchedule> = result.into_iter().map(|s| s.expect("all scheduled")).collect();
+    let length = instrs
+        .iter()
+        .map(|s| s.finish_cycle() + 1)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    Ok(BlockSchedule { instrs, length })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower;
+    use crate::lang::parse;
+    use hermes_eucalyptus::{Eucalyptus, SweepConfig};
+    use hermes_fpga::device::DeviceProfile;
+    use std::sync::OnceLock;
+
+    fn lib() -> &'static CharacterizationLibrary {
+        static LIB: OnceLock<CharacterizationLibrary> = OnceLock::new();
+        LIB.get_or_init(|| {
+            Eucalyptus::new(DeviceProfile::ng_medium_like())
+                .characterize(&SweepConfig {
+                    widths: vec![8, 16, 32],
+                    pipeline_stages: vec![0],
+                })
+                .expect("characterization")
+        })
+    }
+
+    fn sched(src: &str, alloc: Allocation, opts: ScheduleOptions) -> (IrFunction, FunctionSchedule) {
+        let mut f = lower(&parse(src).unwrap(), None).unwrap();
+        crate::opt::optimize(&mut f);
+        let s = schedule(&f, &alloc, lib(), &opts).unwrap();
+        (f, s)
+    }
+
+    #[test]
+    fn dependencies_respected() {
+        let (f, s) = sched(
+            "int f(int a, int b) { return (a + b) * (a - b); }",
+            Allocation::default(),
+            ScheduleOptions::default(),
+        );
+        for (bi, block) in f.blocks.iter().enumerate() {
+            let dfg = build_block_dfg(block);
+            for i in 0..block.instrs.len() {
+                for &p in &dfg.preds[i] {
+                    assert!(
+                        s.blocks[bi].instrs[i].start_cycle
+                            >= s.blocks[bi].instrs[p].start_cycle,
+                        "consumer before producer"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resource_limits_stretch_schedule() {
+        let src = "int f(int a, int b, int c, int d) { return a*b + c*d + a*d + b*c; }";
+        let (_, wide) = sched(src, Allocation::default(), ScheduleOptions::default());
+        let (_, narrow) = sched(
+            src,
+            Allocation::minimal(),
+            ScheduleOptions::default(),
+        );
+        assert!(
+            narrow.total_states() > wide.total_states(),
+            "1 multiplier should serialize: {} vs {}",
+            narrow.total_states(),
+            wide.total_states()
+        );
+        assert_eq!(narrow.peak_usage.get(&FuKind::Mul), Some(&1));
+    }
+
+    #[test]
+    fn chaining_reduces_states() {
+        let src = "int f(int a, int b, int c) { return a + b + c + 1; }";
+        let chained = ScheduleOptions::default();
+        let unchained = ScheduleOptions {
+            chaining: false,
+            ..ScheduleOptions::default()
+        };
+        let (_, sc) = sched(src, Allocation::default(), chained);
+        let (_, su) = sched(src, Allocation::default(), unchained);
+        assert!(
+            sc.total_states() <= su.total_states(),
+            "chaining {} vs unchained {}",
+            sc.total_states(),
+            su.total_states()
+        );
+    }
+
+    #[test]
+    fn tight_clock_forces_multicycle_divide() {
+        let src = "int f(int a, int b) { return a / b; }";
+        let fast = ScheduleOptions {
+            clock_ns: 2.0,
+            ..ScheduleOptions::default()
+        };
+        let slow = ScheduleOptions {
+            clock_ns: 100.0,
+            ..ScheduleOptions::default()
+        };
+        let (_, sf) = sched(src, Allocation::default(), fast);
+        let (_, ss) = sched(src, Allocation::default(), slow);
+        assert!(
+            sf.total_states() > ss.total_states(),
+            "2ns clock must multi-cycle the divider: {} vs {}",
+            sf.total_states(),
+            ss.total_states()
+        );
+    }
+
+    #[test]
+    fn external_memory_latency_counted() {
+        let src = "int f(int *m) { return m[0] + m[1]; }";
+        let near = ScheduleOptions {
+            ext_mem_read_latency: 2,
+            ..ScheduleOptions::default()
+        };
+        let far = ScheduleOptions {
+            ext_mem_read_latency: 40,
+            ..ScheduleOptions::default()
+        };
+        let (_, sn) = sched(src, Allocation::default(), near);
+        let (_, sf) = sched(src, Allocation::default(), far);
+        assert!(sf.total_states() > sn.total_states() + 30);
+    }
+
+    #[test]
+    fn asap_is_lower_bound() {
+        let src = "int f(int a, int b, int c, int d) { return a*b + c*d; }";
+        let (f, s) = sched(src, Allocation::minimal(), ScheduleOptions::default());
+        let asap = asap_lengths(&f);
+        for (bs, al) in s.blocks.iter().zip(asap) {
+            assert!(bs.length >= al.min(bs.length));
+        }
+    }
+
+    #[test]
+    fn empty_blocks_have_length_one() {
+        let (_, s) = sched(
+            "int f(int a) { while (a > 0) { a -= 1; } return a; }",
+            Allocation::default(),
+            ScheduleOptions::default(),
+        );
+        for b in &s.blocks {
+            assert!(b.length >= 1);
+        }
+    }
+}

@@ -1,0 +1,609 @@
+//! Cycle-accurate simulation of a scheduled design.
+//!
+//! Values follow the exact evaluation semantics of [`crate::opt`]
+//! (`eval_bin` / `eval_un` / `normalize`), and the cycle count follows the
+//! FSM schedule, so a simulation is simultaneously a functional reference
+//! check and a performance measurement. External (AXI) arrays can be backed
+//! by a plain buffer with the scheduler's static latency estimate, or by a
+//! live [`hermes_axi::testbench::AxiTestbench`] for bus-accurate
+//! co-simulation (the testbench generation feature of Section II).
+
+use crate::ir::{ArrayId, ArrayKind, IrFunction, IrOp, Operand, Terminator};
+use crate::lang::ast::IntType;
+use crate::opt::{eval_bin, eval_un, normalize};
+use crate::schedule::FunctionSchedule;
+use crate::HlsError;
+use hermes_axi::testbench::AxiTestbench;
+use std::collections::HashMap;
+
+/// Result of one simulated invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// The returned value (canonical), if the function is non-void.
+    pub return_value: Option<i64>,
+    /// Total cycles consumed (FSM states, plus any bus-accurate memory
+    /// correction when co-simulating with AXI).
+    pub cycles: u64,
+    /// FSM states visited.
+    pub states_visited: u64,
+    /// Memory operations performed (loads + stores).
+    pub memory_ops: u64,
+    /// External-memory bytes moved over the AXI model (0 for buffer mode).
+    pub axi_bytes: u64,
+    /// Census of executed IR operations, for software-baseline cost models.
+    pub op_census: OpCensus,
+}
+
+/// Counts of executed IR operations by class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCensus {
+    /// Simple ALU ops (add/sub/logic/shift/compare).
+    pub alu: u64,
+    /// Multiplications.
+    pub mul: u64,
+    /// Divisions and remainders.
+    pub div: u64,
+    /// Memory loads.
+    pub load: u64,
+    /// Memory stores.
+    pub store: u64,
+    /// Register moves (SetVar/Cast).
+    pub mov: u64,
+    /// Branches taken or fallen through (block terminators).
+    pub branch: u64,
+}
+
+impl OpCensus {
+    /// Total executed operations.
+    pub fn total(&self) -> u64 {
+        self.alu + self.mul + self.div + self.load + self.store + self.mov + self.branch
+    }
+
+    /// Estimated cycles on a single-issue in-order CPU with the given
+    /// per-class costs — the software-baseline model for the E7 use-case
+    /// comparison. ALU ops cost 1, branches 1, and register moves 0 (a
+    /// compiler's register allocator folds them into the producing
+    /// instruction); `mul`/`div`/`mem` are the later-bound latencies.
+    pub fn cpu_cycles(&self, mul: u64, div: u64, mem: u64) -> u64 {
+        self.alu
+            + self.mul * mul
+            + self.div * div
+            + (self.load + self.store) * mem
+            + self.branch
+    }
+}
+
+/// Backing storage for external (parameter) arrays during simulation.
+#[derive(Debug)]
+pub enum ExternalMemory<'a> {
+    /// Plain buffers, one per external array, with the scheduler's static
+    /// latency already accounted in the FSM schedule.
+    Buffers(HashMap<ArrayId, Vec<i64>>),
+    /// A live AXI4 testbench; each external array is a base address in the
+    /// shared memory. Element width follows the array's declared type.
+    Axi {
+        /// The bus + slave memory.
+        bus: &'a mut AxiTestbench,
+        /// Base byte address of each array.
+        base_addr: HashMap<ArrayId, u64>,
+    },
+    /// A live AXI4 testbench behind an accelerator-side cache (the
+    /// prefetch/caching extension of Section II). Reads go through the
+    /// cache; the cycle accounting uses the cache's amortized bus traffic.
+    CachedAxi {
+        /// The cache.
+        cache: &'a mut hermes_axi::cache::AxiCache,
+        /// The bus + slave memory.
+        bus: &'a mut AxiTestbench,
+        /// Base byte address of each array.
+        base_addr: HashMap<ArrayId, u64>,
+    },
+}
+
+impl ExternalMemory<'_> {
+    /// Convenience constructor for buffer mode.
+    pub fn buffers(bufs: Vec<(ArrayId, Vec<i64>)>) -> ExternalMemory<'static> {
+        ExternalMemory::Buffers(bufs.into_iter().collect())
+    }
+
+    /// Extract a buffer after simulation (buffer mode only).
+    pub fn buffer(&self, id: ArrayId) -> Option<&Vec<i64>> {
+        match self {
+            ExternalMemory::Buffers(m) => m.get(&id),
+            ExternalMemory::Axi { .. } | ExternalMemory::CachedAxi { .. } => None,
+        }
+    }
+}
+
+/// Simulation limits.
+#[derive(Debug, Clone, Copy)]
+pub struct SimLimits {
+    /// Maximum FSM states to visit before declaring a hang.
+    pub max_states: u64,
+}
+
+impl Default for SimLimits {
+    fn default() -> Self {
+        SimLimits {
+            max_states: 50_000_000,
+        }
+    }
+}
+
+fn elem_bytes(ty: IntType) -> u64 {
+    u64::from(ty.width.div_ceil(8).max(1))
+}
+
+/// Run the design on the given scalar arguments and external memory.
+///
+/// `args` supplies scalar parameters in declaration order (array parameters
+/// are skipped — they come from `ext`).
+///
+/// # Errors
+///
+/// Returns [`HlsError::Simulation`] for argument-count mismatches,
+/// out-of-bounds local accesses, or watchdog expiry, and propagates AXI
+/// errors in co-simulation mode.
+pub fn run(
+    func: &IrFunction,
+    sched: &FunctionSchedule,
+    args: &[i64],
+    ext: &mut ExternalMemory<'_>,
+    limits: SimLimits,
+) -> Result<SimResult, HlsError> {
+    // bind scalar args
+    let mut vars: Vec<i64> = vec![0; func.vars.len()];
+    let scalar_params: Vec<_> = func
+        .params
+        .iter()
+        .filter_map(|(_, b)| match b {
+            crate::ir::ParamBinding::Scalar(v) => Some(*v),
+            _ => None,
+        })
+        .collect();
+    if scalar_params.len() != args.len() {
+        return Err(HlsError::Simulation {
+            detail: format!(
+                "expected {} scalar arguments, got {}",
+                scalar_params.len(),
+                args.len()
+            ),
+        });
+    }
+    for (v, &a) in scalar_params.iter().zip(args) {
+        vars[v.0 as usize] = normalize(a, func.vars[v.0 as usize].ty);
+    }
+
+    // local array state
+    let mut locals: HashMap<ArrayId, Vec<i64>> = HashMap::new();
+    for (ai, info) in func.arrays.iter().enumerate() {
+        if let ArrayKind::Local { init } = &info.kind {
+            let mut data: Vec<i64> = init
+                .iter()
+                .map(|&v| normalize(v, info.ty))
+                .collect();
+            data.resize(info.size as usize, 0);
+            locals.insert(ArrayId(ai as u32), data);
+        }
+    }
+
+    let mut temps: HashMap<u32, i64> = HashMap::new();
+    let mut current = func.entry();
+    let mut states_visited: u64 = 0;
+    let mut memory_ops: u64 = 0;
+    let mut census = OpCensus::default();
+    let mut axi_extra_cycles: i64 = 0;
+    let mut axi_bytes: u64 = 0;
+    let opts = &sched.options;
+
+    loop {
+        let block = func.block(current);
+        let bs = &sched.blocks[current.0 as usize];
+        states_visited += u64::from(bs.length);
+        if states_visited > limits.max_states {
+            return Err(HlsError::Simulation {
+                detail: format!("watchdog: exceeded {} states", limits.max_states),
+            });
+        }
+        for (ii, instr) in block.instrs.iter().enumerate() {
+            let read = |op: Operand, temps: &HashMap<u32, i64>, vars: &[i64]| -> i64 {
+                match op {
+                    Operand::Const(c) => c,
+                    Operand::Temp(t) => temps.get(&t.0).copied().unwrap_or(0),
+                    Operand::Var(v) => vars[v.0 as usize],
+                }
+            };
+            match &instr.op {
+                IrOp::Bin { op, a, b } => {
+                    match op {
+                        crate::lang::ast::BinOp::Mul => census.mul += 1,
+                        crate::lang::ast::BinOp::Div | crate::lang::ast::BinOp::Mod => {
+                            census.div += 1
+                        }
+                        _ => census.alu += 1,
+                    }
+                    let ta = operand_ty(func, *a);
+                    let tb = operand_ty(func, *b);
+                    let ty = match op {
+                        crate::lang::ast::BinOp::Shl | crate::lang::ast::BinOp::Shr => ta,
+                        _ => ta.unify(tb),
+                    };
+                    let va = read(*a, &temps, &vars);
+                    let vb = read(*b, &temps, &vars);
+                    let v = eval_bin(*op, va, vb, ty);
+                    temps.insert(instr.dst.expect("bin dst").0, normalize(v, instr.ty));
+                }
+                IrOp::Un { op, a } => {
+                    census.alu += 1;
+                    let v = eval_un(*op, read(*a, &temps, &vars), instr.ty);
+                    temps.insert(instr.dst.expect("un dst").0, v);
+                }
+                IrOp::Cast { a, from } => {
+                    census.mov += 1;
+                    let v = normalize(normalize(read(*a, &temps, &vars), *from), instr.ty);
+                    temps.insert(instr.dst.expect("cast dst").0, v);
+                }
+                IrOp::Load { array, index } => {
+                    memory_ops += 1;
+                    census.load += 1;
+                    let idx = read(*index, &temps, &vars);
+                    let info = &func.arrays[array.0 as usize];
+                    let v = match &info.kind {
+                        ArrayKind::Local { .. } => {
+                            let data = &locals[array];
+                            *data.get(idx as usize).ok_or_else(|| HlsError::Simulation {
+                                detail: format!(
+                                    "load out of bounds: {}[{idx}] (size {})",
+                                    info.name, info.size
+                                ),
+                            })?
+                        }
+                        ArrayKind::External => match ext {
+                            ExternalMemory::Buffers(m) => {
+                                let data =
+                                    m.get(array).ok_or_else(|| HlsError::Simulation {
+                                        detail: format!(
+                                            "no buffer bound for array `{}`",
+                                            info.name
+                                        ),
+                                    })?;
+                                *data.get(idx as usize).ok_or_else(|| {
+                                    HlsError::Simulation {
+                                        detail: format!(
+                                            "load out of bounds: {}[{idx}]",
+                                            info.name
+                                        ),
+                                    }
+                                })?
+                            }
+                            ExternalMemory::Axi { bus, base_addr } => {
+                                let eb = elem_bytes(info.ty);
+                                let addr = base_addr[array] + idx as u64 * eb;
+                                let (bytes, cyc) = bus.read_blocking(addr, eb as usize)?;
+                                axi_bytes += eb;
+                                axi_extra_cycles += cyc as i64
+                                    - i64::from(opts.ext_mem_read_latency);
+                                let mut raw = [0u8; 8];
+                                raw[..bytes.len()].copy_from_slice(&bytes);
+                                normalize(i64::from_le_bytes(raw), info.ty)
+                            }
+                            ExternalMemory::CachedAxi {
+                                cache,
+                                bus,
+                                base_addr,
+                            } => {
+                                let eb = elem_bytes(info.ty);
+                                let addr = base_addr[array] + idx as u64 * eb;
+                                let before = bus.stats().cycles;
+                                let bytes = cache.read(bus, addr, eb as usize)?;
+                                let cyc = bus.stats().cycles - before;
+                                axi_bytes += eb;
+                                // cache hits consume one cycle instead of a
+                                // full bus round-trip
+                                axi_extra_cycles += (cyc.max(1)) as i64
+                                    - i64::from(opts.ext_mem_read_latency);
+                                let mut raw = [0u8; 8];
+                                raw[..bytes.len()].copy_from_slice(&bytes);
+                                normalize(i64::from_le_bytes(raw), info.ty)
+                            }
+                        },
+                    };
+                    temps.insert(instr.dst.expect("load dst").0, normalize(v, info.ty));
+                }
+                IrOp::Store {
+                    array,
+                    index,
+                    value,
+                } => {
+                    memory_ops += 1;
+                    census.store += 1;
+                    let idx = read(*index, &temps, &vars);
+                    let val = read(*value, &temps, &vars);
+                    let info = &func.arrays[array.0 as usize];
+                    let val = normalize(val, info.ty);
+                    match &info.kind {
+                        ArrayKind::Local { .. } => {
+                            let data = locals.get_mut(array).expect("local array state");
+                            let slot =
+                                data.get_mut(idx as usize).ok_or_else(|| {
+                                    HlsError::Simulation {
+                                        detail: format!(
+                                            "store out of bounds: {}[{idx}] (size {})",
+                                            info.name, info.size
+                                        ),
+                                    }
+                                })?;
+                            *slot = val;
+                        }
+                        ArrayKind::External => match ext {
+                            ExternalMemory::Buffers(m) => {
+                                let data =
+                                    m.get_mut(array).ok_or_else(|| HlsError::Simulation {
+                                        detail: format!(
+                                            "no buffer bound for array `{}`",
+                                            info.name
+                                        ),
+                                    })?;
+                                if idx as usize >= data.len() {
+                                    return Err(HlsError::Simulation {
+                                        detail: format!(
+                                            "store out of bounds: {}[{idx}]",
+                                            info.name
+                                        ),
+                                    });
+                                }
+                                data[idx as usize] = val;
+                            }
+                            ExternalMemory::Axi { bus, base_addr } => {
+                                let eb = elem_bytes(info.ty);
+                                let addr = base_addr[array] + idx as u64 * eb;
+                                let bytes = val.to_le_bytes();
+                                let cyc =
+                                    bus.write_blocking(addr, &bytes[..eb as usize])?;
+                                axi_bytes += eb;
+                                axi_extra_cycles += cyc as i64
+                                    - i64::from(opts.ext_mem_write_latency);
+                            }
+                            ExternalMemory::CachedAxi {
+                                cache,
+                                bus,
+                                base_addr,
+                            } => {
+                                let eb = elem_bytes(info.ty);
+                                let addr = base_addr[array] + idx as u64 * eb;
+                                let bytes = val.to_le_bytes();
+                                let before = bus.stats().cycles;
+                                cache.write(bus, addr, &bytes[..eb as usize])?;
+                                let cyc = bus.stats().cycles - before;
+                                axi_bytes += eb;
+                                axi_extra_cycles += cyc as i64
+                                    - i64::from(opts.ext_mem_write_latency);
+                            }
+                        },
+                    }
+                }
+                IrOp::SetVar { var, value } => {
+                    census.mov += 1;
+                    let v = read(*value, &temps, &vars);
+                    vars[var.0 as usize] = normalize(v, func.vars[var.0 as usize].ty);
+                }
+            }
+            let _ = ii;
+        }
+        census.branch += 1;
+        match &block.term {
+            Terminator::Jump(t) => current = *t,
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let c = match cond {
+                    Operand::Const(c) => *c,
+                    Operand::Temp(t) => temps.get(&t.0).copied().unwrap_or(0),
+                    Operand::Var(v) => vars[v.0 as usize],
+                };
+                current = if c != 0 { *then_bb } else { *else_bb };
+            }
+            Terminator::Return(v) => {
+                let return_value = v.map(|op| match op {
+                    Operand::Const(c) => c,
+                    Operand::Temp(t) => temps.get(&t.0).copied().unwrap_or(0),
+                    Operand::Var(vr) => vars[vr.0 as usize],
+                });
+                let cycles = (states_visited as i64 + axi_extra_cycles)
+                    .max(states_visited as i64) as u64;
+                return Ok(SimResult {
+                    return_value,
+                    cycles,
+                    states_visited,
+                    memory_ops,
+                    axi_bytes,
+                    op_census: census,
+                });
+            }
+        }
+        // temps are block-scoped
+        temps.clear();
+    }
+}
+
+fn operand_ty(func: &IrFunction, op: Operand) -> IntType {
+    match op {
+        Operand::Temp(t) => func.temp_types[t.0 as usize],
+        Operand::Var(v) => func.vars[v.0 as usize].ty,
+        Operand::Const(_) => IntType::I32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocate::Allocation;
+    use crate::ir::lower;
+    use crate::lang::parse;
+    use crate::schedule::{schedule, ScheduleOptions};
+    use hermes_eucalyptus::{CharacterizationLibrary, Eucalyptus, SweepConfig};
+    use hermes_fpga::device::DeviceProfile;
+    use std::sync::OnceLock;
+
+    fn lib() -> &'static CharacterizationLibrary {
+        static LIB: OnceLock<CharacterizationLibrary> = OnceLock::new();
+        LIB.get_or_init(|| {
+            Eucalyptus::new(DeviceProfile::ng_medium_like())
+                .characterize(&SweepConfig {
+                    widths: vec![8, 16, 32],
+                    pipeline_stages: vec![0],
+                })
+                .expect("characterization")
+        })
+    }
+
+    fn compile(src: &str) -> (IrFunction, FunctionSchedule) {
+        let mut f = lower(&parse(src).unwrap(), None).unwrap();
+        crate::opt::optimize(&mut f);
+        let s = schedule(&f, &Allocation::default(), lib(), &ScheduleOptions::default()).unwrap();
+        (f, s)
+    }
+
+    fn run_simple(src: &str, args: &[i64]) -> SimResult {
+        let (f, s) = compile(src);
+        let mut ext = ExternalMemory::buffers(vec![]);
+        run(&f, &s, args, &mut ext, SimLimits::default()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_matches_reference() {
+        let r = run_simple("int f(int a, int b) { return (a + b) * (a - b); }", &[7, 3]);
+        assert_eq!(r.return_value, Some(40));
+        assert!(r.cycles >= 1);
+    }
+
+    #[test]
+    fn loop_execution() {
+        let r = run_simple(
+            "int f(int n) { int s = 0; for (int i = 1; i <= n; i += 1) { s += i; } return s; }",
+            &[100],
+        );
+        assert_eq!(r.return_value, Some(5050));
+        assert!(r.states_visited > 100, "loop iterations cost states");
+    }
+
+    #[test]
+    fn local_array_sum() {
+        let r = run_simple(
+            "int f() { int m[5] = {10, 20, 30, 40, 50}; int s = 0;
+              for (int i = 0; i < 5; i += 1) { s += m[i]; } return s; }",
+            &[],
+        );
+        assert_eq!(r.return_value, Some(150));
+        assert!(r.memory_ops >= 5);
+    }
+
+    #[test]
+    fn external_buffer_roundtrip() {
+        let (f, s) = compile(
+            "void scale(int *data, int n, int k) {
+                for (int i = 0; i < n; i += 1) { data[i] = data[i] * k; } }",
+        );
+        let mut ext = ExternalMemory::buffers(vec![(ArrayId(0), vec![1, 2, 3, 4])]);
+        let r = run(&f, &s, &[4, 10], &mut ext, SimLimits::default()).unwrap();
+        assert_eq!(r.return_value, None);
+        assert_eq!(ext.buffer(ArrayId(0)).unwrap(), &vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn axi_cosimulation_roundtrip() {
+        let (f, s) = compile(
+            "int sum(int *data, int n) {
+                int s = 0;
+                for (int i = 0; i < n; i += 1) { s += data[i]; }
+                return s; }",
+        );
+        let mut tb = AxiTestbench::new(4096, hermes_axi::memory::MemoryTiming::default());
+        // write 8 int32 values at base 0x100
+        for (i, v) in [5i32, 10, 15, 20, 25, 30, 35, 40].iter().enumerate() {
+            tb.memory_mut().poke(0x100 + i as u64 * 4, &v.to_le_bytes());
+        }
+        let mut base = HashMap::new();
+        base.insert(ArrayId(0), 0x100u64);
+        let mut ext = ExternalMemory::Axi {
+            bus: &mut tb,
+            base_addr: base,
+        };
+        let r = run(&f, &s, &[8], &mut ext, SimLimits::default()).unwrap();
+        assert_eq!(r.return_value, Some(180));
+        assert_eq!(r.axi_bytes, 32);
+        assert!(tb.violations().is_empty());
+    }
+
+    #[test]
+    fn slow_axi_memory_increases_cycles() {
+        let src = "int sum(int *data, int n) {
+            int s = 0;
+            for (int i = 0; i < n; i += 1) { s += data[i]; }
+            return s; }";
+        let (f, s) = compile(src);
+        let mut cycles = Vec::new();
+        for timing in [
+            hermes_axi::memory::MemoryTiming::ideal(),
+            hermes_axi::memory::MemoryTiming::slow(),
+        ] {
+            let mut tb = AxiTestbench::new(4096, timing);
+            for i in 0..16u64 {
+                tb.memory_mut().poke(i * 4, &(1i32).to_le_bytes());
+            }
+            let mut base = HashMap::new();
+            base.insert(ArrayId(0), 0u64);
+            let mut ext = ExternalMemory::Axi {
+                bus: &mut tb,
+                base_addr: base,
+            };
+            let r = run(&f, &s, &[16], &mut ext, SimLimits::default()).unwrap();
+            assert_eq!(r.return_value, Some(16));
+            cycles.push(r.cycles);
+        }
+        assert!(
+            cycles[1] > cycles[0],
+            "slow memory must cost more: {cycles:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let (f, s) = compile("int f() { int m[4]; return m[9]; }");
+        let mut ext = ExternalMemory::buffers(vec![]);
+        let err = run(&f, &s, &[], &mut ext, SimLimits::default()).unwrap_err();
+        assert!(matches!(err, HlsError::Simulation { .. }));
+    }
+
+    #[test]
+    fn watchdog_fires_on_infinite_loop() {
+        let (f, s) = compile("int f() { int x = 1; while (x > 0) { x = 1; } return x; }");
+        let mut ext = ExternalMemory::buffers(vec![]);
+        let err = run(
+            &f,
+            &s,
+            &[],
+            &mut ext,
+            SimLimits { max_states: 10_000 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, HlsError::Simulation { .. }));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let (f, s) = compile("int f(int a) { return a; }");
+        let mut ext = ExternalMemory::buffers(vec![]);
+        assert!(run(&f, &s, &[1, 2], &mut ext, SimLimits::default()).is_err());
+    }
+
+    #[test]
+    fn narrow_types_wrap_in_simulation() {
+        let r = run_simple("uint8 f(uint8 a) { return a + 200; }", &[100]);
+        assert_eq!(r.return_value, Some((100 + 200) & 0xFF));
+        let r2 = run_simple("int8 f(int8 a) { return a + 1; }", &[127]);
+        assert_eq!(r2.return_value, Some(-128));
+    }
+}

@@ -1,0 +1,300 @@
+//! Fault-injection campaigns.
+//!
+//! Replays an identical, seeded upset sequence against memories protected
+//! by nothing, TMR, or EDAC (with an optional scrubbing interval), then
+//! audits the final contents against the golden image. The same harness
+//! also attacks FPGA configuration bitstreams to measure CRC detection
+//! (the memory-integrity checking of the NG-ULTRA configuration plane).
+
+use crate::edac::EdacMemory;
+use crate::scrub::Scrubber;
+use crate::seu::SeuEnvironment;
+use crate::tmr::TmrMemory;
+use hermes_fpga::bitstream::{Bitstream, FRAME_BYTES};
+
+/// Protection scheme under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protection {
+    /// Plain storage.
+    None,
+    /// Triple modular redundancy with voting.
+    Tmr,
+    /// SECDED EDAC.
+    Edac,
+}
+
+/// Result of one memory campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Protection evaluated.
+    pub protection: Protection,
+    /// Upsets injected.
+    pub upsets: u64,
+    /// Words whose final read-back differs silently from the golden image.
+    pub silent_corruptions: u64,
+    /// Words flagged uncorrectable (detected data loss — EDAC only).
+    pub detected_uncorrectable: u64,
+    /// Errors repaired along the way (votes / corrections).
+    pub corrected: u64,
+    /// Scrub passes performed.
+    pub scrub_passes: u64,
+    /// Storage overhead relative to unprotected, in percent.
+    pub storage_overhead_pct: u32,
+}
+
+/// A memory fault campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    words: usize,
+    seed: u64,
+    upsets: usize,
+    duration: u64,
+    scrub_interval: Option<u64>,
+}
+
+impl Campaign {
+    /// A campaign over a memory of `words` 32-bit words.
+    pub fn new(words: usize, seed: u64) -> Self {
+        Campaign {
+            words,
+            seed,
+            upsets: 100,
+            duration: 100_000,
+            scrub_interval: None,
+        }
+    }
+
+    /// Set the number of upsets injected.
+    pub fn upsets(mut self, n: usize) -> Self {
+        self.upsets = n;
+        self
+    }
+
+    /// Set the campaign duration in cycles.
+    pub fn duration(mut self, cycles: u64) -> Self {
+        self.duration = cycles;
+        self
+    }
+
+    /// Set the scrubbing interval.
+    pub fn scrub_interval(mut self, interval: Option<u64>) -> Self {
+        self.scrub_interval = interval;
+        self
+    }
+
+    /// Golden word for address `a` (a fixed mixing function).
+    fn golden(a: usize) -> u32 {
+        (a as u32).wrapping_mul(0x9E37_79B9) ^ 0x5A5A_5A5A
+    }
+
+    /// Run the campaign under a protection scheme.
+    pub fn run(&self, protection: Protection) -> CampaignReport {
+        let upsets = SeuEnvironment::new(self.seed).generate(self.upsets, self.duration);
+        let mut scrubber = Scrubber::new(self.scrub_interval);
+        match protection {
+            Protection::None => {
+                let mut mem: Vec<u32> = (0..self.words).map(Self::golden).collect();
+                let bits = self.words as u64 * 32;
+                for u in &upsets {
+                    let bit = u.bit_for(bits);
+                    mem[(bit / 32) as usize] ^= 1 << (bit % 32);
+                    // scrubbing cannot help plain memory: nothing to vote
+                    let _ = scrubber.due(u.time);
+                }
+                let silent = mem
+                    .iter()
+                    .enumerate()
+                    .filter(|(a, &v)| v != Self::golden(*a))
+                    .count() as u64;
+                CampaignReport {
+                    protection,
+                    upsets: upsets.len() as u64,
+                    silent_corruptions: silent,
+                    detected_uncorrectable: 0,
+                    corrected: 0,
+                    scrub_passes: scrubber.passes,
+                    storage_overhead_pct: 0,
+                }
+            }
+            Protection::Tmr => {
+                let mut mem = TmrMemory::new(self.words);
+                for a in 0..self.words {
+                    mem.write(a, Self::golden(a));
+                }
+                let bits = mem.storage_bits();
+                for u in &upsets {
+                    if scrubber.due(u.time) {
+                        mem.scrub();
+                    }
+                    mem.flip_bit(u.bit_for(bits));
+                }
+                let mut silent = 0;
+                for a in 0..self.words {
+                    if mem.read(a) != Self::golden(a) {
+                        silent += 1;
+                    }
+                }
+                CampaignReport {
+                    protection,
+                    upsets: upsets.len() as u64,
+                    silent_corruptions: silent,
+                    detected_uncorrectable: 0,
+                    corrected: mem.stats.repairs,
+                    scrub_passes: scrubber.passes,
+                    storage_overhead_pct: 200,
+                }
+            }
+            Protection::Edac => {
+                let mut mem = EdacMemory::new(self.words);
+                for a in 0..self.words {
+                    mem.write(a, Self::golden(a));
+                }
+                let bits = mem.storage_bits();
+                for u in &upsets {
+                    if scrubber.due(u.time) {
+                        for a in 0..self.words {
+                            mem.scrub_word(a);
+                        }
+                    }
+                    mem.flip_bit(u.bit_for(bits));
+                }
+                let mut silent = 0;
+                let mut detected = 0;
+                for a in 0..self.words {
+                    match mem.read(a) {
+                        Some(v) if v == Self::golden(a) => {}
+                        Some(_) => silent += 1,
+                        None => detected += 1,
+                    }
+                }
+                CampaignReport {
+                    protection,
+                    upsets: upsets.len() as u64,
+                    silent_corruptions: silent,
+                    detected_uncorrectable: detected,
+                    corrected: mem.stats.corrections,
+                    scrub_passes: scrubber.passes,
+                    storage_overhead_pct: ((crate::edac::CODE_BITS - 32) * 100 / 32),
+                }
+            }
+        }
+    }
+}
+
+/// Result of a configuration-bitstream campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitstreamCampaignReport {
+    /// Upsets injected into configuration memory.
+    pub upsets: u64,
+    /// Corrupted frames detected by the per-frame CRC.
+    pub detected_frames: u64,
+    /// Corrupted frames that escaped detection (should be 0: single upsets
+    /// cannot defeat CRC-32).
+    pub undetected_frames: u64,
+}
+
+/// Attack a bitstream's configuration memory with `n` seeded upsets and
+/// audit what the per-frame CRC check catches.
+pub fn bitstream_campaign(bitstream: &Bitstream, n: usize, seed: u64) -> BitstreamCampaignReport {
+    let mut bs = bitstream.clone();
+    let upsets = SeuEnvironment::new(seed).generate(n, 1_000_000);
+    let frame_bits = (FRAME_BYTES * 8) as u64;
+    let total_bits = bs.frames.len() as u64 * frame_bits;
+    let mut hit_frames = std::collections::HashSet::new();
+    for u in &upsets {
+        let bit = u.bit_for(total_bits);
+        let frame = (bit / frame_bits) as usize;
+        let fbit = (bit % frame_bits) as usize;
+        bs.flip_bit(frame, fbit);
+        // an even number of hits on the same bit cancels; track by frame and
+        // recheck at the end instead of assuming
+        hit_frames.insert(frame);
+    }
+    let mut detected = 0;
+    let mut undetected = 0;
+    for (i, frame) in bs.frames.iter().enumerate() {
+        let golden = &bitstream.frames[i];
+        let differs = frame.payload != golden.payload;
+        if differs {
+            if frame.is_intact() {
+                undetected += 1;
+            } else {
+                detected += 1;
+            }
+        }
+    }
+    BitstreamCampaignReport {
+        upsets: upsets.len() as u64,
+        detected_frames: detected,
+        undetected_frames: undetected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprotected_memory_corrupts() {
+        let r = Campaign::new(1024, 42).upsets(200).run(Protection::None);
+        assert!(r.silent_corruptions > 100, "{r:?}");
+    }
+
+    #[test]
+    fn tmr_with_scrubbing_survives() {
+        let r = Campaign::new(1024, 42)
+            .upsets(200)
+            .scrub_interval(Some(500))
+            .run(Protection::Tmr);
+        assert_eq!(r.silent_corruptions, 0, "{r:?}");
+        assert!(r.scrub_passes > 0);
+    }
+
+    #[test]
+    fn edac_with_scrubbing_survives() {
+        let r = Campaign::new(1024, 42)
+            .upsets(200)
+            .scrub_interval(Some(500))
+            .run(Protection::Edac);
+        assert_eq!(r.silent_corruptions, 0, "{r:?}");
+        assert_eq!(r.detected_uncorrectable, 0, "{r:?}");
+        assert!(r.corrected > 0);
+    }
+
+    #[test]
+    fn unscrubbed_protection_degrades_under_heavy_flux() {
+        // enough upsets on a small memory that double hits become likely
+        let heavy = Campaign::new(64, 9).upsets(2000);
+        let tmr = heavy.clone().run(Protection::Tmr);
+        let edac = heavy.run(Protection::Edac);
+        let unprotected = Campaign::new(64, 9).upsets(2000).run(Protection::None);
+        assert!(
+            tmr.silent_corruptions + edac.silent_corruptions + edac.detected_uncorrectable > 0,
+            "without scrubbing, accumulation defeats protection: tmr={tmr:?} edac={edac:?}"
+        );
+        assert!(
+            tmr.silent_corruptions < unprotected.silent_corruptions,
+            "TMR still better than nothing"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let a = Campaign::new(256, 3).upsets(100).run(Protection::Tmr);
+        let b = Campaign::new(256, 3).upsets(100).run(Protection::Tmr);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bitstream_crc_catches_upsets() {
+        use hermes_fpga::bitstream::Frame;
+        let bs = Bitstream {
+            device_name: "d".into(),
+            design_name: "t".into(),
+            frames: (0..32).map(|i| Frame::new([i as u8; 64])).collect(),
+        };
+        let r = bitstream_campaign(&bs, 40, 77);
+        assert_eq!(r.undetected_frames, 0);
+        assert!(r.detected_frames > 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Triple modular redundancy.
+//!
+//! [`TmrWord`] keeps three copies of a value and returns the bitwise
+//! majority on read; [`TmrMemory`] applies the same discipline to a word
+//! array. Voting masks any single-copy corruption; scrubbing
+//! (vote-and-rewrite) prevents independent upsets from accumulating into
+//! two-copy agreement failures.
+
+/// A majority-voted triplicated word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TmrWord {
+    copies: [u32; 3],
+}
+
+impl TmrWord {
+    /// Store `value` in all copies.
+    pub fn new(value: u32) -> Self {
+        TmrWord {
+            copies: [value; 3],
+        }
+    }
+
+    /// Write all three copies.
+    pub fn write(&mut self, value: u32) {
+        self.copies = [value; 3];
+    }
+
+    /// Bitwise-majority read.
+    pub fn read(&self) -> u32 {
+        let [a, b, c] = self.copies;
+        (a & b) | (a & c) | (b & c)
+    }
+
+    /// Whether the three copies currently disagree anywhere.
+    pub fn has_divergence(&self) -> bool {
+        let [a, b, c] = self.copies;
+        !(a == b && b == c)
+    }
+
+    /// Vote and rewrite all copies; returns `true` if a repair happened.
+    pub fn scrub(&mut self) -> bool {
+        if self.has_divergence() {
+            let v = self.read();
+            self.copies = [v; 3];
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flip one bit of one copy (fault-injection hook).
+    pub fn flip_bit(&mut self, copy: usize, bit: u32) {
+        if copy < 3 && bit < 32 {
+            self.copies[copy] ^= 1 << bit;
+        }
+    }
+}
+
+/// Statistics of a [`TmrMemory`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TmrStats {
+    /// Scrub passes that repaired at least one word.
+    pub repairs: u64,
+}
+
+/// A word array with TMR protection.
+#[derive(Debug, Clone)]
+pub struct TmrMemory {
+    words: Vec<TmrWord>,
+    /// Statistics.
+    pub stats: TmrStats,
+}
+
+impl TmrMemory {
+    /// Zero-initialized memory of `len` words.
+    pub fn new(len: usize) -> Self {
+        TmrMemory {
+            words: vec![TmrWord::default(); len],
+            stats: TmrStats::default(),
+        }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Total storage bits (3 copies).
+    pub fn storage_bits(&self) -> u64 {
+        self.words.len() as u64 * 96
+    }
+
+    /// Write a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn write(&mut self, addr: usize, value: u32) {
+        self.words[addr].write(value);
+    }
+
+    /// Majority-voted read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn read(&self, addr: usize) -> u32 {
+        self.words[addr].read()
+    }
+
+    /// Scrub the whole array.
+    pub fn scrub(&mut self) {
+        let mut repaired = false;
+        for w in &mut self.words {
+            repaired |= w.scrub();
+        }
+        if repaired {
+            self.stats.repairs += 1;
+        }
+    }
+
+    /// Flip a bit addressed over the whole triplicated array:
+    /// `addr * 96 + copy * 32 + bit`.
+    pub fn flip_bit(&mut self, bit: u64) {
+        let addr = (bit / 96) as usize;
+        let rem = bit % 96;
+        if addr < self.words.len() {
+            self.words[addr].flip_bit((rem / 32) as usize, (rem % 32) as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_copy_corruption_masked() {
+        let mut w = TmrWord::new(0xDEAD_BEEF);
+        w.flip_bit(1, 13);
+        assert_eq!(w.read(), 0xDEAD_BEEF);
+        assert!(w.has_divergence());
+        assert!(w.scrub());
+        assert!(!w.has_divergence());
+    }
+
+    #[test]
+    fn two_copy_agreement_wins() {
+        let mut w = TmrWord::new(0);
+        w.flip_bit(0, 4);
+        w.flip_bit(1, 4);
+        assert_eq!(w.read(), 0x10, "two corrupted copies out-vote the clean one");
+    }
+
+    #[test]
+    fn different_bits_in_different_copies_still_vote_clean() {
+        let mut w = TmrWord::new(0xFFFF_0000);
+        w.flip_bit(0, 0);
+        w.flip_bit(1, 31);
+        w.flip_bit(2, 15);
+        assert_eq!(w.read(), 0xFFFF_0000);
+    }
+
+    #[test]
+    fn memory_scrub_counts_repairs() {
+        let mut m = TmrMemory::new(32);
+        for a in 0..32 {
+            m.write(a, a as u32);
+        }
+        m.flip_bit(5 * 96 + 32 + 3); // word 5, copy 1, bit 3
+        m.scrub();
+        assert_eq!(m.stats.repairs, 1);
+        m.scrub();
+        assert_eq!(m.stats.repairs, 1, "clean scrub counts nothing");
+        for a in 0..32 {
+            assert_eq!(m.read(a), a as u32);
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Cycle-accurate two-phase netlist simulator.
+//!
+//! Each [`Simulator::step`] performs one clock cycle:
+//!
+//! 1. **Settle** — propagate values through the combinational cells in
+//!    topological order.
+//! 2. **Clock edge** — every sequential cell (register, RAM) samples its
+//!    inputs simultaneously and updates its state.
+//!
+//! This is the discipline a synchronous single-clock design obeys on real
+//! hardware and is sufficient to validate HLS-generated FSM + datapath
+//! structures cycle-by-cycle against a software reference.
+
+use crate::component::Comparison;
+use crate::netlist::{CellId, CellOp, Netlist, NetId};
+use crate::{mask, sign_extend, RtlError};
+use std::collections::HashMap;
+
+/// Cycle-accurate simulator over a validated [`Netlist`].
+#[derive(Debug, Clone)]
+pub struct Simulator<'n> {
+    netlist: &'n Netlist,
+    values: Vec<u64>,
+    reg_state: HashMap<CellId, u64>,
+    ram_state: HashMap<CellId, Vec<u64>>,
+    order: Vec<CellId>,
+    cycle: u64,
+    trace: Option<Trace>,
+}
+
+/// A recorded value-change trace (VCD-lite) of selected nets.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    nets: Vec<NetId>,
+    /// One sample row `(cycle, values)` per simulated cycle.
+    pub rows: Vec<(u64, Vec<u64>)>,
+}
+
+impl Trace {
+    /// Render the trace as a VCD-style text dump.
+    pub fn render(&self, netlist: &Netlist) -> String {
+        let mut out = String::new();
+        out.push_str("$timescale 1ns $end\n");
+        for &nid in &self.nets {
+            let n = netlist.net(nid);
+            out.push_str(&format!("$var wire {} {} {} $end\n", n.width, nid, n.name));
+        }
+        out.push_str("$enddefinitions $end\n");
+        for (cycle, vals) in &self.rows {
+            out.push_str(&format!("#{cycle}\n"));
+            for (i, &nid) in self.nets.iter().enumerate() {
+                out.push_str(&format!("b{:b} {}\n", vals[i], nid));
+            }
+        }
+        out
+    }
+}
+
+impl<'n> Simulator<'n> {
+    /// Build a simulator after validating the netlist.
+    ///
+    /// All registers start at 0 and RAMs at their declared init contents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any structural error from [`Netlist::validate`].
+    pub fn new(netlist: &'n Netlist) -> Result<Self, RtlError> {
+        netlist.validate()?;
+        let order = netlist.combinational_order()?;
+        let mut reg_state = HashMap::new();
+        let mut ram_state = HashMap::new();
+        for (cid, cell) in netlist.cells() {
+            match &cell.op {
+                CellOp::Register { .. } => {
+                    reg_state.insert(cid, 0);
+                }
+                CellOp::RamTdp { depth, init } => {
+                    let mut mem = init.clone();
+                    mem.resize(*depth as usize, 0);
+                    ram_state.insert(cid, mem);
+                }
+                _ => {}
+            }
+        }
+        let mut sim = Simulator {
+            netlist,
+            values: vec![0; netlist.net_count()],
+            reg_state,
+            ram_state,
+            order,
+            cycle: 0,
+            trace: None,
+        };
+        sim.settle();
+        Ok(sim)
+    }
+
+    /// Enable tracing of the given nets; samples are appended on every step.
+    pub fn enable_trace(&mut self, nets: &[NetId]) {
+        self.trace = Some(Trace {
+            nets: nets.to_vec(),
+            rows: Vec::new(),
+        });
+    }
+
+    /// Take the recorded trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Current cycle count (number of completed [`Self::step`] calls).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Drive a primary input by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownName`] if no such input exists.
+    pub fn poke(&mut self, name: &str, value: u64) -> Result<(), RtlError> {
+        let id = self
+            .netlist
+            .net_by_name(name)
+            .filter(|id| self.netlist.inputs().contains(id))
+            .ok_or_else(|| RtlError::UnknownName { name: name.into() })?;
+        self.values[id.0 as usize] = mask(value, self.netlist.net(id).width);
+        self.settle();
+        Ok(())
+    }
+
+    /// Read any net's settled value by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownName`] if no such net exists.
+    pub fn peek(&self, name: &str) -> Result<u64, RtlError> {
+        let id = self
+            .netlist
+            .net_by_name(name)
+            .ok_or_else(|| RtlError::UnknownName { name: name.into() })?;
+        Ok(self.values[id.0 as usize])
+    }
+
+    /// Read a net's settled value by id.
+    pub fn peek_net(&self, id: NetId) -> u64 {
+        self.values[id.0 as usize]
+    }
+
+    /// Drive a primary input by id.
+    pub fn poke_net(&mut self, id: NetId, value: u64) {
+        self.values[id.0 as usize] = mask(value, self.netlist.net(id).width);
+        self.settle();
+    }
+
+    /// Synchronously reset: clears all registers (those declared with reset)
+    /// and re-settles. RAM contents are preserved, as on real block RAM.
+    pub fn reset(&mut self) {
+        for (cid, cell) in self.netlist.cells() {
+            if let CellOp::Register { has_reset: true, .. } = cell.op {
+                self.reg_state.insert(cid, 0);
+            }
+        }
+        self.settle();
+    }
+
+    /// Advance one clock cycle: sample all sequential elements, then settle.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible but kept fallible for forward compatibility with
+    /// X-propagation checks.
+    pub fn step(&mut self) -> Result<(), RtlError> {
+        // Phase 1: compute next state for every sequential cell from the
+        // *currently settled* values (simultaneous sampling).
+        let mut next_regs: Vec<(CellId, u64)> = Vec::new();
+        let mut ram_writes: Vec<(CellId, Vec<(usize, u64)>)> = Vec::new();
+        let mut ram_reads: Vec<(CellId, u64, u64)> = Vec::new();
+        for (cid, cell) in self.netlist.cells() {
+            match &cell.op {
+                CellOp::Register { has_enable, .. } => {
+                    let d = self.values[cell.inputs[0].0 as usize];
+                    let load = if *has_enable {
+                        self.values[cell.inputs[1].0 as usize] & 1 == 1
+                    } else {
+                        true
+                    };
+                    if load {
+                        let w = self.netlist.net(cell.outputs[0]).width;
+                        next_regs.push((cid, mask(d, w)));
+                    }
+                }
+                CellOp::RamTdp { depth, .. } => {
+                    let depth = *depth as usize;
+                    let addr_a = self.values[cell.inputs[0].0 as usize] as usize % depth.max(1);
+                    let wd_a = self.values[cell.inputs[1].0 as usize];
+                    let we_a = self.values[cell.inputs[2].0 as usize] & 1 == 1;
+                    let addr_b = self.values[cell.inputs[3].0 as usize] as usize % depth.max(1);
+                    let wd_b = self.values[cell.inputs[4].0 as usize];
+                    let we_b = self.values[cell.inputs[5].0 as usize] & 1 == 1;
+                    let mem = &self.ram_state[&cid];
+                    // read-first semantics on both ports
+                    ram_reads.push((cid, mem[addr_a], mem[addr_b]));
+                    let mut writes = Vec::new();
+                    if we_a {
+                        writes.push((addr_a, wd_a));
+                    }
+                    if we_b {
+                        writes.push((addr_b, wd_b));
+                    }
+                    if !writes.is_empty() {
+                        ram_writes.push((cid, writes));
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Phase 2: commit state and drive sequential outputs.
+        for (cid, v) in next_regs {
+            self.reg_state.insert(cid, v);
+        }
+        for (cid, writes) in ram_writes {
+            let w = self
+                .netlist
+                .net(self.netlist.cell(cid).outputs[0])
+                .width;
+            let mem = self.ram_state.get_mut(&cid).expect("ram state exists");
+            for (addr, val) in writes {
+                mem[addr] = mask(val, w);
+            }
+        }
+        for (cid, ra, rb) in ram_reads {
+            let cell = self.netlist.cell(cid);
+            self.values[cell.outputs[0].0 as usize] = ra;
+            self.values[cell.outputs[1].0 as usize] = rb;
+        }
+        self.settle();
+        self.cycle += 1;
+        if let Some(trace) = &mut self.trace {
+            let row = trace
+                .nets
+                .iter()
+                .map(|&n| self.values[n.0 as usize])
+                .collect();
+            trace.rows.push((self.cycle, row));
+        }
+        Ok(())
+    }
+
+    /// Run `n` cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Self::step`].
+    pub fn run(&mut self, n: u64) -> Result<(), RtlError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Step until `predicate` returns true or `max_cycles` elapse; returns
+    /// the number of cycles consumed, or `None` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Self::step`].
+    pub fn run_until(
+        &mut self,
+        max_cycles: u64,
+        mut predicate: impl FnMut(&Self) -> bool,
+    ) -> Result<Option<u64>, RtlError> {
+        for i in 0..max_cycles {
+            if predicate(self) {
+                return Ok(Some(i));
+            }
+            self.step()?;
+        }
+        Ok(if predicate(self) { Some(max_cycles) } else { None })
+    }
+
+    /// Direct read of a register cell's stored state (testing/debug hook).
+    pub fn register_state(&self, cell: CellId) -> Option<u64> {
+        self.reg_state.get(&cell).copied()
+    }
+
+    /// Direct read of a RAM word (testing/debug hook).
+    pub fn ram_word(&self, cell: CellId, addr: usize) -> Option<u64> {
+        self.ram_state.get(&cell).and_then(|m| m.get(addr)).copied()
+    }
+
+    /// Overwrite a RAM word directly (testbench backdoor load).
+    pub fn load_ram_word(&mut self, cell: CellId, addr: usize, value: u64) {
+        if let Some(mem) = self.ram_state.get_mut(&cell) {
+            if let Some(slot) = mem.get_mut(addr) {
+                *slot = value;
+            }
+        }
+    }
+
+    fn settle(&mut self) {
+        // Sequential outputs first: registers continuously drive their state.
+        for (cid, cell) in self.netlist.cells() {
+            if let CellOp::Register { .. } = cell.op {
+                self.values[cell.outputs[0].0 as usize] = self.reg_state[&cid];
+            }
+        }
+        for &cid in &self.order {
+            let cell = self.netlist.cell(cid);
+            let get = |i: usize| self.values[cell.inputs[i].0 as usize];
+            let out_net = cell.outputs[0];
+            let ow = self.netlist.net(out_net).width;
+            let iw = cell
+                .inputs
+                .first()
+                .map(|&n| self.netlist.net(n).width)
+                .unwrap_or(ow);
+            let v = match &cell.op {
+                CellOp::Add => get(0).wrapping_add(get(1)),
+                CellOp::Sub => get(0).wrapping_sub(get(1)),
+                CellOp::Mul => get(0).wrapping_mul(get(1)),
+                CellOp::Div => {
+                    let d = get(1);
+                    if d == 0 {
+                        u64::MAX
+                    } else {
+                        get(0) / d
+                    }
+                }
+                CellOp::Mod => {
+                    let d = get(1);
+                    if d == 0 {
+                        get(0)
+                    } else {
+                        get(0) % d
+                    }
+                }
+                CellOp::And => get(0) & get(1),
+                CellOp::Or => get(0) | get(1),
+                CellOp::Xor => get(0) ^ get(1),
+                CellOp::Not => !get(0),
+                CellOp::Shl => get(0) << get(1).min(63),
+                CellOp::ShrL => get(0) >> get(1).min(63),
+                CellOp::ShrA => {
+                    (sign_extend(get(0), iw) >> get(1).min(63)) as u64
+                }
+                CellOp::Cmp(c) => {
+                    let w = self.netlist.net(cell.inputs[0]).width;
+                    c.apply(get(0), get(1), w) as u64
+                }
+                CellOp::Mux => {
+                    if get(0) & 1 == 1 {
+                        get(2)
+                    } else {
+                        get(1)
+                    }
+                }
+                CellOp::Const { value } => *value,
+                CellOp::Slice { lo, hi } => {
+                    let width = hi - lo + 1;
+                    mask(get(0) >> lo, width)
+                }
+                CellOp::ZeroExtend => get(0),
+                CellOp::SignExtend => {
+                    let w = self.netlist.net(cell.inputs[0]).width;
+                    sign_extend(get(0), w) as u64
+                }
+                CellOp::Register { .. } | CellOp::RamTdp { .. } => continue,
+            };
+            self.values[out_net.0 as usize] = mask(v, ow);
+        }
+    }
+}
+
+/// Convenience helper implementing [`Comparison`] lookup for simulator users.
+pub fn comparison_result(c: Comparison, a: u64, b: u64, width: u32) -> bool {
+    c.apply(a, b, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{CellOp, Netlist};
+
+    #[test]
+    fn counter_counts() {
+        // q' = q + 1
+        let mut nl = Netlist::new("counter");
+        let one = nl.add_net("one", 8);
+        let q = nl.add_net("q", 8);
+        let next = nl.add_net("next", 8);
+        nl.add_cell("c1", CellOp::Const { value: 1 }, &[], &[one])
+            .unwrap();
+        nl.add_cell("add", CellOp::Add, &[q, one], &[next]).unwrap();
+        nl.add_cell(
+            "r",
+            CellOp::Register {
+                has_enable: false,
+                has_reset: true,
+            },
+            &[next],
+            &[q],
+        )
+        .unwrap();
+        nl.mark_output(q);
+        let mut sim = Simulator::new(&nl).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), 0);
+        sim.run(5).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), 5);
+        sim.run(300).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), (305u64) & 0xFF);
+        sim.reset();
+        assert_eq!(sim.peek("q").unwrap(), 0);
+    }
+
+    #[test]
+    fn enable_gates_register() {
+        let mut nl = Netlist::new("en");
+        let d = nl.add_input("d", 8);
+        let en = nl.add_input("en", 1);
+        let q = nl.add_net("q", 8);
+        nl.add_cell(
+            "r",
+            CellOp::Register {
+                has_enable: true,
+                has_reset: true,
+            },
+            &[d, en],
+            &[q],
+        )
+        .unwrap();
+        nl.mark_output(q);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.poke("d", 42).unwrap();
+        sim.poke("en", 0).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.peek("q").unwrap(), 0, "disabled register holds");
+        sim.poke("en", 1).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.peek("q").unwrap(), 42);
+    }
+
+    #[test]
+    fn ram_read_write_ports() {
+        let mut nl = Netlist::new("ram");
+        let addr_a = nl.add_input("addr_a", 4);
+        let wdata_a = nl.add_input("wdata_a", 16);
+        let we_a = nl.add_input("we_a", 1);
+        let addr_b = nl.add_input("addr_b", 4);
+        let wdata_b = nl.add_input("wdata_b", 16);
+        let we_b = nl.add_input("we_b", 1);
+        let ra = nl.add_net("rdata_a", 16);
+        let rb = nl.add_net("rdata_b", 16);
+        nl.add_cell(
+            "m",
+            CellOp::RamTdp {
+                depth: 16,
+                init: vec![],
+            },
+            &[addr_a, wdata_a, we_a, addr_b, wdata_b, we_b],
+            &[ra, rb],
+        )
+        .unwrap();
+        nl.mark_output(ra);
+        nl.mark_output(rb);
+        let mut sim = Simulator::new(&nl).unwrap();
+        // write 0xBEEF at 3 via port A
+        sim.poke("addr_a", 3).unwrap();
+        sim.poke("wdata_a", 0xBEEF).unwrap();
+        sim.poke("we_a", 1).unwrap();
+        sim.step().unwrap();
+        sim.poke("we_a", 0).unwrap();
+        // read back via port B
+        sim.poke("addr_b", 3).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.peek("rdata_b").unwrap(), 0xBEEF);
+    }
+
+    #[test]
+    fn ram_read_first_semantics() {
+        let mut nl = Netlist::new("ram");
+        let addr_a = nl.add_input("addr_a", 4);
+        let wdata_a = nl.add_input("wdata_a", 8);
+        let we_a = nl.add_input("we_a", 1);
+        let addr_b = nl.add_input("addr_b", 4);
+        let wdata_b = nl.add_input("wdata_b", 8);
+        let we_b = nl.add_input("we_b", 1);
+        let ra = nl.add_net("rdata_a", 8);
+        let rb = nl.add_net("rdata_b", 8);
+        nl.add_cell(
+            "m",
+            CellOp::RamTdp {
+                depth: 16,
+                init: vec![7; 16],
+            },
+            &[addr_a, wdata_a, we_a, addr_b, wdata_b, we_b],
+            &[ra, rb],
+        )
+        .unwrap();
+        nl.mark_output(ra);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.poke("addr_a", 1).unwrap();
+        sim.poke("wdata_a", 99).unwrap();
+        sim.poke("we_a", 1).unwrap();
+        sim.step().unwrap();
+        // read-first: the read result is the OLD value
+        assert_eq!(sim.peek("rdata_a").unwrap(), 7);
+        sim.poke("we_a", 0).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.peek("rdata_a").unwrap(), 99);
+    }
+
+    #[test]
+    fn run_until_detects_condition() {
+        let mut nl = Netlist::new("counter");
+        let one = nl.add_net("one", 8);
+        let q = nl.add_net("q", 8);
+        let next = nl.add_net("next", 8);
+        nl.add_cell("c1", CellOp::Const { value: 1 }, &[], &[one])
+            .unwrap();
+        nl.add_cell("add", CellOp::Add, &[q, one], &[next]).unwrap();
+        nl.add_cell(
+            "r",
+            CellOp::Register {
+                has_enable: false,
+                has_reset: true,
+            },
+            &[next],
+            &[q],
+        )
+        .unwrap();
+        nl.mark_output(q);
+        let mut sim = Simulator::new(&nl).unwrap();
+        let cycles = sim
+            .run_until(100, |s| s.peek("q").unwrap() == 10)
+            .unwrap();
+        assert_eq!(cycles, Some(10));
+        let timeout = sim.run_until(5, |s| s.peek("q").unwrap() == 200).unwrap();
+        assert_eq!(timeout, None);
+    }
+
+    #[test]
+    fn trace_records_rows() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 8);
+        let y = nl.add_net("y", 8);
+        nl.add_cell("n", CellOp::Not, &[a], &[y]).unwrap();
+        nl.mark_output(y);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.enable_trace(&[y]);
+        sim.poke("a", 0x0F).unwrap();
+        sim.step().unwrap();
+        sim.step().unwrap();
+        let trace = sim.take_trace().unwrap();
+        assert_eq!(trace.rows.len(), 2);
+        assert_eq!(trace.rows[0].1[0], 0xF0);
+        let text = trace.render(&nl);
+        assert!(text.contains("$var wire 8"));
+    }
+
+    #[test]
+    fn slice_and_extend() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 16);
+        let hi = nl.add_net("hi", 8);
+        let sx = nl.add_net("sx", 16);
+        nl.add_cell("s", CellOp::Slice { lo: 8, hi: 15 }, &[a], &[hi])
+            .unwrap();
+        nl.add_cell("x", CellOp::SignExtend, &[hi], &[sx]).unwrap();
+        nl.mark_output(sx);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.poke("a", 0x8034).unwrap();
+        assert_eq!(sim.peek("hi").unwrap(), 0x80);
+        assert_eq!(sim.peek("sx").unwrap(), 0xFF80);
+    }
+}

@@ -1,0 +1,642 @@
+//! Hypervisor configuration: partitions, memory, per-core cyclic plans,
+//! ports and channels, and health-monitor actions.
+//!
+//! XtratuM is configured through an XML configuration file (the `XM_CF`);
+//! [`XngConfig::from_xml`] accepts the same information in a compact XML
+//! dialect, and a builder API covers programmatic use.
+
+use crate::health::{HmAction, HmEvent};
+use crate::{PartitionId, XngError};
+use hermes_cpu::cluster::CORE_COUNT;
+use std::collections::HashMap;
+
+/// A memory region granted to a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRegion {
+    /// Base byte address.
+    pub base: u32,
+    /// Size in bytes.
+    pub size: u32,
+    /// Whether the partition may write it.
+    pub writable: bool,
+}
+
+/// Direction of a port, from the owning partition's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDirection {
+    /// The partition sends.
+    Source,
+    /// The partition receives.
+    Destination,
+}
+
+/// Port kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortKind {
+    /// Last-value semantics (state data).
+    Sampling,
+    /// FIFO semantics (messages).
+    Queuing {
+        /// Queue capacity in messages.
+        depth: u32,
+    },
+}
+
+/// A port declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortConfig {
+    /// Port name, unique within the partition.
+    pub name: String,
+    /// Direction.
+    pub direction: PortDirection,
+    /// Kind.
+    pub kind: PortKind,
+}
+
+/// A partition declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// Partition name.
+    pub name: String,
+    /// Memory regions (programmed into the MPU for guest partitions).
+    pub memory: Vec<MemRegion>,
+    /// Declared ports.
+    pub ports: Vec<PortConfig>,
+    /// Whether this is a system partition (may issue management
+    /// hypercalls such as halting other partitions).
+    pub system: bool,
+}
+
+impl PartitionConfig {
+    /// A partition with no memory or ports.
+    pub fn new(name: impl Into<String>) -> Self {
+        PartitionConfig {
+            name: name.into(),
+            memory: Vec::new(),
+            ports: Vec::new(),
+            system: false,
+        }
+    }
+
+    /// Add a memory region.
+    pub fn with_memory(mut self, region: MemRegion) -> Self {
+        self.memory.push(region);
+        self
+    }
+
+    /// Add a port.
+    pub fn with_port(mut self, port: PortConfig) -> Self {
+        self.ports.push(port);
+        self
+    }
+
+    /// Mark as a system partition.
+    pub fn system(mut self) -> Self {
+        self.system = true;
+        self
+    }
+}
+
+/// One slot of a cyclic plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// The partition scheduled in the slot.
+    pub partition: PartitionId,
+    /// Slot length in cluster cycles.
+    pub duration: u64,
+}
+
+impl Slot {
+    /// Create a slot.
+    pub fn new(partition: PartitionId, duration: u64) -> Self {
+        Slot {
+            partition,
+            duration,
+        }
+    }
+}
+
+/// A per-core cyclic plan. The major frame is the sum of slot durations;
+/// it repeats forever (mode changes swap plans).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Plan {
+    /// Slots in order.
+    pub slots: Vec<Slot>,
+}
+
+impl Plan {
+    /// Create a plan from slots.
+    pub fn new(slots: Vec<Slot>) -> Self {
+        Plan { slots }
+    }
+
+    /// Major-frame length in cycles.
+    pub fn major_frame(&self) -> u64 {
+        self.slots.iter().map(|s| s.duration).sum()
+    }
+
+    /// The `(slot index, offset within slot)` at an absolute time.
+    pub fn locate(&self, time: u64) -> Option<(usize, u64)> {
+        let frame = self.major_frame();
+        if frame == 0 {
+            return None;
+        }
+        let mut t = time % frame;
+        for (i, s) in self.slots.iter().enumerate() {
+            if t < s.duration {
+                return Some((i, t));
+            }
+            t -= s.duration;
+        }
+        None
+    }
+}
+
+/// A channel connecting a source port to destination ports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Channel {
+    /// Sending side `(partition, port name)`.
+    pub source: (PartitionId, String),
+    /// Receiving sides.
+    pub destinations: Vec<(PartitionId, String)>,
+    /// Maximum message bytes.
+    pub max_message: u32,
+}
+
+/// Complete system configuration.
+#[derive(Debug, Clone, Default)]
+pub struct XngConfig {
+    /// System name.
+    pub name: String,
+    /// Partitions, indexed by [`PartitionId`].
+    pub partitions: Vec<PartitionConfig>,
+    /// One cyclic plan per core.
+    pub plans: Vec<Plan>,
+    /// Named alternate scheduling modes (XtratuM plan/mode changes): each
+    /// mode provides a full per-core plan set that can be switched to at
+    /// run time by a system partition or the embedder.
+    pub modes: Vec<(String, Vec<Plan>)>,
+    /// Channels.
+    pub channels: Vec<Channel>,
+    /// Health-monitor action table.
+    pub hm_table: HashMap<HmEvent, HmAction>,
+    /// Context-switch overhead charged at each slot boundary, cycles.
+    pub context_switch_cycles: u64,
+}
+
+impl XngConfig {
+    /// An empty configuration with default HM actions and a 150-cycle
+    /// context switch (measured figures for partition switches on R52-class
+    /// hardware are in the hundred-cycle range).
+    pub fn new(name: impl Into<String>) -> Self {
+        XngConfig {
+            name: name.into(),
+            partitions: Vec::new(),
+            plans: vec![Plan::default(); CORE_COUNT],
+            modes: Vec::new(),
+            channels: Vec::new(),
+            hm_table: HashMap::new(),
+            context_switch_cycles: 150,
+        }
+    }
+
+    /// Add a partition, returning its id.
+    pub fn add_partition(&mut self, p: PartitionConfig) -> PartitionId {
+        self.partitions.push(p);
+        PartitionId(self.partitions.len() as u32 - 1)
+    }
+
+    /// Set the cyclic plan of a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= CORE_COUNT`.
+    pub fn set_plan(&mut self, core: usize, plan: Plan) {
+        self.plans[core] = plan;
+    }
+
+    /// Add a channel.
+    pub fn add_channel(&mut self, channel: Channel) {
+        self.channels.push(channel);
+    }
+
+    /// Register an alternate scheduling mode (a full per-core plan set).
+    /// Returns the mode index used by
+    /// [`Hypervisor::request_mode_change`](crate::hypervisor::Hypervisor::request_mode_change).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` does not cover every core.
+    pub fn add_mode(&mut self, name: impl Into<String>, plans: Vec<Plan>) -> usize {
+        assert_eq!(plans.len(), CORE_COUNT, "a mode must plan every core");
+        self.modes.push((name.into(), plans));
+        self.modes.len() - 1
+    }
+
+    /// Set a health-monitor action.
+    pub fn set_hm_action(&mut self, event: HmEvent, action: HmAction) {
+        self.hm_table.insert(event, action);
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XngError::Config`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), XngError> {
+        let err = |detail: String| Err(XngError::Config { detail });
+        let plan_sets = std::iter::once(&self.plans).chain(self.modes.iter().map(|(_, p)| p));
+        for plans in plan_sets {
+            for (core, plan) in plans.iter().enumerate() {
+                for slot in &plan.slots {
+                    if slot.partition.0 as usize >= self.partitions.len() {
+                        return err(format!(
+                            "core {core} schedules unknown partition {}",
+                            slot.partition
+                        ));
+                    }
+                    if slot.duration == 0 {
+                        return err(format!("core {core} has a zero-length slot"));
+                    }
+                }
+            }
+        }
+        for ch in &self.channels {
+            let check = |pid: PartitionId,
+                             port: &str,
+                             dir: PortDirection|
+             -> Result<(), XngError> {
+                let p = self
+                    .partitions
+                    .get(pid.0 as usize)
+                    .ok_or(XngError::NoSuchPartition(pid))?;
+                let pc = p.ports.iter().find(|pc| pc.name == port).ok_or_else(|| {
+                    XngError::NoSuchPort {
+                        partition: pid,
+                        port: port.to_string(),
+                    }
+                })?;
+                if pc.direction != dir {
+                    return Err(XngError::Config {
+                        detail: format!("port `{port}` of {pid} has the wrong direction"),
+                    });
+                }
+                Ok(())
+            };
+            check(ch.source.0, &ch.source.1, PortDirection::Source)?;
+            for (pid, port) in &ch.destinations {
+                check(*pid, port, PortDirection::Destination)?;
+            }
+            if ch.destinations.is_empty() {
+                return err("channel with no destinations".into());
+            }
+        }
+        // partitions' memory regions must not overlap each other
+        for (i, a) in self.partitions.iter().enumerate() {
+            for b in self.partitions.iter().skip(i + 1) {
+                for ra in &a.memory {
+                    for rb in &b.memory {
+                        let a_end = u64::from(ra.base) + u64::from(ra.size);
+                        let b_end = u64::from(rb.base) + u64::from(rb.size);
+                        if u64::from(ra.base) < b_end
+                            && u64::from(rb.base) < a_end
+                            && (ra.writable || rb.writable)
+                        {
+                            return err(format!(
+                                "partitions `{}` and `{}` share writable memory",
+                                a.name, b.name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse the XML configuration dialect.
+    ///
+    /// ```xml
+    /// <system name="demo" context_switch="150">
+    ///   <partition name="aocs" system="true">
+    ///     <memory base="0x40000000" size="0x10000" writable="true"/>
+    ///     <port name="att_out" direction="source" kind="sampling"/>
+    ///   </partition>
+    ///   <plan core="0">
+    ///     <slot partition="aocs" duration="10000"/>
+    ///   </plan>
+    ///   <channel source="aocs.att_out" dest="vbn.att_in" max="64"/>
+    /// </system>
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XngError::Parse`] with the offending line.
+    pub fn from_xml(text: &str) -> Result<Self, XngError> {
+        let mut cfg = XngConfig::new("unnamed");
+        let mut names: HashMap<String, PartitionId> = HashMap::new();
+        let mut current: Option<usize> = None;
+        let mut current_mode: Option<usize> = None;
+        let perr = |line: usize, detail: String| XngError::Parse { line, detail };
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = ln + 1;
+            if line.is_empty()
+                || line.starts_with("<?")
+                || line.starts_with("<!--")
+                || line == "</system>"
+                || line == "</plan>"
+            {
+                continue;
+            }
+            if line == "</mode>" {
+                current_mode = None;
+                continue;
+            }
+            if line == "</partition>" {
+                current = None;
+                continue;
+            }
+            let attr = |name: &str| -> Option<String> {
+                let pat = format!("{name}=\"");
+                let start = line.find(&pat)? + pat.len();
+                let end = line[start..].find('"')? + start;
+                Some(line[start..end].to_string())
+            };
+            let num = |s: String| -> Result<u64, XngError> {
+                let s = s.trim();
+                if let Some(hex) = s.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    s.parse()
+                }
+                .map_err(|_| perr(lineno, format!("bad number `{s}`")))
+            };
+            if line.starts_with("<system") {
+                if let Some(n) = attr("name") {
+                    cfg.name = n;
+                }
+                if let Some(cs) = attr("context_switch") {
+                    cfg.context_switch_cycles = num(cs)?;
+                }
+            } else if line.starts_with("<partition") {
+                let name = attr("name")
+                    .ok_or_else(|| perr(lineno, "partition needs a name".into()))?;
+                let mut p = PartitionConfig::new(&name);
+                if attr("system").as_deref() == Some("true") {
+                    p.system = true;
+                }
+                let id = cfg.add_partition(p);
+                names.insert(name, id);
+                if !line.ends_with("/>") {
+                    current = Some(id.0 as usize);
+                }
+            } else if line.starts_with("<memory") {
+                let idx = current
+                    .ok_or_else(|| perr(lineno, "memory outside partition".into()))?;
+                let base = num(attr("base")
+                    .ok_or_else(|| perr(lineno, "memory needs base".into()))?)?;
+                let size = num(attr("size")
+                    .ok_or_else(|| perr(lineno, "memory needs size".into()))?)?;
+                cfg.partitions[idx].memory.push(MemRegion {
+                    base: base as u32,
+                    size: size as u32,
+                    writable: attr("writable").as_deref() == Some("true"),
+                });
+            } else if line.starts_with("<port") {
+                let idx = current
+                    .ok_or_else(|| perr(lineno, "port outside partition".into()))?;
+                let name = attr("name")
+                    .ok_or_else(|| perr(lineno, "port needs name".into()))?;
+                let direction = match attr("direction").as_deref() {
+                    Some("source") => PortDirection::Source,
+                    Some("destination") => PortDirection::Destination,
+                    other => {
+                        return Err(perr(
+                            lineno,
+                            format!("bad port direction {other:?}"),
+                        ))
+                    }
+                };
+                let kind = match attr("kind").as_deref() {
+                    Some("sampling") | None => PortKind::Sampling,
+                    Some("queuing") => PortKind::Queuing {
+                        depth: attr("depth").map(num).transpose()?.unwrap_or(8) as u32,
+                    },
+                    Some(other) => {
+                        return Err(perr(lineno, format!("bad port kind `{other}`")))
+                    }
+                };
+                cfg.partitions[idx].ports.push(PortConfig {
+                    name,
+                    direction,
+                    kind,
+                });
+            } else if line.starts_with("<mode") {
+                let name = attr("name")
+                    .ok_or_else(|| perr(lineno, "mode needs a name".into()))?;
+                current = None;
+                current_mode =
+                    Some(cfg.add_mode(name, vec![Plan::default(); CORE_COUNT]));
+            } else if line.starts_with("<plan") {
+                let core = num(attr("core")
+                    .ok_or_else(|| perr(lineno, "plan needs core".into()))?)?
+                    as usize;
+                if core >= CORE_COUNT {
+                    return Err(perr(lineno, format!("core {core} out of range")));
+                }
+                current = None;
+                // slots follow until </plan>; remember which core via name
+                match current_mode {
+                    Some(m) => cfg.modes[m].1[core].slots.clear(),
+                    None => cfg.plans[core].slots.clear(),
+                }
+                names.insert("__current_plan".into(), PartitionId(core as u32));
+            } else if line.starts_with("<slot") {
+                let core = names
+                    .get("__current_plan")
+                    .ok_or_else(|| perr(lineno, "slot outside plan".into()))?
+                    .0 as usize;
+                let pname = attr("partition")
+                    .ok_or_else(|| perr(lineno, "slot needs partition".into()))?;
+                let pid = *names
+                    .get(&pname)
+                    .ok_or_else(|| perr(lineno, format!("unknown partition `{pname}`")))?;
+                let duration = num(attr("duration")
+                    .ok_or_else(|| perr(lineno, "slot needs duration".into()))?)?;
+                match current_mode {
+                    Some(m) => cfg.modes[m].1[core].slots.push(Slot::new(pid, duration)),
+                    None => cfg.plans[core].slots.push(Slot::new(pid, duration)),
+                }
+            } else if line.starts_with("<channel") {
+                let parse_ep = |s: &str| -> Result<(PartitionId, String), XngError> {
+                    let (p, port) = s
+                        .split_once('.')
+                        .ok_or_else(|| perr(lineno, format!("bad endpoint `{s}`")))?;
+                    let pid = *names
+                        .get(p)
+                        .ok_or_else(|| perr(lineno, format!("unknown partition `{p}`")))?;
+                    Ok((pid, port.to_string()))
+                };
+                let source = parse_ep(&attr("source")
+                    .ok_or_else(|| perr(lineno, "channel needs source".into()))?)?;
+                let dests = attr("dest")
+                    .ok_or_else(|| perr(lineno, "channel needs dest".into()))?;
+                let destinations = dests
+                    .split(',')
+                    .map(|d| parse_ep(d.trim()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                cfg.channels.push(Channel {
+                    source,
+                    destinations,
+                    max_message: attr("max").map(num).transpose()?.unwrap_or(64) as u32,
+                });
+            } else {
+                return Err(perr(lineno, format!("unrecognized element `{line}`")));
+            }
+        }
+        names.remove("__current_plan");
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_locate() {
+        let plan = Plan::new(vec![
+            Slot::new(PartitionId(0), 100),
+            Slot::new(PartitionId(1), 50),
+        ]);
+        assert_eq!(plan.major_frame(), 150);
+        assert_eq!(plan.locate(0), Some((0, 0)));
+        assert_eq!(plan.locate(99), Some((0, 99)));
+        assert_eq!(plan.locate(100), Some((1, 0)));
+        assert_eq!(plan.locate(151), Some((0, 1)), "wraps the major frame");
+    }
+
+    #[test]
+    fn validation_catches_bad_plan() {
+        let mut cfg = XngConfig::new("t");
+        cfg.set_plan(0, Plan::new(vec![Slot::new(PartitionId(7), 10)]));
+        assert!(matches!(cfg.validate(), Err(XngError::Config { .. })));
+    }
+
+    #[test]
+    fn validation_catches_overlapping_memory() {
+        let mut cfg = XngConfig::new("t");
+        cfg.add_partition(PartitionConfig::new("a").with_memory(MemRegion {
+            base: 0x1000,
+            size: 0x1000,
+            writable: true,
+        }));
+        cfg.add_partition(PartitionConfig::new("b").with_memory(MemRegion {
+            base: 0x1800,
+            size: 0x1000,
+            writable: false,
+        }));
+        assert!(matches!(cfg.validate(), Err(XngError::Config { .. })));
+    }
+
+    #[test]
+    fn read_only_sharing_is_legal() {
+        let mut cfg = XngConfig::new("t");
+        let shared = MemRegion {
+            base: 0x1000,
+            size: 0x1000,
+            writable: false,
+        };
+        cfg.add_partition(PartitionConfig::new("a").with_memory(shared));
+        cfg.add_partition(PartitionConfig::new("b").with_memory(shared));
+        cfg.validate().expect("read-only sharing allowed");
+    }
+
+    #[test]
+    fn xml_roundtrip_essentials() {
+        let xml = r#"
+            <system name="sat" context_switch="200">
+              <partition name="aocs" system="true">
+                <memory base="0x40000000" size="0x10000" writable="true"/>
+                <port name="att" direction="source" kind="sampling"/>
+              </partition>
+              <partition name="vbn">
+                <port name="att_in" direction="destination" kind="sampling"/>
+                <port name="frames" direction="destination" kind="queuing" depth="4"/>
+              </partition>
+              <plan core="0">
+                <slot partition="aocs" duration="10000"/>
+                <slot partition="vbn" duration="20000"/>
+              </plan>
+              <channel source="aocs.att" dest="vbn.att_in" max="32"/>
+            </system>
+        "#;
+        let cfg = XngConfig::from_xml(xml).unwrap();
+        assert_eq!(cfg.name, "sat");
+        assert_eq!(cfg.context_switch_cycles, 200);
+        assert_eq!(cfg.partitions.len(), 2);
+        assert!(cfg.partitions[0].system);
+        assert_eq!(cfg.plans[0].slots.len(), 2);
+        assert_eq!(cfg.plans[0].major_frame(), 30000);
+        assert_eq!(cfg.channels.len(), 1);
+        assert_eq!(cfg.channels[0].max_message, 32);
+        assert!(matches!(
+            cfg.partitions[1].ports[1].kind,
+            PortKind::Queuing { depth: 4 }
+        ));
+    }
+
+    #[test]
+    fn xml_modes_parse() {
+        let xml = r#"
+            <system name="m">
+              <partition name="a"/>
+              <partition name="b"/>
+              <plan core="0">
+                <slot partition="a" duration="1000"/>
+              </plan>
+              <mode name="safe">
+                <plan core="0">
+                  <slot partition="b" duration="500"/>
+                </plan>
+              </mode>
+            </system>
+        "#;
+        let cfg = XngConfig::from_xml(xml).unwrap();
+        assert_eq!(cfg.modes.len(), 1);
+        assert_eq!(cfg.modes[0].0, "safe");
+        assert_eq!(cfg.modes[0].1[0].slots.len(), 1);
+        assert_eq!(cfg.modes[0].1[0].slots[0].partition, PartitionId(1));
+        assert_eq!(cfg.plans[0].slots[0].partition, PartitionId(0));
+    }
+
+    #[test]
+    fn xml_errors_have_lines() {
+        let bad = "<system name=\"x\">\n<bogus/>\n</system>";
+        match XngConfig::from_xml(bad) {
+            Err(XngError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xml_channel_direction_checked() {
+        let bad = r#"
+            <system name="x">
+              <partition name="a">
+                <port name="p" direction="destination" kind="sampling"/>
+              </partition>
+              <partition name="b">
+                <port name="q" direction="destination" kind="sampling"/>
+              </partition>
+              <channel source="a.p" dest="b.q"/>
+            </system>
+        "#;
+        assert!(matches!(
+            XngConfig::from_xml(bad),
+            Err(XngError::Config { .. })
+        ));
+    }
+}

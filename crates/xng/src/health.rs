@@ -1,0 +1,167 @@
+//! The health monitor.
+//!
+//! Detects abnormal events (partition traps, deadline misses, port
+//! overflows, watchdog expiry) and applies the configured action — the
+//! mechanism by which a DAL-B hypervisor contains faults without
+//! propagating them across partitions.
+
+use crate::PartitionId;
+use std::fmt;
+
+/// Health-monitor event classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HmEvent {
+    /// A guest partition trapped (MPU fault, illegal instruction, …).
+    PartitionTrap,
+    /// A native partition task returned an error.
+    PartitionError,
+    /// A partition exhausted its slot without yielding (overrun).
+    SlotOverrun,
+    /// A queuing port dropped a message.
+    PortOverflow,
+    /// A partition attempted a hypercall it is not allowed to make.
+    IllegalHypercall,
+}
+
+/// Actions the monitor may take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HmAction {
+    /// Log only.
+    #[default]
+    Ignore,
+    /// Restart the offending partition (cold start at next slot).
+    RestartPartition,
+    /// Halt the offending partition permanently.
+    HaltPartition,
+    /// Halt the whole system.
+    HaltSystem,
+}
+
+/// A logged health event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HmLogEntry {
+    /// Time of detection (hypervisor cycles).
+    pub time: u64,
+    /// Event class.
+    pub event: HmEvent,
+    /// Offending partition, if attributable.
+    pub partition: Option<PartitionId>,
+    /// Action taken.
+    pub action: HmAction,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl fmt::Display for HmLogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {:?} {} -> {:?}: {}",
+            self.time,
+            self.event,
+            self.partition
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into()),
+            self.action,
+            self.detail
+        )
+    }
+}
+
+/// The health monitor state.
+#[derive(Debug, Clone, Default)]
+pub struct HealthMonitor {
+    log: Vec<HmLogEntry>,
+    /// Whether a `HaltSystem` action fired.
+    pub system_halted: bool,
+}
+
+impl HealthMonitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        HealthMonitor::default()
+    }
+
+    /// Record an event and return the action to apply (from the table,
+    /// default [`HmAction::Ignore`] except traps, which default to
+    /// restart — the conservative space-domain choice).
+    pub fn report(
+        &mut self,
+        table: &std::collections::HashMap<HmEvent, HmAction>,
+        time: u64,
+        event: HmEvent,
+        partition: Option<PartitionId>,
+        detail: impl Into<String>,
+    ) -> HmAction {
+        let action = table.get(&event).copied().unwrap_or(match event {
+            HmEvent::PartitionTrap | HmEvent::PartitionError => HmAction::RestartPartition,
+            _ => HmAction::Ignore,
+        });
+        if action == HmAction::HaltSystem {
+            self.system_halted = true;
+        }
+        self.log.push(HmLogEntry {
+            time,
+            event,
+            partition,
+            action,
+            detail: detail.into(),
+        });
+        action
+    }
+
+    /// The event log.
+    pub fn log(&self) -> &[HmLogEntry] {
+        &self.log
+    }
+
+    /// Count events of a class.
+    pub fn count(&self, event: HmEvent) -> usize {
+        self.log.iter().filter(|e| e.event == event).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn default_actions() {
+        let mut hm = HealthMonitor::new();
+        let table = HashMap::new();
+        let a = hm.report(&table, 10, HmEvent::PartitionTrap, Some(PartitionId(1)), "mpu");
+        assert_eq!(a, HmAction::RestartPartition);
+        let a = hm.report(&table, 11, HmEvent::PortOverflow, None, "q full");
+        assert_eq!(a, HmAction::Ignore);
+        assert_eq!(hm.log().len(), 2);
+        assert!(!hm.system_halted);
+    }
+
+    #[test]
+    fn configured_actions_override() {
+        let mut hm = HealthMonitor::new();
+        let mut table = HashMap::new();
+        table.insert(HmEvent::PartitionTrap, HmAction::HaltSystem);
+        let a = hm.report(&table, 5, HmEvent::PartitionTrap, Some(PartitionId(0)), "x");
+        assert_eq!(a, HmAction::HaltSystem);
+        assert!(hm.system_halted);
+    }
+
+    #[test]
+    fn log_entries_render() {
+        let mut hm = HealthMonitor::new();
+        hm.report(
+            &HashMap::new(),
+            42,
+            HmEvent::SlotOverrun,
+            Some(PartitionId(3)),
+            "ran 120% of slot",
+        );
+        let s = hm.log()[0].to_string();
+        assert!(s.contains("SlotOverrun"));
+        assert!(s.contains("P3"));
+        assert_eq!(hm.count(HmEvent::SlotOverrun), 1);
+        assert_eq!(hm.count(HmEvent::PartitionTrap), 0);
+    }
+}

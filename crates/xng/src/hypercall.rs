@@ -1,0 +1,94 @@
+//! The paravirtualized hypercall interface.
+//!
+//! Guest partitions issue hypercalls with the `ecall` instruction; the code
+//! selects the service and registers `r1`/`r2` carry operands and results.
+//! Native partitions reach the same services through
+//! [`crate::partition::TaskCtx`]. XtratuM exposes an equivalent libXM call
+//! surface to its partitions.
+
+/// Hypercall codes (the `ecall` immediate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hypercall {
+    /// `r1 = partition id`.
+    GetPartitionId,
+    /// `r1 = low 32 bits of system time (cycles)`.
+    GetSystemTime,
+    /// Write `r2` (one word) to sampling source port index `r1`.
+    WriteSampling,
+    /// Read sampling destination port index `r1`: `r1 = word`,
+    /// `r2 = 1` if a message was present else 0.
+    ReadSampling,
+    /// Send `r2` (one word) on queuing source port index `r1`.
+    SendQueuing,
+    /// Receive from queuing destination port index `r1`: `r1 = word`,
+    /// `r2 = 1` if a message was dequeued else 0.
+    RecvQueuing,
+    /// Halt the calling partition.
+    HaltSelf,
+    /// Yield the remainder of the slot.
+    Yield,
+    /// Emit the low byte of `r1` to the partition trace.
+    TraceChar,
+    /// Request a scheduling-mode change to mode index `r1` (system
+    /// partitions only).
+    RequestModeChange,
+}
+
+impl Hypercall {
+    /// Decode an `ecall` immediate.
+    pub fn decode(code: u16) -> Option<Hypercall> {
+        Some(match code {
+            0x01 => Hypercall::GetPartitionId,
+            0x02 => Hypercall::GetSystemTime,
+            0x03 => Hypercall::WriteSampling,
+            0x04 => Hypercall::ReadSampling,
+            0x05 => Hypercall::SendQueuing,
+            0x06 => Hypercall::RecvQueuing,
+            0x07 => Hypercall::HaltSelf,
+            0x08 => Hypercall::Yield,
+            0x10 => Hypercall::TraceChar,
+            0x11 => Hypercall::RequestModeChange,
+            _ => return None,
+        })
+    }
+
+    /// The `ecall` immediate for this hypercall.
+    pub fn code(self) -> u16 {
+        match self {
+            Hypercall::GetPartitionId => 0x01,
+            Hypercall::GetSystemTime => 0x02,
+            Hypercall::WriteSampling => 0x03,
+            Hypercall::ReadSampling => 0x04,
+            Hypercall::SendQueuing => 0x05,
+            Hypercall::RecvQueuing => 0x06,
+            Hypercall::HaltSelf => 0x07,
+            Hypercall::Yield => 0x08,
+            Hypercall::TraceChar => 0x10,
+            Hypercall::RequestModeChange => 0x11,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_codes() {
+        for hc in [
+            Hypercall::GetPartitionId,
+            Hypercall::GetSystemTime,
+            Hypercall::WriteSampling,
+            Hypercall::ReadSampling,
+            Hypercall::SendQueuing,
+            Hypercall::RecvQueuing,
+            Hypercall::HaltSelf,
+            Hypercall::Yield,
+            Hypercall::TraceChar,
+            Hypercall::RequestModeChange,
+        ] {
+            assert_eq!(Hypercall::decode(hc.code()), Some(hc));
+        }
+        assert_eq!(Hypercall::decode(0xFFFF), None);
+    }
+}

@@ -1,0 +1,940 @@
+//! The hypervisor core: cyclic dispatch, hypercall service, health
+//! monitoring, and statistics.
+//!
+//! Each core follows its own cyclic plan. At every slot boundary the
+//! hypervisor charges a fixed context-switch cost, programs the core MPU
+//! with the incoming partition's memory regions, and either restores the
+//! guest vCPU (guest partitions) or invokes the native task once (native
+//! partitions). Guest `ecall`s are serviced as hypercalls; guest traps are
+//! routed to the health monitor.
+
+use crate::config::XngConfig;
+use crate::health::{HealthMonitor, HmAction, HmEvent};
+use crate::hypercall::Hypercall;
+use crate::partition::{
+    NativeTask, PartitionMode, PartitionRt, PartitionStats, TaskCtx, VcpuContext, Workload,
+};
+use crate::ports::PortTable;
+use crate::{PartitionId, XngError};
+use hermes_cpu::cluster::{Cluster, CORE_COUNT};
+use hermes_cpu::hart::Event;
+use hermes_cpu::mpu::{MpuRegion, Privilege};
+
+#[derive(Debug, Clone, Default)]
+struct CoreSched {
+    slot_idx: usize,
+    elapsed: u64,
+    switching: u64,
+    current: Option<PartitionId>,
+    cycles_at_dispatch: u64,
+}
+
+/// The hypervisor.
+pub struct Hypervisor {
+    config: XngConfig,
+    cluster: Cluster,
+    ports: PortTable,
+    hm: HealthMonitor,
+    partitions: Vec<PartitionRt>,
+    cores: Vec<CoreSched>,
+    time: u64,
+    /// Pending scheduling-mode switch (mode index), applied at the next
+    /// tick boundary.
+    pending_mode: Option<usize>,
+    current_mode: Option<usize>,
+    /// Completed mode changes.
+    pub mode_changes: u64,
+}
+
+impl Hypervisor {
+    /// Boot a hypervisor from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XngError::Config`] if validation fails.
+    pub fn new(config: XngConfig) -> Result<Self, XngError> {
+        config.validate()?;
+        let partitions = (0..config.partitions.len())
+            .map(|_| PartitionRt::new(CORE_COUNT))
+            .collect();
+        let ports = PortTable::from_config(&config);
+        // every core boots into a context-switch window so the first slot's
+        // partition is dispatched like any other
+        let boot_core = CoreSched {
+            switching: config.context_switch_cycles.max(1),
+            ..CoreSched::default()
+        };
+        Ok(Hypervisor {
+            cluster: Cluster::new(),
+            ports,
+            hm: HealthMonitor::new(),
+            partitions,
+            cores: vec![boot_core; CORE_COUNT],
+            time: 0,
+            pending_mode: None,
+            current_mode: None,
+            mode_changes: 0,
+            config,
+        })
+    }
+
+    /// Attach a guest machine-code workload to a partition. The image is
+    /// `(address, words)` pairs; it is loaded now and reloaded on restart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XngError::NoSuchPartition`] or a CPU load error.
+    pub fn attach_guest(
+        &mut self,
+        pid: PartitionId,
+        entry: u32,
+        image: Vec<(u32, Vec<u32>)>,
+    ) -> Result<(), XngError> {
+        let rt = self
+            .partitions
+            .get_mut(pid.0 as usize)
+            .ok_or(XngError::NoSuchPartition(pid))?;
+        for (addr, words) in &image {
+            self.cluster.load_program(0, *addr, words)?;
+        }
+        rt.workload = Workload::Guest { entry, image };
+        rt.mode = PartitionMode::Cold;
+        Ok(())
+    }
+
+    /// Attach a native task to a partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XngError::NoSuchPartition`].
+    pub fn attach_native(
+        &mut self,
+        pid: PartitionId,
+        task: Box<dyn NativeTask>,
+    ) -> Result<(), XngError> {
+        let rt = self
+            .partitions
+            .get_mut(pid.0 as usize)
+            .ok_or(XngError::NoSuchPartition(pid))?;
+        rt.workload = Workload::Native(task);
+        rt.mode = PartitionMode::Cold;
+        Ok(())
+    }
+
+    /// Current system time in cycles.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Whether the health monitor halted the system.
+    pub fn is_system_halted(&self) -> bool {
+        self.hm.system_halted
+    }
+
+    /// Partition statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id.
+    pub fn stats(&self, pid: PartitionId) -> PartitionStats {
+        self.partitions[pid.0 as usize].stats
+    }
+
+    /// Partition trace lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id.
+    pub fn trace(&self, pid: PartitionId) -> &[String] {
+        &self.partitions[pid.0 as usize].trace
+    }
+
+    /// Partition mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid id.
+    pub fn mode(&self, pid: PartitionId) -> PartitionMode {
+        self.partitions[pid.0 as usize].mode
+    }
+
+    /// The health monitor (log access).
+    pub fn health(&self) -> &HealthMonitor {
+        &self.hm
+    }
+
+    /// The port switchboard (testbench access).
+    pub fn ports_mut(&mut self) -> &mut PortTable {
+        &mut self.ports
+    }
+
+    /// The underlying cluster (interference statistics etc.).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Request a switch to the alternate scheduling mode registered with
+    /// [`XngConfig::add_mode`]. Applied at the next hypervisor tick: every
+    /// core's current partition is preempted and its context saved, the new
+    /// per-core plans start from their first slot, and each core pays one
+    /// context switch — XtratuM's plan/mode-change semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XngError::Config`] for an unknown mode index.
+    pub fn request_mode_change(&mut self, mode: usize) -> Result<(), XngError> {
+        if mode >= self.config.modes.len() {
+            return Err(XngError::Config {
+                detail: format!("no such scheduling mode {mode}"),
+            });
+        }
+        self.pending_mode = Some(mode);
+        Ok(())
+    }
+
+    /// Index of the active alternate mode (`None` = the boot plans).
+    pub fn current_mode(&self) -> Option<usize> {
+        self.current_mode
+    }
+
+    fn apply_mode_change(&mut self, mode: usize) -> Result<(), XngError> {
+        // preempt every core, saving guest contexts
+        for core in 0..CORE_COUNT {
+            self.retire(core)?;
+        }
+        self.config.plans = self.config.modes[mode].1.clone();
+        let cs = self.config.context_switch_cycles.max(1);
+        for core in &mut self.cores {
+            core.slot_idx = 0;
+            core.elapsed = 0;
+            core.switching = cs;
+            core.current = None;
+        }
+        self.current_mode = Some(mode);
+        self.mode_changes += 1;
+        Ok(())
+    }
+
+    /// Run for `cycles` hypervisor cycles (stops early if the health
+    /// monitor halts the system).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPU substrate errors.
+    pub fn run(&mut self, cycles: u64) -> Result<(), XngError> {
+        for _ in 0..cycles {
+            if self.hm.system_halted {
+                break;
+            }
+            self.tick()?;
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self) -> Result<(), XngError> {
+        if let Some(mode) = self.pending_mode.take() {
+            self.apply_mode_change(mode)?;
+        }
+        // per-core slot engine
+        for core in 0..CORE_COUNT {
+            let plan_len = self.config.plans[core].slots.len();
+            if plan_len == 0 {
+                continue;
+            }
+            // clone what we need to appease the borrow checker
+            let slot = self.config.plans[core].slots[self.cores[core].slot_idx];
+            if self.cores[core].switching > 0 {
+                self.cores[core].switching -= 1;
+                if self.cores[core].switching == 0 {
+                    self.dispatch(core, slot.partition)?;
+                }
+                continue;
+            }
+            self.cores[core].elapsed += 1;
+            if self.cores[core].elapsed >= slot.duration {
+                self.retire(core)?;
+                let next_idx = (self.cores[core].slot_idx + 1) % plan_len;
+                self.cores[core].slot_idx = next_idx;
+                self.cores[core].elapsed = 0;
+                self.cores[core].switching = self.config.context_switch_cycles.max(1);
+            }
+        }
+
+        // step guest cores
+        let events = self.cluster.step()?;
+        for ev in events {
+            let Some(pid) = self.cores[ev.core].current else {
+                continue;
+            };
+            match ev.event {
+                Event::Halted => {
+                    self.partitions[pid.0 as usize].mode = PartitionMode::Halted;
+                }
+                Event::HypervisorCall(code) => {
+                    self.service_hypercall(ev.core, pid, code)?;
+                }
+                Event::UnhandledTrap(cause) => {
+                    self.partitions[pid.0 as usize].stats.traps += 1;
+                    let action = self.hm.report(
+                        &self.config.hm_table,
+                        self.time,
+                        HmEvent::PartitionTrap,
+                        Some(pid),
+                        format!("core {}: {cause:?}", ev.core),
+                    );
+                    self.apply_hm_action(pid, ev.core, action);
+                }
+                _ => {}
+            }
+        }
+        self.time += 1;
+        Ok(())
+    }
+
+    fn apply_hm_action(&mut self, pid: PartitionId, core: usize, action: HmAction) {
+        let hart = self.cluster.core_mut(core);
+        hart.running = false;
+        match action {
+            HmAction::Ignore => {}
+            HmAction::RestartPartition => {
+                let rt = &mut self.partitions[pid.0 as usize];
+                rt.mode = PartitionMode::Cold;
+                rt.stats.restarts += 1;
+                if let Workload::Native(t) = &mut rt.workload {
+                    t.reset();
+                }
+            }
+            HmAction::HaltPartition => {
+                self.partitions[pid.0 as usize].mode = PartitionMode::Halted;
+            }
+            HmAction::HaltSystem => { /* flag already set by the monitor */ }
+        }
+    }
+
+    /// Slot end: save guest context and stop the core.
+    fn retire(&mut self, core: usize) -> Result<(), XngError> {
+        let Some(pid) = self.cores[core].current.take() else {
+            return Ok(());
+        };
+        let rt = &mut self.partitions[pid.0 as usize];
+        let hart = self.cluster.core_mut(core);
+        if matches!(rt.workload, Workload::Guest { .. }) {
+            let mut ctx = VcpuContext {
+                regs: [0; 16],
+                pc: hart.pc,
+                started: true,
+            };
+            for i in 0..16 {
+                ctx.regs[i] = hart.reg(i as u8);
+            }
+            rt.vcpus[core] = ctx;
+            let executed = hart.cycles - self.cores[core].cycles_at_dispatch;
+            rt.stats.cpu_cycles += executed;
+        }
+        hart.running = false;
+        Ok(())
+    }
+
+    /// Slot start: program the MPU and launch the partition.
+    fn dispatch(&mut self, core: usize, pid: PartitionId) -> Result<(), XngError> {
+        self.cores[core].current = Some(pid);
+        let cs = self.config.context_switch_cycles;
+        let pconf = &self.config.partitions[pid.0 as usize];
+        let regions: Vec<MpuRegion> = pconf
+            .memory
+            .iter()
+            .map(|m| MpuRegion {
+                base: m.base,
+                size: m.size,
+                user_read: true,
+                user_write: m.writable,
+                user_exec: true,
+            })
+            .collect();
+        let slot = self.config.plans[core].slots[self.cores[core].slot_idx];
+
+        let rt = &mut self.partitions[pid.0 as usize];
+        if rt.mode == PartitionMode::Halted {
+            return Ok(());
+        }
+        rt.stats.activations += 1;
+        rt.stats.max_start_jitter = rt.stats.max_start_jitter.max(cs);
+
+        match &mut rt.workload {
+            Workload::Idle => {}
+            Workload::Guest { entry, image } => {
+                // a cold (re)start reloads the image once and resets every
+                // vCPU; a vCPU dispatched on an additional core for the
+                // first time starts at the entry point (guest SMP)
+                if rt.mode == PartitionMode::Cold {
+                    let image = image.clone();
+                    for (addr, words) in &image {
+                        self.cluster.load_program(core, *addr, words)?;
+                    }
+                    let rt = &mut self.partitions[pid.0 as usize];
+                    for vcpu in &mut rt.vcpus {
+                        vcpu.started = false;
+                    }
+                    rt.mode = PartitionMode::Normal;
+                }
+                let entry = match &self.partitions[pid.0 as usize].workload {
+                    Workload::Guest { entry, .. } => *entry,
+                    _ => unreachable!("checked above"),
+                };
+                {
+                    let rt = &mut self.partitions[pid.0 as usize];
+                    if !rt.vcpus[core].started {
+                        rt.vcpus[core] = VcpuContext {
+                            regs: [0; 16],
+                            pc: entry,
+                            started: true,
+                        };
+                    }
+                }
+                let rt = &self.partitions[pid.0 as usize];
+                let ctx = rt.vcpus[core].clone();
+                let hart = self.cluster.core_mut(core);
+                hart.mpu.program(&regions);
+                hart.mpu.enabled = true;
+                for (i, &v) in ctx.regs.iter().enumerate() {
+                    hart.set_reg(i as u8, v);
+                }
+                hart.start(ctx.pc, Privilege::User);
+                self.cores[core].cycles_at_dispatch = hart.cycles;
+            }
+            Workload::Native(task) => {
+                rt.mode = PartitionMode::Normal;
+                let budget = slot.duration.saturating_sub(cs);
+                let mut ctx = TaskCtx {
+                    pid,
+                    now: self.time,
+                    budget,
+                    consumed: 0,
+                    ports: &mut self.ports,
+                    trace: &mut rt.trace,
+                    halt_requested: false,
+                };
+                let result = task.step(&mut ctx);
+                let consumed = ctx.consumed;
+                let halt = ctx.halt_requested;
+                rt.stats.cpu_cycles += consumed.min(budget);
+                if halt {
+                    rt.mode = PartitionMode::Halted;
+                }
+                if consumed > budget {
+                    rt.stats.overruns += 1;
+                    let action = self.hm.report(
+                        &self.config.hm_table,
+                        self.time,
+                        HmEvent::SlotOverrun,
+                        Some(pid),
+                        format!("consumed {consumed} of {budget}"),
+                    );
+                    self.apply_hm_action(pid, core, action);
+                }
+                if let Err(e) = result {
+                    self.partitions[pid.0 as usize].stats.traps += 1;
+                    let action = self.hm.report(
+                        &self.config.hm_table,
+                        self.time,
+                        HmEvent::PartitionError,
+                        Some(pid),
+                        e,
+                    );
+                    self.apply_hm_action(pid, core, action);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn port_name(&self, pid: PartitionId, index: u32) -> Option<String> {
+        self.config.partitions[pid.0 as usize]
+            .ports
+            .get(index as usize)
+            .map(|p| p.name.clone())
+    }
+
+    fn service_hypercall(
+        &mut self,
+        core: usize,
+        pid: PartitionId,
+        code: u16,
+    ) -> Result<(), XngError> {
+        self.partitions[pid.0 as usize].stats.hypercalls += 1;
+        let Some(hc) = Hypercall::decode(code) else {
+            let action = self.hm.report(
+                &self.config.hm_table,
+                self.time,
+                HmEvent::IllegalHypercall,
+                Some(pid),
+                format!("unknown hypercall {code:#x}"),
+            );
+            self.apply_hm_action(pid, core, action);
+            return Ok(());
+        };
+        let now = self.time;
+        match hc {
+            Hypercall::GetPartitionId => {
+                self.cluster.core_mut(core).set_reg(1, pid.0);
+            }
+            Hypercall::GetSystemTime => {
+                self.cluster.core_mut(core).set_reg(1, now as u32);
+            }
+            Hypercall::WriteSampling | Hypercall::SendQueuing => {
+                let idx = self.cluster.core(core).reg(1);
+                let word = self.cluster.core(core).reg(2);
+                if let Some(name) = self.port_name(pid, idx) {
+                    // port errors from guests are health events, not panics
+                    if let Err(e) = self.ports.write(pid, &name, &word.to_le_bytes(), now) {
+                        let action = self.hm.report(
+                            &self.config.hm_table,
+                            now,
+                            HmEvent::IllegalHypercall,
+                            Some(pid),
+                            e.to_string(),
+                        );
+                        self.apply_hm_action(pid, core, action);
+                    }
+                } else {
+                    let action = self.hm.report(
+                        &self.config.hm_table,
+                        now,
+                        HmEvent::IllegalHypercall,
+                        Some(pid),
+                        format!("bad port index {idx}"),
+                    );
+                    self.apply_hm_action(pid, core, action);
+                }
+            }
+            Hypercall::ReadSampling => {
+                let idx = self.cluster.core(core).reg(1);
+                let result = self
+                    .port_name(pid, idx)
+                    .and_then(|name| self.ports.read_sampling(pid, &name, now).ok())
+                    .flatten();
+                let hart = self.cluster.core_mut(core);
+                match result {
+                    Some((data, _age)) => {
+                        let mut raw = [0u8; 4];
+                        raw[..data.len().min(4)].copy_from_slice(&data[..data.len().min(4)]);
+                        hart.set_reg(1, u32::from_le_bytes(raw));
+                        hart.set_reg(2, 1);
+                    }
+                    None => {
+                        hart.set_reg(1, 0);
+                        hart.set_reg(2, 0);
+                    }
+                }
+            }
+            Hypercall::RecvQueuing => {
+                let idx = self.cluster.core(core).reg(1);
+                let msg = self
+                    .port_name(pid, idx)
+                    .and_then(|name| self.ports.read_queuing(pid, &name).ok())
+                    .flatten();
+                let hart = self.cluster.core_mut(core);
+                match msg {
+                    Some(m) => {
+                        let mut raw = [0u8; 4];
+                        raw[..m.data.len().min(4)].copy_from_slice(&m.data[..m.data.len().min(4)]);
+                        hart.set_reg(1, u32::from_le_bytes(raw));
+                        hart.set_reg(2, 1);
+                    }
+                    None => {
+                        hart.set_reg(1, 0);
+                        hart.set_reg(2, 0);
+                    }
+                }
+            }
+            Hypercall::HaltSelf => {
+                self.partitions[pid.0 as usize].mode = PartitionMode::Halted;
+                self.cluster.core_mut(core).running = false;
+            }
+            Hypercall::Yield => {
+                // save context and idle until the next activation
+                let hart = self.cluster.core_mut(core);
+                let mut ctx = VcpuContext {
+                    regs: [0; 16],
+                    pc: hart.pc,
+                    started: true,
+                };
+                for i in 0..16 {
+                    ctx.regs[i] = hart.reg(i as u8);
+                }
+                hart.running = false;
+                self.partitions[pid.0 as usize].vcpus[core] = ctx;
+            }
+            Hypercall::RequestModeChange => {
+                let mode = self.cluster.core(core).reg(1) as usize;
+                if !self.config.partitions[pid.0 as usize].system {
+                    let action = self.hm.report(
+                        &self.config.hm_table,
+                        now,
+                        HmEvent::IllegalHypercall,
+                        Some(pid),
+                        "mode change from non-system partition".to_string(),
+                    );
+                    self.apply_hm_action(pid, core, action);
+                } else if self.request_mode_change(mode).is_err() {
+                    let action = self.hm.report(
+                        &self.config.hm_table,
+                        now,
+                        HmEvent::IllegalHypercall,
+                        Some(pid),
+                        format!("bad mode index {mode}"),
+                    );
+                    self.apply_hm_action(pid, core, action);
+                }
+            }
+            Hypercall::TraceChar => {
+                let c = self.cluster.core(core).reg(1) as u8;
+                let rt = &mut self.partitions[pid.0 as usize];
+                match rt.trace.last_mut() {
+                    Some(last) if c != b'\n' => last.push(c as char),
+                    _ if c == b'\n' => rt.trace.push(String::new()),
+                    _ => rt.trace.push((c as char).to_string()),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{
+        Channel, MemRegion, PartitionConfig, Plan, PortConfig, PortDirection, PortKind, Slot,
+        XngConfig,
+    };
+    use crate::partition::native_task;
+    use hermes_cpu::isa::assemble;
+    use hermes_cpu::memmap::layout;
+
+    fn two_native_partitions() -> (Hypervisor, PartitionId, PartitionId) {
+        let mut cfg = XngConfig::new("t");
+        let a = cfg.add_partition(PartitionConfig::new("a"));
+        let b = cfg.add_partition(PartitionConfig::new("b"));
+        cfg.set_plan(0, Plan::new(vec![Slot::new(a, 1000), Slot::new(b, 2000)]));
+        let hv = Hypervisor::new(cfg).unwrap();
+        (hv, a, b)
+    }
+
+    #[test]
+    fn cyclic_activation_counts() {
+        let (mut hv, a, b) = two_native_partitions();
+        hv.attach_native(a, native_task("a", |c| {
+            c.consume(100);
+            Ok(())
+        }))
+        .unwrap();
+        hv.attach_native(b, native_task("b", |c| {
+            c.consume(100);
+            Ok(())
+        }))
+        .unwrap();
+        // 3 major frames of 3000 cycles + switches
+        hv.run(9_600).unwrap();
+        let (sa, sb) = (hv.stats(a), hv.stats(b));
+        assert!(sa.activations >= 3, "a activated {}", sa.activations);
+        assert!(sb.activations >= 3);
+        assert!((sa.activations as i64 - sb.activations as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn native_overrun_detected() {
+        let (mut hv, a, b) = two_native_partitions();
+        hv.attach_native(a, native_task("hog", |c| {
+            c.consume(50_000); // way over the 1000-cycle slot
+            Ok(())
+        }))
+        .unwrap();
+        hv.attach_native(b, native_task("ok", |c| {
+            c.consume(10);
+            Ok(())
+        }))
+        .unwrap();
+        hv.run(10_000).unwrap();
+        assert!(hv.stats(a).overruns >= 1);
+        assert!(hv.health().count(HmEvent::SlotOverrun) >= 1);
+        // b unaffected: still activates on schedule
+        assert!(hv.stats(b).activations >= 2);
+    }
+
+    #[test]
+    fn failing_task_restarts_by_default() {
+        let (mut hv, a, _) = two_native_partitions();
+        hv.attach_native(a, native_task("flaky", |_| Err("boom".into())))
+            .unwrap();
+        hv.run(7_000).unwrap();
+        let s = hv.stats(a);
+        assert!(s.traps >= 2);
+        assert!(s.restarts >= 2, "default HM action restarts");
+    }
+
+    #[test]
+    fn halt_system_action() {
+        let (mut hv, a, _) = {
+            let mut cfg = XngConfig::new("t");
+            let a = cfg.add_partition(PartitionConfig::new("a"));
+            let b = cfg.add_partition(PartitionConfig::new("b"));
+            cfg.set_plan(0, Plan::new(vec![Slot::new(a, 1000), Slot::new(b, 2000)]));
+            cfg.set_hm_action(HmEvent::PartitionError, HmAction::HaltSystem);
+            (Hypervisor::new(cfg).unwrap(), a, b)
+        };
+        hv.attach_native(a, native_task("bad", |_| Err("fatal".into())))
+            .unwrap();
+        hv.run(100_000).unwrap();
+        assert!(hv.is_system_halted());
+        assert!(hv.time() < 100_000, "run stopped early");
+    }
+
+    #[test]
+    fn guest_partition_runs_and_hypercalls() {
+        let mut cfg = XngConfig::new("t");
+        let g = cfg.add_partition(
+            PartitionConfig::new("guest")
+                .with_memory(MemRegion {
+                    base: layout::SRAM_BASE,
+                    size: 0x1000,
+                    writable: true,
+                })
+                .with_port(PortConfig {
+                    name: "out".into(),
+                    direction: PortDirection::Source,
+                    kind: PortKind::Sampling,
+                }),
+        );
+        let sink = cfg.add_partition(PartitionConfig::new("sink").with_port(PortConfig {
+            name: "in".into(),
+            direction: PortDirection::Destination,
+            kind: PortKind::Sampling,
+        }));
+        cfg.add_channel(Channel {
+            source: (g, "out".into()),
+            destinations: vec![(sink, "in".into())],
+            max_message: 8,
+        });
+        cfg.set_plan(0, Plan::new(vec![Slot::new(g, 2000), Slot::new(sink, 500)]));
+        let mut hv = Hypervisor::new(cfg).unwrap();
+        // guest: write 0xABCD to port 0, then yield forever
+        let prog = assemble(
+            r#"
+            addi r1, r0, 0       ; port index
+            lui  r2, 0xAB
+            addi r2, r2, 0xCD
+            ecall 0x03           ; write sampling
+        spin:
+            ecall 0x08           ; yield
+            jal  r0, spin
+            "#,
+        )
+        .unwrap();
+        hv.attach_guest(g, layout::SRAM_BASE, vec![(layout::SRAM_BASE, prog)])
+            .unwrap();
+        hv.run(6_000).unwrap();
+        assert!(hv.stats(g).hypercalls >= 2);
+        let msg = hv
+            .ports_mut()
+            .read_sampling(sink, "in", 0)
+            .unwrap()
+            .expect("message routed");
+        assert_eq!(
+            u32::from_le_bytes([msg.0[0], msg.0[1], msg.0[2], msg.0[3]]),
+            (0xAB << 16) + 0xCD
+        );
+    }
+
+    #[test]
+    fn rogue_guest_is_contained() {
+        // guest writes outside its MPU region -> trap -> restart, while a
+        // victim native partition keeps its schedule
+        let mut cfg = XngConfig::new("t");
+        let rogue = cfg.add_partition(PartitionConfig::new("rogue").with_memory(MemRegion {
+            base: layout::SRAM_BASE,
+            size: 0x1000,
+            writable: true,
+        }));
+        let victim = cfg.add_partition(PartitionConfig::new("victim"));
+        cfg.set_plan(
+            0,
+            Plan::new(vec![Slot::new(rogue, 1000), Slot::new(victim, 1000)]),
+        );
+        let mut hv = Hypervisor::new(cfg).unwrap();
+        let attack = assemble(&format!(
+            "lui r1, {hi}\nsw r0, (r1)\nhalt",
+            hi = layout::DDR_BASE >> 16
+        ))
+        .unwrap();
+        hv.attach_guest(rogue, layout::SRAM_BASE, vec![(layout::SRAM_BASE, attack)])
+            .unwrap();
+        hv.attach_native(victim, native_task("victim", |c| {
+            c.consume(10);
+            Ok(())
+        }))
+        .unwrap();
+        hv.run(10_000).unwrap();
+        assert!(hv.stats(rogue).traps >= 1, "MPU trap recorded");
+        assert!(hv.stats(rogue).restarts >= 1);
+        assert!(
+            hv.stats(victim).activations >= 4,
+            "victim schedule unaffected: {:?}",
+            hv.stats(victim)
+        );
+        assert!(!hv.is_system_halted());
+    }
+
+    #[test]
+    fn four_core_parallel_partitions() {
+        let mut cfg = XngConfig::new("t");
+        let p = cfg.add_partition(PartitionConfig::new("mc"));
+        for core in 0..CORE_COUNT {
+            cfg.set_plan(core, Plan::new(vec![Slot::new(p, 1000)]));
+        }
+        let mut hv = Hypervisor::new(cfg).unwrap();
+        hv.attach_native(p, native_task("mc", |c| {
+            c.consume(10);
+            Ok(())
+        }))
+        .unwrap();
+        hv.run(3000).unwrap();
+        // one activation per core per frame: ~4 cores x ~2 frames
+        assert!(
+            hv.stats(p).activations >= 8,
+            "multicore activations: {}",
+            hv.stats(p).activations
+        );
+    }
+
+    #[test]
+    fn trace_accumulates() {
+        let (mut hv, a, _) = two_native_partitions();
+        hv.attach_native(a, native_task("tracer", |c| {
+            c.trace(format!("t={}", c.now()));
+            Ok(())
+        }))
+        .unwrap();
+        hv.run(7000).unwrap();
+        assert!(hv.trace(a).len() >= 2);
+    }
+    #[test]
+    fn mode_change_switches_plans() {
+        let mut cfg = XngConfig::new("modes");
+        let a = cfg.add_partition(PartitionConfig::new("nominal"));
+        let b = cfg.add_partition(PartitionConfig::new("safe"));
+        cfg.set_plan(0, Plan::new(vec![Slot::new(a, 2_000)]));
+        let mut safe_plans = vec![Plan::default(); hermes_cpu::cluster::CORE_COUNT];
+        safe_plans[0] = Plan::new(vec![Slot::new(b, 2_000)]);
+        let safe_mode = cfg.add_mode("safe", safe_plans);
+        let mut hv = Hypervisor::new(cfg).unwrap();
+        hv.attach_native(a, native_task("nominal", |c| {
+            c.consume(10);
+            Ok(())
+        }))
+        .unwrap();
+        hv.attach_native(b, native_task("safe", |c| {
+            c.consume(10);
+            Ok(())
+        }))
+        .unwrap();
+        hv.run(10_000).unwrap();
+        assert!(hv.stats(a).activations >= 3);
+        assert_eq!(hv.stats(b).activations, 0, "safe mode not active yet");
+        assert_eq!(hv.current_mode(), None);
+
+        hv.request_mode_change(safe_mode).unwrap();
+        let a_before = hv.stats(a).activations;
+        hv.run(10_000).unwrap();
+        assert_eq!(hv.current_mode(), Some(safe_mode));
+        assert_eq!(hv.mode_changes, 1);
+        assert!(hv.stats(b).activations >= 3, "safe partition now runs");
+        assert_eq!(
+            hv.stats(a).activations,
+            a_before,
+            "nominal partition no longer scheduled"
+        );
+        assert!(hv.request_mode_change(99).is_err());
+    }
+
+    #[test]
+    fn guest_mode_change_requires_system_partition() {
+        let mut cfg = XngConfig::new("modes");
+        let user = cfg.add_partition(PartitionConfig::new("user").with_memory(MemRegion {
+            base: layout::SRAM_BASE,
+            size: 0x1000,
+            writable: true,
+        }));
+        let sys = cfg.add_partition(
+            PartitionConfig::new("sys")
+                .system()
+                .with_memory(MemRegion {
+                    base: layout::SRAM_BASE + 0x1000,
+                    size: 0x1000,
+                    writable: true,
+                }),
+        );
+        cfg.set_plan(0, Plan::new(vec![Slot::new(user, 2_000), Slot::new(sys, 2_000)]));
+        let mut alt = vec![Plan::default(); hermes_cpu::cluster::CORE_COUNT];
+        alt[0] = Plan::new(vec![Slot::new(sys, 1_000)]);
+        let mode = cfg.add_mode("alt", alt);
+        let mut hv = Hypervisor::new(cfg).unwrap();
+        // both guests request mode 0 then spin
+        let prog = assemble("addi r1, r0, 0\necall 0x11\nspin:\njal r0, spin").unwrap();
+        hv.attach_guest(user, layout::SRAM_BASE, vec![(layout::SRAM_BASE, prog.clone())])
+            .unwrap();
+        hv.attach_guest(
+            sys,
+            layout::SRAM_BASE + 0x1000,
+            vec![(layout::SRAM_BASE + 0x1000, prog)],
+        )
+        .unwrap();
+        // run just past the user partition's slot: its request is illegal
+        hv.run(2_200).unwrap();
+        assert!(hv.health().count(HmEvent::IllegalHypercall) >= 1);
+        assert_eq!(hv.current_mode(), None, "user request denied");
+        // the system partition's slot comes next; its request succeeds
+        hv.run(4_000).unwrap();
+        assert_eq!(hv.current_mode(), Some(mode));
+        let _ = HmAction::Ignore;
+    }
+    #[test]
+    fn guest_smp_runs_on_multiple_cores() {
+        // one guest partition scheduled on cores 0 and 1: each vCPU starts
+        // at the entry, reads its hart id, and parks
+        let mut cfg = XngConfig::new("smp");
+        let g = cfg.add_partition(PartitionConfig::new("smp").with_memory(MemRegion {
+            base: layout::SRAM_BASE,
+            size: 0x1000,
+            writable: true,
+        }));
+        cfg.set_plan(0, Plan::new(vec![Slot::new(g, 3_000)]));
+        cfg.set_plan(1, Plan::new(vec![Slot::new(g, 3_000)]));
+        let mut hv = Hypervisor::new(cfg).unwrap();
+        // store 100+hartid into SRAM[hartid*4], then yield forever
+        let prog = assemble(&format!(
+            r#"
+            csrr r1, 6
+            addi r2, r1, 100
+            lui  r3, {sram}
+            add  r4, r1, r1
+            add  r4, r4, r4      ; hartid * 4
+            add  r3, r3, r4
+            sw   r2, (r3)
+        spin:
+            ecall 0x08
+            jal  r0, spin
+            "#,
+            sram = layout::SRAM_BASE >> 16
+        ))
+        .unwrap();
+        hv.attach_guest(g, layout::SRAM_BASE + 0x100, vec![(layout::SRAM_BASE + 0x100, prog)])
+            .unwrap();
+        hv.run(20_000).unwrap();
+        let w0 = hv.cluster().bus.read_bytes(layout::SRAM_BASE, 4).unwrap();
+        let w1 = hv.cluster().bus.read_bytes(layout::SRAM_BASE + 4, 4).unwrap();
+        assert_eq!(u32::from_le_bytes(w0.try_into().unwrap()), 100, "core 0 vCPU ran");
+        assert_eq!(u32::from_le_bytes(w1.try_into().unwrap()), 101, "core 1 vCPU ran");
+        assert!(hv.stats(g).activations >= 4, "both cores activate the partition");
+    }
+}

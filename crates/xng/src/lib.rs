@@ -1,0 +1,132 @@
+//! # hermes-xng
+//!
+//! A time-and-space-partitioning (TSP) hypervisor modelled after XtratuM
+//! Next Generation, the bare-metal space-qualified hypervisor the HERMES
+//! project ports to the NG-ULTRA's quad-core ARM R52 cluster (Section III
+//! of the paper).
+//!
+//! Like its model, `hermes-xng` provides:
+//!
+//! * **partitions** — isolated virtual machines hosting either guest
+//!   machine code (run on the `hermes-cpu` cluster, under MPU enforcement)
+//!   or native Rust tasks (paravirtualized applications);
+//! * **time partitioning** — per-core cyclic plans of fixed slots inside a
+//!   major frame (ARINC-653 style), with measured context-switch overhead
+//!   and slot-start jitter;
+//! * **space partitioning** — per-partition memory regions programmed into
+//!   the core MPU before dispatch; violations trap to the health monitor;
+//! * **inter-partition communication** — sampling and queuing ports over
+//!   configured channels;
+//! * **hypercalls** — a paravirtualized service interface (`ecall` from
+//!   guest code);
+//! * **a health monitor** — configurable per-event actions (ignore,
+//!   restart, halt partition, halt system) with an event log.
+//!
+//! ## Example
+//!
+//! ```
+//! use hermes_xng::config::{PartitionConfig, Plan, Slot, XngConfig};
+//! use hermes_xng::hypervisor::Hypervisor;
+//! use hermes_xng::partition::native_task;
+//!
+//! # fn main() -> Result<(), hermes_xng::XngError> {
+//! let mut config = XngConfig::new("demo");
+//! let a = config.add_partition(PartitionConfig::new("ctrl"));
+//! let b = config.add_partition(PartitionConfig::new("payload"));
+//! config.set_plan(0, Plan::new(vec![Slot::new(a, 10_000), Slot::new(b, 10_000)]));
+//!
+//! let mut hv = Hypervisor::new(config)?;
+//! hv.attach_native(a, native_task("ctrl-task", |ctx| { ctx.consume(100); Ok(()) }))?;
+//! hv.attach_native(b, native_task("payload-task", |ctx| { ctx.consume(200); Ok(()) }))?;
+//! hv.run(40_000)?;
+//! assert!(hv.stats(a).activations >= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod health;
+pub mod hypercall;
+pub mod hypervisor;
+pub mod partition;
+pub mod ports;
+
+use std::fmt;
+
+/// Identifier of a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionId(pub u32);
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Errors produced by the hypervisor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XngError {
+    /// Configuration is inconsistent.
+    Config {
+        /// Detail message.
+        detail: String,
+    },
+    /// Unknown partition id.
+    NoSuchPartition(PartitionId),
+    /// Unknown port name for a partition.
+    NoSuchPort {
+        /// The partition.
+        partition: PartitionId,
+        /// The port name.
+        port: String,
+    },
+    /// Port direction or type misuse.
+    PortMisuse {
+        /// Detail message.
+        detail: String,
+    },
+    /// The system was halted by the health monitor.
+    SystemHalted,
+    /// Error from the CPU substrate.
+    Cpu(hermes_cpu::CpuError),
+    /// Config text parse error.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// Detail message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for XngError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XngError::Config { detail } => write!(f, "bad configuration: {detail}"),
+            XngError::NoSuchPartition(p) => write!(f, "no such partition {p}"),
+            XngError::NoSuchPort { partition, port } => {
+                write!(f, "partition {partition} has no port `{port}`")
+            }
+            XngError::PortMisuse { detail } => write!(f, "port misuse: {detail}"),
+            XngError::SystemHalted => write!(f, "system halted by health monitor"),
+            XngError::Cpu(e) => write!(f, "cpu error: {e}"),
+            XngError::Parse { line, detail } => {
+                write!(f, "config parse error at line {line}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XngError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XngError::Cpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hermes_cpu::CpuError> for XngError {
+    fn from(e: hermes_cpu::CpuError) -> Self {
+        XngError::Cpu(e)
+    }
+}

@@ -1,0 +1,351 @@
+//! Inter-partition communication: sampling and queuing ports.
+//!
+//! Sampling ports carry last-value state data (a fresh write overwrites the
+//! previous message; readers see validity); queuing ports carry FIFO
+//! message streams with bounded depth. Channels fan a source port out to
+//! one or more destination ports — the classic ARINC-653/XtratuM model.
+
+use crate::config::{PortKind, XngConfig};
+use crate::{PartitionId, XngError};
+use std::collections::{HashMap, VecDeque};
+
+/// A message with its write timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Payload bytes.
+    pub data: Vec<u8>,
+    /// Hypervisor time at which it was written.
+    pub timestamp: u64,
+}
+
+#[derive(Debug, Clone)]
+enum PortState {
+    Sampling {
+        last: Option<Message>,
+    },
+    Queuing {
+        depth: u32,
+        queue: VecDeque<Message>,
+        overflows: u64,
+    },
+}
+
+/// The port switchboard owned by the hypervisor.
+#[derive(Debug, Clone, Default)]
+pub struct PortTable {
+    /// destination (partition, port) -> state
+    dests: HashMap<(PartitionId, String), PortState>,
+    /// source (partition, port) -> destination keys
+    routes: HashMap<(PartitionId, String), (Vec<(PartitionId, String)>, u32)>,
+    /// messages moved per channel source
+    pub messages_routed: u64,
+}
+
+impl PortTable {
+    /// Build the switchboard from a validated configuration.
+    pub fn from_config(cfg: &XngConfig) -> PortTable {
+        let mut table = PortTable::default();
+        for (pi, p) in cfg.partitions.iter().enumerate() {
+            for port in &p.ports {
+                if port.direction == crate::config::PortDirection::Destination {
+                    let state = match port.kind {
+                        PortKind::Sampling => PortState::Sampling { last: None },
+                        PortKind::Queuing { depth } => PortState::Queuing {
+                            depth,
+                            queue: VecDeque::new(),
+                            overflows: 0,
+                        },
+                    };
+                    table
+                        .dests
+                        .insert((PartitionId(pi as u32), port.name.clone()), state);
+                }
+            }
+        }
+        for ch in &cfg.channels {
+            table.routes.insert(
+                ch.source.clone(),
+                (ch.destinations.clone(), ch.max_message),
+            );
+        }
+        table
+    }
+
+    /// Write a message through a source port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XngError::NoSuchPort`] for unknown sources and
+    /// [`XngError::PortMisuse`] for oversized messages. Queuing overflow is
+    /// *not* an error: the message is dropped and counted (the health
+    /// monitor surfaces it).
+    pub fn write(
+        &mut self,
+        partition: PartitionId,
+        port: &str,
+        data: &[u8],
+        now: u64,
+    ) -> Result<(), XngError> {
+        let key = (partition, port.to_string());
+        let (dests, max) = self
+            .routes
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| XngError::NoSuchPort {
+                partition,
+                port: port.to_string(),
+            })?;
+        if data.len() as u32 > max {
+            return Err(XngError::PortMisuse {
+                detail: format!(
+                    "message of {} bytes exceeds channel max {max}",
+                    data.len()
+                ),
+            });
+        }
+        for dest in dests {
+            let msg = Message {
+                data: data.to_vec(),
+                timestamp: now,
+            };
+            match self.dests.get_mut(&dest) {
+                Some(PortState::Sampling { last }) => {
+                    *last = Some(msg);
+                    self.messages_routed += 1;
+                }
+                Some(PortState::Queuing {
+                    depth,
+                    queue,
+                    overflows,
+                }) => {
+                    if queue.len() < *depth as usize {
+                        queue.push_back(msg);
+                        self.messages_routed += 1;
+                    } else {
+                        *overflows += 1;
+                    }
+                }
+                None => {
+                    return Err(XngError::NoSuchPort {
+                        partition: dest.0,
+                        port: dest.1,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read from a sampling destination port: the last value plus its age.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XngError::NoSuchPort`] / [`XngError::PortMisuse`].
+    pub fn read_sampling(
+        &self,
+        partition: PartitionId,
+        port: &str,
+        now: u64,
+    ) -> Result<Option<(Vec<u8>, u64)>, XngError> {
+        match self.dests.get(&(partition, port.to_string())) {
+            Some(PortState::Sampling { last }) => Ok(last
+                .as_ref()
+                .map(|m| (m.data.clone(), now.saturating_sub(m.timestamp)))),
+            Some(PortState::Queuing { .. }) => Err(XngError::PortMisuse {
+                detail: format!("`{port}` is a queuing port"),
+            }),
+            None => Err(XngError::NoSuchPort {
+                partition,
+                port: port.to_string(),
+            }),
+        }
+    }
+
+    /// Pop from a queuing destination port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XngError::NoSuchPort`] / [`XngError::PortMisuse`].
+    pub fn read_queuing(
+        &mut self,
+        partition: PartitionId,
+        port: &str,
+    ) -> Result<Option<Message>, XngError> {
+        match self.dests.get_mut(&(partition, port.to_string())) {
+            Some(PortState::Queuing { queue, .. }) => Ok(queue.pop_front()),
+            Some(PortState::Sampling { .. }) => Err(XngError::PortMisuse {
+                detail: format!("`{port}` is a sampling port"),
+            }),
+            None => Err(XngError::NoSuchPort {
+                partition,
+                port: port.to_string(),
+            }),
+        }
+    }
+
+    /// Deliver a message directly to a destination port, bypassing
+    /// channels — the testbench hook for environment inputs (sensor frames,
+    /// telecommands) that have no on-board source partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XngError::NoSuchPort`] for unknown destinations.
+    pub fn inject(
+        &mut self,
+        partition: PartitionId,
+        port: &str,
+        data: &[u8],
+        now: u64,
+    ) -> Result<(), XngError> {
+        let msg = Message {
+            data: data.to_vec(),
+            timestamp: now,
+        };
+        match self.dests.get_mut(&(partition, port.to_string())) {
+            Some(PortState::Sampling { last }) => {
+                *last = Some(msg);
+                Ok(())
+            }
+            Some(PortState::Queuing {
+                depth,
+                queue,
+                overflows,
+            }) => {
+                if queue.len() < *depth as usize {
+                    queue.push_back(msg);
+                } else {
+                    *overflows += 1;
+                }
+                Ok(())
+            }
+            None => Err(XngError::NoSuchPort {
+                partition,
+                port: port.to_string(),
+            }),
+        }
+    }
+
+    /// Total queue-overflow drops across all ports.
+    pub fn total_overflows(&self) -> u64 {
+        self.dests
+            .values()
+            .map(|s| match s {
+                PortState::Queuing { overflows, .. } => *overflows,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Channel, PartitionConfig, PortConfig, PortDirection};
+
+    fn cfg_two_partitions(kind: PortKind) -> XngConfig {
+        let mut cfg = XngConfig::new("t");
+        let a = cfg.add_partition(PartitionConfig::new("a").with_port(PortConfig {
+            name: "out".into(),
+            direction: PortDirection::Source,
+            kind,
+        }));
+        let b = cfg.add_partition(PartitionConfig::new("b").with_port(PortConfig {
+            name: "in".into(),
+            direction: PortDirection::Destination,
+            kind,
+        }));
+        cfg.add_channel(Channel {
+            source: (a, "out".into()),
+            destinations: vec![(b, "in".into())],
+            max_message: 16,
+        });
+        cfg.validate().unwrap();
+        cfg
+    }
+
+    #[test]
+    fn sampling_overwrites_and_ages() {
+        let cfg = cfg_two_partitions(PortKind::Sampling);
+        let mut t = PortTable::from_config(&cfg);
+        let (a, b) = (PartitionId(0), PartitionId(1));
+        t.write(a, "out", &[1], 100).unwrap();
+        t.write(a, "out", &[2], 200).unwrap();
+        let (data, age) = t.read_sampling(b, "in", 250).unwrap().unwrap();
+        assert_eq!(data, vec![2], "last value wins");
+        assert_eq!(age, 50);
+        // sampling reads do not consume
+        assert!(t.read_sampling(b, "in", 300).unwrap().is_some());
+    }
+
+    #[test]
+    fn queuing_preserves_order_and_bounds() {
+        let cfg = cfg_two_partitions(PortKind::Queuing { depth: 2 });
+        let mut t = PortTable::from_config(&cfg);
+        let (a, b) = (PartitionId(0), PartitionId(1));
+        t.write(a, "out", &[1], 0).unwrap();
+        t.write(a, "out", &[2], 0).unwrap();
+        t.write(a, "out", &[3], 0).unwrap(); // dropped
+        assert_eq!(t.total_overflows(), 1);
+        assert_eq!(t.read_queuing(b, "in").unwrap().unwrap().data, vec![1]);
+        assert_eq!(t.read_queuing(b, "in").unwrap().unwrap().data, vec![2]);
+        assert!(t.read_queuing(b, "in").unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let cfg = cfg_two_partitions(PortKind::Sampling);
+        let mut t = PortTable::from_config(&cfg);
+        let err = t
+            .write(PartitionId(0), "out", &[0u8; 64], 0)
+            .unwrap_err();
+        assert!(matches!(err, XngError::PortMisuse { .. }));
+    }
+
+    #[test]
+    fn wrong_port_kind_rejected() {
+        let cfg = cfg_two_partitions(PortKind::Sampling);
+        let mut t = PortTable::from_config(&cfg);
+        assert!(matches!(
+            t.read_queuing(PartitionId(1), "in"),
+            Err(XngError::PortMisuse { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_port_rejected() {
+        let cfg = cfg_two_partitions(PortKind::Sampling);
+        let mut t = PortTable::from_config(&cfg);
+        assert!(matches!(
+            t.write(PartitionId(0), "nope", &[], 0),
+            Err(XngError::NoSuchPort { .. })
+        ));
+    }
+
+    #[test]
+    fn multicast_channels() {
+        let mut cfg = XngConfig::new("t");
+        let a = cfg.add_partition(PartitionConfig::new("a").with_port(PortConfig {
+            name: "out".into(),
+            direction: PortDirection::Source,
+            kind: PortKind::Sampling,
+        }));
+        let mk_dest = |cfg: &mut XngConfig, name: &str| {
+            cfg.add_partition(PartitionConfig::new(name).with_port(PortConfig {
+                name: "in".into(),
+                direction: PortDirection::Destination,
+                kind: PortKind::Sampling,
+            }))
+        };
+        let b = mk_dest(&mut cfg, "b");
+        let c = mk_dest(&mut cfg, "c");
+        cfg.add_channel(Channel {
+            source: (a, "out".into()),
+            destinations: vec![(b, "in".into()), (c, "in".into())],
+            max_message: 8,
+        });
+        let mut t = PortTable::from_config(&cfg);
+        t.write(a, "out", &[9], 1).unwrap();
+        assert!(t.read_sampling(b, "in", 1).unwrap().is_some());
+        assert!(t.read_sampling(c, "in", 1).unwrap().is_some());
+    }
+}

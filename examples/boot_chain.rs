@@ -1,0 +1,98 @@
+//! Boot-chain use case (Section IV / Fig. 5): BL0 → BL1 → application,
+//! from flash (TMR-protected, with injected corruption) and from
+//! SpaceWire, printing the BL1 boot reports.
+//!
+//! ```sh
+//! cargo run --example boot_chain
+//! ```
+
+use hermes::boot::bl1::{Bl1, BootSource};
+use hermes::boot::flash::{FlashImageBuilder, RedundancyMode};
+use hermes::boot::loadlist::LoadList;
+use hermes::cpu::isa::assemble;
+use hermes::cpu::memmap::layout;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== HERMES boot chain: BL0 -> BL1 -> BL2 ==\n");
+
+    // The application: writes a banner to the UART, computes a checksum of
+    // its own load-list-deployed data, and halts.
+    let app = assemble(&format!(
+        r#"
+        lui  r10, {uart_hi}       ; uart base
+        addi r1, r0, 66           ; 'B'
+        sb   r1, (r10)
+        addi r1, r0, 76           ; 'L'
+        sb   r1, (r10)
+        addi r1, r0, 50           ; '2'
+        sb   r1, (r10)
+        lui  r2, {data_hi}        ; deployed data
+        addi r2, r2, 0x100
+        addi r3, r0, 8            ; words
+        addi r4, r0, 0            ; sum
+    loop:
+        lw   r5, (r2)
+        add  r4, r4, r5
+        addi r2, r2, 4
+        addi r3, r3, -1
+        bne  r3, r0, loop
+        halt
+        "#,
+        uart_hi = layout::UART_TX >> 16,
+        data_hi = layout::SRAM_BASE >> 16,
+    ))?;
+
+    let payload: Vec<u8> = (1u32..=8).flat_map(|v| v.to_le_bytes()).collect();
+
+    let build = |mode| {
+        let mut b = FlashImageBuilder::new();
+        let e1 = b.add_data(layout::SRAM_BASE + 0x100, &payload);
+        let e2 = b.add_software(layout::DDR_BASE, layout::DDR_BASE, &app);
+        let list = LoadList {
+            entries: vec![e1, e2],
+        };
+        b.build(&list, mode)
+    };
+
+    // 1. clean flash boot
+    println!("--- clean flash boot (TMR) ---");
+    let mut bl1 = Bl1::new(BootSource::Flash(build(RedundancyMode::Tmr)));
+    let out = bl1.boot()?;
+    print!("{}", out.report.render());
+    println!("UART: {:?}", String::from_utf8_lossy(out.cluster.bus.uart_output()));
+    println!("checksum register r4 = {} (expect 36)\n", out.cluster.core(0).reg(4));
+    assert_eq!(out.cluster.core(0).reg(4), 36);
+
+    // 2. boot with one flash copy riddled with upsets: TMR repairs
+    println!("--- flash boot with 200 upsets in copy 1 (TMR) ---");
+    let mut flash = build(RedundancyMode::Tmr);
+    for i in 0..200u32 {
+        flash.flip_bit(1, 0x2_0000 + i * 7, (i % 8) as u8);
+    }
+    let mut bl1 = Bl1::new(BootSource::Flash(flash));
+    let out = bl1.boot()?;
+    println!(
+        "boot {} with {} bytes voted back to health; app checksum = {}\n",
+        if out.report.success { "SUCCEEDED" } else { "FAILED" },
+        out.report.flash_corrected_bytes,
+        out.cluster.core(0).reg(4)
+    );
+    assert_eq!(out.cluster.core(0).reg(4), 36);
+
+    // 3. the same mission booted over SpaceWire
+    println!("--- remote SpaceWire boot ---");
+    let mut b = FlashImageBuilder::new();
+    let e1 = b.add_data(layout::SRAM_BASE + 0x100, &payload);
+    let e2 = b.add_software(layout::DDR_BASE, layout::DDR_BASE, &app);
+    let list = LoadList {
+        entries: vec![e1, e2],
+    };
+    let flash = b.build(&list, RedundancyMode::Tmr);
+    let link = BootSource::spacewire_from_flash(flash, &list)?;
+    let mut bl1 = Bl1::new(BootSource::SpaceWire(link));
+    let out = bl1.boot()?;
+    print!("{}", out.report.render());
+    println!("UART: {:?}", String::from_utf8_lossy(out.cluster.bus.uart_output()));
+    assert_eq!(out.cluster.core(0).reg(4), 36);
+    Ok(())
+}

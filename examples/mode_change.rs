@@ -1,0 +1,103 @@
+//! Scheduling-mode changes (XtratuM plan switching): a system partition
+//! monitors the health log and commands a switch from the nominal plan to
+//! a degraded safe-mode plan when a payload partition keeps failing.
+//!
+//! ```sh
+//! cargo run --release --example mode_change
+//! ```
+
+use hermes::cpu::cluster::CORE_COUNT;
+use hermes::xng::config::{PartitionConfig, Plan, Slot, XngConfig};
+use hermes::xng::hypervisor::Hypervisor;
+use hermes::xng::partition::native_task;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== HERMES mode change: nominal -> safe ==\n");
+    let mut cfg = XngConfig::new("mode-demo");
+    let payload = cfg.add_partition(PartitionConfig::new("payload"));
+    let aocs = cfg.add_partition(PartitionConfig::new("aocs").system());
+    let safeguard = cfg.add_partition(PartitionConfig::new("safeguard").system());
+
+    // nominal: payload gets most of core 0; safeguard supervises on core 1
+    cfg.set_plan(
+        0,
+        Plan::new(vec![Slot::new(payload, 8_000), Slot::new(aocs, 2_000)]),
+    );
+    cfg.set_plan(1, Plan::new(vec![Slot::new(safeguard, 5_000)]));
+
+    // safe mode: payload is descheduled entirely; AOCS gets the core
+    let mut safe_plans = vec![Plan::default(); CORE_COUNT];
+    safe_plans[0] = Plan::new(vec![Slot::new(aocs, 10_000)]);
+    safe_plans[1] = Plan::new(vec![Slot::new(safeguard, 5_000)]);
+    let safe_mode = cfg.add_mode("safe", safe_plans);
+
+    let mut hv = Hypervisor::new(cfg)?;
+    // the payload starts failing after a few activations (latch-up-like)
+    let counter = Arc::new(AtomicU64::new(0));
+    let c2 = Arc::clone(&counter);
+    hv.attach_native(
+        payload,
+        native_task("payload", move |ctx| {
+            let n = c2.fetch_add(1, Ordering::Relaxed);
+            ctx.consume(4_000);
+            if n >= 3 {
+                Err("sensor interface latch-up".into())
+            } else {
+                Ok(())
+            }
+        }),
+    )?;
+    hv.attach_native(aocs, native_task("aocs", |ctx| {
+        ctx.consume(1_500);
+        Ok(())
+    }))?;
+    hv.attach_native(safeguard, native_task("safeguard", |ctx| {
+        ctx.consume(200);
+        Ok(())
+    }))?;
+
+    // supervision loop: the embedder (ground software model) watches the
+    // health log and commands the mode change after repeated failures
+    let mut commanded = false;
+    for _ in 0..40 {
+        hv.run(5_000)?;
+        let traps = hv.stats(payload).traps;
+        if !commanded && traps >= 3 {
+            println!(
+                "t={}: payload failed {traps} times -> commanding SAFE mode",
+                hv.time()
+            );
+            hv.request_mode_change(safe_mode)?;
+            commanded = true;
+        }
+    }
+
+    println!("\nfinal state at t={}:", hv.time());
+    println!("  active mode        : {:?}", hv.current_mode());
+    println!("  mode changes       : {}", hv.mode_changes);
+    for (name, pid) in [("payload", payload), ("aocs", aocs), ("safeguard", safeguard)] {
+        let s = hv.stats(pid);
+        println!(
+            "  {name:<10} activations {:>3}  traps {:>2}  restarts {:>2}",
+            s.activations, s.traps, s.restarts
+        );
+    }
+    println!("\nhealth log (tail):");
+    for e in hv.health().log().iter().rev().take(3).rev() {
+        println!("  {e}");
+    }
+
+    assert_eq!(hv.current_mode(), Some(safe_mode));
+    let payload_after = hv.stats(payload).activations;
+    hv.run(50_000)?;
+    assert_eq!(
+        hv.stats(payload).activations,
+        payload_after,
+        "payload is descheduled in safe mode"
+    );
+    assert!(hv.stats(aocs).activations > 10, "AOCS keeps flying");
+    println!("\nsafe mode holds: payload descheduled, AOCS uninterrupted.");
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! Hypervisor use case (Section V): AOCS + VBN + EOR partitions under the
+//! XtratuM-NG analogue, with inter-partition ports and a misbehaving
+//! partition contained by the health monitor.
+//!
+//! ```sh
+//! cargo run --example partitioned_aocs
+//! ```
+
+use hermes::apps::aocs::{AocsState, AocsTask, ONE};
+use hermes::apps::eor::EorTask;
+use hermes::apps::vbn::VbnTask;
+use hermes::xng::config::{
+    Channel, PartitionConfig, Plan, PortConfig, PortDirection, PortKind, Slot, XngConfig,
+};
+use hermes::xng::hypervisor::Hypervisor;
+use hermes::xng::partition::native_task;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== HERMES partitioned mission: AOCS / VBN / EOR ==\n");
+    let mut cfg = XngConfig::new("selene-like");
+
+    let aocs = cfg.add_partition(
+        PartitionConfig::new("aocs")
+            .system()
+            .with_port(PortConfig {
+                name: "att".into(),
+                direction: PortDirection::Source,
+                kind: PortKind::Sampling,
+            }),
+    );
+    let vbn = cfg.add_partition(
+        PartitionConfig::new("vbn")
+            .with_port(PortConfig {
+                name: "frames".into(),
+                direction: PortDirection::Destination,
+                kind: PortKind::Queuing { depth: 8 },
+            })
+            .with_port(PortConfig {
+                name: "nav".into(),
+                direction: PortDirection::Source,
+                kind: PortKind::Sampling,
+            }),
+    );
+    let eor = cfg.add_partition(PartitionConfig::new("eor").with_port(PortConfig {
+        name: "orbit".into(),
+        direction: PortDirection::Source,
+        kind: PortKind::Sampling,
+    }));
+    let monitor = cfg.add_partition(
+        PartitionConfig::new("monitor")
+            .with_port(PortConfig {
+                name: "att_in".into(),
+                direction: PortDirection::Destination,
+                kind: PortKind::Sampling,
+            })
+            .with_port(PortConfig {
+                name: "nav_in".into(),
+                direction: PortDirection::Destination,
+                kind: PortKind::Sampling,
+            })
+            .with_port(PortConfig {
+                name: "orbit_in".into(),
+                direction: PortDirection::Destination,
+                kind: PortKind::Sampling,
+            }),
+    );
+    let rogue = cfg.add_partition(PartitionConfig::new("rogue"));
+
+    cfg.add_channel(Channel {
+        source: (aocs, "att".into()),
+        destinations: vec![(monitor, "att_in".into())],
+        max_message: 32,
+    });
+    cfg.add_channel(Channel {
+        source: (vbn, "nav".into()),
+        destinations: vec![(monitor, "nav_in".into())],
+        max_message: 16,
+    });
+    cfg.add_channel(Channel {
+        source: (eor, "orbit".into()),
+        destinations: vec![(monitor, "orbit_in".into())],
+        max_message: 16,
+    });
+
+    // core 0: control-heavy partitions; core 1: payload; the rogue shares
+    // core 1 and keeps crashing.
+    cfg.set_plan(
+        0,
+        Plan::new(vec![Slot::new(aocs, 20_000), Slot::new(eor, 10_000)]),
+    );
+    cfg.set_plan(
+        1,
+        Plan::new(vec![
+            Slot::new(vbn, 20_000),
+            Slot::new(rogue, 5_000),
+            Slot::new(monitor, 5_000),
+        ]),
+    );
+
+    let mut hv = Hypervisor::new(cfg)?;
+    hv.attach_native(
+        aocs,
+        Box::new(AocsTask::new(AocsState::tumbling([ONE / 4, -ONE / 8, ONE / 16]))),
+    )?;
+    hv.attach_native(vbn, Box::new(VbnTask::new(32, 32)))?;
+    hv.attach_native(eor, Box::new(EorTask::gto_to_geo()))?;
+    hv.attach_native(
+        monitor,
+        native_task("monitor", |ctx| {
+            let mut line = String::new();
+            if let Ok(Some((att, age))) = ctx.read_sampling("att_in") {
+                let w = i32::from_le_bytes([att[0], att[1], att[2], att[3]]);
+                line.push_str(&format!("qw={:.3} (age {age}) ", w as f64 / 65536.0));
+            }
+            if let Ok(Some((orb, _))) = ctx.read_sampling("orbit_in") {
+                let r = i32::from_le_bytes([orb[0], orb[1], orb[2], orb[3]]);
+                line.push_str(&format!("r={r} km"));
+            }
+            if !line.is_empty() {
+                ctx.trace(line);
+            }
+            ctx.consume(500);
+            Ok(())
+        }),
+    )?;
+    hv.attach_native(rogue, native_task("rogue", |_| Err("segfault".into())))?;
+
+    // feed the VBN partition camera frames (environment injection)
+    for i in 0..4u32 {
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&(5 + i * 3).to_le_bytes());
+        msg.extend_from_slice(&(7 + i * 2).to_le_bytes());
+        hv.ports_mut().inject(vbn, "frames", &msg, 0)?;
+    }
+
+    hv.run(400_000)?;
+
+    println!("partition statistics after {} cycles:", hv.time());
+    for (name, pid) in [
+        ("aocs", aocs),
+        ("vbn", vbn),
+        ("eor", eor),
+        ("monitor", monitor),
+        ("rogue", rogue),
+    ] {
+        let s = hv.stats(pid);
+        println!(
+            "  {name:<8} activations {:>4}  cpu {:>8} cy  traps {:>2}  restarts {:>2}",
+            s.activations, s.cpu_cycles, s.traps, s.restarts
+        );
+    }
+    println!("\nhealth monitor log (first 5):");
+    for e in hv.health().log().iter().take(5) {
+        println!("  {e}");
+    }
+    println!("\nmonitor partition trace (last 5):");
+    for line in hv.trace(monitor).iter().rev().take(5).rev() {
+        println!("  {line}");
+    }
+
+    let rogue_stats = hv.stats(rogue);
+    let aocs_stats = hv.stats(aocs);
+    assert!(rogue_stats.restarts > 0, "rogue was restarted");
+    assert!(
+        aocs_stats.activations > 10,
+        "AOCS schedule unaffected by the rogue partition"
+    );
+    println!("\nisolation holds: rogue restarted {} times, AOCS ran {} slots on time",
+        rogue_stats.restarts, aocs_stats.activations);
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: C kernel → HLS → simulation → Verilog → FPGA bitstream.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use hermes::core::accelerator::AcceleratorFlow;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The kernel a software developer writes: no HDL knowledge needed.
+    let source = r#"
+        int dot3(int ax, int ay, int az, int bx, int by, int bz) {
+            return ax * bx + ay * by + az * bz;
+        }
+    "#;
+
+    println!("== HERMES quickstart: C to bitstream ==\n");
+    let artifact = AcceleratorFlow::new().clock_ns(10.0).build(source)?;
+
+    // 1. functional check via cycle-accurate co-simulation
+    let r = artifact.design.simulate(&[1, 2, 3, 4, 5, 6])?;
+    println!(
+        "simulate dot3(1,2,3, 4,5,6) = {:?} in {} cycles",
+        r.return_value, r.cycles
+    );
+    assert_eq!(r.return_value, Some(32));
+
+    // 2. the HLS report (Fig. 2 artifacts)
+    println!("\n{}", artifact.design.report());
+
+    // 3. the implementation report (Fig. 3 artifacts)
+    println!("\n{}", artifact.flow_report.render());
+
+    // 4. generated HDL (first lines)
+    let verilog_head: String = artifact
+        .verilog
+        .lines()
+        .take(8)
+        .collect::<Vec<_>>()
+        .join("\n");
+    println!("\ngenerated Verilog (head):\n{verilog_head}\n...");
+
+    // 5. the bitstream BL1 would program into the eFPGA
+    artifact.bitstream.verify()?;
+    println!(
+        "\nbitstream: {} frames, {} bytes, CRC-verified OK",
+        artifact.bitstream.frames.len(),
+        artifact.bitstream.size_bytes()
+    );
+
+    // 6. the NXmap backend script Bambu-style integration hands over
+    let device = hermes::fpga::device::DeviceProfile::ng_medium_like();
+    println!("\nNXmap backend script:\n{}", artifact.nxmap_script(&device));
+
+    // 7. the Eucalyptus characterization library the scheduler consumed
+    //    (saved as XML, as the paper describes)
+    let lib = hermes::eucalyptus::Eucalyptus::new(device)
+        .with_kinds(vec![hermes::rtl::component::ComponentKind::Adder])
+        .characterize(&hermes::eucalyptus::SweepConfig {
+            widths: vec![32],
+            pipeline_stages: vec![0, 1],
+        })?;
+    let path = std::env::temp_dir().join("hermes_quickstart_lib.xml");
+    lib.save(&path)?;
+    println!("characterization library written to {}:", path.display());
+    println!("{}", lib.to_xml());
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

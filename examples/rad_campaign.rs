@@ -1,0 +1,61 @@
+//! Radiation-hardening demonstration: identical SEU sequences against
+//! unprotected, TMR, and EDAC memories (the mechanisms the paper credits
+//! NG-ULTRA with providing transparently), plus a configuration-bitstream
+//! attack caught by per-frame CRC.
+//!
+//! ```sh
+//! cargo run --example rad_campaign
+//! ```
+
+use hermes::core::accelerator::AcceleratorFlow;
+use hermes::rad::campaign::{bitstream_campaign, Campaign, Protection};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== HERMES radiation campaign ==\n");
+    let words = 4096;
+    println!("memory: {words} x 32-bit words, 400 upsets, scrub every 2000 cycles\n");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>9}",
+        "protection", "silent", "detected", "corrected", "overhead", "scrubs"
+    );
+    for protection in [Protection::None, Protection::Tmr, Protection::Edac] {
+        let r = Campaign::new(words, 0xC0FFEE)
+            .upsets(400)
+            .scrub_interval(Some(2000))
+            .run(protection);
+        println!(
+            "{:<12} {:>8} {:>10} {:>10} {:>9}% {:>9}",
+            format!("{:?}", r.protection),
+            r.silent_corruptions,
+            r.detected_uncorrectable,
+            r.corrected,
+            r.storage_overhead_pct,
+            r.scrub_passes,
+        );
+    }
+
+    println!("\nscrub-interval sweep (TMR, 2000 upsets on 512 words):");
+    println!("{:>12} {:>8}", "interval", "silent");
+    for interval in [None, Some(50_000u64), Some(5_000), Some(500), Some(50)] {
+        let r = Campaign::new(512, 0xBEEF)
+            .upsets(2000)
+            .scrub_interval(interval)
+            .run(Protection::Tmr);
+        println!(
+            "{:>12} {:>8}",
+            interval.map(|i| i.to_string()).unwrap_or_else(|| "never".into()),
+            r.silent_corruptions
+        );
+    }
+
+    println!("\nconfiguration-memory attack (eFPGA bitstream):");
+    let artifact = AcceleratorFlow::new()
+        .build("int f(int a, int b) { return a * b + 7; }")?;
+    let r = bitstream_campaign(&artifact.bitstream, 64, 0x5EED);
+    println!(
+        "  {} upsets -> {} corrupted frames detected by CRC, {} undetected",
+        r.upsets, r.detected_frames, r.undetected_frames
+    );
+    assert_eq!(r.undetected_frames, 0);
+    Ok(())
+}

@@ -1,0 +1,240 @@
+//! Property-based tests over the ecosystem's core invariants (proptest).
+
+use hermes::axi::master::AxiMaster;
+use hermes::axi::memory::MemoryTiming;
+use hermes::axi::testbench::AxiTestbench;
+use hermes::fpga::bitstream::crc32;
+use hermes::hls::HlsFlow;
+use hermes::rad::edac;
+use hermes::rad::tmr::TmrWord;
+use hermes::rtl::sim::Simulator;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CRC-32 detects any single-bit corruption of any payload.
+    #[test]
+    fn crc32_detects_single_bitflips(
+        mut data in proptest::collection::vec(any::<u8>(), 1..256),
+        pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let clean = crc32(&data);
+        let idx = pos % data.len();
+        data[idx] ^= 1 << bit;
+        prop_assert_ne!(clean, crc32(&data));
+    }
+
+    /// SECDED corrects any single-bit error on any data word, at any code
+    /// position.
+    #[test]
+    fn edac_corrects_any_single_error(data in any::<u32>(), bit in 0u32..edac::CODE_BITS) {
+        let code = edac::encode(data) ^ (1u64 << bit);
+        match edac::decode(code) {
+            edac::Decode::Corrected(v) => prop_assert_eq!(v, data),
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    /// SECDED never silently miscorrects a double-bit error.
+    #[test]
+    fn edac_flags_any_double_error(
+        data in any::<u32>(),
+        b1 in 0u32..edac::CODE_BITS,
+        b2 in 0u32..edac::CODE_BITS,
+    ) {
+        prop_assume!(b1 != b2);
+        let code = edac::encode(data) ^ (1u64 << b1) ^ (1u64 << b2);
+        prop_assert_eq!(edac::decode(code), edac::Decode::DoubleError);
+    }
+
+    /// TMR masks any set of upsets confined to one copy.
+    #[test]
+    fn tmr_masks_single_copy_damage(
+        value in any::<u32>(),
+        copy in 0usize..3,
+        bits in proptest::collection::vec(0u32..32, 1..8),
+    ) {
+        let mut w = TmrWord::new(value);
+        for b in bits {
+            w.flip_bit(copy, b);
+        }
+        prop_assert_eq!(w.read(), value);
+    }
+
+    /// The AXI master's burst plans cover exactly the requested bytes, with
+    /// every burst legal (the constructor validates 4K crossings etc.).
+    #[test]
+    fn axi_plans_cover_request(addr in 0u64..1_000_000, len in 1usize..5000) {
+        let mut m = AxiMaster::new(8);
+        let plans = m.plan_read(addr, len).expect("plan is legal");
+        let total: usize = plans.iter().map(|p| p.take).sum();
+        prop_assert_eq!(total, len);
+        // chunks are contiguous
+        let mut cursor = addr;
+        for p in &plans {
+            let start = p.burst.beat_addr(0) + p.skip as u64;
+            prop_assert_eq!(start, cursor);
+            cursor += p.take as u64;
+        }
+    }
+
+    /// Bus-level writes followed by reads return the written data for any
+    /// alignment and length.
+    #[test]
+    fn axi_memory_roundtrip(
+        addr in 0u64..3000,
+        data in proptest::collection::vec(any::<u8>(), 1..300),
+    ) {
+        let mut tb = AxiTestbench::new(8192, MemoryTiming::ideal());
+        tb.write_blocking(addr, &data).expect("write");
+        let (back, _) = tb.read_blocking(addr, data.len()).expect("read");
+        prop_assert_eq!(back, data);
+        prop_assert!(tb.violations().is_empty());
+    }
+
+    /// The load-list binary format round-trips arbitrary entries and
+    /// detects any single-bit corruption.
+    #[test]
+    fn loadlist_roundtrip_and_integrity(
+        offsets in proptest::collection::vec(any::<u32>(), 0..6),
+        flip_pos in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        use hermes::boot::loadlist::{ImageKind, LoadEntry, LoadList};
+        let list = LoadList {
+            entries: offsets
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| LoadEntry {
+                    kind: if i % 2 == 0 { ImageKind::Software } else { ImageKind::Bitstream },
+                    offset: o,
+                    size: o.wrapping_mul(3),
+                    dest: o ^ 0xFFFF,
+                    entry: o.wrapping_add(1),
+                    core: (i % 4) as u8,
+                    crc: o.wrapping_mul(7),
+                })
+                .collect(),
+        };
+        let bytes = list.to_bytes();
+        prop_assert_eq!(LoadList::from_bytes(&bytes).expect("parses"), list);
+        let mut corrupt = bytes.clone();
+        let idx = flip_pos % corrupt.len();
+        corrupt[idx] ^= 1 << flip_bit;
+        // any flip must either fail to parse or parse to different content
+        // (the manifest CRC makes silent acceptance impossible)
+        if let Ok(parsed) = LoadList::from_bytes(&corrupt) {
+            prop_assert!(parsed != LoadList::from_bytes(&bytes).expect("parses"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For randomized straight-line integer expressions, the HLS
+    /// co-simulation, the structural-netlist simulation, and the C-like
+    /// reference semantics all agree.
+    #[test]
+    fn hls_netlist_reference_agree(
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+        c1 in 1i64..64,
+        op_sel in 0usize..5,
+    ) {
+        let (op, reference): (&str, fn(i64, i64, i64) -> i64) = match op_sel {
+            0 => ("+", |a, b, c| (a + b + c) as i32 as i64),
+            1 => ("-", |a, b, c| (a - b - c) as i32 as i64),
+            2 => ("*", |a, b, c| ((a * b) as i32 as i64 * c) as i32 as i64),
+            3 => ("&", |a, b, c| a & b & c),
+            _ => ("^", |a, b, c| a ^ b ^ c),
+        };
+        let src = format!("int f(int a, int b) {{ return (a {op} b) {op} {c1}; }}");
+        let design = HlsFlow::new().compile(&src).expect("compiles");
+        let sim = design.simulate(&[a, b]).expect("simulates");
+        let want = reference(a, b, c1);
+        prop_assert_eq!(sim.return_value, Some(want), "co-sim for {}", src);
+        // structural netlist agrees
+        let mut ns = Simulator::new(design.netlist()).expect("valid");
+        ns.reset();
+        ns.poke("arg_a", a as u64).expect("a");
+        ns.poke("arg_b", b as u64).expect("b");
+        ns.run_until(sim.states_visited * 3 + 32, |s| s.peek("done").expect("done") == 1)
+            .expect("runs")
+            .expect("finishes");
+        prop_assert_eq!(
+            ns.peek("ret_q").expect("ret"),
+            (want as u64) & 0xFFFF_FFFF,
+            "netlist for {}", src
+        );
+    }
+
+    /// Scheduling under a minimal allocation never runs faster than under
+    /// the default allocation, and both compute the same values.
+    #[test]
+    fn allocation_monotonicity(x in 0i64..500, y in 1i64..500) {
+        use hermes::hls::allocate::Allocation;
+        let src = "int f(int a, int b) {
+            return a * b + (a - b) * (a + b) + a * 3 + b * 5; }";
+        let fast = HlsFlow::new().compile(src).expect("compiles");
+        let slow = HlsFlow::new()
+            .allocation(Allocation::minimal())
+            .compile(src)
+            .expect("compiles");
+        let rf = fast.simulate(&[x, y]).expect("fast sim");
+        let rs = slow.simulate(&[x, y]).expect("slow sim");
+        prop_assert_eq!(rf.return_value, rs.return_value);
+        prop_assert!(rs.cycles >= rf.cycles);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Assembler/disassembler agreement: every assembled instruction
+    /// decodes back to text that re-assembles to the same word.
+    #[test]
+    fn isa_reassembly_fixpoint(
+        rd in 0u8..16,
+        rs1 in 0u8..16,
+        rs2 in 0u8..16,
+        imm in -500i32..500,
+    ) {
+        use hermes::cpu::isa::{assemble, disassemble};
+        let programs = [
+            format!("add r{rd}, r{rs1}, r{rs2}"),
+            format!("addi r{rd}, r{rs1}, {imm}"),
+            format!("lw r{rd}, {imm}(r{rs1})"),
+            format!("sw r{rd}, {imm}(r{rs1})"),
+        ];
+        for p in &programs {
+            let w1 = assemble(p).expect("assembles")[0];
+            let text = disassemble(w1);
+            let w2 = assemble(&text).expect("reassembles")[0];
+            prop_assert_eq!(w1, w2, "fixpoint for `{}` -> `{}`", p, text);
+        }
+    }
+
+    /// The cyclic plan locator always returns an in-range slot whose offset
+    /// is within the slot duration.
+    #[test]
+    fn plan_locate_in_range(
+        durations in proptest::collection::vec(1u64..10_000, 1..8),
+        time in any::<u64>(),
+    ) {
+        use hermes::xng::config::{Plan, Slot};
+        use hermes::xng::PartitionId;
+        let plan = Plan::new(
+            durations
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| Slot::new(PartitionId(i as u32), d))
+                .collect(),
+        );
+        let (idx, off) = plan.locate(time % (plan.major_frame() * 3)).expect("nonempty plan");
+        prop_assert!(idx < durations.len());
+        prop_assert!(off < durations[idx]);
+    }
+}
