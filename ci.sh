@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, lint. Fully offline (the workspace is hermetic).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: OK"

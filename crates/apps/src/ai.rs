@@ -40,6 +40,7 @@ void mlp(int *x, int *w1, int *b1, int *w2, int *b2, int *out,
 "#;
 
 /// Rust reference for [`MLP_SOURCE`].
+#[allow(clippy::too_many_arguments)] // mirrors the C kernel signature
 pub fn mlp_ref(
     x: &[i64],
     w1: &[i64],

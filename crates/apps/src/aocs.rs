@@ -130,9 +130,9 @@ impl Default for PdGains {
 /// (pointing to the identity attitude).
 pub fn pd_control(state: &AocsState, gains: PdGains) -> [i64; 3] {
     let mut torque = [0i64; 3];
-    for i in 0..3 {
+    for (i, t) in torque.iter_mut().enumerate() {
         // vector part of the error quaternion = q[1..] (target = identity)
-        torque[i] = -mul_q(gains.kp, state.q[i + 1]) - mul_q(gains.kd, state.omega[i]);
+        *t = -mul_q(gains.kp, state.q[i + 1]) - mul_q(gains.kd, state.omega[i]);
     }
     torque
 }

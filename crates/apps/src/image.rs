@@ -116,8 +116,8 @@ pub fn histogram_ref(src: &[i64]) -> Vec<i64> {
 pub fn star_field(w: usize, h: usize, stars: usize, seed: u64) -> Vec<i64> {
     let mut gen = crate::TestDataGen::new(seed);
     let mut img = vec![8i64; w * h]; // dark noise floor
-    for i in 0..w * h {
-        img[i] += (gen.below(8)) as i64;
+    for px in img.iter_mut() {
+        *px += (gen.below(8)) as i64;
     }
     for _ in 0..stars {
         let cx = gen.below(w as u64) as isize;

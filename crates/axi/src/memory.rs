@@ -60,6 +60,7 @@ struct PendingRead {
     burst: Burst,
     countdown: u32,
     next_beat: u16,
+    poisoned: bool,
 }
 
 #[derive(Debug)]
@@ -67,6 +68,25 @@ struct PendingWrite {
     burst: Burst,
     beats: Vec<WriteBeat>,
     countdown: Option<u32>,
+    poisoned: bool,
+}
+
+/// Injectable slave-side faults (the bus half of the chaos fault plane).
+///
+/// Counters are consumed as transactions are served: a pending SLVERR
+/// poisons the next burst of the matching direction (every beat / the
+/// write response carries [`Response::SlvErr`], and the data is **not**
+/// committed), and a stall freezes the whole slave — no beats, no
+/// responses, no latency aging — for the given number of cycles, the way a
+/// radiation-upset DDR controller re-trains its PHY.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlaveFaults {
+    /// Read bursts still to be answered with SLVERR.
+    pub read_slverrs: u32,
+    /// Write bursts still to be answered with SLVERR.
+    pub write_slverrs: u32,
+    /// Cycles the slave remains frozen.
+    pub stall_cycles: u32,
 }
 
 /// The slave memory.
@@ -82,6 +102,8 @@ pub struct AxiMemory {
     pub cycles: u64,
     /// Total data beats transferred.
     pub beats_served: u64,
+    /// Pending injected faults.
+    pub faults: SlaveFaults,
 }
 
 impl AxiMemory {
@@ -96,7 +118,24 @@ impl AxiMemory {
             write_resp_out: VecDeque::new(),
             cycles: 0,
             beats_served: 0,
+            faults: SlaveFaults::default(),
         }
+    }
+
+    /// Inject `n` read-burst SLVERRs (consumed by the next `n` read
+    /// bursts reaching their first beat).
+    pub fn inject_read_slverr(&mut self, n: u32) {
+        self.faults.read_slverrs += n;
+    }
+
+    /// Inject `n` write-burst SLVERRs.
+    pub fn inject_write_slverr(&mut self, n: u32) {
+        self.faults.write_slverrs += n;
+    }
+
+    /// Freeze the slave for `cycles` (added to any pending stall).
+    pub fn inject_stall(&mut self, cycles: u32) {
+        self.faults.stall_cycles += cycles;
     }
 
     /// Size in bytes.
@@ -114,6 +153,15 @@ impl AxiMemory {
     pub fn poke(&mut self, addr: u64, bytes: &[u8]) {
         let a = addr as usize;
         self.data[a..a + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Whether any transaction is still in flight or any output is queued
+    /// (used by masters to drain the bus before re-issuing after a fault).
+    pub fn busy(&self) -> bool {
+        !self.reads.is_empty()
+            || !self.writes.is_empty()
+            || !self.read_out.is_empty()
+            || !self.write_resp_out.is_empty()
     }
 
     /// Whether a new read burst can be accepted this cycle (ARREADY).
@@ -135,6 +183,7 @@ impl AxiMemory {
             countdown: self.timing.read_latency,
             burst,
             next_beat: 0,
+            poisoned: false,
         });
         true
     }
@@ -149,6 +198,7 @@ impl AxiMemory {
             burst,
             beats,
             countdown: None,
+            poisoned: false,
         });
         true
     }
@@ -172,17 +222,31 @@ impl AxiMemory {
     /// and one write response.
     pub fn step(&mut self) {
         self.cycles += 1;
+        // A stalled slave is completely frozen: latencies do not age and
+        // nothing is emitted until the stall drains.
+        if self.faults.stall_cycles > 0 {
+            self.faults.stall_cycles -= 1;
+            return;
+        }
         // Read path: head-of-line burst streams beats after its latency.
         let emit = match self.reads.front_mut() {
             Some(front) if front.countdown > 0 => {
                 front.countdown -= 1;
                 None
             }
-            Some(front) => Some((front.burst.clone(), front.next_beat)),
+            Some(front) => {
+                if front.next_beat == 0 && self.faults.read_slverrs > 0 {
+                    self.faults.read_slverrs -= 1;
+                    front.poisoned = true;
+                }
+                Some((front.burst.clone(), front.next_beat, front.poisoned))
+            }
             None => None,
         };
-        if let Some((burst, i)) = emit {
-            let (resp, bytes) = if !self.in_range(&burst) {
+        if let Some((burst, i, poisoned)) = emit {
+            let (resp, bytes) = if poisoned {
+                (Response::SlvErr, vec![0u8; burst.beat_bytes as usize])
+            } else if !self.in_range(&burst) {
                 (Response::DecErr, vec![0u8; burst.beat_bytes as usize])
             } else {
                 let a = burst.beat_addr(i) as usize;
@@ -211,6 +275,10 @@ impl AxiMemory {
         let commit = match self.writes.front_mut() {
             Some(front) => match &mut front.countdown {
                 None => {
+                    if self.faults.write_slverrs > 0 {
+                        self.faults.write_slverrs -= 1;
+                        front.poisoned = true;
+                    }
                     // absorb data beats: 1 per cycle + gap
                     let absorbed = front.beats.len() as u32;
                     front.countdown = Some(
@@ -229,7 +297,9 @@ impl AxiMemory {
         };
         if commit {
             let pw = self.writes.pop_front().expect("front exists");
-            let resp = if !self.in_range(&pw.burst) {
+            let resp = if pw.poisoned {
+                Response::SlvErr
+            } else if !self.in_range(&pw.burst) {
                 Response::DecErr
             } else {
                 for (i, beat) in pw.beats.iter().enumerate() {
@@ -342,6 +412,73 @@ mod tests {
             }
         }
         assert_eq!(got.unwrap().resp, Response::DecErr);
+    }
+
+    #[test]
+    fn injected_read_slverr_poisons_exactly_one_burst() {
+        let mut m = AxiMemory::new(64, MemoryTiming::ideal());
+        m.poke(0, &[7; 8]);
+        m.inject_read_slverr(1);
+        let run = |m: &mut AxiMemory, id| {
+            m.push_read(Burst::new(id, 0, 2, 4, BurstType::Incr).unwrap());
+            let mut beats = Vec::new();
+            for _ in 0..50 {
+                m.step();
+                while let Some(b) = m.pop_read_beat() {
+                    beats.push(b);
+                }
+            }
+            beats
+        };
+        let poisoned = run(&mut m, 0);
+        assert!(poisoned.iter().all(|b| b.resp == Response::SlvErr));
+        assert!(poisoned.iter().all(|b| b.data.iter().all(|&x| x == 0)));
+        let clean = run(&mut m, 1);
+        assert!(clean.iter().all(|b| b.resp == Response::Okay));
+        assert_eq!(clean[0].data, vec![7; 4]);
+    }
+
+    #[test]
+    fn injected_write_slverr_blocks_commit() {
+        let mut m = AxiMemory::new(64, MemoryTiming::ideal());
+        m.poke(0, &[0xAA; 4]);
+        m.inject_write_slverr(1);
+        let wb = Burst::new(0, 0, 1, 4, BurstType::Incr).unwrap();
+        m.push_write(wb, vec![beat(vec![1, 2, 3, 4], true)]);
+        for _ in 0..20 {
+            m.step();
+        }
+        assert_eq!(m.pop_write_response().unwrap().resp, Response::SlvErr);
+        assert_eq!(m.peek(0, 4), &[0xAA; 4], "poisoned write must not commit");
+        // A second, clean write commits normally.
+        let wb = Burst::new(1, 0, 1, 4, BurstType::Incr).unwrap();
+        m.push_write(wb, vec![beat(vec![1, 2, 3, 4], true)]);
+        for _ in 0..20 {
+            m.step();
+        }
+        assert_eq!(m.pop_write_response().unwrap().resp, Response::Okay);
+        assert_eq!(m.peek(0, 4), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stall_freezes_latency_aging() {
+        let timing = MemoryTiming {
+            read_latency: 5,
+            ..MemoryTiming::ideal()
+        };
+        let mut m = AxiMemory::new(64, timing);
+        m.inject_stall(10);
+        m.push_read(Burst::new(0, 0, 1, 4, BurstType::Incr).unwrap());
+        let mut first = None;
+        for c in 0..100 {
+            m.step();
+            if m.pop_read_beat().is_some() {
+                first = Some(c);
+                break;
+            }
+        }
+        // 10 frozen cycles + the usual 5-cycle latency.
+        assert_eq!(first, Some(15));
     }
 
     #[test]

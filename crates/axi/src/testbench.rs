@@ -27,6 +27,38 @@ pub struct BusStats {
     pub write_bursts: u64,
     /// Sum of per-read-request latencies (first request to last beat).
     pub total_read_latency: u64,
+    /// Transactions re-issued after a recoverable error.
+    pub retries: u64,
+    /// SLVERR responses observed (before any retry).
+    pub slverrs: u64,
+    /// Timeouts observed (before any retry).
+    pub timeouts: u64,
+    /// Transactions abandoned after exhausting the retry budget.
+    pub retry_give_ups: u64,
+}
+
+/// Retry-with-exponential-backoff policy for the blocking master helpers.
+///
+/// When installed (see [`AxiTestbench::with_retry`]), a transaction that
+/// fails with [`AxiError::SlaveError`] or [`AxiError::Timeout`] is drained
+/// off the bus, backed off for `backoff_base << attempt` idle cycles, and
+/// re-issued — up to `max_retries` times before the error surfaces to the
+/// caller. Decode errors are never retried: a wrong address does not heal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-issues allowed per transaction before giving up.
+    pub max_retries: u32,
+    /// Idle cycles before the first retry (doubled on each further one).
+    pub backoff_base: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base: 8,
+        }
+    }
 }
 
 impl BusStats {
@@ -58,6 +90,8 @@ pub struct AxiTestbench {
     stats: BusStats,
     /// Cycle budget for blocking operations before declaring a hang.
     pub timeout_cycles: u64,
+    /// Optional retry policy (off by default — errors surface immediately).
+    pub retry: Option<RetryPolicy>,
 }
 
 impl AxiTestbench {
@@ -75,7 +109,14 @@ impl AxiTestbench {
             checker: ProtocolChecker::new(),
             stats: BusStats::default(),
             timeout_cycles: 1_000_000,
+            retry: None,
         }
+    }
+
+    /// Install a retry policy (builder style).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
     }
 
     /// Direct (zero-time) access to the slave memory for initialization.
@@ -104,15 +145,83 @@ impl AxiTestbench {
         self.stats.cycles += 1;
     }
 
+    /// Whether an error is worth re-issuing the transaction for.
+    fn recoverable(err: &AxiError) -> bool {
+        matches!(
+            err,
+            AxiError::SlaveError { .. } | AxiError::Timeout { .. }
+        )
+    }
+
+    /// Record an observed error in the per-transaction stats.
+    fn note_error(&mut self, err: &AxiError) {
+        match err {
+            AxiError::SlaveError { .. } => self.stats.slverrs += 1,
+            AxiError::Timeout { .. } => self.stats.timeouts += 1,
+            _ => {}
+        }
+    }
+
+    /// Drain in-flight transactions and queued outputs off the bus after a
+    /// failed attempt, so a re-issue starts from a quiescent slave.
+    fn recover_bus(&mut self) {
+        let mut waited = 0u64;
+        while self.memory.busy() {
+            self.step();
+            while let Some(beat) = self.memory.pop_read_beat() {
+                self.checker.on_read_beat(&beat);
+            }
+            while let Some(resp) = self.memory.pop_write_response() {
+                self.checker.on_write_response(&resp);
+            }
+            waited += 1;
+            if waited > self.timeout_cycles {
+                break;
+            }
+        }
+    }
+
     /// Issue a read of `len` bytes at `addr` and step the bus until the data
-    /// returns. Returns the data and the cycles consumed.
+    /// returns. Returns the data and the cycles consumed. With a
+    /// [`RetryPolicy`] installed, recoverable errors (SLVERR, timeout) are
+    /// retried with exponential backoff before surfacing.
     ///
     /// # Errors
     ///
     /// Returns [`AxiError::Decode`] / [`AxiError::SlaveError`] on bad
-    /// responses and [`AxiError::Timeout`] if the bus hangs.
+    /// responses and [`AxiError::Timeout`] if the bus hangs — after the
+    /// retry budget (if any) is exhausted.
     pub fn read_blocking(&mut self, addr: u64, len: usize) -> Result<(Vec<u8>, u64), AxiError> {
         let start_cycles = self.stats.cycles;
+        let mut attempt = 0u32;
+        loop {
+            match self.read_attempt(addr, len) {
+                Ok(out) => {
+                    self.stats.bytes_read += len as u64;
+                    return Ok((out, self.stats.cycles - start_cycles));
+                }
+                Err(err) => {
+                    self.note_error(&err);
+                    let Some(policy) = self.retry else {
+                        return Err(err);
+                    };
+                    if !Self::recoverable(&err) {
+                        return Err(err);
+                    }
+                    if attempt >= policy.max_retries {
+                        self.stats.retry_give_ups += 1;
+                        return Err(err);
+                    }
+                    self.recover_bus();
+                    self.idle(policy.backoff_base << attempt);
+                    attempt += 1;
+                    self.stats.retries += 1;
+                }
+            }
+        }
+    }
+
+    fn read_attempt(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, AxiError> {
         let plans = self.master.plan_read(addr, len)?;
         let mut out = Vec::with_capacity(len);
         for plan in plans {
@@ -152,19 +261,51 @@ impl AxiTestbench {
             self.stats.total_read_latency += self.stats.cycles - issue_cycle;
             out.extend_from_slice(&raw[plan.skip..plan.skip + plan.take]);
         }
-        self.stats.bytes_read += len as u64;
-        Ok((out, self.stats.cycles - start_cycles))
+        Ok(out)
     }
 
     /// Issue a write of `data` at `addr` and step until the response
-    /// arrives. Returns the cycles consumed.
+    /// arrives. Returns the cycles consumed. With a [`RetryPolicy`]
+    /// installed, recoverable errors are retried with exponential backoff;
+    /// a SLVERR'd write is never committed by the slave, so a re-issue is
+    /// exactly-once from the memory's point of view.
     ///
     /// # Errors
     ///
     /// Returns [`AxiError::Decode`] / [`AxiError::SlaveError`] on bad
-    /// responses and [`AxiError::Timeout`] if the bus hangs.
+    /// responses and [`AxiError::Timeout`] if the bus hangs — after the
+    /// retry budget (if any) is exhausted.
     pub fn write_blocking(&mut self, addr: u64, data: &[u8]) -> Result<u64, AxiError> {
         let start_cycles = self.stats.cycles;
+        let mut attempt = 0u32;
+        loop {
+            match self.write_attempt(addr, data) {
+                Ok(()) => {
+                    self.stats.bytes_written += data.len() as u64;
+                    return Ok(self.stats.cycles - start_cycles);
+                }
+                Err(err) => {
+                    self.note_error(&err);
+                    let Some(policy) = self.retry else {
+                        return Err(err);
+                    };
+                    if !Self::recoverable(&err) {
+                        return Err(err);
+                    }
+                    if attempt >= policy.max_retries {
+                        self.stats.retry_give_ups += 1;
+                        return Err(err);
+                    }
+                    self.recover_bus();
+                    self.idle(policy.backoff_base << attempt);
+                    attempt += 1;
+                    self.stats.retries += 1;
+                }
+            }
+        }
+    }
+
+    fn write_attempt(&mut self, addr: u64, data: &[u8]) -> Result<(), AxiError> {
         let plans = self.master.plan_write(addr, data)?;
         for (burst, beats) in plans {
             let mut waited = 0u64;
@@ -201,8 +342,7 @@ impl AxiTestbench {
                 }
             }
         }
-        self.stats.bytes_written += data.len() as u64;
-        Ok(self.stats.cycles - start_cycles)
+        Ok(())
     }
 
     /// Let the bus idle for `n` cycles (models compute phases between
@@ -278,6 +418,80 @@ mod tests {
         assert!(s.read_bursts >= 1);
         assert!(s.avg_read_latency() > 0.0);
         assert!(s.bytes_per_cycle() > 0.0);
+    }
+
+    #[test]
+    fn slverr_surfaces_without_retry_policy() {
+        let mut tb = AxiTestbench::new(4096, MemoryTiming::ideal());
+        tb.memory_mut().inject_read_slverr(1);
+        let err = tb.read_blocking(0, 4).unwrap_err();
+        assert!(matches!(err, AxiError::SlaveError { .. }));
+        assert_eq!(tb.stats().slverrs, 1);
+        assert_eq!(tb.stats().retries, 0);
+    }
+
+    #[test]
+    fn retry_recovers_read_slverr() {
+        let mut tb =
+            AxiTestbench::new(4096, MemoryTiming::ideal()).with_retry(RetryPolicy::default());
+        tb.memory_mut().poke(0x80, &[42; 16]);
+        tb.memory_mut().inject_read_slverr(2);
+        let (data, _) = tb.read_blocking(0x80, 16).unwrap();
+        assert_eq!(data, vec![42; 16]);
+        let s = tb.stats();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.slverrs, 2);
+        assert_eq!(s.retry_give_ups, 0);
+    }
+
+    #[test]
+    fn retry_recovers_write_slverr_exactly_once() {
+        let mut tb =
+            AxiTestbench::new(4096, MemoryTiming::ideal()).with_retry(RetryPolicy::default());
+        tb.memory_mut().inject_write_slverr(1);
+        tb.write_blocking(0x40, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(tb.memory().peek(0x40, 4), &[1, 2, 3, 4]);
+        assert_eq!(tb.stats().retries, 1);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_gives_up() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            backoff_base: 4,
+        };
+        let mut tb = AxiTestbench::new(4096, MemoryTiming::ideal()).with_retry(policy);
+        tb.memory_mut().inject_read_slverr(10);
+        let err = tb.read_blocking(0, 4).unwrap_err();
+        assert!(matches!(err, AxiError::SlaveError { .. }));
+        let s = tb.stats();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.retry_give_ups, 1);
+    }
+
+    #[test]
+    fn retry_rides_out_timeout_from_stall() {
+        let mut tb = AxiTestbench::new(4096, MemoryTiming::ideal()).with_retry(RetryPolicy {
+            max_retries: 3,
+            backoff_base: 16,
+        });
+        tb.timeout_cycles = 50;
+        tb.memory_mut().poke(0, &[9; 8]);
+        tb.memory_mut().inject_stall(120);
+        let (data, _) = tb.read_blocking(0, 8).unwrap();
+        assert_eq!(data, vec![9; 8]);
+        let s = tb.stats();
+        assert!(s.timeouts >= 1, "stall should cost at least one timeout");
+        assert!(s.retries >= 1);
+    }
+
+    #[test]
+    fn decode_error_is_never_retried() {
+        let mut tb =
+            AxiTestbench::new(256, MemoryTiming::ideal()).with_retry(RetryPolicy::default());
+        let err = tb.read_blocking(10_000, 4).unwrap_err();
+        assert!(matches!(err, AxiError::Decode { .. }));
+        assert_eq!(tb.stats().retries, 0);
     }
 
     #[test]

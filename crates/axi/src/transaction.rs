@@ -76,7 +76,7 @@ impl Burst {
                 if !matches!(beats, 2 | 4 | 8 | 16) {
                     return Err(err("WRAP burst length must be 2, 4, 8, or 16"));
                 }
-                if addr % u64::from(beat_bytes) != 0 {
+                if !addr.is_multiple_of(u64::from(beat_bytes)) {
                     return Err(err("WRAP burst start must be size-aligned"));
                 }
             }

@@ -1,75 +1,79 @@
-//! Property tests on AXI4 burst addressing rules.
+//! Property tests on AXI4 burst addressing rules, driven by the
+//! workspace's deterministic seeded RNG (no external dependencies).
 
 use hermes_axi::transaction::{Burst, BurstType};
-use proptest::prelude::*;
+use hermes_rtl::rng::DetRng;
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 256;
 
-    /// INCR beat addresses are strictly increasing, size-aligned after the
-    /// first beat, and never cross a 4 KiB boundary.
-    #[test]
-    fn incr_addressing_invariants(
-        addr in 0u64..0x10_0000,
-        beats in 1u16..=16,
-        size_log in 0u32..=4,
-    ) {
-        let size = 1u8 << size_log;
+/// INCR beat addresses are strictly increasing, size-aligned after the
+/// first beat, and never cross a 4 KiB boundary.
+#[test]
+fn incr_addressing_invariants() {
+    let mut rng = DetRng::new(0xA411);
+    for _ in 0..CASES {
+        let addr = rng.below(0x10_0000);
+        let beats = rng.range_u64(1, 17) as u16;
+        let size = 1u8 << rng.below(5);
         let Ok(b) = Burst::new(0, addr, beats, size, BurstType::Incr) else {
             // constructor rejected it: must actually cross 4K
             let start = addr & !u64::from(size - 1);
             let end = start + u64::from(beats) * u64::from(size) - 1;
-            prop_assert_ne!(addr >> 12, end >> 12, "legal burst was rejected");
-            return Ok(());
+            assert_ne!(addr >> 12, end >> 12, "legal burst was rejected");
+            continue;
         };
         let page = b.beat_addr(0) >> 12;
         let mut prev = None;
         for i in 0..beats {
             let a = b.beat_addr(i);
-            prop_assert_eq!(a >> 12, page, "beat {} crossed 4K", i);
+            assert_eq!(a >> 12, page, "beat {i} crossed 4K");
             if i > 0 {
-                prop_assert_eq!(a % u64::from(size), 0, "beat {} misaligned", i);
+                assert_eq!(a % u64::from(size), 0, "beat {i} misaligned");
             }
             if let Some(p) = prev {
-                prop_assert!(a > p, "addresses must increase");
-                prop_assert_eq!(a - p, u64::from(size));
+                assert!(a > p, "addresses must increase");
+                assert_eq!(a - p, u64::from(size));
             }
             prev = Some(a);
         }
     }
+}
 
-    /// WRAP bursts visit exactly `beats` distinct size-aligned addresses
-    /// inside one container and return to the start after a full loop.
-    #[test]
-    fn wrap_addressing_invariants(
-        container_index in 0u64..1000,
-        beats_sel in 0usize..4,
-        size_log in 0u32..=3,
-    ) {
-        let beats = [2u16, 4, 8, 16][beats_sel];
-        let size = 1u8 << size_log;
+/// WRAP bursts visit exactly `beats` distinct size-aligned addresses
+/// inside one container and return to the start after a full loop.
+#[test]
+fn wrap_addressing_invariants() {
+    let mut rng = DetRng::new(0xA412);
+    for _ in 0..CASES {
+        let beats = [2u16, 4, 8, 16][rng.below(4) as usize];
+        let size = 1u8 << rng.below(4);
         let container = u64::from(size) * u64::from(beats);
-        let base = container_index * container;
+        let base = rng.below(1000) * container;
         // start anywhere (aligned) inside the container
         let start = base + u64::from(size) * u64::from(beats / 2);
         let b = Burst::new(0, start, beats, size, BurstType::Wrap).expect("legal wrap");
         let mut seen = HashSet::new();
         for i in 0..beats {
             let a = b.beat_addr(i);
-            prop_assert!(a >= base && a < base + container, "beat {} escaped container", i);
-            prop_assert_eq!(a % u64::from(size), 0);
-            prop_assert!(seen.insert(a), "beat address repeated");
+            assert!(a >= base && a < base + container, "beat {i} escaped container");
+            assert_eq!(a % u64::from(size), 0);
+            assert!(seen.insert(a), "beat address repeated");
         }
-        prop_assert_eq!(seen.len(), beats as usize);
+        assert_eq!(seen.len(), beats as usize);
     }
+}
 
-    /// FIXED bursts never move.
-    #[test]
-    fn fixed_addressing_invariants(addr in any::<u64>(), beats in 1u16..=16) {
+/// FIXED bursts never move.
+#[test]
+fn fixed_addressing_invariants() {
+    let mut rng = DetRng::new(0xA413);
+    for _ in 0..CASES {
+        let addr = rng.next_u64();
+        let beats = rng.range_u64(1, 17) as u16;
         let b = Burst::new(0, addr, beats, 4, BurstType::Fixed).expect("legal fixed");
         for i in 0..beats {
-            prop_assert_eq!(b.beat_addr(i), addr);
+            assert_eq!(b.beat_addr(i), addr);
         }
     }
 }

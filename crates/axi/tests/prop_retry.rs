@@ -1,0 +1,101 @@
+//! Property tests for the retry-enabled master: a transaction the fault
+//! plan allows to succeed always completes, and `AxiError::Timeout` /
+//! `AxiError::SlaveError` surface only once the retry budget is exhausted.
+
+use hermes_axi::memory::MemoryTiming;
+use hermes_axi::testbench::{AxiTestbench, RetryPolicy};
+use hermes_axi::AxiError;
+use hermes_rtl::rng::DetRng;
+
+/// Whenever the number of injected SLVERRs is within the retry budget, the
+/// retry-enabled master completes the transaction and returns intact data.
+#[test]
+fn retry_completes_whenever_budget_allows() {
+    let mut rng = DetRng::new(0x5E71);
+    for case in 0..64 {
+        let max_retries = rng.range_u64(1, 5) as u32;
+        let slverrs = rng.below(u64::from(max_retries) + 1) as u32;
+        let mut tb = AxiTestbench::new(4096, MemoryTiming::ideal()).with_retry(RetryPolicy {
+            max_retries,
+            backoff_base: 4,
+        });
+        let len = rng.range_u64(1, 65) as usize;
+        let data = rng.bytes(len);
+        let addr = rng.below(2048);
+        tb.memory_mut().poke(addr, &data);
+        tb.memory_mut().inject_read_slverr(slverrs);
+        let (back, _) = tb
+            .read_blocking(addr, len)
+            .unwrap_or_else(|e| panic!("case {case}: {slverrs} errs <= {max_retries} budget: {e}"));
+        assert_eq!(back, data, "case {case}: data corrupted through retries");
+        assert_eq!(tb.stats().retries, u64::from(slverrs));
+    }
+}
+
+/// Errors beyond the budget surface — and exactly the budgeted number of
+/// retries was spent first.
+#[test]
+fn error_surfaces_only_after_budget_exhausted() {
+    let mut rng = DetRng::new(0x5E72);
+    for case in 0..64 {
+        let max_retries = rng.below(4) as u32;
+        let slverrs = max_retries + 1 + rng.below(3) as u32;
+        let mut tb = AxiTestbench::new(4096, MemoryTiming::ideal()).with_retry(RetryPolicy {
+            max_retries,
+            backoff_base: 2,
+        });
+        tb.memory_mut().inject_read_slverr(slverrs);
+        let err = tb.read_blocking(0, 8).unwrap_err();
+        assert!(
+            matches!(err, AxiError::SlaveError { .. }),
+            "case {case}: {err}"
+        );
+        let s = tb.stats();
+        assert_eq!(s.retries, u64::from(max_retries), "case {case}");
+        assert_eq!(s.retry_give_ups, 1, "case {case}");
+    }
+}
+
+/// A stalled slave produces timeouts, but as long as the total stall fits
+/// inside the budgeted attempts the transaction still completes.
+#[test]
+fn stall_timeouts_ride_out_within_budget() {
+    let mut rng = DetRng::new(0x5E73);
+    for case in 0..32 {
+        let mut tb = AxiTestbench::new(4096, MemoryTiming::ideal()).with_retry(RetryPolicy {
+            max_retries: 4,
+            backoff_base: 8,
+        });
+        tb.timeout_cycles = 64;
+        let data = rng.bytes(16);
+        tb.memory_mut().poke(0x200, &data);
+        // Anything under ~2 attempts' worth of cycles must ride out.
+        let stall = rng.range_u64(65, 120) as u32;
+        tb.memory_mut().inject_stall(stall);
+        let (back, _) = tb
+            .read_blocking(0x200, 16)
+            .unwrap_or_else(|e| panic!("case {case}: stall {stall}: {e}"));
+        assert_eq!(back, data, "case {case}");
+        let s = tb.stats();
+        assert!(s.timeouts >= 1, "case {case}: stall {stall} cost no timeout");
+    }
+}
+
+/// Writes are exactly-once: however many SLVERRs strike, the final memory
+/// image matches the last successful write, never a torn one.
+#[test]
+fn write_retries_are_exactly_once() {
+    let mut rng = DetRng::new(0x5E74);
+    for case in 0..32 {
+        let slverrs = rng.below(4) as u32;
+        let mut tb = AxiTestbench::new(4096, MemoryTiming::ideal()).with_retry(RetryPolicy {
+            max_retries: 4,
+            backoff_base: 2,
+        });
+        let data = rng.bytes(24);
+        tb.memory_mut().inject_write_slverr(slverrs);
+        tb.write_blocking(0x300, &data)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(tb.memory().peek(0x300, 24), &data[..], "case {case}");
+    }
+}

@@ -8,7 +8,13 @@
 
 fn main() {
     let filter: Vec<String> = std::env::args().skip(1).collect();
-    for (id, title, runner) in hermes_bench::all_experiments() {
+    let experiments = hermes_bench::all_experiments();
+    if let Some(unknown) = filter.iter().find(|f| !experiments.iter().any(|(id, _, _)| id == f)) {
+        let ids: Vec<&str> = experiments.iter().map(|(id, _, _)| *id).collect();
+        eprintln!("unknown experiment `{unknown}`; available: {}", ids.join(" "));
+        std::process::exit(1);
+    }
+    for (id, title, runner) in experiments {
         if !filter.is_empty() && !filter.iter().any(|f| f == id) {
             continue;
         }

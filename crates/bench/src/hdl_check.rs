@@ -34,7 +34,7 @@ pub fn lint_vhdl(text: &str) -> Result<(), String> {
     if !text.contains("architecture rtl of") || !text.contains("end architecture rtl;") {
         return Err("architecture not closed".into());
     }
-    if count(text, "process") % 2 != 0 {
+    if !count(text, "process").is_multiple_of(2) {
         return Err("process/end process imbalance".into());
     }
     Ok(())

@@ -1,7 +1,7 @@
 //! # hermes-bench
 //!
 //! The experiment harness: one module per experiment of EXPERIMENTS.md
-//! (E1–E9), each regenerating the corresponding table. The paper itself is
+//! (E1–E10), each regenerating the corresponding table. The paper itself is
 //! a project report with architecture figures rather than result tables;
 //! each experiment therefore reproduces the *measurable claim* behind a
 //! figure or section, as mapped in DESIGN.md.
@@ -23,12 +23,16 @@ pub mod e6_boot;
 pub mod e7_usecases;
 pub mod e8_radiation;
 pub mod e9_dataflow;
+pub mod e10_chaos;
 pub mod hdl_check;
 pub mod kernels;
 pub mod table;
 
-/// Every experiment: `(id, title, runner)`.
-pub fn all_experiments() -> Vec<(&'static str, &'static str, fn() -> String)> {
+/// One experiment: `(id, title, runner)`.
+pub type Experiment = (&'static str, &'static str, fn() -> String);
+
+/// Every experiment.
+pub fn all_experiments() -> Vec<Experiment> {
     vec![
         ("e1", "HLS flow metrics (Fig. 2)", e1_hls_flow::run as fn() -> String),
         ("e2", "FPGA implementation flow (Fig. 3)", e2_fpga_flow::run),
@@ -39,5 +43,6 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, fn() -> String)> {
         ("e7", "Use-case speedups (§V)", e7_usecases::run),
         ("e8", "Radiation hardening (§I)", e8_radiation::run),
         ("e9", "Dataflow vs monolithic FSM (§II)", e9_dataflow::run),
+        ("e10", "Cross-layer chaos campaigns (§III-IV)", e10_chaos::run),
     ]
 }

@@ -9,7 +9,7 @@
 use crate::bl0;
 use crate::flash::{Flash, RedundancyMode, COPIES, LOADLIST_OFFSET};
 use crate::loadlist::{ImageKind, LoadEntry, LoadList};
-use crate::report::{BootReport, StageStatus, BOOT_REPORT_ADDR};
+use crate::report::{BootReport, StageRecord, StageStatus, BOOT_REPORT_ADDR};
 use crate::spacewire::SpaceWireLink;
 use crate::BootError;
 use hermes_fpga::bitstream::{crc32, Bitstream};
@@ -87,6 +87,10 @@ pub struct Bl1 {
     /// Cycles the started applications may run before BL1 returns
     /// (0 = load only, don't execute).
     pub app_run_budget: u64,
+    /// Golden (factory) bitstream substituted when a load-list bitstream
+    /// fails to parse or verify — the eFPGA comes up with the known-good
+    /// design instead of aborting the boot.
+    pub golden_bitstream: Option<Bitstream>,
 }
 
 impl Bl1 {
@@ -95,7 +99,14 @@ impl Bl1 {
         Bl1 {
             source,
             app_run_budget: 1_000_000,
+            golden_bitstream: None,
         }
+    }
+
+    /// Install a golden fallback bitstream (builder style).
+    pub fn with_golden_bitstream(mut self, bs: Bitstream) -> Self {
+        self.golden_bitstream = Some(bs);
+        self
     }
 
     /// Execute the full boot sequence (Fig. 5 of the paper: BL0 fetch,
@@ -168,20 +179,37 @@ impl Bl1 {
                     }
                 }
                 ImageKind::Bitstream => {
-                    let bs = Bitstream::from_bytes(&payload)?;
-                    bs.verify()?;
+                    let (bs, substituted) =
+                        match Bitstream::from_bytes(&payload).and_then(|bs| {
+                            bs.verify()?;
+                            Ok(bs)
+                        }) {
+                            Ok(bs) => (bs, false),
+                            Err(e) => match &self.golden_bitstream {
+                                Some(golden) => (golden.clone(), true),
+                                None => return Err(e.into()),
+                            },
+                        };
                     let program_cycles =
                         bs.frames.len() as u64 * costs::EFPGA_PER_FRAME;
                     report.bitstreams_programmed += 1;
+                    if substituted {
+                        report.golden_bitstream_substitutions += 1;
+                    }
+                    let detail = if substituted {
+                        format!("golden bitstream substituted ({})", bs.design_name)
+                    } else {
+                        format!("{} frames ({})", bs.frames.len(), bs.design_name)
+                    };
                     report.stage(
                         format!("program bitstream {i}"),
                         stage_cycles + program_cycles,
-                        if recovered {
+                        if recovered || substituted {
                             StageStatus::Recovered
                         } else {
                             StageStatus::Ok
                         },
-                        format!("{} frames ({})", bs.frames.len(), bs.design_name),
+                        detail,
                     );
                     bitstreams.push(bs);
                 }
@@ -295,6 +323,118 @@ impl Bl1 {
                 ))
             }
         }
+    }
+}
+
+/// Staged boot-source failover: try each configured source in order, then
+/// fall back to a safe-mode boot when none succeeds.
+///
+/// This is the degradation ladder of Section IV: primary flash boot, then
+/// the alternate source (a SpaceWire rescue link or a second flash bank),
+/// then — with every source exhausted — a safe-mode boot that brings up a
+/// minimal environment whose only job is to hold the machine-readable
+/// failure report at [`BOOT_REPORT_ADDR`] for the ground segment.
+#[derive(Debug)]
+pub struct StagedBoot {
+    sources: Vec<BootSource>,
+    /// Per-attempt application run budget (see [`Bl1::app_run_budget`]).
+    pub app_run_budget: u64,
+    /// Golden bitstream handed to each attempt.
+    pub golden_bitstream: Option<Bitstream>,
+}
+
+impl StagedBoot {
+    /// A ladder over the given sources, tried in order. Single-use: `boot`
+    /// consumes the sources.
+    pub fn new(sources: Vec<BootSource>) -> Self {
+        StagedBoot {
+            sources,
+            app_run_budget: 1_000_000,
+            golden_bitstream: None,
+        }
+    }
+
+    /// Install a golden fallback bitstream (builder style).
+    pub fn with_golden_bitstream(mut self, bs: Bitstream) -> Self {
+        self.golden_bitstream = Some(bs);
+        self
+    }
+
+    /// Run the ladder: the outcome of the first source that boots (its
+    /// report annotated with the failed attempts), or the safe-mode
+    /// outcome when every source fails. Safe mode is a *successful*
+    /// containment, so it is returned as `Ok` with
+    /// [`BootReport::safe_mode`] set and `success` false.
+    ///
+    /// # Errors
+    ///
+    /// Only infrastructure failures (e.g. the report not fitting in SRAM)
+    /// error out; boot-chain faults degrade through the ladder instead.
+    pub fn boot(&mut self) -> Result<BootOutcome, BootError> {
+        let mut failures: Vec<(&'static str, String)> = Vec::new();
+        for source in std::mem::take(&mut self.sources) {
+            let label = match &source {
+                BootSource::Flash(_) => "flash",
+                BootSource::SpaceWire(_) => "spacewire",
+            };
+            let mut bl1 = Bl1::new(source);
+            bl1.app_run_budget = self.app_run_budget;
+            bl1.golden_bitstream = self.golden_bitstream.clone();
+            match bl1.boot() {
+                Ok(mut out) => {
+                    if !failures.is_empty() {
+                        out.report.boot_source_failovers = failures.len() as u32;
+                        for (i, (src, err)) in failures.iter().enumerate() {
+                            out.report.stages.insert(
+                                i,
+                                StageRecord {
+                                    name: format!("boot-source {src}"),
+                                    cycles: 0,
+                                    status: StageStatus::Failed,
+                                    detail: err.clone(),
+                                },
+                            );
+                        }
+                        // re-deposit the annotated report
+                        out.cluster
+                            .bus
+                            .load_bytes(BOOT_REPORT_ADDR, &out.report.to_bytes())?;
+                    }
+                    return Ok(out);
+                }
+                Err(e) => failures.push((label, e.to_string())),
+            }
+        }
+        // Every source failed (or none was configured): safe-mode boot.
+        let mut report = BootReport::default();
+        for (src, err) in &failures {
+            report.stage(
+                format!("boot-source {src}"),
+                0,
+                StageStatus::Failed,
+                err.clone(),
+            );
+        }
+        report.safe_mode = true;
+        report.failure = failures
+            .last()
+            .map(|(s, e)| format!("{s}: {e}"))
+            .or_else(|| Some("no boot source configured".into()));
+        report.stage(
+            "safe-mode",
+            costs::CPU_INIT,
+            StageStatus::Recovered,
+            "minimal environment, failure report deposited",
+        );
+        let mut cluster = Cluster::new();
+        cluster
+            .bus
+            .load_bytes(BOOT_REPORT_ADDR, &report.to_bytes())?;
+        Ok(BootOutcome {
+            report,
+            cluster,
+            bitstreams: Vec::new(),
+        })
     }
 }
 
@@ -445,6 +585,83 @@ mod tests {
         let flash = b.build(&list, RedundancyMode::Tmr);
         let mut bl1 = Bl1::new(BootSource::Flash(flash));
         assert!(matches!(bl1.boot(), Err(BootError::Bitstream(_))));
+    }
+
+    #[test]
+    fn staged_boot_fails_over_to_spacewire() {
+        // Primary flash: unrecoverable (no redundancy, payload corrupted).
+        let (mut bad, list) = simple_flash(RedundancyMode::None);
+        bad.flip_bit(0, list.entries[0].offset, 0);
+        // Alternate: the same image served over SpaceWire.
+        let (good, list2) = simple_flash(RedundancyMode::Tmr);
+        let link = BootSource::spacewire_from_flash(good, &list2).unwrap();
+        let mut staged = StagedBoot::new(vec![
+            BootSource::Flash(bad),
+            BootSource::SpaceWire(link),
+        ]);
+        let out = staged.boot().unwrap();
+        assert!(out.report.success);
+        assert!(!out.report.safe_mode);
+        assert_eq!(out.report.boot_source_failovers, 1);
+        assert_eq!(out.cluster.core(0).reg(1), 77, "app ran from alternate");
+        let text = out.report.render();
+        assert!(text.contains("boot-source flash"), "failed attempt recorded");
+        // the annotated report is what sits in SRAM
+        let stored = out.cluster.bus.read_bytes(BOOT_REPORT_ADDR, 4).unwrap();
+        assert_eq!(&stored, b"HRPT");
+    }
+
+    #[test]
+    fn staged_boot_exhausts_into_safe_mode() {
+        let (mut bad1, list1) = simple_flash(RedundancyMode::None);
+        bad1.flip_bit(0, list1.entries[0].offset, 0);
+        let (mut bad2, list2) = simple_flash(RedundancyMode::None);
+        bad2.flip_bit(0, list2.entries[0].offset, 5);
+        let mut staged =
+            StagedBoot::new(vec![BootSource::Flash(bad1), BootSource::Flash(bad2)]);
+        let out = staged.boot().unwrap();
+        assert!(!out.report.success);
+        assert!(out.report.safe_mode);
+        assert!(out.report.failure.as_deref().unwrap().contains("integrity"));
+        assert!(out.bitstreams.is_empty());
+        // machine-readable failure report deposited even in safe mode
+        let stored = out.cluster.bus.read_bytes(BOOT_REPORT_ADDR, 6).unwrap();
+        assert_eq!(&stored[..4], b"HRPT");
+        assert_eq!(stored[4], 0, "success flag clear");
+        assert_eq!(stored[5], 1, "safe-mode flag set");
+    }
+
+    #[test]
+    fn golden_bitstream_substitutes_for_corrupt_one() {
+        use hermes_fpga::bitstream::Frame;
+        let golden = Bitstream {
+            device_name: "ng-ultra".into(),
+            design_name: "golden".into(),
+            frames: vec![Frame::new([1u8; 64])],
+        };
+        let bs = Bitstream {
+            device_name: "d".into(),
+            design_name: "x".into(),
+            frames: vec![Frame::new([0u8; 64])],
+        };
+        let mut bytes = bs.to_bytes();
+        let n = bytes.len();
+        bytes[n - 10] ^= 1; // corrupt a frame byte after CRC computation
+        let mut b = FlashImageBuilder::new();
+        let mut entry = b.add_data(0, &bytes);
+        entry.kind = ImageKind::Bitstream;
+        let list = LoadList {
+            entries: vec![entry],
+        };
+        let flash = b.build(&list, RedundancyMode::Tmr);
+        let mut bl1 =
+            Bl1::new(BootSource::Flash(flash)).with_golden_bitstream(golden);
+        let out = bl1.boot().unwrap();
+        assert!(out.report.success);
+        assert_eq!(out.report.golden_bitstream_substitutions, 1);
+        assert_eq!(out.bitstreams.len(), 1);
+        assert_eq!(out.bitstreams[0].design_name, "golden");
+        assert!(out.report.render().contains("golden bitstream substituted"));
     }
 
     #[test]

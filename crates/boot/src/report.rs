@@ -45,8 +45,17 @@ pub struct BootReport {
     pub images_loaded: u32,
     /// Bitstreams programmed.
     pub bitstreams_programmed: u32,
+    /// Boot attempts that failed over to an alternate boot source.
+    pub boot_source_failovers: u32,
+    /// Corrupt bitstreams replaced by the golden fallback bitstream.
+    pub golden_bitstream_substitutions: u32,
     /// Whether the whole boot succeeded.
     pub success: bool,
+    /// Whether the system came up in safe mode (no source bootable; a
+    /// minimal environment holding only the failure report).
+    pub safe_mode: bool,
+    /// Machine-readable reason for the last boot failure, when any.
+    pub failure: Option<String>,
 }
 
 impl BootReport {
@@ -73,9 +82,16 @@ impl BootReport {
 
     /// Human-readable rendering (what a BL2 would print on the UART).
     pub fn render(&self) -> String {
+        let verdict = if self.success {
+            "SUCCESS"
+        } else if self.safe_mode {
+            "SAFE-MODE"
+        } else {
+            "FAILED"
+        };
         let mut s = format!(
             "BL1 boot report: {} ({} cycles)\n",
-            if self.success { "SUCCESS" } else { "FAILED" },
+            verdict,
             self.total_cycles()
         );
         for st in &self.stages {
@@ -95,6 +111,15 @@ impl BootReport {
             self.images_loaded,
             self.bitstreams_programmed
         ));
+        if self.boot_source_failovers > 0 || self.golden_bitstream_substitutions > 0 {
+            s.push_str(&format!(
+                "  {} boot-source failover(s), {} golden bitstream substitution(s)\n",
+                self.boot_source_failovers, self.golden_bitstream_substitutions
+            ));
+        }
+        if let Some(reason) = &self.failure {
+            s.push_str(&format!("  failure: {reason}\n"));
+        }
         s
     }
 
@@ -104,12 +129,19 @@ impl BootReport {
         let mut v = Vec::new();
         v.extend_from_slice(b"HRPT");
         v.push(u8::from(self.success));
+        v.push(u8::from(self.safe_mode));
         v.extend_from_slice(&(self.stages.len() as u16).to_le_bytes());
         v.extend_from_slice(&self.total_cycles().to_le_bytes());
         v.extend_from_slice(&self.flash_corrected_bytes.to_le_bytes());
         v.extend_from_slice(&self.spw_retransmissions.to_le_bytes());
         v.extend_from_slice(&self.images_loaded.to_le_bytes());
         v.extend_from_slice(&self.bitstreams_programmed.to_le_bytes());
+        v.extend_from_slice(&self.boot_source_failovers.to_le_bytes());
+        v.extend_from_slice(&self.golden_bitstream_substitutions.to_le_bytes());
+        // machine-readable failure reason (length-prefixed UTF-8)
+        let reason = self.failure.as_deref().unwrap_or("");
+        v.extend_from_slice(&(reason.len() as u16).to_le_bytes());
+        v.extend_from_slice(reason.as_bytes());
         let crc = crc32(&v);
         v.extend_from_slice(&crc.to_le_bytes());
         v
@@ -144,5 +176,21 @@ mod tests {
         let body = &bytes[..bytes.len() - 4];
         let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
         assert_eq!(crc32(body), crc);
+    }
+
+    #[test]
+    fn safe_mode_report_carries_failure_reason() {
+        let r = BootReport {
+            safe_mode: true,
+            failure: Some("flash: integrity failure on `image 0`".into()),
+            ..BootReport::default()
+        };
+        let text = r.render();
+        assert!(text.contains("SAFE-MODE"));
+        assert!(text.contains("integrity failure"));
+        let bytes = r.to_bytes();
+        assert_eq!(bytes[5], 1, "safe-mode flag serialized");
+        let s = String::from_utf8_lossy(&bytes);
+        assert!(s.contains("integrity failure"), "reason embedded in binary");
     }
 }

@@ -17,6 +17,9 @@ pub const PACKET_PAYLOAD: usize = 256;
 /// local flash; ~0.5 byte/cycle plus per-packet overhead).
 pub const CYCLES_PER_PACKET: u64 = (PACKET_PAYLOAD as u64) * 2 + 40;
 
+/// Retransmissions allowed per corrupt packet before the fetch fails.
+pub const RETRY_BUDGET: u32 = 3;
+
 /// One link packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
@@ -47,12 +50,21 @@ impl Packet {
     }
 }
 
+/// An in-flight bit error scheduled against an object's transfers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InjectedFault {
+    object: String,
+    packet: usize,
+    bit: usize,
+    /// How many more serves of the object this fault corrupts.
+    remaining: u32,
+}
+
 /// The remote node serving boot objects over the link.
 #[derive(Debug, Clone, Default)]
 pub struct RemoteNode {
     objects: HashMap<String, Vec<u8>>,
-    /// Bit errors to inject: `(object, packet index, bit)` — consumed once.
-    faults: Vec<(String, usize, usize)>,
+    faults: Vec<InjectedFault>,
 }
 
 impl RemoteNode {
@@ -66,10 +78,38 @@ impl RemoteNode {
         self.objects.insert(name.into(), data);
     }
 
+    /// Names of all published objects.
+    pub fn object_names(&self) -> Vec<String> {
+        self.objects.keys().cloned().collect()
+    }
+
     /// Inject a single bit error into packet `packet` of the next transfer
-    /// of `object`.
+    /// of `object` (corrupts exactly one serve).
     pub fn inject_fault(&mut self, object: impl Into<String>, packet: usize, bit: usize) {
-        self.faults.push((object.into(), packet, bit));
+        self.inject_persistent_fault(object, packet, bit, 1);
+    }
+
+    /// Inject a bit error that corrupts packet `packet` of the next
+    /// `repeats` consecutive serves of `object` — a noisy-link model that
+    /// lets tests probe the retransmission budget: a fetch serves the
+    /// object once plus up to 3 retries, so `repeats <= 3` recovers and
+    /// `repeats >= 4` exhausts the budget.
+    pub fn inject_persistent_fault(
+        &mut self,
+        object: impl Into<String>,
+        packet: usize,
+        bit: usize,
+        repeats: u32,
+    ) {
+        if repeats == 0 {
+            return;
+        }
+        self.faults.push(InjectedFault {
+            object: object.into(),
+            packet,
+            bit,
+            remaining: repeats,
+        });
     }
 
     fn serve(&mut self, name: &str) -> Option<Vec<Packet>> {
@@ -80,22 +120,17 @@ impl RemoteNode {
             .map(|(i, chunk)| Packet::new(0, i as u16, chunk.to_vec()))
             .collect();
         // apply any injected faults for this object (post-CRC: corruption
-        // in flight)
-        let faults: Vec<(usize, usize)> = self
-            .faults
-            .iter()
-            .filter(|(o, _, _)| o == name)
-            .map(|(_, p, b)| (*p, *b))
-            .collect();
-        self.faults.retain(|(o, _, _)| o != name);
-        for (p, bit) in faults {
-            if let Some(pkt) = packets.get_mut(p) {
-                let byte = bit / 8;
+        // in flight), each persisting for its remaining serve count
+        for fault in self.faults.iter_mut().filter(|f| f.object == name) {
+            fault.remaining -= 1;
+            if let Some(pkt) = packets.get_mut(fault.packet) {
+                let byte = fault.bit / 8;
                 if byte < pkt.payload.len() {
-                    pkt.payload[byte] ^= 1 << (bit % 8);
+                    pkt.payload[byte] ^= 1 << (fault.bit % 8);
                 }
             }
         }
+        self.faults.retain(|f| f.remaining > 0);
         Some(packets)
     }
 }
@@ -122,7 +157,7 @@ impl SpaceWireLink {
     }
 
     /// Fetch a named object, verifying per-packet CRCs and retransmitting
-    /// corrupt packets (up to 3 attempts each).
+    /// corrupt packets (up to [`RETRY_BUDGET`] attempts each).
     ///
     /// # Errors
     ///
@@ -144,7 +179,7 @@ impl SpaceWireLink {
             }
             // retransmission loop: re-serve the object, take packet i
             let mut repaired = false;
-            for _ in 0..3 {
+            for _ in 0..RETRY_BUDGET {
                 self.retransmissions += 1;
                 self.cycles += CYCLES_PER_PACKET;
                 let again = self.remote.serve(name).ok_or_else(|| BootError::SpaceWire {
@@ -193,6 +228,48 @@ mod tests {
         let got = link.fetch("img").unwrap();
         assert_eq!(got, vec![7u8; 600]);
         assert!(link.retransmissions >= 1);
+    }
+
+    #[test]
+    fn corruption_just_under_budget_recovers() {
+        // The first serve plus `RETRY_BUDGET` retries are available; a
+        // fault persisting for exactly RETRY_BUDGET serves leaves the last
+        // retry clean.
+        let mut remote = RemoteNode::new();
+        remote.publish("img", vec![3u8; 700]);
+        remote.inject_persistent_fault("img", 2, 5, RETRY_BUDGET);
+        let mut link = SpaceWireLink::new(remote);
+        let got = link.fetch("img").unwrap();
+        assert_eq!(got, vec![3u8; 700]);
+        assert_eq!(link.retransmissions, u64::from(RETRY_BUDGET));
+    }
+
+    #[test]
+    fn corruption_beyond_budget_is_unrecoverable() {
+        let mut remote = RemoteNode::new();
+        remote.publish("img", vec![3u8; 700]);
+        remote.inject_persistent_fault("img", 2, 5, RETRY_BUDGET + 1);
+        let mut link = SpaceWireLink::new(remote);
+        let err = link.fetch("img").unwrap_err();
+        match err {
+            BootError::SpaceWire { detail } => {
+                assert!(detail.contains("unrecoverable"), "got: {detail}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        assert_eq!(link.retransmissions, u64::from(RETRY_BUDGET));
+    }
+
+    #[test]
+    fn persistent_faults_on_different_packets_are_independent() {
+        let mut remote = RemoteNode::new();
+        remote.publish("img", vec![9u8; 1024]);
+        remote.inject_persistent_fault("img", 0, 3, 2);
+        remote.inject_persistent_fault("img", 3, 7, 1);
+        let mut link = SpaceWireLink::new(remote);
+        let got = link.fetch("img").unwrap();
+        assert_eq!(got, vec![9u8; 1024]);
+        assert!(link.retransmissions >= 2);
     }
 
     #[test]

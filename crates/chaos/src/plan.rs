@@ -1,0 +1,310 @@
+//! The fault plane: a deterministic, seeded schedule of faults keyed by
+//! cycle and subsystem.
+//!
+//! A [`FaultPlan`] is generated once from a seed and a [`FaultPlanConfig`]
+//! (per-subsystem intensities over a campaign duration) and then *consumed*
+//! by a scenario driver: faults scheduled at or before the current cycle
+//! are drained and applied to the matching layer. Two runs with the same
+//! seed and config produce byte-identical schedules, so every chaos
+//! campaign is replayable.
+
+use hermes_rtl::rng::DetRng;
+
+/// The subsystem a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Subsystem {
+    /// The AXI interconnect / slave memory.
+    Axi,
+    /// The redundant boot flash.
+    Flash,
+    /// The SpaceWire boot link.
+    SpaceWire,
+    /// Partition memory at hypervisor run time.
+    PartitionMemory,
+    /// Native partition tasks.
+    Task,
+}
+
+/// One concrete fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The AXI slave answers the next read burst with SLVERR.
+    AxiReadSlvErr,
+    /// The AXI slave answers the next write burst with SLVERR.
+    AxiWriteSlvErr,
+    /// The AXI slave stalls (no beats, no responses) for `cycles`.
+    AxiStall {
+        /// Stall length in bus cycles.
+        cycles: u32,
+    },
+    /// One bit of one flash copy rots.
+    FlashBitRot {
+        /// Which redundant copy (0..COPIES).
+        copy: u8,
+        /// Normalized byte position in `[0, 2^16)`, scaled to flash size.
+        pos_num: u16,
+        /// Bit within the byte.
+        bit: u8,
+    },
+    /// A whole 256-byte flash page of one copy reads as 0xFF (stuck erase).
+    FlashStuckPage {
+        /// Which redundant copy.
+        copy: u8,
+        /// Normalized page position in `[0, 2^16)`, scaled to page count.
+        pos_num: u16,
+    },
+    /// A SpaceWire packet of the next transfer is corrupted in flight
+    /// `repeats` consecutive times (beyond-CRC corruption persistence).
+    SpwCorrupt {
+        /// Packet index within the transfer.
+        packet: u8,
+        /// Bit to flip within the packet payload.
+        bit: u16,
+        /// How many consecutive serves are corrupted.
+        repeats: u8,
+    },
+    /// An SEU strikes partition memory.
+    Seu {
+        /// Normalized address in `[0, 2^16)`, scaled to the region size.
+        pos_num: u16,
+        /// Bit within the byte.
+        bit: u8,
+    },
+    /// The native task of the targeted partition panics (returns an error)
+    /// at its next activation.
+    TaskPanic,
+}
+
+impl FaultKind {
+    /// The subsystem this fault targets.
+    pub fn subsystem(self) -> Subsystem {
+        match self {
+            FaultKind::AxiReadSlvErr | FaultKind::AxiWriteSlvErr | FaultKind::AxiStall { .. } => {
+                Subsystem::Axi
+            }
+            FaultKind::FlashBitRot { .. } | FaultKind::FlashStuckPage { .. } => Subsystem::Flash,
+            FaultKind::SpwCorrupt { .. } => Subsystem::SpaceWire,
+            FaultKind::Seu { .. } => Subsystem::PartitionMemory,
+            FaultKind::TaskPanic => Subsystem::Task,
+        }
+    }
+}
+
+/// A scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Campaign cycle at which the fault strikes.
+    pub cycle: u64,
+    /// The fault.
+    pub kind: FaultKind,
+}
+
+/// Fault intensities for plan generation (counts over the duration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlanConfig {
+    /// Campaign length in cycles.
+    pub duration: u64,
+    /// AXI SLVERR count (split between read and write paths).
+    pub axi_slverrs: u32,
+    /// AXI stall count.
+    pub axi_stalls: u32,
+    /// Maximum single stall length in cycles.
+    pub axi_stall_max: u32,
+    /// Flash bit-rot count.
+    pub flash_bitrot: u32,
+    /// Flash stuck-page count.
+    pub flash_stuck_pages: u32,
+    /// SpaceWire corruption count.
+    pub spw_corruptions: u32,
+    /// Maximum persistence of a SpaceWire corruption (consecutive serves).
+    pub spw_max_repeats: u8,
+    /// SEU count in partition memory.
+    pub seus: u32,
+    /// Native-task panic count.
+    pub task_panics: u32,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            duration: 100_000,
+            axi_slverrs: 4,
+            axi_stalls: 2,
+            axi_stall_max: 200,
+            flash_bitrot: 32,
+            flash_stuck_pages: 1,
+            spw_corruptions: 2,
+            spw_max_repeats: 3,
+            seus: 16,
+            task_panics: 2,
+        }
+    }
+}
+
+/// A deterministic schedule of faults, sorted by cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    cursor: usize,
+    /// The seed the plan was generated from (for reports).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Generate a plan from a seed and a config.
+    pub fn generate(seed: u64, cfg: &FaultPlanConfig) -> Self {
+        let mut rng = DetRng::new(seed);
+        let mut events = Vec::new();
+        let dur = cfg.duration.max(1);
+        let at = |rng: &mut DetRng| rng.below(dur);
+        for i in 0..cfg.axi_slverrs {
+            let kind = if i % 2 == 0 {
+                FaultKind::AxiReadSlvErr
+            } else {
+                FaultKind::AxiWriteSlvErr
+            };
+            events.push(FaultEvent { cycle: at(&mut rng), kind });
+        }
+        for _ in 0..cfg.axi_stalls {
+            let cycles = rng.range_u64(1, u64::from(cfg.axi_stall_max.max(2))) as u32;
+            events.push(FaultEvent {
+                cycle: at(&mut rng),
+                kind: FaultKind::AxiStall { cycles },
+            });
+        }
+        for _ in 0..cfg.flash_bitrot {
+            events.push(FaultEvent {
+                cycle: at(&mut rng),
+                kind: FaultKind::FlashBitRot {
+                    copy: rng.below(3) as u8,
+                    pos_num: rng.below(1 << 16) as u16,
+                    bit: rng.below(8) as u8,
+                },
+            });
+        }
+        for _ in 0..cfg.flash_stuck_pages {
+            events.push(FaultEvent {
+                cycle: at(&mut rng),
+                kind: FaultKind::FlashStuckPage {
+                    copy: rng.below(3) as u8,
+                    pos_num: rng.below(1 << 16) as u16,
+                },
+            });
+        }
+        for _ in 0..cfg.spw_corruptions {
+            events.push(FaultEvent {
+                cycle: at(&mut rng),
+                kind: FaultKind::SpwCorrupt {
+                    packet: rng.below(4) as u8,
+                    bit: rng.below(8 * 256) as u16,
+                    repeats: rng.range_u64(1, u64::from(cfg.spw_max_repeats.max(1)) + 1) as u8,
+                },
+            });
+        }
+        for _ in 0..cfg.seus {
+            events.push(FaultEvent {
+                cycle: at(&mut rng),
+                kind: FaultKind::Seu {
+                    pos_num: rng.below(1 << 16) as u16,
+                    bit: rng.below(8) as u8,
+                },
+            });
+        }
+        for _ in 0..cfg.task_panics {
+            events.push(FaultEvent {
+                cycle: at(&mut rng),
+                kind: FaultKind::TaskPanic,
+            });
+        }
+        events.sort_by_key(|e| e.cycle);
+        FaultPlan {
+            events,
+            cursor: 0,
+            seed,
+        }
+    }
+
+    /// All scheduled events (consumed or not).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events targeting a subsystem.
+    pub fn count(&self, subsystem: Subsystem) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind.subsystem() == subsystem)
+            .count()
+    }
+
+    /// Drain every event scheduled at or before `cycle` (in order). Each
+    /// event is returned exactly once across the plan's lifetime.
+    pub fn drain_until(&mut self, cycle: u64) -> Vec<FaultEvent> {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].cycle <= cycle {
+            self.cursor += 1;
+        }
+        self.events[start..self.cursor].to_vec()
+    }
+
+    /// Whether every event has been drained.
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+
+    /// Map a normalized 16-bit position onto `[0, size)`.
+    pub fn scale(pos_num: u16, size: u64) -> u64 {
+        (u64::from(pos_num) * size) >> 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let cfg = FaultPlanConfig::default();
+        let a = FaultPlan::generate(5, &cfg);
+        let b = FaultPlan::generate(5, &cfg);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(6, &cfg);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn plan_is_sorted_and_complete() {
+        let cfg = FaultPlanConfig::default();
+        let plan = FaultPlan::generate(1, &cfg);
+        assert!(plan.events().windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        let want = (cfg.axi_slverrs
+            + cfg.axi_stalls
+            + cfg.flash_bitrot
+            + cfg.flash_stuck_pages
+            + cfg.spw_corruptions
+            + cfg.seus
+            + cfg.task_panics) as usize;
+        assert_eq!(plan.events().len(), want);
+        assert_eq!(plan.count(Subsystem::Flash), (cfg.flash_bitrot + cfg.flash_stuck_pages) as usize);
+    }
+
+    #[test]
+    fn drain_returns_each_event_once() {
+        let mut plan = FaultPlan::generate(9, &FaultPlanConfig::default());
+        let total = plan.events().len();
+        let mut seen = 0;
+        for t in (0..=100_000u64).step_by(1000) {
+            seen += plan.drain_until(t).len();
+        }
+        assert_eq!(seen, total);
+        assert!(plan.exhausted());
+        assert!(plan.drain_until(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn scale_maps_into_range() {
+        assert_eq!(FaultPlan::scale(0, 100), 0);
+        assert!(FaultPlan::scale(u16::MAX, 100) < 100);
+        assert_eq!(FaultPlan::scale(1 << 15, 1 << 16), 1 << 15);
+    }
+}

@@ -31,9 +31,11 @@ impl AcceleratorArtifact {
     /// The NXmap backend synthesis script for this accelerator (the script
     /// hand-off artifact of the paper's Bambu/NXmap integration).
     pub fn nxmap_script(&self, device: &DeviceProfile) -> String {
-        let mut options = FlowOptions::default();
-        options.target_period_ns = self.design.clock_ns();
-        options.multicycle = self.design.multicycle_hints();
+        let options = FlowOptions {
+            target_period_ns: self.design.clock_ns(),
+            multicycle: self.design.multicycle_hints(),
+            ..FlowOptions::default()
+        };
         hermes_fpga::flow::nxmap_script(
             self.design.name(),
             &format!("{}.v", self.design.name()),

@@ -169,7 +169,7 @@ mod tests {
         let mut cluster = Cluster::new();
         // each core sums its hartid+1 .. stored in its own TCM
         for core in 0..CORE_COUNT {
-            let prog = assemble(&format!(
+            let prog = assemble(
                 r#"
                 csrr r1, 6        ; hartid
                 addi r1, r1, 1
@@ -177,7 +177,7 @@ mod tests {
                 sw   r2, 0x80(r0) ; TCM-relative via base reg
                 halt
                 "#,
-            ))
+            )
             .unwrap();
             let base = layout::TCM_BASE + core as u32 * layout::TCM_STRIDE;
             cluster.load_program(core, base, &prog).unwrap();

@@ -194,7 +194,7 @@ impl Hart {
         self.cycles += 1;
 
         // fetch
-        if self.pc % 4 != 0 {
+        if !self.pc.is_multiple_of(4) {
             return Ok(self.trap(TrapCause::Unaligned));
         }
         if !self.mpu.check(self.privilege, Access::Execute, self.pc, 4) {
@@ -239,7 +239,7 @@ impl Hart {
             Instr::Load { kind, rd, rs1, imm } => {
                 let addr = self.reg(rs1).wrapping_add(imm as i32 as u32);
                 let size = kind.bytes();
-                if addr % size != 0 {
+                if !addr.is_multiple_of(size) {
                     return Ok(self.trap(TrapCause::Unaligned));
                 }
                 if !self.mpu.check(self.privilege, Access::Read, addr, size) {
@@ -259,7 +259,7 @@ impl Hart {
             Instr::Store { kind, rd, rs1, imm } => {
                 let addr = self.reg(rs1).wrapping_add(imm as i32 as u32);
                 let size = kind.bytes();
-                if addr % size != 0 {
+                if !addr.is_multiple_of(size) {
                     return Ok(self.trap(TrapCause::Unaligned));
                 }
                 if !self.mpu.check(self.privilege, Access::Write, addr, size) {

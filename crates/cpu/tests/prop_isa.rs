@@ -1,10 +1,11 @@
 //! Property tests: ALU semantics of the hart against plain `i32`/`u32`
-//! Rust arithmetic, and assembler round-trips under random operands.
+//! Rust arithmetic, and assembler round-trips under seeded random
+//! operands (deterministic `DetRng` loops — no external dependencies).
 
 use hermes_cpu::cluster::Cluster;
 use hermes_cpu::isa::assemble;
 use hermes_cpu::memmap::layout;
-use proptest::prelude::*;
+use hermes_rtl::rng::DetRng;
 
 /// Run a tiny program that computes `r3 = r1 <op> r2` and halts.
 fn run_alu(op: &str, a: u32, b: u32) -> u32 {
@@ -30,47 +31,68 @@ fn run_alu(op: &str, a: u32, b: u32) -> u32 {
     cl.core(0).reg(3)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn alu_matches_rust_semantics(a in any::<u32>(), b in any::<u32>()) {
-        prop_assert_eq!(run_alu("add", a, b), a.wrapping_add(b));
-        prop_assert_eq!(run_alu("sub", a, b), a.wrapping_sub(b));
-        prop_assert_eq!(run_alu("mul", a, b), a.wrapping_mul(b));
-        prop_assert_eq!(run_alu("and", a, b), a & b);
-        prop_assert_eq!(run_alu("or", a, b), a | b);
-        prop_assert_eq!(run_alu("xor", a, b), a ^ b);
-        prop_assert_eq!(run_alu("shl", a, b), a.wrapping_shl(b & 31));
-        prop_assert_eq!(run_alu("shr", a, b), a.wrapping_shr(b & 31));
-        prop_assert_eq!(run_alu("sra", a, b), ((a as i32).wrapping_shr(b & 31)) as u32);
-        prop_assert_eq!(run_alu("slt", a, b), u32::from((a as i32) < (b as i32)));
-        prop_assert_eq!(run_alu("sltu", a, b), u32::from(a < b));
-        let div_expect = if b == 0 { u32::MAX } else { (a as i32).wrapping_div(b as i32) as u32 };
-        prop_assert_eq!(run_alu("div", a, b), div_expect);
-        let rem_expect = if b == 0 { a } else { (a as i32).wrapping_rem(b as i32) as u32 };
-        prop_assert_eq!(run_alu("rem", a, b), rem_expect);
+#[test]
+fn alu_matches_rust_semantics() {
+    let mut rng = DetRng::new(0x15A1);
+    for _ in 0..48 {
+        let (a, b) = (rng.next_u32(), rng.next_u32());
+        assert_eq!(run_alu("add", a, b), a.wrapping_add(b));
+        assert_eq!(run_alu("sub", a, b), a.wrapping_sub(b));
+        assert_eq!(run_alu("mul", a, b), a.wrapping_mul(b));
+        assert_eq!(run_alu("and", a, b), a & b);
+        assert_eq!(run_alu("or", a, b), a | b);
+        assert_eq!(run_alu("xor", a, b), a ^ b);
+        assert_eq!(run_alu("shl", a, b), a.wrapping_shl(b & 31));
+        assert_eq!(run_alu("shr", a, b), a.wrapping_shr(b & 31));
+        assert_eq!(run_alu("sra", a, b), ((a as i32).wrapping_shr(b & 31)) as u32);
+        assert_eq!(run_alu("slt", a, b), u32::from((a as i32) < (b as i32)));
+        assert_eq!(run_alu("sltu", a, b), u32::from(a < b));
+        let div_expect = if b == 0 {
+            u32::MAX
+        } else {
+            (a as i32).wrapping_div(b as i32) as u32
+        };
+        assert_eq!(run_alu("div", a, b), div_expect);
+        let rem_expect = if b == 0 {
+            a
+        } else {
+            (a as i32).wrapping_rem(b as i32) as u32
+        };
+        assert_eq!(run_alu("rem", a, b), rem_expect);
     }
+}
 
-    /// `lui`+`ori` materializes any 32-bit constant exactly.
-    #[test]
-    fn constant_materialization(v in any::<u32>()) {
+/// `lui`+`ori` materializes any 32-bit constant exactly.
+#[test]
+fn constant_materialization() {
+    let mut rng = DetRng::new(0x15A2);
+    for case in 0..48 {
+        let v = match case {
+            0 => 0,
+            1 => u32::MAX,
+            _ => rng.next_u32(),
+        };
         let prog = assemble(&format!(
             "lui r5, {}\nori r5, r5, {}\nhalt",
             v >> 16,
             v & 0xFFFF
-        )).expect("assembles");
+        ))
+        .expect("assembles");
         let mut cl = Cluster::new();
         cl.load_program(0, layout::SRAM_BASE, &prog).expect("load");
         cl.start_core(0, layout::SRAM_BASE);
         cl.run(10).expect("run");
-        prop_assert_eq!(cl.core(0).reg(5), v);
+        assert_eq!(cl.core(0).reg(5), v, "constant {v:#x}");
     }
+}
 
-    /// Memory loads reproduce stored values for every width/sign variant.
-    #[test]
-    fn load_store_widths(v in any::<u32>(), off in 0u32..64) {
-        let off = off * 4;
+/// Memory loads reproduce stored values for every width/sign variant.
+#[test]
+fn load_store_widths() {
+    let mut rng = DetRng::new(0x15A3);
+    for _ in 0..48 {
+        let v = rng.next_u32();
+        let off = (rng.below(64) as u32) * 4;
         let prog = assemble(&format!(
             r#"
             lui  r1, {sram}
@@ -87,16 +109,17 @@ proptest! {
             sram = layout::SRAM_BASE >> 16,
             hi = v >> 16,
             lo = v & 0xFFFF,
-        )).expect("assembles");
+        ))
+        .expect("assembles");
         let mut cl = Cluster::new();
         cl.load_program(0, layout::DDR_BASE, &prog).expect("load");
         cl.start_core(0, layout::DDR_BASE);
         cl.run(50).expect("run");
         let h = cl.core(0);
-        prop_assert_eq!(h.reg(3), v);
-        prop_assert_eq!(h.reg(4), v & 0xFFFF);
-        prop_assert_eq!(h.reg(5), v & 0xFF);
-        prop_assert_eq!(h.reg(6), (v as u16) as i16 as i32 as u32);
-        prop_assert_eq!(h.reg(7), (v as u8) as i8 as i32 as u32);
+        assert_eq!(h.reg(3), v);
+        assert_eq!(h.reg(4), v & 0xFFFF);
+        assert_eq!(h.reg(5), v & 0xFF);
+        assert_eq!(h.reg(6), (v as u16) as i16 as i32 as u32);
+        assert_eq!(h.reg(7), (v as u8) as i8 as i32 as u32);
     }
 }

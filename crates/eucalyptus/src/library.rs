@@ -108,10 +108,8 @@ impl CharacterizationLibrary {
             if k.kind != kind || k.stages != stages {
                 continue;
             }
-            if k.width >= width {
-                if best_above.map(|(bk, _)| k.width < bk.width).unwrap_or(true) {
-                    best_above = Some((k, e));
-                }
+            if k.width >= width && best_above.map(|(bk, _)| k.width < bk.width).unwrap_or(true) {
+                best_above = Some((k, e));
             }
             if widest.map(|(wk, _)| k.width > wk.width).unwrap_or(true) {
                 widest = Some((k, e));

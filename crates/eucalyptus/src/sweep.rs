@@ -121,7 +121,7 @@ impl Eucalyptus {
                             rams: base.rams,
                         }
                     };
-                    lib.insert(&template.kind.mnemonic().to_string(), width, stages, entry);
+                    lib.insert(template.kind.mnemonic(), width, stages, entry);
                 }
             }
         }

@@ -9,8 +9,7 @@
 use crate::device::DeviceProfile;
 use crate::primitives::{PCellId, PNetId, PrimNetlist, Primitive};
 use crate::FpgaError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hermes_rtl::rng::DetRng;
 use std::collections::HashMap;
 
 /// A placed design: one `(x, y)` site per primitive cell.
@@ -100,7 +99,7 @@ impl Placer {
     /// Returns [`FpgaError::ResourceOverflow`] if any site class runs out of
     /// candidate locations.
     pub fn place(&self, prim: &PrimNetlist) -> Result<Placement, FpgaError> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::new(self.seed);
         let classes: Vec<SiteClass> = prim
             .cells()
             .map(|(_, c)| match c.prim {
@@ -208,7 +207,7 @@ impl Placer {
                 let win = ((max_dim * (temp / temp0).min(1.0)) as i32).max(2);
                 for _ in 0..moves_per_temp.min(total_moves - done) {
                     moves_tried += 1;
-                    let cell = movable[rng.gen_range(0..movable.len())];
+                    let cell = movable[rng.below(movable.len() as u64) as usize];
                     let old_site = locations[cell as usize];
                     let new_site = self.windowed_site(&mut rng, old_site, win, &logic_sites);
                     if new_site == old_site {
@@ -226,7 +225,7 @@ impl Placer {
                         .map(|&i| net_hpwl(&locations, &nets[i].1))
                         .sum();
                     let delta = after - before;
-                    let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
+                    let accept = delta <= 0.0 || rng.next_f64() < (-delta / temp).exp();
                     if accept {
                         cost += delta;
                         moves_accepted += 1;
@@ -267,7 +266,7 @@ impl Placer {
     /// a uniformly random logic site when the window holds none).
     fn windowed_site(
         &self,
-        rng: &mut StdRng,
+        rng: &mut DetRng,
         from: (u16, u16),
         win: i32,
         logic_sites: &[(u16, u16)],
@@ -275,13 +274,13 @@ impl Placer {
         let cols = self.device.grid_cols as i32;
         let rows = self.device.grid_rows as i32;
         for _ in 0..8 {
-            let x = (i32::from(from.0) + rng.gen_range(-win..=win)).clamp(1, cols - 2);
-            let y = (i32::from(from.1) + rng.gen_range(-win..=win)).clamp(1, rows - 2);
+            let x = (i32::from(from.0) + rng.range_i64(-i64::from(win), i64::from(win)) as i32).clamp(1, cols - 2);
+            let y = (i32::from(from.1) + rng.range_i64(-i64::from(win), i64::from(win)) as i32).clamp(1, rows - 2);
             if !self.device.is_dsp_column(x as u32) && !self.device.is_ram_column(x as u32) {
                 return (x as u16, y as u16);
             }
         }
-        logic_sites[rng.gen_range(0..logic_sites.len())]
+        logic_sites[rng.below(logic_sites.len() as u64) as usize]
     }
 
     /// Spread logic cells so no tile exceeds its LUT capacity.

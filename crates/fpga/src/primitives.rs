@@ -308,7 +308,7 @@ mod tests {
                     assert_eq!(eval(SUM3, &[a, b, c]), a ^ b ^ c);
                     assert_eq!(
                         eval(MAJ3, &[a, b, c]),
-                        (a && b) || (a && c) || (b && c),
+                        (c || b) && a || (b && c),
                         "maj({a},{b},{c})"
                     );
                     assert_eq!(eval(MUX21, &[a, b, c]), if c { b } else { a });

@@ -88,7 +88,8 @@ impl Router {
         let mut demand = vec![0.0f64; cols * rows];
 
         let mut total_wl = 0.0;
-        let mut bboxes: Vec<(PNetId, usize, (u16, u16, u16, u16))> = Vec::new();
+        type NetBbox = (PNetId, usize, (u16, u16, u16, u16));
+        let mut bboxes: Vec<NetBbox> = Vec::new();
         for (net, pins) in &net_pins {
             if pins.len() < 2 {
                 continue;

@@ -372,7 +372,7 @@ impl Synthesizer {
             CellOp::Mux => {
                 let sel = in_bits[0][0];
                 let outs = ctx.bits[&cell.outputs[0]].clone();
-                for i in 0..out_w {
+                for (i, &out) in outs.iter().enumerate().take(out_w) {
                     let a = in_bits[1].get(i).copied().unwrap_or_else(|| ctx.const_bit(false));
                     let b = in_bits[2].get(i).copied().unwrap_or_else(|| ctx.const_bit(false));
                     ctx.prim.add(
@@ -382,7 +382,7 @@ impl Synthesizer {
                             used_inputs: 3,
                         },
                         vec![a, b, sel],
-                        vec![outs[i]],
+                        vec![out],
                         &name,
                     );
                 }

@@ -457,13 +457,9 @@ pub fn generate(
                                 let cap_src =
                                     gen.nl.add_net(format!("b{bi}_i{ii}_ld"), ew);
                                 let e = ram_ports.entry((array.0, port)).or_default();
-                                // connect after RAM instantiation
-                                if e.rdata.is_none() {
-                                    e.rdata = Some(cap_src);
-                                } else {
-                                    // share the port read net
-                                    let shared = e.rdata.expect("set above");
-                                    // capture from shared net instead
+                                // connect after RAM instantiation;
+                                // share the port read net if one exists
+                                if let Some(shared) = e.rdata {
                                     let reg = binding.reg_of_temp[&dst];
                                     gen.reg_writers
                                         .entry(reg)
@@ -471,6 +467,7 @@ pub fn generate(
                                         .push((finish, shared));
                                     continue;
                                 }
+                                e.rdata = Some(cap_src);
                                 let reg = binding.reg_of_temp[&dst];
                                 gen.reg_writers
                                     .entry(reg)

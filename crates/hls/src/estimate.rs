@@ -84,7 +84,6 @@ pub fn estimate(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::flow::HlsFlow;
 
     #[test]

@@ -688,8 +688,8 @@ impl<'p> Lowerer<'p> {
                 let (b, bty) = self.lower_expr(rhs)?;
                 let (a, b, opty) = match op {
                     BinOp::LogAnd | BinOp::LogOr => {
-                        let a = self.to_bool(a, aty, *loc);
-                        let b = self.to_bool(b, bty, *loc);
+                        let a = self.coerce_to_bool(a, aty, *loc);
+                        let b = self.coerce_to_bool(b, bty, *loc);
                         (a, b, IntType::BOOL)
                     }
                     BinOp::Shl | BinOp::Shr => (a, b, aty),
@@ -724,7 +724,7 @@ impl<'p> Lowerer<'p> {
                     _ => aty,
                 };
                 let a = if matches!(op, UnOp::LogNot) {
-                    self.to_bool(a, aty, *loc)
+                    self.coerce_to_bool(a, aty, *loc)
                 } else {
                     a
                 };
@@ -755,7 +755,7 @@ impl<'p> Lowerer<'p> {
         }
     }
 
-    fn to_bool(&mut self, v: Operand, ty: IntType, loc: Loc) -> Operand {
+    fn coerce_to_bool(&mut self, v: Operand, ty: IntType, loc: Loc) -> Operand {
         if ty == IntType::BOOL {
             return v;
         }

@@ -432,10 +432,7 @@ impl Parser {
 
     fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, HlsError> {
         let mut lhs = self.unary_expr()?;
-        loop {
-            let Some((op, prec)) = self.peek_binop() else {
-                break;
-            };
+        while let Some((op, prec)) = self.peek_binop() {
             if prec < min_prec {
                 break;
             }

@@ -280,6 +280,9 @@ fn schedule_block(
         if let Some(kind) = kind {
             let limit = alloc.limit(kind);
             let mut guard = 0;
+            // `start` is re-read on each 'search restart, so mutating it
+            // inside the range-driven scan below is intentional
+            #[allow(clippy::mut_range_bound)]
             'search: loop {
                 for c in start..start + occupied {
                     if usage.get(&(kind, c)).copied().unwrap_or(0) >= limit {

@@ -81,7 +81,7 @@ pub fn decode(code: u64) -> Decode {
             syndrome |= p;
         }
     }
-    let overall_ok = code.count_ones() % 2 == 0;
+    let overall_ok = code.count_ones().is_multiple_of(2);
     let extract = |code: u64| -> u32 {
         let positions = data_positions();
         let mut data = 0u32;

@@ -28,16 +28,12 @@ impl Scrubber {
     /// Whether a pass is due at `now`; advances the schedule when it is.
     pub fn due(&mut self, now: u64) -> bool {
         match self.interval {
-            None => false,
-            Some(iv) => {
-                if now.saturating_sub(self.last_pass) >= iv {
-                    self.last_pass = now;
-                    self.passes += 1;
-                    true
-                } else {
-                    false
-                }
+            Some(iv) if now.saturating_sub(self.last_pass) >= iv => {
+                self.last_pass = now;
+                self.passes += 1;
+                true
             }
+            _ => false,
         }
     }
 }

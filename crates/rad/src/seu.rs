@@ -5,8 +5,7 @@
 //! `(time, bit)` pairs are replayed against each memory, scaled to its
 //! storage size.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hermes_rtl::rng::DetRng;
 
 /// One upset event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,14 +28,14 @@ impl Upset {
 /// A deterministic upset-sequence generator.
 #[derive(Debug, Clone)]
 pub struct SeuEnvironment {
-    rng: StdRng,
+    rng: DetRng,
 }
 
 impl SeuEnvironment {
     /// Seeded environment.
     pub fn new(seed: u64) -> Self {
         SeuEnvironment {
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::new(seed),
         }
     }
 
@@ -45,8 +44,8 @@ impl SeuEnvironment {
         const DEN: u64 = 1 << 48;
         let mut upsets: Vec<Upset> = (0..count)
             .map(|_| Upset {
-                time: self.rng.gen_range(0..duration.max(1)),
-                position_num: self.rng.gen_range(0..DEN),
+                time: self.rng.below(duration.max(1)),
+                position_num: self.rng.below(DEN),
                 position_den: DEN,
             })
             .collect();

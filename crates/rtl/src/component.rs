@@ -264,12 +264,8 @@ impl ComponentTemplate {
             Subtractor => m(inputs[0]).wrapping_sub(m(inputs[1])),
             Multiplier => m(inputs[0]).wrapping_mul(m(inputs[1])),
             Divider => {
-                let d = m(inputs[1]);
-                if d == 0 {
-                    u64::MAX
-                } else {
-                    m(inputs[0]) / d
-                }
+                // division by zero yields all-ones, matching the RTL model
+                m(inputs[0]).checked_div(m(inputs[1])).unwrap_or(u64::MAX)
             }
             Modulo => {
                 let d = m(inputs[1]);

@@ -39,6 +39,7 @@
 
 pub mod component;
 pub mod netlist;
+pub mod rng;
 pub mod sim;
 pub mod verilog;
 pub mod vhdl;

@@ -319,14 +319,8 @@ impl<'n> Simulator<'n> {
                 CellOp::Add => get(0).wrapping_add(get(1)),
                 CellOp::Sub => get(0).wrapping_sub(get(1)),
                 CellOp::Mul => get(0).wrapping_mul(get(1)),
-                CellOp::Div => {
-                    let d = get(1);
-                    if d == 0 {
-                        u64::MAX
-                    } else {
-                        get(0) / d
-                    }
-                }
+                // division by zero yields all-ones, matching the component model
+                CellOp::Div => get(0).checked_div(get(1)).unwrap_or(u64::MAX),
                 CellOp::Mod => {
                     let d = get(1);
                     if d == 0 {

@@ -65,6 +65,18 @@ pub struct PartitionConfig {
     /// Whether this is a system partition (may issue management
     /// hypercalls such as halting other partitions).
     pub system: bool,
+    /// Per-partition watchdog window in cycles: the partition must show
+    /// liveness (a successful activation or a hypercall) at least this
+    /// often, or the health monitor receives a
+    /// [`HmEvent::WatchdogExpiry`]. `None` disables the watchdog.
+    pub watchdog_cycles: Option<u64>,
+    /// Health-monitor escalation threshold: once the partition has been
+    /// restarted this many times, a further `RestartPartition` action is
+    /// promoted to `HaltPartition`. `None` allows unlimited restarts.
+    pub restart_limit: Option<u32>,
+    /// Spare partition taking over this partition's plan slots when it is
+    /// halted (by escalation or directly) — cold-started at takeover.
+    pub spare: Option<PartitionId>,
 }
 
 impl PartitionConfig {
@@ -75,6 +87,9 @@ impl PartitionConfig {
             memory: Vec::new(),
             ports: Vec::new(),
             system: false,
+            watchdog_cycles: None,
+            restart_limit: None,
+            spare: None,
         }
     }
 
@@ -93,6 +108,24 @@ impl PartitionConfig {
     /// Mark as a system partition.
     pub fn system(mut self) -> Self {
         self.system = true;
+        self
+    }
+
+    /// Arm a liveness watchdog with the given window in cycles.
+    pub fn with_watchdog(mut self, cycles: u64) -> Self {
+        self.watchdog_cycles = Some(cycles);
+        self
+    }
+
+    /// Escalate restarts to a permanent halt after `limit` restarts.
+    pub fn with_restart_limit(mut self, limit: u32) -> Self {
+        self.restart_limit = Some(limit);
+        self
+    }
+
+    /// Fail over to `spare` when this partition is halted.
+    pub fn with_spare(mut self, spare: PartitionId) -> Self {
+        self.spare = Some(spare);
         self
     }
 }
@@ -291,6 +324,23 @@ impl XngConfig {
                 return err("channel with no destinations".into());
             }
         }
+        // per-partition robustness settings
+        for (i, p) in self.partitions.iter().enumerate() {
+            if p.watchdog_cycles == Some(0) {
+                return err(format!("partition `{}` has a zero-cycle watchdog", p.name));
+            }
+            if let Some(spare) = p.spare {
+                if spare.0 as usize >= self.partitions.len() {
+                    return err(format!(
+                        "partition `{}` names unknown spare {spare}",
+                        p.name
+                    ));
+                }
+                if spare.0 as usize == i {
+                    return err(format!("partition `{}` is its own spare", p.name));
+                }
+            }
+        }
         // partitions' memory regions must not overlap each other
         for (i, a) in self.partitions.iter().enumerate() {
             for b in self.partitions.iter().skip(i + 1) {
@@ -385,6 +435,12 @@ impl XngConfig {
                 let mut p = PartitionConfig::new(&name);
                 if attr("system").as_deref() == Some("true") {
                     p.system = true;
+                }
+                if let Some(w) = attr("watchdog") {
+                    p.watchdog_cycles = Some(num(w)?);
+                }
+                if let Some(r) = attr("restart_limit") {
+                    p.restart_limit = Some(num(r)? as u32);
                 }
                 let id = cfg.add_partition(p);
                 names.insert(name, id);
@@ -539,6 +595,47 @@ mod tests {
             writable: false,
         }));
         assert!(matches!(cfg.validate(), Err(XngError::Config { .. })));
+    }
+
+    #[test]
+    fn validation_catches_bad_robustness_settings() {
+        let mut cfg = XngConfig::new("t");
+        cfg.add_partition(PartitionConfig::new("a").with_watchdog(0));
+        assert!(matches!(cfg.validate(), Err(XngError::Config { .. })));
+
+        let mut cfg = XngConfig::new("t");
+        cfg.add_partition(PartitionConfig::new("a").with_spare(PartitionId(9)));
+        assert!(matches!(cfg.validate(), Err(XngError::Config { .. })));
+
+        let mut cfg = XngConfig::new("t");
+        let a = cfg.add_partition(PartitionConfig::new("a"));
+        cfg.partitions[a.0 as usize].spare = Some(a);
+        assert!(matches!(cfg.validate(), Err(XngError::Config { .. })));
+
+        let mut cfg = XngConfig::new("t");
+        let s = cfg.add_partition(PartitionConfig::new("spare"));
+        cfg.add_partition(
+            PartitionConfig::new("prime")
+                .with_watchdog(5_000)
+                .with_restart_limit(3)
+                .with_spare(s),
+        );
+        cfg.validate().expect("well-formed robustness settings");
+    }
+
+    #[test]
+    fn xml_parses_watchdog_and_restart_limit() {
+        let xml = r#"
+            <system name="x">
+              <partition name="a" watchdog="4000" restart_limit="2"/>
+              <plan core="0">
+                <slot partition="a" duration="1000"/>
+              </plan>
+            </system>
+        "#;
+        let cfg = XngConfig::from_xml(xml).unwrap();
+        assert_eq!(cfg.partitions[0].watchdog_cycles, Some(4000));
+        assert_eq!(cfg.partitions[0].restart_limit, Some(2));
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub enum HmEvent {
     PortOverflow,
     /// A partition attempted a hypercall it is not allowed to make.
     IllegalHypercall,
+    /// A partition's watchdog expired: no liveness indication (successful
+    /// activation or hypercall) within its configured window.
+    WatchdogExpiry,
 }
 
 /// Actions the monitor may take.
@@ -83,8 +86,9 @@ impl HealthMonitor {
     }
 
     /// Record an event and return the action to apply (from the table,
-    /// default [`HmAction::Ignore`] except traps, which default to
-    /// restart — the conservative space-domain choice).
+    /// default [`HmAction::Ignore`] except traps, task errors, and
+    /// watchdog expiries, which default to restart — the conservative
+    /// space-domain choice).
     pub fn report(
         &mut self,
         table: &std::collections::HashMap<HmEvent, HmAction>,
@@ -94,7 +98,9 @@ impl HealthMonitor {
         detail: impl Into<String>,
     ) -> HmAction {
         let action = table.get(&event).copied().unwrap_or(match event {
-            HmEvent::PartitionTrap | HmEvent::PartitionError => HmAction::RestartPartition,
+            HmEvent::PartitionTrap | HmEvent::PartitionError | HmEvent::WatchdogExpiry => {
+                HmAction::RestartPartition
+            }
             _ => HmAction::Ignore,
         });
         if action == HmAction::HaltSystem {
@@ -134,7 +140,9 @@ mod tests {
         assert_eq!(a, HmAction::RestartPartition);
         let a = hm.report(&table, 11, HmEvent::PortOverflow, None, "q full");
         assert_eq!(a, HmAction::Ignore);
-        assert_eq!(hm.log().len(), 2);
+        let a = hm.report(&table, 12, HmEvent::WatchdogExpiry, Some(PartitionId(2)), "wd");
+        assert_eq!(a, HmAction::RestartPartition);
+        assert_eq!(hm.log().len(), 3);
         assert!(!hm.system_halted);
     }
 

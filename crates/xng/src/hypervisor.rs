@@ -44,6 +44,14 @@ pub struct Hypervisor {
     current_mode: Option<usize>,
     /// Completed mode changes.
     pub mode_changes: u64,
+    /// Per-partition absolute watchdog deadlines (`None` = disarmed).
+    watchdogs: Vec<Option<u64>>,
+    /// Health-monitor escalations: restarts promoted to halts because a
+    /// partition exhausted its restart limit.
+    pub hm_escalations: u64,
+    /// Spare-partition failovers: plan slots rewritten to a spare after a
+    /// partition was halted.
+    pub spare_failovers: u64,
 }
 
 impl Hypervisor {
@@ -64,6 +72,7 @@ impl Hypervisor {
             switching: config.context_switch_cycles.max(1),
             ..CoreSched::default()
         };
+        let watchdogs = vec![None; config.partitions.len()];
         Ok(Hypervisor {
             cluster: Cluster::new(),
             ports,
@@ -74,6 +83,9 @@ impl Hypervisor {
             pending_mode: None,
             current_mode: None,
             mode_changes: 0,
+            watchdogs,
+            hm_escalations: 0,
+            spare_failovers: 0,
             config,
         })
     }
@@ -173,6 +185,33 @@ impl Hypervisor {
         &self.cluster
     }
 
+    /// Mutable cluster access (fault injection / test setup).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Flip one bit of system memory — the SEU injection point of the
+    /// chaos fault plane.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus errors for unmapped addresses.
+    pub fn flip_memory_bit(&mut self, addr: u32, bit: u8) -> Result<(), XngError> {
+        let byte = self.cluster.bus.read_bytes(addr, 1)?[0];
+        self.cluster
+            .bus
+            .load_bytes(addr, &[byte ^ (1 << (bit % 8))])?;
+        Ok(())
+    }
+
+    /// Record liveness for a partition: push its watchdog deadline out by
+    /// the configured window (no-op without a watchdog).
+    fn kick_watchdog(&mut self, pid: PartitionId) {
+        if let Some(w) = self.config.partitions[pid.0 as usize].watchdog_cycles {
+            self.watchdogs[pid.0 as usize] = Some(self.time + w);
+        }
+    }
+
     /// Request a switch to the alternate scheduling mode registered with
     /// [`XngConfig::add_mode`]. Applied at the next hypervisor tick: every
     /// core's current partition is preempted and its context saved, the new
@@ -260,6 +299,34 @@ impl Hypervisor {
             }
         }
 
+        // watchdog sweep: partitions must show liveness within their window
+        for i in 0..self.partitions.len() {
+            let Some(deadline) = self.watchdogs[i] else {
+                continue;
+            };
+            if self.partitions[i].mode == PartitionMode::Halted {
+                self.watchdogs[i] = None;
+                continue;
+            }
+            if self.time < deadline {
+                continue;
+            }
+            let pid = PartitionId(i as u32);
+            self.partitions[i].stats.watchdog_expiries += 1;
+            let window = self.config.partitions[i].watchdog_cycles.unwrap_or(0);
+            let action = self.hm.report(
+                &self.config.hm_table,
+                self.time,
+                HmEvent::WatchdogExpiry,
+                Some(pid),
+                format!("no liveness for {window} cycles"),
+            );
+            // re-arm so a stuck partition keeps a ticking watchdog even if
+            // the configured action is Ignore
+            self.kick_watchdog(pid);
+            self.apply_hm_action(pid, None, action);
+        }
+
         // step guest cores
         let events = self.cluster.step()?;
         for ev in events {
@@ -282,7 +349,7 @@ impl Hypervisor {
                         Some(pid),
                         format!("core {}: {cause:?}", ev.core),
                     );
-                    self.apply_hm_action(pid, ev.core, action);
+                    self.apply_hm_action(pid, Some(ev.core), action);
                 }
                 _ => {}
             }
@@ -291,9 +358,34 @@ impl Hypervisor {
         Ok(())
     }
 
-    fn apply_hm_action(&mut self, pid: PartitionId, core: usize, action: HmAction) {
-        let hart = self.cluster.core_mut(core);
-        hart.running = false;
+    /// Apply a health-monitor action. `core` is the offending core when
+    /// the event is attributable to one; `None` (e.g. watchdog sweep)
+    /// stops every core currently running the partition.
+    ///
+    /// Restart actions escalate: once the partition has exhausted its
+    /// configured restart limit, the restart is promoted to a permanent
+    /// halt, and a halted partition with a configured spare fails over —
+    /// its plan slots are rewritten to the spare.
+    fn apply_hm_action(&mut self, pid: PartitionId, core: Option<usize>, action: HmAction) {
+        match core {
+            Some(c) => self.cluster.core_mut(c).running = false,
+            None => {
+                for c in 0..CORE_COUNT {
+                    if self.cores[c].current == Some(pid) {
+                        self.cluster.core_mut(c).running = false;
+                    }
+                }
+            }
+        }
+        let mut action = action;
+        if action == HmAction::RestartPartition {
+            if let Some(limit) = self.config.partitions[pid.0 as usize].restart_limit {
+                if self.partitions[pid.0 as usize].stats.restarts >= u64::from(limit) {
+                    action = HmAction::HaltPartition;
+                    self.hm_escalations += 1;
+                }
+            }
+        }
         match action {
             HmAction::Ignore => {}
             HmAction::RestartPartition => {
@@ -303,11 +395,45 @@ impl Hypervisor {
                 if let Workload::Native(t) = &mut rt.workload {
                     t.reset();
                 }
+                // a restarted partition gets a fresh liveness window
+                self.kick_watchdog(pid);
             }
             HmAction::HaltPartition => {
                 self.partitions[pid.0 as usize].mode = PartitionMode::Halted;
+                self.watchdogs[pid.0 as usize] = None;
+                if let Some(spare) = self.config.partitions[pid.0 as usize].spare {
+                    self.failover_to_spare(pid, spare);
+                }
             }
             HmAction::HaltSystem => { /* flag already set by the monitor */ }
+        }
+    }
+
+    /// Rewrite the active plans so `spare` takes over every slot of the
+    /// halted `failed` partition, cold-starting the spare at its next
+    /// dispatch.
+    fn failover_to_spare(&mut self, failed: PartitionId, spare: PartitionId) {
+        let mut rewritten = 0usize;
+        for (c, plan) in self.config.plans.iter_mut().enumerate() {
+            let mut touched = false;
+            for slot in &mut plan.slots {
+                if slot.partition == failed {
+                    slot.partition = spare;
+                    rewritten += 1;
+                    touched = true;
+                }
+            }
+            // preempt the core if the failed partition is on it right now
+            if touched && self.cores[c].current == Some(failed) {
+                self.cluster.core_mut(c).running = false;
+                self.cores[c].current = None;
+                self.cores[c].elapsed = 0;
+                self.cores[c].switching = self.config.context_switch_cycles.max(1);
+            }
+        }
+        if rewritten > 0 {
+            self.spare_failovers += 1;
+            self.partitions[spare.0 as usize].mode = PartitionMode::Cold;
         }
     }
 
@@ -353,10 +479,14 @@ impl Hypervisor {
             .collect();
         let slot = self.config.plans[core].slots[self.cores[core].slot_idx];
 
-        let rt = &mut self.partitions[pid.0 as usize];
-        if rt.mode == PartitionMode::Halted {
+        if self.partitions[pid.0 as usize].mode == PartitionMode::Halted {
             return Ok(());
         }
+        // arm the watchdog at first dispatch; liveness kicks push it out
+        if self.watchdogs[pid.0 as usize].is_none() {
+            self.kick_watchdog(pid);
+        }
+        let rt = &mut self.partitions[pid.0 as usize];
         rt.stats.activations += 1;
         rt.stats.max_start_jitter = rt.stats.max_start_jitter.max(cs);
 
@@ -366,6 +496,7 @@ impl Hypervisor {
                 // a cold (re)start reloads the image once and resets every
                 // vCPU; a vCPU dispatched on an additional core for the
                 // first time starts at the entry point (guest SMP)
+                let entry = *entry;
                 if rt.mode == PartitionMode::Cold {
                     let image = image.clone();
                     for (addr, words) in &image {
@@ -377,10 +508,6 @@ impl Hypervisor {
                     }
                     rt.mode = PartitionMode::Normal;
                 }
-                let entry = match &self.partitions[pid.0 as usize].workload {
-                    Workload::Guest { entry, .. } => *entry,
-                    _ => unreachable!("checked above"),
-                };
                 {
                     let rt = &mut self.partitions[pid.0 as usize];
                     if !rt.vcpus[core].started {
@@ -421,8 +548,12 @@ impl Hypervisor {
                 if halt {
                     rt.mode = PartitionMode::Halted;
                 }
+                if result.is_ok() && consumed <= budget {
+                    // a successful on-budget activation is a liveness proof
+                    self.kick_watchdog(pid);
+                }
                 if consumed > budget {
-                    rt.stats.overruns += 1;
+                    self.partitions[pid.0 as usize].stats.overruns += 1;
                     let action = self.hm.report(
                         &self.config.hm_table,
                         self.time,
@@ -430,7 +561,7 @@ impl Hypervisor {
                         Some(pid),
                         format!("consumed {consumed} of {budget}"),
                     );
-                    self.apply_hm_action(pid, core, action);
+                    self.apply_hm_action(pid, Some(core), action);
                 }
                 if let Err(e) = result {
                     self.partitions[pid.0 as usize].stats.traps += 1;
@@ -441,7 +572,7 @@ impl Hypervisor {
                         Some(pid),
                         e,
                     );
-                    self.apply_hm_action(pid, core, action);
+                    self.apply_hm_action(pid, Some(core), action);
                 }
             }
         }
@@ -470,9 +601,11 @@ impl Hypervisor {
                 Some(pid),
                 format!("unknown hypercall {code:#x}"),
             );
-            self.apply_hm_action(pid, core, action);
+            self.apply_hm_action(pid, Some(core), action);
             return Ok(());
         };
+        // any serviced hypercall is a liveness indication for the watchdog
+        self.kick_watchdog(pid);
         let now = self.time;
         match hc {
             Hypercall::GetPartitionId => {
@@ -494,7 +627,7 @@ impl Hypervisor {
                             Some(pid),
                             e.to_string(),
                         );
-                        self.apply_hm_action(pid, core, action);
+                        self.apply_hm_action(pid, Some(core), action);
                     }
                 } else {
                     let action = self.hm.report(
@@ -504,7 +637,7 @@ impl Hypervisor {
                         Some(pid),
                         format!("bad port index {idx}"),
                     );
-                    self.apply_hm_action(pid, core, action);
+                    self.apply_hm_action(pid, Some(core), action);
                 }
             }
             Hypercall::ReadSampling => {
@@ -575,7 +708,7 @@ impl Hypervisor {
                         Some(pid),
                         "mode change from non-system partition".to_string(),
                     );
-                    self.apply_hm_action(pid, core, action);
+                    self.apply_hm_action(pid, Some(core), action);
                 } else if self.request_mode_change(mode).is_err() {
                     let action = self.hm.report(
                         &self.config.hm_table,
@@ -584,7 +717,7 @@ impl Hypervisor {
                         Some(pid),
                         format!("bad mode index {mode}"),
                     );
-                    self.apply_hm_action(pid, core, action);
+                    self.apply_hm_action(pid, Some(core), action);
                 }
             }
             Hypercall::TraceChar => {
@@ -936,5 +1069,83 @@ mod tests {
         assert_eq!(u32::from_le_bytes(w0.try_into().unwrap()), 100, "core 0 vCPU ran");
         assert_eq!(u32::from_le_bytes(w1.try_into().unwrap()), 101, "core 1 vCPU ran");
         assert!(hv.stats(g).activations >= 4, "both cores activate the partition");
+    }
+
+    #[test]
+    fn watchdog_expiry_restarts_silent_partition() {
+        let mut cfg = XngConfig::new("wd");
+        let a = cfg.add_partition(PartitionConfig::new("silent").with_watchdog(1_500));
+        let b = cfg.add_partition(PartitionConfig::new("live"));
+        cfg.set_plan(0, Plan::new(vec![Slot::new(a, 1000), Slot::new(b, 1000)]));
+        let mut hv = Hypervisor::new(cfg).unwrap();
+        // `a` stays Idle: it is dispatched on schedule but never shows
+        // liveness (no successful activation, no hypercall)
+        hv.attach_native(b, native_task("live", |c| {
+            c.consume(10);
+            Ok(())
+        }))
+        .unwrap();
+        hv.run(20_000).unwrap();
+        let s = hv.stats(a);
+        assert!(s.watchdog_expiries >= 2, "watchdog keeps firing: {s:?}");
+        assert!(s.restarts >= 2, "default action restarts: {s:?}");
+        assert!(hv.health().count(HmEvent::WatchdogExpiry) >= 2);
+        assert_eq!(hv.stats(b).watchdog_expiries, 0, "live partition untouched");
+    }
+
+    #[test]
+    fn restart_limit_escalates_to_halt() {
+        let mut cfg = XngConfig::new("esc");
+        let a = cfg.add_partition(PartitionConfig::new("flaky").with_restart_limit(2));
+        let b = cfg.add_partition(PartitionConfig::new("ok"));
+        cfg.set_plan(0, Plan::new(vec![Slot::new(a, 1000), Slot::new(b, 1000)]));
+        let mut hv = Hypervisor::new(cfg).unwrap();
+        hv.attach_native(a, native_task("flaky", |_| Err("boom".into())))
+            .unwrap();
+        hv.attach_native(b, native_task("ok", |c| {
+            c.consume(5);
+            Ok(())
+        }))
+        .unwrap();
+        hv.run(30_000).unwrap();
+        assert_eq!(hv.mode(a), PartitionMode::Halted, "promoted to halt");
+        assert_eq!(hv.stats(a).restarts, 2, "restart budget fully spent first");
+        assert_eq!(hv.hm_escalations, 1);
+        assert!(hv.stats(b).activations > 5, "healthy partition unaffected");
+    }
+
+    #[test]
+    fn halted_partition_fails_over_to_spare() {
+        let mut cfg = XngConfig::new("spare");
+        let spare = cfg.add_partition(PartitionConfig::new("spare"));
+        let a = cfg.add_partition(
+            PartitionConfig::new("prime")
+                .with_restart_limit(0)
+                .with_spare(spare),
+        );
+        let b = cfg.add_partition(PartitionConfig::new("other"));
+        cfg.set_plan(0, Plan::new(vec![Slot::new(a, 1000), Slot::new(b, 1000)]));
+        let mut hv = Hypervisor::new(cfg).unwrap();
+        hv.attach_native(a, native_task("prime", |_| Err("dead".into())))
+            .unwrap();
+        hv.attach_native(b, native_task("other", |c| {
+            c.consume(5);
+            Ok(())
+        }))
+        .unwrap();
+        hv.attach_native(spare, native_task("spare", |c| {
+            c.consume(5);
+            Ok(())
+        }))
+        .unwrap();
+        hv.run(20_000).unwrap();
+        assert_eq!(hv.mode(a), PartitionMode::Halted);
+        assert_eq!(hv.spare_failovers, 1);
+        assert!(
+            hv.stats(spare).activations >= 5,
+            "spare took over the failed partition's slots: {:?}",
+            hv.stats(spare)
+        );
+        assert_eq!(hv.stats(a).restarts, 0, "limit 0 escalates immediately");
     }
 }

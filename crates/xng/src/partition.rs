@@ -211,6 +211,8 @@ pub struct PartitionStats {
     pub max_start_jitter: u64,
     /// Slot overruns (native tasks exceeding their budget).
     pub overruns: u64,
+    /// Watchdog expiries attributed to this partition.
+    pub watchdog_expiries: u64,
 }
 
 impl PartitionRt {

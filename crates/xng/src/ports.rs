@@ -30,13 +30,16 @@ enum PortState {
     },
 }
 
+/// A channel source's fan-out: destination keys plus max message size.
+type RouteFanout = (Vec<(PartitionId, String)>, u32);
+
 /// The port switchboard owned by the hypervisor.
 #[derive(Debug, Clone, Default)]
 pub struct PortTable {
     /// destination (partition, port) -> state
     dests: HashMap<(PartitionId, String), PortState>,
     /// source (partition, port) -> destination keys
-    routes: HashMap<(PartitionId, String), (Vec<(PartitionId, String)>, u32)>,
+    routes: HashMap<(PartitionId, String), RouteFanout>,
     /// messages moved per channel source
     pub messages_routed: u64,
 }

@@ -25,6 +25,7 @@
 //! | [`rad`] | `hermes-rad` | SEU campaigns, TMR voting, SECDED EDAC, scrubbing |
 //! | [`apps`] | `hermes-apps` | image/AI/SDR kernels; AOCS/VBN/EOR partitions |
 //! | [`core`] | `hermes-core` | end-to-end flows: C→bitstream, mission packaging |
+//! | [`chaos`] | `hermes-chaos` | fault-injection plane, chaos campaigns, availability/MTTR reports |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@
 pub use hermes_apps as apps;
 pub use hermes_axi as axi;
 pub use hermes_boot as boot;
+pub use hermes_chaos as chaos;
 pub use hermes_core as core;
 pub use hermes_cpu as cpu;
 pub use hermes_eucalyptus as eucalyptus;

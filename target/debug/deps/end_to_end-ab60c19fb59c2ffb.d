@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ab60c19fb59c2ffb.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ab60c19fb59c2ffb: tests/end_to_end.rs
+
+tests/end_to_end.rs:

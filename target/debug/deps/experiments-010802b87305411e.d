@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-010802b87305411e.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-010802b87305411e: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

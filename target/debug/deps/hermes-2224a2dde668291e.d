@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hermes-2224a2dde668291e.d: src/lib.rs
+
+/root/repo/target/debug/deps/hermes-2224a2dde668291e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hermes-57ded4d20e633d5b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermes-57ded4d20e633d5b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hermes-d2e464dbe75c0d84.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhermes-d2e464dbe75c0d84.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhermes-d2e464dbe75c0d84.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hermes_apps-1c7745a5921a446c.d: crates/apps/src/lib.rs crates/apps/src/ai.rs crates/apps/src/aocs.rs crates/apps/src/eor.rs crates/apps/src/image.rs crates/apps/src/sdr.rs crates/apps/src/vbn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermes_apps-1c7745a5921a446c.rmeta: crates/apps/src/lib.rs crates/apps/src/ai.rs crates/apps/src/aocs.rs crates/apps/src/eor.rs crates/apps/src/image.rs crates/apps/src/sdr.rs crates/apps/src/vbn.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/ai.rs:
+crates/apps/src/aocs.rs:
+crates/apps/src/eor.rs:
+crates/apps/src/image.rs:
+crates/apps/src/sdr.rs:
+crates/apps/src/vbn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hermes_apps-2d30f97281782ac4.d: crates/apps/src/lib.rs crates/apps/src/ai.rs crates/apps/src/aocs.rs crates/apps/src/eor.rs crates/apps/src/image.rs crates/apps/src/sdr.rs crates/apps/src/vbn.rs
+
+/root/repo/target/debug/deps/libhermes_apps-2d30f97281782ac4.rlib: crates/apps/src/lib.rs crates/apps/src/ai.rs crates/apps/src/aocs.rs crates/apps/src/eor.rs crates/apps/src/image.rs crates/apps/src/sdr.rs crates/apps/src/vbn.rs
+
+/root/repo/target/debug/deps/libhermes_apps-2d30f97281782ac4.rmeta: crates/apps/src/lib.rs crates/apps/src/ai.rs crates/apps/src/aocs.rs crates/apps/src/eor.rs crates/apps/src/image.rs crates/apps/src/sdr.rs crates/apps/src/vbn.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/ai.rs:
+crates/apps/src/aocs.rs:
+crates/apps/src/eor.rs:
+crates/apps/src/image.rs:
+crates/apps/src/sdr.rs:
+crates/apps/src/vbn.rs:

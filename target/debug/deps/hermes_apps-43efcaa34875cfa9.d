@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hermes_apps-43efcaa34875cfa9.d: crates/apps/src/lib.rs crates/apps/src/ai.rs crates/apps/src/aocs.rs crates/apps/src/eor.rs crates/apps/src/image.rs crates/apps/src/sdr.rs crates/apps/src/vbn.rs
+
+/root/repo/target/debug/deps/hermes_apps-43efcaa34875cfa9: crates/apps/src/lib.rs crates/apps/src/ai.rs crates/apps/src/aocs.rs crates/apps/src/eor.rs crates/apps/src/image.rs crates/apps/src/sdr.rs crates/apps/src/vbn.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/ai.rs:
+crates/apps/src/aocs.rs:
+crates/apps/src/eor.rs:
+crates/apps/src/image.rs:
+crates/apps/src/sdr.rs:
+crates/apps/src/vbn.rs:

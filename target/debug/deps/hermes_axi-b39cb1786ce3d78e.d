@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hermes_axi-b39cb1786ce3d78e.d: crates/axi/src/lib.rs crates/axi/src/cache.rs crates/axi/src/checker.rs crates/axi/src/master.rs crates/axi/src/memory.rs crates/axi/src/testbench.rs crates/axi/src/transaction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermes_axi-b39cb1786ce3d78e.rmeta: crates/axi/src/lib.rs crates/axi/src/cache.rs crates/axi/src/checker.rs crates/axi/src/master.rs crates/axi/src/memory.rs crates/axi/src/testbench.rs crates/axi/src/transaction.rs Cargo.toml
+
+crates/axi/src/lib.rs:
+crates/axi/src/cache.rs:
+crates/axi/src/checker.rs:
+crates/axi/src/master.rs:
+crates/axi/src/memory.rs:
+crates/axi/src/testbench.rs:
+crates/axi/src/transaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

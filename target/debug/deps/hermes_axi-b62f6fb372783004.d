@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hermes_axi-b62f6fb372783004.d: crates/axi/src/lib.rs crates/axi/src/cache.rs crates/axi/src/checker.rs crates/axi/src/master.rs crates/axi/src/memory.rs crates/axi/src/testbench.rs crates/axi/src/transaction.rs
+
+/root/repo/target/debug/deps/hermes_axi-b62f6fb372783004: crates/axi/src/lib.rs crates/axi/src/cache.rs crates/axi/src/checker.rs crates/axi/src/master.rs crates/axi/src/memory.rs crates/axi/src/testbench.rs crates/axi/src/transaction.rs
+
+crates/axi/src/lib.rs:
+crates/axi/src/cache.rs:
+crates/axi/src/checker.rs:
+crates/axi/src/master.rs:
+crates/axi/src/memory.rs:
+crates/axi/src/testbench.rs:
+crates/axi/src/transaction.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hermes_axi-e42c8c579a37465b.d: crates/axi/src/lib.rs crates/axi/src/cache.rs crates/axi/src/checker.rs crates/axi/src/master.rs crates/axi/src/memory.rs crates/axi/src/testbench.rs crates/axi/src/transaction.rs
+
+/root/repo/target/debug/deps/libhermes_axi-e42c8c579a37465b.rlib: crates/axi/src/lib.rs crates/axi/src/cache.rs crates/axi/src/checker.rs crates/axi/src/master.rs crates/axi/src/memory.rs crates/axi/src/testbench.rs crates/axi/src/transaction.rs
+
+/root/repo/target/debug/deps/libhermes_axi-e42c8c579a37465b.rmeta: crates/axi/src/lib.rs crates/axi/src/cache.rs crates/axi/src/checker.rs crates/axi/src/master.rs crates/axi/src/memory.rs crates/axi/src/testbench.rs crates/axi/src/transaction.rs
+
+crates/axi/src/lib.rs:
+crates/axi/src/cache.rs:
+crates/axi/src/checker.rs:
+crates/axi/src/master.rs:
+crates/axi/src/memory.rs:
+crates/axi/src/testbench.rs:
+crates/axi/src/transaction.rs:

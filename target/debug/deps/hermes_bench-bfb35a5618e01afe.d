@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/hermes_bench-bfb35a5618e01afe.d: crates/bench/src/lib.rs crates/bench/src/e1_hls_flow.rs crates/bench/src/e2_fpga_flow.rs crates/bench/src/e3_characterization.rs crates/bench/src/e4_axi.rs crates/bench/src/e5_hypervisor.rs crates/bench/src/e6_boot.rs crates/bench/src/e7_usecases.rs crates/bench/src/e8_radiation.rs crates/bench/src/e9_dataflow.rs crates/bench/src/e10_chaos.rs crates/bench/src/hdl_check.rs crates/bench/src/kernels.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermes_bench-bfb35a5618e01afe.rmeta: crates/bench/src/lib.rs crates/bench/src/e1_hls_flow.rs crates/bench/src/e2_fpga_flow.rs crates/bench/src/e3_characterization.rs crates/bench/src/e4_axi.rs crates/bench/src/e5_hypervisor.rs crates/bench/src/e6_boot.rs crates/bench/src/e7_usecases.rs crates/bench/src/e8_radiation.rs crates/bench/src/e9_dataflow.rs crates/bench/src/e10_chaos.rs crates/bench/src/hdl_check.rs crates/bench/src/kernels.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/e1_hls_flow.rs:
+crates/bench/src/e2_fpga_flow.rs:
+crates/bench/src/e3_characterization.rs:
+crates/bench/src/e4_axi.rs:
+crates/bench/src/e5_hypervisor.rs:
+crates/bench/src/e6_boot.rs:
+crates/bench/src/e7_usecases.rs:
+crates/bench/src/e8_radiation.rs:
+crates/bench/src/e9_dataflow.rs:
+crates/bench/src/e10_chaos.rs:
+crates/bench/src/hdl_check.rs:
+crates/bench/src/kernels.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

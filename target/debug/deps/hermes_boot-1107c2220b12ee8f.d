@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hermes_boot-1107c2220b12ee8f.d: crates/boot/src/lib.rs crates/boot/src/bl0.rs crates/boot/src/bl1.rs crates/boot/src/flash.rs crates/boot/src/loadlist.rs crates/boot/src/report.rs crates/boot/src/spacewire.rs
+
+/root/repo/target/debug/deps/hermes_boot-1107c2220b12ee8f: crates/boot/src/lib.rs crates/boot/src/bl0.rs crates/boot/src/bl1.rs crates/boot/src/flash.rs crates/boot/src/loadlist.rs crates/boot/src/report.rs crates/boot/src/spacewire.rs
+
+crates/boot/src/lib.rs:
+crates/boot/src/bl0.rs:
+crates/boot/src/bl1.rs:
+crates/boot/src/flash.rs:
+crates/boot/src/loadlist.rs:
+crates/boot/src/report.rs:
+crates/boot/src/spacewire.rs:

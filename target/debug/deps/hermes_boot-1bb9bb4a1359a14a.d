@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hermes_boot-1bb9bb4a1359a14a.d: crates/boot/src/lib.rs crates/boot/src/bl0.rs crates/boot/src/bl1.rs crates/boot/src/flash.rs crates/boot/src/loadlist.rs crates/boot/src/report.rs crates/boot/src/spacewire.rs
+
+/root/repo/target/debug/deps/libhermes_boot-1bb9bb4a1359a14a.rlib: crates/boot/src/lib.rs crates/boot/src/bl0.rs crates/boot/src/bl1.rs crates/boot/src/flash.rs crates/boot/src/loadlist.rs crates/boot/src/report.rs crates/boot/src/spacewire.rs
+
+/root/repo/target/debug/deps/libhermes_boot-1bb9bb4a1359a14a.rmeta: crates/boot/src/lib.rs crates/boot/src/bl0.rs crates/boot/src/bl1.rs crates/boot/src/flash.rs crates/boot/src/loadlist.rs crates/boot/src/report.rs crates/boot/src/spacewire.rs
+
+crates/boot/src/lib.rs:
+crates/boot/src/bl0.rs:
+crates/boot/src/bl1.rs:
+crates/boot/src/flash.rs:
+crates/boot/src/loadlist.rs:
+crates/boot/src/report.rs:
+crates/boot/src/spacewire.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hermes_boot-7dead00e916ee742.d: crates/boot/src/lib.rs crates/boot/src/bl0.rs crates/boot/src/bl1.rs crates/boot/src/flash.rs crates/boot/src/loadlist.rs crates/boot/src/report.rs crates/boot/src/spacewire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermes_boot-7dead00e916ee742.rmeta: crates/boot/src/lib.rs crates/boot/src/bl0.rs crates/boot/src/bl1.rs crates/boot/src/flash.rs crates/boot/src/loadlist.rs crates/boot/src/report.rs crates/boot/src/spacewire.rs Cargo.toml
+
+crates/boot/src/lib.rs:
+crates/boot/src/bl0.rs:
+crates/boot/src/bl1.rs:
+crates/boot/src/flash.rs:
+crates/boot/src/loadlist.rs:
+crates/boot/src/report.rs:
+crates/boot/src/spacewire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

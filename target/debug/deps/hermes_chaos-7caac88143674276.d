@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hermes_chaos-7caac88143674276.d: crates/chaos/src/lib.rs crates/chaos/src/plan.rs crates/chaos/src/report.rs crates/chaos/src/scenario.rs
+
+/root/repo/target/debug/deps/libhermes_chaos-7caac88143674276.rlib: crates/chaos/src/lib.rs crates/chaos/src/plan.rs crates/chaos/src/report.rs crates/chaos/src/scenario.rs
+
+/root/repo/target/debug/deps/libhermes_chaos-7caac88143674276.rmeta: crates/chaos/src/lib.rs crates/chaos/src/plan.rs crates/chaos/src/report.rs crates/chaos/src/scenario.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/plan.rs:
+crates/chaos/src/report.rs:
+crates/chaos/src/scenario.rs:

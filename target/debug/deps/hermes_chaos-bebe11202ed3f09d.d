@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hermes_chaos-bebe11202ed3f09d.d: crates/chaos/src/lib.rs crates/chaos/src/plan.rs crates/chaos/src/report.rs crates/chaos/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermes_chaos-bebe11202ed3f09d.rmeta: crates/chaos/src/lib.rs crates/chaos/src/plan.rs crates/chaos/src/report.rs crates/chaos/src/scenario.rs Cargo.toml
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/plan.rs:
+crates/chaos/src/report.rs:
+crates/chaos/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hermes_chaos-d6e6cf6c0c624ff6.d: crates/chaos/src/lib.rs crates/chaos/src/plan.rs crates/chaos/src/report.rs crates/chaos/src/scenario.rs
+
+/root/repo/target/debug/deps/hermes_chaos-d6e6cf6c0c624ff6: crates/chaos/src/lib.rs crates/chaos/src/plan.rs crates/chaos/src/report.rs crates/chaos/src/scenario.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/plan.rs:
+crates/chaos/src/report.rs:
+crates/chaos/src/scenario.rs:

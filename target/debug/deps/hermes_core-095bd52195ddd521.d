@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hermes_core-095bd52195ddd521.d: crates/core/src/lib.rs crates/core/src/accelerator.rs crates/core/src/mission.rs
+
+/root/repo/target/debug/deps/libhermes_core-095bd52195ddd521.rlib: crates/core/src/lib.rs crates/core/src/accelerator.rs crates/core/src/mission.rs
+
+/root/repo/target/debug/deps/libhermes_core-095bd52195ddd521.rmeta: crates/core/src/lib.rs crates/core/src/accelerator.rs crates/core/src/mission.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accelerator.rs:
+crates/core/src/mission.rs:

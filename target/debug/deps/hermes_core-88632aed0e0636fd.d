@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hermes_core-88632aed0e0636fd.d: crates/core/src/lib.rs crates/core/src/accelerator.rs crates/core/src/mission.rs
+
+/root/repo/target/debug/deps/hermes_core-88632aed0e0636fd: crates/core/src/lib.rs crates/core/src/accelerator.rs crates/core/src/mission.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accelerator.rs:
+crates/core/src/mission.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hermes_core-f4d9095efe6978e4.d: crates/core/src/lib.rs crates/core/src/accelerator.rs crates/core/src/mission.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermes_core-f4d9095efe6978e4.rmeta: crates/core/src/lib.rs crates/core/src/accelerator.rs crates/core/src/mission.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/accelerator.rs:
+crates/core/src/mission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hermes_cpu-17abdb3e484800a1.d: crates/cpu/src/lib.rs crates/cpu/src/cluster.rs crates/cpu/src/hart.rs crates/cpu/src/isa.rs crates/cpu/src/memmap.rs crates/cpu/src/mpu.rs
+
+/root/repo/target/debug/deps/hermes_cpu-17abdb3e484800a1: crates/cpu/src/lib.rs crates/cpu/src/cluster.rs crates/cpu/src/hart.rs crates/cpu/src/isa.rs crates/cpu/src/memmap.rs crates/cpu/src/mpu.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/cluster.rs:
+crates/cpu/src/hart.rs:
+crates/cpu/src/isa.rs:
+crates/cpu/src/memmap.rs:
+crates/cpu/src/mpu.rs:

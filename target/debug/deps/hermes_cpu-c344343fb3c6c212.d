@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hermes_cpu-c344343fb3c6c212.d: crates/cpu/src/lib.rs crates/cpu/src/cluster.rs crates/cpu/src/hart.rs crates/cpu/src/isa.rs crates/cpu/src/memmap.rs crates/cpu/src/mpu.rs
+
+/root/repo/target/debug/deps/libhermes_cpu-c344343fb3c6c212.rlib: crates/cpu/src/lib.rs crates/cpu/src/cluster.rs crates/cpu/src/hart.rs crates/cpu/src/isa.rs crates/cpu/src/memmap.rs crates/cpu/src/mpu.rs
+
+/root/repo/target/debug/deps/libhermes_cpu-c344343fb3c6c212.rmeta: crates/cpu/src/lib.rs crates/cpu/src/cluster.rs crates/cpu/src/hart.rs crates/cpu/src/isa.rs crates/cpu/src/memmap.rs crates/cpu/src/mpu.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/cluster.rs:
+crates/cpu/src/hart.rs:
+crates/cpu/src/isa.rs:
+crates/cpu/src/memmap.rs:
+crates/cpu/src/mpu.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hermes_cpu-fa447e5fb7f75635.d: crates/cpu/src/lib.rs crates/cpu/src/cluster.rs crates/cpu/src/hart.rs crates/cpu/src/isa.rs crates/cpu/src/memmap.rs crates/cpu/src/mpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermes_cpu-fa447e5fb7f75635.rmeta: crates/cpu/src/lib.rs crates/cpu/src/cluster.rs crates/cpu/src/hart.rs crates/cpu/src/isa.rs crates/cpu/src/memmap.rs crates/cpu/src/mpu.rs Cargo.toml
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/cluster.rs:
+crates/cpu/src/hart.rs:
+crates/cpu/src/isa.rs:
+crates/cpu/src/memmap.rs:
+crates/cpu/src/mpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hermes_eucalyptus-1c4404bc7119593c.d: crates/eucalyptus/src/lib.rs crates/eucalyptus/src/library.rs crates/eucalyptus/src/sweep.rs crates/eucalyptus/src/templates.rs
+
+/root/repo/target/debug/deps/libhermes_eucalyptus-1c4404bc7119593c.rlib: crates/eucalyptus/src/lib.rs crates/eucalyptus/src/library.rs crates/eucalyptus/src/sweep.rs crates/eucalyptus/src/templates.rs
+
+/root/repo/target/debug/deps/libhermes_eucalyptus-1c4404bc7119593c.rmeta: crates/eucalyptus/src/lib.rs crates/eucalyptus/src/library.rs crates/eucalyptus/src/sweep.rs crates/eucalyptus/src/templates.rs
+
+crates/eucalyptus/src/lib.rs:
+crates/eucalyptus/src/library.rs:
+crates/eucalyptus/src/sweep.rs:
+crates/eucalyptus/src/templates.rs:

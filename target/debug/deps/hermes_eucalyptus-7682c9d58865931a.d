@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hermes_eucalyptus-7682c9d58865931a.d: crates/eucalyptus/src/lib.rs crates/eucalyptus/src/library.rs crates/eucalyptus/src/sweep.rs crates/eucalyptus/src/templates.rs
+
+/root/repo/target/debug/deps/hermes_eucalyptus-7682c9d58865931a: crates/eucalyptus/src/lib.rs crates/eucalyptus/src/library.rs crates/eucalyptus/src/sweep.rs crates/eucalyptus/src/templates.rs
+
+crates/eucalyptus/src/lib.rs:
+crates/eucalyptus/src/library.rs:
+crates/eucalyptus/src/sweep.rs:
+crates/eucalyptus/src/templates.rs:

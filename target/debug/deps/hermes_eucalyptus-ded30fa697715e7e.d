@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hermes_eucalyptus-ded30fa697715e7e.d: crates/eucalyptus/src/lib.rs crates/eucalyptus/src/library.rs crates/eucalyptus/src/sweep.rs crates/eucalyptus/src/templates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermes_eucalyptus-ded30fa697715e7e.rmeta: crates/eucalyptus/src/lib.rs crates/eucalyptus/src/library.rs crates/eucalyptus/src/sweep.rs crates/eucalyptus/src/templates.rs Cargo.toml
+
+crates/eucalyptus/src/lib.rs:
+crates/eucalyptus/src/library.rs:
+crates/eucalyptus/src/sweep.rs:
+crates/eucalyptus/src/templates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hermes_fpga-0e96e172fac46390.d: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/device.rs crates/fpga/src/flow.rs crates/fpga/src/place.rs crates/fpga/src/primitives.rs crates/fpga/src/route.rs crates/fpga/src/synth.rs crates/fpga/src/timing.rs
+
+/root/repo/target/debug/deps/libhermes_fpga-0e96e172fac46390.rlib: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/device.rs crates/fpga/src/flow.rs crates/fpga/src/place.rs crates/fpga/src/primitives.rs crates/fpga/src/route.rs crates/fpga/src/synth.rs crates/fpga/src/timing.rs
+
+/root/repo/target/debug/deps/libhermes_fpga-0e96e172fac46390.rmeta: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/device.rs crates/fpga/src/flow.rs crates/fpga/src/place.rs crates/fpga/src/primitives.rs crates/fpga/src/route.rs crates/fpga/src/synth.rs crates/fpga/src/timing.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/bitstream.rs:
+crates/fpga/src/device.rs:
+crates/fpga/src/flow.rs:
+crates/fpga/src/place.rs:
+crates/fpga/src/primitives.rs:
+crates/fpga/src/route.rs:
+crates/fpga/src/synth.rs:
+crates/fpga/src/timing.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hermes_fpga-ce9cfb8dc17afb12.d: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/device.rs crates/fpga/src/flow.rs crates/fpga/src/place.rs crates/fpga/src/primitives.rs crates/fpga/src/route.rs crates/fpga/src/synth.rs crates/fpga/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermes_fpga-ce9cfb8dc17afb12.rmeta: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/device.rs crates/fpga/src/flow.rs crates/fpga/src/place.rs crates/fpga/src/primitives.rs crates/fpga/src/route.rs crates/fpga/src/synth.rs crates/fpga/src/timing.rs Cargo.toml
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/bitstream.rs:
+crates/fpga/src/device.rs:
+crates/fpga/src/flow.rs:
+crates/fpga/src/place.rs:
+crates/fpga/src/primitives.rs:
+crates/fpga/src/route.rs:
+crates/fpga/src/synth.rs:
+crates/fpga/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hermes_fpga-e0efc06c509b57f6.d: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/device.rs crates/fpga/src/flow.rs crates/fpga/src/place.rs crates/fpga/src/primitives.rs crates/fpga/src/route.rs crates/fpga/src/synth.rs crates/fpga/src/timing.rs
+
+/root/repo/target/debug/deps/hermes_fpga-e0efc06c509b57f6: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/device.rs crates/fpga/src/flow.rs crates/fpga/src/place.rs crates/fpga/src/primitives.rs crates/fpga/src/route.rs crates/fpga/src/synth.rs crates/fpga/src/timing.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/bitstream.rs:
+crates/fpga/src/device.rs:
+crates/fpga/src/flow.rs:
+crates/fpga/src/place.rs:
+crates/fpga/src/primitives.rs:
+crates/fpga/src/route.rs:
+crates/fpga/src/synth.rs:
+crates/fpga/src/timing.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/hermes_hls-05f817116bef4143.d: crates/hls/src/lib.rs crates/hls/src/allocate.rs crates/hls/src/bind.rs crates/hls/src/cdfg.rs crates/hls/src/dataflow.rs crates/hls/src/datapath.rs crates/hls/src/emit.rs crates/hls/src/estimate.rs crates/hls/src/flow.rs crates/hls/src/fsm.rs crates/hls/src/interface.rs crates/hls/src/ir.rs crates/hls/src/lang/mod.rs crates/hls/src/lang/ast.rs crates/hls/src/lang/lexer.rs crates/hls/src/lang/parser.rs crates/hls/src/opt.rs crates/hls/src/schedule.rs crates/hls/src/simulate.rs
+
+/root/repo/target/debug/deps/hermes_hls-05f817116bef4143: crates/hls/src/lib.rs crates/hls/src/allocate.rs crates/hls/src/bind.rs crates/hls/src/cdfg.rs crates/hls/src/dataflow.rs crates/hls/src/datapath.rs crates/hls/src/emit.rs crates/hls/src/estimate.rs crates/hls/src/flow.rs crates/hls/src/fsm.rs crates/hls/src/interface.rs crates/hls/src/ir.rs crates/hls/src/lang/mod.rs crates/hls/src/lang/ast.rs crates/hls/src/lang/lexer.rs crates/hls/src/lang/parser.rs crates/hls/src/opt.rs crates/hls/src/schedule.rs crates/hls/src/simulate.rs
+
+crates/hls/src/lib.rs:
+crates/hls/src/allocate.rs:
+crates/hls/src/bind.rs:
+crates/hls/src/cdfg.rs:
+crates/hls/src/dataflow.rs:
+crates/hls/src/datapath.rs:
+crates/hls/src/emit.rs:
+crates/hls/src/estimate.rs:
+crates/hls/src/flow.rs:
+crates/hls/src/fsm.rs:
+crates/hls/src/interface.rs:
+crates/hls/src/ir.rs:
+crates/hls/src/lang/mod.rs:
+crates/hls/src/lang/ast.rs:
+crates/hls/src/lang/lexer.rs:
+crates/hls/src/lang/parser.rs:
+crates/hls/src/opt.rs:
+crates/hls/src/schedule.rs:
+crates/hls/src/simulate.rs:

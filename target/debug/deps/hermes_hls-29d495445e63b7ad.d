@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/hermes_hls-29d495445e63b7ad.d: crates/hls/src/lib.rs crates/hls/src/allocate.rs crates/hls/src/bind.rs crates/hls/src/cdfg.rs crates/hls/src/dataflow.rs crates/hls/src/datapath.rs crates/hls/src/emit.rs crates/hls/src/estimate.rs crates/hls/src/flow.rs crates/hls/src/fsm.rs crates/hls/src/interface.rs crates/hls/src/ir.rs crates/hls/src/lang/mod.rs crates/hls/src/lang/ast.rs crates/hls/src/lang/lexer.rs crates/hls/src/lang/parser.rs crates/hls/src/opt.rs crates/hls/src/schedule.rs crates/hls/src/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermes_hls-29d495445e63b7ad.rmeta: crates/hls/src/lib.rs crates/hls/src/allocate.rs crates/hls/src/bind.rs crates/hls/src/cdfg.rs crates/hls/src/dataflow.rs crates/hls/src/datapath.rs crates/hls/src/emit.rs crates/hls/src/estimate.rs crates/hls/src/flow.rs crates/hls/src/fsm.rs crates/hls/src/interface.rs crates/hls/src/ir.rs crates/hls/src/lang/mod.rs crates/hls/src/lang/ast.rs crates/hls/src/lang/lexer.rs crates/hls/src/lang/parser.rs crates/hls/src/opt.rs crates/hls/src/schedule.rs crates/hls/src/simulate.rs Cargo.toml
+
+crates/hls/src/lib.rs:
+crates/hls/src/allocate.rs:
+crates/hls/src/bind.rs:
+crates/hls/src/cdfg.rs:
+crates/hls/src/dataflow.rs:
+crates/hls/src/datapath.rs:
+crates/hls/src/emit.rs:
+crates/hls/src/estimate.rs:
+crates/hls/src/flow.rs:
+crates/hls/src/fsm.rs:
+crates/hls/src/interface.rs:
+crates/hls/src/ir.rs:
+crates/hls/src/lang/mod.rs:
+crates/hls/src/lang/ast.rs:
+crates/hls/src/lang/lexer.rs:
+crates/hls/src/lang/parser.rs:
+crates/hls/src/opt.rs:
+crates/hls/src/schedule.rs:
+crates/hls/src/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hermes_rad-29572c144446a131.d: crates/rad/src/lib.rs crates/rad/src/campaign.rs crates/rad/src/edac.rs crates/rad/src/scrub.rs crates/rad/src/seu.rs crates/rad/src/tmr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermes_rad-29572c144446a131.rmeta: crates/rad/src/lib.rs crates/rad/src/campaign.rs crates/rad/src/edac.rs crates/rad/src/scrub.rs crates/rad/src/seu.rs crates/rad/src/tmr.rs Cargo.toml
+
+crates/rad/src/lib.rs:
+crates/rad/src/campaign.rs:
+crates/rad/src/edac.rs:
+crates/rad/src/scrub.rs:
+crates/rad/src/seu.rs:
+crates/rad/src/tmr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hermes_rad-457467a22e3da3d6.d: crates/rad/src/lib.rs crates/rad/src/campaign.rs crates/rad/src/edac.rs crates/rad/src/scrub.rs crates/rad/src/seu.rs crates/rad/src/tmr.rs
+
+/root/repo/target/debug/deps/hermes_rad-457467a22e3da3d6: crates/rad/src/lib.rs crates/rad/src/campaign.rs crates/rad/src/edac.rs crates/rad/src/scrub.rs crates/rad/src/seu.rs crates/rad/src/tmr.rs
+
+crates/rad/src/lib.rs:
+crates/rad/src/campaign.rs:
+crates/rad/src/edac.rs:
+crates/rad/src/scrub.rs:
+crates/rad/src/seu.rs:
+crates/rad/src/tmr.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hermes_rad-4a6001f7e0344bc2.d: crates/rad/src/lib.rs crates/rad/src/campaign.rs crates/rad/src/edac.rs crates/rad/src/scrub.rs crates/rad/src/seu.rs crates/rad/src/tmr.rs
+
+/root/repo/target/debug/deps/libhermes_rad-4a6001f7e0344bc2.rlib: crates/rad/src/lib.rs crates/rad/src/campaign.rs crates/rad/src/edac.rs crates/rad/src/scrub.rs crates/rad/src/seu.rs crates/rad/src/tmr.rs
+
+/root/repo/target/debug/deps/libhermes_rad-4a6001f7e0344bc2.rmeta: crates/rad/src/lib.rs crates/rad/src/campaign.rs crates/rad/src/edac.rs crates/rad/src/scrub.rs crates/rad/src/seu.rs crates/rad/src/tmr.rs
+
+crates/rad/src/lib.rs:
+crates/rad/src/campaign.rs:
+crates/rad/src/edac.rs:
+crates/rad/src/scrub.rs:
+crates/rad/src/seu.rs:
+crates/rad/src/tmr.rs:

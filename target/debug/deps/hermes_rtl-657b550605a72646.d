@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hermes_rtl-657b550605a72646.d: crates/rtl/src/lib.rs crates/rtl/src/component.rs crates/rtl/src/netlist.rs crates/rtl/src/rng.rs crates/rtl/src/sim.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+/root/repo/target/debug/deps/libhermes_rtl-657b550605a72646.rlib: crates/rtl/src/lib.rs crates/rtl/src/component.rs crates/rtl/src/netlist.rs crates/rtl/src/rng.rs crates/rtl/src/sim.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+/root/repo/target/debug/deps/libhermes_rtl-657b550605a72646.rmeta: crates/rtl/src/lib.rs crates/rtl/src/component.rs crates/rtl/src/netlist.rs crates/rtl/src/rng.rs crates/rtl/src/sim.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/component.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/rng.rs:
+crates/rtl/src/sim.rs:
+crates/rtl/src/verilog.rs:
+crates/rtl/src/vhdl.rs:

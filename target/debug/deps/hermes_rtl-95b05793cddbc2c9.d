@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hermes_rtl-95b05793cddbc2c9.d: crates/rtl/src/lib.rs crates/rtl/src/component.rs crates/rtl/src/netlist.rs crates/rtl/src/rng.rs crates/rtl/src/sim.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermes_rtl-95b05793cddbc2c9.rmeta: crates/rtl/src/lib.rs crates/rtl/src/component.rs crates/rtl/src/netlist.rs crates/rtl/src/rng.rs crates/rtl/src/sim.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs Cargo.toml
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/component.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/rng.rs:
+crates/rtl/src/sim.rs:
+crates/rtl/src/verilog.rs:
+crates/rtl/src/vhdl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hermes_rtl-e3165a2b6af6bbab.d: crates/rtl/src/lib.rs crates/rtl/src/component.rs crates/rtl/src/netlist.rs crates/rtl/src/rng.rs crates/rtl/src/sim.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+/root/repo/target/debug/deps/hermes_rtl-e3165a2b6af6bbab: crates/rtl/src/lib.rs crates/rtl/src/component.rs crates/rtl/src/netlist.rs crates/rtl/src/rng.rs crates/rtl/src/sim.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/component.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/rng.rs:
+crates/rtl/src/sim.rs:
+crates/rtl/src/verilog.rs:
+crates/rtl/src/vhdl.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hermes_xng-998a626445bbfb6c.d: crates/xng/src/lib.rs crates/xng/src/config.rs crates/xng/src/health.rs crates/xng/src/hypercall.rs crates/xng/src/hypervisor.rs crates/xng/src/partition.rs crates/xng/src/ports.rs
+
+/root/repo/target/debug/deps/hermes_xng-998a626445bbfb6c: crates/xng/src/lib.rs crates/xng/src/config.rs crates/xng/src/health.rs crates/xng/src/hypercall.rs crates/xng/src/hypervisor.rs crates/xng/src/partition.rs crates/xng/src/ports.rs
+
+crates/xng/src/lib.rs:
+crates/xng/src/config.rs:
+crates/xng/src/health.rs:
+crates/xng/src/hypercall.rs:
+crates/xng/src/hypervisor.rs:
+crates/xng/src/partition.rs:
+crates/xng/src/ports.rs:

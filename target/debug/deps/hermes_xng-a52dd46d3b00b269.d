@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hermes_xng-a52dd46d3b00b269.d: crates/xng/src/lib.rs crates/xng/src/config.rs crates/xng/src/health.rs crates/xng/src/hypercall.rs crates/xng/src/hypervisor.rs crates/xng/src/partition.rs crates/xng/src/ports.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermes_xng-a52dd46d3b00b269.rmeta: crates/xng/src/lib.rs crates/xng/src/config.rs crates/xng/src/health.rs crates/xng/src/hypercall.rs crates/xng/src/hypervisor.rs crates/xng/src/partition.rs crates/xng/src/ports.rs Cargo.toml
+
+crates/xng/src/lib.rs:
+crates/xng/src/config.rs:
+crates/xng/src/health.rs:
+crates/xng/src/hypercall.rs:
+crates/xng/src/hypervisor.rs:
+crates/xng/src/partition.rs:
+crates/xng/src/ports.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

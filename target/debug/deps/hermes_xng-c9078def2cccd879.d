@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hermes_xng-c9078def2cccd879.d: crates/xng/src/lib.rs crates/xng/src/config.rs crates/xng/src/health.rs crates/xng/src/hypercall.rs crates/xng/src/hypervisor.rs crates/xng/src/partition.rs crates/xng/src/ports.rs
+
+/root/repo/target/debug/deps/libhermes_xng-c9078def2cccd879.rlib: crates/xng/src/lib.rs crates/xng/src/config.rs crates/xng/src/health.rs crates/xng/src/hypercall.rs crates/xng/src/hypervisor.rs crates/xng/src/partition.rs crates/xng/src/ports.rs
+
+/root/repo/target/debug/deps/libhermes_xng-c9078def2cccd879.rmeta: crates/xng/src/lib.rs crates/xng/src/config.rs crates/xng/src/health.rs crates/xng/src/hypercall.rs crates/xng/src/hypervisor.rs crates/xng/src/partition.rs crates/xng/src/ports.rs
+
+crates/xng/src/lib.rs:
+crates/xng/src/config.rs:
+crates/xng/src/health.rs:
+crates/xng/src/hypercall.rs:
+crates/xng/src/hypervisor.rs:
+crates/xng/src/partition.rs:
+crates/xng/src/ports.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_burst-60e12a0870f1f33d.d: crates/axi/tests/prop_burst.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_burst-60e12a0870f1f33d.rmeta: crates/axi/tests/prop_burst.rs Cargo.toml
+
+crates/axi/tests/prop_burst.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

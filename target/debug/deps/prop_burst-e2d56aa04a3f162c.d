@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_burst-e2d56aa04a3f162c.d: crates/axi/tests/prop_burst.rs
+
+/root/repo/target/debug/deps/prop_burst-e2d56aa04a3f162c: crates/axi/tests/prop_burst.rs
+
+crates/axi/tests/prop_burst.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_isa-5c75c340fcb15c49.d: crates/cpu/tests/prop_isa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_isa-5c75c340fcb15c49.rmeta: crates/cpu/tests/prop_isa.rs Cargo.toml
+
+crates/cpu/tests/prop_isa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_isa-8e8532d7a520edf7.d: crates/cpu/tests/prop_isa.rs
+
+/root/repo/target/debug/deps/prop_isa-8e8532d7a520edf7: crates/cpu/tests/prop_isa.rs
+
+crates/cpu/tests/prop_isa.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_retry-0868a51e502d399d.d: crates/axi/tests/prop_retry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_retry-0868a51e502d399d.rmeta: crates/axi/tests/prop_retry.rs Cargo.toml
+
+crates/axi/tests/prop_retry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_retry-272bfa445569470e.d: crates/axi/tests/prop_retry.rs
+
+/root/repo/target/debug/deps/prop_retry-272bfa445569470e: crates/axi/tests/prop_retry.rs
+
+crates/axi/tests/prop_retry.rs:

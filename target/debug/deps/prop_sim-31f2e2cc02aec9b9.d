@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_sim-31f2e2cc02aec9b9.d: crates/rtl/tests/prop_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_sim-31f2e2cc02aec9b9.rmeta: crates/rtl/tests/prop_sim.rs Cargo.toml
+
+crates/rtl/tests/prop_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

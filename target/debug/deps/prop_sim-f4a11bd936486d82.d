@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_sim-f4a11bd936486d82.d: crates/rtl/tests/prop_sim.rs
+
+/root/repo/target/debug/deps/prop_sim-f4a11bd936486d82: crates/rtl/tests/prop_sim.rs
+
+crates/rtl/tests/prop_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f4e6adc2a958f7ed.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f4e6adc2a958f7ed: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/boot_chain-7b5dcbcc3b55185d.d: examples/boot_chain.rs Cargo.toml
+
+/root/repo/target/debug/examples/libboot_chain-7b5dcbcc3b55185d.rmeta: examples/boot_chain.rs Cargo.toml
+
+examples/boot_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

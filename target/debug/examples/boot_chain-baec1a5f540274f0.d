@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/boot_chain-baec1a5f540274f0.d: examples/boot_chain.rs
+
+/root/repo/target/debug/examples/boot_chain-baec1a5f540274f0: examples/boot_chain.rs
+
+examples/boot_chain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_pipeline-d743e192d4308b34.d: examples/image_pipeline.rs
+
+/root/repo/target/debug/examples/image_pipeline-d743e192d4308b34: examples/image_pipeline.rs
+
+examples/image_pipeline.rs:

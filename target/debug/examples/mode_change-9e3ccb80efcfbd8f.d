@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mode_change-9e3ccb80efcfbd8f.d: examples/mode_change.rs
+
+/root/repo/target/debug/examples/mode_change-9e3ccb80efcfbd8f: examples/mode_change.rs
+
+examples/mode_change.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mode_change-c567266858e16f8b.d: examples/mode_change.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmode_change-c567266858e16f8b.rmeta: examples/mode_change.rs Cargo.toml
+
+examples/mode_change.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

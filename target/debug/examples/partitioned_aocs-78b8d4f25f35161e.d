@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/partitioned_aocs-78b8d4f25f35161e.d: examples/partitioned_aocs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpartitioned_aocs-78b8d4f25f35161e.rmeta: examples/partitioned_aocs.rs Cargo.toml
+
+examples/partitioned_aocs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partitioned_aocs-db6b7fd3d23dfd4c.d: examples/partitioned_aocs.rs
+
+/root/repo/target/debug/examples/partitioned_aocs-db6b7fd3d23dfd4c: examples/partitioned_aocs.rs
+
+examples/partitioned_aocs.rs:

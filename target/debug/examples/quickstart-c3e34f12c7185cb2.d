@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c3e34f12c7185cb2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c3e34f12c7185cb2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rad_campaign-5c729875a88e84ab.d: examples/rad_campaign.rs
+
+/root/repo/target/debug/examples/rad_campaign-5c729875a88e84ab: examples/rad_campaign.rs
+
+examples/rad_campaign.rs:

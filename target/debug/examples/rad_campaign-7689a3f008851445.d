@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rad_campaign-7689a3f008851445.d: examples/rad_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/librad_campaign-7689a3f008851445.rmeta: examples/rad_campaign.rs Cargo.toml
+
+examples/rad_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

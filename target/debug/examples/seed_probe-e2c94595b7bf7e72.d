@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seed_probe-e2c94595b7bf7e72.d: crates/rad/examples/seed_probe.rs
+
+/root/repo/target/debug/examples/seed_probe-e2c94595b7bf7e72: crates/rad/examples/seed_probe.rs
+
+crates/rad/examples/seed_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-39d18fa4c74775f7.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-39d18fa4c74775f7: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

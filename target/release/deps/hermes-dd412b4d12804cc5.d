@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hermes-dd412b4d12804cc5.d: src/lib.rs
+
+/root/repo/target/release/deps/libhermes-dd412b4d12804cc5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhermes-dd412b4d12804cc5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hermes_apps-94a701c9df9a9c86.d: crates/apps/src/lib.rs crates/apps/src/ai.rs crates/apps/src/aocs.rs crates/apps/src/eor.rs crates/apps/src/image.rs crates/apps/src/sdr.rs crates/apps/src/vbn.rs
+
+/root/repo/target/release/deps/libhermes_apps-94a701c9df9a9c86.rlib: crates/apps/src/lib.rs crates/apps/src/ai.rs crates/apps/src/aocs.rs crates/apps/src/eor.rs crates/apps/src/image.rs crates/apps/src/sdr.rs crates/apps/src/vbn.rs
+
+/root/repo/target/release/deps/libhermes_apps-94a701c9df9a9c86.rmeta: crates/apps/src/lib.rs crates/apps/src/ai.rs crates/apps/src/aocs.rs crates/apps/src/eor.rs crates/apps/src/image.rs crates/apps/src/sdr.rs crates/apps/src/vbn.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/ai.rs:
+crates/apps/src/aocs.rs:
+crates/apps/src/eor.rs:
+crates/apps/src/image.rs:
+crates/apps/src/sdr.rs:
+crates/apps/src/vbn.rs:

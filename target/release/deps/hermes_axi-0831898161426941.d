@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hermes_axi-0831898161426941.d: crates/axi/src/lib.rs crates/axi/src/cache.rs crates/axi/src/checker.rs crates/axi/src/master.rs crates/axi/src/memory.rs crates/axi/src/testbench.rs crates/axi/src/transaction.rs
+
+/root/repo/target/release/deps/libhermes_axi-0831898161426941.rlib: crates/axi/src/lib.rs crates/axi/src/cache.rs crates/axi/src/checker.rs crates/axi/src/master.rs crates/axi/src/memory.rs crates/axi/src/testbench.rs crates/axi/src/transaction.rs
+
+/root/repo/target/release/deps/libhermes_axi-0831898161426941.rmeta: crates/axi/src/lib.rs crates/axi/src/cache.rs crates/axi/src/checker.rs crates/axi/src/master.rs crates/axi/src/memory.rs crates/axi/src/testbench.rs crates/axi/src/transaction.rs
+
+crates/axi/src/lib.rs:
+crates/axi/src/cache.rs:
+crates/axi/src/checker.rs:
+crates/axi/src/master.rs:
+crates/axi/src/memory.rs:
+crates/axi/src/testbench.rs:
+crates/axi/src/transaction.rs:

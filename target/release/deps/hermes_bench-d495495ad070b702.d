@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/hermes_bench-d495495ad070b702.d: crates/bench/src/lib.rs crates/bench/src/e1_hls_flow.rs crates/bench/src/e2_fpga_flow.rs crates/bench/src/e3_characterization.rs crates/bench/src/e4_axi.rs crates/bench/src/e5_hypervisor.rs crates/bench/src/e6_boot.rs crates/bench/src/e7_usecases.rs crates/bench/src/e8_radiation.rs crates/bench/src/e9_dataflow.rs crates/bench/src/e10_chaos.rs crates/bench/src/hdl_check.rs crates/bench/src/kernels.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libhermes_bench-d495495ad070b702.rlib: crates/bench/src/lib.rs crates/bench/src/e1_hls_flow.rs crates/bench/src/e2_fpga_flow.rs crates/bench/src/e3_characterization.rs crates/bench/src/e4_axi.rs crates/bench/src/e5_hypervisor.rs crates/bench/src/e6_boot.rs crates/bench/src/e7_usecases.rs crates/bench/src/e8_radiation.rs crates/bench/src/e9_dataflow.rs crates/bench/src/e10_chaos.rs crates/bench/src/hdl_check.rs crates/bench/src/kernels.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libhermes_bench-d495495ad070b702.rmeta: crates/bench/src/lib.rs crates/bench/src/e1_hls_flow.rs crates/bench/src/e2_fpga_flow.rs crates/bench/src/e3_characterization.rs crates/bench/src/e4_axi.rs crates/bench/src/e5_hypervisor.rs crates/bench/src/e6_boot.rs crates/bench/src/e7_usecases.rs crates/bench/src/e8_radiation.rs crates/bench/src/e9_dataflow.rs crates/bench/src/e10_chaos.rs crates/bench/src/hdl_check.rs crates/bench/src/kernels.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/e1_hls_flow.rs:
+crates/bench/src/e2_fpga_flow.rs:
+crates/bench/src/e3_characterization.rs:
+crates/bench/src/e4_axi.rs:
+crates/bench/src/e5_hypervisor.rs:
+crates/bench/src/e6_boot.rs:
+crates/bench/src/e7_usecases.rs:
+crates/bench/src/e8_radiation.rs:
+crates/bench/src/e9_dataflow.rs:
+crates/bench/src/e10_chaos.rs:
+crates/bench/src/hdl_check.rs:
+crates/bench/src/kernels.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hermes_boot-577188ecb7c868d8.d: crates/boot/src/lib.rs crates/boot/src/bl0.rs crates/boot/src/bl1.rs crates/boot/src/flash.rs crates/boot/src/loadlist.rs crates/boot/src/report.rs crates/boot/src/spacewire.rs
+
+/root/repo/target/release/deps/libhermes_boot-577188ecb7c868d8.rlib: crates/boot/src/lib.rs crates/boot/src/bl0.rs crates/boot/src/bl1.rs crates/boot/src/flash.rs crates/boot/src/loadlist.rs crates/boot/src/report.rs crates/boot/src/spacewire.rs
+
+/root/repo/target/release/deps/libhermes_boot-577188ecb7c868d8.rmeta: crates/boot/src/lib.rs crates/boot/src/bl0.rs crates/boot/src/bl1.rs crates/boot/src/flash.rs crates/boot/src/loadlist.rs crates/boot/src/report.rs crates/boot/src/spacewire.rs
+
+crates/boot/src/lib.rs:
+crates/boot/src/bl0.rs:
+crates/boot/src/bl1.rs:
+crates/boot/src/flash.rs:
+crates/boot/src/loadlist.rs:
+crates/boot/src/report.rs:
+crates/boot/src/spacewire.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hermes_chaos-7d5f7b2c96124a89.d: crates/chaos/src/lib.rs crates/chaos/src/plan.rs crates/chaos/src/report.rs crates/chaos/src/scenario.rs
+
+/root/repo/target/release/deps/libhermes_chaos-7d5f7b2c96124a89.rlib: crates/chaos/src/lib.rs crates/chaos/src/plan.rs crates/chaos/src/report.rs crates/chaos/src/scenario.rs
+
+/root/repo/target/release/deps/libhermes_chaos-7d5f7b2c96124a89.rmeta: crates/chaos/src/lib.rs crates/chaos/src/plan.rs crates/chaos/src/report.rs crates/chaos/src/scenario.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/plan.rs:
+crates/chaos/src/report.rs:
+crates/chaos/src/scenario.rs:

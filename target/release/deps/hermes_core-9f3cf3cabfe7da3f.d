@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hermes_core-9f3cf3cabfe7da3f.d: crates/core/src/lib.rs crates/core/src/accelerator.rs crates/core/src/mission.rs
+
+/root/repo/target/release/deps/libhermes_core-9f3cf3cabfe7da3f.rlib: crates/core/src/lib.rs crates/core/src/accelerator.rs crates/core/src/mission.rs
+
+/root/repo/target/release/deps/libhermes_core-9f3cf3cabfe7da3f.rmeta: crates/core/src/lib.rs crates/core/src/accelerator.rs crates/core/src/mission.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accelerator.rs:
+crates/core/src/mission.rs:

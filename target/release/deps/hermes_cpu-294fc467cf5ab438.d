@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hermes_cpu-294fc467cf5ab438.d: crates/cpu/src/lib.rs crates/cpu/src/cluster.rs crates/cpu/src/hart.rs crates/cpu/src/isa.rs crates/cpu/src/memmap.rs crates/cpu/src/mpu.rs
+
+/root/repo/target/release/deps/libhermes_cpu-294fc467cf5ab438.rlib: crates/cpu/src/lib.rs crates/cpu/src/cluster.rs crates/cpu/src/hart.rs crates/cpu/src/isa.rs crates/cpu/src/memmap.rs crates/cpu/src/mpu.rs
+
+/root/repo/target/release/deps/libhermes_cpu-294fc467cf5ab438.rmeta: crates/cpu/src/lib.rs crates/cpu/src/cluster.rs crates/cpu/src/hart.rs crates/cpu/src/isa.rs crates/cpu/src/memmap.rs crates/cpu/src/mpu.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/cluster.rs:
+crates/cpu/src/hart.rs:
+crates/cpu/src/isa.rs:
+crates/cpu/src/memmap.rs:
+crates/cpu/src/mpu.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hermes_eucalyptus-3aa6af2089b21998.d: crates/eucalyptus/src/lib.rs crates/eucalyptus/src/library.rs crates/eucalyptus/src/sweep.rs crates/eucalyptus/src/templates.rs
+
+/root/repo/target/release/deps/libhermes_eucalyptus-3aa6af2089b21998.rlib: crates/eucalyptus/src/lib.rs crates/eucalyptus/src/library.rs crates/eucalyptus/src/sweep.rs crates/eucalyptus/src/templates.rs
+
+/root/repo/target/release/deps/libhermes_eucalyptus-3aa6af2089b21998.rmeta: crates/eucalyptus/src/lib.rs crates/eucalyptus/src/library.rs crates/eucalyptus/src/sweep.rs crates/eucalyptus/src/templates.rs
+
+crates/eucalyptus/src/lib.rs:
+crates/eucalyptus/src/library.rs:
+crates/eucalyptus/src/sweep.rs:
+crates/eucalyptus/src/templates.rs:

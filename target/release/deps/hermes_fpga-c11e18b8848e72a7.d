@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hermes_fpga-c11e18b8848e72a7.d: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/device.rs crates/fpga/src/flow.rs crates/fpga/src/place.rs crates/fpga/src/primitives.rs crates/fpga/src/route.rs crates/fpga/src/synth.rs crates/fpga/src/timing.rs
+
+/root/repo/target/release/deps/libhermes_fpga-c11e18b8848e72a7.rlib: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/device.rs crates/fpga/src/flow.rs crates/fpga/src/place.rs crates/fpga/src/primitives.rs crates/fpga/src/route.rs crates/fpga/src/synth.rs crates/fpga/src/timing.rs
+
+/root/repo/target/release/deps/libhermes_fpga-c11e18b8848e72a7.rmeta: crates/fpga/src/lib.rs crates/fpga/src/bitstream.rs crates/fpga/src/device.rs crates/fpga/src/flow.rs crates/fpga/src/place.rs crates/fpga/src/primitives.rs crates/fpga/src/route.rs crates/fpga/src/synth.rs crates/fpga/src/timing.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/bitstream.rs:
+crates/fpga/src/device.rs:
+crates/fpga/src/flow.rs:
+crates/fpga/src/place.rs:
+crates/fpga/src/primitives.rs:
+crates/fpga/src/route.rs:
+crates/fpga/src/synth.rs:
+crates/fpga/src/timing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hermes_rad-4254e52dd3ca67b7.d: crates/rad/src/lib.rs crates/rad/src/campaign.rs crates/rad/src/edac.rs crates/rad/src/scrub.rs crates/rad/src/seu.rs crates/rad/src/tmr.rs
+
+/root/repo/target/release/deps/libhermes_rad-4254e52dd3ca67b7.rlib: crates/rad/src/lib.rs crates/rad/src/campaign.rs crates/rad/src/edac.rs crates/rad/src/scrub.rs crates/rad/src/seu.rs crates/rad/src/tmr.rs
+
+/root/repo/target/release/deps/libhermes_rad-4254e52dd3ca67b7.rmeta: crates/rad/src/lib.rs crates/rad/src/campaign.rs crates/rad/src/edac.rs crates/rad/src/scrub.rs crates/rad/src/seu.rs crates/rad/src/tmr.rs
+
+crates/rad/src/lib.rs:
+crates/rad/src/campaign.rs:
+crates/rad/src/edac.rs:
+crates/rad/src/scrub.rs:
+crates/rad/src/seu.rs:
+crates/rad/src/tmr.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hermes_rtl-df850cd2126d538d.d: crates/rtl/src/lib.rs crates/rtl/src/component.rs crates/rtl/src/netlist.rs crates/rtl/src/rng.rs crates/rtl/src/sim.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+/root/repo/target/release/deps/libhermes_rtl-df850cd2126d538d.rlib: crates/rtl/src/lib.rs crates/rtl/src/component.rs crates/rtl/src/netlist.rs crates/rtl/src/rng.rs crates/rtl/src/sim.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+/root/repo/target/release/deps/libhermes_rtl-df850cd2126d538d.rmeta: crates/rtl/src/lib.rs crates/rtl/src/component.rs crates/rtl/src/netlist.rs crates/rtl/src/rng.rs crates/rtl/src/sim.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/component.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/rng.rs:
+crates/rtl/src/sim.rs:
+crates/rtl/src/verilog.rs:
+crates/rtl/src/vhdl.rs:

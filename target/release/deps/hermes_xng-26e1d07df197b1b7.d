@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hermes_xng-26e1d07df197b1b7.d: crates/xng/src/lib.rs crates/xng/src/config.rs crates/xng/src/health.rs crates/xng/src/hypercall.rs crates/xng/src/hypervisor.rs crates/xng/src/partition.rs crates/xng/src/ports.rs
+
+/root/repo/target/release/deps/libhermes_xng-26e1d07df197b1b7.rlib: crates/xng/src/lib.rs crates/xng/src/config.rs crates/xng/src/health.rs crates/xng/src/hypercall.rs crates/xng/src/hypervisor.rs crates/xng/src/partition.rs crates/xng/src/ports.rs
+
+/root/repo/target/release/deps/libhermes_xng-26e1d07df197b1b7.rmeta: crates/xng/src/lib.rs crates/xng/src/config.rs crates/xng/src/health.rs crates/xng/src/hypercall.rs crates/xng/src/hypervisor.rs crates/xng/src/partition.rs crates/xng/src/ports.rs
+
+crates/xng/src/lib.rs:
+crates/xng/src/config.rs:
+crates/xng/src/health.rs:
+crates/xng/src/hypercall.rs:
+crates/xng/src/hypervisor.rs:
+crates/xng/src/partition.rs:
+crates/xng/src/ports.rs:

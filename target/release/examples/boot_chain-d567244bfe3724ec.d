@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/boot_chain-d567244bfe3724ec.d: examples/boot_chain.rs
+
+/root/repo/target/release/examples/boot_chain-d567244bfe3724ec: examples/boot_chain.rs
+
+examples/boot_chain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/partitioned_aocs-1fcf48b63bf9fd68.d: examples/partitioned_aocs.rs
+
+/root/repo/target/release/examples/partitioned_aocs-1fcf48b63bf9fd68: examples/partitioned_aocs.rs
+
+examples/partitioned_aocs.rs:

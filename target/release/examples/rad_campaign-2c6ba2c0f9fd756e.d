@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rad_campaign-2c6ba2c0f9fd756e.d: examples/rad_campaign.rs
+
+/root/repo/target/release/examples/rad_campaign-2c6ba2c0f9fd756e: examples/rad_campaign.rs
+
+examples/rad_campaign.rs:

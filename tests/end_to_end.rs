@@ -28,7 +28,7 @@ fn c_source_to_booted_mission() {
         .expect("accelerator flow");
     // the HLS design is functionally correct
     let sim = artifact.design.simulate(&[10, 20, 30]).expect("simulate");
-    assert_eq!(sim.return_value, Some((10 ^ 20) + (20 ^ 30) + (10 % 31)));
+    assert_eq!(sim.return_value, Some((10 ^ 20) + (20 ^ 30) + 10)); // 10 % 31 == 10
 
     let outcome = MissionBuilder::new()
         .redundancy(RedundancyMode::Tmr)
