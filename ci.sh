@@ -7,4 +7,21 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Parallel determinism gate: the worker count is a throughput knob, never a
+# results knob. Run the fanned-out experiments serial and 4-wide and diff
+# everything except the wall-clock lines.
+EXP=target/release/experiments
+strip_timing() { grep -v "completed in" "$1" > "$1.stripped"; }
+HERMES_JOBS=1 "$EXP" e1 e2 e7 e10 > /tmp/hermes_serial.txt
+HERMES_JOBS=4 "$EXP" e1 e2 e7 e10 > /tmp/hermes_par.txt
+strip_timing /tmp/hermes_serial.txt
+strip_timing /tmp/hermes_par.txt
+diff /tmp/hermes_serial.txt.stripped /tmp/hermes_par.txt.stripped \
+  || { echo "ci: parallel output diverged from serial" >&2; exit 1; }
+
+# E11 smoke: the throughput experiment must run end to end and emit JSON.
+"$EXP" e11 --json /tmp/hermes_bench_smoke.json > /dev/null
+python3 -c "import json; json.load(open('/tmp/hermes_bench_smoke.json'))" 2>/dev/null \
+  || grep -q '"schema": "hermes-bench/v1"' /tmp/hermes_bench_smoke.json
+
 echo "ci: OK"

@@ -4,16 +4,35 @@
 //! ```sh
 //! cargo run --release -p hermes-bench --bin experiments        # all
 //! cargo run --release -p hermes-bench --bin experiments e5 e9  # subset
+//! cargo run --release -p hermes-bench --bin experiments e11 --json BENCH_hermes.json
 //! ```
 
+use hermes_bench::json::Json;
+
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let mut filter: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a file path");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            filter.push(arg);
+        }
+    }
     let experiments = hermes_bench::all_experiments();
     if let Some(unknown) = filter.iter().find(|f| !experiments.iter().any(|(id, _, _)| id == f)) {
         let ids: Vec<&str> = experiments.iter().map(|(id, _, _)| *id).collect();
         eprintln!("unknown experiment `{unknown}`; available: {}", ids.join(" "));
         std::process::exit(1);
     }
+    let mut ran: Vec<(&str, &str, hermes_bench::ExperimentOutput)> = Vec::new();
     for (id, title, runner) in experiments {
         if !filter.is_empty() && !filter.iter().any(|f| f == id) {
             continue;
@@ -23,7 +42,36 @@ fn main() {
         println!("==================================================================");
         let start = std::time::Instant::now();
         let output = runner();
-        println!("{output}");
+        println!("{}", output.text);
         println!("[{} completed in {:.2} s]\n", id, start.elapsed().as_secs_f64());
+        ran.push((id, title, output));
+    }
+    if let Some(path) = json_path {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let doc = Json::obj(vec![
+            ("schema", Json::Str("hermes-bench/v1".into())),
+            ("host_cores", Json::Int(cores as i64)),
+            ("jobs", Json::Int(hermes_par::jobs() as i64)),
+            (
+                "experiments",
+                Json::Arr(
+                    ran.iter()
+                        .map(|(id, title, out)| {
+                            Json::obj(vec![
+                                ("id", Json::Str((*id).into())),
+                                ("title", Json::Str((*title).into())),
+                                ("tables", out.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let body = doc.render();
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
     }
 }

@@ -10,10 +10,16 @@
 
 use crate::cells;
 use crate::table::Table;
+use crate::ExperimentOutput;
 use hermes_chaos::scenario;
 
 /// Run E10 and render its tables.
-pub fn run() -> String {
+pub fn run() -> ExperimentOutput {
+    run_with_jobs(hermes_par::jobs())
+}
+
+/// Run E10 with an explicit worker count (per-seed campaigns in parallel).
+pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {
     let seeds = [7u64, 11, 21, 42, 99, 1234];
 
     let mut a = Table::new(&[
@@ -25,9 +31,10 @@ pub fn run() -> String {
         "silent",
         "all_stages",
     ]);
-    let mut outcomes = Vec::new();
-    for &seed in &seeds {
-        let out = scenario::full_campaign(seed);
+    // each campaign is seeded and independent; results come back in seed order
+    let outcomes = hermes_par::par_map_jobs(jobs, &seeds, |&seed| scenario::full_campaign(seed))
+        .expect("campaigns are infallible");
+    for (&seed, out) in seeds.iter().zip(&outcomes) {
         let r = &out.report;
         a.row(cells![
             seed,
@@ -38,7 +45,6 @@ pub fn run() -> String {
             r.silent_corruptions,
             if r.all_stages_exercised() { "yes" } else { "no" },
         ]);
-        outcomes.push(out);
     }
 
     // recovery-stage counters for the reference seed
@@ -65,12 +71,16 @@ pub fn run() -> String {
         c.row(cells![label, n]);
     }
 
-    format!(
+    let text = format!(
         "E10a: chaos campaign sweep (full stack: boot, bus, link, mission)\n{}\n\
          E10b: recovery stages exercised (seed 42)\n{}\n\
          E10c: faults injected by class (seed 42)\n{}",
         a.render(),
         b.render(),
         c.render(),
-    )
+    );
+    ExperimentOutput::new(text)
+        .with("e10a", "chaos campaign sweep", a)
+        .with("e10b", "recovery stages (seed 42)", b)
+        .with("e10c", "fault classes (seed 42)", c)
 }

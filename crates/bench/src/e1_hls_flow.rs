@@ -6,20 +6,27 @@
 
 use crate::kernels::suite;
 use crate::table::Table;
-use crate::cells;
+use crate::{cells, ExperimentOutput};
 use hermes_hls::HlsFlow;
 
-/// Run E1 and render its table.
-pub fn run() -> String {
+/// Run E1 on the default worker count and render its table.
+pub fn run() -> ExperimentOutput {
+    run_with_jobs(hermes_par::jobs())
+}
+
+/// Run E1 with an explicit worker count; every count renders the same
+/// table (the per-kernel HLS flows are independent and results merge in
+/// suite order).
+pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {
     let flow = HlsFlow::new().unroll_limit(0);
     let mut t = Table::new(&[
         "kernel", "blocks", "nodes", "edges", "chain", "folded", "cse", "states",
         "fus", "regs", "fsm_bits", "cycles",
     ]);
-    for k in suite() {
+    let rows = hermes_par::par_map_jobs(jobs, &suite(), |k| {
         let d = k.compile(&flow);
         let r = k.simulate(&d);
-        t.row(cells![
+        cells![
             k.name,
             d.cdfg_stats.blocks,
             d.cdfg_stats.nodes,
@@ -32,19 +39,24 @@ pub fn run() -> String {
             d.binding.reg_count(),
             d.fsm.state_bits(),
             r.cycles,
-        ]);
+        ]
+    })
+    .expect("suite kernels are known-good");
+    for row in rows {
+        t.row(row);
     }
-    format!(
+    let text = format!(
         "E1: HLS flow metrics (clock 10 ns, default allocation)\n{}",
         t.render()
-    )
+    );
+    ExperimentOutput::new(text).with("e1", "HLS flow metrics", t)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn e1_produces_all_kernels() {
-        let out = super::run();
+        let out = super::run().text;
         for k in [
             "sobel", "conv3", "histogram", "fir", "correlate", "dft", "centroid", "mlp",
         ] {

@@ -9,13 +9,21 @@
 use crate::cells;
 use crate::kernels::suite;
 use crate::table::Table;
+use crate::ExperimentOutput;
 use hermes_fpga::device::DeviceProfile;
 use hermes_fpga::flow::{FlowOptions, NxFlow};
 use hermes_fpga::place::Effort;
 use hermes_hls::HlsFlow;
 
-/// Run E2 and render its tables.
-pub fn run() -> String {
+/// Run E2 on the default worker count and render its tables.
+pub fn run() -> ExperimentOutput {
+    run_with_jobs(hermes_par::jobs())
+}
+
+/// Run E2 with an explicit worker count; the per-kernel HLS→FPGA flows
+/// are independent and merge in suite order, so every count renders the
+/// same tables.
+pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {
     let hls = HlsFlow::new().unroll_limit(0);
     let device = DeviceProfile::ng_medium_like();
     let opts = FlowOptions {
@@ -26,14 +34,14 @@ pub fn run() -> String {
         "kernel", "luts", "ffs", "dsps", "rams", "wirelen", "fmax_mhz", "power_mw",
         "bitstream_B",
     ]);
-    for k in suite() {
+    let rows = hermes_par::par_map_jobs(jobs, &suite(), |k| {
         let d = k.compile(&hls);
         let mut kopts = opts.clone();
         kopts.multicycle = d.multicycle_hints();
         let report = NxFlow::new(device.clone(), kopts)
             .run(d.netlist())
             .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-        t.row(cells![
+        cells![
             k.name,
             report.utilization.luts,
             report.utilization.ffs,
@@ -43,7 +51,11 @@ pub fn run() -> String {
             format!("{:.1}", report.timing.fmax_mhz),
             format!("{:.1}", report.power.total_mw()),
             report.bitstream_bytes,
-        ]);
+        ]
+    })
+    .expect("suite kernels implement");
+    for row in rows {
+        t.row(row);
     }
 
     // device-generation ablation on a representative kernel
@@ -72,20 +84,23 @@ pub fn run() -> String {
             ),
         ]);
     }
-    format!(
+    let text = format!(
         "E2: implementation results on {} @ 100 MHz constraint\n{}\n\
          E2b: device-generation ablation (paper claim: 2x faster, 4x lower power)\n{}",
         device.name,
         t.render(),
         gen.render()
-    )
+    );
+    ExperimentOutput::new(text)
+        .with("e2", "implementation results", t)
+        .with("e2b", "device-generation ablation", gen)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn e2_reports_generation_gap() {
-        let out = super::run();
+        let out = super::run().text;
         assert!(out.contains("NG-MEDIUM-like"));
         assert!(out.contains("Legacy-65nm-like"));
         // speed ratio ~2x must appear on the modern device row

@@ -6,12 +6,19 @@
 
 use crate::cells;
 use crate::table::Table;
+use crate::ExperimentOutput;
 use hermes_eucalyptus::{Eucalyptus, SweepConfig};
 use hermes_fpga::device::DeviceProfile;
 use hermes_rtl::component::ComponentKind;
 
-/// Run E3 and render its table.
-pub fn run() -> String {
+/// Run E3 on the default worker count and render its table.
+pub fn run() -> ExperimentOutput {
+    run_with_jobs(hermes_par::jobs())
+}
+
+/// Run E3 with an explicit worker count for the kind × width sweep; the
+/// library (and hence the table) is identical for every count.
+pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {
     let sweep = SweepConfig {
         widths: vec![8, 16, 32, 64],
         pipeline_stages: vec![0, 1, 2],
@@ -23,7 +30,7 @@ pub fn run() -> String {
             ComponentKind::Divider,
             ComponentKind::RamTdp,
         ])
-        .characterize(&sweep)
+        .characterize_jobs(&sweep, jobs)
         .expect("characterization");
     let mut t = Table::new(&["component", "width", "stages", "delay_ns", "luts", "ffs", "dsps", "rams"]);
     for (key, e) in lib.iter() {
@@ -39,20 +46,21 @@ pub fn run() -> String {
         ]);
     }
     let xml_lines = lib.to_xml().lines().count();
-    format!(
+    let text = format!(
         "E3: Eucalyptus characterization of {} ({} entries, {} XML lines)\n{}",
         lib.device_name,
         lib.len(),
         xml_lines,
         t.render()
-    )
+    );
+    ExperimentOutput::new(text).with("e3", "Eucalyptus characterization", t)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn e3_covers_widths_and_stages() {
-        let out = super::run();
+        let out = super::run().text;
         assert!(out.contains("mul"));
         assert!(out.contains("div"));
         assert!(out.contains("64"));

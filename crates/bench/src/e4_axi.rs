@@ -8,6 +8,7 @@
 
 use crate::cells;
 use crate::table::Table;
+use crate::ExperimentOutput;
 use hermes_axi::cache::{AxiCache, CacheConfig};
 use hermes_axi::memory::MemoryTiming;
 use hermes_axi::testbench::AxiTestbench;
@@ -25,7 +26,7 @@ int sum(int *data, int n) {
 "#;
 
 /// Run E4 and render its tables.
-pub fn run() -> String {
+pub fn run() -> ExperimentOutput {
     // compile with an optimistic static memory estimate so the
     // bus-accurate co-simulation (not the static schedule) sets the pace
     let design = HlsFlow::new()
@@ -168,7 +169,7 @@ pub fn run() -> String {
         ]);
     }
 
-    format!(
+    let text = format!(
         "E4a: sum(64) accelerator vs slave-memory latency (bus-accurate)\n{}\n\
          E4b: aligned vs unaligned 512-byte reads\n{}\n\
          E4c: burst-length sweep reading 4 KiB\n{}\n\
@@ -177,14 +178,19 @@ pub fn run() -> String {
         b.render(),
         c.render(),
         d.render()
-    )
+    );
+    ExperimentOutput::new(text)
+        .with("e4a", "latency sensitivity", a)
+        .with("e4b", "aligned vs unaligned reads", b)
+        .with("e4c", "burst-length sweep", c)
+        .with("e4d", "accelerator-side cache", d)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn e4_latency_ordering_holds() {
-        let out = super::run();
+        let out = super::run().text;
         assert!(out.contains("ideal"));
         assert!(out.contains("slow-radtol"));
         // bandwidth rises with chunk size: last row must beat the first

@@ -9,6 +9,7 @@
 
 use crate::cells;
 use crate::table::Table;
+use crate::ExperimentOutput;
 use hermes_cpu::memmap::layout;
 use hermes_xng::config::{MemRegion, PartitionConfig, Plan, Slot, XngConfig};
 use hermes_xng::hypervisor::Hypervisor;
@@ -148,7 +149,7 @@ jal r0, loop",
 }
 
 /// Run E5 and render its tables.
-pub fn run() -> String {
+pub fn run() -> ExperimentOutput {
     let mut a = Table::new(&["co-resident", "victim_activations", "victim_jitter", "other_restarts"]);
     for scenario in ["well-behaved", "crashing", "mpu-attacker"] {
         let (act, jitter, restarts) = victim_with_coresident(scenario);
@@ -179,7 +180,7 @@ pub fn run() -> String {
     }
 
     let _ = PartitionId(0);
-    format!(
+    let text = format!(
         "E5a: victim partition regularity under misbehaving co-residents\n{}\n\
          E5b: hypercall service cost\n{}\n\
          E5c: multicore scaling of one parallel partition\n{}\n\
@@ -190,14 +191,19 @@ pub fn run() -> String {
         b.render(),
         c.render(),
         d.render()
-    )
+    );
+    ExperimentOutput::new(text)
+        .with("e5a", "victim regularity", a)
+        .with("e5b", "hypercall service cost", b)
+        .with("e5c", "multicore scaling", c)
+        .with("e5d", "intra-slot interference", d)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn e5_victim_unaffected() {
-        let out = super::run();
+        let out = super::run().text;
         // all three scenarios must report the same victim activation count
         let counts: Vec<&str> = out
             .lines()

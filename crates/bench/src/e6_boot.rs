@@ -6,6 +6,7 @@
 
 use crate::cells;
 use crate::table::Table;
+use crate::ExperimentOutput;
 use hermes_boot::bl1::{Bl1, BootSource};
 use hermes_boot::flash::{Flash, FlashImageBuilder, RedundancyMode};
 use hermes_boot::loadlist::LoadList;
@@ -26,7 +27,7 @@ fn mission_flash(mode: RedundancyMode) -> (Flash, LoadList) {
 }
 
 /// Run E6 and render its tables.
-pub fn run() -> String {
+pub fn run() -> ExperimentOutput {
     // stage breakdown, flash vs spacewire
     let mut a = Table::new(&["stage", "flash_cycles", "spw_cycles"]);
     let (flash, list) = mission_flash(RedundancyMode::Tmr);
@@ -75,19 +76,22 @@ pub fn run() -> String {
         }
     }
 
-    format!(
+    let text = format!(
         "E6a: boot stage breakdown, flash vs SpaceWire (cycles)\n{}\n\
          E6b: redundancy ablation with 64 upsets in flash copy 0\n{}",
         a.render(),
         b.render()
-    )
+    );
+    ExperimentOutput::new(text)
+        .with("e6a", "boot stage breakdown", a)
+        .with("e6b", "redundancy ablation", b)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn e6_shapes_hold() {
-        let out = super::run();
+        let out = super::run().text;
         assert!(out.contains("ddr-init"));
         // unprotected boot fails, protected ones succeed
         assert!(out.contains("FAILED"));

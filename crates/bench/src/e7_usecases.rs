@@ -12,6 +12,7 @@
 use crate::cells;
 use crate::kernels::suite;
 use crate::table::Table;
+use crate::ExperimentOutput;
 use hermes_cpu::cluster::Cluster;
 use hermes_cpu::isa::assemble;
 use hermes_cpu::memmap::layout;
@@ -61,7 +62,12 @@ fn validate_cost_model() -> (u64, u64) {
 }
 
 /// Run E7 and render its tables.
-pub fn run() -> String {
+pub fn run() -> ExperimentOutput {
+    run_with_jobs(hermes_par::jobs())
+}
+
+/// Run E7 with an explicit worker count (per-kernel flows in parallel).
+pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {
     let (model, measured) = validate_cost_model();
     let mut v = Table::new(&["baseline validation", "cycles"]);
     v.row(cells!["cost model (acc loop, n=64)", model]);
@@ -75,17 +81,21 @@ pub fn run() -> String {
     // latency (prefetched), while the CPU model pays blended-cache cost
     let flow = HlsFlow::new().unroll_limit(0).ext_mem_latency(2, 1);
     let mut t = Table::new(&["kernel", "hw_cycles", "sw_cycles", "speedup", "ops"]);
-    for k in suite() {
+    let rows = hermes_par::par_map_jobs(jobs, &suite(), |k| {
         let d = k.compile(&flow);
         let r = k.simulate(&d);
         let sw = r.op_census.cpu_cycles(CPU_MUL, CPU_DIV, CPU_MEM);
-        t.row(cells![
+        cells![
             k.name,
             r.cycles,
             sw,
             format!("{:.2}x", sw as f64 / r.cycles as f64),
             r.op_census.total(),
-        ]);
+        ]
+    })
+    .expect("suite kernels are known-good");
+    for row in rows {
+        t.row(row);
     }
 
     // scaling sweep: histogram over growing frames
@@ -112,14 +122,18 @@ pub fn run() -> String {
         ]);
     }
 
-    format!(
+    let text = format!(
         "E7: software-baseline cost-model validation\n{}\n\
          E7a: HLS accelerator vs software baseline (standard stimuli)\n{}\n\
          E7b: histogram scaling with frame size\n{}",
         v.render(),
         t.render(),
         s.render()
-    )
+    );
+    ExperimentOutput::new(text)
+        .with("e7", "cost-model validation", v)
+        .with("e7a", "accelerator vs software baseline", t)
+        .with("e7b", "histogram scaling", s)
 }
 
 #[cfg(test)]
@@ -136,7 +150,7 @@ mod tests {
 
     #[test]
     fn e7_accelerators_win() {
-        let out = super::run();
+        let out = super::run().text;
         // every suite row reports a >= 1x speedup
         for line in out.lines().filter(|l| l.contains('x') && l.contains("  ")) {
             if let Some(sp) = line

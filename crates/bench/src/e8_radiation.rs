@@ -7,10 +7,11 @@
 
 use crate::cells;
 use crate::table::Table;
+use crate::ExperimentOutput;
 use hermes_rad::campaign::{bitstream_campaign, Campaign, Protection};
 
 /// Run E8 and render its tables.
-pub fn run() -> String {
+pub fn run() -> ExperimentOutput {
     let mut a = Table::new(&[
         "protection", "upsets", "silent", "detected", "corrected", "overhead%",
     ]);
@@ -72,7 +73,7 @@ pub fn run() -> String {
     d.row(cells!["corrupted frames detected by CRC", r.detected_frames]);
     d.row(cells!["corrupted frames undetected", r.undetected_frames]);
 
-    format!(
+    let text = format!(
         "E8a: protection comparison (4096 words, 400 upsets, scrub@1000)\n{}\n\
          E8b: scrub-interval sweep (256 words, 3000 upsets)\n{}\n\
          E8c: flux sweep (1024 words, scrub@2000)\n{}\n\
@@ -81,14 +82,19 @@ pub fn run() -> String {
         b.render(),
         c.render(),
         d.render()
-    )
+    );
+    ExperimentOutput::new(text)
+        .with("e8a", "protection comparison", a)
+        .with("e8b", "scrub-interval sweep", b)
+        .with("e8c", "flux sweep", c)
+        .with("e8d", "config CRC audit", d)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn e8_protection_ordering() {
-        let out = super::run();
+        let out = super::run().text;
         assert!(out.contains("Tmr"));
         assert!(out.contains("Edac"));
         assert!(out.contains("corrupted frames undetected"));

@@ -10,6 +10,7 @@
 
 use crate::cells;
 use crate::table::Table;
+use crate::ExperimentOutput;
 use hermes_hls::dataflow::{synthesize_dataflow, synthesize_monolithic, Task, TaskGraph};
 use hermes_hls::HlsFlow;
 
@@ -47,7 +48,7 @@ fn flows(n: usize, a: &Task, b: &Task) -> TaskGraph {
 }
 
 /// Run E9 and render its table.
-pub fn run() -> String {
+pub fn run() -> ExperimentOutput {
     let (a, b) = pipeline_tasks();
     let items = 200u64;
     let mut t = Table::new(&[
@@ -75,18 +76,19 @@ pub fn run() -> String {
             format!("{:.2}x", mono.total_cycles as f64 / df.total_cycles as f64),
         ]);
     }
-    format!(
+    let text = format!(
         "E9: monolithic vs dataflow controller synthesis \
          ({} items streamed; task FSMs: {} and {} states)\n{}",
         items, a.states, b.states, t.render()
-    )
+    );
+    ExperimentOutput::new(text).with("e9", "monolithic vs dataflow", t)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn e9_controller_explosion_visible() {
-        let out = super::run();
+        let out = super::run().text;
         let rows: Vec<Vec<u64>> = out
             .lines()
             .filter(|l| l.trim().starts_with(|c: char| c.is_ascii_digit()))

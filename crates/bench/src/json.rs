@@ -1,0 +1,168 @@
+//! Minimal JSON document model and writer (std-only, no dependencies).
+//!
+//! Just enough JSON for the structured experiment output behind the
+//! `experiments --json <path>` flag and the `BENCH_hermes.json` perf
+//! trajectory: objects, arrays, strings, integers, and floats, rendered
+//! deterministically (insertion order, fixed float formatting).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A string.
+    Str(String),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A float (serialized via Rust's shortest-roundtrip formatting).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object builder from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Parse a table cell into the most specific scalar: integer, float,
+    /// then string (so `"12"` serializes as a number but `"2.00x"` stays
+    /// text).
+    pub fn cell(s: &str) -> Json {
+        if let Ok(i) = s.parse::<i64>() {
+            return Json::Int(i);
+        }
+        if let Ok(f) = s.parse::<f64>() {
+            if f.is_finite() {
+                return Json::Num(f);
+            }
+        }
+        Json::Str(s.to_string())
+    }
+
+    /// Serialize with 2-space indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(f) => {
+                if f.is_finite() {
+                    // shortest-roundtrip formatting; a whole float prints
+                    // without a decimal point, which is still a JSON number
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let doc = Json::obj(vec![
+            ("name", Json::Str("e11".into())),
+            ("workers", Json::Arr(vec![Json::Int(1), Json::Int(2), Json::Int(4)])),
+            ("speedup", Json::Num(2.5)),
+            ("ok", Json::Bool(true)),
+        ]);
+        let s = doc.render();
+        assert!(s.contains("\"name\": \"e11\""));
+        assert!(s.contains("\"speedup\": 2.5"));
+        assert!(s.contains("\"ok\": true"));
+        assert!(s.trim_start().starts_with('{') && s.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn cell_picks_most_specific_type() {
+        assert_eq!(Json::cell("42"), Json::Int(42));
+        assert_eq!(Json::cell("-7"), Json::Int(-7));
+        assert_eq!(Json::cell("3.25"), Json::Num(3.25));
+        assert_eq!(Json::cell("2.00x"), Json::Str("2.00x".into()));
+        assert_eq!(Json::cell("ok"), Json::Str("ok".into()));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = Json::Str("a\"b\\c\nd".into()).render();
+        assert_eq!(s.trim(), r#""a\"b\\c\nd""#);
+    }
+}

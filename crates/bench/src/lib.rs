@@ -1,7 +1,7 @@
 //! # hermes-bench
 //!
 //! The experiment harness: one module per experiment of EXPERIMENTS.md
-//! (E1–E10), each regenerating the corresponding table. The paper itself is
+//! (E1–E11), each regenerating the corresponding table. The paper itself is
 //! a project report with architecture figures rather than result tables;
 //! each experiment therefore reproduces the *measurable claim* behind a
 //! figure or section, as mapped in DESIGN.md.
@@ -13,6 +13,11 @@
 //! ```
 //!
 //! or one of them: `cargo run --release -p hermes-bench --bin experiments e5`.
+//! Pass `--json <path>` to also write the tables as structured JSON (this
+//! is how `BENCH_hermes.json`, the perf trajectory baseline, is produced
+//! from E11), and set `HERMES_JOBS=<n>` to pin the worker count of the
+//! parallel experiments (E1/E2/E3/E7/E10 fan their independent units over
+//! `hermes-par`; any worker count renders bit-identical tables).
 
 pub mod e1_hls_flow;
 pub mod e2_fpga_flow;
@@ -24,17 +29,69 @@ pub mod e7_usecases;
 pub mod e8_radiation;
 pub mod e9_dataflow;
 pub mod e10_chaos;
+pub mod e11_throughput;
 pub mod hdl_check;
+pub mod json;
 pub mod kernels;
 pub mod table;
 
+use json::Json;
+use table::Table;
+
+/// The result of one experiment run: the rendered text plus the underlying
+/// tables for machine-readable output.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentOutput {
+    /// Human-readable rendering (what EXPERIMENTS.md records).
+    pub text: String,
+    /// The tables behind the text: `(table id, title, table)`.
+    pub tables: Vec<(String, String, Table)>,
+}
+
+impl ExperimentOutput {
+    /// Output with rendered text and no tables yet.
+    pub fn new(text: impl Into<String>) -> Self {
+        ExperimentOutput {
+            text: text.into(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Attach a named table (builder-style).
+    #[must_use]
+    pub fn with(mut self, id: &str, title: &str, table: Table) -> Self {
+        self.tables.push((id.to_string(), title.to_string(), table));
+        self
+    }
+
+    /// The tables as a JSON array.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.tables
+                .iter()
+                .map(|(id, title, t)| {
+                    Json::obj(vec![
+                        ("id", Json::Str(id.clone())),
+                        ("title", Json::Str(title.clone())),
+                        ("rows", t.to_json()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
 /// One experiment: `(id, title, runner)`.
-pub type Experiment = (&'static str, &'static str, fn() -> String);
+pub type Experiment = (&'static str, &'static str, fn() -> ExperimentOutput);
 
 /// Every experiment.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        ("e1", "HLS flow metrics (Fig. 2)", e1_hls_flow::run as fn() -> String),
+        (
+            "e1",
+            "HLS flow metrics (Fig. 2)",
+            e1_hls_flow::run as fn() -> ExperimentOutput,
+        ),
         ("e2", "FPGA implementation flow (Fig. 3)", e2_fpga_flow::run),
         ("e3", "Eucalyptus characterization (§II)", e3_characterization::run),
         ("e4", "AXI memory-delay sensitivity (§II)", e4_axi::run),
@@ -44,5 +101,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e8", "Radiation hardening (§I)", e8_radiation::run),
         ("e9", "Dataflow vs monolithic FSM (§II)", e9_dataflow::run),
         ("e10", "Cross-layer chaos campaigns (§III-IV)", e10_chaos::run),
+        ("e11", "Throughput: serial vs parallel, hot-path gains", e11_throughput::run),
     ]
 }

@@ -1,4 +1,7 @@
-//! Minimal fixed-width table renderer for experiment outputs.
+//! Minimal fixed-width table renderer for experiment outputs, with a
+//! structured-JSON view for the `experiments --json` machine-readable path.
+
+use crate::json::Json;
 
 /// A simple text table.
 #[derive(Debug, Clone, Default)]
@@ -49,6 +52,25 @@ impl Table {
         }
         out
     }
+
+    /// The table as a JSON array of row objects keyed by column header,
+    /// with cells typed as numbers where they parse as such.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.rows
+                .iter()
+                .map(|r| {
+                    Json::Obj(
+                        self.header
+                            .iter()
+                            .zip(r.iter())
+                            .map(|(h, c)| (h.clone(), Json::cell(c)))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
 }
 
 /// Shorthand: format anything displayable into a cell.
@@ -74,5 +96,14 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
         assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn json_rows_typed_by_cell() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(cells!["x", 1]);
+        let j = t.to_json().render();
+        assert!(j.contains("\"name\": \"x\""));
+        assert!(j.contains("\"value\": 1"));
     }
 }

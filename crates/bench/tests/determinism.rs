@@ -1,0 +1,38 @@
+//! Parallel experiments must render bit-identical output at any worker
+//! count: every fan-out in the harness merges results in input order, so
+//! the worker count is a pure throughput knob, never a results knob.
+
+#[test]
+fn e1_parallel_matches_serial() {
+    let serial = hermes_bench::e1_hls_flow::run_with_jobs(1).text;
+    let parallel = hermes_bench::e1_hls_flow::run_with_jobs(4).text;
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn e2_parallel_matches_serial() {
+    let serial = hermes_bench::e2_fpga_flow::run_with_jobs(1).text;
+    let parallel = hermes_bench::e2_fpga_flow::run_with_jobs(4).text;
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn e3_parallel_matches_serial() {
+    let serial = hermes_bench::e3_characterization::run_with_jobs(1).text;
+    let parallel = hermes_bench::e3_characterization::run_with_jobs(4).text;
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn e7_parallel_matches_serial() {
+    let serial = hermes_bench::e7_usecases::run_with_jobs(1).text;
+    let parallel = hermes_bench::e7_usecases::run_with_jobs(4).text;
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn e10_parallel_matches_serial() {
+    let serial = hermes_bench::e10_chaos::run_with_jobs(1).text;
+    let parallel = hermes_bench::e10_chaos::run_with_jobs(4).text;
+    assert_eq!(serial, parallel);
+}

@@ -71,61 +71,108 @@ impl Eucalyptus {
         &self.device
     }
 
-    /// Run the sweep and produce a library.
+    /// Run the sweep and produce a library, characterizing the independent
+    /// kind × width units in parallel across the default worker count.
     ///
     /// # Errors
     ///
     /// Propagates template-construction and synthesis failures.
     pub fn characterize(&self, sweep: &SweepConfig) -> Result<CharacterizationLibrary, CharError> {
+        self.characterize_jobs(sweep, hermes_par::jobs())
+    }
+
+    /// [`Self::characterize`] with an explicit worker count.
+    ///
+    /// Each kind × width specialization is an independent synthesis + STA
+    /// unit; results are merged back in sweep order, so the library is
+    /// identical for every `jobs` value (the serial path is `jobs = 1`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates template-construction and synthesis failures; the
+    /// lowest-indexed failing unit wins.
+    pub fn characterize_jobs(
+        &self,
+        sweep: &SweepConfig,
+        jobs: usize,
+    ) -> Result<CharacterizationLibrary, CharError> {
+        let units: Vec<(ComponentKind, u32)> = self
+            .kinds
+            .iter()
+            .flat_map(|&kind| sweep.widths.iter().map(move |&width| (kind, width)))
+            .collect();
+        let measured = hermes_par::par_map_jobs(jobs, &units, |&(kind, width)| {
+            self.characterize_unit(kind, width, sweep)
+        })
+        .map_err(|e| {
+            CharError::Flow(hermes_fpga::FpgaError::Internal {
+                message: format!("parallel characterization worker failed: {e}"),
+            })
+        })?;
         let mut lib = CharacterizationLibrary::new(self.device.name.clone());
-        let synth = Synthesizer::new(self.device.clone());
-        let analyzer = Analyzer::new(self.device.clone());
-        for &kind in &self.kinds {
-            for &width in &sweep.widths {
-                let template = ComponentTemplate::with_widths(kind, width, width, 0)?;
-                let netlist = templates::build(&template)?;
-                let result = synth.synthesize(&netlist)?;
-                // Large target period: we want the raw combinational delay.
-                let timing = analyzer.analyze(&result.prim, None, 1000.0);
-                // Strip the template's register overhead from the measured
-                // path to get the core's own delay.
-                let t = &self.device.timing;
-                let overhead = t.ff_clk_to_q_ns + t.ff_setup_ns + t.net_base_ns;
-                let core_delay = (timing.critical_path_ns - overhead).max(t.lut_delay_ns);
-                let u = result.report.utilization;
-                // Remove the template's scaffolding from the area figures:
-                // the in/out registers (up to 3 x width flip-flops) are not
-                // part of the component. I/O pads are tracked separately by
-                // the utilization struct and never counted as LUTs.
-                let scaffold_ffs = u.ffs.min(3 * u64::from(width));
-                let base = CharEntry {
-                    delay_ns: core_delay,
-                    latency_cycles: 0,
-                    luts: u.luts,
-                    ffs: u.ffs - scaffold_ffs,
-                    dsps: u.dsps,
-                    rams: u.rams,
-                };
-                for &stages in &sweep.pipeline_stages {
-                    let entry = if stages == 0 {
-                        base
-                    } else {
-                        CharEntry {
-                            delay_ns: core_delay / f64::from(stages + 1)
-                                + t.ff_clk_to_q_ns
-                                + t.ff_setup_ns,
-                            latency_cycles: stages,
-                            luts: base.luts,
-                            ffs: base.ffs + u64::from(stages) * u64::from(width),
-                            dsps: base.dsps,
-                            rams: base.rams,
-                        }
-                    };
-                    lib.insert(template.kind.mnemonic(), width, stages, entry);
-                }
+        for unit in measured {
+            for (mnemonic, width, stages, entry) in unit? {
+                lib.insert(mnemonic, width, stages, entry);
             }
         }
         Ok(lib)
+    }
+
+    /// Characterize one kind × width specialization across all pipeline
+    /// depths: build the template, synthesize, run STA, derive pipelined
+    /// variants with the standard retiming model.
+    #[allow(clippy::type_complexity)]
+    fn characterize_unit(
+        &self,
+        kind: ComponentKind,
+        width: u32,
+        sweep: &SweepConfig,
+    ) -> Result<Vec<(&'static str, u32, u32, CharEntry)>, CharError> {
+        let synth = Synthesizer::new(self.device.clone());
+        let analyzer = Analyzer::new(self.device.clone());
+        let template = ComponentTemplate::with_widths(kind, width, width, 0)?;
+        let netlist = templates::build(&template)?;
+        let result = synth.synthesize(&netlist)?;
+        // Large target period: we want the raw combinational delay.
+        let timing = analyzer.analyze(&result.prim, None, 1000.0);
+        // Strip the template's register overhead from the measured
+        // path to get the core's own delay.
+        let t = &self.device.timing;
+        let overhead = t.ff_clk_to_q_ns + t.ff_setup_ns + t.net_base_ns;
+        let core_delay = (timing.critical_path_ns - overhead).max(t.lut_delay_ns);
+        let u = result.report.utilization;
+        // Remove the template's scaffolding from the area figures:
+        // the in/out registers (up to 3 x width flip-flops) are not
+        // part of the component. I/O pads are tracked separately by
+        // the utilization struct and never counted as LUTs.
+        let scaffold_ffs = u.ffs.min(3 * u64::from(width));
+        let base = CharEntry {
+            delay_ns: core_delay,
+            latency_cycles: 0,
+            luts: u.luts,
+            ffs: u.ffs - scaffold_ffs,
+            dsps: u.dsps,
+            rams: u.rams,
+        };
+        let mut out = Vec::with_capacity(sweep.pipeline_stages.len());
+        for &stages in &sweep.pipeline_stages {
+            let entry = if stages == 0 {
+                base
+            } else {
+                CharEntry {
+                    delay_ns: core_delay / f64::from(stages + 1)
+                        + t.ff_clk_to_q_ns
+                        + t.ff_setup_ns,
+                    latency_cycles: stages,
+                    luts: base.luts,
+                    ffs: base.ffs + u64::from(stages) * u64::from(width),
+                    dsps: base.dsps,
+                    rams: base.rams,
+                }
+            };
+            out.push((template.kind.mnemonic(), width, stages, entry));
+        }
+        Ok(out)
     }
 }
 

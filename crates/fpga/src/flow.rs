@@ -28,6 +28,10 @@ pub struct FlowOptions {
     /// Multicycle path exceptions from the HLS schedule (coarse cell name
     /// → allowed settle cycles); see [`crate::timing::MulticycleHints`].
     pub multicycle: MulticycleHints,
+    /// Number of independent annealing starts; the best (lowest-HPWL)
+    /// result wins. Starts run in parallel across [`hermes_par::jobs`]
+    /// workers; `1` keeps the classic single-anneal flow.
+    pub place_starts: u32,
 }
 
 impl Default for FlowOptions {
@@ -38,6 +42,7 @@ impl Default for FlowOptions {
             seed: 1,
             fail_on_timing: false,
             multicycle: MulticycleHints::new(),
+            place_starts: 1,
         }
     }
 }
@@ -194,7 +199,7 @@ impl NxFlow {
         let synth = Synthesizer::new(self.device.clone()).synthesize(netlist)?;
         let t1 = Instant::now();
         let placement = Placer::new(self.device.clone(), self.options.effort, self.options.seed)
-            .place(&synth.prim)?;
+            .place_multi(&synth.prim, self.options.place_starts, hermes_par::jobs())?;
         let t2 = Instant::now();
         let route = Router::new(self.device.clone()).route(&synth.prim, &placement)?;
         let t3 = Instant::now();

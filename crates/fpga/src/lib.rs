@@ -90,6 +90,11 @@ pub enum FpgaError {
         /// Requested frequency in MHz.
         requested_mhz: f64,
     },
+    /// An internal engine failure (e.g. a parallel placement worker died).
+    Internal {
+        /// Human-readable detail.
+        message: String,
+    },
 }
 
 impl fmt::Display for FpgaError {
@@ -123,6 +128,7 @@ impl fmt::Display for FpgaError {
                 f,
                 "timing not met: achieved {achieved_mhz:.1} MHz < requested {requested_mhz:.1} MHz"
             ),
+            FpgaError::Internal { message } => write!(f, "internal flow error: {message}"),
         }
     }
 }

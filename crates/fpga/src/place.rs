@@ -74,6 +74,74 @@ pub struct Placer {
     seed: u64,
 }
 
+/// Cached bounding box of one net's pins, the unit of the incremental
+/// HPWL bookkeeping: coordinates are tile indices, so HPWL values are
+/// exact small integers in `f64` and incremental updates reproduce a full
+/// recompute bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NetBox {
+    min_x: u16,
+    max_x: u16,
+    min_y: u16,
+    max_y: u16,
+}
+
+impl NetBox {
+    /// Bounding box of a pin list under `locations`.
+    fn of(locations: &[(u16, u16)], pins: &[PCellId]) -> Self {
+        let mut b = NetBox {
+            min_x: u16::MAX,
+            max_x: 0,
+            min_y: u16::MAX,
+            max_y: 0,
+        };
+        for &p in pins {
+            b = b.expand(locations[p.0 as usize]);
+        }
+        b
+    }
+
+    /// Bounding box with `moved`'s pins relocated to `to` (the candidate
+    /// recompute path for boundary pins, without mutating `locations`).
+    fn of_moved(locations: &[(u16, u16)], pins: &[PCellId], moved: u32, to: (u16, u16)) -> Self {
+        let mut b = NetBox {
+            min_x: u16::MAX,
+            max_x: 0,
+            min_y: u16::MAX,
+            max_y: 0,
+        };
+        for &p in pins {
+            b = b.expand(if p.0 == moved {
+                to
+            } else {
+                locations[p.0 as usize]
+            });
+        }
+        b
+    }
+
+    /// Grow to include `p`.
+    fn expand(self, p: (u16, u16)) -> Self {
+        NetBox {
+            min_x: self.min_x.min(p.0),
+            max_x: self.max_x.max(p.0),
+            min_y: self.min_y.min(p.1),
+            max_y: self.max_y.max(p.1),
+        }
+    }
+
+    /// Whether `p` lies strictly inside the box on both axes — removing
+    /// such a pin cannot shrink the box, so a move from `p` only expands.
+    fn strictly_inside(self, p: (u16, u16)) -> bool {
+        p.0 > self.min_x && p.0 < self.max_x && p.1 > self.min_y && p.1 < self.max_y
+    }
+
+    /// Half-perimeter wirelength of the box.
+    fn hpwl(&self) -> f64 {
+        f64::from(self.max_x - self.min_x) + f64::from(self.max_y - self.min_y)
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SiteClass {
     Logic,
@@ -150,10 +218,14 @@ impl Placer {
                 net_pins.entry(n).or_default().push(cid);
             }
         }
-        let nets: Vec<(PNetId, Vec<PCellId>)> = net_pins
+        // sort for determinism: HashMap iteration order would otherwise
+        // pick the anneal's f64 accumulation order (and thus the accepted
+        // trajectory) per Placer instance
+        let mut nets: Vec<(PNetId, Vec<PCellId>)> = net_pins
             .into_iter()
             .filter(|(_, pins)| pins.len() > 1)
             .collect();
+        nets.sort_unstable_by_key(|(n, _)| n.0);
         // cell -> nets containing it
         let mut cell_nets: Vec<Vec<usize>> = vec![Vec::new(); prim.cell_count()];
         for (i, (_, pins)) in nets.iter().enumerate() {
@@ -162,25 +234,20 @@ impl Placer {
             }
         }
 
-        let net_hpwl = |locations: &[(u16, u16)], pins: &[PCellId]| -> f64 {
-            let mut min_x = u16::MAX;
-            let mut max_x = 0;
-            let mut min_y = u16::MAX;
-            let mut max_y = 0;
-            for &p in pins {
-                let (x, y) = locations[p.0 as usize];
-                min_x = min_x.min(x);
-                max_x = max_x.max(x);
-                min_y = min_y.min(y);
-                max_y = max_y.max(y);
-            }
-            f64::from(max_x - min_x) + f64::from(max_y - min_y)
-        };
+        // Cached per-net bounding boxes: a move's cost delta touches only
+        // the boxes of nets on the moved cell (O(pins-touched)), instead of
+        // recomputing every affected net's pin list twice per move.
+        let mut boxes: Vec<NetBox> = nets
+            .iter()
+            .map(|(_, pins)| NetBox::of(&locations, pins))
+            .collect();
         let total = |locations: &[(u16, u16)]| -> f64 {
-            nets.iter().map(|(_, p)| net_hpwl(locations, p)).collect::<Vec<_>>().iter().sum()
+            nets.iter()
+                .map(|(_, p)| NetBox::of(locations, p).hpwl())
+                .sum()
         };
 
-        let initial_hpwl = total(&locations);
+        let initial_hpwl: f64 = boxes.iter().map(NetBox::hpwl).sum();
         let mut cost = initial_hpwl;
 
         // Movable cells: logic class only (DSP/RAM/IO stay at legal sites;
@@ -202,6 +269,9 @@ impl Placer {
             let max_dim = self.device.grid_cols.max(self.device.grid_rows) as f64;
             let mut best_cost = cost;
             let mut best_locations = locations.clone();
+            // Scratch for candidate boxes of the nets touched by one move,
+            // reused across moves to stay allocation-free in steady state.
+            let mut candidate: Vec<(usize, NetBox)> = Vec::new();
             while done < total_moves {
                 // Move window shrinks with temperature (VPR-style range limit).
                 let win = ((max_dim * (temp / temp0).min(1.0)) as i32).max(2);
@@ -213,24 +283,38 @@ impl Placer {
                     if new_site == old_site {
                         continue;
                     }
-                    // delta over affected nets
+                    // Delta over affected nets, from cached bounding boxes:
+                    // a pin strictly inside its net's box only expands it
+                    // (O(1)); a boundary pin forces an O(pins) recompute of
+                    // that net alone. Summation order mirrors the direct
+                    // recompute, keeping seeded trajectories bit-identical.
                     let affected = &cell_nets[cell as usize];
-                    let before: f64 = affected
-                        .iter()
-                        .map(|&i| net_hpwl(&locations, &nets[i].1))
-                        .sum();
-                    locations[cell as usize] = new_site;
-                    let after: f64 = affected
-                        .iter()
-                        .map(|&i| net_hpwl(&locations, &nets[i].1))
-                        .sum();
+                    candidate.clear();
+                    let mut before = 0.0f64;
+                    let mut after = 0.0f64;
+                    for &i in affected {
+                        before += boxes[i].hpwl();
+                        let cached = candidate.iter().find(|(j, _)| *j == i).map(|(_, b)| *b);
+                        let new_box = cached.unwrap_or_else(|| {
+                            let b = if boxes[i].strictly_inside(old_site) {
+                                boxes[i].expand(new_site)
+                            } else {
+                                NetBox::of_moved(&locations, &nets[i].1, cell, new_site)
+                            };
+                            candidate.push((i, b));
+                            b
+                        });
+                        after += new_box.hpwl();
+                    }
                     let delta = after - before;
                     let accept = delta <= 0.0 || rng.next_f64() < (-delta / temp).exp();
                     if accept {
+                        locations[cell as usize] = new_site;
+                        for &(i, b) in &candidate {
+                            boxes[i] = b;
+                        }
                         cost += delta;
                         moves_accepted += 1;
-                    } else {
-                        locations[cell as usize] = old_site;
                     }
                 }
                 done += moves_per_temp;
@@ -260,6 +344,52 @@ impl Placer {
             moves_tried,
             moves_accepted,
         })
+    }
+
+    /// Multi-start placement: run `starts` independent anneals (seeds
+    /// `seed, seed+1, …`) across `jobs` workers and keep the lowest-HPWL
+    /// result, ties broken by lowest start index.
+    ///
+    /// Each anneal is seed-deterministic and the winner is selected by
+    /// value, so the outcome is identical regardless of worker count or
+    /// scheduling; `starts = 1` degrades to [`Self::place`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing start ([`FpgaError::ResourceOverflow`]).
+    pub fn place_multi(
+        &self,
+        prim: &PrimNetlist,
+        starts: u32,
+        jobs: usize,
+    ) -> Result<Placement, FpgaError> {
+        let starts = starts.max(1);
+        if starts == 1 {
+            return self.place(prim);
+        }
+        let seeds: Vec<u64> = (0..u64::from(starts))
+            .map(|i| self.seed.wrapping_add(i))
+            .collect();
+        let results = hermes_par::par_map_jobs(jobs, &seeds, |&seed| {
+            Placer {
+                device: self.device.clone(),
+                effort: self.effort,
+                seed,
+            }
+            .place(prim)
+        })
+        .map_err(|e| FpgaError::Internal {
+            message: format!("parallel placement worker failed: {e}"),
+        })?;
+        let mut best: Option<Placement> = None;
+        for p in results {
+            let p = p?;
+            let better = best.as_ref().is_none_or(|b| p.hpwl < b.hpwl);
+            if better {
+                best = Some(p);
+            }
+        }
+        Ok(best.expect("starts >= 1 yields a result"))
     }
 
     /// Pick a legal logic site within `win` tiles of `from` (falling back to
@@ -451,6 +581,33 @@ mod tests {
         let p2 = Placer::new(dev, Effort::Low, 99).place(&prim).unwrap();
         assert_eq!(p1.locations, p2.locations);
         assert_eq!(p1.hpwl, p2.hpwl);
+    }
+
+    #[test]
+    fn multi_start_deterministic_and_no_worse() {
+        let prim = sample_prim();
+        let dev = DeviceProfile::ng_medium_like();
+        let placer = Placer::new(dev, Effort::Low, 5);
+        let serial = placer.place_multi(&prim, 4, 1).unwrap();
+        let parallel = placer.place_multi(&prim, 4, 4).unwrap();
+        assert_eq!(serial.locations, parallel.locations, "worker count changed result");
+        assert_eq!(serial.hpwl, parallel.hpwl);
+        let single = placer.place(&prim).unwrap();
+        assert!(
+            serial.hpwl <= single.hpwl,
+            "best-of-4 ({}) worse than single start ({})",
+            serial.hpwl,
+            single.hpwl
+        );
+    }
+
+    #[test]
+    fn single_start_multi_matches_place() {
+        let prim = sample_prim();
+        let placer = Placer::new(DeviceProfile::ng_medium_like(), Effort::Low, 11);
+        let a = placer.place(&prim).unwrap();
+        let b = placer.place_multi(&prim, 1, 4).unwrap();
+        assert_eq!(a.locations, b.locations);
     }
 
     #[test]

@@ -82,6 +82,10 @@ impl Router {
                 net_pins.entry(n).or_default().push(cid);
             }
         }
+        // sort for determinism: wirelength and channel demand are f64
+        // accumulations, so the net order must not depend on HashMap state
+        let mut sorted_nets: Vec<(PNetId, Vec<PCellId>)> = net_pins.into_iter().collect();
+        sorted_nets.sort_unstable_by_key(|(n, _)| n.0);
 
         let cols = self.device.grid_cols as usize;
         let rows = self.device.grid_rows as usize;
@@ -90,7 +94,7 @@ impl Router {
         let mut total_wl = 0.0;
         type NetBbox = (PNetId, usize, (u16, u16, u16, u16));
         let mut bboxes: Vec<NetBbox> = Vec::new();
-        for (net, pins) in &net_pins {
+        for (net, pins) in &sorted_nets {
             if pins.len() < 2 {
                 continue;
             }

@@ -700,7 +700,10 @@ pub fn generate(
     };
 
     // --- register write logic ---
-    let writers = std::mem::take(&mut gen.reg_writers);
+    // sorted so the emitted mux/enable cells (and thus every downstream
+    // net id) come out in the same order on every compile
+    let mut writers: Vec<_> = std::mem::take(&mut gen.reg_writers).into_iter().collect();
+    writers.sort_unstable_by_key(|(reg, _)| reg.0);
     for (reg, sources) in writers {
         let info = &binding.regs[reg.0 as usize];
         let d_net = gen.nl.net_by_name(&format!("{}_d", info.name)).expect("reg d net");

@@ -1,0 +1,256 @@
+//! # hermes-par
+//!
+//! The std-only parallel execution engine of the HERMES workspace.
+//!
+//! Every layer of the flow — the per-kernel HLS→FPGA pipeline, the
+//! Eucalyptus characterization sweep, the multi-start annealing placer,
+//! and the chaos campaigns — consists of *independent, deterministic*
+//! units of work. [`par_map`] runs such units across a scoped thread pool
+//! (`std::thread::scope`, zero external dependencies, no leaked threads)
+//! while preserving three invariants the rest of the workspace relies on:
+//!
+//! 1. **Deterministic ordering** — results come back in input order, so a
+//!    parallel run renders bit-identical tables to a serial run.
+//! 2. **Panic containment** — a panicking task becomes an [`Err`] on the
+//!    calling thread instead of aborting the whole process; the remaining
+//!    tasks still complete.
+//! 3. **Self-scheduling** — workers claim chunks of the index space from a
+//!    shared atomic cursor (chunked work stealing), so one slow unit does
+//!    not idle the other lanes.
+//!
+//! Worker count resolves, in order: an explicit `jobs` argument
+//! ([`par_map_jobs`]), the `HERMES_JOBS` environment variable, and finally
+//! [`std::thread::available_parallelism`]. `jobs = 1` (or a single-item
+//! input) degrades to a plain serial loop on the calling thread — same
+//! code path the determinism tests compare against.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A worker task panicked; the panic was captured and converted into an
+/// error instead of aborting the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParError {
+    /// Index of the input item whose task panicked (lowest index wins when
+    /// several tasks fail).
+    pub task: usize,
+    /// Panic payload rendered as text (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl fmt::Display for ParError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parallel task {} panicked: {}", self.task, self.message)
+    }
+}
+
+impl std::error::Error for ParError {}
+
+/// Resolve the default worker count: `HERMES_JOBS` if set to a positive
+/// integer, otherwise the machine's available parallelism (1 on failure).
+pub fn jobs() -> usize {
+    match std::env::var("HERMES_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`par_map`] with an explicit worker count (`jobs >= 1`).
+///
+/// Results are returned in input order regardless of completion order.
+///
+/// # Errors
+///
+/// Returns a [`ParError`] for the lowest-indexed task that panicked. All
+/// claimed tasks run to completion (or containment) before this returns;
+/// no thread outlives the call.
+pub fn par_map_jobs<T, R, F>(jobs: usize, items: &[T], f: F) -> Result<Vec<R>, ParError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 {
+        // Serial fast path: same panic containment, no thread overhead.
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in items.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(r) => out.push(r),
+                Err(p) => {
+                    return Err(ParError {
+                        task: i,
+                        message: panic_message(p),
+                    })
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    // Chunked self-scheduling: workers claim `chunk` consecutive indices at
+    // a time from a shared cursor. Small enough to balance uneven task
+    // costs, large enough to keep cursor contention negligible.
+    let chunk = (n / (jobs * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<R, ParError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + chunk).min(n) {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(&items[i])))
+                        .map_err(|p| ParError {
+                            task: i,
+                            message: panic_message(p),
+                        });
+                    *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                }
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner().expect("result slot poisoned") {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(ParError {
+                    task: i,
+                    message: "task was never executed".into(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Map `f` over `items` on the default worker count ([`jobs`]), preserving
+/// input order in the result.
+///
+/// # Errors
+///
+/// See [`par_map_jobs`].
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, ParError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_jobs(jobs(), items, f)
+}
+
+/// [`par_for_each`] with an explicit worker count.
+///
+/// # Errors
+///
+/// See [`par_map_jobs`].
+pub fn par_for_each_jobs<T, F>(jobs: usize, items: &[T], f: F) -> Result<(), ParError>
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    par_map_jobs(jobs, items, |item| f(item)).map(|_| ())
+}
+
+/// Run `f` for every item on the default worker count, discarding results.
+///
+/// # Errors
+///
+/// See [`par_map_jobs`].
+pub fn par_for_each<T, F>(items: &[T], f: F) -> Result<(), ParError>
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    par_for_each_jobs(jobs(), items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for jobs in [1, 2, 4, 7] {
+            let out = par_map_jobs(jobs, &items, |&x| x * 3 + 1).unwrap();
+            let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(out, expect, "order broken at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u32> = vec![];
+        assert_eq!(par_map_jobs(4, &none, |&x| x).unwrap(), Vec::<u32>::new());
+        assert_eq!(par_map_jobs(4, &[9u32], |&x| x + 1).unwrap(), vec![10]);
+    }
+
+    #[test]
+    fn panic_becomes_err_not_abort() {
+        let items: Vec<u32> = (0..64).collect();
+        for jobs in [1, 4] {
+            let err = par_map_jobs(jobs, &items, |&x| {
+                assert!(x != 13, "boom at {x}");
+                x
+            })
+            .unwrap_err();
+            assert_eq!(err.task, 13, "lowest failing index reported");
+            assert!(err.message.contains("boom at 13"), "payload kept: {err}");
+        }
+    }
+
+    #[test]
+    fn all_tasks_execute_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let items: Vec<u64> = (0..1000).collect();
+        let sum = AtomicU64::new(0);
+        par_for_each_jobs(8, &items, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(x, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = par_map_jobs(1, &items, |&x| x.wrapping_mul(0x9E3779B9).rotate_left(7)).unwrap();
+        let parallel =
+            par_map_jobs(4, &items, |&x| x.wrapping_mul(0x9E3779B9).rotate_left(7)).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn jobs_resolves_positive() {
+        assert!(jobs() >= 1);
+    }
+}

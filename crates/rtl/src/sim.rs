@@ -14,18 +14,113 @@
 use crate::component::Comparison;
 use crate::netlist::{CellId, CellOp, Netlist, NetId};
 use crate::{mask, sign_extend, RtlError};
-use std::collections::HashMap;
 
 /// Cycle-accurate simulator over a validated [`Netlist`].
+///
+/// State is kept in dense vectors indexed by cell id (`reg_state`,
+/// `ram_state` via `seq_slot`) rather than hash maps, and the settle loop
+/// runs over a precompiled program of [`SettleOp`]s with all net widths
+/// and indices resolved up front — the per-cycle hot path performs no
+/// hashing, no allocation, and no netlist traversal.
 #[derive(Debug, Clone)]
 pub struct Simulator<'n> {
     netlist: &'n Netlist,
     values: Vec<u64>,
-    reg_state: HashMap<CellId, u64>,
-    ram_state: HashMap<CellId, Vec<u64>>,
-    order: Vec<CellId>,
+    /// Dense register state, one slot per `Register` cell (see `seq_slot`).
+    reg_state: Vec<u64>,
+    /// Dense RAM state, one memory per `RamTdp` cell (see `seq_slot`).
+    ram_state: Vec<Vec<u64>>,
+    /// Cell id → slot in `reg_state`/`ram_state`; `u32::MAX` for
+    /// combinational cells.
+    seq_slot: Vec<u32>,
+    /// Precomputed register descriptors, in cell order.
+    regs: Vec<RegInfo>,
+    /// Precomputed RAM descriptors, in cell order.
+    rams: Vec<RamInfo>,
+    /// Precompiled settle program in topological order.
+    ops: Vec<SettleOp>,
+    /// Reusable per-step buffer of next register values.
+    next_regs: Vec<u64>,
     cycle: u64,
     trace: Option<Trace>,
+}
+
+/// Precomputed per-register data for the clock-edge phase.
+#[derive(Debug, Clone, Copy)]
+struct RegInfo {
+    /// Slot in `reg_state`.
+    slot: u32,
+    /// Net index of the data input.
+    d: u32,
+    /// Net index of the enable input, or `u32::MAX` when always enabled.
+    en: u32,
+    /// Net index of the output.
+    q: u32,
+    /// Output width mask.
+    mask: u64,
+    /// Whether [`Simulator::reset`] clears this register.
+    has_reset: bool,
+}
+
+/// Precomputed per-RAM data for the clock-edge phase.
+#[derive(Debug, Clone, Copy)]
+struct RamInfo {
+    /// Slot in `ram_state`.
+    slot: u32,
+    /// Net indices: `[addr_a, wdata_a, we_a, addr_b, wdata_b, we_b]`.
+    inputs: [u32; 6],
+    /// Net indices of the read-data outputs.
+    ra: u32,
+    rb: u32,
+    /// Word count.
+    depth: u32,
+    /// Data width mask.
+    mask: u64,
+}
+
+/// One precompiled combinational evaluation: operation tag plus resolved
+/// net indices and widths, so the settle loop touches nothing else.
+#[derive(Debug, Clone, Copy)]
+struct SettleOp {
+    kind: SettleKind,
+    /// Input net indices (unused slots are 0).
+    a: u32,
+    b: u32,
+    c: u32,
+    /// Output net index.
+    out: u32,
+    /// Output width mask.
+    mask: u64,
+    /// Operation payload: constant value, slice low bit, or input width.
+    aux: u64,
+}
+
+/// Operation tag of a [`SettleOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SettleKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    And,
+    Or,
+    Xor,
+    Not,
+    Shl,
+    ShrL,
+    /// `aux` holds the input width for sign extension.
+    ShrA,
+    /// `aux` holds the comparison input width.
+    Cmp(Comparison),
+    Mux,
+    /// `aux` holds the constant value.
+    Const,
+    /// `aux` holds the low bit index; `mask` is already the slice mask.
+    Slice,
+    ZeroExtend,
+    /// `aux` holds the input width.
+    SignExtend,
 }
 
 /// A recorded value-change trace (VCD-lite) of selected nets.
@@ -67,32 +162,136 @@ impl<'n> Simulator<'n> {
     pub fn new(netlist: &'n Netlist) -> Result<Self, RtlError> {
         netlist.validate()?;
         let order = netlist.combinational_order()?;
-        let mut reg_state = HashMap::new();
-        let mut ram_state = HashMap::new();
+        let mut reg_state = Vec::new();
+        let mut ram_state: Vec<Vec<u64>> = Vec::new();
+        let mut seq_slot = vec![u32::MAX; netlist.cell_count()];
+        let mut regs = Vec::new();
+        let mut rams = Vec::new();
         for (cid, cell) in netlist.cells() {
             match &cell.op {
-                CellOp::Register { .. } => {
-                    reg_state.insert(cid, 0);
+                CellOp::Register {
+                    has_enable,
+                    has_reset,
+                } => {
+                    let slot = reg_state.len() as u32;
+                    seq_slot[cid.0 as usize] = slot;
+                    reg_state.push(0);
+                    regs.push(RegInfo {
+                        slot,
+                        d: cell.inputs[0].0,
+                        en: if *has_enable {
+                            cell.inputs[1].0
+                        } else {
+                            u32::MAX
+                        },
+                        q: cell.outputs[0].0,
+                        mask: mask(u64::MAX, netlist.net(cell.outputs[0]).width),
+                        has_reset: *has_reset,
+                    });
                 }
                 CellOp::RamTdp { depth, init } => {
+                    let slot = ram_state.len() as u32;
+                    seq_slot[cid.0 as usize] = slot;
                     let mut mem = init.clone();
                     mem.resize(*depth as usize, 0);
-                    ram_state.insert(cid, mem);
+                    ram_state.push(mem);
+                    rams.push(RamInfo {
+                        slot,
+                        inputs: [
+                            cell.inputs[0].0,
+                            cell.inputs[1].0,
+                            cell.inputs[2].0,
+                            cell.inputs[3].0,
+                            cell.inputs[4].0,
+                            cell.inputs[5].0,
+                        ],
+                        ra: cell.outputs[0].0,
+                        rb: cell.outputs[1].0,
+                        depth: (*depth).max(1),
+                        mask: mask(u64::MAX, netlist.net(cell.outputs[0]).width),
+                    });
                 }
                 _ => {}
             }
         }
+        let ops = Self::compile_settle_ops(netlist, &order);
+        let next_regs = vec![0; regs.len()];
         let mut sim = Simulator {
             netlist,
             values: vec![0; netlist.net_count()],
             reg_state,
             ram_state,
-            order,
+            seq_slot,
+            regs,
+            rams,
+            ops,
+            next_regs,
             cycle: 0,
             trace: None,
         };
         sim.settle();
         Ok(sim)
+    }
+
+    /// Lower the topologically ordered combinational cells into the compact
+    /// settle program (resolved net indices, widths, and payloads).
+    fn compile_settle_ops(netlist: &Netlist, order: &[CellId]) -> Vec<SettleOp> {
+        let mut ops = Vec::with_capacity(order.len());
+        for &cid in order {
+            let cell = netlist.cell(cid);
+            let input = |i: usize| cell.inputs.get(i).map_or(0, |n| n.0);
+            let out_net = cell.outputs[0];
+            let ow = netlist.net(out_net).width;
+            let iw = cell
+                .inputs
+                .first()
+                .map(|&n| netlist.net(n).width)
+                .unwrap_or(ow);
+            let (kind, m, aux) = match &cell.op {
+                CellOp::Add => (SettleKind::Add, mask(u64::MAX, ow), 0),
+                CellOp::Sub => (SettleKind::Sub, mask(u64::MAX, ow), 0),
+                CellOp::Mul => (SettleKind::Mul, mask(u64::MAX, ow), 0),
+                CellOp::Div => (SettleKind::Div, mask(u64::MAX, ow), 0),
+                CellOp::Mod => (SettleKind::Mod, mask(u64::MAX, ow), 0),
+                CellOp::And => (SettleKind::And, mask(u64::MAX, ow), 0),
+                CellOp::Or => (SettleKind::Or, mask(u64::MAX, ow), 0),
+                CellOp::Xor => (SettleKind::Xor, mask(u64::MAX, ow), 0),
+                CellOp::Not => (SettleKind::Not, mask(u64::MAX, ow), 0),
+                CellOp::Shl => (SettleKind::Shl, mask(u64::MAX, ow), 0),
+                CellOp::ShrL => (SettleKind::ShrL, mask(u64::MAX, ow), 0),
+                CellOp::ShrA => (SettleKind::ShrA, mask(u64::MAX, ow), u64::from(iw)),
+                CellOp::Cmp(c) => (
+                    SettleKind::Cmp(*c),
+                    mask(u64::MAX, ow),
+                    u64::from(netlist.net(cell.inputs[0]).width),
+                ),
+                CellOp::Mux => (SettleKind::Mux, mask(u64::MAX, ow), 0),
+                CellOp::Const { value } => (SettleKind::Const, mask(u64::MAX, ow), *value),
+                CellOp::Slice { lo, hi } => (
+                    SettleKind::Slice,
+                    // slice width and output net width both bound the result
+                    mask(mask(u64::MAX, hi - lo + 1), ow),
+                    u64::from(*lo),
+                ),
+                CellOp::ZeroExtend => (SettleKind::ZeroExtend, mask(u64::MAX, ow), 0),
+                CellOp::SignExtend => (
+                    SettleKind::SignExtend,
+                    mask(u64::MAX, ow),
+                    u64::from(netlist.net(cell.inputs[0]).width),
+                ),
+                CellOp::Register { .. } | CellOp::RamTdp { .. } => continue,
+            };
+            ops.push(SettleOp {
+                kind,
+                a: input(0),
+                b: input(1),
+                c: input(2),
+                out: out_net.0,
+                mask: m,
+                aux,
+            });
+        }
+        ops
     }
 
     /// Enable tracing of the given nets; samples are appended on every step.
@@ -156,9 +355,9 @@ impl<'n> Simulator<'n> {
     /// Synchronously reset: clears all registers (those declared with reset)
     /// and re-settles. RAM contents are preserved, as on real block RAM.
     pub fn reset(&mut self) {
-        for (cid, cell) in self.netlist.cells() {
-            if let CellOp::Register { has_reset: true, .. } = cell.op {
-                self.reg_state.insert(cid, 0);
+        for r in &self.regs {
+            if r.has_reset {
+                self.reg_state[r.slot as usize] = 0;
             }
         }
         self.settle();
@@ -172,67 +371,41 @@ impl<'n> Simulator<'n> {
     /// X-propagation checks.
     pub fn step(&mut self) -> Result<(), RtlError> {
         // Phase 1: compute next state for every sequential cell from the
-        // *currently settled* values (simultaneous sampling).
-        let mut next_regs: Vec<(CellId, u64)> = Vec::new();
-        let mut ram_writes: Vec<(CellId, Vec<(usize, u64)>)> = Vec::new();
-        let mut ram_reads: Vec<(CellId, u64, u64)> = Vec::new();
-        for (cid, cell) in self.netlist.cells() {
-            match &cell.op {
-                CellOp::Register { has_enable, .. } => {
-                    let d = self.values[cell.inputs[0].0 as usize];
-                    let load = if *has_enable {
-                        self.values[cell.inputs[1].0 as usize] & 1 == 1
-                    } else {
-                        true
-                    };
-                    if load {
-                        let w = self.netlist.net(cell.outputs[0]).width;
-                        next_regs.push((cid, mask(d, w)));
-                    }
-                }
-                CellOp::RamTdp { depth, .. } => {
-                    let depth = *depth as usize;
-                    let addr_a = self.values[cell.inputs[0].0 as usize] as usize % depth.max(1);
-                    let wd_a = self.values[cell.inputs[1].0 as usize];
-                    let we_a = self.values[cell.inputs[2].0 as usize] & 1 == 1;
-                    let addr_b = self.values[cell.inputs[3].0 as usize] as usize % depth.max(1);
-                    let wd_b = self.values[cell.inputs[4].0 as usize];
-                    let we_b = self.values[cell.inputs[5].0 as usize] & 1 == 1;
-                    let mem = &self.ram_state[&cid];
-                    // read-first semantics on both ports
-                    ram_reads.push((cid, mem[addr_a], mem[addr_b]));
-                    let mut writes = Vec::new();
-                    if we_a {
-                        writes.push((addr_a, wd_a));
-                    }
-                    if we_b {
-                        writes.push((addr_b, wd_b));
-                    }
-                    if !writes.is_empty() {
-                        ram_writes.push((cid, writes));
-                    }
-                }
-                _ => {}
+        // *currently settled* values (simultaneous sampling). Register
+        // next-values go into the persistent scratch buffer — the hot path
+        // allocates nothing.
+        for r in &self.regs {
+            let load = r.en == u32::MAX || self.values[r.en as usize] & 1 == 1;
+            self.next_regs[r.slot as usize] = if load {
+                self.values[r.d as usize] & r.mask
+            } else {
+                self.reg_state[r.slot as usize]
+            };
+        }
+        // Phase 2: commit register state.
+        self.reg_state.copy_from_slice(&self.next_regs);
+        // RAMs: ports sample `values`, which no commit above touches, and
+        // each memory is private to its cell — so read-first reads, the
+        // write commit, and the output drive can be fused per RAM.
+        for r in &self.rams {
+            let depth = r.depth as usize;
+            let addr_a = self.values[r.inputs[0] as usize] as usize % depth;
+            let wd_a = self.values[r.inputs[1] as usize];
+            let we_a = self.values[r.inputs[2] as usize] & 1 == 1;
+            let addr_b = self.values[r.inputs[3] as usize] as usize % depth;
+            let wd_b = self.values[r.inputs[4] as usize];
+            let we_b = self.values[r.inputs[5] as usize] & 1 == 1;
+            let mem = &mut self.ram_state[r.slot as usize];
+            // read-first semantics on both ports
+            let (ra, rb) = (mem[addr_a], mem[addr_b]);
+            if we_a {
+                mem[addr_a] = wd_a & r.mask;
             }
-        }
-        // Phase 2: commit state and drive sequential outputs.
-        for (cid, v) in next_regs {
-            self.reg_state.insert(cid, v);
-        }
-        for (cid, writes) in ram_writes {
-            let w = self
-                .netlist
-                .net(self.netlist.cell(cid).outputs[0])
-                .width;
-            let mem = self.ram_state.get_mut(&cid).expect("ram state exists");
-            for (addr, val) in writes {
-                mem[addr] = mask(val, w);
+            if we_b {
+                mem[addr_b] = wd_b & r.mask;
             }
-        }
-        for (cid, ra, rb) in ram_reads {
-            let cell = self.netlist.cell(cid);
-            self.values[cell.outputs[0].0 as usize] = ra;
-            self.values[cell.outputs[1].0 as usize] = rb;
+            self.values[r.ra as usize] = ra;
+            self.values[r.rb as usize] = rb;
         }
         self.settle();
         self.cycle += 1;
@@ -281,87 +454,89 @@ impl<'n> Simulator<'n> {
 
     /// Direct read of a register cell's stored state (testing/debug hook).
     pub fn register_state(&self, cell: CellId) -> Option<u64> {
-        self.reg_state.get(&cell).copied()
+        let slot = *self.seq_slot.get(cell.0 as usize)?;
+        if slot == u32::MAX
+            || !matches!(self.netlist.cell(cell).op, CellOp::Register { .. })
+        {
+            return None;
+        }
+        self.reg_state.get(slot as usize).copied()
     }
 
     /// Direct read of a RAM word (testing/debug hook).
     pub fn ram_word(&self, cell: CellId, addr: usize) -> Option<u64> {
-        self.ram_state.get(&cell).and_then(|m| m.get(addr)).copied()
+        let slot = *self.seq_slot.get(cell.0 as usize)?;
+        if slot == u32::MAX || !matches!(self.netlist.cell(cell).op, CellOp::RamTdp { .. }) {
+            return None;
+        }
+        self.ram_state
+            .get(slot as usize)
+            .and_then(|m| m.get(addr))
+            .copied()
     }
 
     /// Overwrite a RAM word directly (testbench backdoor load).
     pub fn load_ram_word(&mut self, cell: CellId, addr: usize, value: u64) {
-        if let Some(mem) = self.ram_state.get_mut(&cell) {
-            if let Some(slot) = mem.get_mut(addr) {
-                *slot = value;
+        let Some(&slot) = self.seq_slot.get(cell.0 as usize) else {
+            return;
+        };
+        if slot == u32::MAX || !matches!(self.netlist.cell(cell).op, CellOp::RamTdp { .. }) {
+            return;
+        }
+        if let Some(mem) = self.ram_state.get_mut(slot as usize) {
+            if let Some(word) = mem.get_mut(addr) {
+                *word = value;
             }
         }
     }
 
     fn settle(&mut self) {
         // Sequential outputs first: registers continuously drive their state.
-        for (cid, cell) in self.netlist.cells() {
-            if let CellOp::Register { .. } = cell.op {
-                self.values[cell.outputs[0].0 as usize] = self.reg_state[&cid];
-            }
+        for r in &self.regs {
+            self.values[r.q as usize] = self.reg_state[r.slot as usize];
         }
-        for &cid in &self.order {
-            let cell = self.netlist.cell(cid);
-            let get = |i: usize| self.values[cell.inputs[i].0 as usize];
-            let out_net = cell.outputs[0];
-            let ow = self.netlist.net(out_net).width;
-            let iw = cell
-                .inputs
-                .first()
-                .map(|&n| self.netlist.net(n).width)
-                .unwrap_or(ow);
-            let v = match &cell.op {
-                CellOp::Add => get(0).wrapping_add(get(1)),
-                CellOp::Sub => get(0).wrapping_sub(get(1)),
-                CellOp::Mul => get(0).wrapping_mul(get(1)),
+        let values = &mut self.values;
+        for op in &self.ops {
+            let a = values[op.a as usize];
+            let v = match op.kind {
+                SettleKind::Add => a.wrapping_add(values[op.b as usize]),
+                SettleKind::Sub => a.wrapping_sub(values[op.b as usize]),
+                SettleKind::Mul => a.wrapping_mul(values[op.b as usize]),
                 // division by zero yields all-ones, matching the component model
-                CellOp::Div => get(0).checked_div(get(1)).unwrap_or(u64::MAX),
-                CellOp::Mod => {
-                    let d = get(1);
+                SettleKind::Div => a.checked_div(values[op.b as usize]).unwrap_or(u64::MAX),
+                SettleKind::Mod => {
+                    let d = values[op.b as usize];
                     if d == 0 {
-                        get(0)
+                        a
                     } else {
-                        get(0) % d
+                        a % d
                     }
                 }
-                CellOp::And => get(0) & get(1),
-                CellOp::Or => get(0) | get(1),
-                CellOp::Xor => get(0) ^ get(1),
-                CellOp::Not => !get(0),
-                CellOp::Shl => get(0) << get(1).min(63),
-                CellOp::ShrL => get(0) >> get(1).min(63),
-                CellOp::ShrA => {
-                    (sign_extend(get(0), iw) >> get(1).min(63)) as u64
+                SettleKind::And => a & values[op.b as usize],
+                SettleKind::Or => a | values[op.b as usize],
+                SettleKind::Xor => a ^ values[op.b as usize],
+                SettleKind::Not => !a,
+                SettleKind::Shl => a << values[op.b as usize].min(63),
+                SettleKind::ShrL => a >> values[op.b as usize].min(63),
+                SettleKind::ShrA => {
+                    (sign_extend(a, op.aux as u32) >> values[op.b as usize].min(63)) as u64
                 }
-                CellOp::Cmp(c) => {
-                    let w = self.netlist.net(cell.inputs[0]).width;
-                    c.apply(get(0), get(1), w) as u64
+                SettleKind::Cmp(c) => {
+                    c.apply(a, values[op.b as usize], op.aux as u32) as u64
                 }
-                CellOp::Mux => {
-                    if get(0) & 1 == 1 {
-                        get(2)
+                SettleKind::Mux => {
+                    if a & 1 == 1 {
+                        values[op.c as usize]
                     } else {
-                        get(1)
+                        values[op.b as usize]
                     }
                 }
-                CellOp::Const { value } => *value,
-                CellOp::Slice { lo, hi } => {
-                    let width = hi - lo + 1;
-                    mask(get(0) >> lo, width)
-                }
-                CellOp::ZeroExtend => get(0),
-                CellOp::SignExtend => {
-                    let w = self.netlist.net(cell.inputs[0]).width;
-                    sign_extend(get(0), w) as u64
-                }
-                CellOp::Register { .. } | CellOp::RamTdp { .. } => continue,
+                SettleKind::Const => op.aux,
+                SettleKind::Slice => a >> op.aux,
+                SettleKind::ZeroExtend => a,
+                SettleKind::SignExtend => sign_extend(a, op.aux as u32) as u64,
             };
-            self.values[out_net.0 as usize] = mask(v, ow);
+            values[op.out as usize] = v & op.mask;
         }
     }
 }
