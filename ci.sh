@@ -19,9 +19,39 @@ strip_timing /tmp/hermes_par.txt
 diff /tmp/hermes_serial.txt.stripped /tmp/hermes_par.txt.stripped \
   || { echo "ci: parallel output diverged from serial" >&2; exit 1; }
 
+# Trace determinism gate: the flight recorder is part of the determinism
+# contract. Record the same experiments serial and 4-wide, strip the
+# wall-clock side channel (every wall-derived field sits on a line whose
+# key starts with "wall), and require byte-identical documents.
+HERMES_JOBS=1 "$EXP" e1 e2 e7 e10 --trace /tmp/hermes_trace_serial.json > /dev/null
+HERMES_JOBS=4 "$EXP" e1 e2 e7 e10 --trace /tmp/hermes_trace_par.json > /dev/null
+grep -q '"schema": "hermes-trace/v1"' /tmp/hermes_trace_serial.json \
+  || { echo "ci: trace document missing hermes-trace/v1 schema" >&2; exit 1; }
+grep -v '"wall' /tmp/hermes_trace_serial.json > /tmp/hermes_trace_serial.stripped
+grep -v '"wall' /tmp/hermes_trace_par.json > /tmp/hermes_trace_par.stripped
+diff /tmp/hermes_trace_serial.stripped /tmp/hermes_trace_par.stripped \
+  || { echo "ci: trace diverged between HERMES_JOBS=1 and 4" >&2; exit 1; }
+test -s /tmp/hermes_trace_serial.chrome.json \
+  || { echo "ci: chrome trace rendering missing" >&2; exit 1; }
+
+# CLI surface: --list prints every id without running anything, and the
+# output flags refuse to run with nothing selected.
+"$EXP" --list | grep -q '^e12 ' || { echo "ci: --list missing e12" >&2; exit 1; }
+if "$EXP" --list --trace /tmp/never.json > /dev/null 2>&1; then
+  echo "ci: --list --trace must be rejected" >&2; exit 1
+fi
+
 # E11 smoke: the throughput experiment must run end to end and emit JSON.
 "$EXP" e11 --json /tmp/hermes_bench_smoke.json > /dev/null
 python3 -c "import json; json.load(open('/tmp/hermes_bench_smoke.json'))" 2>/dev/null \
   || grep -q '"schema": "hermes-bench/v1"' /tmp/hermes_bench_smoke.json
+
+# E12 smoke: the observability-overhead experiment must run end to end
+# and its trace document must carry the hermes-trace/v1 schema line.
+"$EXP" e12 --trace /tmp/hermes_e12_trace.json > /dev/null
+grep -q '"schema": "hermes-trace/v1"' /tmp/hermes_e12_trace.json \
+  || { echo "ci: e12 trace missing schema line" >&2; exit 1; }
+python3 -c "import json; json.load(open('/tmp/hermes_e12_trace.json'))" 2>/dev/null \
+  || echo "ci: (python3 unavailable; schema line checked)"
 
 echo "ci: OK"

@@ -37,6 +37,38 @@ pub struct BusStats {
     pub retry_give_ups: u64,
 }
 
+impl BusStats {
+    /// Promote the bus statistics into flight-recorder metrics under
+    /// subsystem `sub`, plus one `Cpu`-clocked instant summarizing the run
+    /// at the final bus cycle.
+    pub fn obs_export(&self, obs: &hermes_obs::Recorder, sub: &str) {
+        obs.counter_add(sub, "cycles", self.cycles);
+        obs.counter_add(sub, "bytes_read", self.bytes_read);
+        obs.counter_add(sub, "bytes_written", self.bytes_written);
+        obs.counter_add(sub, "read_bursts", self.read_bursts);
+        obs.counter_add(sub, "write_bursts", self.write_bursts);
+        obs.counter_add(sub, "retries", self.retries);
+        obs.counter_add(sub, "slverrs", self.slverrs);
+        obs.counter_add(sub, "timeouts", self.timeouts);
+        obs.counter_add(sub, "retry_give_ups", self.retry_give_ups);
+        if let Some(mean) = self.total_read_latency.checked_div(self.read_bursts) {
+            // fixed buckets in bus cycles: latency profile of read bursts
+            obs.observe(sub, "read_latency", &[8, 16, 32, 64, 128, 256], mean);
+        }
+        obs.instant(
+            sub,
+            "bus-stats",
+            hermes_obs::ClockDomain::Cpu,
+            self.cycles,
+            &[
+                ("retries", self.retries.to_string()),
+                ("slverrs", self.slverrs.to_string()),
+                ("timeouts", self.timeouts.to_string()),
+            ],
+        );
+    }
+}
+
 /// Retry-with-exponential-backoff policy for the blocking master helpers.
 ///
 /// When installed (see [`AxiTestbench::with_retry`]), a transaction that

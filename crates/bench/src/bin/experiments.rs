@@ -4,26 +4,46 @@
 //! ```sh
 //! cargo run --release -p hermes-bench --bin experiments        # all
 //! cargo run --release -p hermes-bench --bin experiments e5 e9  # subset
+//! cargo run --release -p hermes-bench --bin experiments --list # ids+titles
 //! cargo run --release -p hermes-bench --bin experiments e11 --json BENCH_hermes.json
+//! cargo run --release -p hermes-bench --bin experiments e1 e2 --trace t.json
 //! ```
+//!
+//! `--trace <path>` runs the selection against a shared flight recorder
+//! and writes the `hermes-trace/v1` document to `<path>` plus a Chrome
+//! `trace_event` rendering to `<path minus .json>.chrome.json`. The wall
+//! channel is on for trace runs; every wall-derived field sits on a
+//! `"wall`-prefixed key so the deterministic channels diff clean across
+//! worker counts (`grep -v '"wall'`).
 
 use hermes_bench::json::Json;
+use hermes_bench::trace;
+use hermes_obs::{ClockDomain, Recorder};
 
 fn main() {
     let mut filter: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut list = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--json" {
-            match args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
                 Some(path) => json_path = Some(path),
                 None => {
                     eprintln!("--json requires a file path");
                     std::process::exit(1);
                 }
-            }
-        } else {
-            filter.push(arg);
+            },
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(path),
+                None => {
+                    eprintln!("--trace requires a file path");
+                    std::process::exit(1);
+                }
+            },
+            "--list" => list = true,
+            _ => filter.push(arg),
         }
     }
     let experiments = hermes_bench::all_experiments();
@@ -32,16 +52,49 @@ fn main() {
         eprintln!("unknown experiment `{unknown}`; available: {}", ids.join(" "));
         std::process::exit(1);
     }
-    let mut ran: Vec<(&str, &str, hermes_bench::ExperimentOutput)> = Vec::new();
-    for (id, title, runner) in experiments {
-        if !filter.is_empty() && !filter.iter().any(|f| f == id) {
-            continue;
+    let selected: Vec<_> = experiments
+        .into_iter()
+        .filter(|(id, _, _)| filter.is_empty() || filter.iter().any(|f| f == id))
+        .collect();
+    if list {
+        if json_path.is_some() || trace_path.is_some() {
+            eprintln!("--list runs nothing; combine it with neither --json nor --trace");
+            std::process::exit(1);
         }
+        for (id, title, _) in &selected {
+            println!("{id:<4} {title}");
+        }
+        return;
+    }
+    if selected.is_empty() && (json_path.is_some() || trace_path.is_some()) {
+        eprintln!("--json/--trace need at least one experiment to run");
+        std::process::exit(1);
+    }
+
+    // the session recorder: wall channel on and a deep ring when tracing,
+    // a one-branch no-op otherwise
+    let session = if trace_path.is_some() {
+        Recorder::with_wall().with_capacity(1 << 16)
+    } else {
+        Recorder::disabled()
+    };
+    let mut ran: Vec<(&str, &str, hermes_bench::ExperimentOutput)> = Vec::new();
+    for (idx, (id, title, runner)) in selected.into_iter().enumerate() {
         println!("==================================================================");
         println!("{} — {}", id.to_uppercase(), title);
         println!("==================================================================");
+        let mark = session.mark();
         let start = std::time::Instant::now();
-        let output = runner();
+        let output = runner(&session);
+        session.span(
+            "bench",
+            id,
+            ClockDomain::Seq,
+            idx as u64,
+            1,
+            &[("title", title.to_string())],
+            mark,
+        );
         println!("{}", output.text);
         println!("[{} completed in {:.2} s]\n", id, start.elapsed().as_secs_f64());
         ran.push((id, title, output));
@@ -73,5 +126,19 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = trace_path {
+        let body = trace::trace_document(&session).render();
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        let chrome = trace::chrome_path(&path);
+        let body = trace::chrome_trace(&session).render();
+        if let Err(e) = std::fs::write(&chrome, body) {
+            eprintln!("failed to write {chrome}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path} and {chrome}");
     }
 }

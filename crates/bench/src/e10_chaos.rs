@@ -20,6 +20,18 @@ pub fn run() -> ExperimentOutput {
 
 /// Run E10 with an explicit worker count (per-seed campaigns in parallel).
 pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {
+    run_traced_jobs(jobs, &hermes_obs::Recorder::disabled())
+}
+
+/// Run E10 on the default worker count, tracing into `obs`.
+pub fn run_traced(obs: &hermes_obs::Recorder) -> ExperimentOutput {
+    run_traced_jobs(hermes_par::jobs(), obs)
+}
+
+/// Run E10 with an explicit worker count and a flight recorder: every
+/// seeded campaign traces its injections, boot timeline, and recovery
+/// verdict into its own child recorder, absorbed in seed order.
+pub fn run_traced_jobs(jobs: usize, obs: &hermes_obs::Recorder) -> ExperimentOutput {
     let seeds = [7u64, 11, 21, 42, 99, 1234];
 
     let mut a = Table::new(&[
@@ -32,8 +44,19 @@ pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {
         "all_stages",
     ]);
     // each campaign is seeded and independent; results come back in seed order
-    let outcomes = hermes_par::par_map_jobs(jobs, &seeds, |&seed| scenario::full_campaign(seed))
-        .expect("campaigns are infallible");
+    let outcomes = hermes_par::par_map_jobs(jobs, &seeds, |&seed| {
+        let child = obs.child();
+        let out = scenario::full_campaign_traced(seed, &child);
+        (out, child)
+    })
+    .expect("campaigns are infallible");
+    let outcomes: Vec<_> = outcomes
+        .into_iter()
+        .map(|(out, child)| {
+            obs.absorb(&child);
+            out
+        })
+        .collect();
     for (&seed, out) in seeds.iter().zip(&outcomes) {
         let r = &out.report;
         a.row(cells![

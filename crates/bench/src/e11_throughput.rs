@@ -201,8 +201,9 @@ const SIM_SOURCE: &str =
 
 /// Run the accumulation netlist to `done` on both simulator generations,
 /// asserting identical cycle counts and return values; returns
-/// `(cycles, baseline_secs, dense_secs)`.
-fn bench_rtl_sim(n: u64, reps: u32) -> (u64, f64, f64) {
+/// `(cycles, baseline_secs, dense_secs)`. The last dense run exports its
+/// settle/cycle counters into `obs` under the `rtl` subsystem.
+fn bench_rtl_sim(n: u64, reps: u32, obs: &hermes_obs::Recorder) -> (u64, f64, f64) {
     let design = HlsFlow::new()
         .unroll_limit(0)
         .compile(SIM_SOURCE)
@@ -231,6 +232,7 @@ fn bench_rtl_sim(n: u64, reps: u32) -> (u64, f64, f64) {
 
     let mut dense_cycles = 0u64;
     let mut dense_ret = 0u64;
+    let mut last_sim = None;
     let start = Instant::now();
     for _ in 0..reps {
         let mut sim = Simulator::new(nl).expect("valid netlist");
@@ -243,8 +245,12 @@ fn bench_rtl_sim(n: u64, reps: u32) -> (u64, f64, f64) {
         }
         dense_cycles = cycles;
         dense_ret = sim.peek_net(ret);
+        last_sim = Some(sim);
     }
     let dense_secs = start.elapsed().as_secs_f64();
+    if let Some(sim) = &last_sim {
+        sim.obs_export(obs, "rtl");
+    }
 
     assert_eq!(base_cycles, dense_cycles, "cycle counts must agree");
     assert_eq!(base_ret, dense_ret, "return values must agree");
@@ -253,13 +259,18 @@ fn bench_rtl_sim(n: u64, reps: u32) -> (u64, f64, f64) {
 
 /// Run E11 and render its tables.
 pub fn run() -> ExperimentOutput {
+    run_traced(&hermes_obs::Recorder::disabled())
+}
+
+/// Run E11 with a flight recorder (RTL simulator counters under `rtl`).
+pub fn run_traced(obs: &hermes_obs::Recorder) -> ExperimentOutput {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut host = Table::new(&["metric", "value"]);
     host.row(cells!["host cores available", cores]);
     host.row(cells!["default worker count (HERMES_JOBS)", hermes_par::jobs()]);
 
     // dense-state simulator vs the HashMap baseline it replaced
-    let (cycles, base_secs, dense_secs) = bench_rtl_sim(2_000, 6);
+    let (cycles, base_secs, dense_secs) = bench_rtl_sim(2_000, 6, obs);
     let mut sim = Table::new(&["simulator", "cycles", "wall_ms", "kcycles/s", "speedup"]);
     for (name, secs) in [("hashmap (pre-opt)", base_secs), ("dense-vec (current)", dense_secs)] {
         sim.row(cells![
@@ -355,7 +366,7 @@ mod tests {
     #[test]
     fn baseline_and_dense_sims_agree() {
         // equivalence (cycles and return value) is asserted inside
-        let (cycles, _, _) = super::bench_rtl_sim(64, 1);
+        let (cycles, _, _) = super::bench_rtl_sim(64, 1, &hermes_obs::Recorder::disabled());
         assert!(cycles > 64, "loop actually ran");
     }
 }

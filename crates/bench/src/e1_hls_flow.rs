@@ -18,15 +18,29 @@ pub fn run() -> ExperimentOutput {
 /// table (the per-kernel HLS flows are independent and results merge in
 /// suite order).
 pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {
+    run_traced_jobs(jobs, &hermes_obs::Recorder::disabled())
+}
+
+/// Run E1 on the default worker count, tracing into `obs`.
+pub fn run_traced(obs: &hermes_obs::Recorder) -> ExperimentOutput {
+    run_traced_jobs(hermes_par::jobs(), obs)
+}
+
+/// Run E1 with an explicit worker count and a flight recorder: each
+/// kernel compiles against its own [`hermes_obs::Recorder::child`], and
+/// the children merge back in suite order, so the trace is identical at
+/// every worker count.
+pub fn run_traced_jobs(jobs: usize, obs: &hermes_obs::Recorder) -> ExperimentOutput {
     let flow = HlsFlow::new().unroll_limit(0);
     let mut t = Table::new(&[
         "kernel", "blocks", "nodes", "edges", "chain", "folded", "cse", "states",
         "fus", "regs", "fsm_bits", "cycles",
     ]);
     let rows = hermes_par::par_map_jobs(jobs, &suite(), |k| {
-        let d = k.compile(&flow);
+        let child = obs.child();
+        let d = k.compile_traced(&flow, &child);
         let r = k.simulate(&d);
-        cells![
+        let row = cells![
             k.name,
             d.cdfg_stats.blocks,
             d.cdfg_stats.nodes,
@@ -39,10 +53,12 @@ pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {
             d.binding.reg_count(),
             d.fsm.state_bits(),
             r.cycles,
-        ]
+        ];
+        (row, child)
     })
     .expect("suite kernels are known-good");
-    for row in rows {
+    for (row, child) in rows {
+        obs.absorb(&child);
         t.row(row);
     }
     let text = format!(

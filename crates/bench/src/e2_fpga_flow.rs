@@ -24,6 +24,18 @@ pub fn run() -> ExperimentOutput {
 /// are independent and merge in suite order, so every count renders the
 /// same tables.
 pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {
+    run_traced_jobs(jobs, &hermes_obs::Recorder::disabled())
+}
+
+/// Run E2 on the default worker count, tracing into `obs`.
+pub fn run_traced(obs: &hermes_obs::Recorder) -> ExperimentOutput {
+    run_traced_jobs(hermes_par::jobs(), obs)
+}
+
+/// Run E2 with an explicit worker count and a flight recorder: each
+/// kernel's HLS→FPGA flow traces into its own child recorder, absorbed
+/// back in suite order.
+pub fn run_traced_jobs(jobs: usize, obs: &hermes_obs::Recorder) -> ExperimentOutput {
     let hls = HlsFlow::new().unroll_limit(0);
     let device = DeviceProfile::ng_medium_like();
     let opts = FlowOptions {
@@ -35,13 +47,14 @@ pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {
         "bitstream_B",
     ]);
     let rows = hermes_par::par_map_jobs(jobs, &suite(), |k| {
-        let d = k.compile(&hls);
+        let child = obs.child();
+        let d = k.compile_traced(&hls, &child);
         let mut kopts = opts.clone();
         kopts.multicycle = d.multicycle_hints();
         let report = NxFlow::new(device.clone(), kopts)
-            .run(d.netlist())
+            .run_traced(d.netlist(), &child)
             .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-        cells![
+        let row = cells![
             k.name,
             report.utilization.luts,
             report.utilization.ffs,
@@ -51,10 +64,12 @@ pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {
             format!("{:.1}", report.timing.fmax_mhz),
             format!("{:.1}", report.power.total_mw()),
             report.bitstream_bytes,
-        ]
+        ];
+        (row, child)
     })
     .expect("suite kernels implement");
-    for row in rows {
+    for (row, child) in rows {
+        obs.absorb(&child);
         t.row(row);
     }
 

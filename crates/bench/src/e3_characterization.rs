@@ -16,6 +16,12 @@ pub fn run() -> ExperimentOutput {
     run_with_jobs(hermes_par::jobs())
 }
 
+/// Harness entry point; E3 has no instrumented layers yet, so the
+/// recorder is unused.
+pub fn run_traced(_obs: &hermes_obs::Recorder) -> ExperimentOutput {
+    run()
+}
+
 /// Run E3 with an explicit worker count for the kind × width sweep; the
 /// library (and hence the table) is identical for every count.
 pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {

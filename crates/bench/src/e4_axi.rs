@@ -27,6 +27,13 @@ int sum(int *data, int n) {
 
 /// Run E4 and render its tables.
 pub fn run() -> ExperimentOutput {
+    run_traced(&hermes_obs::Recorder::disabled())
+}
+
+/// Run E4 with a flight recorder: every co-simulation promotes its
+/// [`hermes_axi::testbench::BusStats`] into obs counters and the
+/// read-latency histogram under the `axi` subsystem.
+pub fn run_traced(obs: &hermes_obs::Recorder) -> ExperimentOutput {
     // compile with an optimistic static memory estimate so the
     // bus-accurate co-simulation (not the static schedule) sets the pace
     let design = HlsFlow::new()
@@ -58,6 +65,7 @@ pub fn run() -> ExperimentOutput {
             .expect("co-simulation");
         assert_eq!(r.return_value, Some(n as i64));
         let stats = tb.stats();
+        stats.obs_export(obs, "axi");
         a.row(cells![
             name,
             timing.read_latency,
@@ -74,6 +82,7 @@ pub fn run() -> ExperimentOutput {
         let mut tb = AxiTestbench::new(16 * 1024, MemoryTiming::default());
         let (_, cycles) = tb.read_blocking(addr, 512).expect("read");
         let s = tb.stats();
+        s.obs_export(obs, "axi");
         b.row(cells![name, 512, cycles, s.read_bursts]);
     }
 

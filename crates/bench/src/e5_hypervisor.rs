@@ -16,7 +16,7 @@ use hermes_xng::hypervisor::Hypervisor;
 use hermes_xng::partition::native_task;
 use hermes_xng::PartitionId;
 
-fn victim_with_coresident(scenario: &str) -> (u64, u64, u64) {
+fn victim_with_coresident(scenario: &str, obs: &hermes_obs::Recorder) -> (u64, u64, u64) {
     let mut cfg = XngConfig::new("e5");
     let victim = cfg.add_partition(PartitionConfig::new("victim"));
     let other = cfg.add_partition(PartitionConfig::new("other").with_memory(MemRegion {
@@ -26,6 +26,7 @@ fn victim_with_coresident(scenario: &str) -> (u64, u64, u64) {
     }));
     cfg.set_plan(0, Plan::new(vec![Slot::new(victim, 5_000), Slot::new(other, 5_000)]));
     let mut hv = Hypervisor::new(cfg).expect("config");
+    hv.set_obs(obs.clone());
     hv.attach_native(victim, native_task("victim", |c| {
         c.consume(1_000);
         Ok(())
@@ -60,7 +61,7 @@ fn victim_with_coresident(scenario: &str) -> (u64, u64, u64) {
     (vs.activations, vs.max_start_jitter, os.restarts)
 }
 
-fn hypercall_cost() -> (u64, u64) {
+fn hypercall_cost(obs: &hermes_obs::Recorder) -> (u64, u64) {
     // a guest that spins on GetSystemTime hypercalls
     let mut cfg = XngConfig::new("hc");
     let g = cfg.add_partition(PartitionConfig::new("g").with_memory(MemRegion {
@@ -70,6 +71,7 @@ fn hypercall_cost() -> (u64, u64) {
     }));
     cfg.set_plan(0, Plan::new(vec![Slot::new(g, 20_000)]));
     let mut hv = Hypervisor::new(cfg).expect("config");
+    hv.set_obs(obs.clone());
     let prog = hermes_cpu::isa::assemble(
         "loop:\n  ecall 0x02\n  jal r0, loop",
     )
@@ -150,13 +152,20 @@ jal r0, loop",
 
 /// Run E5 and render its tables.
 pub fn run() -> ExperimentOutput {
+    run_traced(&hermes_obs::Recorder::disabled())
+}
+
+/// Run E5 with a flight recorder attached to the hypervisors of the
+/// isolation and hypercall scenarios (context-switch, hypercall, and
+/// HM-event traces under the `xng` subsystem).
+pub fn run_traced(obs: &hermes_obs::Recorder) -> ExperimentOutput {
     let mut a = Table::new(&["co-resident", "victim_activations", "victim_jitter", "other_restarts"]);
     for scenario in ["well-behaved", "crashing", "mpu-attacker"] {
-        let (act, jitter, restarts) = victim_with_coresident(scenario);
+        let (act, jitter, restarts) = victim_with_coresident(scenario, obs);
         a.row(cells![scenario, act, jitter, restarts]);
     }
 
-    let (calls, per_call) = hypercall_cost();
+    let (calls, per_call) = hypercall_cost(obs);
     let mut b = Table::new(&["metric", "value"]);
     b.row(cells!["hypercalls serviced", calls]);
     b.row(cells!["guest cycles per hypercall round-trip", per_call]);

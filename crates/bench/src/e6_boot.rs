@@ -28,6 +28,15 @@ fn mission_flash(mode: RedundancyMode) -> (Flash, LoadList) {
 
 /// Run E6 and render its tables.
 pub fn run() -> ExperimentOutput {
+    run_traced(&hermes_obs::Recorder::disabled())
+}
+
+/// Run E6 with a flight recorder: the flash and SpaceWire boot timelines
+/// export one `Boot`-clocked span per BL1 stage (under `boot.flash` and
+/// `boot.spw`) plus the recovery counters of each [`BootReport`].
+///
+/// [`BootReport`]: hermes_boot::report::BootReport
+pub fn run_traced(obs: &hermes_obs::Recorder) -> ExperimentOutput {
     // stage breakdown, flash vs spacewire
     let mut a = Table::new(&["stage", "flash_cycles", "spw_cycles"]);
     let (flash, list) = mission_flash(RedundancyMode::Tmr);
@@ -42,6 +51,8 @@ pub fn run() -> ExperimentOutput {
     let mut bl1_spw = Bl1::new(BootSource::SpaceWire(link));
     bl1_spw.app_run_budget = 0;
     let spw_out = bl1_spw.boot().expect("spw boot");
+    flash_out.report.obs_export(obs, "boot.flash");
+    spw_out.report.obs_export(obs, "boot.spw");
     for (f, s) in flash_out.report.stages.iter().zip(&spw_out.report.stages) {
         a.row(cells![f.name, f.cycles, s.cycles]);
     }

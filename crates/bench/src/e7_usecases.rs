@@ -68,6 +68,17 @@ pub fn run() -> ExperimentOutput {
 
 /// Run E7 with an explicit worker count (per-kernel flows in parallel).
 pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {
+    run_traced_jobs(jobs, &hermes_obs::Recorder::disabled())
+}
+
+/// Run E7 on the default worker count, tracing into `obs`.
+pub fn run_traced(obs: &hermes_obs::Recorder) -> ExperimentOutput {
+    run_traced_jobs(hermes_par::jobs(), obs)
+}
+
+/// Run E7 with an explicit worker count and a flight recorder (child
+/// recorder per kernel, absorbed in suite order).
+pub fn run_traced_jobs(jobs: usize, obs: &hermes_obs::Recorder) -> ExperimentOutput {
     let (model, measured) = validate_cost_model();
     let mut v = Table::new(&["baseline validation", "cycles"]);
     v.row(cells!["cost model (acc loop, n=64)", model]);
@@ -82,19 +93,22 @@ pub fn run_with_jobs(jobs: usize) -> ExperimentOutput {
     let flow = HlsFlow::new().unroll_limit(0).ext_mem_latency(2, 1);
     let mut t = Table::new(&["kernel", "hw_cycles", "sw_cycles", "speedup", "ops"]);
     let rows = hermes_par::par_map_jobs(jobs, &suite(), |k| {
-        let d = k.compile(&flow);
+        let child = obs.child();
+        let d = k.compile_traced(&flow, &child);
         let r = k.simulate(&d);
         let sw = r.op_census.cpu_cycles(CPU_MUL, CPU_DIV, CPU_MEM);
-        cells![
+        let row = cells![
             k.name,
             r.cycles,
             sw,
             format!("{:.2}x", sw as f64 / r.cycles as f64),
             r.op_census.total(),
-        ]
+        ];
+        (row, child)
     })
     .expect("suite kernels are known-good");
-    for row in rows {
+    for (row, child) in rows {
+        obs.absorb(&child);
         t.row(row);
     }
 

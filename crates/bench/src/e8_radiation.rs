@@ -10,6 +10,12 @@ use crate::table::Table;
 use crate::ExperimentOutput;
 use hermes_rad::campaign::{bitstream_campaign, Campaign, Protection};
 
+/// Harness entry point; E8 has no instrumented layers yet, so the
+/// recorder is unused.
+pub fn run_traced(_obs: &hermes_obs::Recorder) -> ExperimentOutput {
+    run()
+}
+
 /// Run E8 and render its tables.
 pub fn run() -> ExperimentOutput {
     let mut a = Table::new(&[

@@ -47,6 +47,12 @@ fn flows(n: usize, a: &Task, b: &Task) -> TaskGraph {
     g
 }
 
+/// Harness entry point; E9 has no instrumented layers yet, so the
+/// recorder is unused.
+pub fn run_traced(_obs: &hermes_obs::Recorder) -> ExperimentOutput {
+    run()
+}
+
 /// Run E9 and render its table.
 pub fn run() -> ExperimentOutput {
     let (a, b) = pipeline_tasks();

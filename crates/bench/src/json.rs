@@ -165,4 +165,69 @@ mod tests {
         let s = Json::Str("a\"b\\c\nd".into()).render();
         assert_eq!(s.trim(), r#""a\"b\\c\nd""#);
     }
+
+    #[test]
+    fn escaping_round_trips_through_a_json_parser() {
+        // every escape class the writer knows: quote, backslash, the named
+        // control characters, and a bare control character (\u0007)
+        let nasty = "q:\" b:\\ n:\n r:\r t:\t bell:\u{7} unicode:é";
+        let rendered = Json::obj(vec![(nasty, Json::Str(nasty.into()))]).render();
+        // hand-rolled unescape of the rendered string literal: the exact
+        // inverse of `escape_into` proves the writer emits valid JSON
+        // string syntax without an external parser
+        let unescape = |lit: &str| -> String {
+            let mut out = String::new();
+            let mut chars = lit.chars();
+            while let Some(c) = chars.next() {
+                if c != '\\' {
+                    out.push(c);
+                    continue;
+                }
+                match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                        let code = u32::from_str_radix(&hex, 16).expect("4 hex digits");
+                        out.push(char::from_u32(code).expect("valid scalar"));
+                    }
+                    other => panic!("unknown escape \\{other:?}"),
+                }
+            }
+            out
+        };
+        // rendered form: {\n  "<key>": "<value>"\n}\n — pull out both
+        // string literals and invert them
+        let body = rendered.trim();
+        let inner = body
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .expect("object")
+            .trim();
+        let (key_lit, val_lit) = {
+            let mid = inner.find("\": \"").expect("separator");
+            (&inner[1..mid], &inner[mid + 4..inner.len() - 1])
+        };
+        assert_eq!(unescape(key_lit), nasty);
+        assert_eq!(unescape(val_lit), nasty);
+        assert!(rendered.contains("\\u0007"), "bare control char escaped");
+        assert!(!rendered.contains('\u{7}'), "no raw control char emitted");
+    }
+
+    #[test]
+    fn cell_rejects_non_finite_floats() {
+        // "NaN" and "inf" parse as f64 but are not valid JSON numbers —
+        // they must stay strings, never become `null` or bare NaN tokens
+        assert_eq!(Json::cell("NaN"), Json::Str("NaN".into()));
+        assert_eq!(Json::cell("inf"), Json::Str("inf".into()));
+        assert_eq!(Json::cell("-inf"), Json::Str("-inf".into()));
+        assert_eq!(Json::cell("Infinity"), Json::Str("Infinity".into()));
+        assert_eq!(Json::cell("NaN").render().trim(), "\"NaN\"");
+        // a directly constructed non-finite Num renders as null, not NaN
+        assert_eq!(Json::Num(f64::NAN).render().trim(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render().trim(), "null");
+    }
 }

@@ -33,6 +33,16 @@ impl Kernel {
             .unwrap_or_else(|e| panic!("{}: {e}", self.name))
     }
 
+    /// Compile with the given flow, tracing per-stage spans into `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on compile failure (suite kernels are known-good).
+    pub fn compile_traced(&self, flow: &HlsFlow, obs: &hermes_obs::Recorder) -> Design {
+        flow.compile_traced(self.source, obs)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name))
+    }
+
     /// Run the standard stimulus.
     ///
     /// # Panics

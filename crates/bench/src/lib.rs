@@ -1,7 +1,7 @@
 //! # hermes-bench
 //!
 //! The experiment harness: one module per experiment of EXPERIMENTS.md
-//! (E1–E11), each regenerating the corresponding table. The paper itself is
+//! (E1–E12), each regenerating the corresponding table. The paper itself is
 //! a project report with architecture figures rather than result tables;
 //! each experiment therefore reproduces the *measurable claim* behind a
 //! figure or section, as mapped in DESIGN.md.
@@ -30,10 +30,12 @@ pub mod e8_radiation;
 pub mod e9_dataflow;
 pub mod e10_chaos;
 pub mod e11_throughput;
+pub mod e12_observability;
 pub mod hdl_check;
 pub mod json;
 pub mod kernels;
 pub mod table;
+pub mod trace;
 
 use json::Json;
 use table::Table;
@@ -81,8 +83,14 @@ impl ExperimentOutput {
     }
 }
 
-/// One experiment: `(id, title, runner)`.
-pub type Experiment = (&'static str, &'static str, fn() -> ExperimentOutput);
+/// One experiment: `(id, title, runner)`. The runner records spans,
+/// events, and metrics into the supplied flight recorder; pass
+/// [`hermes_obs::Recorder::disabled`] for an untraced run.
+pub type Experiment = (
+    &'static str,
+    &'static str,
+    fn(&hermes_obs::Recorder) -> ExperimentOutput,
+);
 
 /// Every experiment.
 pub fn all_experiments() -> Vec<Experiment> {
@@ -90,17 +98,18 @@ pub fn all_experiments() -> Vec<Experiment> {
         (
             "e1",
             "HLS flow metrics (Fig. 2)",
-            e1_hls_flow::run as fn() -> ExperimentOutput,
+            e1_hls_flow::run_traced as fn(&hermes_obs::Recorder) -> ExperimentOutput,
         ),
-        ("e2", "FPGA implementation flow (Fig. 3)", e2_fpga_flow::run),
-        ("e3", "Eucalyptus characterization (§II)", e3_characterization::run),
-        ("e4", "AXI memory-delay sensitivity (§II)", e4_axi::run),
-        ("e5", "Hypervisor TSP guarantees (Fig. 4, §III)", e5_hypervisor::run),
-        ("e6", "Boot sequence (Fig. 5, §IV)", e6_boot::run),
-        ("e7", "Use-case speedups (§V)", e7_usecases::run),
-        ("e8", "Radiation hardening (§I)", e8_radiation::run),
-        ("e9", "Dataflow vs monolithic FSM (§II)", e9_dataflow::run),
-        ("e10", "Cross-layer chaos campaigns (§III-IV)", e10_chaos::run),
-        ("e11", "Throughput: serial vs parallel, hot-path gains", e11_throughput::run),
+        ("e2", "FPGA implementation flow (Fig. 3)", e2_fpga_flow::run_traced),
+        ("e3", "Eucalyptus characterization (§II)", e3_characterization::run_traced),
+        ("e4", "AXI memory-delay sensitivity (§II)", e4_axi::run_traced),
+        ("e5", "Hypervisor TSP guarantees (Fig. 4, §III)", e5_hypervisor::run_traced),
+        ("e6", "Boot sequence (Fig. 5, §IV)", e6_boot::run_traced),
+        ("e7", "Use-case speedups (§V)", e7_usecases::run_traced),
+        ("e8", "Radiation hardening (§I)", e8_radiation::run_traced),
+        ("e9", "Dataflow vs monolithic FSM (§II)", e9_dataflow::run_traced),
+        ("e10", "Cross-layer chaos campaigns (§III-IV)", e10_chaos::run_traced),
+        ("e11", "Throughput: serial vs parallel, hot-path gains", e11_throughput::run_traced),
+        ("e12", "Observability overhead (tracing on vs off)", e12_observability::run_traced),
     ]
 }

@@ -36,3 +36,21 @@ fn e10_parallel_matches_serial() {
     let parallel = hermes_bench::e10_chaos::run_with_jobs(4).text;
     assert_eq!(serial, parallel);
 }
+
+/// The flight recorder holds the same contract as the tables: a trace
+/// taken serial must be bit-identical to one taken 4-wide (the wall
+/// channel is off here; ci.sh additionally gates the wall-stripped
+/// `--trace` output of the full binary).
+#[test]
+fn trace_document_matches_across_worker_counts() {
+    let doc = |jobs: usize| {
+        let obs = hermes_obs::Recorder::new();
+        hermes_bench::e1_hls_flow::run_traced_jobs(jobs, &obs);
+        hermes_bench::e10_chaos::run_traced_jobs(jobs, &obs);
+        hermes_bench::trace::trace_document(&obs).render()
+    };
+    let serial = doc(1);
+    assert_eq!(serial, doc(4));
+    assert!(serial.contains("\"schema\": \"hermes-trace/v1\""));
+    assert!(serial.contains("\"fault-injected\""));
+}

@@ -123,6 +123,68 @@ impl BootReport {
         s
     }
 
+    /// Export the boot timeline into a flight recorder under subsystem
+    /// `sub`: one `Boot`-clocked span per stage (ts = cumulative cycles at
+    /// stage start, dur = stage cycles, args = status/detail), plus the
+    /// report's recovery counters.
+    pub fn obs_export(&self, obs: &hermes_obs::Recorder, sub: &str) {
+        use hermes_obs::{ClockDomain, WallMark};
+        let mut at = 0u64;
+        for st in &self.stages {
+            obs.span(
+                sub,
+                &st.name,
+                ClockDomain::Boot,
+                at,
+                st.cycles,
+                &[
+                    ("status", format!("{:?}", st.status)),
+                    ("detail", st.detail.clone()),
+                ],
+                WallMark::none(),
+            );
+            at += st.cycles;
+        }
+        obs.counter_add(sub, "flash_corrected_bytes", self.flash_corrected_bytes);
+        obs.counter_add(sub, "spw_retransmissions", self.spw_retransmissions);
+        obs.counter_add(sub, "images_loaded", u64::from(self.images_loaded));
+        obs.counter_add(
+            sub,
+            "bitstreams_programmed",
+            u64::from(self.bitstreams_programmed),
+        );
+        obs.counter_add(
+            sub,
+            "boot_source_failovers",
+            u64::from(self.boot_source_failovers),
+        );
+        obs.counter_add(
+            sub,
+            "golden_bitstream_substitutions",
+            u64::from(self.golden_bitstream_substitutions),
+        );
+        let verdict = if self.success {
+            "success"
+        } else if self.safe_mode {
+            "safe-mode"
+        } else {
+            "failed"
+        };
+        obs.instant(
+            sub,
+            "boot-verdict",
+            ClockDomain::Boot,
+            at,
+            &[
+                ("verdict", verdict.to_string()),
+                (
+                    "failure",
+                    self.failure.clone().unwrap_or_else(|| "-".to_string()),
+                ),
+            ],
+        );
+    }
+
     /// Compact binary serialization (what lands at [`BOOT_REPORT_ADDR`]):
     /// a summary block with a trailing CRC.
     pub fn to_bytes(&self) -> Vec<u8> {

@@ -62,9 +62,20 @@ pub struct ChaosReport {
     pub silent_corruptions: u64,
     /// Free-form notes (one line per noteworthy campaign event).
     pub notes: Vec<String>,
+    /// Flight recorder injections are traced into live (disabled by
+    /// default; see [`ChaosReport::set_obs`]).
+    pub obs: hermes_obs::Recorder,
 }
 
 impl ChaosReport {
+    /// Attach a flight recorder: each [`inject`](ChaosReport::inject) from
+    /// here on emits a live `fault-injected` event, and
+    /// [`export_obs`](ChaosReport::export_obs) can publish the recovery
+    /// counters at campaign end.
+    pub fn set_obs(&mut self, obs: hermes_obs::Recorder) {
+        self.obs = obs;
+    }
+
     /// Record an injected fault against a subsystem label.
     pub fn inject(&mut self, label: &str) {
         if let Some(e) = self.injected.iter_mut().find(|(l, _)| l == label) {
@@ -72,6 +83,67 @@ impl ChaosReport {
         } else {
             self.injected.push((label.to_string(), 1));
         }
+        self.obs.counter_add("chaos", "faults_injected", 1);
+        self.obs.instant(
+            "chaos",
+            "fault-injected",
+            hermes_obs::ClockDomain::Seq,
+            self.total_injected(),
+            &[("label", label.to_string())],
+        );
+    }
+
+    /// Publish the campaign's recovery counters and verdict into the
+    /// attached flight recorder (one `recovery-fired` event per exercised
+    /// stage, in the fixed stage order used by
+    /// [`render`](ChaosReport::render)).
+    pub fn export_obs(&self) {
+        let r = &self.recovered;
+        let mut fired = 0u64;
+        for (label, n) in [
+            ("axi-retry", r.axi_retries),
+            ("flash-tmr-vote", r.flash_voted_bytes),
+            ("flash-copy-fallback", r.flash_copy_fallbacks),
+            ("spw-retransmission", r.spw_retransmissions),
+            ("boot-source-failover", r.boot_source_failovers),
+            ("golden-bitstream", r.golden_bitstream_substitutions),
+            ("safe-mode-boot", r.safe_mode_boots),
+            ("partition-restart", r.partition_restarts),
+            ("hm-escalation", r.hm_escalations),
+            ("spare-failover", r.spare_failovers),
+            ("watchdog-expiry", r.watchdog_expiries),
+            ("edac-correction", r.edac_corrections),
+        ] {
+            self.obs.counter_add("chaos", &format!("recovered.{label}"), n);
+            if n > 0 {
+                fired += 1;
+                self.obs.instant(
+                    "chaos",
+                    "recovery-fired",
+                    hermes_obs::ClockDomain::Seq,
+                    fired,
+                    &[("stage", label.to_string()), ("count", n.to_string())],
+                );
+            }
+        }
+        self.obs
+            .counter_add("chaos", "silent_corruptions", self.silent_corruptions);
+        self.obs.gauge_set(
+            "chaos",
+            "availability_pct_x100",
+            (self.availability() * 10_000.0) as i64,
+        );
+        self.obs.instant(
+            "chaos",
+            "campaign-verdict",
+            hermes_obs::ClockDomain::Seq,
+            self.total_injected(),
+            &[
+                ("boot", if self.boot_succeeded { "success" } else { "safe-mode" }.to_string()),
+                ("availability", format!("{:.4}", self.availability())),
+                ("silent_corruptions", self.silent_corruptions.to_string()),
+            ],
+        );
     }
 
     /// Total faults injected.

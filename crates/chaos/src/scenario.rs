@@ -456,10 +456,34 @@ pub fn mission_under_flux(seed: u64, events: &[FaultEvent], report: &mut ChaosRe
 /// under SEU flux with task panics — all recoveries accounted in the
 /// returned [`ChaosReport`].
 pub fn full_campaign(seed: u64) -> CampaignOutcome {
+    full_campaign_traced(seed, &hermes_obs::Recorder::disabled())
+}
+
+/// [`full_campaign`] with flight-recorder output: fault injections are
+/// traced live as the phases run, the BL1 boot timeline is merged in from
+/// the [`BootReport`](hermes_boot::report::BootReport), and the recovery
+/// counters are published at campaign end. All campaign events land in a
+/// [`Recorder::child`](hermes_obs::Recorder::child) that is absorbed into
+/// `obs` before returning, so per-seed campaigns fanned out in parallel
+/// merge deterministically in seed order.
+pub fn full_campaign_traced(seed: u64, obs: &hermes_obs::Recorder) -> CampaignOutcome {
+    let child = obs.child();
     let mut report = ChaosReport {
         seed,
+        obs: child.clone(),
         ..ChaosReport::default()
     };
+    let outcome = run_campaign_phases(seed, &mut report);
+    outcome.report.obs_export(&child, "boot");
+    report.export_obs();
+    obs.absorb(&child);
+    CampaignOutcome {
+        report,
+        boot: outcome,
+    }
+}
+
+fn run_campaign_phases(seed: u64, report: &mut ChaosReport) -> BootOutcome {
     let mut plan = FaultPlan::generate(seed, &FaultPlanConfig::default());
     let events = plan.drain_until(u64::MAX);
     let by = |s: Subsystem| -> Vec<FaultEvent> {
@@ -470,15 +494,15 @@ pub fn full_campaign(seed: u64) -> CampaignOutcome {
             .collect()
     };
 
-    let boot = boot_under_flash_rot(seed, &mut report);
-    bus_under_fire(seed, &by(Subsystem::Axi), &mut report);
-    update_over_corrupted_link(seed, &by(Subsystem::SpaceWire), &mut report);
+    let boot = boot_under_flash_rot(seed, report);
+    bus_under_fire(seed, &by(Subsystem::Axi), report);
+    update_over_corrupted_link(seed, &by(Subsystem::SpaceWire), report);
     let mut mission: Vec<FaultEvent> = by(Subsystem::PartitionMemory);
     mission.extend(by(Subsystem::Task));
     mission.sort_by_key(|e| e.cycle);
-    mission_under_flux(seed, &mission, &mut report);
+    mission_under_flux(seed, &mission, report);
 
-    CampaignOutcome { report, boot }
+    boot
 }
 
 #[cfg(test)]

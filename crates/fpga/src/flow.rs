@@ -9,6 +9,7 @@ use crate::route::{RouteReport, Router};
 use crate::synth::{SynthReport, Synthesizer};
 use crate::timing::{Analyzer, MulticycleHints, TimingReport};
 use crate::FpgaError;
+use hermes_obs::{ClockDomain, Recorder};
 use hermes_rtl::netlist::Netlist;
 use std::time::Instant;
 
@@ -185,6 +186,16 @@ impl NxFlow {
         self.run_with_artifacts(netlist).map(|(r, _)| r)
     }
 
+    /// [`run`](NxFlow::run) with flight-recorder output (see
+    /// [`run_with_artifacts_traced`](NxFlow::run_with_artifacts_traced)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage failure; see [`FpgaError`].
+    pub fn run_traced(&self, netlist: &Netlist, obs: &Recorder) -> Result<FlowReport, FpgaError> {
+        self.run_with_artifacts_traced(netlist, obs).map(|(r, _)| r)
+    }
+
     /// Run the full flow, returning the report plus reusable artifacts
     /// (primitive netlist, placement, routed delays, bitstream).
     ///
@@ -195,17 +206,93 @@ impl NxFlow {
         &self,
         netlist: &Netlist,
     ) -> Result<(FlowReport, FlowArtifacts), FpgaError> {
+        self.run_with_artifacts_traced(netlist, &Recorder::disabled())
+    }
+
+    /// [`run_with_artifacts`](NxFlow::run_with_artifacts) with
+    /// flight-recorder output: one `Seq`-clocked span per NXmap stage
+    /// (synth → place → route → sta → bitgen, ts = stage index) with the
+    /// stage's headline metric, plus per-annealing-epoch placer samples
+    /// via [`Placer::place_multi_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage failure; see [`FpgaError`].
+    pub fn run_with_artifacts_traced(
+        &self,
+        netlist: &Netlist,
+        obs: &Recorder,
+    ) -> Result<(FlowReport, FlowArtifacts), FpgaError> {
+        const SUB: &str = "fpga";
+        let m0 = obs.mark();
         let t0 = Instant::now();
         let synth = Synthesizer::new(self.device.clone()).synthesize(netlist)?;
+        obs.span(
+            SUB,
+            "synth",
+            ClockDomain::Seq,
+            0,
+            1,
+            &[
+                ("coarse_cells", synth.report.coarse_cells.to_string()),
+                ("prim_cells", synth.report.prim_cells.to_string()),
+            ],
+            m0,
+        );
+        let m1 = obs.mark();
         let t1 = Instant::now();
         let placement = Placer::new(self.device.clone(), self.options.effort, self.options.seed)
-            .place_multi(&synth.prim, self.options.place_starts, hermes_par::jobs())?;
+            .place_multi_traced(
+                &synth.prim,
+                self.options.place_starts,
+                hermes_par::jobs(),
+                obs,
+            )?;
+        obs.span(
+            SUB,
+            "place",
+            ClockDomain::Seq,
+            1,
+            1,
+            &[
+                ("hpwl", format!("{:.1}", placement.hpwl)),
+                ("starts", self.options.place_starts.max(1).to_string()),
+            ],
+            m1,
+        );
+        let m2 = obs.mark();
         let t2 = Instant::now();
         let route = Router::new(self.device.clone()).route(&synth.prim, &placement)?;
+        obs.span(
+            SUB,
+            "route",
+            ClockDomain::Seq,
+            2,
+            1,
+            &[
+                ("wirelength", format!("{:.1}", route.total_wirelength)),
+                ("overflowed", route.overflowed_channels.to_string()),
+            ],
+            m2,
+        );
+        let m3 = obs.mark();
         let t3 = Instant::now();
         let timing = Analyzer::new(self.device.clone())
             .with_multicycle(self.options.multicycle.clone())
             .analyze(&synth.prim, Some(&route), self.options.target_period_ns);
+        obs.span(
+            SUB,
+            "sta",
+            ClockDomain::Seq,
+            3,
+            1,
+            &[
+                ("fmax_mhz", format!("{:.1}", timing.fmax_mhz)),
+                ("met", timing.met().to_string()),
+            ],
+            m3,
+        );
+        let m4 = obs.mark();
         let t4 = Instant::now();
         if self.options.fail_on_timing && !timing.met() {
             return Err(FpgaError::TimingNotMet {
@@ -214,6 +301,16 @@ impl NxFlow {
             });
         }
         let bitstream = Bitstream::generate(&synth.prim, &placement, &self.device);
+        obs.span(
+            SUB,
+            "bitgen",
+            ClockDomain::Seq,
+            4,
+            1,
+            &[("bytes", bitstream.size_bytes().to_string())],
+            m4,
+        );
+        obs.counter_add(SUB, "flows", 1);
         let t5 = Instant::now();
 
         let u = synth.report.utilization;

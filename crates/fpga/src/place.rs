@@ -9,8 +9,12 @@
 use crate::device::DeviceProfile;
 use crate::primitives::{PCellId, PNetId, PrimNetlist, Primitive};
 use crate::FpgaError;
+use hermes_obs::{ClockDomain, Recorder};
 use hermes_rtl::rng::DetRng;
 use std::collections::HashMap;
+
+/// Flight-recorder subsystem name used by the placer.
+const OBS_SUB: &str = "fpga.place";
 
 /// A placed design: one `(x, y)` site per primitive cell.
 #[derive(Debug, Clone)]
@@ -167,6 +171,18 @@ impl Placer {
     /// Returns [`FpgaError::ResourceOverflow`] if any site class runs out of
     /// candidate locations.
     pub fn place(&self, prim: &PrimNetlist) -> Result<Placement, FpgaError> {
+        self.place_traced(prim, &Recorder::disabled())
+    }
+
+    /// [`place`](Placer::place) with flight-recorder output: one instant
+    /// event per annealing epoch (`Seq` clock, ts = epoch index) sampling
+    /// temperature and cost, plus move counters — the per-epoch cost curve
+    /// an NXmap placement log would show.
+    ///
+    /// # Errors
+    ///
+    /// See [`place`](Placer::place).
+    pub fn place_traced(&self, prim: &PrimNetlist, obs: &Recorder) -> Result<Placement, FpgaError> {
         let mut rng = DetRng::new(self.seed);
         let classes: Vec<SiteClass> = prim
             .cells()
@@ -272,6 +288,7 @@ impl Placer {
             // Scratch for candidate boxes of the nets touched by one move,
             // reused across moves to stay allocation-free in steady state.
             let mut candidate: Vec<(usize, NetBox)> = Vec::new();
+            let mut epoch = 0u64;
             while done < total_moves {
                 // Move window shrinks with temperature (VPR-style range limit).
                 let win = ((max_dim * (temp / temp0).min(1.0)) as i32).max(2);
@@ -318,6 +335,18 @@ impl Placer {
                     }
                 }
                 done += moves_per_temp;
+                obs.instant(
+                    OBS_SUB,
+                    "anneal-epoch",
+                    ClockDomain::Seq,
+                    epoch,
+                    &[
+                        ("seed", self.seed.to_string()),
+                        ("temp", format!("{temp:.4}")),
+                        ("cost", format!("{cost:.1}")),
+                    ],
+                );
+                epoch += 1;
                 temp *= cooling;
                 if cost < best_cost {
                     best_cost = cost;
@@ -336,6 +365,9 @@ impl Placer {
             self.legalize(&mut locations, &classes, &logic_sites);
             cost = total(&locations);
         }
+
+        obs.counter_add(OBS_SUB, "moves_tried", moves_tried);
+        obs.counter_add(OBS_SUB, "moves_accepted", moves_accepted);
 
         Ok(Placement {
             locations,
@@ -363,33 +395,57 @@ impl Placer {
         starts: u32,
         jobs: usize,
     ) -> Result<Placement, FpgaError> {
+        self.place_multi_traced(prim, starts, jobs, &Recorder::disabled())
+    }
+
+    /// [`place_multi`](Placer::place_multi) with flight-recorder output.
+    ///
+    /// Each start anneals into its own [`Recorder::child`]; the children
+    /// are absorbed back **in seed order** after the parallel map, so the
+    /// merged trace is bit-identical regardless of worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`place_multi`](Placer::place_multi).
+    pub fn place_multi_traced(
+        &self,
+        prim: &PrimNetlist,
+        starts: u32,
+        jobs: usize,
+        obs: &Recorder,
+    ) -> Result<Placement, FpgaError> {
         let starts = starts.max(1);
         if starts == 1 {
-            return self.place(prim);
+            return self.place_traced(prim, obs);
         }
         let seeds: Vec<u64> = (0..u64::from(starts))
             .map(|i| self.seed.wrapping_add(i))
             .collect();
         let results = hermes_par::par_map_jobs(jobs, &seeds, |&seed| {
-            Placer {
+            let child = obs.child();
+            let placed = Placer {
                 device: self.device.clone(),
                 effort: self.effort,
                 seed,
             }
-            .place(prim)
+            .place_traced(prim, &child);
+            (placed, child)
         })
         .map_err(|e| FpgaError::Internal {
             message: format!("parallel placement worker failed: {e}"),
         })?;
         let mut best: Option<Placement> = None;
-        for p in results {
+        for (p, child) in results {
+            obs.absorb(&child);
             let p = p?;
             let better = best.as_ref().is_none_or(|b| p.hpwl < b.hpwl);
             if better {
                 best = Some(p);
             }
         }
-        Ok(best.expect("starts >= 1 yields a result"))
+        let best = best.expect("starts >= 1 yields a result");
+        obs.gauge_set(OBS_SUB, "best_hpwl_x10", (best.hpwl * 10.0) as i64);
+        Ok(best)
     }
 
     /// Pick a legal logic site within `win` tiles of `from` (falling back to

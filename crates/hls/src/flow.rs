@@ -20,6 +20,7 @@ use crate::simulate::{self, ExternalMemory, SimLimits, SimResult};
 use crate::HlsError;
 use hermes_eucalyptus::{CharacterizationLibrary, Eucalyptus, SweepConfig};
 use hermes_fpga::device::DeviceProfile;
+use hermes_obs::{ClockDomain, Recorder, WallMark};
 use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -137,15 +138,75 @@ impl HlsFlow {
     ///
     /// Propagates any front-end, middle-end, or back-end failure.
     pub fn compile(&self, src: &str) -> Result<Design, HlsError> {
+        self.compile_traced(src, &Recorder::disabled())
+    }
+
+    /// [`compile`](HlsFlow::compile) with per-stage flight-recorder spans:
+    /// parse → unroll → lower → optimize → cdfg → schedule → bind → fsm →
+    /// emit, each a `Seq`-clocked span (ts = stage index) carrying the
+    /// stage's headline statistic, with wall time on the side channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any front-end, middle-end, or back-end failure.
+    pub fn compile_traced(&self, src: &str, obs: &Recorder) -> Result<Design, HlsError> {
+        const SUB: &str = "hls";
+        let mut stage = 0u64;
+        let mut span = |name: &str, args: &[(&str, String)], mark: WallMark| {
+            obs.span(SUB, name, ClockDomain::Seq, stage, 1, args, mark);
+            stage += 1;
+        };
+
+        let m = obs.mark();
         let mut program = parse(src)?;
+        span(
+            "parse",
+            &[("functions", program.functions.len().to_string())],
+            m,
+        );
+
+        let m = obs.mark();
         if self.unroll_limit > 0 {
             for f in &mut program.functions {
                 unroll_for_loops(&mut f.body, self.unroll_limit);
             }
         }
+        span("unroll", &[("limit", self.unroll_limit.to_string())], m);
+
+        let m = obs.mark();
         let mut ir = lower(&program, self.top.as_deref())?;
+        span(
+            "typeck+lower",
+            &[
+                ("top", ir.name.clone()),
+                ("blocks", ir.blocks.len().to_string()),
+            ],
+            m,
+        );
+
+        let m = obs.mark();
         let opt_stats = optimize(&mut ir);
+        span(
+            "optimize",
+            &[
+                ("folded", opt_stats.folded.to_string()),
+                ("dce_removed", opt_stats.dce_removed.to_string()),
+                ("cse_hits", opt_stats.cse_hits.to_string()),
+            ],
+            m,
+        );
+
+        let m = obs.mark();
         let cdfg_stats = cdfg::stats(&ir);
+        span(
+            "cdfg",
+            &[
+                ("nodes", cdfg_stats.nodes.to_string()),
+                ("critical_chain", cdfg_stats.critical_chain.to_string()),
+            ],
+            m,
+        );
+
         let lib = self
             .library
             .clone()
@@ -157,10 +218,39 @@ impl HlsFlow {
             ext_mem_read_latency: self.ext_read_latency,
             ext_mem_write_latency: self.ext_write_latency,
         };
+        let m = obs.mark();
         let sched = schedule(&ir, &self.allocation, &lib, &sched_opts)?;
+        span("schedule", &[("states", sched.total_states().to_string())], m);
+
+        let m = obs.mark();
         let binding = bind(&ir, &sched);
+        span(
+            "bind",
+            &[
+                ("fus", binding.fus.len().to_string()),
+                ("registers", binding.reg_count().to_string()),
+            ],
+            m,
+        );
+
+        let m = obs.mark();
         let fsm = fsm::build(&ir, &sched);
+        span("fsm", &[("states", fsm.state_count().to_string())], m);
+
+        let m = obs.mark();
         let dp = datapath::generate(&ir, &sched, &binding, &fsm)?;
+        span(
+            "emit",
+            &[
+                ("cells", dp.netlist.cell_count().to_string()),
+                ("nets", dp.netlist.net_count().to_string()),
+            ],
+            m,
+        );
+
+        obs.counter_add(SUB, "compiles", 1);
+        obs.counter_add(SUB, "netlist_cells", dp.netlist.cell_count() as u64);
+
         Ok(Design {
             ir,
             sched,

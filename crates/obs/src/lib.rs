@@ -1,0 +1,747 @@
+//! # hermes-obs
+//!
+//! The deterministic flight recorder of the HERMES workspace: cross-layer
+//! span/event tracing, a metrics registry, and bounded per-subsystem ring
+//! buffers — std-only, no external dependencies.
+//!
+//! ## Determinism contract
+//!
+//! Every event timestamp comes from a **simulated clock domain**
+//! ([`ClockDomain`]): RTL cycles, CPU cycles, hypervisor cycles, boot
+//! microsteps, or a plain deterministic sequence number. Wall-clock time is
+//! an *optional side channel* ([`Recorder::with_wall`]): it rides along on
+//! each event as `wall_ns` and is stripped from deterministic output, so a
+//! trace taken at `HERMES_JOBS=1` is bit-identical to one taken at
+//! `HERMES_JOBS=4` once the wall channel is removed.
+//!
+//! Parallel fan-outs keep the contract by giving each independent unit of
+//! work its own [`Recorder::child`] and merging the children back **in
+//! input order** with [`Recorder::absorb`] — the same discipline
+//! `hermes_par::par_map` applies to its result vector.
+//!
+//! ## Flight-recorder semantics
+//!
+//! Events are stored per subsystem in a bounded ring: once a subsystem
+//! holds `capacity` events, recording a new one drops the oldest at O(1)
+//! cost and bumps the subsystem's `dropped` counter. Long campaigns
+//! therefore keep the *last N* events per subsystem — the black-box
+//! behaviour a post-mortem wants — while metrics (counters, gauges,
+//! histograms) aggregate over the whole run and never drop.
+//!
+//! A disabled recorder ([`Recorder::disabled`]) early-returns from every
+//! recording call after a single branch, so instrumentation can stay in
+//! hot paths unconditionally.
+
+pub mod warnings;
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default per-subsystem ring capacity.
+pub const DEFAULT_RING_CAPACITY: usize = 8192;
+
+/// The simulated clock domain an event timestamp belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockDomain {
+    /// RTL simulator clock cycles.
+    Rtl,
+    /// CPU cluster cycles.
+    Cpu,
+    /// Hypervisor cycles (minor-frame time base).
+    Hv,
+    /// Boot-chain microsteps (cumulative BL1 stage cycles).
+    Boot,
+    /// A plain deterministic sequence (stage index, epoch index, …).
+    Seq,
+}
+
+impl ClockDomain {
+    /// Stable short name used in trace documents.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ClockDomain::Rtl => "rtl",
+            ClockDomain::Cpu => "cpu",
+            ClockDomain::Hv => "hv",
+            ClockDomain::Boot => "boot",
+            ClockDomain::Seq => "seq",
+        }
+    }
+}
+
+/// What kind of record an [`Event`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An interval: starts at `ts`, lasts `dur` ticks of its clock domain.
+    Span {
+        /// Duration in ticks of the event's clock domain.
+        dur: u64,
+    },
+    /// A point event.
+    Instant,
+    /// A point event flagging an anomaly worth surfacing.
+    Warning,
+}
+
+impl EventKind {
+    /// Stable short name used in trace documents.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Span { .. } => "span",
+            EventKind::Instant => "instant",
+            EventKind::Warning => "warning",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Global sequence number (total order across all subsystems of one
+    /// recorder, assigned at record/merge time).
+    pub seq: u64,
+    /// Event name.
+    pub name: String,
+    /// Span / instant / warning.
+    pub kind: EventKind,
+    /// Clock domain of `ts`.
+    pub clock: ClockDomain,
+    /// Timestamp in ticks of `clock` — always deterministic.
+    pub ts: u64,
+    /// Key/value payload (values pre-rendered to strings by the caller).
+    pub args: Vec<(String, String)>,
+    /// Wall-clock side channel: span duration (spans) or nanoseconds since
+    /// the recorder's epoch (instants). `None` unless the recorder was
+    /// built with [`Recorder::with_wall`]. Stripped from deterministic
+    /// output.
+    pub wall_ns: Option<u64>,
+}
+
+/// A wall-clock measurement started by [`Recorder::mark`]; pass it back to
+/// [`Recorder::span`] to attach the elapsed time to the wall channel.
+/// Zero-cost (`None` inside) when the wall channel is off.
+#[derive(Debug, Clone, Copy)]
+pub struct WallMark(Option<Instant>);
+
+impl WallMark {
+    /// A mark that records nothing (for call sites without timing).
+    pub fn none() -> Self {
+        WallMark(None)
+    }
+}
+
+/// A fixed-bucket histogram: `counts[i]` holds observations `<= bounds[i]`,
+/// with one extra overflow bucket at the end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Upper bucket bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    fn observe(&mut self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        if self.bounds == other.bounds {
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += b;
+            }
+        } else {
+            // mismatched geometry: fold the other side's observations into
+            // the overflow bucket rather than losing them silently
+            if let Some(last) = self.counts.last_mut() {
+                *last += other.count;
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// Bounded per-subsystem event buffer.
+#[derive(Debug, Default)]
+struct SubBuf {
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct Metrics {
+    counters: Vec<(String, String, u64)>,
+    counter_idx: HashMap<String, usize>,
+    gauges: Vec<(String, String, i64)>,
+    gauge_idx: HashMap<String, usize>,
+    hists: Vec<(String, String, Histogram)>,
+    hist_idx: HashMap<String, usize>,
+}
+
+fn metric_key(sub: &str, name: &str) -> String {
+    format!("{sub}\u{1f}{name}")
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Subsystem names in first-seen order (deterministic registration).
+    order: Vec<String>,
+    subs: HashMap<String, SubBuf>,
+    metrics: Metrics,
+    next_seq: u64,
+    /// Total events ever recorded (including ones since dropped).
+    total_events: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    enabled: bool,
+    wall: bool,
+    capacity: usize,
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+/// The flight recorder. Cheap to clone (`Arc` inside); clones share the
+/// same buffers. Use [`Recorder::child`] for an *independent* recorder to
+/// hand to a parallel work unit, then [`Recorder::absorb`] the children in
+/// input order.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.inner.enabled)
+            .field("wall", &self.inner.wall)
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::disabled()
+    }
+}
+
+impl Recorder {
+    fn build(enabled: bool, wall: bool, capacity: usize) -> Self {
+        Recorder {
+            inner: Arc::new(Inner {
+                enabled,
+                wall,
+                capacity,
+                epoch: Instant::now(),
+                state: Mutex::new(State::default()),
+            }),
+        }
+    }
+
+    /// An enabled recorder with the deterministic channels only.
+    pub fn new() -> Self {
+        Recorder::build(true, false, DEFAULT_RING_CAPACITY)
+    }
+
+    /// An enabled recorder that additionally captures the wall-clock side
+    /// channel (`wall_ns` on every event).
+    pub fn with_wall() -> Self {
+        Recorder::build(true, true, DEFAULT_RING_CAPACITY)
+    }
+
+    /// A recorder whose every recording call is a no-op after one branch.
+    pub fn disabled() -> Self {
+        Recorder::build(false, false, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Same configuration, different ring capacity (events per subsystem).
+    #[must_use]
+    pub fn with_capacity(self, capacity: usize) -> Self {
+        Recorder::build(self.inner.enabled, self.inner.wall, capacity.max(1))
+    }
+
+    /// Whether recording calls store anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Whether the wall-clock side channel is captured.
+    pub fn wall_enabled(&self) -> bool {
+        self.inner.wall
+    }
+
+    /// An independent recorder with this one's configuration and empty
+    /// state — hand one to each parallel work unit, then [`absorb`] them
+    /// in input order. A child of a disabled recorder is disabled.
+    ///
+    /// [`absorb`]: Recorder::absorb
+    pub fn child(&self) -> Recorder {
+        Recorder::build(self.inner.enabled, self.inner.wall, self.inner.capacity)
+    }
+
+    /// Start a wall-clock measurement for a later [`Recorder::span`].
+    /// Returns an inert mark when the wall channel is off.
+    pub fn mark(&self) -> WallMark {
+        if self.inner.enabled && self.inner.wall {
+            WallMark(Some(Instant::now()))
+        } else {
+            WallMark(None)
+        }
+    }
+
+    fn now_wall(&self) -> Option<u64> {
+        if self.inner.wall {
+            Some(u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX))
+        } else {
+            None
+        }
+    }
+
+    fn push(&self, sub: &str, ev: Event) {
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut ev = ev;
+        ev.seq = st.next_seq;
+        st.next_seq += 1;
+        st.total_events += 1;
+        if !st.subs.contains_key(sub) {
+            st.order.push(sub.to_string());
+            st.subs.insert(sub.to_string(), SubBuf::default());
+        }
+        let cap = self.inner.capacity;
+        let buf = st.subs.get_mut(sub).expect("just inserted");
+        if buf.events.len() >= cap {
+            buf.events.pop_front();
+            buf.dropped += 1;
+        }
+        buf.events.push_back(ev);
+    }
+
+    /// Record a span: an interval starting at `ts` lasting `dur` ticks of
+    /// `clock`. `mark` (from [`Recorder::mark`]) attaches the elapsed wall
+    /// time to the wall channel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        sub: &str,
+        name: &str,
+        clock: ClockDomain,
+        ts: u64,
+        dur: u64,
+        args: &[(&str, String)],
+        mark: WallMark,
+    ) {
+        if !self.inner.enabled {
+            return;
+        }
+        let wall_ns = mark
+            .0
+            .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        self.push(
+            sub,
+            Event {
+                seq: 0,
+                name: name.to_string(),
+                kind: EventKind::Span { dur },
+                clock,
+                ts,
+                args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+                wall_ns,
+            },
+        );
+    }
+
+    /// Record a point event at `ts` in `clock`.
+    pub fn instant(&self, sub: &str, name: &str, clock: ClockDomain, ts: u64, args: &[(&str, String)]) {
+        if !self.inner.enabled {
+            return;
+        }
+        let wall_ns = self.now_wall();
+        self.push(
+            sub,
+            Event {
+                seq: 0,
+                name: name.to_string(),
+                kind: EventKind::Instant,
+                clock,
+                ts,
+                args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+                wall_ns,
+            },
+        );
+    }
+
+    /// Record a warning event (sequence-clocked, message in the args).
+    pub fn warning(&self, sub: &str, message: &str) {
+        if !self.inner.enabled {
+            return;
+        }
+        let wall_ns = self.now_wall();
+        self.push(
+            sub,
+            Event {
+                seq: 0,
+                name: "warning".to_string(),
+                kind: EventKind::Warning,
+                clock: ClockDomain::Seq,
+                ts: 0,
+                args: vec![("message".to_string(), message.to_string())],
+                wall_ns,
+            },
+        );
+    }
+
+    /// Add `delta` to a counter, registering it on first touch.
+    pub fn counter_add(&self, sub: &str, name: &str, delta: u64) {
+        if !self.inner.enabled {
+            return;
+        }
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let key = metric_key(sub, name);
+        let m = &mut st.metrics;
+        match m.counter_idx.get(&key) {
+            Some(&i) => m.counters[i].2 += delta,
+            None => {
+                m.counter_idx.insert(key, m.counters.len());
+                m.counters.push((sub.to_string(), name.to_string(), delta));
+            }
+        }
+    }
+
+    /// Set a gauge to `v`, registering it on first touch.
+    pub fn gauge_set(&self, sub: &str, name: &str, v: i64) {
+        if !self.inner.enabled {
+            return;
+        }
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let key = metric_key(sub, name);
+        let m = &mut st.metrics;
+        match m.gauge_idx.get(&key) {
+            Some(&i) => m.gauges[i].2 = v,
+            None => {
+                m.gauge_idx.insert(key, m.gauges.len());
+                m.gauges.push((sub.to_string(), name.to_string(), v));
+            }
+        }
+    }
+
+    /// Observe `v` in a fixed-bucket histogram (bounds fixed at first
+    /// touch), registering it on first touch.
+    pub fn observe(&self, sub: &str, name: &str, bounds: &[u64], v: u64) {
+        if !self.inner.enabled {
+            return;
+        }
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let key = metric_key(sub, name);
+        let m = &mut st.metrics;
+        match m.hist_idx.get(&key) {
+            Some(&i) => m.hists[i].2.observe(v),
+            None => {
+                let mut h = Histogram::new(bounds);
+                h.observe(v);
+                m.hist_idx.insert(key, m.hists.len());
+                m.hists.push((sub.to_string(), name.to_string(), h));
+            }
+        }
+    }
+
+    /// Merge a child's state into this recorder, draining the child.
+    /// Events append in the child's order (re-sequenced); counters and
+    /// histograms add; gauges take the child's latest value. Calling
+    /// `absorb` on children **in input order** keeps the merged stream
+    /// deterministic regardless of how the children ran.
+    pub fn absorb(&self, child: &Recorder) {
+        if !self.inner.enabled || !child.inner.enabled {
+            return;
+        }
+        let mut taken = {
+            let mut cst = child.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *cst)
+        };
+        // gather the child's events in global seq order so interleavings
+        // across its subsystems are preserved
+        let mut all: Vec<(String, Event)> = Vec::new();
+        for sub in &taken.order {
+            if let Some(buf) = taken.subs.get_mut(sub) {
+                for ev in buf.events.drain(..) {
+                    all.push((sub.clone(), ev));
+                }
+            }
+        }
+        all.sort_by_key(|(_, ev)| ev.seq);
+        for (sub, ev) in all {
+            self.push(&sub, ev);
+        }
+        // carry dropped counts across the merge
+        {
+            let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            for sub in &taken.order {
+                let dropped = taken.subs.get(sub).map_or(0, |b| b.dropped);
+                if dropped > 0 {
+                    if !st.subs.contains_key(sub) {
+                        st.order.push(sub.clone());
+                        st.subs.insert(sub.clone(), SubBuf::default());
+                    }
+                    st.subs.get_mut(sub).expect("present").dropped += dropped;
+                }
+            }
+        }
+        for (sub, name, v) in &taken.metrics.counters {
+            self.counter_add(sub, name, *v);
+        }
+        for (sub, name, v) in &taken.metrics.gauges {
+            self.gauge_set(sub, name, *v);
+        }
+        {
+            let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            let m = &mut st.metrics;
+            for (sub, name, h) in &taken.metrics.hists {
+                let key = metric_key(sub, name);
+                match m.hist_idx.get(&key) {
+                    Some(&i) => m.hists[i].2.merge(h),
+                    None => {
+                        m.hist_idx.insert(key, m.hists.len());
+                        m.hists.push((sub.clone(), name.clone(), h.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total events ever recorded (including ones dropped from rings).
+    pub fn event_count(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .total_events
+    }
+
+    /// A consistent copy of everything recorded so far, ordered
+    /// deterministically (subsystems in first-seen order, events in ring
+    /// order, metrics in registration order).
+    pub fn snapshot(&self) -> Snapshot {
+        let st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let subsystems = st
+            .order
+            .iter()
+            .map(|name| {
+                let buf = &st.subs[name];
+                SubsystemSnapshot {
+                    name: name.clone(),
+                    dropped: buf.dropped,
+                    events: buf.events.iter().cloned().collect(),
+                }
+            })
+            .collect();
+        Snapshot {
+            subsystems,
+            counters: st.metrics.counters.clone(),
+            gauges: st.metrics.gauges.clone(),
+            histograms: st.metrics.hists.clone(),
+        }
+    }
+}
+
+/// Snapshot of one subsystem's ring.
+#[derive(Debug, Clone)]
+pub struct SubsystemSnapshot {
+    /// Subsystem name.
+    pub name: String,
+    /// Events dropped from the ring (oldest-first eviction).
+    pub dropped: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+}
+
+/// A deterministic copy of a recorder's state (see [`Recorder::snapshot`]).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Subsystems in first-seen order.
+    pub subsystems: Vec<SubsystemSnapshot>,
+    /// Counters `(subsystem, name, value)` in registration order.
+    pub counters: Vec<(String, String, u64)>,
+    /// Gauges `(subsystem, name, value)` in registration order.
+    pub gauges: Vec<(String, String, i64)>,
+    /// Histograms `(subsystem, name, histogram)` in registration order.
+    pub histograms: Vec<(String, String, Histogram)>,
+}
+
+impl Snapshot {
+    /// Total retained events across all subsystems.
+    pub fn event_count(&self) -> usize {
+        self.subsystems.iter().map(|s| s.events.len()).sum()
+    }
+
+    /// Total registered metrics (counters + gauges + histograms).
+    pub fn metric_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let r = Recorder::disabled();
+        r.span("s", "x", ClockDomain::Seq, 0, 1, &[], r.mark());
+        r.instant("s", "y", ClockDomain::Seq, 1, &[]);
+        r.counter_add("s", "c", 5);
+        assert_eq!(r.event_count(), 0);
+        assert_eq!(r.snapshot().metric_count(), 0);
+        assert!(!r.enabled());
+    }
+
+    #[test]
+    fn events_keep_order_and_seq() {
+        let r = Recorder::new();
+        r.instant("a", "first", ClockDomain::Seq, 0, &[]);
+        r.instant("b", "second", ClockDomain::Seq, 1, &[]);
+        r.instant("a", "third", ClockDomain::Seq, 2, &[]);
+        let s = r.snapshot();
+        assert_eq!(s.subsystems.len(), 2);
+        assert_eq!(s.subsystems[0].name, "a");
+        assert_eq!(s.subsystems[0].events.len(), 2);
+        assert_eq!(s.subsystems[0].events[0].seq, 0);
+        assert_eq!(s.subsystems[0].events[1].seq, 2);
+        assert_eq!(s.subsystems[1].events[0].seq, 1);
+    }
+
+    #[test]
+    fn ring_drops_oldest_at_capacity() {
+        let r = Recorder::new().with_capacity(3);
+        for i in 0..10u64 {
+            r.instant("s", &format!("e{i}"), ClockDomain::Seq, i, &[]);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.subsystems[0].events.len(), 3);
+        assert_eq!(s.subsystems[0].dropped, 7);
+        assert_eq!(s.subsystems[0].events[0].name, "e7");
+        assert_eq!(r.event_count(), 10, "total count survives eviction");
+    }
+
+    #[test]
+    fn metrics_register_in_first_touch_order() {
+        let r = Recorder::new();
+        r.counter_add("x", "b", 1);
+        r.counter_add("x", "a", 2);
+        r.counter_add("x", "b", 3);
+        r.gauge_set("x", "g", -7);
+        r.gauge_set("x", "g", 9);
+        r.observe("x", "h", &[10, 100], 5);
+        r.observe("x", "h", &[10, 100], 50);
+        r.observe("x", "h", &[10, 100], 5000);
+        let s = r.snapshot();
+        assert_eq!(s.counters[0].1, "b");
+        assert_eq!(s.counters[0].2, 4);
+        assert_eq!(s.counters[1].1, "a");
+        assert_eq!(s.gauges[0].2, 9);
+        let h = &s.histograms[0].2;
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 5055);
+    }
+
+    #[test]
+    fn absorb_merges_in_call_order() {
+        let parent = Recorder::new();
+        let c1 = parent.child();
+        let c2 = parent.child();
+        // children record "concurrently"; merge order decides the stream
+        c2.instant("s", "from-c2", ClockDomain::Seq, 0, &[]);
+        c1.instant("s", "from-c1", ClockDomain::Seq, 0, &[]);
+        c1.counter_add("s", "n", 1);
+        c2.counter_add("s", "n", 10);
+        parent.absorb(&c1);
+        parent.absorb(&c2);
+        let s = parent.snapshot();
+        assert_eq!(s.subsystems[0].events[0].name, "from-c1");
+        assert_eq!(s.subsystems[0].events[1].name, "from-c2");
+        assert_eq!(s.counters[0].2, 11);
+        // the child is drained
+        assert_eq!(c1.snapshot().event_count(), 0);
+    }
+
+    #[test]
+    fn absorb_preserves_cross_subsystem_interleaving() {
+        let parent = Recorder::new();
+        let c = parent.child();
+        c.instant("a", "1", ClockDomain::Seq, 0, &[]);
+        c.instant("b", "2", ClockDomain::Seq, 0, &[]);
+        c.instant("a", "3", ClockDomain::Seq, 0, &[]);
+        parent.absorb(&c);
+        let s = parent.snapshot();
+        let seqs: Vec<(String, u64)> = s
+            .subsystems
+            .iter()
+            .flat_map(|sub| sub.events.iter().map(|e| (e.name.clone(), e.seq)))
+            .collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_by_key(|(_, s)| *s);
+        assert_eq!(
+            sorted.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["1", "2", "3"]
+        );
+    }
+
+    #[test]
+    fn wall_channel_only_when_enabled() {
+        let dry = Recorder::new();
+        dry.instant("s", "x", ClockDomain::Seq, 0, &[]);
+        assert!(dry.snapshot().subsystems[0].events[0].wall_ns.is_none());
+
+        let wet = Recorder::with_wall();
+        let m = wet.mark();
+        wet.span("s", "x", ClockDomain::Seq, 0, 1, &[], m);
+        wet.instant("s", "y", ClockDomain::Seq, 1, &[]);
+        let s = wet.snapshot();
+        assert!(s.subsystems[0].events[0].wall_ns.is_some());
+        assert!(s.subsystems[0].events[1].wall_ns.is_some());
+    }
+
+    #[test]
+    fn child_of_disabled_is_disabled() {
+        let r = Recorder::disabled();
+        let c = r.child();
+        c.instant("s", "x", ClockDomain::Seq, 0, &[]);
+        r.absorb(&c);
+        assert_eq!(r.event_count(), 0);
+    }
+
+    #[test]
+    fn histogram_mismatched_bounds_fold_into_overflow() {
+        let mut a = Histogram::new(&[10]);
+        a.observe(1);
+        let mut b = Histogram::new(&[99]);
+        b.observe(1);
+        b.observe(2);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.counts, vec![1, 2]);
+    }
+}

@@ -48,17 +48,51 @@ impl fmt::Display for ParError {
 
 impl std::error::Error for ParError {}
 
+/// Parse a raw `HERMES_JOBS` value.
+///
+/// `Ok(None)` — variable unset (use the machine default). `Ok(Some(n))` —
+/// a positive integer. `Err(_)` — set but unusable (not a number, or `0`,
+/// which would deadlock a pool); callers must fall back to the machine
+/// default and warn exactly once, never panic or silently serialize.
+///
+/// # Errors
+///
+/// Returns a description of why the value is unusable.
+pub fn parse_jobs(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!("HERMES_JOBS={trimmed} requests zero workers")),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!("HERMES_JOBS={trimmed:?} is not an integer")),
+    }
+}
+
+fn machine_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Resolve the default worker count: `HERMES_JOBS` if set to a positive
 /// integer, otherwise the machine's available parallelism (1 on failure).
+///
+/// An unparsable or zero `HERMES_JOBS` falls back to the machine default
+/// with a single process-wide warning (recorded in
+/// [`hermes_obs::warnings`] and mirrored to stderr once).
 pub fn jobs() -> usize {
-    match std::env::var("HERMES_JOBS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
+    let raw = std::env::var("HERMES_JOBS").ok();
+    match parse_jobs(raw.as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => machine_parallelism(),
+        Err(why) => {
+            let fallback = machine_parallelism();
+            let msg = format!("{why}; falling back to available parallelism ({fallback})");
+            if hermes_obs::warnings::warn_once("HERMES_JOBS", &msg) {
+                eprintln!("warning: {msg}");
+            }
+            fallback
+        }
     }
 }
 
@@ -252,5 +286,49 @@ mod tests {
     #[test]
     fn jobs_resolves_positive() {
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_and_unset() {
+        assert_eq!(parse_jobs(None), Ok(None));
+        assert_eq!(parse_jobs(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_jobs(Some("  16 ")), Ok(Some(16)));
+    }
+
+    #[test]
+    fn parse_jobs_rejects_zero() {
+        let err = parse_jobs(Some("0")).unwrap_err();
+        assert!(err.contains("zero workers"), "got: {err}");
+    }
+
+    #[test]
+    fn parse_jobs_rejects_unparsable() {
+        for bad in ["abc", "-2", "4.5", ""] {
+            let err = parse_jobs(Some(bad)).unwrap_err();
+            assert!(err.contains("not an integer"), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn bad_hermes_jobs_falls_back_with_single_warning() {
+        // Other tests in this binary only assert `jobs() >= 1`, so briefly
+        // poisoning the variable is safe even under the parallel test
+        // runner; restore it before returning either way.
+        let saved = std::env::var("HERMES_JOBS").ok();
+        std::env::set_var("HERMES_JOBS", "banana");
+        let resolved = jobs();
+        let again = jobs();
+        match saved {
+            Some(v) => std::env::set_var("HERMES_JOBS", v),
+            None => std::env::remove_var("HERMES_JOBS"),
+        }
+        assert!(resolved >= 1, "fallback must still be usable");
+        assert_eq!(resolved, again, "fallback is stable");
+        let warned: Vec<_> = hermes_obs::warnings::snapshot()
+            .into_iter()
+            .filter(|(k, _)| k == "HERMES_JOBS")
+            .collect();
+        assert_eq!(warned.len(), 1, "exactly one warning recorded");
+        assert!(warned[0].1.contains("falling back"), "got: {}", warned[0].1);
     }
 }

@@ -42,6 +42,10 @@ pub struct Simulator<'n> {
     /// Reusable per-step buffer of next register values.
     next_regs: Vec<u64>,
     cycle: u64,
+    /// Total settle passes executed (steps, pokes, resets).
+    settle_passes: u64,
+    /// Total settle ops evaluated across all passes.
+    settle_ops: u64,
     trace: Option<Trace>,
 }
 
@@ -227,6 +231,8 @@ impl<'n> Simulator<'n> {
             ops,
             next_regs,
             cycle: 0,
+            settle_passes: 0,
+            settle_ops: 0,
             trace: None,
         };
         sim.settle();
@@ -310,6 +316,33 @@ impl<'n> Simulator<'n> {
     /// Current cycle count (number of completed [`Self::step`] calls).
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Total settle passes executed so far (steps, pokes, resets).
+    pub fn settle_passes(&self) -> u64 {
+        self.settle_passes
+    }
+
+    /// Total settle ops evaluated across all passes (the simulator's true
+    /// work metric: passes × compiled program length).
+    pub fn settle_ops(&self) -> u64 {
+        self.settle_ops
+    }
+
+    /// Export the simulator's work counters into a flight recorder under
+    /// subsystem `sub` (RTL clock domain).
+    pub fn obs_export(&self, obs: &hermes_obs::Recorder, sub: &str) {
+        obs.counter_add(sub, "cycles", self.cycle);
+        obs.counter_add(sub, "settle_passes", self.settle_passes);
+        obs.counter_add(sub, "settle_ops", self.settle_ops);
+        obs.gauge_set(sub, "nets", self.netlist.net_count() as i64);
+        obs.instant(
+            sub,
+            "sim-state",
+            hermes_obs::ClockDomain::Rtl,
+            self.cycle,
+            &[("settle_passes", self.settle_passes.to_string())],
+        );
     }
 
     /// Drive a primary input by name.
@@ -491,6 +524,8 @@ impl<'n> Simulator<'n> {
     }
 
     fn settle(&mut self) {
+        self.settle_passes += 1;
+        self.settle_ops += self.ops.len() as u64;
         // Sequential outputs first: registers continuously drive their state.
         for r in &self.regs {
             self.values[r.q as usize] = self.reg_state[r.slot as usize];

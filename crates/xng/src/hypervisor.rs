@@ -19,6 +19,10 @@ use crate::{PartitionId, XngError};
 use hermes_cpu::cluster::{Cluster, CORE_COUNT};
 use hermes_cpu::hart::Event;
 use hermes_cpu::mpu::{MpuRegion, Privilege};
+use hermes_obs::{ClockDomain, Recorder};
+
+/// Flight-recorder subsystem name used by the hypervisor.
+const OBS_SUB: &str = "xng";
 
 #[derive(Debug, Clone, Default)]
 struct CoreSched {
@@ -52,6 +56,8 @@ pub struct Hypervisor {
     /// Spare-partition failovers: plan slots rewritten to a spare after a
     /// partition was halted.
     pub spare_failovers: u64,
+    /// Flight recorder (disabled by default; see [`Hypervisor::set_obs`]).
+    obs: Recorder,
 }
 
 impl Hypervisor {
@@ -86,8 +92,51 @@ impl Hypervisor {
             watchdogs,
             hm_escalations: 0,
             spare_failovers: 0,
+            obs: Recorder::disabled(),
             config,
         })
+    }
+
+    /// Attach a flight recorder: every partition dispatch
+    /// (context switch), hypercall, and health-monitor event is traced on
+    /// the `Hv` clock domain (the ARINC-653-style schedule timeline).
+    pub fn set_obs(&mut self, obs: Recorder) {
+        self.obs = obs;
+    }
+
+    /// The attached flight recorder (disabled unless [`set_obs`] was
+    /// called).
+    ///
+    /// [`set_obs`]: Hypervisor::set_obs
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Report a health-monitor event and trace it on the `Hv` clock.
+    fn report_hm(
+        &mut self,
+        now: u64,
+        event: HmEvent,
+        pid: Option<PartitionId>,
+        detail: String,
+    ) -> HmAction {
+        let action = self.hm.report(&self.config.hm_table, now, event, pid, detail);
+        self.obs.counter_add(OBS_SUB, "hm_events", 1);
+        self.obs.instant(
+            OBS_SUB,
+            "hm-event",
+            ClockDomain::Hv,
+            now,
+            &[
+                ("event", format!("{event:?}")),
+                (
+                    "partition",
+                    pid.map_or_else(|| "-".to_string(), |p| p.0.to_string()),
+                ),
+                ("action", format!("{action:?}")),
+            ],
+        );
+        action
     }
 
     /// Attach a guest machine-code workload to a partition. The image is
@@ -314,8 +363,7 @@ impl Hypervisor {
             let pid = PartitionId(i as u32);
             self.partitions[i].stats.watchdog_expiries += 1;
             let window = self.config.partitions[i].watchdog_cycles.unwrap_or(0);
-            let action = self.hm.report(
-                &self.config.hm_table,
+            let action = self.report_hm(
                 self.time,
                 HmEvent::WatchdogExpiry,
                 Some(pid),
@@ -342,8 +390,7 @@ impl Hypervisor {
                 }
                 Event::UnhandledTrap(cause) => {
                     self.partitions[pid.0 as usize].stats.traps += 1;
-                    let action = self.hm.report(
-                        &self.config.hm_table,
+                    let action = self.report_hm(
                         self.time,
                         HmEvent::PartitionTrap,
                         Some(pid),
@@ -383,6 +430,14 @@ impl Hypervisor {
                 if self.partitions[pid.0 as usize].stats.restarts >= u64::from(limit) {
                     action = HmAction::HaltPartition;
                     self.hm_escalations += 1;
+                    self.obs.counter_add(OBS_SUB, "hm_escalations", 1);
+                    self.obs.instant(
+                        OBS_SUB,
+                        "hm-escalation",
+                        ClockDomain::Hv,
+                        self.time,
+                        &[("partition", pid.0.to_string())],
+                    );
                 }
             }
         }
@@ -434,6 +489,18 @@ impl Hypervisor {
         if rewritten > 0 {
             self.spare_failovers += 1;
             self.partitions[spare.0 as usize].mode = PartitionMode::Cold;
+            self.obs.counter_add(OBS_SUB, "spare_failovers", 1);
+            self.obs.instant(
+                OBS_SUB,
+                "spare-failover",
+                ClockDomain::Hv,
+                self.time,
+                &[
+                    ("failed", failed.0.to_string()),
+                    ("spare", spare.0.to_string()),
+                    ("slots", rewritten.to_string()),
+                ],
+            );
         }
     }
 
@@ -482,6 +549,18 @@ impl Hypervisor {
         if self.partitions[pid.0 as usize].mode == PartitionMode::Halted {
             return Ok(());
         }
+        self.obs.counter_add(OBS_SUB, "context_switches", 1);
+        self.obs.instant(
+            OBS_SUB,
+            "context-switch",
+            ClockDomain::Hv,
+            self.time,
+            &[
+                ("core", core.to_string()),
+                ("partition", pid.0.to_string()),
+                ("slot", self.cores[core].slot_idx.to_string()),
+            ],
+        );
         // arm the watchdog at first dispatch; liveness kicks push it out
         if self.watchdogs[pid.0 as usize].is_none() {
             self.kick_watchdog(pid);
@@ -554,8 +633,7 @@ impl Hypervisor {
                 }
                 if consumed > budget {
                     self.partitions[pid.0 as usize].stats.overruns += 1;
-                    let action = self.hm.report(
-                        &self.config.hm_table,
+                    let action = self.report_hm(
                         self.time,
                         HmEvent::SlotOverrun,
                         Some(pid),
@@ -565,13 +643,7 @@ impl Hypervisor {
                 }
                 if let Err(e) = result {
                     self.partitions[pid.0 as usize].stats.traps += 1;
-                    let action = self.hm.report(
-                        &self.config.hm_table,
-                        self.time,
-                        HmEvent::PartitionError,
-                        Some(pid),
-                        e,
-                    );
+                    let action = self.report_hm(self.time, HmEvent::PartitionError, Some(pid), e);
                     self.apply_hm_action(pid, Some(core), action);
                 }
             }
@@ -593,9 +665,20 @@ impl Hypervisor {
         code: u16,
     ) -> Result<(), XngError> {
         self.partitions[pid.0 as usize].stats.hypercalls += 1;
+        self.obs.counter_add(OBS_SUB, "hypercalls", 1);
+        self.obs.instant(
+            OBS_SUB,
+            "hypercall",
+            ClockDomain::Hv,
+            self.time,
+            &[
+                ("core", core.to_string()),
+                ("partition", pid.0.to_string()),
+                ("code", format!("{code:#x}")),
+            ],
+        );
         let Some(hc) = Hypercall::decode(code) else {
-            let action = self.hm.report(
-                &self.config.hm_table,
+            let action = self.report_hm(
                 self.time,
                 HmEvent::IllegalHypercall,
                 Some(pid),
@@ -620,18 +703,12 @@ impl Hypervisor {
                 if let Some(name) = self.port_name(pid, idx) {
                     // port errors from guests are health events, not panics
                     if let Err(e) = self.ports.write(pid, &name, &word.to_le_bytes(), now) {
-                        let action = self.hm.report(
-                            &self.config.hm_table,
-                            now,
-                            HmEvent::IllegalHypercall,
-                            Some(pid),
-                            e.to_string(),
-                        );
+                        let action =
+                            self.report_hm(now, HmEvent::IllegalHypercall, Some(pid), e.to_string());
                         self.apply_hm_action(pid, Some(core), action);
                     }
                 } else {
-                    let action = self.hm.report(
-                        &self.config.hm_table,
+                    let action = self.report_hm(
                         now,
                         HmEvent::IllegalHypercall,
                         Some(pid),
@@ -701,8 +778,7 @@ impl Hypervisor {
             Hypercall::RequestModeChange => {
                 let mode = self.cluster.core(core).reg(1) as usize;
                 if !self.config.partitions[pid.0 as usize].system {
-                    let action = self.hm.report(
-                        &self.config.hm_table,
+                    let action = self.report_hm(
                         now,
                         HmEvent::IllegalHypercall,
                         Some(pid),
@@ -710,8 +786,7 @@ impl Hypervisor {
                     );
                     self.apply_hm_action(pid, Some(core), action);
                 } else if self.request_mode_change(mode).is_err() {
-                    let action = self.hm.report(
-                        &self.config.hm_table,
+                    let action = self.report_hm(
                         now,
                         HmEvent::IllegalHypercall,
                         Some(pid),

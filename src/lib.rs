@@ -27,6 +27,7 @@
 //! | [`core`] | `hermes-core` | end-to-end flows: C→bitstream, mission packaging |
 //! | [`chaos`] | `hermes-chaos` | fault-injection plane, chaos campaigns, availability/MTTR reports |
 //! | [`par`] | `hermes-par` | std-only parallel execution engine (deterministic `par_map`) |
+//! | [`obs`] | `hermes-obs` | deterministic flight recorder: spans/events, metrics, bounded rings |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use hermes_cpu as cpu;
 pub use hermes_eucalyptus as eucalyptus;
 pub use hermes_fpga as fpga;
 pub use hermes_hls as hls;
+pub use hermes_obs as obs;
 pub use hermes_par as par;
 pub use hermes_rad as rad;
 pub use hermes_rtl as rtl;
