@@ -8,23 +8,32 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Parallel determinism gate: the worker count is a throughput knob, never a
-# results knob. Run the fanned-out experiments serial and 4-wide and diff
-# everything except the wall-clock lines.
+# results knob. Run the fanned-out experiments serial and 4-wide (via the
+# --jobs flag, which overrides HERMES_JOBS) and diff everything except the
+# wall-clock lines.
 EXP=target/release/experiments
 strip_timing() { grep -v "completed in" "$1" > "$1.stripped"; }
-HERMES_JOBS=1 "$EXP" e1 e2 e7 e10 > /tmp/hermes_serial.txt
-HERMES_JOBS=4 "$EXP" e1 e2 e7 e10 > /tmp/hermes_par.txt
+"$EXP" --jobs 1 e1 e2 e7 e10 > /tmp/hermes_serial.txt
+"$EXP" --jobs 4 e1 e2 e7 e10 > /tmp/hermes_par.txt
 strip_timing /tmp/hermes_serial.txt
 strip_timing /tmp/hermes_par.txt
 diff /tmp/hermes_serial.txt.stripped /tmp/hermes_par.txt.stripped \
   || { echo "ci: parallel output diverged from serial" >&2; exit 1; }
 
+# Settle-mode golden gate: event-driven settling is a speed knob, never a
+# results knob. Re-render the same experiments with event-driven settle
+# disabled and require byte-identical text.
+HERMES_EVENT_SETTLE=off "$EXP" --jobs 1 e1 e2 e7 e10 > /tmp/hermes_fullsettle.txt
+strip_timing /tmp/hermes_fullsettle.txt
+diff /tmp/hermes_serial.txt.stripped /tmp/hermes_fullsettle.txt.stripped \
+  || { echo "ci: output diverged between event-driven and full settle" >&2; exit 1; }
+
 # Trace determinism gate: the flight recorder is part of the determinism
 # contract. Record the same experiments serial and 4-wide, strip the
 # wall-clock side channel (every wall-derived field sits on a line whose
 # key starts with "wall), and require byte-identical documents.
-HERMES_JOBS=1 "$EXP" e1 e2 e7 e10 --trace /tmp/hermes_trace_serial.json > /dev/null
-HERMES_JOBS=4 "$EXP" e1 e2 e7 e10 --trace /tmp/hermes_trace_par.json > /dev/null
+"$EXP" --jobs 1 e1 e2 e7 e10 --trace /tmp/hermes_trace_serial.json > /dev/null
+"$EXP" --jobs 4 e1 e2 e7 e10 --trace /tmp/hermes_trace_par.json > /dev/null
 grep -q '"schema": "hermes-trace/v1"' /tmp/hermes_trace_serial.json \
   || { echo "ci: trace document missing hermes-trace/v1 schema" >&2; exit 1; }
 grep -v '"wall' /tmp/hermes_trace_serial.json > /tmp/hermes_trace_serial.stripped
@@ -34,11 +43,21 @@ diff /tmp/hermes_trace_serial.stripped /tmp/hermes_trace_par.stripped \
 test -s /tmp/hermes_trace_serial.chrome.json \
   || { echo "ci: chrome trace rendering missing" >&2; exit 1; }
 
-# CLI surface: --list prints every id without running anything, and the
-# output flags refuse to run with nothing selected.
-"$EXP" --list | grep -q '^e12 ' || { echo "ci: --list missing e12" >&2; exit 1; }
+# CLI surface: --list prints every id without running anything, the
+# output flags refuse to run with nothing selected, and --jobs rejects
+# zero or unparsable worker counts instead of silently defaulting.
+"$EXP" --list | grep -q '^e13 ' || { echo "ci: --list missing e13" >&2; exit 1; }
 if "$EXP" --list --trace /tmp/never.json > /dev/null 2>&1; then
   echo "ci: --list --trace must be rejected" >&2; exit 1
+fi
+if "$EXP" --jobs 0 --list > /dev/null 2>&1; then
+  echo "ci: --jobs 0 must be rejected" >&2; exit 1
+fi
+if "$EXP" --jobs banana --list > /dev/null 2>&1; then
+  echo "ci: --jobs banana must be rejected" >&2; exit 1
+fi
+if "$EXP" --jobs > /dev/null 2>&1; then
+  echo "ci: bare --jobs must be rejected" >&2; exit 1
 fi
 
 # E11 smoke: the throughput experiment must run end to end and emit JSON.
@@ -53,5 +72,22 @@ grep -q '"schema": "hermes-trace/v1"' /tmp/hermes_e12_trace.json \
   || { echo "ci: e12 trace missing schema line" >&2; exit 1; }
 python3 -c "import json; json.load(open('/tmp/hermes_e12_trace.json'))" 2>/dev/null \
   || echo "ci: (python3 unavailable; schema line checked)"
+
+# E13 smoke: event-driven settle + characterization cache must run end to
+# end, emit schema'd JSON, and report a sane activity factor (0 < f <= 1)
+# for every kernel.
+"$EXP" e13 --json /tmp/hermes_e13_smoke.json > /dev/null
+python3 - <<'PY' 2>/dev/null || grep -q '"schema": "hermes-bench/v1"' /tmp/hermes_e13_smoke.json
+import json
+doc = json.load(open('/tmp/hermes_e13_smoke.json'))
+assert doc["schema"] == "hermes-bench/v1"
+tables = {t["id"]: t for e in doc["experiments"] for t in e["tables"]}
+rows = tables["e13a"]["rows"]
+assert len(rows) >= 3, "e13a must cover the kernel set"
+for row in rows:
+    f = float(row["activity"])
+    assert 0.0 < f <= 1.0, f"activity factor {f} out of (0, 1]"
+print("ci: e13 activity factors sane")
+PY
 
 echo "ci: OK"

@@ -7,7 +7,12 @@
 //! cargo run --release -p hermes-bench --bin experiments --list # ids+titles
 //! cargo run --release -p hermes-bench --bin experiments e11 --json BENCH_hermes.json
 //! cargo run --release -p hermes-bench --bin experiments e1 e2 --trace t.json
+//! cargo run --release -p hermes-bench --bin experiments e2 --jobs 1   # pin workers
 //! ```
+//!
+//! `--jobs N` pins the worker count for the whole run, taking precedence
+//! over `HERMES_JOBS`; `N` must be a positive integer (unparsable or zero
+//! values are rejected with an error, not silently defaulted).
 //!
 //! `--trace <path>` runs the selection against a shared flight recorder
 //! and writes the `hermes-trace/v1` document to `<path>` plus a Chrome
@@ -39,6 +44,23 @@ fn main() {
                 Some(path) => trace_path = Some(path),
                 None => {
                     eprintln!("--trace requires a file path");
+                    std::process::exit(1);
+                }
+            },
+            "--jobs" => match args.next() {
+                Some(raw) => match raw.trim().parse::<usize>() {
+                    Ok(0) => {
+                        eprintln!("--jobs 0 requests zero workers; pass a positive integer");
+                        std::process::exit(1);
+                    }
+                    Ok(n) => hermes_par::set_jobs_override(Some(n)),
+                    Err(_) => {
+                        eprintln!("--jobs {raw:?} is not a positive integer");
+                        std::process::exit(1);
+                    }
+                },
+                None => {
+                    eprintln!("--jobs requires a worker count");
                     std::process::exit(1);
                 }
             },

@@ -1,7 +1,7 @@
 //! # hermes-bench
 //!
 //! The experiment harness: one module per experiment of EXPERIMENTS.md
-//! (E1–E12), each regenerating the corresponding table. The paper itself is
+//! (E1–E13), each regenerating the corresponding table. The paper itself is
 //! a project report with architecture figures rather than result tables;
 //! each experiment therefore reproduces the *measurable claim* behind a
 //! figure or section, as mapped in DESIGN.md.
@@ -15,9 +15,10 @@
 //! or one of them: `cargo run --release -p hermes-bench --bin experiments e5`.
 //! Pass `--json <path>` to also write the tables as structured JSON (this
 //! is how `BENCH_hermes.json`, the perf trajectory baseline, is produced
-//! from E11), and set `HERMES_JOBS=<n>` to pin the worker count of the
-//! parallel experiments (E1/E2/E3/E7/E10 fan their independent units over
-//! `hermes-par`; any worker count renders bit-identical tables).
+//! from E11), and pass `--jobs <n>` (or set `HERMES_JOBS=<n>`) to pin the
+//! worker count of the parallel experiments (E1/E2/E3/E7/E10 fan their
+//! independent units over `hermes-par`; any worker count renders
+//! bit-identical tables).
 
 pub mod e1_hls_flow;
 pub mod e2_fpga_flow;
@@ -31,6 +32,7 @@ pub mod e9_dataflow;
 pub mod e10_chaos;
 pub mod e11_throughput;
 pub mod e12_observability;
+pub mod e13_eventdriven;
 pub mod hdl_check;
 pub mod json;
 pub mod kernels;
@@ -111,5 +113,10 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e10", "Cross-layer chaos campaigns (§III-IV)", e10_chaos::run_traced),
         ("e11", "Throughput: serial vs parallel, hot-path gains", e11_throughput::run_traced),
         ("e12", "Observability overhead (tracing on vs off)", e12_observability::run_traced),
+        (
+            "e13",
+            "Event-driven settle + shared characterization cache",
+            e13_eventdriven::run_traced,
+        ),
     ]
 }

@@ -32,10 +32,12 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod library;
 pub mod sweep;
 pub mod templates;
 
+pub use cache::{characterize_shared, CacheStats};
 pub use library::{CharEntry, CharacterizationLibrary};
 pub use sweep::{Eucalyptus, SweepConfig};
 

@@ -81,6 +81,22 @@ impl Eucalyptus {
         self.characterize_jobs(sweep, hermes_par::jobs())
     }
 
+    /// [`Self::characterize`] through the process-wide shared cache: the
+    /// first call for a given (device, sweep, kinds) key runs the sweep,
+    /// every later call — including from other threads — shares the same
+    /// [`std::sync::Arc`]'d library. See [`crate::cache`] for the key
+    /// derivation and the bypass knob.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sweep failures (which are never cached).
+    pub fn characterize_cached(
+        &self,
+        sweep: &SweepConfig,
+    ) -> Result<std::sync::Arc<CharacterizationLibrary>, CharError> {
+        crate::cache::characterize_shared(self, sweep)
+    }
+
     /// [`Self::characterize`] with an explicit worker count.
     ///
     /// Each kind × width specialization is an independent synthesis + STA

@@ -21,28 +21,21 @@ use crate::HlsError;
 use hermes_eucalyptus::{CharacterizationLibrary, Eucalyptus, SweepConfig};
 use hermes_fpga::device::DeviceProfile;
 use hermes_obs::{ClockDomain, Recorder, WallMark};
-use std::sync::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Obtain (and cache) the characterization library for a device.
+/// Obtain the characterization library for a device through the shared
+/// process-wide cache in `hermes-eucalyptus` (keyed on the full device
+/// fingerprint, not just the name): a suite of kernel flows — serial or
+/// fanned out over `hermes-par` — characterizes each device exactly once.
+/// `HERMES_CHAR_CACHE=off` (or `hermes_eucalyptus::cache::set_bypass`)
+/// forces a fresh sweep per flow for A/B measurement.
 fn library_for(device: &DeviceProfile) -> Arc<CharacterizationLibrary> {
-    static CACHE: Mutex<Option<HashMap<String, Arc<CharacterizationLibrary>>>> =
-        Mutex::new(None);
-    let mut guard = CACHE.lock().unwrap_or_else(|e| e.into_inner());
-    let map = guard.get_or_insert_with(HashMap::new);
-    if let Some(lib) = map.get(&device.name) {
-        return Arc::clone(lib);
-    }
-    let lib = Eucalyptus::new(device.clone())
-        .characterize(&SweepConfig {
+    Eucalyptus::new(device.clone())
+        .characterize_cached(&SweepConfig {
             widths: vec![8, 16, 32, 64],
             pipeline_stages: vec![0],
         })
-        .expect("built-in characterization sweep cannot fail");
-    let lib = Arc::new(lib);
-    map.insert(device.name.clone(), Arc::clone(&lib));
-    lib
+        .expect("built-in characterization sweep cannot fail")
 }
 
 /// The HLS flow builder.

@@ -19,10 +19,14 @@
 //!    not idle the other lanes.
 //!
 //! Worker count resolves, in order: an explicit `jobs` argument
-//! ([`par_map_jobs`]), the `HERMES_JOBS` environment variable, and finally
+//! ([`par_map_jobs`]), a process-wide programmatic override
+//! ([`set_jobs_override`], how the experiments binary's `--jobs` flag is
+//! implemented), the `HERMES_JOBS` environment variable, and finally
 //! [`std::thread::available_parallelism`]. `jobs = 1` (or a single-item
-//! input) degrades to a plain serial loop on the calling thread — same
-//! code path the determinism tests compare against.
+//! input) takes a fast path that never enters `std::thread::scope`: a
+//! plain serial loop on the *calling thread* with identical results and
+//! panic→`Err` semantics — E11c showed thread-spawn overhead inverting
+//! speedup on small workloads, so the degenerate cases must not pay it.
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -74,13 +78,30 @@ fn machine_parallelism() -> usize {
         .unwrap_or(1)
 }
 
-/// Resolve the default worker count: `HERMES_JOBS` if set to a positive
-/// integer, otherwise the machine's available parallelism (1 on failure).
+/// Process-wide worker-count override (0 = no override). Set by CLI
+/// flags; consulted by [`jobs`] before the environment.
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pin the default worker count for the whole process, taking precedence
+/// over `HERMES_JOBS`. `Some(n)` (n ≥ 1) pins; `None` restores env/auto
+/// resolution. This is how the experiments binary implements `--jobs`
+/// without mutating the environment.
+pub fn set_jobs_override(jobs: Option<usize>) {
+    JOBS_OVERRIDE.store(jobs.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Resolve the default worker count: the [`set_jobs_override`] value if
+/// pinned, then `HERMES_JOBS` if set to a positive integer, otherwise the
+/// machine's available parallelism (1 on failure).
 ///
 /// An unparsable or zero `HERMES_JOBS` falls back to the machine default
 /// with a single process-wide warning (recorded in
 /// [`hermes_obs::warnings`] and mirrored to stderr once).
 pub fn jobs() -> usize {
+    let pinned = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if pinned > 0 {
+        return pinned;
+    }
     let raw = std::env::var("HERMES_JOBS").ok();
     match parse_jobs(raw.as_deref()) {
         Ok(Some(n)) => n,
@@ -309,11 +330,53 @@ mod tests {
         }
     }
 
+    /// Serializes the tests that touch process-global resolution state
+    /// (`HERMES_JOBS`, the jobs override) under the parallel test runner.
+    static RESOLUTION_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn fast_path_stays_on_calling_thread() {
+        let caller = std::thread::current().id();
+        // jobs == 1: serial loop regardless of item count.
+        let tids = par_map_jobs(1, &[1u32, 2, 3], |_| std::thread::current().id()).unwrap();
+        assert!(tids.iter().all(|&t| t == caller), "jobs=1 must not spawn");
+        // single item: serial loop regardless of requested jobs.
+        let tids = par_map_jobs(8, &[42u32], |_| std::thread::current().id()).unwrap();
+        assert_eq!(tids, vec![caller], "one item must not spawn");
+        // and the fast path still returns identical results...
+        let items: Vec<u64> = (0..33).collect();
+        let fast = par_map_jobs(1, &items, |&x| x ^ 0xA5).unwrap();
+        let pooled = par_map_jobs(4, &items, |&x| x ^ 0xA5).unwrap();
+        assert_eq!(fast, pooled);
+        // ...and the same panic -> Err semantics as the pool.
+        let err = par_map_jobs(8, &[7u32], |_| -> u32 { panic!("lone boom") }).unwrap_err();
+        assert_eq!(err.task, 0);
+        assert!(err.message.contains("lone boom"), "got: {err}");
+    }
+
+    #[test]
+    fn jobs_override_beats_env_and_clears() {
+        let _guard = RESOLUTION_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let saved = std::env::var("HERMES_JOBS").ok();
+        std::env::set_var("HERMES_JOBS", "2");
+        set_jobs_override(Some(5));
+        let pinned = jobs();
+        set_jobs_override(None);
+        let unpinned = jobs();
+        match saved {
+            Some(v) => std::env::set_var("HERMES_JOBS", v),
+            None => std::env::remove_var("HERMES_JOBS"),
+        }
+        assert_eq!(pinned, 5, "override wins over HERMES_JOBS");
+        assert_eq!(unpinned, 2, "clearing restores env resolution");
+    }
+
     #[test]
     fn bad_hermes_jobs_falls_back_with_single_warning() {
         // Other tests in this binary only assert `jobs() >= 1`, so briefly
         // poisoning the variable is safe even under the parallel test
         // runner; restore it before returning either way.
+        let _guard = RESOLUTION_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let saved = std::env::var("HERMES_JOBS").ok();
         std::env::set_var("HERMES_JOBS", "banana");
         let resolved = jobs();

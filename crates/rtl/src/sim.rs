@@ -22,6 +22,19 @@ use crate::{mask, sign_extend, RtlError};
 /// runs over a precompiled program of [`SettleOp`]s with all net widths
 /// and indices resolved up front — the per-cycle hot path performs no
 /// hashing, no allocation, and no netlist traversal.
+///
+/// Settling is **activity-gated (event-driven)**: per-net fanout lists are
+/// precomputed into the compiled program at construction, a dirty bitmap
+/// is seeded from the sequential outputs (and pokes) whose value actually
+/// changed, and the bitmap is scanned in topological-rank order across a
+/// `[lo, hi]` watermark window so each op is evaluated at most once per
+/// pass and quiescent logic is skipped entirely (fanout edges only point
+/// to higher ranks, so the scan never revisits an index). The first
+/// settle after construction (and every settle after
+/// [`Self::reset`]) falls back to a full-program evaluation, and
+/// [`Self::set_event_driven`] / the `HERMES_EVENT_SETTLE` environment
+/// variable (`off`/`0` disables) force the full path for A/B comparisons.
+/// Both paths produce bit-identical `values`, register state, and traces.
 #[derive(Debug, Clone)]
 pub struct Simulator<'n> {
     netlist: &'n Netlist,
@@ -39,12 +52,27 @@ pub struct Simulator<'n> {
     rams: Vec<RamInfo>,
     /// Precompiled settle program in topological order.
     ops: Vec<SettleOp>,
+    /// CSR fanout index: ops reading net `n` are
+    /// `fanout_ops[fanout_start[n]..fanout_start[n + 1]]` (ascending).
+    fanout_start: Vec<u32>,
+    fanout_ops: Vec<u32>,
+    /// Per-op "queued this pass" flag (guards at-most-once evaluation).
+    dirty: Vec<bool>,
+    /// Watermark window of queued op indices: the next event-driven pass
+    /// scans `dirty[dirty_lo..=dirty_hi]`. Empty when `lo > hi`
+    /// (`u32::MAX`/`0` sentinels).
+    dirty_lo: u32,
+    dirty_hi: u32,
+    /// Next settle must evaluate the full program (construction, reset).
+    needs_full: bool,
+    /// Event-driven settling enabled (see `HERMES_EVENT_SETTLE`).
+    event_driven: bool,
     /// Reusable per-step buffer of next register values.
     next_regs: Vec<u64>,
     cycle: u64,
     /// Total settle passes executed (steps, pokes, resets).
     settle_passes: u64,
-    /// Total settle ops evaluated across all passes.
+    /// Total settle ops *evaluated* across all passes.
     settle_ops: u64,
     trace: Option<Trace>,
 }
@@ -125,6 +153,22 @@ enum SettleKind {
     ZeroExtend,
     /// `aux` holds the input width.
     SignExtend,
+}
+
+impl SettleOp {
+    /// How many of the `a`/`b`/`c` slots are live inputs (unused slots
+    /// hold 0 and must not contribute fanout edges).
+    fn input_count(&self) -> usize {
+        match self.kind {
+            SettleKind::Const => 0,
+            SettleKind::Not
+            | SettleKind::Slice
+            | SettleKind::ZeroExtend
+            | SettleKind::SignExtend => 1,
+            SettleKind::Mux => 3,
+            _ => 2,
+        }
+    }
 }
 
 /// A recorded value-change trace (VCD-lite) of selected nets.
@@ -219,7 +263,9 @@ impl<'n> Simulator<'n> {
             }
         }
         let ops = Self::compile_settle_ops(netlist, &order);
+        let (fanout_start, fanout_ops) = Self::compile_fanout(netlist.net_count(), &ops);
         let next_regs = vec![0; regs.len()];
+        let dirty = vec![false; ops.len()];
         let mut sim = Simulator {
             netlist,
             values: vec![0; netlist.net_count()],
@@ -229,6 +275,13 @@ impl<'n> Simulator<'n> {
             regs,
             rams,
             ops,
+            fanout_start,
+            fanout_ops,
+            dirty,
+            dirty_lo: u32::MAX,
+            dirty_hi: 0,
+            needs_full: true,
+            event_driven: env_event_driven(),
             next_regs,
             cycle: 0,
             settle_passes: 0,
@@ -237,6 +290,31 @@ impl<'n> Simulator<'n> {
         };
         sim.settle();
         Ok(sim)
+    }
+
+    /// Build the CSR net→op fanout index over the compiled program: for
+    /// every live input slot of every op, one edge from the input net to
+    /// the op. Op indices within a net's list ascend (topological rank).
+    fn compile_fanout(net_count: usize, ops: &[SettleOp]) -> (Vec<u32>, Vec<u32>) {
+        let mut counts = vec![0u32; net_count + 1];
+        for op in ops {
+            for &net in &[op.a, op.b, op.c][..op.input_count()] {
+                counts[net as usize + 1] += 1;
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let fanout_start = counts.clone();
+        let mut cursor = counts;
+        let mut fanout_ops = vec![0u32; *fanout_start.last().unwrap_or(&0) as usize];
+        for (idx, op) in ops.iter().enumerate() {
+            for &net in &[op.a, op.b, op.c][..op.input_count()] {
+                fanout_ops[cursor[net as usize] as usize] = idx as u32;
+                cursor[net as usize] += 1;
+            }
+        }
+        (fanout_start, fanout_ops)
     }
 
     /// Lower the topologically ordered combinational cells into the compact
@@ -323,18 +401,48 @@ impl<'n> Simulator<'n> {
         self.settle_passes
     }
 
-    /// Total settle ops evaluated across all passes (the simulator's true
-    /// work metric: passes × compiled program length).
+    /// Total settle ops *evaluated* across all passes (the simulator's
+    /// true work metric). With event-driven settling this is usually far
+    /// below the full-evaluation baseline
+    /// [`settle_passes`](Self::settle_passes) ×
+    /// [`settle_program_len`](Self::settle_program_len); the quotient is
+    /// the workload's activity factor.
     pub fn settle_ops(&self) -> u64 {
         self.settle_ops
     }
 
+    /// Length of the compiled combinational settle program (the per-pass
+    /// op count a full, non-event-driven evaluation pays).
+    pub fn settle_program_len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether event-driven (activity-gated) settling is enabled.
+    pub fn event_driven(&self) -> bool {
+        self.event_driven
+    }
+
+    /// Force full-program settling (`false`) or activity-gated settling
+    /// (`true`). Both produce bit-identical values and traces; the full
+    /// path is kept for A/B measurement and differential testing.
+    pub fn set_event_driven(&mut self, on: bool) {
+        self.event_driven = on;
+    }
+
     /// Export the simulator's work counters into a flight recorder under
-    /// subsystem `sub` (RTL clock domain).
+    /// subsystem `sub` (RTL clock domain). `settle_ops` counts evaluated
+    /// ops; `settle_ops_full` is the full-evaluation baseline, so the
+    /// activity factor is their quotient.
     pub fn obs_export(&self, obs: &hermes_obs::Recorder, sub: &str) {
         obs.counter_add(sub, "cycles", self.cycle);
         obs.counter_add(sub, "settle_passes", self.settle_passes);
         obs.counter_add(sub, "settle_ops", self.settle_ops);
+        obs.counter_add(
+            sub,
+            "settle_ops_full",
+            self.settle_passes * self.ops.len() as u64,
+        );
+        obs.gauge_set(sub, "settle_program_len", self.ops.len() as i64);
         obs.gauge_set(sub, "nets", self.netlist.net_count() as i64);
         obs.instant(
             sub,
@@ -356,8 +464,7 @@ impl<'n> Simulator<'n> {
             .net_by_name(name)
             .filter(|id| self.netlist.inputs().contains(id))
             .ok_or_else(|| RtlError::UnknownName { name: name.into() })?;
-        self.values[id.0 as usize] = mask(value, self.netlist.net(id).width);
-        self.settle();
+        self.poke_net(id, value);
         Ok(())
     }
 
@@ -381,18 +488,24 @@ impl<'n> Simulator<'n> {
 
     /// Drive a primary input by id.
     pub fn poke_net(&mut self, id: NetId, value: u64) {
-        self.values[id.0 as usize] = mask(value, self.netlist.net(id).width);
+        let new = mask(value, self.netlist.net(id).width);
+        if self.values[id.0 as usize] != new {
+            self.values[id.0 as usize] = new;
+            self.mark_net(id.0);
+        }
         self.settle();
     }
 
     /// Synchronously reset: clears all registers (those declared with reset)
     /// and re-settles. RAM contents are preserved, as on real block RAM.
+    /// The settle after a reset is always a full-program pass.
     pub fn reset(&mut self) {
         for r in &self.regs {
             if r.has_reset {
                 self.reg_state[r.slot as usize] = 0;
             }
         }
+        self.needs_full = true;
         self.settle();
     }
 
@@ -415,12 +528,23 @@ impl<'n> Simulator<'n> {
                 self.reg_state[r.slot as usize]
             };
         }
-        // Phase 2: commit register state.
+        // Phase 2: commit register state, seeding the event worklist from
+        // every register output whose sampled value actually changed.
         self.reg_state.copy_from_slice(&self.next_regs);
+        for i in 0..self.regs.len() {
+            let r = self.regs[i];
+            let q = self.reg_state[r.slot as usize];
+            if self.values[r.q as usize] != q {
+                self.values[r.q as usize] = q;
+                self.mark_net(r.q);
+            }
+        }
         // RAMs: ports sample `values`, which no commit above touches, and
         // each memory is private to its cell — so read-first reads, the
-        // write commit, and the output drive can be fused per RAM.
-        for r in &self.rams {
+        // write commit, and the output drive can be fused per RAM. Output
+        // changes seed the worklist like register outputs.
+        for i in 0..self.rams.len() {
+            let r = self.rams[i];
             let depth = r.depth as usize;
             let addr_a = self.values[r.inputs[0] as usize] as usize % depth;
             let wd_a = self.values[r.inputs[1] as usize];
@@ -437,8 +561,14 @@ impl<'n> Simulator<'n> {
             if we_b {
                 mem[addr_b] = wd_b & r.mask;
             }
-            self.values[r.ra as usize] = ra;
-            self.values[r.rb as usize] = rb;
+            if self.values[r.ra as usize] != ra {
+                self.values[r.ra as usize] = ra;
+                self.mark_net(r.ra);
+            }
+            if self.values[r.rb as usize] != rb {
+                self.values[r.rb as usize] = rb;
+                self.mark_net(r.rb);
+            }
         }
         self.settle();
         self.cycle += 1;
@@ -523,8 +653,42 @@ impl<'n> Simulator<'n> {
         }
     }
 
+    /// Queue every op reading `net` for the next event-driven settle pass.
+    #[inline]
+    fn mark_net(&mut self, net: u32) {
+        let lo = self.fanout_start[net as usize] as usize;
+        let hi = self.fanout_start[net as usize + 1] as usize;
+        for k in lo..hi {
+            let op = self.fanout_ops[k];
+            self.dirty[op as usize] = true;
+            self.dirty_lo = self.dirty_lo.min(op);
+            self.dirty_hi = self.dirty_hi.max(op);
+        }
+    }
+
+    /// One settle pass: event-driven scan of the dirty window, or a
+    /// full-program evaluation on the first pass after construction/reset
+    /// (and always when event-driven settling is disabled).
     fn settle(&mut self) {
         self.settle_passes += 1;
+        if self.needs_full || !self.event_driven {
+            self.needs_full = false;
+            // a full pass covers every queued op — drop the marks
+            if self.dirty_lo <= self.dirty_hi {
+                for i in self.dirty_lo as usize..=self.dirty_hi as usize {
+                    self.dirty[i] = false;
+                }
+                self.dirty_lo = u32::MAX;
+                self.dirty_hi = 0;
+            }
+            self.settle_full();
+        } else {
+            self.settle_event();
+        }
+    }
+
+    /// Evaluate the entire compiled program in topological order.
+    fn settle_full(&mut self) {
         self.settle_ops += self.ops.len() as u64;
         // Sequential outputs first: registers continuously drive their state.
         for r in &self.regs {
@@ -532,47 +696,93 @@ impl<'n> Simulator<'n> {
         }
         let values = &mut self.values;
         for op in &self.ops {
-            let a = values[op.a as usize];
-            let v = match op.kind {
-                SettleKind::Add => a.wrapping_add(values[op.b as usize]),
-                SettleKind::Sub => a.wrapping_sub(values[op.b as usize]),
-                SettleKind::Mul => a.wrapping_mul(values[op.b as usize]),
-                // division by zero yields all-ones, matching the component model
-                SettleKind::Div => a.checked_div(values[op.b as usize]).unwrap_or(u64::MAX),
-                SettleKind::Mod => {
-                    let d = values[op.b as usize];
-                    if d == 0 {
-                        a
-                    } else {
-                        a % d
-                    }
-                }
-                SettleKind::And => a & values[op.b as usize],
-                SettleKind::Or => a | values[op.b as usize],
-                SettleKind::Xor => a ^ values[op.b as usize],
-                SettleKind::Not => !a,
-                SettleKind::Shl => a << values[op.b as usize].min(63),
-                SettleKind::ShrL => a >> values[op.b as usize].min(63),
-                SettleKind::ShrA => {
-                    (sign_extend(a, op.aux as u32) >> values[op.b as usize].min(63)) as u64
-                }
-                SettleKind::Cmp(c) => {
-                    c.apply(a, values[op.b as usize], op.aux as u32) as u64
-                }
-                SettleKind::Mux => {
-                    if a & 1 == 1 {
-                        values[op.c as usize]
-                    } else {
-                        values[op.b as usize]
-                    }
-                }
-                SettleKind::Const => op.aux,
-                SettleKind::Slice => a >> op.aux,
-                SettleKind::ZeroExtend => a,
-                SettleKind::SignExtend => sign_extend(a, op.aux as u32) as u64,
-            };
-            values[op.out as usize] = v & op.mask;
+            values[op.out as usize] = eval_op(values, op);
         }
+    }
+
+    /// Scan the dirty window in topological-rank order. Ranks only grow
+    /// along fanout edges (the program is topologically sorted), so a mark
+    /// made during the scan always lands ahead of the cursor — raising
+    /// `dirty_hi` at most — and each queued op is reached after all of its
+    /// dirty predecessors. Every op is evaluated at most once per pass,
+    /// and an op whose output does not change never wakes its fanout. A
+    /// linear bitmap scan beats a priority queue here: the window is
+    /// usually a small slice of the program, and the per-visited-op cost
+    /// is one branch instead of heap maintenance.
+    fn settle_event(&mut self) {
+        let mut i = self.dirty_lo as usize;
+        // `dirty_hi` is re-read every iteration: evaluated ops may extend
+        // the window forward (never backward) by marking their fanout.
+        while i as u32 <= self.dirty_hi {
+            if self.dirty[i] {
+                self.dirty[i] = false;
+                let op = self.ops[i];
+                let v = eval_op(&self.values, &op);
+                self.settle_ops += 1;
+                if self.values[op.out as usize] != v {
+                    self.values[op.out as usize] = v;
+                    self.mark_net(op.out);
+                }
+            }
+            i += 1;
+        }
+        self.dirty_lo = u32::MAX;
+        self.dirty_hi = 0;
+    }
+}
+
+/// Evaluate one compiled settle op against the current net values.
+#[inline]
+fn eval_op(values: &[u64], op: &SettleOp) -> u64 {
+    let a = values[op.a as usize];
+    let v = match op.kind {
+        SettleKind::Add => a.wrapping_add(values[op.b as usize]),
+        SettleKind::Sub => a.wrapping_sub(values[op.b as usize]),
+        SettleKind::Mul => a.wrapping_mul(values[op.b as usize]),
+        // division by zero yields all-ones, matching the component model
+        SettleKind::Div => a.checked_div(values[op.b as usize]).unwrap_or(u64::MAX),
+        SettleKind::Mod => {
+            let d = values[op.b as usize];
+            if d == 0 {
+                a
+            } else {
+                a % d
+            }
+        }
+        SettleKind::And => a & values[op.b as usize],
+        SettleKind::Or => a | values[op.b as usize],
+        SettleKind::Xor => a ^ values[op.b as usize],
+        SettleKind::Not => !a,
+        SettleKind::Shl => a << values[op.b as usize].min(63),
+        SettleKind::ShrL => a >> values[op.b as usize].min(63),
+        SettleKind::ShrA => {
+            (sign_extend(a, op.aux as u32) >> values[op.b as usize].min(63)) as u64
+        }
+        SettleKind::Cmp(c) => c.apply(a, values[op.b as usize], op.aux as u32) as u64,
+        SettleKind::Mux => {
+            if a & 1 == 1 {
+                values[op.c as usize]
+            } else {
+                values[op.b as usize]
+            }
+        }
+        SettleKind::Const => op.aux,
+        SettleKind::Slice => a >> op.aux,
+        SettleKind::ZeroExtend => a,
+        SettleKind::SignExtend => sign_extend(a, op.aux as u32) as u64,
+    };
+    v & op.mask
+}
+
+/// Resolve the `HERMES_EVENT_SETTLE` knob: `off`/`0`/`false` (any case)
+/// disables event-driven settling; anything else (or unset) enables it.
+fn env_event_driven() -> bool {
+    match std::env::var("HERMES_EVENT_SETTLE") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "off" | "0" | "false"
+        ),
+        Err(_) => true,
     }
 }
 
@@ -760,6 +970,117 @@ mod tests {
         assert_eq!(trace.rows[0].1[0], 0xF0);
         let text = trace.render(&nl);
         assert!(text.contains("$var wire 8"));
+    }
+
+    /// A counter next to a quiescent constant-fed subtree: event-driven
+    /// settling must produce bit-identical values while evaluating far
+    /// fewer ops (the quiescent chain settles once and never again).
+    #[test]
+    fn event_driven_skips_quiescent_logic() {
+        let build = || {
+            let mut nl = Netlist::new("mix");
+            let one = nl.add_net("one", 8);
+            let q = nl.add_net("q", 8);
+            let next = nl.add_net("next", 8);
+            nl.add_cell("c1", CellOp::Const { value: 1 }, &[], &[one])
+                .unwrap();
+            nl.add_cell("add", CellOp::Add, &[q, one], &[next]).unwrap();
+            nl.add_cell(
+                "r",
+                CellOp::Register {
+                    has_enable: false,
+                    has_reset: true,
+                },
+                &[next],
+                &[q],
+            )
+            .unwrap();
+            // quiescent: a chain of NOTs hanging off the constant
+            let mut cur = one;
+            for i in 0..16 {
+                let y = nl.add_net(format!("n{i}"), 8);
+                nl.add_cell(format!("not{i}"), CellOp::Not, &[cur], &[y])
+                    .unwrap();
+                cur = y;
+            }
+            nl.mark_output(q);
+            nl.mark_output(cur);
+            nl
+        };
+        let nl_e = build();
+        let nl_f = build();
+        let mut ev = Simulator::new(&nl_e).unwrap();
+        let mut full = Simulator::new(&nl_f).unwrap();
+        full.set_event_driven(false);
+        assert!(ev.event_driven());
+        assert!(!full.event_driven());
+        for _ in 0..50 {
+            ev.step().unwrap();
+            full.step().unwrap();
+            for (nid, _) in nl_e.nets() {
+                assert_eq!(ev.peek_net(nid), full.peek_net(nid), "net {nid}");
+            }
+        }
+        assert_eq!(ev.settle_passes(), full.settle_passes());
+        assert_eq!(
+            full.settle_ops(),
+            full.settle_passes() * full.settle_program_len() as u64,
+            "full path evaluates the whole program every pass"
+        );
+        assert!(
+            ev.settle_ops() < full.settle_ops() / 2,
+            "event-driven must skip the quiescent chain: {} vs {}",
+            ev.settle_ops(),
+            full.settle_ops()
+        );
+    }
+
+    /// Reset falls back to a full pass and stays bit-identical.
+    #[test]
+    fn event_driven_reset_matches_full() {
+        let mut nl = Netlist::new("counter");
+        let one = nl.add_net("one", 8);
+        let q = nl.add_net("q", 8);
+        let next = nl.add_net("next", 8);
+        nl.add_cell("c1", CellOp::Const { value: 1 }, &[], &[one])
+            .unwrap();
+        nl.add_cell("add", CellOp::Add, &[q, one], &[next]).unwrap();
+        nl.add_cell(
+            "r",
+            CellOp::Register {
+                has_enable: false,
+                has_reset: true,
+            },
+            &[next],
+            &[q],
+        )
+        .unwrap();
+        nl.mark_output(q);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.run(7).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), 7);
+        sim.reset();
+        assert_eq!(sim.peek("q").unwrap(), 0);
+        assert_eq!(sim.peek("next").unwrap(), 1, "comb logic re-settled");
+        sim.run(3).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), 3);
+    }
+
+    /// Poking the same value twice must not change anything and must not
+    /// re-evaluate the input's fanout.
+    #[test]
+    fn event_driven_identical_poke_is_free() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a", 8);
+        let y = nl.add_net("y", 8);
+        nl.add_cell("n", CellOp::Not, &[a], &[y]).unwrap();
+        nl.mark_output(y);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.poke("a", 5).unwrap();
+        let ops_after_first = sim.settle_ops();
+        sim.poke("a", 5).unwrap();
+        assert_eq!(sim.settle_ops(), ops_after_first, "no-change poke is free");
+        assert_eq!(sim.peek("y").unwrap(), 0xFA);
     }
 
     #[test]

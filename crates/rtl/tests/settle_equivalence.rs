@@ -1,0 +1,243 @@
+//! Differential property test for activity-gated settling: on randomly
+//! generated small netlists, the event-driven simulator must agree with a
+//! forced full-program simulator on every net value, every register's
+//! stored state, and every trace row, across 1000 cycles of random pokes
+//! and occasional resets (deterministic `DetRng` loops — no external
+//! dependencies).
+
+use hermes_rtl::component::Comparison;
+use hermes_rtl::netlist::{CellId, CellOp, NetId, Netlist};
+use hermes_rtl::rng::DetRng;
+use hermes_rtl::sim::Simulator;
+
+/// Build a random, structurally valid netlist: combinational cells only
+/// read already-created nets (so the graph is acyclic by construction),
+/// registers and RAMs may read anything and source fresh nets.
+fn random_netlist(rng: &mut DetRng) -> Netlist {
+    let mut nl = Netlist::new("rand");
+    let mut pool: Vec<NetId> = Vec::new();
+    for i in 0..rng.range_u64(1, 5) {
+        pool.push(nl.add_input(format!("in{i}"), rng.range_u64(1, 33) as u32));
+    }
+    let cells = rng.range_u64(5, 40);
+    for c in 0..cells {
+        let pick = |rng: &mut DetRng, pool: &[NetId]| pool[rng.below(pool.len() as u64) as usize];
+        let w = |rng: &mut DetRng| rng.range_u64(1, 33) as u32;
+        let kind = rng.below(20);
+        let a = pick(rng, &pool);
+        let b = pick(rng, &pool);
+        let sel = pick(rng, &pool);
+        let out = match kind {
+            0 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::Add, &[a, b], &[y]).unwrap();
+                y
+            }
+            1 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::Sub, &[a, b], &[y]).unwrap();
+                y
+            }
+            2 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::Mul, &[a, b], &[y]).unwrap();
+                y
+            }
+            3 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::Div, &[a, b], &[y]).unwrap();
+                y
+            }
+            4 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::Mod, &[a, b], &[y]).unwrap();
+                y
+            }
+            5 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::And, &[a, b], &[y]).unwrap();
+                y
+            }
+            6 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::Or, &[a, b], &[y]).unwrap();
+                y
+            }
+            7 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::Xor, &[a, b], &[y]).unwrap();
+                y
+            }
+            8 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::Not, &[a], &[y]).unwrap();
+                y
+            }
+            9 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::Shl, &[a, b], &[y]).unwrap();
+                y
+            }
+            10 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::ShrL, &[a, b], &[y]).unwrap();
+                y
+            }
+            11 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::ShrA, &[a, b], &[y]).unwrap();
+                y
+            }
+            12 => {
+                let cmp = match rng.below(4) {
+                    0 => Comparison::Eq,
+                    1 => Comparison::LtS,
+                    2 => Comparison::GeU,
+                    _ => Comparison::Ne,
+                };
+                let y = nl.add_net(format!("y{c}"), 1);
+                nl.add_cell(format!("c{c}"), CellOp::Cmp(cmp), &[a, b], &[y]).unwrap();
+                y
+            }
+            13 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::Mux, &[sel, a, b], &[y]).unwrap();
+                y
+            }
+            14 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(
+                    format!("c{c}"),
+                    CellOp::Const { value: rng.next_u64() },
+                    &[],
+                    &[y],
+                )
+                .unwrap();
+                y
+            }
+            15 => {
+                let aw = nl.net(a).width;
+                let lo = rng.below(u64::from(aw)) as u32;
+                let hi = lo + rng.below(u64::from(aw - lo)) as u32;
+                let y = nl.add_net(format!("y{c}"), hi - lo + 1);
+                nl.add_cell(format!("c{c}"), CellOp::Slice { lo, hi }, &[a], &[y]).unwrap();
+                y
+            }
+            16 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::ZeroExtend, &[a], &[y]).unwrap();
+                y
+            }
+            17 => {
+                let y = nl.add_net(format!("y{c}"), w(rng));
+                nl.add_cell(format!("c{c}"), CellOp::SignExtend, &[a], &[y]).unwrap();
+                y
+            }
+            18 => {
+                let has_enable = rng.chance(0.5);
+                let q = nl.add_net(format!("q{c}"), w(rng));
+                let ins: Vec<NetId> = if has_enable { vec![a, sel] } else { vec![a] };
+                nl.add_cell(
+                    format!("c{c}"),
+                    CellOp::Register {
+                        has_enable,
+                        has_reset: rng.chance(0.7),
+                    },
+                    &ins,
+                    &[q],
+                )
+                .unwrap();
+                q
+            }
+            _ => {
+                let depth = rng.range_u64(4, 17) as u32;
+                let dw = w(rng);
+                let init: Vec<u64> = (0..depth).map(|_| rng.next_u64()).collect();
+                let ra = nl.add_net(format!("ra{c}"), dw);
+                let rb = nl.add_net(format!("rb{c}"), dw);
+                let (wa, wb) = (pick(rng, &pool), pick(rng, &pool));
+                let (ea, eb) = (pick(rng, &pool), pick(rng, &pool));
+                nl.add_cell(
+                    format!("c{c}"),
+                    CellOp::RamTdp { depth, init },
+                    &[a, wa, ea, b, wb, eb],
+                    &[ra, rb],
+                )
+                .unwrap();
+                pool.push(ra);
+                rb
+            }
+        };
+        pool.push(out);
+    }
+    // mark a few nets as outputs so the netlist resembles a real module
+    for _ in 0..3 {
+        let n = pool[rng.below(pool.len() as u64) as usize];
+        nl.mark_output(n);
+    }
+    nl
+}
+
+#[test]
+fn event_driven_settle_equals_full_settle() {
+    let mut rng = DetRng::new(0xE13_5E771E);
+    for case in 0..24u64 {
+        let nl = random_netlist(&mut rng);
+        nl.validate().expect("generated netlist is structurally valid");
+        let inputs: Vec<NetId> = nl.inputs().to_vec();
+        let reg_cells: Vec<CellId> = nl
+            .cells()
+            .filter(|(_, c)| matches!(c.op, CellOp::Register { .. }))
+            .map(|(cid, _)| cid)
+            .collect();
+        let traced: Vec<NetId> = nl.nets().map(|(id, _)| id).take(8).collect();
+
+        let mut ev = Simulator::new(&nl).expect("event sim builds");
+        let mut full = Simulator::new(&nl).expect("full sim builds");
+        ev.set_event_driven(true);
+        full.set_event_driven(false);
+        ev.enable_trace(&traced);
+        full.enable_trace(&traced);
+
+        for cycle in 0..1000u64 {
+            if rng.chance(0.3) {
+                let id = inputs[rng.below(inputs.len() as u64) as usize];
+                let v = rng.next_u64();
+                ev.poke_net(id, v);
+                full.poke_net(id, v);
+            }
+            if rng.chance(0.005) {
+                ev.reset();
+                full.reset();
+            }
+            ev.step().expect("event step");
+            full.step().expect("full step");
+            for (nid, _) in nl.nets() {
+                assert_eq!(
+                    ev.peek_net(nid),
+                    full.peek_net(nid),
+                    "case {case} cycle {cycle}: net {nid} diverged"
+                );
+            }
+            for &cid in &reg_cells {
+                assert_eq!(
+                    ev.register_state(cid),
+                    full.register_state(cid),
+                    "case {case} cycle {cycle}: register {cid} diverged"
+                );
+            }
+        }
+        assert_eq!(ev.settle_passes(), full.settle_passes(), "case {case}");
+        assert!(
+            ev.settle_ops() <= full.settle_ops(),
+            "case {case}: event-driven can never do more work"
+        );
+        let (te, tf) = (ev.take_trace().unwrap(), full.take_trace().unwrap());
+        assert_eq!(te.rows, tf.rows, "case {case}: trace rows diverged");
+        assert_eq!(
+            te.render(&nl),
+            tf.render(&nl),
+            "case {case}: rendered traces diverged"
+        );
+    }
+}
