@@ -13,8 +13,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 # wall-clock lines.
 EXP=target/release/experiments
 strip_timing() { grep -v "completed in" "$1" > "$1.stripped"; }
-"$EXP" --jobs 1 e1 e2 e7 e10 > /tmp/hermes_serial.txt
-"$EXP" --jobs 4 e1 e2 e7 e10 > /tmp/hermes_par.txt
+"$EXP" --jobs 1 e1 e2 e7 e10 e14 > /tmp/hermes_serial.txt
+"$EXP" --jobs 4 e1 e2 e7 e10 e14 > /tmp/hermes_par.txt
 strip_timing /tmp/hermes_serial.txt
 strip_timing /tmp/hermes_par.txt
 diff /tmp/hermes_serial.txt.stripped /tmp/hermes_par.txt.stripped \
@@ -23,7 +23,7 @@ diff /tmp/hermes_serial.txt.stripped /tmp/hermes_par.txt.stripped \
 # Settle-mode golden gate: event-driven settling is a speed knob, never a
 # results knob. Re-render the same experiments with event-driven settle
 # disabled and require byte-identical text.
-HERMES_EVENT_SETTLE=off "$EXP" --jobs 1 e1 e2 e7 e10 > /tmp/hermes_fullsettle.txt
+HERMES_EVENT_SETTLE=off "$EXP" --jobs 1 e1 e2 e7 e10 e14 > /tmp/hermes_fullsettle.txt
 strip_timing /tmp/hermes_fullsettle.txt
 diff /tmp/hermes_serial.txt.stripped /tmp/hermes_fullsettle.txt.stripped \
   || { echo "ci: output diverged between event-driven and full settle" >&2; exit 1; }
@@ -32,8 +32,8 @@ diff /tmp/hermes_serial.txt.stripped /tmp/hermes_fullsettle.txt.stripped \
 # contract. Record the same experiments serial and 4-wide, strip the
 # wall-clock side channel (every wall-derived field sits on a line whose
 # key starts with "wall), and require byte-identical documents.
-"$EXP" --jobs 1 e1 e2 e7 e10 --trace /tmp/hermes_trace_serial.json > /dev/null
-"$EXP" --jobs 4 e1 e2 e7 e10 --trace /tmp/hermes_trace_par.json > /dev/null
+"$EXP" --jobs 1 e1 e2 e7 e10 e14 --trace /tmp/hermes_trace_serial.json > /dev/null
+"$EXP" --jobs 4 e1 e2 e7 e10 e14 --trace /tmp/hermes_trace_par.json > /dev/null
 grep -q '"schema": "hermes-trace/v1"' /tmp/hermes_trace_serial.json \
   || { echo "ci: trace document missing hermes-trace/v1 schema" >&2; exit 1; }
 grep -v '"wall' /tmp/hermes_trace_serial.json > /tmp/hermes_trace_serial.stripped
@@ -47,6 +47,7 @@ test -s /tmp/hermes_trace_serial.chrome.json \
 # output flags refuse to run with nothing selected, and --jobs rejects
 # zero or unparsable worker counts instead of silently defaulting.
 "$EXP" --list | grep -q '^e13 ' || { echo "ci: --list missing e13" >&2; exit 1; }
+"$EXP" --list | grep -q '^e14 ' || { echo "ci: --list missing e14" >&2; exit 1; }
 if "$EXP" --list --trace /tmp/never.json > /dev/null 2>&1; then
   echo "ci: --list --trace must be rejected" >&2; exit 1
 fi
@@ -88,6 +89,31 @@ for row in rows:
     f = float(row["activity"])
     assert 0.0 < f <= 1.0, f"activity factor {f} out of (0, 1]"
 print("ci: e13 activity factors sane")
+PY
+
+# E14 smoke: the serving experiment must run end to end, emit schema'd
+# JSON, sweep at least four offered loads reaching 1.5x saturation, and
+# account every request at every point: served + shed + rejected ==
+# offered, with zero unaccounted requests in the chaos campaign too.
+"$EXP" e14 --json /tmp/hermes_e14_smoke.json > /dev/null
+python3 - <<'PY' 2>/dev/null || grep -q '"schema": "hermes-bench/v1"' /tmp/hermes_e14_smoke.json
+import json
+doc = json.load(open('/tmp/hermes_e14_smoke.json'))
+assert doc["schema"] == "hermes-bench/v1"
+tables = {t["id"]: t for e in doc["experiments"] for t in e["tables"]}
+sweep = tables["e14a"]["rows"]
+assert len(sweep) >= 4, "e14a must sweep at least 4 offered loads"
+assert max(int(r["load_pct"]) for r in sweep) >= 150, "sweep must pass 1.5x saturation"
+for row in sweep:
+    offered = int(row["offered"])
+    total = int(row["served"]) + int(row["shed"]) + int(row["rejected"])
+    assert total == offered, f"load {row['load_pct']}%: {total} accounted of {offered} offered"
+for row in tables["e14b"]["rows"]:
+    assert row["accounted"] == "yes", f"chaos campaign unaccounted: {row}"
+assert any(int(r["requeued"]) > 0 for r in tables["e14b"]["rows"]), "chaos must requeue mid-batch work"
+jobs = tables["e14c"]["rows"]
+assert len({r["checksum"] for r in jobs}) == 1, "output checksum differs across jobs"
+print("ci: e14 shed accounting holds at every load")
 PY
 
 echo "ci: OK"

@@ -1,7 +1,7 @@
 //! # hermes-bench
 //!
 //! The experiment harness: one module per experiment of EXPERIMENTS.md
-//! (E1–E13), each regenerating the corresponding table. The paper itself is
+//! (E1–E14), each regenerating the corresponding table. The paper itself is
 //! a project report with architecture figures rather than result tables;
 //! each experiment therefore reproduces the *measurable claim* behind a
 //! figure or section, as mapped in DESIGN.md.
@@ -33,6 +33,7 @@ pub mod e10_chaos;
 pub mod e11_throughput;
 pub mod e12_observability;
 pub mod e13_eventdriven;
+pub mod e14_serving;
 pub mod hdl_check;
 pub mod json;
 pub mod kernels;
@@ -117,6 +118,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e13",
             "Event-driven settle + shared characterization cache",
             e13_eventdriven::run_traced,
+        ),
+        (
+            "e14",
+            "Deadline-aware accelerator serving (admission, batching, shedding)",
+            e14_serving::run_traced,
         ),
     ]
 }

@@ -23,6 +23,8 @@ pub enum Subsystem {
     PartitionMemory,
     /// Native partition tasks.
     Task,
+    /// A serving-runtime accelerator-pool instance (`hermes-serve`).
+    AcceleratorPool,
 }
 
 /// One concrete fault.
@@ -73,6 +75,22 @@ pub enum FaultKind {
     /// The native task of the targeted partition panics (returns an error)
     /// at its next activation.
     TaskPanic,
+    /// An accelerator-pool instance dies mid-batch: its in-flight work must
+    /// be re-queued and the instance stays down for `down_cycles`.
+    PoolKill {
+        /// Pool instance index (modulo the pool size at apply time).
+        instance: u8,
+        /// How long the instance stays down, in serve ticks.
+        down_cycles: u32,
+    },
+    /// An accelerator-pool instance stalls: an in-flight batch finishes
+    /// `cycles` late (late completions are shed, never silently dropped).
+    PoolStall {
+        /// Pool instance index (modulo the pool size at apply time).
+        instance: u8,
+        /// Stall length in serve ticks.
+        cycles: u32,
+    },
 }
 
 impl FaultKind {
@@ -86,6 +104,7 @@ impl FaultKind {
             FaultKind::SpwCorrupt { .. } => Subsystem::SpaceWire,
             FaultKind::Seu { .. } => Subsystem::PartitionMemory,
             FaultKind::TaskPanic => Subsystem::Task,
+            FaultKind::PoolKill { .. } | FaultKind::PoolStall { .. } => Subsystem::AcceleratorPool,
         }
     }
 }
@@ -122,6 +141,15 @@ pub struct FaultPlanConfig {
     pub seus: u32,
     /// Native-task panic count.
     pub task_panics: u32,
+    /// Accelerator-pool instance kills (serving campaigns; 0 elsewhere).
+    pub pool_kills: u32,
+    /// Accelerator-pool instance stalls (serving campaigns; 0 elsewhere).
+    pub pool_stalls: u32,
+    /// Maximum pool downtime / stall length, in serve ticks.
+    pub pool_down_max: u32,
+    /// Pool size the instance indices are drawn from (modulo at apply
+    /// time, so a plan stays valid for smaller pools).
+    pub pool_instances: u8,
 }
 
 impl Default for FaultPlanConfig {
@@ -137,6 +165,36 @@ impl Default for FaultPlanConfig {
             spw_max_repeats: 3,
             seus: 16,
             task_panics: 2,
+            // the classic campaigns predate the serving runtime: pool
+            // faults default off so existing plans stay byte-identical
+            pool_kills: 0,
+            pool_stalls: 0,
+            pool_down_max: 400,
+            pool_instances: 4,
+        }
+    }
+}
+
+impl FaultPlanConfig {
+    /// A serving-campaign config: only accelerator-pool faults, every
+    /// classic category zeroed. `instances` is the pool size kill/stall
+    /// targets are drawn from.
+    pub fn pool_only(duration: u64, kills: u32, stalls: u32, down_max: u32, instances: u8) -> Self {
+        FaultPlanConfig {
+            duration,
+            axi_slverrs: 0,
+            axi_stalls: 0,
+            axi_stall_max: 1,
+            flash_bitrot: 0,
+            flash_stuck_pages: 0,
+            spw_corruptions: 0,
+            spw_max_repeats: 1,
+            seus: 0,
+            task_panics: 0,
+            pool_kills: kills,
+            pool_stalls: stalls,
+            pool_down_max: down_max.max(1),
+            pool_instances: instances.max(1),
         }
     }
 }
@@ -216,6 +274,26 @@ impl FaultPlan {
                 kind: FaultKind::TaskPanic,
             });
         }
+        // pool faults draw last so plans without them (the pre-serve
+        // campaigns) consume the identical rng stream as before
+        for _ in 0..cfg.pool_kills {
+            events.push(FaultEvent {
+                cycle: at(&mut rng),
+                kind: FaultKind::PoolKill {
+                    instance: rng.below(u64::from(cfg.pool_instances.max(1))) as u8,
+                    down_cycles: rng.range_u64(1, u64::from(cfg.pool_down_max.max(2))) as u32,
+                },
+            });
+        }
+        for _ in 0..cfg.pool_stalls {
+            events.push(FaultEvent {
+                cycle: at(&mut rng),
+                kind: FaultKind::PoolStall {
+                    instance: rng.below(u64::from(cfg.pool_instances.max(1))) as u8,
+                    cycles: rng.range_u64(1, u64::from(cfg.pool_down_max.max(2))) as u32,
+                },
+            });
+        }
         events.sort_by_key(|e| e.cycle);
         FaultPlan {
             events,
@@ -252,6 +330,13 @@ impl FaultPlan {
         self.cursor >= self.events.len()
     }
 
+    /// Cycle of the next undrained event, if any — lets an event-stepped
+    /// driver (the serve engine) jump straight to the next fault instead
+    /// of polling every cycle.
+    pub fn peek_cycle(&self) -> Option<u64> {
+        self.events.get(self.cursor).map(|e| e.cycle)
+    }
+
     /// Map a normalized 16-bit position onto `[0, size)`.
     pub fn scale(pos_num: u16, size: u64) -> u64 {
         (u64::from(pos_num) * size) >> 16
@@ -283,9 +368,50 @@ mod tests {
             + cfg.flash_stuck_pages
             + cfg.spw_corruptions
             + cfg.seus
-            + cfg.task_panics) as usize;
+            + cfg.task_panics
+            + cfg.pool_kills
+            + cfg.pool_stalls) as usize;
         assert_eq!(plan.events().len(), want);
         assert_eq!(plan.count(Subsystem::Flash), (cfg.flash_bitrot + cfg.flash_stuck_pages) as usize);
+    }
+
+    #[test]
+    fn pool_faults_default_off_and_generate_in_range() {
+        let base = FaultPlanConfig::default();
+        assert_eq!(FaultPlan::generate(4, &base).count(Subsystem::AcceleratorPool), 0);
+        // enabling pool faults must not disturb the classic fault stream
+        let serving = FaultPlanConfig {
+            pool_kills: 3,
+            pool_stalls: 2,
+            ..base
+        };
+        let classic = FaultPlan::generate(4, &base);
+        let chaotic = FaultPlan::generate(4, &serving);
+        assert_eq!(chaotic.count(Subsystem::AcceleratorPool), 5);
+        let non_pool = |p: &FaultPlan| {
+            let mut v: Vec<FaultEvent> = p
+                .events()
+                .iter()
+                .filter(|e| e.kind.subsystem() != Subsystem::AcceleratorPool)
+                .copied()
+                .collect();
+            v.sort_by_key(|e| (e.cycle, format!("{:?}", e.kind)));
+            v
+        };
+        assert_eq!(non_pool(&classic), non_pool(&chaotic));
+        for ev in chaotic.events() {
+            match ev.kind {
+                FaultKind::PoolKill { instance, down_cycles } => {
+                    assert!(instance < serving.pool_instances);
+                    assert!((1..serving.pool_down_max).contains(&down_cycles));
+                }
+                FaultKind::PoolStall { instance, cycles } => {
+                    assert!(instance < serving.pool_instances);
+                    assert!((1..serving.pool_down_max).contains(&cycles));
+                }
+                _ => {}
+            }
+        }
     }
 
     #[test]

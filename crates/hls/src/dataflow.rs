@@ -286,6 +286,79 @@ mod tests {
     }
 
     #[test]
+    fn capacity_one_channels_match_deeper_fifos() {
+        // channel capacity shapes area, never the timing model: a depth-1
+        // handshake pipeline must report the same controller cost and
+        // cycle counts as a generously buffered one
+        let build = |depth: u32| {
+            let mut g = TaskGraph::new();
+            let a = g.add_task(task("a", 4, 30));
+            let b = g.add_task(task("b", 6, 50));
+            let c = g.add_task(task("c", 4, 20));
+            g.connect(a, b, depth);
+            g.connect(b, c, depth);
+            g
+        };
+        let (shallow, deep) = (build(1), build(16));
+        for items in [0u64, 1, 7, 100] {
+            assert_eq!(
+                synthesize_dataflow(&shallow, items),
+                synthesize_dataflow(&deep, items),
+                "items={items}"
+            );
+            assert_eq!(
+                synthesize_monolithic(&shallow, items),
+                synthesize_monolithic(&deep, items),
+                "items={items}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_latency_tasks_agree_across_styles() {
+        // zero-latency (combinational pass-through) tasks: both styles
+        // must degenerate to zero cycles without dividing by the II
+        let mut g = TaskGraph::new();
+        let a = g.add_task(task("wire_a", 1, 0));
+        let b = g.add_task(task("wire_b", 1, 0));
+        g.connect(a, b, 1);
+        for items in [0u64, 1, 50] {
+            let mono = synthesize_monolithic(&g, items);
+            let df = synthesize_dataflow(&g, items);
+            assert_eq!(mono.total_cycles, 0, "items={items}");
+            assert_eq!(df.total_cycles, 0, "items={items}");
+            assert_eq!(mono.initiation_interval, 0);
+            assert_eq!(df.initiation_interval, 0);
+        }
+        // a zero-latency stage inside a real pipeline is absorbed: the
+        // dataflow II is set by the slowest stage alone
+        let mut g = TaskGraph::new();
+        let a = g.add_task(task("load", 2, 40));
+        let b = g.add_task(task("wire", 1, 0));
+        let c = g.add_task(task("store", 2, 40));
+        g.connect(a, b, 1);
+        g.connect(b, c, 1);
+        let df = synthesize_dataflow(&g, 10);
+        assert_eq!(df.initiation_interval, 40);
+        assert_eq!(df.total_cycles, 80 + 40 * 9, "fill 80 then II per item");
+    }
+
+    #[test]
+    fn single_task_graph_styles_identical() {
+        // with one task there is nothing to pipeline and nothing to
+        // multiply: the two styles must produce the identical report
+        for (states, latency) in [(1u32, 1u64), (10, 42), (7, 0)] {
+            let mut g = TaskGraph::new();
+            g.add_task(task("only", states, latency));
+            for items in [0u64, 1, 13, 500] {
+                let mono = synthesize_monolithic(&g, items);
+                let df = synthesize_dataflow(&g, items);
+                assert_eq!(mono, df, "states={states} latency={latency} items={items}");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "acyclic")]
     fn cycles_rejected() {
         let mut g = TaskGraph::new();

@@ -143,19 +143,29 @@ pub struct Histogram {
     pub count: u64,
     /// Sum of observed values.
     pub sum: u64,
+    /// Largest observed value (0 when empty); bounds the overflow bucket
+    /// so percentile readouts stay finite.
+    pub max: u64,
 }
 
 impl Histogram {
-    fn new(bounds: &[u64]) -> Self {
+    /// An empty histogram over the given ascending upper bucket bounds
+    /// (plus the implicit overflow bucket) — public so subsystems that
+    /// need local percentile readouts (e.g. per-class serving latency)
+    /// can aggregate with the same deterministic geometry the recorder
+    /// uses.
+    pub fn new(bounds: &[u64]) -> Self {
         Histogram {
             bounds: bounds.to_vec(),
             counts: vec![0; bounds.len() + 1],
             count: 0,
             sum: 0,
+            max: 0,
         }
     }
 
-    fn observe(&mut self, v: u64) {
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
         let idx = self
             .bounds
             .iter()
@@ -164,9 +174,12 @@ impl Histogram {
         self.counts[idx] += 1;
         self.count += 1;
         self.sum += v;
+        self.max = self.max.max(v);
     }
 
-    fn merge(&mut self, other: &Histogram) {
+    /// Fold another histogram's observations into this one (bucket-wise
+    /// when the geometries match, into the overflow bucket otherwise).
+    pub fn merge(&mut self, other: &Histogram) {
         if self.bounds == other.bounds {
             for (a, b) in self.counts.iter_mut().zip(&other.counts) {
                 *a += b;
@@ -180,6 +193,46 @@ impl Histogram {
         }
         self.count += other.count;
         self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Deterministic percentile readout from the fixed buckets.
+    ///
+    /// Locates the rank-`ceil(q · count)` observation (`q` clamped to
+    /// `(0, 1]`) and linearly interpolates its value between the enclosing
+    /// bucket's lower and upper bounds in pure integer arithmetic, so two
+    /// histograms with equal bucket counts answer byte-identically on any
+    /// worker count or platform. The open-ended overflow bucket
+    /// interpolates between the last bound and the observed [`max`], which
+    /// keeps tail percentiles finite. Returns `None` on an empty
+    /// histogram.
+    ///
+    /// [`max`]: Histogram::max
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 && cum + c >= rank {
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let upper = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+                // the topmost non-empty bucket cannot hold anything above
+                // the observed max, so tighten its upper edge to it
+                let upper = upper.min(self.max).max(lower);
+                let pos = rank - cum; // 1..=c within this bucket
+                return Some(lower + (upper - lower).saturating_mul(pos) / c);
+            }
+            cum += c;
+        }
+        Some(self.max) // unreachable: rank <= count
     }
 }
 
@@ -731,6 +784,61 @@ mod tests {
         c.instant("s", "x", ClockDomain::Seq, 0, &[]);
         r.absorb(&c);
         assert_eq!(r.event_count(), 0);
+    }
+
+    #[test]
+    fn percentile_hand_computed_values() {
+        // uniform 1..=100 over quartile buckets: percentiles land exactly
+        let mut h = Histogram::new(&[25, 50, 75, 100]);
+        for v in 1..=100 {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(0.50), Some(50));
+        assert_eq!(h.percentile(0.95), Some(95));
+        assert_eq!(h.percentile(0.99), Some(99));
+        assert_eq!(h.percentile(0.01), Some(1));
+        assert_eq!(h.percentile(1.0), Some(100));
+
+        // skewed set with an overflow observation: p50 interpolates inside
+        // bucket (10,20], the tail reads up to the observed max
+        let mut h = Histogram::new(&[10, 20, 30]);
+        for v in [5u64, 10, 15, 25, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.max, 100);
+        // rank ceil(0.5*5)=3 -> 3rd observation, bucket (10,20], pos 1 of 1
+        assert_eq!(h.percentile(0.50), Some(20));
+        // rank 5 -> overflow bucket, interpolated to max
+        assert_eq!(h.percentile(0.95), Some(100));
+        assert_eq!(h.percentile(0.99), Some(100));
+    }
+
+    #[test]
+    fn percentile_empty_and_single() {
+        let h = Histogram::new(&[10]);
+        assert_eq!(h.percentile(0.5), None, "empty histogram has no rank");
+        let mut h = Histogram::new(&[10]);
+        h.observe(7);
+        // a single observation answers every quantile with itself: the
+        // bucket's upper edge is tightened to the observed max
+        assert_eq!(h.percentile(0.01), Some(7));
+        assert_eq!(h.percentile(0.5), Some(7));
+        assert_eq!(h.percentile(0.99), Some(7));
+    }
+
+    #[test]
+    fn percentile_survives_merge() {
+        let mut a = Histogram::new(&[100, 200]);
+        let mut b = Histogram::new(&[100, 200]);
+        for v in 1..=50 {
+            a.observe(v * 2); // 2..=100
+            b.observe(100 + v * 2); // 102..=200
+        }
+        a.merge(&b);
+        assert_eq!(a.count, 100);
+        assert_eq!(a.percentile(0.50), Some(100));
+        assert_eq!(a.percentile(0.95), Some(100 + 100 * 45 / 50));
+        assert_eq!(a.max, 200);
     }
 
     #[test]

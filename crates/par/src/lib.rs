@@ -142,6 +142,23 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    // Default chunking: small enough to balance uneven task costs, large
+    // enough to keep cursor contention negligible.
+    let n = items.len();
+    let chunk = (n / (jobs.max(1) * 4)).max(1);
+    par_map_pool(jobs, chunk, items, f)
+}
+
+/// Core pool: `jobs` workers claiming `chunk` consecutive indices at a time
+/// from a shared cursor. Shared by [`par_map_jobs`] (throughput chunking)
+/// and [`par_map_bounded_jobs`] (single-item claims, worker count clamped
+/// to the in-flight bound).
+fn par_map_pool<T, R, F>(jobs: usize, chunk: usize, items: &[T], f: F) -> Result<Vec<R>, ParError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let n = items.len();
     let jobs = jobs.max(1).min(n.max(1));
     if jobs == 1 {
@@ -162,9 +179,8 @@ where
     }
 
     // Chunked self-scheduling: workers claim `chunk` consecutive indices at
-    // a time from a shared cursor. Small enough to balance uneven task
-    // costs, large enough to keep cursor contention negligible.
-    let chunk = (n / (jobs * 4)).max(1);
+    // a time from a shared cursor.
+    let chunk = chunk.max(1);
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<R, ParError>>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
@@ -217,6 +233,49 @@ where
     F: Fn(&T) -> R + Sync,
 {
     par_map_jobs(jobs(), items, f)
+}
+
+/// [`par_map_bounded`] with an explicit worker count.
+///
+/// At most `min(jobs, bound)` items are in flight at any instant: each
+/// worker claims exactly one index at a time (no chunk batching), and the
+/// worker count itself is clamped to `bound`. `bound = 0` is treated as 1.
+///
+/// # Errors
+///
+/// See [`par_map_jobs`].
+pub fn par_map_bounded_jobs<T, R, F>(
+    jobs: usize,
+    bound: usize,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, ParError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_pool(jobs.min(bound.max(1)), 1, items, f)
+}
+
+/// Map `f` over `items` with at most `bound` items concurrently in flight,
+/// independent of the resolved worker count ([`jobs`]) — the backpressure
+/// primitive: a serving pool with `bound` accelerator slots must never
+/// evaluate more than `bound` requests at once no matter how wide the
+/// machine is. Results preserve input order; a `bound` of 1 (or a
+/// single-item input) takes the same calling-thread fast path as
+/// `par_map_jobs(1, ..)`.
+///
+/// # Errors
+///
+/// See [`par_map_jobs`].
+pub fn par_map_bounded<T, R, F>(bound: usize, items: &[T], f: F) -> Result<Vec<R>, ParError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_bounded_jobs(jobs(), bound, items, f)
 }
 
 /// [`par_for_each`] with an explicit worker count.
@@ -352,6 +411,70 @@ mod tests {
         let err = par_map_jobs(8, &[7u32], |_| -> u32 { panic!("lone boom") }).unwrap_err();
         assert_eq!(err.task, 0);
         assert!(err.message.contains("lone boom"), "got: {err}");
+    }
+
+    #[test]
+    fn bounded_never_exceeds_bound_and_keeps_order() {
+        let items: Vec<u64> = (0..96).collect();
+        let in_flight = AtomicU64::new(0);
+        let high_water = AtomicU64::new(0);
+        let bound = 3u64;
+        let out = par_map_bounded_jobs(8, bound as usize, &items, |&x| {
+            let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            high_water.fetch_max(now, Ordering::SeqCst);
+            // a little work so claims genuinely overlap
+            let mut acc = x;
+            for i in 0..500u64 {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+            (x, acc)
+        })
+        .unwrap();
+        assert!(
+            high_water.load(Ordering::SeqCst) <= bound,
+            "in-flight exceeded bound: {}",
+            high_water.load(Ordering::SeqCst)
+        );
+        let got: Vec<u64> = out.iter().map(|&(x, _)| x).collect();
+        assert_eq!(got, items, "input order preserved");
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_results() {
+        let items: Vec<u64> = (0..64).collect();
+        let plain = par_map_jobs(4, &items, |&x| x.wrapping_mul(0x9E3779B9)).unwrap();
+        for bound in [1, 2, 5, 64, 1000] {
+            let bounded =
+                par_map_bounded_jobs(4, bound, &items, |&x| x.wrapping_mul(0x9E3779B9)).unwrap();
+            assert_eq!(bounded, plain, "bound={bound}");
+        }
+    }
+
+    #[test]
+    fn bounded_fast_path_and_zero_bound() {
+        let caller = std::thread::current().id();
+        // bound 1 clamps to the serial fast path: no threads spawned
+        let tids = par_map_bounded_jobs(8, 1, &[1u32, 2, 3], |_| std::thread::current().id())
+            .unwrap();
+        assert!(tids.iter().all(|&t| t == caller), "bound=1 must not spawn");
+        // bound 0 is treated as 1, not a deadlocked empty pool
+        let out = par_map_bounded_jobs(8, 0, &[5u32, 6], |&x| x * 2).unwrap();
+        assert_eq!(out, vec![10, 12]);
+    }
+
+    #[test]
+    fn bounded_panic_becomes_err() {
+        let items: Vec<u32> = (0..32).collect();
+        for bound in [1, 3] {
+            let err = par_map_bounded_jobs(4, bound, &items, |&x| {
+                assert!(x != 7, "bounded boom at {x}");
+                x
+            })
+            .unwrap_err();
+            assert_eq!(err.task, 7, "lowest failing index, bound={bound}");
+            assert!(err.message.contains("bounded boom at 7"), "got: {err}");
+        }
     }
 
     #[test]

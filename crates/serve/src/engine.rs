@@ -1,0 +1,720 @@
+//! The event-stepped serving engine: admission, dynamic batching,
+//! deadline-aware dispatch, load shedding, and chaos-tolerant pools.
+//!
+//! The engine advances a simulated serve clock from event to event (next
+//! arrival, batch completion, instance recovery, scheduled fault, deadline
+//! expiry, batch-window trigger) instead of polling every tick. Within a
+//! tick the phase order is fixed — recover, complete, faults, arrivals,
+//! shed-expired, dispatch — so the whole simulation is a pure function of
+//! the configuration, the arrival stream, and the fault plan. Worker count
+//! only parallelizes batch payload evaluation through
+//! [`hermes_par::par_map_bounded_jobs`], whose results come back in input
+//! order, so reports are byte-identical across `--jobs`.
+
+use crate::model::AcceleratorModel;
+use crate::pool::{Batch, Pool};
+use crate::queue::Backlog;
+use crate::request::{RejectReason, Request, ShedReason, Verdict};
+use crate::{fnv1a_words, Tick};
+use hermes_chaos::plan::{FaultKind, FaultPlan};
+use hermes_obs::{ClockDomain, Histogram, Recorder};
+
+/// Batch-size histogram bounds (items).
+const BATCH_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+/// Latency histogram bounds (ticks, powers of two).
+const LATENCY_BOUNDS: [u64; 12] = [
+    16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
+];
+
+/// Serving-runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Total backlog depth bound (admission rejects past it).
+    pub queue_depth: usize,
+    /// Max queued requests per tenant.
+    pub tenant_quota: usize,
+    /// Number of priority classes (requests beyond the range fold into the
+    /// lowest class).
+    pub classes: usize,
+    /// Max requests coalesced into one batch.
+    pub batch_max: usize,
+    /// Ticks a queued class may age before it is dispatched even
+    /// under-filled (bounds added queueing delay).
+    pub batch_window: u64,
+    /// Accelerator instances in the pool.
+    pub instances: usize,
+    /// Bound on concurrently evaluated payload items (flow control toward
+    /// the compute model).
+    pub compute_bound: usize,
+    /// Worker threads for payload evaluation; `0` uses the global
+    /// `hermes_par` setting. A throughput knob, never a results knob.
+    pub jobs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_depth: 64,
+            tenant_quota: 32,
+            classes: 2,
+            batch_max: 8,
+            batch_window: 100,
+            instances: 2,
+            compute_bound: 4,
+            jobs: 0,
+        }
+    }
+}
+
+/// Per-class outcome statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Priority class index.
+    pub class: usize,
+    /// Requests served by deadline.
+    pub served: u64,
+    /// Requests shed (all reasons).
+    pub shed: u64,
+    /// Median served latency in ticks.
+    pub p50: u64,
+    /// 95th-percentile served latency in ticks.
+    pub p95: u64,
+    /// 99th-percentile served latency in ticks.
+    pub p99: u64,
+}
+
+/// The accounted outcome of one serving run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Requests offered (the whole arrival stream).
+    pub offered: u64,
+    /// Requests completed by their deadline.
+    pub served: u64,
+    /// Shed: deadline passed while queued.
+    pub shed_expired: u64,
+    /// Shed at dispatch: could not finish by deadline even solo.
+    pub shed_would_miss: u64,
+    /// Shed after completion: a stall pushed the batch past the deadline.
+    pub shed_late: u64,
+    /// Rejected at admission: backlog depth bound.
+    pub rejected_queue_full: u64,
+    /// Rejected at admission: tenant quota.
+    pub rejected_quota: u64,
+    /// Requests re-queued out of killed batches (still accounted once).
+    pub requeued: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Total items across dispatched batches.
+    pub batch_items: u64,
+    /// Tick of the last processed event.
+    pub makespan: Tick,
+    /// Per-class served/shed/latency statistics.
+    pub per_class: Vec<ClassStats>,
+    /// Per-instance busy ticks.
+    pub instance_busy: Vec<u64>,
+    /// Per-instance down ticks.
+    pub instance_down: Vec<u64>,
+    /// Pool-kill fault events applied.
+    pub kills: u64,
+    /// Pool-stall fault events applied.
+    pub stalls: u64,
+    /// FNV-1a digest of all served outputs in completion order — the
+    /// witness that results are identical across worker counts.
+    pub output_checksum: u64,
+}
+
+impl ServeReport {
+    /// Total shed requests.
+    pub fn shed(&self) -> u64 {
+        self.shed_expired + self.shed_would_miss + self.shed_late
+    }
+
+    /// Total rejected requests.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_quota
+    }
+
+    /// The accounting invariant: every offered request ended in exactly
+    /// one verdict.
+    pub fn accounted(&self) -> bool {
+        self.served + self.shed() + self.rejected() == self.offered
+    }
+
+    /// Pool availability in permille: `1000 * (1 - down / capacity)` where
+    /// capacity is `instances * makespan` ticks.
+    pub fn availability_permille(&self) -> u64 {
+        let capacity = self.makespan * self.instance_down.len() as u64;
+        if capacity == 0 {
+            return 1000;
+        }
+        let down: u64 = self.instance_down.iter().sum();
+        1000 - (1000 * down.min(capacity)) / capacity
+    }
+
+    /// Deterministic multi-line rendering (integer arithmetic only) — the
+    /// byte-identity artifact the CI jobs gate diffs.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "serve: offered {} served {} shed {} (expired {}, would-miss {}, late {}) \
+             rejected {} (queue-full {}, quota {})\n",
+            self.offered,
+            self.served,
+            self.shed(),
+            self.shed_expired,
+            self.shed_would_miss,
+            self.shed_late,
+            self.rejected(),
+            self.rejected_queue_full,
+            self.rejected_quota,
+        ));
+        let mean_batch_x100 = (self.batch_items * 100).checked_div(self.batches).unwrap_or(0);
+        s.push_str(&format!(
+            "batches {} items {} mean-batch-x100 {} requeued {} makespan {}\n",
+            self.batches, self.batch_items, mean_batch_x100, self.requeued, self.makespan,
+        ));
+        for c in &self.per_class {
+            s.push_str(&format!(
+                "class {}: served {} shed {} p50 {} p95 {} p99 {}\n",
+                c.class, c.served, c.shed, c.p50, c.p95, c.p99,
+            ));
+        }
+        s.push_str(&format!(
+            "pool: busy {:?} down {:?} kills {} stalls {} availability-permille {}\n",
+            self.instance_busy,
+            self.instance_down,
+            self.kills,
+            self.stalls,
+            self.availability_permille(),
+        ));
+        s.push_str(&format!("output-checksum {:#018x}\n", self.output_checksum));
+        s
+    }
+}
+
+/// The deadline-aware serving engine.
+pub struct ServeEngine {
+    cfg: ServeConfig,
+    model: AcceleratorModel,
+    arrivals: Vec<Request>,
+    cursor: usize,
+    backlog: Backlog,
+    pool: Pool,
+    plan: Option<FaultPlan>,
+    obs: Recorder,
+    now: Tick,
+    // accounting
+    verdicts: Vec<(u64, Verdict)>,
+    served: u64,
+    shed_expired: u64,
+    shed_would_miss: u64,
+    shed_late: u64,
+    rejected_queue_full: u64,
+    rejected_quota: u64,
+    requeued: u64,
+    batches: u64,
+    batch_items: u64,
+    kills: u64,
+    stalls: u64,
+    checksum: u64,
+    class_served: Vec<u64>,
+    class_shed: Vec<u64>,
+    class_latency: Vec<Histogram>,
+}
+
+impl ServeEngine {
+    /// An engine over `arrivals` (any order; they are sorted by
+    /// `(arrival, id)` internally).
+    pub fn new(cfg: ServeConfig, model: AcceleratorModel, mut arrivals: Vec<Request>) -> Self {
+        arrivals.sort_by_key(|r| (r.arrival, r.id));
+        let classes = cfg.classes.max(1);
+        ServeEngine {
+            backlog: Backlog::new(classes, cfg.queue_depth, cfg.tenant_quota),
+            pool: Pool::new(cfg.instances),
+            plan: None,
+            obs: Recorder::disabled(),
+            now: 0,
+            cursor: 0,
+            verdicts: Vec::with_capacity(arrivals.len()),
+            served: 0,
+            shed_expired: 0,
+            shed_would_miss: 0,
+            shed_late: 0,
+            rejected_queue_full: 0,
+            rejected_quota: 0,
+            requeued: 0,
+            batches: 0,
+            batch_items: 0,
+            kills: 0,
+            stalls: 0,
+            checksum: 0,
+            class_served: vec![0; classes],
+            class_shed: vec![0; classes],
+            class_latency: (0..classes).map(|_| Histogram::new(&LATENCY_BOUNDS)).collect(),
+            cfg,
+            model,
+            arrivals,
+        }
+    }
+
+    /// Attach a chaos fault plan; `PoolKill`/`PoolStall` events are
+    /// applied at their scheduled tick, other subsystems' events are
+    /// ignored (they target the boot/bus campaigns).
+    #[must_use]
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Attach a recorder (usually a child of the caller's) that receives
+    /// serve metrics and chaos instants during the run.
+    #[must_use]
+    pub fn with_recorder(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached recorder (absorb it into a parent after `run`).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// One verdict per offered request, in decision order (accounting
+    /// audit trail; never contains duplicates).
+    pub fn verdicts(&self) -> &[(u64, Verdict)] {
+        &self.verdicts
+    }
+
+    fn effective_jobs(&self) -> usize {
+        if self.cfg.jobs == 0 {
+            hermes_par::jobs()
+        } else {
+            self.cfg.jobs
+        }
+    }
+
+    /// Run to completion: every offered request ends in a verdict.
+    pub fn run(&mut self) -> ServeReport {
+        loop {
+            self.step();
+            match self.next_event_tick() {
+                Some(t) => {
+                    debug_assert!(t > self.now, "event clock must advance");
+                    self.now = t;
+                }
+                None => break,
+            }
+        }
+        self.finalize()
+    }
+
+    /// Process every phase due at the current tick, in the fixed order:
+    /// recover, complete, faults, arrivals, shed-expired, dispatch.
+    fn step(&mut self) {
+        let now = self.now;
+        self.pool.account_until(now);
+        self.pool.recover_until(now);
+
+        let done = self.pool.complete_until(now);
+        for (_instance, batch) in done {
+            self.complete_batch(batch);
+        }
+
+        let faults: Vec<_> = match self.plan.as_mut() {
+            Some(plan) => plan.drain_until(now),
+            None => Vec::new(),
+        };
+        for ev in faults {
+            self.apply_fault(ev.kind);
+        }
+
+        while self.cursor < self.arrivals.len() && self.arrivals[self.cursor].arrival <= now {
+            let req = self.arrivals[self.cursor].clone();
+            self.cursor += 1;
+            let id = req.id;
+            match self.backlog.offer(req) {
+                Ok(()) => {}
+                Err(RejectReason::QueueFull) => {
+                    self.rejected_queue_full += 1;
+                    self.verdicts.push((id, Verdict::Rejected(RejectReason::QueueFull)));
+                }
+                Err(RejectReason::TenantQuota) => {
+                    self.rejected_quota += 1;
+                    self.verdicts.push((id, Verdict::Rejected(RejectReason::TenantQuota)));
+                }
+            }
+        }
+
+        for req in self.backlog.expire(now) {
+            self.shed_expired += 1;
+            let class = self.class_of(&req);
+            self.class_shed[class] += 1;
+            self.verdicts
+                .push((req.id, Verdict::Shed(ShedReason::DeadlineExpired)));
+        }
+
+        self.dispatch();
+        self.obs
+            .gauge_set("serve", "queue_depth", self.backlog.len() as i64);
+    }
+
+    fn class_of(&self, req: &Request) -> usize {
+        (req.class as usize).min(self.class_shed.len() - 1)
+    }
+
+    /// Deadline-aware batch formation. Queues are EDF-sorted, so the
+    /// binding deadline of any prefix batch is the head's: shed heads that
+    /// cannot finish even solo, then take the largest batch the head's
+    /// deadline still admits.
+    fn dispatch(&mut self) {
+        let svc1 = self.model.service_cycles(1);
+        let now = self.now;
+        'classes: for class in 0..self.backlog.class_count() {
+            loop {
+                let Some(instance) = self.pool.first_idle() else {
+                    break 'classes;
+                };
+                // shed heads that would miss even in the smallest batch
+                while let Some(d) = self.backlog.head_deadline(class) {
+                    if d < now + svc1 {
+                        for req in self.backlog.take(class, 1) {
+                            self.shed_would_miss += 1;
+                            let c = self.class_of(&req);
+                            self.class_shed[c] += 1;
+                            self.verdicts
+                                .push((req.id, Verdict::Shed(ShedReason::WouldMissDeadline)));
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let qlen = self.backlog.class_len(class);
+                if qlen == 0 {
+                    break;
+                }
+                let head = self.backlog.head_deadline(class).expect("non-empty class");
+                let oldest = self.backlog.oldest_arrival(class).expect("non-empty class");
+                let full = qlen >= self.cfg.batch_max;
+                let aged = now >= oldest + self.cfg.batch_window;
+                let urgent = head <= now + svc1;
+                if !(full || aged || urgent) {
+                    break;
+                }
+                // largest k the head's deadline admits
+                let mut k = qlen.min(self.cfg.batch_max).max(1);
+                while k > 1 && head < now + self.model.service_cycles(k) {
+                    k -= 1;
+                }
+                let requests = self.backlog.take(class, k);
+                let finish = now + self.model.service_cycles(requests.len());
+                self.batches += 1;
+                self.batch_items += requests.len() as u64;
+                self.obs
+                    .observe("serve", "batch_size", &BATCH_BOUNDS, requests.len() as u64);
+                self.pool.dispatch(
+                    instance,
+                    Batch {
+                        class,
+                        requests,
+                        dispatched: now,
+                        finish,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A batch finished: evaluate payloads (bounded, in input order) and
+    /// assign verdicts. On-time members are served and folded into the
+    /// output checksum; a stall that pushed the batch past a member's
+    /// deadline sheds that member as completed-late.
+    fn complete_batch(&mut self, batch: Batch) {
+        let inputs: Vec<&[i64]> = batch.requests.iter().map(|r| r.input.as_slice()).collect();
+        let model = &self.model;
+        let outputs = hermes_par::par_map_bounded_jobs(
+            self.effective_jobs(),
+            self.cfg.compute_bound,
+            &inputs,
+            |input| model.compute(input),
+        )
+        .expect("serve compute model must not panic");
+        for (req, out) in batch.requests.iter().zip(outputs.iter()) {
+            if batch.finish <= req.deadline {
+                let latency = batch.finish - req.arrival;
+                self.served += 1;
+                let class = self.class_of(req);
+                self.class_served[class] += 1;
+                self.class_latency[class].observe(latency);
+                self.obs.observe(
+                    "serve",
+                    &format!("latency_class{class}"),
+                    &LATENCY_BOUNDS,
+                    latency,
+                );
+                self.checksum = fnv1a_words(self.checksum, out);
+                self.verdicts.push((req.id, Verdict::Served { latency }));
+            } else {
+                self.shed_late += 1;
+                let class = self.class_of(req);
+                self.class_shed[class] += 1;
+                self.verdicts
+                    .push((req.id, Verdict::Shed(ShedReason::CompletedLate)));
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::PoolKill {
+                instance,
+                down_cycles,
+            } => {
+                self.kills += 1;
+                let until = self.now + u64::from(down_cycles.max(1));
+                self.obs.instant(
+                    "serve",
+                    "pool-kill",
+                    ClockDomain::Cpu,
+                    self.now,
+                    &[("instance", instance.to_string())],
+                );
+                if let Some(batch) = self.pool.kill(usize::from(instance), until) {
+                    for req in batch.requests {
+                        self.requeued += 1;
+                        self.backlog.requeue(req);
+                    }
+                }
+            }
+            FaultKind::PoolStall { instance, cycles } => {
+                self.stalls += 1;
+                self.obs.instant(
+                    "serve",
+                    "pool-stall",
+                    ClockDomain::Cpu,
+                    self.now,
+                    &[("instance", instance.to_string())],
+                );
+                self.pool.stall(usize::from(instance), u64::from(cycles.max(1)));
+            }
+            // Other subsystems' faults target the boot/bus campaigns.
+            _ => {}
+        }
+    }
+
+    /// Tick of the next pending event strictly after `now`, or `None`
+    /// when the run is complete.
+    fn next_event_tick(&self) -> Option<Tick> {
+        let now = self.now;
+        let svc1 = self.model.service_cycles(1);
+        let mut next: Option<Tick> = None;
+        let mut consider = |t: Tick| {
+            if t > now {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        if let Some(r) = self.arrivals.get(self.cursor) {
+            consider(r.arrival);
+        }
+        if let Some(t) = self.pool.next_transition() {
+            consider(t);
+        }
+        if let Some(plan) = &self.plan {
+            // chaos events matter only while work remains
+            if !(self.backlog.is_empty() && self.cursor >= self.arrivals.len()) {
+                if let Some(c) = plan.peek_cycle() {
+                    consider(c);
+                }
+            }
+        }
+        if let Some(d) = self.backlog.earliest_deadline() {
+            consider(d + 1); // expiry: deadline < now sheds
+        }
+        for class in 0..self.backlog.class_count() {
+            if let Some(oldest) = self.backlog.oldest_arrival(class) {
+                consider(oldest + self.cfg.batch_window);
+            }
+            if let Some(head) = self.backlog.head_deadline(class) {
+                consider(head.saturating_sub(svc1)); // last safe dispatch
+            }
+        }
+        next
+    }
+
+    fn finalize(&mut self) -> ServeReport {
+        self.pool.account_until(self.now);
+        let offered = self.arrivals.len() as u64;
+        let per_class = (0..self.class_served.len())
+            .map(|c| {
+                let h = &self.class_latency[c];
+                ClassStats {
+                    class: c,
+                    served: self.class_served[c],
+                    shed: self.class_shed[c],
+                    p50: h.percentile(0.50).unwrap_or(0),
+                    p95: h.percentile(0.95).unwrap_or(0),
+                    p99: h.percentile(0.99).unwrap_or(0),
+                }
+            })
+            .collect();
+        let report = ServeReport {
+            offered,
+            served: self.served,
+            shed_expired: self.shed_expired,
+            shed_would_miss: self.shed_would_miss,
+            shed_late: self.shed_late,
+            rejected_queue_full: self.rejected_queue_full,
+            rejected_quota: self.rejected_quota,
+            requeued: self.requeued,
+            batches: self.batches,
+            batch_items: self.batch_items,
+            makespan: self.now,
+            per_class,
+            instance_busy: self.pool.busy_ticks.clone(),
+            instance_down: self.pool.down_ticks.clone(),
+            kills: self.kills,
+            stalls: self.stalls,
+            output_checksum: self.checksum,
+        };
+        for (name, v) in [
+            ("offered", report.offered),
+            ("served", report.served),
+            ("shed", report.shed()),
+            ("rejected", report.rejected()),
+            ("requeued", report.requeued),
+            ("batches", report.batches),
+        ] {
+            self.obs.counter_add("serve", name, v);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{self, WorkloadConfig};
+    use hermes_chaos::plan::{FaultPlan, FaultPlanConfig};
+    use std::collections::HashSet;
+
+    fn model() -> AcceleratorModel {
+        AcceleratorModel::new("double", 20, 40, |xs| xs.iter().map(|&x| x * 2).collect())
+    }
+
+    fn run_with(cfg: ServeConfig, load_pct: u64, seed: u64) -> (ServeReport, Vec<(u64, Verdict)>) {
+        let wl = WorkloadConfig::default().at_load_pct(load_pct);
+        let arrivals = workload::generate(seed, &wl);
+        let mut engine = ServeEngine::new(cfg, model(), arrivals);
+        let report = engine.run();
+        (report, engine.verdicts().to_vec())
+    }
+
+    #[test]
+    fn underload_serves_everything_admitted() {
+        let (report, verdicts) = run_with(ServeConfig::default(), 50, 11);
+        assert!(report.accounted(), "{report:?}");
+        assert_eq!(report.offered, 400);
+        assert!(report.served >= report.offered * 9 / 10, "{report:?}");
+        assert_eq!(verdicts.len() as u64, report.offered);
+    }
+
+    #[test]
+    fn overload_sheds_and_rejects_but_accounts_everything() {
+        let cfg = ServeConfig {
+            queue_depth: 16,
+            tenant_quota: 8,
+            ..ServeConfig::default()
+        };
+        let (report, verdicts) = run_with(cfg, 300, 7);
+        assert!(report.accounted(), "{report:?}");
+        assert!(report.rejected() > 0, "{report:?}");
+        assert!(report.served > 0, "{report:?}");
+        // every offered id got exactly one verdict
+        let ids: HashSet<u64> = verdicts.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids.len(), verdicts.len(), "no duplicate verdicts");
+        assert_eq!(ids.len() as u64, report.offered);
+    }
+
+    #[test]
+    fn reports_identical_across_jobs() {
+        for load in [60, 180] {
+            let (r1, v1) = run_with(ServeConfig { jobs: 1, ..ServeConfig::default() }, load, 3);
+            let (r4, v4) = run_with(ServeConfig { jobs: 4, ..ServeConfig::default() }, load, 3);
+            assert_eq!(r1, r4, "report differs at load {load}");
+            assert_eq!(v1, v4, "verdict log differs at load {load}");
+            assert_eq!(r1.render(), r4.render());
+        }
+    }
+
+    #[test]
+    fn chaos_kills_requeue_and_stay_accounted() {
+        let wl = WorkloadConfig::default().at_load_pct(150);
+        let arrivals = workload::generate(5, &wl);
+        let span = arrivals.last().unwrap().arrival;
+        let plan = FaultPlan::generate(99, &FaultPlanConfig::pool_only(span, 6, 4, 500, 2));
+        let mut engine = ServeEngine::new(ServeConfig::default(), model(), arrivals).with_chaos(plan);
+        let report = engine.run();
+        assert!(report.accounted(), "{report:?}");
+        assert_eq!(report.kills, 6);
+        assert_eq!(report.stalls, 4);
+        assert!(report.requeued > 0, "a kill should land mid-batch: {report:?}");
+        assert!(report.instance_down.iter().sum::<u64>() > 0);
+        assert!(report.availability_permille() < 1000);
+        let ids: HashSet<u64> = engine.verdicts().iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids.len() as u64, report.offered, "no silent drops under chaos");
+    }
+
+    #[test]
+    fn chaos_run_identical_across_jobs() {
+        let mk = |jobs: usize| {
+            let wl = WorkloadConfig::default().at_load_pct(150);
+            let arrivals = workload::generate(5, &wl);
+            let span = arrivals.last().unwrap().arrival;
+            let plan = FaultPlan::generate(99, &FaultPlanConfig::pool_only(span, 6, 4, 500, 2));
+            let mut engine = ServeEngine::new(
+                ServeConfig { jobs, ..ServeConfig::default() },
+                model(),
+                arrivals,
+            )
+            .with_chaos(plan);
+            let report = engine.run();
+            (report.render(), report.output_checksum)
+        };
+        assert_eq!(mk(1), mk(4));
+    }
+
+    #[test]
+    fn strict_priority_favors_class_zero_under_overload() {
+        let (report, _) = run_with(ServeConfig::default(), 250, 21);
+        assert!(report.accounted());
+        let c0 = &report.per_class[0];
+        let c1 = &report.per_class[1];
+        assert!(c0.served > 0 && c1.served > 0);
+        // class 0 is dispatched first; its served share must not be worse
+        let share0 = c0.served * 1000 / (c0.served + c0.shed).max(1);
+        let share1 = c1.served * 1000 / (c1.served + c1.shed).max(1);
+        assert!(
+            share0 >= share1,
+            "priority inverted: {share0} vs {share1} ({report:?})"
+        );
+    }
+
+    #[test]
+    fn recorder_sees_serve_metrics() {
+        let wl = WorkloadConfig::default();
+        let arrivals = workload::generate(2, &wl);
+        let mut engine = ServeEngine::new(ServeConfig::default(), model(), arrivals)
+            .with_recorder(Recorder::new());
+        let report = engine.run();
+        let snap = engine.recorder().snapshot();
+        let served = snap
+            .counters
+            .iter()
+            .find(|(sub, name, _)| sub == "serve" && name == "served")
+            .expect("served counter exported");
+        assert_eq!(served.2, report.served);
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(sub, name, _)| sub == "serve" && name == "batch_size"));
+    }
+}

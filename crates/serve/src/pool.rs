@@ -1,0 +1,237 @@
+//! The accelerator pool: N simulated instances with busy/down accounting.
+//!
+//! Each slot is either idle, busy serving a dispatched batch, or down
+//! after a chaos kill. The pool does no scheduling itself — the engine
+//! decides what to dispatch and when — but it owns the per-instance
+//! utilization/availability bookkeeping that the report and the E14
+//! experiment aggregate.
+
+use crate::request::Request;
+use crate::Tick;
+
+/// A batch of same-class requests dispatched to one instance.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// The priority class every member shares.
+    pub class: usize,
+    /// Members in EDF order (the order they were taken from the backlog).
+    pub requests: Vec<Request>,
+    /// Tick the batch was dispatched.
+    pub dispatched: Tick,
+    /// Tick the batch completes (may be pushed later by a stall).
+    pub finish: Tick,
+}
+
+/// One instance's occupancy state.
+#[derive(Debug, Clone)]
+pub enum Slot {
+    /// Free to accept a batch.
+    Idle,
+    /// Serving a batch until `batch.finish`.
+    Busy(Batch),
+    /// Killed by chaos; unavailable until `until`.
+    Down {
+        /// First tick the instance is usable again.
+        until: Tick,
+    },
+}
+
+/// A fixed-size pool of simulated accelerator instances.
+#[derive(Debug)]
+pub struct Pool {
+    slots: Vec<Slot>,
+    /// Per-instance busy ticks (batch occupancy).
+    pub busy_ticks: Vec<u64>,
+    /// Per-instance down ticks (chaos outages).
+    pub down_ticks: Vec<u64>,
+    last_accounted: Tick,
+}
+
+impl Pool {
+    /// A pool of `n` idle instances (at least one).
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        Pool {
+            slots: vec![Slot::Idle; n],
+            busy_ticks: vec![0; n],
+            down_ticks: vec![0; n],
+            last_accounted: 0,
+        }
+    }
+
+    /// Number of instances.
+    pub fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Advance occupancy accounting to `now`: every tick since the last
+    /// call is attributed busy/down/idle per instance. Call before any
+    /// state change at `now`.
+    pub fn account_until(&mut self, now: Tick) {
+        let span = now.saturating_sub(self.last_accounted);
+        if span == 0 {
+            return;
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            match slot {
+                Slot::Idle => {}
+                Slot::Busy(_) => self.busy_ticks[i] += span,
+                Slot::Down { .. } => self.down_ticks[i] += span,
+            }
+        }
+        self.last_accounted = now;
+    }
+
+    /// The lowest-indexed idle instance, if any (deterministic choice).
+    pub fn first_idle(&self) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| matches!(s, Slot::Idle))
+    }
+
+    /// Occupy `instance` with `batch`.
+    pub fn dispatch(&mut self, instance: usize, batch: Batch) {
+        debug_assert!(matches!(self.slots[instance], Slot::Idle));
+        self.slots[instance] = Slot::Busy(batch);
+    }
+
+    /// Earliest tick at which any busy batch finishes or a down instance
+    /// recovers (the pool's contribution to the next-event computation).
+    pub fn next_transition(&self) -> Option<Tick> {
+        self.slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Idle => None,
+                Slot::Busy(b) => Some(b.finish),
+                Slot::Down { until } => Some(*until),
+            })
+            .min()
+    }
+
+    /// Take every batch whose finish tick is `<= now`, in instance order,
+    /// freeing the slots.
+    pub fn complete_until(&mut self, now: Tick) -> Vec<(usize, Batch)> {
+        let mut done = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Slot::Busy(b) = slot {
+                if b.finish <= now {
+                    if let Slot::Busy(batch) = std::mem::replace(slot, Slot::Idle) {
+                        done.push((i, batch));
+                    }
+                }
+            }
+        }
+        done
+    }
+
+    /// Bring recovered instances (down until `<= now`) back to idle,
+    /// returning how many recovered.
+    pub fn recover_until(&mut self, now: Tick) -> usize {
+        let mut n = 0;
+        for slot in &mut self.slots {
+            if let Slot::Down { until } = slot {
+                if *until <= now {
+                    *slot = Slot::Idle;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Chaos kill: mark `instance` down until `until`; if it was busy the
+    /// in-flight batch is returned so the engine can re-queue its members.
+    pub fn kill(&mut self, instance: usize, until: Tick) -> Option<Batch> {
+        let i = instance % self.slots.len();
+        match std::mem::replace(&mut self.slots[i], Slot::Down { until }) {
+            Slot::Busy(b) => Some(b),
+            Slot::Down { until: old } => {
+                // already down: keep the later recovery point
+                self.slots[i] = Slot::Down {
+                    until: until.max(old),
+                };
+                None
+            }
+            Slot::Idle => None,
+        }
+    }
+
+    /// Chaos stall: push a busy instance's finish tick out by `extra`
+    /// ticks. Returns true if the instance had a batch to stall.
+    pub fn stall(&mut self, instance: usize, extra: u64) -> bool {
+        let i = instance % self.slots.len();
+        if let Slot::Busy(b) = &mut self.slots[i] {
+            b.finish += extra;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of busy instances (queue-depth/occupancy gauge input).
+    pub fn busy_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Busy(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(finish: Tick) -> Batch {
+        Batch {
+            class: 0,
+            requests: vec![],
+            dispatched: 0,
+            finish,
+        }
+    }
+
+    #[test]
+    fn dispatch_complete_and_accounting() {
+        let mut p = Pool::new(2);
+        p.dispatch(0, batch(10));
+        assert_eq!(p.first_idle(), Some(1));
+        assert_eq!(p.next_transition(), Some(10));
+        p.account_until(10);
+        let done = p.complete_until(10);
+        assert_eq!(done.len(), 1);
+        assert_eq!(p.busy_ticks, vec![10, 0]);
+        assert_eq!(p.first_idle(), Some(0));
+    }
+
+    #[test]
+    fn kill_returns_inflight_batch_and_tracks_downtime() {
+        let mut p = Pool::new(2);
+        p.dispatch(1, batch(50));
+        let killed = p.kill(1, 30).expect("batch was in flight");
+        assert_eq!(killed.finish, 50);
+        assert_eq!(p.next_transition(), Some(30));
+        p.account_until(30);
+        assert_eq!(p.recover_until(30), 1);
+        assert_eq!(p.down_ticks, vec![0, 30]);
+        assert_eq!(p.first_idle(), Some(0));
+    }
+
+    #[test]
+    fn kill_idle_and_double_kill_extend_downtime() {
+        let mut p = Pool::new(1);
+        assert!(p.kill(0, 20).is_none());
+        assert!(p.kill(0, 10).is_none(), "re-kill keeps the later recovery");
+        assert_eq!(p.next_transition(), Some(20));
+    }
+
+    #[test]
+    fn stall_pushes_finish_out() {
+        let mut p = Pool::new(1);
+        p.dispatch(0, batch(10));
+        assert!(p.stall(0, 15));
+        assert_eq!(p.next_transition(), Some(25));
+        assert!(p.complete_until(10).is_empty());
+        assert_eq!(p.complete_until(25).len(), 1);
+        assert!(!p.stall(0, 5), "idle instance has nothing to stall");
+    }
+}

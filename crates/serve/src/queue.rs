@@ -1,0 +1,252 @@
+//! The admission backlog: bounded depth, per-tenant quotas, and
+//! earliest-deadline-first order within each priority class.
+//!
+//! Admission control is the first of the runtime's three defenses against
+//! overload (the others are deadline-aware batch shrinking and shedding at
+//! dispatch). A request that would push the backlog past its depth bound,
+//! or its tenant past its quota, is rejected *immediately* with an
+//! accounted verdict — an overloaded runtime must say no early, not queue
+//! work it will certainly shed later.
+
+use crate::request::{RejectReason, Request};
+use crate::Tick;
+use std::collections::HashMap;
+
+/// Bounded, quota-enforcing, EDF-ordered backlog.
+#[derive(Debug)]
+pub struct Backlog {
+    depth_limit: usize,
+    tenant_quota: usize,
+    /// One EDF queue per priority class, each sorted ascending by
+    /// `(deadline, id)`.
+    classes: Vec<Vec<Request>>,
+    /// Queued requests per tenant (quota accounting). Never iterated, so
+    /// the map's order cannot leak into results.
+    tenants: HashMap<u16, usize>,
+    len: usize,
+}
+
+impl Backlog {
+    /// An empty backlog for `classes` priority classes.
+    pub fn new(classes: usize, depth_limit: usize, tenant_quota: usize) -> Self {
+        Backlog {
+            depth_limit: depth_limit.max(1),
+            tenant_quota: tenant_quota.max(1),
+            classes: (0..classes.max(1)).map(|_| Vec::new()).collect(),
+            tenants: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of priority classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total queued requests.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queued requests in one class.
+    pub fn class_len(&self, class: usize) -> usize {
+        self.classes.get(class).map_or(0, Vec::len)
+    }
+
+    /// Admission: accept the request into its class queue, or reject it
+    /// with an accounted reason. A request whose class exceeds the
+    /// configured range is folded into the lowest-priority class.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::QueueFull`] at the depth bound,
+    /// [`RejectReason::TenantQuota`] at the tenant's quota.
+    pub fn offer(&mut self, req: Request) -> Result<(), RejectReason> {
+        if self.len >= self.depth_limit {
+            return Err(RejectReason::QueueFull);
+        }
+        if self.tenants.get(&req.tenant).copied().unwrap_or(0) >= self.tenant_quota {
+            return Err(RejectReason::TenantQuota);
+        }
+        self.insert(req);
+        Ok(())
+    }
+
+    /// Re-admit a request whose batch was killed mid-flight. Quota and
+    /// depth are bypassed — the request was already admitted once and must
+    /// stay accounted — but the tenant count is kept so quotas see the
+    /// re-queued load.
+    pub fn requeue(&mut self, req: Request) {
+        self.insert(req);
+    }
+
+    fn insert(&mut self, req: Request) {
+        let class = (req.class as usize).min(self.classes.len() - 1);
+        *self.tenants.entry(req.tenant).or_insert(0) += 1;
+        let q = &mut self.classes[class];
+        let key = (req.deadline, req.id);
+        let pos = q.partition_point(|r| (r.deadline, r.id) < key);
+        q.insert(pos, req);
+        self.len += 1;
+    }
+
+    /// The earliest deadline across all queued requests.
+    pub fn earliest_deadline(&self) -> Option<Tick> {
+        self.classes
+            .iter()
+            .filter_map(|q| q.first().map(|r| r.deadline))
+            .min()
+    }
+
+    /// The earliest arrival among requests queued in `class` (drives the
+    /// batch-window trigger: the oldest waiter bounds added queueing
+    /// delay).
+    pub fn oldest_arrival(&self, class: usize) -> Option<Tick> {
+        self.classes
+            .get(class)?
+            .iter()
+            .map(|r| r.arrival)
+            .min()
+    }
+
+    /// Deadline of the EDF head of `class`.
+    pub fn head_deadline(&self, class: usize) -> Option<Tick> {
+        self.classes.get(class)?.first().map(|r| r.deadline)
+    }
+
+    /// Pop the first `k` requests of `class` in EDF order.
+    pub fn take(&mut self, class: usize, k: usize) -> Vec<Request> {
+        let q = &mut self.classes[class];
+        let k = k.min(q.len());
+        let taken: Vec<Request> = q.drain(..k).collect();
+        for r in &taken {
+            let tenant = r.tenant;
+            if let Some(n) = self.tenants.get_mut(&tenant) {
+                *n = n.saturating_sub(1);
+            }
+        }
+        self.len -= taken.len();
+        taken
+    }
+
+    /// Remove and return every queued request whose deadline is strictly
+    /// before `now` (they can no longer be served and must be shed).
+    pub fn expire(&mut self, now: Tick) -> Vec<Request> {
+        let mut expired = Vec::new();
+        for class in 0..self.classes.len() {
+            // EDF order: expired requests are a prefix of each queue
+            let cut = self.classes[class].partition_point(|r| r.deadline < now);
+            for req in self.classes[class].drain(..cut) {
+                expired.push(req);
+            }
+        }
+        for r in &expired {
+            self.removed_counts(r.tenant);
+        }
+        self.len -= expired.len();
+        // deterministic shed order across classes: by (deadline, id)
+        expired.sort_by_key(|r| (r.deadline, r.id));
+        expired
+    }
+
+    fn removed_counts(&mut self, tenant: u16) {
+        if let Some(n) = self.tenants.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// Queued count for one tenant (test/observability hook).
+    pub fn tenant_load(&self, tenant: u16) -> usize {
+        self.tenants.get(&tenant).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, tenant: u16, class: u8, deadline: Tick) -> Request {
+        Request {
+            id,
+            tenant,
+            class,
+            arrival: 0,
+            deadline,
+            input: vec![],
+        }
+    }
+
+    #[test]
+    fn edf_order_within_class_with_id_tiebreak() {
+        let mut b = Backlog::new(2, 16, 16);
+        b.offer(req(1, 0, 0, 50)).unwrap();
+        b.offer(req(2, 0, 0, 10)).unwrap();
+        b.offer(req(3, 0, 0, 50)).unwrap();
+        b.offer(req(4, 0, 0, 30)).unwrap();
+        let taken = b.take(0, 4);
+        let ids: Vec<u64> = taken.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![2, 4, 1, 3], "deadline asc, id breaks ties");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn depth_bound_rejects_queue_full() {
+        let mut b = Backlog::new(1, 2, 16);
+        b.offer(req(1, 0, 0, 10)).unwrap();
+        b.offer(req(2, 1, 0, 10)).unwrap();
+        assert_eq!(b.offer(req(3, 2, 0, 10)), Err(RejectReason::QueueFull));
+        b.take(0, 1);
+        b.offer(req(4, 3, 0, 10)).unwrap();
+    }
+
+    #[test]
+    fn tenant_quota_rejects_before_depth() {
+        let mut b = Backlog::new(1, 100, 2);
+        b.offer(req(1, 7, 0, 10)).unwrap();
+        b.offer(req(2, 7, 0, 10)).unwrap();
+        assert_eq!(b.offer(req(3, 7, 0, 10)), Err(RejectReason::TenantQuota));
+        // another tenant is still admitted
+        b.offer(req(4, 8, 0, 10)).unwrap();
+        assert_eq!(b.tenant_load(7), 2);
+        // serving the tenant's work frees quota
+        b.take(0, 2);
+        b.offer(req(5, 7, 0, 10)).unwrap();
+    }
+
+    #[test]
+    fn expire_removes_exactly_the_overdue_prefix() {
+        let mut b = Backlog::new(2, 16, 16);
+        b.offer(req(1, 0, 0, 5)).unwrap();
+        b.offer(req(2, 0, 1, 3)).unwrap();
+        b.offer(req(3, 0, 0, 20)).unwrap();
+        let expired = b.expire(10);
+        let ids: Vec<u64> = expired.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![2, 1], "sorted by (deadline, id)");
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.tenant_load(0), 1);
+    }
+
+    #[test]
+    fn requeue_bypasses_bounds_but_counts() {
+        let mut b = Backlog::new(1, 1, 1);
+        b.offer(req(1, 0, 0, 10)).unwrap();
+        // full; a killed batch's request must still come back
+        b.requeue(req(2, 0, 0, 8));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.tenant_load(0), 2);
+        let taken = b.take(0, 2);
+        assert_eq!(taken[0].id, 2, "requeued EDF position honored");
+    }
+
+    #[test]
+    fn out_of_range_class_folds_into_lowest_priority() {
+        let mut b = Backlog::new(2, 16, 16);
+        b.offer(req(1, 0, 9, 10)).unwrap();
+        assert_eq!(b.class_len(1), 1);
+    }
+}

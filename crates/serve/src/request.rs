@@ -1,0 +1,96 @@
+//! Requests, priority classes, and the accounted verdicts they end in.
+
+use crate::Tick;
+
+/// One inference/processing request offered to the serving runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Unique, monotonically assigned id (also the tie-breaker that keeps
+    /// every ordering decision total and deterministic).
+    pub id: u64,
+    /// Tenant the request bills against (per-tenant admission quotas).
+    pub tenant: u16,
+    /// Priority class, `0` highest. Scheduling is strict priority across
+    /// classes and earliest-deadline-first within a class; batches never
+    /// mix classes (class is the compatibility key).
+    pub class: u8,
+    /// Arrival tick.
+    pub arrival: Tick,
+    /// Absolute deadline tick: a completion after this tick has no value
+    /// and is accounted as shed, never silently dropped.
+    pub deadline: Tick,
+    /// Input payload handed to the accelerator.
+    pub input: Vec<i64>,
+}
+
+/// Why a request was turned away at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The backlog is at its configured depth bound.
+    QueueFull,
+    /// The request's tenant is at its quota of queued requests.
+    TenantQuota,
+}
+
+impl RejectReason {
+    /// Stable label used in reports and traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue-full",
+            RejectReason::TenantQuota => "tenant-quota",
+        }
+    }
+}
+
+/// Why an admitted request was shed instead of served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The deadline passed while the request was still queued.
+    DeadlineExpired,
+    /// At batch formation the request could not finish by its deadline
+    /// even in the smallest batch dispatchable now.
+    WouldMissDeadline,
+    /// The batch completed late (an instance stall pushed it past the
+    /// deadline after dispatch).
+    CompletedLate,
+}
+
+impl ShedReason {
+    /// Stable label used in reports and traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::DeadlineExpired => "deadline-expired",
+            ShedReason::WouldMissDeadline => "would-miss-deadline",
+            ShedReason::CompletedLate => "completed-late",
+        }
+    }
+}
+
+/// The accounted outcome of one offered request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Completed by its deadline; `latency` is completion − arrival.
+    Served {
+        /// Ticks from arrival to completion.
+        latency: u64,
+    },
+    /// Admitted but not served, for the given reason.
+    Shed(ShedReason),
+    /// Turned away at admission, for the given reason.
+    Rejected(RejectReason),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(RejectReason::QueueFull.as_str(), "queue-full");
+        assert_eq!(ShedReason::CompletedLate.as_str(), "completed-late");
+        assert_eq!(
+            Verdict::Shed(ShedReason::DeadlineExpired),
+            Verdict::Shed(ShedReason::DeadlineExpired)
+        );
+    }
+}

@@ -28,6 +28,7 @@
 //! | [`chaos`] | `hermes-chaos` | fault-injection plane, chaos campaigns, availability/MTTR reports |
 //! | [`par`] | `hermes-par` | std-only parallel execution engine (deterministic `par_map`) |
 //! | [`obs`] | `hermes-obs` | deterministic flight recorder: spans/events, metrics, bounded rings |
+//! | [`serve`] | `hermes-serve` | deadline-aware accelerator serving: admission, batching, pools, shedding |
 //!
 //! ## Quickstart
 //!
@@ -55,4 +56,5 @@ pub use hermes_obs as obs;
 pub use hermes_par as par;
 pub use hermes_rad as rad;
 pub use hermes_rtl as rtl;
+pub use hermes_serve as serve;
 pub use hermes_xng as xng;
