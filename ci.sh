@@ -13,8 +13,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 # wall-clock lines.
 EXP=target/release/experiments
 strip_timing() { grep -v "completed in" "$1" > "$1.stripped"; }
-"$EXP" --jobs 1 e1 e2 e7 e10 e14 > /tmp/hermes_serial.txt
-"$EXP" --jobs 4 e1 e2 e7 e10 e14 > /tmp/hermes_par.txt
+"$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 > /tmp/hermes_serial.txt
+"$EXP" --jobs 4 e1 e2 e7 e10 e14 e15 > /tmp/hermes_par.txt
 strip_timing /tmp/hermes_serial.txt
 strip_timing /tmp/hermes_par.txt
 diff /tmp/hermes_serial.txt.stripped /tmp/hermes_par.txt.stripped \
@@ -23,7 +23,7 @@ diff /tmp/hermes_serial.txt.stripped /tmp/hermes_par.txt.stripped \
 # Settle-mode golden gate: event-driven settling is a speed knob, never a
 # results knob. Re-render the same experiments with event-driven settle
 # disabled and require byte-identical text.
-HERMES_EVENT_SETTLE=off "$EXP" --jobs 1 e1 e2 e7 e10 e14 > /tmp/hermes_fullsettle.txt
+HERMES_EVENT_SETTLE=off "$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 > /tmp/hermes_fullsettle.txt
 strip_timing /tmp/hermes_fullsettle.txt
 diff /tmp/hermes_serial.txt.stripped /tmp/hermes_fullsettle.txt.stripped \
   || { echo "ci: output diverged between event-driven and full settle" >&2; exit 1; }
@@ -32,8 +32,8 @@ diff /tmp/hermes_serial.txt.stripped /tmp/hermes_fullsettle.txt.stripped \
 # contract. Record the same experiments serial and 4-wide, strip the
 # wall-clock side channel (every wall-derived field sits on a line whose
 # key starts with "wall), and require byte-identical documents.
-"$EXP" --jobs 1 e1 e2 e7 e10 e14 --trace /tmp/hermes_trace_serial.json > /dev/null
-"$EXP" --jobs 4 e1 e2 e7 e10 e14 --trace /tmp/hermes_trace_par.json > /dev/null
+"$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 --trace /tmp/hermes_trace_serial.json > /dev/null
+"$EXP" --jobs 4 e1 e2 e7 e10 e14 e15 --trace /tmp/hermes_trace_par.json > /dev/null
 grep -q '"schema": "hermes-trace/v1"' /tmp/hermes_trace_serial.json \
   || { echo "ci: trace document missing hermes-trace/v1 schema" >&2; exit 1; }
 grep -v '"wall' /tmp/hermes_trace_serial.json > /tmp/hermes_trace_serial.stripped
@@ -48,6 +48,7 @@ test -s /tmp/hermes_trace_serial.chrome.json \
 # zero or unparsable worker counts instead of silently defaulting.
 "$EXP" --list | grep -q '^e13 ' || { echo "ci: --list missing e13" >&2; exit 1; }
 "$EXP" --list | grep -q '^e14 ' || { echo "ci: --list missing e14" >&2; exit 1; }
+"$EXP" --list | grep -q '^e15 ' || { echo "ci: --list missing e15" >&2; exit 1; }
 if "$EXP" --list --trace /tmp/never.json > /dev/null 2>&1; then
   echo "ci: --list --trace must be rejected" >&2; exit 1
 fi
@@ -114,6 +115,33 @@ assert any(int(r["requeued"]) > 0 for r in tables["e14b"]["rows"]), "chaos must 
 jobs = tables["e14c"]["rows"]
 assert len({r["checksum"] for r in jobs}) == 1, "output checksum differs across jobs"
 print("ci: e14 shed accounting holds at every load")
+PY
+
+# E15 smoke: the adversarial-isolation experiment must run end to end,
+# emit schema'd JSON, sweep at least four seeds, and hold the
+# zero-silent-leak gate at every point: probes == trapped, zero silent
+# probes, sentinels intact, no trap blamed on a victim, and every fuzzed
+# hypercall attributed.
+"$EXP" e15 --json /tmp/hermes_e15_smoke.json > /dev/null
+python3 - <<'PY' 2>/dev/null || grep -q '"schema": "hermes-bench/v1"' /tmp/hermes_e15_smoke.json
+import json
+doc = json.load(open('/tmp/hermes_e15_smoke.json'))
+assert doc["schema"] == "hermes-bench/v1"
+tables = {t["id"]: t for e in doc["experiments"] for t in e["tables"]}
+sweep = tables["e15a"]["rows"]
+assert len({r["seed"] for r in sweep}) >= 4, "e15a must sweep at least 4 seeds"
+assert len({r["isolation"] for r in sweep}) == 2, "e15a must cover both isolation modes"
+for row in sweep:
+    assert int(row["probes"]) == int(row["trapped"]), f"unaccounted probes: {row}"
+    assert int(row["silent"]) == 0, f"silent cross-partition probe: {row}"
+    assert row["sentinels"] == "intact", f"victim sentinel breached: {row}"
+    assert int(row["victim_blamed"]) == 0, f"trap blamed on a victim: {row}"
+    assert row["leak_free"] == "yes", f"leak gate failed: {row}"
+    assert int(row["escalations"]) >= 1 and int(row["failovers"]) >= 1, f"HM ladder idle: {row}"
+for row in tables["e15d"]["rows"]:
+    assert int(row["attempts"]) == int(row["attributed"]), f"unattributed fuzz: {row}"
+    assert int(row["silent"]) == 0, f"silent fuzzed hypercall: {row}"
+print("ci: e15 zero-silent-leak gate holds")
 PY
 
 echo "ci: OK"

@@ -1,7 +1,7 @@
 //! # hermes-bench
 //!
 //! The experiment harness: one module per experiment of EXPERIMENTS.md
-//! (E1–E14), each regenerating the corresponding table. The paper itself is
+//! (E1–E15), each regenerating the corresponding table. The paper itself is
 //! a project report with architecture figures rather than result tables;
 //! each experiment therefore reproduces the *measurable claim* behind a
 //! figure or section, as mapped in DESIGN.md.
@@ -34,6 +34,7 @@ pub mod e11_throughput;
 pub mod e12_observability;
 pub mod e13_eventdriven;
 pub mod e14_serving;
+pub mod e15_isolation;
 pub mod hdl_check;
 pub mod json;
 pub mod kernels;
@@ -123,6 +124,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e14",
             "Deadline-aware accelerator serving (admission, batching, shedding)",
             e14_serving::run_traced,
+        ),
+        (
+            "e15",
+            "Adversarial spatial isolation (zero-silent-leak gate)",
+            e15_isolation::run_traced,
         ),
     ]
 }

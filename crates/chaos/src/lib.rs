@@ -14,6 +14,9 @@
 //!
 //! * [`plan`] — the [`FaultPlan`](plan::FaultPlan): a seeded schedule of
 //!   faults keyed by cycle and subsystem;
+//! * [`hostile`] — adversarial spatial-isolation campaigns: a seeded
+//!   hostile guest probes its neighbors' memory, ports, and privileged
+//!   services, under a zero-silent-leak invariant;
 //! * [`report`] — the [`ChaosReport`](report::ChaosReport): injected-fault
 //!   and recovery-stage accounting, availability and MTTR;
 //! * [`scenario`] — end-to-end campaigns (boot under flash rot, mission
@@ -31,6 +34,7 @@
 //! assert!(outcome.report.availability() > 0.5);
 //! ```
 
+pub mod hostile;
 pub mod plan;
 pub mod report;
 pub mod scenario;

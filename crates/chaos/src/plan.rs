@@ -25,6 +25,51 @@ pub enum Subsystem {
     Task,
     /// A serving-runtime accelerator-pool instance (`hermes-serve`).
     AcceleratorPool,
+    /// A hostile guest partition probing the hypervisor's isolation
+    /// boundaries (see [`crate::hostile`]).
+    HostilePartition,
+}
+
+/// What a hostile partition probes (see [`FaultKind::HostileProbe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeClass {
+    /// Load from a neighbor partition's memory.
+    MemRead,
+    /// Store into a neighbor partition's memory.
+    MemWrite,
+    /// Jump into a neighbor partition's memory.
+    MemExec,
+    /// A port hypercall with an out-of-range `r1` port index.
+    PortIndex,
+    /// An undefined `ecall` immediate.
+    HypercallFuzz,
+    /// A privileged service (`RequestModeChange`) from a non-system
+    /// partition.
+    PrivilegedService,
+}
+
+impl ProbeClass {
+    /// All probe classes, in a stable order.
+    pub const ALL: [ProbeClass; 6] = [
+        ProbeClass::MemRead,
+        ProbeClass::MemWrite,
+        ProbeClass::MemExec,
+        ProbeClass::PortIndex,
+        ProbeClass::HypercallFuzz,
+        ProbeClass::PrivilegedService,
+    ];
+
+    /// Stable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProbeClass::MemRead => "mem-read",
+            ProbeClass::MemWrite => "mem-write",
+            ProbeClass::MemExec => "mem-exec",
+            ProbeClass::PortIndex => "port-index",
+            ProbeClass::HypercallFuzz => "hypercall-fuzz",
+            ProbeClass::PrivilegedService => "privileged-service",
+        }
+    }
 }
 
 /// One concrete fault.
@@ -91,6 +136,19 @@ pub enum FaultKind {
         /// Stall length in serve ticks.
         cycles: u32,
     },
+    /// A hostile partition fires one adversarial probe at its next
+    /// activation. The campaign driver compiles the probe into guest
+    /// machine code (see [`crate::hostile`]).
+    HostileProbe {
+        /// What the probe attacks.
+        class: ProbeClass,
+        /// Normalized target selector in `[0, 2^16)` — scaled to the
+        /// victim count for memory probes, used directly otherwise.
+        target_num: u16,
+        /// Free selector: byte offset within the victim region, port
+        /// index, or hypercall immediate, depending on `class`.
+        sel: u16,
+    },
 }
 
 impl FaultKind {
@@ -105,6 +163,7 @@ impl FaultKind {
             FaultKind::Seu { .. } => Subsystem::PartitionMemory,
             FaultKind::TaskPanic => Subsystem::Task,
             FaultKind::PoolKill { .. } | FaultKind::PoolStall { .. } => Subsystem::AcceleratorPool,
+            FaultKind::HostileProbe { .. } => Subsystem::HostilePartition,
         }
     }
 }
@@ -150,6 +209,8 @@ pub struct FaultPlanConfig {
     /// Pool size the instance indices are drawn from (modulo at apply
     /// time, so a plan stays valid for smaller pools).
     pub pool_instances: u8,
+    /// Hostile-partition probe count (isolation campaigns; 0 elsewhere).
+    pub hostile_probes: u32,
 }
 
 impl Default for FaultPlanConfig {
@@ -171,6 +232,9 @@ impl Default for FaultPlanConfig {
             pool_stalls: 0,
             pool_down_max: 400,
             pool_instances: 4,
+            // likewise off by default: hostile probes only appear in
+            // explicit isolation campaigns
+            hostile_probes: 0,
         }
     }
 }
@@ -195,6 +259,16 @@ impl FaultPlanConfig {
             pool_stalls: stalls,
             pool_down_max: down_max.max(1),
             pool_instances: instances.max(1),
+            hostile_probes: 0,
+        }
+    }
+
+    /// An isolation-campaign config: only hostile-partition probes, every
+    /// other category zeroed.
+    pub fn hostile_only(duration: u64, probes: u32) -> Self {
+        FaultPlanConfig {
+            hostile_probes: probes,
+            ..FaultPlanConfig::pool_only(duration, 0, 0, 1, 1)
         }
     }
 }
@@ -294,6 +368,18 @@ impl FaultPlan {
                 },
             });
         }
+        // hostile probes draw after pool faults for the same reason: every
+        // earlier campaign keeps its exact historical schedule
+        for _ in 0..cfg.hostile_probes {
+            events.push(FaultEvent {
+                cycle: at(&mut rng),
+                kind: FaultKind::HostileProbe {
+                    class: ProbeClass::ALL[rng.below(ProbeClass::ALL.len() as u64) as usize],
+                    target_num: rng.below(1 << 16) as u16,
+                    sel: rng.below(1 << 16) as u16,
+                },
+            });
+        }
         events.sort_by_key(|e| e.cycle);
         FaultPlan {
             events,
@@ -370,7 +456,8 @@ mod tests {
             + cfg.seus
             + cfg.task_panics
             + cfg.pool_kills
-            + cfg.pool_stalls) as usize;
+            + cfg.pool_stalls
+            + cfg.hostile_probes) as usize;
         assert_eq!(plan.events().len(), want);
         assert_eq!(plan.count(Subsystem::Flash), (cfg.flash_bitrot + cfg.flash_stuck_pages) as usize);
     }
@@ -412,6 +499,39 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn hostile_probes_default_off_and_preserve_classic_stream() {
+        let base = FaultPlanConfig::default();
+        assert_eq!(
+            FaultPlan::generate(11, &base).count(Subsystem::HostilePartition),
+            0
+        );
+        let hostile = FaultPlanConfig {
+            hostile_probes: 24,
+            ..base
+        };
+        let classic = FaultPlan::generate(11, &base);
+        let adversarial = FaultPlan::generate(11, &hostile);
+        assert_eq!(adversarial.count(Subsystem::HostilePartition), 24);
+        let benign = |p: &FaultPlan| {
+            let mut v: Vec<FaultEvent> = p
+                .events()
+                .iter()
+                .filter(|e| e.kind.subsystem() != Subsystem::HostilePartition)
+                .copied()
+                .collect();
+            v.sort_by_key(|e| (e.cycle, format!("{:?}", e.kind)));
+            v
+        };
+        assert_eq!(benign(&classic), benign(&adversarial));
+        let only = FaultPlan::generate(11, &FaultPlanConfig::hostile_only(50_000, 12));
+        assert_eq!(only.events().len(), 12);
+        assert!(only
+            .events()
+            .iter()
+            .all(|e| e.kind.subsystem() == Subsystem::HostilePartition && e.cycle < 50_000));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::isa::{AluOp, BranchCond, Instr, MemKind};
 use crate::memmap::SystemBus;
-use crate::mpu::{Access, Mpu, Privilege};
+use crate::mpu::{Access, Mpu, MpuVerdict, Privilege};
 use crate::CpuError;
 
 /// CSR indices.
@@ -48,6 +48,10 @@ pub enum TrapCause {
     Unaligned,
     /// Privileged instruction from user mode.
     PrivilegeViolation,
+    /// A covering MPU region would permit the access, but its
+    /// protection-domain key does not match the hart's active key — the
+    /// access crossed into another partition's domain.
+    DomainFault,
 }
 
 impl TrapCause {
@@ -60,6 +64,7 @@ impl TrapCause {
             TrapCause::BusError => 4,
             TrapCause::Unaligned => 5,
             TrapCause::PrivilegeViolation => 6,
+            TrapCause::DomainFault => 7,
         }
     }
 }
@@ -197,8 +202,10 @@ impl Hart {
         if !self.pc.is_multiple_of(4) {
             return Ok(self.trap(TrapCause::Unaligned));
         }
-        if !self.mpu.check(self.privilege, Access::Execute, self.pc, 4) {
-            return Ok(self.trap(TrapCause::MpuFetchFault));
+        match self.mpu.verdict(self.privilege, Access::Execute, self.pc, 4) {
+            MpuVerdict::Allowed => {}
+            MpuVerdict::NoRegion => return Ok(self.trap(TrapCause::MpuFetchFault)),
+            MpuVerdict::KeyDenied => return Ok(self.trap(TrapCause::DomainFault)),
         }
         let word = match bus.read(self.pc, 4) {
             Ok(w) => w,
@@ -242,8 +249,10 @@ impl Hart {
                 if !addr.is_multiple_of(size) {
                     return Ok(self.trap(TrapCause::Unaligned));
                 }
-                if !self.mpu.check(self.privilege, Access::Read, addr, size) {
-                    return Ok(self.trap(TrapCause::MpuDataFault));
+                match self.mpu.verdict(self.privilege, Access::Read, addr, size) {
+                    MpuVerdict::Allowed => {}
+                    MpuVerdict::NoRegion => return Ok(self.trap(TrapCause::MpuDataFault)),
+                    MpuVerdict::KeyDenied => return Ok(self.trap(TrapCause::DomainFault)),
                 }
                 let raw = match bus.read(addr, size) {
                     Ok(v) => v,
@@ -262,8 +271,10 @@ impl Hart {
                 if !addr.is_multiple_of(size) {
                     return Ok(self.trap(TrapCause::Unaligned));
                 }
-                if !self.mpu.check(self.privilege, Access::Write, addr, size) {
-                    return Ok(self.trap(TrapCause::MpuDataFault));
+                match self.mpu.verdict(self.privilege, Access::Write, addr, size) {
+                    MpuVerdict::Allowed => {}
+                    MpuVerdict::NoRegion => return Ok(self.trap(TrapCause::MpuDataFault)),
+                    MpuVerdict::KeyDenied => return Ok(self.trap(TrapCause::DomainFault)),
                 }
                 if bus.write(addr, size, self.reg(rd)).is_err() {
                     return Ok(self.trap(TrapCause::BusError));
@@ -498,6 +509,39 @@ mod tests {
         assert_eq!(hart.reg(10), 99, "trap handler ran");
         assert_eq!(hart.csr(csr::CAUSE), TrapCause::MpuDataFault.code());
         assert_eq!(hart.privilege, Privilege::Privileged);
+    }
+
+    #[test]
+    fn domain_key_mismatch_raises_domain_fault() {
+        let mut bus = SystemBus::new();
+        let prog = assemble(&format!(
+            "lui r1, {hi}\nlw r2, 0x800(r1)\nhalt",
+            hi = layout::SRAM_BASE >> 16
+        ))
+        .unwrap();
+        let bytes: Vec<u8> = prog.iter().flat_map(|w| w.to_le_bytes()).collect();
+        bus.load_bytes(layout::SRAM_BASE, &bytes).unwrap();
+        let mut hart = Hart::new(0);
+        hart.mpu.enabled = true;
+        hart.mpu.program(&[
+            // code region in this hart's domain, data region in another
+            MpuRegion::rwx(layout::SRAM_BASE, 0x100).with_key(1),
+            MpuRegion::rwx(layout::SRAM_BASE + 0x800, 0x100).with_key(2),
+        ]);
+        hart.mpu.active_key = 1;
+        hart.start(layout::SRAM_BASE, Privilege::User);
+        let mut ev = Event::None;
+        for _ in 0..10 {
+            ev = hart.step(&mut bus).unwrap();
+            if ev != Event::None {
+                break;
+            }
+        }
+        assert_eq!(
+            ev,
+            Event::UnhandledTrap(TrapCause::DomainFault),
+            "cross-domain load attributed as DomainFault, not plain MPU fault"
+        );
     }
 
     #[test]

@@ -186,6 +186,24 @@ impl SystemBus {
         Ok(r.data[off..off + len].to_vec())
     }
 
+    /// FNV-1a checksum of a byte range (backdoor; no contention
+    /// accounting). Used by the hostile-chaos campaigns to audit victim
+    /// sentinel patterns after an attack: an intact checksum proves no
+    /// cross-partition write landed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::Unmapped`] if the span is not fully mapped.
+    pub fn checksum(&self, addr: u32, len: usize) -> Result<u64, CpuError> {
+        let bytes = self.read_bytes(addr, len)?;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(h)
+    }
+
     /// Bytes written to the UART so far.
     pub fn uart_output(&self) -> &[u8] {
         &self.uart
@@ -255,6 +273,17 @@ mod tests {
         bus.read(SRAM_BASE, 4).unwrap();
         bus.read(DDR_BASE, 4).unwrap();
         assert_eq!(bus.shared_accesses_this_cycle, 2);
+    }
+
+    #[test]
+    fn checksum_detects_single_byte_change() {
+        let mut bus = SystemBus::new();
+        bus.load_bytes(SRAM_BASE, &[7u8; 64]).unwrap();
+        let before = bus.checksum(SRAM_BASE, 64).unwrap();
+        assert_eq!(bus.checksum(SRAM_BASE, 64).unwrap(), before);
+        bus.write(SRAM_BASE + 13, 1, 8).unwrap();
+        assert_ne!(bus.checksum(SRAM_BASE, 64).unwrap(), before);
+        assert!(bus.checksum(0x2000_0000, 4).is_err());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Memory protection unit.
+//! Memory protection unit and protection-key domains.
 //!
 //! A per-core region-based MPU in the R52 style: a fixed number of regions,
 //! each with a base/limit pair and read/write/execute permissions per
@@ -6,6 +6,28 @@
 //! before dispatching a partition; any access outside the partition's
 //! regions traps — this is the *spatial* half of time-and-space
 //! partitioning.
+//!
+//! ## Protection-key domains
+//!
+//! Layered beside the region permissions sits a small protection-key table
+//! (RustyMPK / Intel-MPK style, scaled down to the R52 model): every region
+//! carries a **domain key** and the hart exposes one **active-key
+//! register** ([`Mpu::active_key`]). An unprivileged access passes only if
+//! a covering region both permits the access *and* is tagged with the
+//! shared key ([`KEY_SHARED`]) or the hart's active key. The payoff is in
+//! context-switch cost: instead of reprogramming the whole region table at
+//! every partition dispatch (cost scaling with region count), the
+//! hypervisor installs the union table once and swaps the single key
+//! register per dispatch — the *gate crossing*. The constants below model
+//! both costs in cycles so the switch paths can be compared.
+//!
+//! ## Overlap semantics
+//!
+//! Overlapping regions are legal and resolve **most-permissive**: an
+//! access is allowed if *any* covering region (covering the first and last
+//! byte) permits it for an allowed key. There is no first-match priority —
+//! region order never matters. This is asserted by the edge-case tests
+//! below.
 
 /// Access kinds checked by the MPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +50,25 @@ pub enum Privilege {
     User,
 }
 
+/// The domain key matching every active key (untagged/shared regions).
+pub const KEY_SHARED: u8 = 0;
+
+/// Cycles to swap the per-hart active-key register at dispatch (one
+/// register write plus a synchronization barrier).
+pub const GATE_CROSS_CYCLES: u64 = 2;
+
+/// Fixed cycles of a full MPU reprogram (disable, drain, re-enable).
+pub const MPU_REPROGRAM_BASE_CYCLES: u64 = 6;
+
+/// Cycles per region of a full MPU reprogram (base, limit, and attribute
+/// register writes).
+pub const MPU_REPROGRAM_CYCLES_PER_REGION: u64 = 4;
+
+/// Cost in cycles of reprogramming `regions` MPU regions.
+pub fn reprogram_cost(regions: usize) -> u64 {
+    MPU_REPROGRAM_BASE_CYCLES + MPU_REPROGRAM_CYCLES_PER_REGION * regions as u64
+}
+
 /// One MPU region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MpuRegion {
@@ -41,6 +82,10 @@ pub struct MpuRegion {
     pub user_write: bool,
     /// Allow unprivileged instruction fetch.
     pub user_exec: bool,
+    /// Protection-domain key. [`KEY_SHARED`] (the default of the
+    /// constructors) matches every active key; any other value matches
+    /// only a hart whose [`Mpu::active_key`] equals it.
+    pub key: u8,
 }
 
 impl MpuRegion {
@@ -52,6 +97,7 @@ impl MpuRegion {
             user_read: true,
             user_write: true,
             user_exec: true,
+            key: KEY_SHARED,
         }
     }
 
@@ -63,7 +109,15 @@ impl MpuRegion {
             user_read: true,
             user_write: false,
             user_exec: false,
+            key: KEY_SHARED,
         }
+    }
+
+    /// Tag the region with a protection-domain key (builder style).
+    #[must_use]
+    pub fn with_key(mut self, key: u8) -> Self {
+        self.key = key;
+        self
     }
 
     fn contains(&self, addr: u32) -> bool {
@@ -77,11 +131,59 @@ impl MpuRegion {
             Access::Execute => self.user_exec,
         }
     }
+
+    fn key_allows(&self, active: u8) -> bool {
+        self.key == KEY_SHARED || self.key == active
+    }
 }
 
 /// Maximum programmable regions (matches the R52's 16+8 EL1/EL2 split,
 /// simplified to one bank).
 pub const MAX_REGIONS: usize = 16;
+
+/// Why [`Mpu::try_program`] rejected a region set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpuProgramError {
+    /// More regions than the hardware has slots for.
+    TooManyRegions {
+        /// Regions supplied.
+        requested: usize,
+    },
+    /// A region with `size == 0` covers nothing and is rejected rather
+    /// than silently never matching.
+    ZeroSizeRegion {
+        /// Index of the offending region.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for MpuProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpuProgramError::TooManyRegions { requested } => write!(
+                f,
+                "MPU supports at most {MAX_REGIONS} regions ({requested} requested)"
+            ),
+            MpuProgramError::ZeroSizeRegion { index } => {
+                write!(f, "MPU region {index} has zero size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpuProgramError {}
+
+/// Outcome of a checked access, attributing the denial cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpuVerdict {
+    /// A covering region permits the access under an allowed key.
+    Allowed,
+    /// No covering region permits the access at all (classic MPU fault).
+    NoRegion,
+    /// A covering region would permit the access, but its domain key does
+    /// not match the hart's active key (protection-domain fault).
+    KeyDenied,
+}
 
 /// The per-core MPU.
 #[derive(Debug, Clone, Default)]
@@ -90,6 +192,10 @@ pub struct Mpu {
     /// Whether the MPU enforces unprivileged accesses (disabled at reset,
     /// enabled by the hypervisor).
     pub enabled: bool,
+    /// The hart's active protection-domain key, swapped by the hypervisor
+    /// at partition dispatch (the gate crossing). Regions tagged
+    /// [`KEY_SHARED`] match any value.
+    pub active_key: u8,
 }
 
 impl Mpu {
@@ -98,24 +204,43 @@ impl Mpu {
         Mpu::default()
     }
 
+    /// Replace the programmed regions, rejecting invalid sets.
+    ///
+    /// # Errors
+    ///
+    /// [`MpuProgramError::TooManyRegions`] past [`MAX_REGIONS`];
+    /// [`MpuProgramError::ZeroSizeRegion`] for any zero-size region.
+    pub fn try_program(&mut self, regions: &[MpuRegion]) -> Result<(), MpuProgramError> {
+        if regions.len() > MAX_REGIONS {
+            return Err(MpuProgramError::TooManyRegions {
+                requested: regions.len(),
+            });
+        }
+        if let Some(index) = regions.iter().position(|r| r.size == 0) {
+            return Err(MpuProgramError::ZeroSizeRegion { index });
+        }
+        self.regions = regions.to_vec();
+        Ok(())
+    }
+
     /// Replace the programmed regions (privileged operation; the caller —
     /// the hypervisor model — is trusted).
     ///
     /// # Panics
     ///
-    /// Panics if more than [`MAX_REGIONS`] regions are supplied.
+    /// Panics if more than [`MAX_REGIONS`] regions are supplied or any
+    /// region has zero size; [`Mpu::try_program`] is the fallible form.
     pub fn program(&mut self, regions: &[MpuRegion]) {
-        assert!(
-            regions.len() <= MAX_REGIONS,
-            "MPU supports at most {MAX_REGIONS} regions"
-        );
-        self.regions = regions.to_vec();
+        if let Err(e) = self.try_program(regions) {
+            panic!("{e}");
+        }
     }
 
-    /// Clear all regions and disable enforcement.
+    /// Clear all regions, reset the active key, and disable enforcement.
     pub fn reset(&mut self) {
         self.regions.clear();
         self.enabled = false;
+        self.active_key = KEY_SHARED;
     }
 
     /// Currently programmed regions.
@@ -123,18 +248,38 @@ impl Mpu {
         &self.regions
     }
 
+    /// Check an access with cause attribution.
+    ///
+    /// Privileged accesses always pass; with the MPU disabled everything
+    /// passes (boot-time behaviour). Overlaps resolve most-permissive: any
+    /// covering region that permits the access under an allowed key wins.
+    pub fn verdict(&self, privilege: Privilege, access: Access, addr: u32, size: u32) -> MpuVerdict {
+        if privilege == Privilege::Privileged || !self.enabled {
+            return MpuVerdict::Allowed;
+        }
+        let last = addr.saturating_add(size.saturating_sub(1));
+        let mut key_denied = false;
+        for r in &self.regions {
+            if r.contains(addr) && r.contains(last) && r.permits(access) {
+                if r.key_allows(self.active_key) {
+                    return MpuVerdict::Allowed;
+                }
+                key_denied = true;
+            }
+        }
+        if key_denied {
+            MpuVerdict::KeyDenied
+        } else {
+            MpuVerdict::NoRegion
+        }
+    }
+
     /// Check an access; `true` = allowed.
     ///
     /// Privileged accesses always pass; with the MPU disabled everything
     /// passes (boot-time behaviour).
     pub fn check(&self, privilege: Privilege, access: Access, addr: u32, size: u32) -> bool {
-        if privilege == Privilege::Privileged || !self.enabled {
-            return true;
-        }
-        let last = addr.saturating_add(size.saturating_sub(1));
-        self.regions
-            .iter()
-            .any(|r| r.contains(addr) && r.contains(last) && r.permits(access))
+        self.verdict(privilege, access, addr, size) == MpuVerdict::Allowed
     }
 }
 
@@ -187,5 +332,127 @@ mod tests {
         let mut mpu = Mpu::new();
         let regions = vec![MpuRegion::rwx(0, 16); MAX_REGIONS + 1];
         mpu.program(&regions);
+    }
+
+    #[test]
+    fn try_program_rejects_exhaustion_and_zero_size() {
+        let mut mpu = Mpu::new();
+        let too_many = vec![MpuRegion::rwx(0, 16); MAX_REGIONS + 1];
+        assert_eq!(
+            mpu.try_program(&too_many),
+            Err(MpuProgramError::TooManyRegions {
+                requested: MAX_REGIONS + 1
+            })
+        );
+        let zero = [MpuRegion::rwx(0x1000, 0x10), MpuRegion::rwx(0x2000, 0)];
+        assert_eq!(
+            mpu.try_program(&zero),
+            Err(MpuProgramError::ZeroSizeRegion { index: 1 })
+        );
+        assert!(mpu.regions().is_empty(), "failed program leaves no regions");
+        assert!(mpu.try_program(&[MpuRegion::rwx(0, 16); MAX_REGIONS]).is_ok());
+        assert_eq!(mpu.regions().len(), MAX_REGIONS);
+    }
+
+    #[test]
+    fn overlapping_regions_resolve_most_permissive() {
+        // a read-only region overlapping an rwx region: the union of
+        // permissions applies in the overlap, regardless of program order
+        let a = MpuRegion::ro(0x1000, 0x1000);
+        let b = MpuRegion::rwx(0x1800, 0x1000);
+        for order in [[a, b], [b, a]] {
+            let mut mpu = Mpu::new();
+            mpu.enabled = true;
+            mpu.program(&order);
+            // overlap [0x1800, 0x2000): most-permissive -> writable
+            assert!(mpu.check(Privilege::User, Access::Write, 0x1900, 4));
+            assert!(mpu.check(Privilege::User, Access::Read, 0x1900, 4));
+            // ro-only stretch keeps its restriction
+            assert!(!mpu.check(Privilege::User, Access::Write, 0x1100, 4));
+            // rwx-only stretch unaffected by the ro region
+            assert!(mpu.check(Privilege::User, Access::Write, 0x2100, 4));
+        }
+    }
+
+    #[test]
+    fn boundary_addresses_all_access_kinds() {
+        let base = 0x4000u32;
+        let size = 0x100u32;
+        let mut mpu = Mpu::new();
+        mpu.enabled = true;
+        mpu.program(&[MpuRegion::rwx(base, size)]);
+        for access in [Access::Read, Access::Write, Access::Execute] {
+            assert!(mpu.check(Privilege::User, access, base, 1), "{access:?} at base");
+            assert!(
+                mpu.check(Privilege::User, access, base + size - 1, 1),
+                "{access:?} at base+size-1"
+            );
+            assert!(
+                !mpu.check(Privilege::User, access, base + size, 1),
+                "{access:?} at base+size"
+            );
+            assert!(
+                !mpu.check(Privilege::User, access, base - 1, 1),
+                "{access:?} at base-1"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_keys_gate_access() {
+        let mut mpu = Mpu::new();
+        mpu.enabled = true;
+        mpu.program(&[
+            MpuRegion::rwx(0x1000, 0x1000).with_key(1),
+            MpuRegion::rwx(0x2000, 0x1000).with_key(2),
+            MpuRegion::ro(0x3000, 0x1000), // KEY_SHARED
+        ]);
+        mpu.active_key = 1;
+        assert_eq!(mpu.verdict(Privilege::User, Access::Write, 0x1000, 4), MpuVerdict::Allowed);
+        assert_eq!(
+            mpu.verdict(Privilege::User, Access::Write, 0x2000, 4),
+            MpuVerdict::KeyDenied,
+            "neighbor domain denied by key, not by region absence"
+        );
+        assert_eq!(
+            mpu.verdict(Privilege::User, Access::Read, 0x3000, 4),
+            MpuVerdict::Allowed,
+            "shared-key region readable from any domain"
+        );
+        assert_eq!(
+            mpu.verdict(Privilege::User, Access::Write, 0x9000, 4),
+            MpuVerdict::NoRegion
+        );
+        // gate crossing: swapping the key register flips the verdicts
+        mpu.active_key = 2;
+        assert_eq!(mpu.verdict(Privilege::User, Access::Write, 0x1000, 4), MpuVerdict::KeyDenied);
+        assert_eq!(mpu.verdict(Privilege::User, Access::Write, 0x2000, 4), MpuVerdict::Allowed);
+        // privileged code bypasses keys like it bypasses regions
+        assert_eq!(
+            mpu.verdict(Privilege::Privileged, Access::Write, 0x1000, 4),
+            MpuVerdict::Allowed
+        );
+    }
+
+    #[test]
+    fn reset_clears_key_and_regions() {
+        let mut mpu = Mpu::new();
+        mpu.enabled = true;
+        mpu.active_key = 3;
+        mpu.program(&[MpuRegion::rwx(0, 16).with_key(3)]);
+        mpu.reset();
+        assert!(!mpu.enabled);
+        assert_eq!(mpu.active_key, KEY_SHARED);
+        assert!(mpu.regions().is_empty());
+    }
+
+    #[test]
+    fn cost_model_orders_gate_crossing_below_reprogram() {
+        assert!(GATE_CROSS_CYCLES < reprogram_cost(1));
+        assert_eq!(reprogram_cost(0), MPU_REPROGRAM_BASE_CYCLES);
+        assert_eq!(
+            reprogram_cost(4),
+            MPU_REPROGRAM_BASE_CYCLES + 4 * MPU_REPROGRAM_CYCLES_PER_REGION
+        );
     }
 }

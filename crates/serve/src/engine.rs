@@ -96,6 +96,8 @@ pub struct ServeReport {
     pub shed_would_miss: u64,
     /// Shed after completion: a stall pushed the batch past the deadline.
     pub shed_late: u64,
+    /// Shed because the compute model failed (panicked) on the batch.
+    pub shed_compute: u64,
     /// Rejected at admission: backlog depth bound.
     pub rejected_queue_full: u64,
     /// Rejected at admission: tenant quota.
@@ -126,7 +128,7 @@ pub struct ServeReport {
 impl ServeReport {
     /// Total shed requests.
     pub fn shed(&self) -> u64 {
-        self.shed_expired + self.shed_would_miss + self.shed_late
+        self.shed_expired + self.shed_would_miss + self.shed_late + self.shed_compute
     }
 
     /// Total rejected requests.
@@ -156,7 +158,7 @@ impl ServeReport {
     pub fn render(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "serve: offered {} served {} shed {} (expired {}, would-miss {}, late {}) \
+            "serve: offered {} served {} shed {} (expired {}, would-miss {}, late {}, compute {}) \
              rejected {} (queue-full {}, quota {})\n",
             self.offered,
             self.served,
@@ -164,6 +166,7 @@ impl ServeReport {
             self.shed_expired,
             self.shed_would_miss,
             self.shed_late,
+            self.shed_compute,
             self.rejected(),
             self.rejected_queue_full,
             self.rejected_quota,
@@ -209,6 +212,7 @@ pub struct ServeEngine {
     shed_expired: u64,
     shed_would_miss: u64,
     shed_late: u64,
+    shed_compute: u64,
     rejected_queue_full: u64,
     rejected_quota: u64,
     requeued: u64,
@@ -240,6 +244,7 @@ impl ServeEngine {
             shed_expired: 0,
             shed_would_miss: 0,
             shed_late: 0,
+            shed_compute: 0,
             rejected_queue_full: 0,
             rejected_quota: 0,
             requeued: 0,
@@ -427,17 +432,39 @@ impl ServeEngine {
     /// A batch finished: evaluate payloads (bounded, in input order) and
     /// assign verdicts. On-time members are served and folded into the
     /// output checksum; a stall that pushed the batch past a member's
-    /// deadline sheds that member as completed-late.
+    /// deadline sheds that member as completed-late. A compute-model
+    /// panic degrades gracefully: the whole batch is shed as
+    /// compute-failed instead of killing the engine, so the accounting
+    /// invariant (`served + shed + rejected == offered`) survives a
+    /// hostile or buggy model.
     fn complete_batch(&mut self, batch: Batch) {
         let inputs: Vec<&[i64]> = batch.requests.iter().map(|r| r.input.as_slice()).collect();
         let model = &self.model;
-        let outputs = hermes_par::par_map_bounded_jobs(
+        let outputs = match hermes_par::par_map_bounded_jobs(
             self.effective_jobs(),
             self.cfg.compute_bound,
             &inputs,
             |input| model.compute(input),
-        )
-        .expect("serve compute model must not panic");
+        ) {
+            Ok(outputs) => outputs,
+            Err(_) => {
+                self.obs.instant(
+                    "serve",
+                    "compute-failed",
+                    ClockDomain::Cpu,
+                    self.now,
+                    &[("items", batch.requests.len().to_string())],
+                );
+                for req in &batch.requests {
+                    self.shed_compute += 1;
+                    let class = self.class_of(req);
+                    self.class_shed[class] += 1;
+                    self.verdicts
+                        .push((req.id, Verdict::Shed(ShedReason::ComputeFailed)));
+                }
+                return;
+            }
+        };
         for (req, out) in batch.requests.iter().zip(outputs.iter()) {
             if batch.finish <= req.deadline {
                 let latency = batch.finish - req.arrival;
@@ -562,6 +589,7 @@ impl ServeEngine {
             shed_expired: self.shed_expired,
             shed_would_miss: self.shed_would_miss,
             shed_late: self.shed_late,
+            shed_compute: self.shed_compute,
             rejected_queue_full: self.rejected_queue_full,
             rejected_quota: self.rejected_quota,
             requeued: self.requeued,
@@ -678,6 +706,57 @@ mod tests {
             .with_chaos(plan);
             let report = engine.run();
             (report.render(), report.output_checksum)
+        };
+        assert_eq!(mk(1), mk(4));
+    }
+
+    #[test]
+    fn panicking_model_sheds_batches_instead_of_killing_engine() {
+        // a hostile compute model that panics on inputs divisible by 5:
+        // the engine must survive, shed those batches as compute-failed,
+        // and keep every request accounted
+        let hostile = AcceleratorModel::new("hostile", 20, 40, |xs| {
+            assert!(!xs.iter().any(|&x| x % 5 == 0), "hostile input");
+            xs.iter().map(|&x| x * 2).collect()
+        });
+        let wl = WorkloadConfig::default().at_load_pct(80);
+        let arrivals = workload::generate(13, &wl);
+        let mut engine = ServeEngine::new(ServeConfig::default(), hostile, arrivals);
+        let report = engine.run();
+        assert!(report.accounted(), "{report:?}");
+        assert!(report.shed_compute > 0, "panics landed: {report:?}");
+        assert!(report.served > 0, "clean batches still served: {report:?}");
+        assert!(
+            engine
+                .verdicts()
+                .iter()
+                .any(|&(_, v)| v == Verdict::Shed(ShedReason::ComputeFailed)),
+            "compute-failed verdicts recorded"
+        );
+        assert!(report.render().contains("compute"));
+
+        // an always-panicking model: nothing served, still fully accounted
+        let toxic = AcceleratorModel::new("toxic", 20, 40, |_| panic!("boom"));
+        let arrivals = workload::generate(13, &WorkloadConfig::default().at_load_pct(80));
+        let mut engine = ServeEngine::new(ServeConfig::default(), toxic, arrivals);
+        let report = engine.run();
+        assert!(report.accounted(), "{report:?}");
+        assert_eq!(report.served, 0);
+        assert!(report.shed_compute > 0);
+    }
+
+    #[test]
+    fn panicking_model_identical_across_jobs() {
+        let mk = |jobs: usize| {
+            let hostile = AcceleratorModel::new("hostile", 20, 40, |xs| {
+                assert!(!xs.iter().any(|&x| x % 5 == 0), "hostile input");
+                xs.iter().map(|&x| x * 2).collect()
+            });
+            let arrivals = workload::generate(13, &WorkloadConfig::default().at_load_pct(80));
+            let mut engine =
+                ServeEngine::new(ServeConfig { jobs, ..ServeConfig::default() }, hostile, arrivals);
+            let report = engine.run();
+            (report.render(), engine.verdicts().to_vec())
         };
         assert_eq!(mk(1), mk(4));
     }

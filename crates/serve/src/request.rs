@@ -53,6 +53,10 @@ pub enum ShedReason {
     /// The batch completed late (an instance stall pushed it past the
     /// deadline after dispatch).
     CompletedLate,
+    /// The compute model failed (panicked) on the batch; the whole batch
+    /// is shed rather than killing the engine, keeping every request
+    /// accounted.
+    ComputeFailed,
 }
 
 impl ShedReason {
@@ -62,6 +66,7 @@ impl ShedReason {
             ShedReason::DeadlineExpired => "deadline-expired",
             ShedReason::WouldMissDeadline => "would-miss-deadline",
             ShedReason::CompletedLate => "completed-late",
+            ShedReason::ComputeFailed => "compute-failed",
         }
     }
 }
@@ -88,6 +93,7 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(RejectReason::QueueFull.as_str(), "queue-full");
         assert_eq!(ShedReason::CompletedLate.as_str(), "completed-late");
+        assert_eq!(ShedReason::ComputeFailed.as_str(), "compute-failed");
         assert_eq!(
             Verdict::Shed(ShedReason::DeadlineExpired),
             Verdict::Shed(ShedReason::DeadlineExpired)

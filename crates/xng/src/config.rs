@@ -8,6 +8,7 @@
 use crate::health::{HmAction, HmEvent};
 use crate::{PartitionId, XngError};
 use hermes_cpu::cluster::CORE_COUNT;
+use hermes_cpu::mpu::{MpuRegion, KEY_SHARED, MAX_REGIONS};
 use std::collections::HashMap;
 
 /// A memory region granted to a partition.
@@ -19,6 +20,23 @@ pub struct MemRegion {
     pub size: u32,
     /// Whether the partition may write it.
     pub writable: bool,
+}
+
+/// How spatial isolation is enforced at partition dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IsolationMode {
+    /// Classic XtratuM behaviour: the hypervisor reprograms the full MPU
+    /// region table with the incoming partition's regions at every
+    /// dispatch (cost scales with region count).
+    #[default]
+    MpuReprogram,
+    /// Protection-key domains (RustyMPK style): the union of all
+    /// partitions' regions is installed once per core, each tagged with
+    /// its owner's domain key, and dispatch only swaps the per-hart
+    /// active-key register — a constant-cost *gate crossing*. Requires
+    /// the union table to fit the MPU
+    /// ([`hermes_cpu::mpu::MAX_REGIONS`]).
+    ProtectionKeys,
 }
 
 /// Direction of a port, from the owning partition's perspective.
@@ -215,6 +233,13 @@ pub struct XngConfig {
     pub hm_table: HashMap<HmEvent, HmAction>,
     /// Context-switch overhead charged at each slot boundary, cycles.
     pub context_switch_cycles: u64,
+    /// Spatial-isolation mechanism used at guest dispatch.
+    pub isolation: IsolationMode,
+    /// Whether the per-dispatch isolation cost (MPU reprogram or key gate
+    /// crossing) is added to the context-switch window. Off by default so
+    /// existing timing-sensitive configurations are unchanged; E15 turns
+    /// it on to compare the two mechanisms.
+    pub charge_isolation_cycles: bool,
 }
 
 impl XngConfig {
@@ -230,7 +255,46 @@ impl XngConfig {
             channels: Vec::new(),
             hm_table: HashMap::new(),
             context_switch_cycles: 150,
+            isolation: IsolationMode::default(),
+            charge_isolation_cycles: false,
         }
+    }
+
+    /// The domain key of a partition under
+    /// [`IsolationMode::ProtectionKeys`] (key 0 is reserved for shared
+    /// regions).
+    pub fn domain_key(pid: PartitionId) -> u8 {
+        (pid.0 + 1) as u8
+    }
+
+    /// The union MPU table for [`IsolationMode::ProtectionKeys`]: every
+    /// partition's regions tagged with its domain key. Regions declared
+    /// identically (same base and size) by several partitions — legal only
+    /// when read-only — collapse to a single [`KEY_SHARED`] entry, the
+    /// usual way to grant a shared constant table to all domains.
+    pub fn key_table(&self) -> Vec<MpuRegion> {
+        let mut table: Vec<MpuRegion> = Vec::new();
+        for (i, p) in self.partitions.iter().enumerate() {
+            let key = Self::domain_key(PartitionId(i as u32));
+            for m in &p.memory {
+                if let Some(existing) = table
+                    .iter_mut()
+                    .find(|r| r.base == m.base && r.size == m.size)
+                {
+                    existing.key = KEY_SHARED;
+                    continue;
+                }
+                table.push(MpuRegion {
+                    base: m.base,
+                    size: m.size,
+                    user_read: true,
+                    user_write: m.writable,
+                    user_exec: true,
+                    key,
+                });
+            }
+        }
+        table
     }
 
     /// Add a partition, returning its id.
@@ -329,6 +393,19 @@ impl XngConfig {
             if p.watchdog_cycles == Some(0) {
                 return err(format!("partition `{}` has a zero-cycle watchdog", p.name));
             }
+            if let Some(m) = p.memory.iter().find(|m| m.size == 0) {
+                return err(format!(
+                    "partition `{}` declares a zero-size memory region at {:#x}",
+                    p.name, m.base
+                ));
+            }
+            if p.memory.len() > MAX_REGIONS {
+                return err(format!(
+                    "partition `{}` declares {} memory regions; the MPU supports at most {MAX_REGIONS}",
+                    p.name,
+                    p.memory.len()
+                ));
+            }
             if let Some(spare) = p.spare {
                 if spare.0 as usize >= self.partitions.len() {
                     return err(format!(
@@ -339,6 +416,24 @@ impl XngConfig {
                 if spare.0 as usize == i {
                     return err(format!("partition `{}` is its own spare", p.name));
                 }
+            }
+        }
+        // protection-key mode: the union table must fit the MPU, and the
+        // key space (u8, 0 reserved) must cover every partition
+        if self.isolation == IsolationMode::ProtectionKeys {
+            if self.partitions.len() >= 255 {
+                return err(format!(
+                    "{} partitions exceed the 254-domain protection-key space",
+                    self.partitions.len()
+                ));
+            }
+            let table = self.key_table();
+            if table.len() > MAX_REGIONS {
+                return err(format!(
+                    "protection-key table needs {} regions; the MPU supports at most {MAX_REGIONS} \
+                     (region-table exhaustion)",
+                    table.len()
+                ));
             }
         }
         // partitions' memory regions must not overlap each other
@@ -428,6 +523,16 @@ impl XngConfig {
                 }
                 if let Some(cs) = attr("context_switch") {
                     cfg.context_switch_cycles = num(cs)?;
+                }
+                match attr("isolation").as_deref() {
+                    Some("keys") => cfg.isolation = IsolationMode::ProtectionKeys,
+                    Some("mpu") | None => {}
+                    Some(other) => {
+                        return Err(perr(
+                            lineno,
+                            format!("bad isolation mode `{other}` (expected `mpu` or `keys`)"),
+                        ))
+                    }
                 }
             } else if line.starts_with("<partition") {
                 let name = attr("name")
@@ -621,6 +726,109 @@ mod tests {
                 .with_spare(s),
         );
         cfg.validate().expect("well-formed robustness settings");
+    }
+
+    #[test]
+    fn validation_catches_zero_size_region() {
+        let mut cfg = XngConfig::new("t");
+        cfg.add_partition(PartitionConfig::new("a").with_memory(MemRegion {
+            base: 0x1000,
+            size: 0,
+            writable: true,
+        }));
+        assert!(matches!(cfg.validate(), Err(XngError::Config { .. })));
+    }
+
+    #[test]
+    fn validation_catches_region_table_exhaustion() {
+        // per-partition overflow: more regions than the MPU has slots
+        let mut cfg = XngConfig::new("t");
+        let mut p = PartitionConfig::new("fat");
+        for i in 0..=MAX_REGIONS as u32 {
+            p = p.with_memory(MemRegion {
+                base: 0x1_0000 * i,
+                size: 0x100,
+                writable: true,
+            });
+        }
+        cfg.add_partition(p);
+        assert!(matches!(cfg.validate(), Err(XngError::Config { .. })));
+
+        // key-mode union overflow: each partition fits alone, but the
+        // union table does not
+        let mut cfg = XngConfig::new("t");
+        for pi in 0..3u32 {
+            let mut p = PartitionConfig::new(format!("p{pi}"));
+            for i in 0..6u32 {
+                p = p.with_memory(MemRegion {
+                    base: 0x10_0000 * pi + 0x1000 * i,
+                    size: 0x100,
+                    writable: true,
+                });
+            }
+            cfg.add_partition(p);
+        }
+        cfg.validate().expect("fits per-partition in reprogram mode");
+        cfg.isolation = IsolationMode::ProtectionKeys;
+        match cfg.validate() {
+            Err(XngError::Config { detail }) => {
+                assert!(detail.contains("exhaustion"), "got: {detail}")
+            }
+            other => panic!("expected exhaustion error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn key_table_tags_domains_and_shares_duplicates() {
+        let mut cfg = XngConfig::new("t");
+        let shared = MemRegion {
+            base: 0x8000,
+            size: 0x100,
+            writable: false,
+        };
+        let a = cfg.add_partition(
+            PartitionConfig::new("a")
+                .with_memory(MemRegion {
+                    base: 0x1000,
+                    size: 0x1000,
+                    writable: true,
+                })
+                .with_memory(shared),
+        );
+        let b = cfg.add_partition(
+            PartitionConfig::new("b")
+                .with_memory(MemRegion {
+                    base: 0x4000,
+                    size: 0x1000,
+                    writable: true,
+                })
+                .with_memory(shared),
+        );
+        let table = cfg.key_table();
+        assert_eq!(table.len(), 3, "duplicate read-only region collapses");
+        let find = |base: u32| table.iter().find(|r| r.base == base).unwrap();
+        assert_eq!(find(0x1000).key, XngConfig::domain_key(a));
+        assert_eq!(find(0x4000).key, XngConfig::domain_key(b));
+        assert_eq!(find(0x8000).key, KEY_SHARED);
+        assert!(!find(0x8000).user_write);
+    }
+
+    #[test]
+    fn xml_parses_isolation_mode() {
+        let xml = r#"
+            <system name="x" isolation="keys">
+              <partition name="a"/>
+              <plan core="0">
+                <slot partition="a" duration="1000"/>
+              </plan>
+            </system>
+        "#;
+        let cfg = XngConfig::from_xml(xml).unwrap();
+        assert_eq!(cfg.isolation, IsolationMode::ProtectionKeys);
+        assert!(XngConfig::from_xml(
+            "<system name=\"x\" isolation=\"bogus\">\n</system>"
+        )
+        .is_err());
     }
 
     #[test]

@@ -125,6 +125,15 @@ impl HealthMonitor {
     pub fn count(&self, event: HmEvent) -> usize {
         self.log.iter().filter(|e| e.event == event).count()
     }
+
+    /// Count events of a class attributed to one partition (per-domain
+    /// accounting for the hostile-chaos campaigns).
+    pub fn count_for(&self, event: HmEvent, partition: PartitionId) -> usize {
+        self.log
+            .iter()
+            .filter(|e| e.event == event && e.partition == Some(partition))
+            .count()
+    }
 }
 
 #[cfg(test)]

@@ -91,4 +91,20 @@ mod tests {
         }
         assert_eq!(Hypercall::decode(0xFFFF), None);
     }
+
+    #[test]
+    fn decode_is_total_over_the_immediate_space() {
+        // exhaustive sweep of every ecall immediate: exactly the ten
+        // defined codes decode; everything else is None (and must end up
+        // as an IllegalHypercall health event at the hypervisor layer,
+        // never a panic or a silent success)
+        let mut defined = 0u32;
+        for code in 0..=0xFFFFu16 {
+            if let Some(hc) = Hypercall::decode(code) {
+                assert_eq!(hc.code(), code, "decode/code roundtrip at {code:#x}");
+                defined += 1;
+            }
+        }
+        assert_eq!(defined, 10);
+    }
 }

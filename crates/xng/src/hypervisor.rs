@@ -8,7 +8,7 @@
 //! partitions). Guest `ecall`s are serviced as hypercalls; guest traps are
 //! routed to the health monitor.
 
-use crate::config::XngConfig;
+use crate::config::{IsolationMode, XngConfig};
 use crate::health::{HealthMonitor, HmAction, HmEvent};
 use crate::hypercall::Hypercall;
 use crate::partition::{
@@ -17,12 +17,33 @@ use crate::partition::{
 use crate::ports::PortTable;
 use crate::{PartitionId, XngError};
 use hermes_cpu::cluster::{Cluster, CORE_COUNT};
-use hermes_cpu::hart::Event;
-use hermes_cpu::mpu::{MpuRegion, Privilege};
+use hermes_cpu::hart::{Event, TrapCause};
+use hermes_cpu::mpu::{reprogram_cost, MpuRegion, Privilege, GATE_CROSS_CYCLES};
 use hermes_obs::{ClockDomain, Recorder};
 
 /// Flight-recorder subsystem name used by the hypervisor.
 const OBS_SUB: &str = "xng";
+
+/// Spatial-isolation accounting: what the configured
+/// [`IsolationMode`] cost at partition dispatch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IsolationStats {
+    /// Full MPU region-table reprograms performed.
+    pub mpu_reprograms: u64,
+    /// Cycles modelled for those reprograms.
+    pub mpu_reprogram_cycles: u64,
+    /// Protection-key gate crossings (active-key swaps) performed.
+    pub gate_crossings: u64,
+    /// Cycles modelled for those gate crossings.
+    pub gate_cross_cycles: u64,
+}
+
+impl IsolationStats {
+    /// Total modelled isolation cycles across both mechanisms.
+    pub fn total_cycles(&self) -> u64 {
+        self.mpu_reprogram_cycles + self.gate_cross_cycles
+    }
+}
 
 #[derive(Debug, Clone, Default)]
 struct CoreSched {
@@ -56,6 +77,11 @@ pub struct Hypervisor {
     /// Spare-partition failovers: plan slots rewritten to a spare after a
     /// partition was halted.
     pub spare_failovers: u64,
+    /// Spatial-isolation cost accounting.
+    isolation_stats: IsolationStats,
+    /// Whether the union protection-key table is installed on each core
+    /// ([`IsolationMode::ProtectionKeys`] installs it lazily, once).
+    key_installed: [bool; CORE_COUNT],
     /// Flight recorder (disabled by default; see [`Hypervisor::set_obs`]).
     obs: Recorder,
 }
@@ -92,6 +118,8 @@ impl Hypervisor {
             watchdogs,
             hm_escalations: 0,
             spare_failovers: 0,
+            isolation_stats: IsolationStats::default(),
+            key_installed: [false; CORE_COUNT],
             obs: Recorder::disabled(),
             config,
         })
@@ -224,6 +252,39 @@ impl Hypervisor {
         &self.hm
     }
 
+    /// Spatial-isolation cost accounting (gate crossings vs. MPU
+    /// reprograms).
+    pub fn isolation_stats(&self) -> IsolationStats {
+        self.isolation_stats
+    }
+
+    /// The context-switch window charged before dispatching `pid`. The
+    /// base cost always applies; when
+    /// [`XngConfig::charge_isolation_cycles`] is set, guest dispatches
+    /// additionally pay the configured isolation mechanism — a full MPU
+    /// reprogram scaling with the partition's region count, or one
+    /// constant-cost protection-key gate crossing. Boot, mode-change, and
+    /// failover switches keep the base cost: they are rare, and charging
+    /// them would blur the per-slot comparison E15 makes.
+    fn switch_window(&self, pid: PartitionId) -> u64 {
+        let base = self.config.context_switch_cycles.max(1);
+        if !self.config.charge_isolation_cycles {
+            return base;
+        }
+        if !matches!(
+            self.partitions[pid.0 as usize].workload,
+            Workload::Guest { .. }
+        ) {
+            return base;
+        }
+        base + match self.config.isolation {
+            IsolationMode::MpuReprogram => {
+                reprogram_cost(self.config.partitions[pid.0 as usize].memory.len())
+            }
+            IsolationMode::ProtectionKeys => GATE_CROSS_CYCLES,
+        }
+    }
+
     /// The port switchboard (testbench access).
     pub fn ports_mut(&mut self) -> &mut PortTable {
         &mut self.ports
@@ -344,7 +405,8 @@ impl Hypervisor {
                 let next_idx = (self.cores[core].slot_idx + 1) % plan_len;
                 self.cores[core].slot_idx = next_idx;
                 self.cores[core].elapsed = 0;
-                self.cores[core].switching = self.config.context_switch_cycles.max(1);
+                let next_pid = self.config.plans[core].slots[next_idx].partition;
+                self.cores[core].switching = self.switch_window(next_pid);
             }
         }
 
@@ -390,6 +452,16 @@ impl Hypervisor {
                 }
                 Event::UnhandledTrap(cause) => {
                     self.partitions[pid.0 as usize].stats.traps += 1;
+                    if matches!(
+                        cause,
+                        TrapCause::MpuDataFault
+                            | TrapCause::MpuFetchFault
+                            | TrapCause::DomainFault
+                    ) {
+                        self.partitions[pid.0 as usize].stats.isolation_traps += 1;
+                        self.obs
+                            .counter_add(OBS_SUB, &format!("isolation_traps_p{}", pid.0), 1);
+                    }
                     let action = self.report_hm(
                         self.time,
                         HmEvent::PartitionTrap,
@@ -528,22 +600,31 @@ impl Hypervisor {
         Ok(())
     }
 
-    /// Slot start: program the MPU and launch the partition.
+    /// Slot start: establish spatial isolation and launch the partition.
+    ///
+    /// Under [`IsolationMode::MpuReprogram`] the incoming partition's
+    /// regions replace the core's MPU table; under
+    /// [`IsolationMode::ProtectionKeys`] the union key table is installed
+    /// once per core and only the active-key register is swapped.
     fn dispatch(&mut self, core: usize, pid: PartitionId) -> Result<(), XngError> {
         self.cores[core].current = Some(pid);
         let cs = self.config.context_switch_cycles;
         let pconf = &self.config.partitions[pid.0 as usize];
-        let regions: Vec<MpuRegion> = pconf
-            .memory
-            .iter()
-            .map(|m| MpuRegion {
-                base: m.base,
-                size: m.size,
-                user_read: true,
-                user_write: m.writable,
-                user_exec: true,
-            })
-            .collect();
+        let regions: Vec<MpuRegion> = match self.config.isolation {
+            IsolationMode::MpuReprogram => pconf
+                .memory
+                .iter()
+                .map(|m| MpuRegion {
+                    base: m.base,
+                    size: m.size,
+                    user_read: true,
+                    user_write: m.writable,
+                    user_exec: true,
+                    key: hermes_cpu::mpu::KEY_SHARED,
+                })
+                .collect(),
+            IsolationMode::ProtectionKeys => self.config.key_table(),
+        };
         let slot = self.config.plans[core].slots[self.cores[core].slot_idx];
 
         if self.partitions[pid.0 as usize].mode == PartitionMode::Halted {
@@ -599,8 +680,37 @@ impl Hypervisor {
                 }
                 let rt = &self.partitions[pid.0 as usize];
                 let ctx = rt.vcpus[core].clone();
+                let isolation = self.config.isolation;
                 let hart = self.cluster.core_mut(core);
-                hart.mpu.program(&regions);
+                match isolation {
+                    IsolationMode::MpuReprogram => {
+                        hart.mpu.program(&regions);
+                        self.isolation_stats.mpu_reprograms += 1;
+                        self.isolation_stats.mpu_reprogram_cycles +=
+                            reprogram_cost(regions.len());
+                        self.obs.counter_add(
+                            OBS_SUB,
+                            "mpu_reprogram_cycles",
+                            reprogram_cost(regions.len()),
+                        );
+                    }
+                    IsolationMode::ProtectionKeys => {
+                        if !self.key_installed[core] {
+                            // the union table is installed once per core;
+                            // subsequent dispatches only cross the gate
+                            hart.mpu.program(&regions);
+                            self.key_installed[core] = true;
+                            self.isolation_stats.mpu_reprograms += 1;
+                            self.isolation_stats.mpu_reprogram_cycles +=
+                                reprogram_cost(regions.len());
+                        }
+                        hart.mpu.active_key = XngConfig::domain_key(pid);
+                        self.isolation_stats.gate_crossings += 1;
+                        self.isolation_stats.gate_cross_cycles += GATE_CROSS_CYCLES;
+                        self.obs
+                            .counter_add(OBS_SUB, "gate_cross_cycles", GATE_CROSS_CYCLES);
+                    }
+                }
                 hart.mpu.enabled = true;
                 for (i, &v) in ctx.regs.iter().enumerate() {
                     hart.set_reg(i as u8, v);
@@ -719,41 +829,83 @@ impl Hypervisor {
             }
             Hypercall::ReadSampling => {
                 let idx = self.cluster.core(core).reg(1);
-                let result = self
-                    .port_name(pid, idx)
-                    .and_then(|name| self.ports.read_sampling(pid, &name, now).ok())
-                    .flatten();
-                let hart = self.cluster.core_mut(core);
-                match result {
-                    Some((data, _age)) => {
-                        let mut raw = [0u8; 4];
-                        raw[..data.len().min(4)].copy_from_slice(&data[..data.len().min(4)]);
-                        hart.set_reg(1, u32::from_le_bytes(raw));
-                        hart.set_reg(2, 1);
+                // an out-of-range port index is a health event, exactly
+                // like the write side — never a silent empty read
+                let Some(name) = self.port_name(pid, idx) else {
+                    let action = self.report_hm(
+                        now,
+                        HmEvent::IllegalHypercall,
+                        Some(pid),
+                        format!("bad port index {idx}"),
+                    );
+                    self.apply_hm_action(pid, Some(core), action);
+                    return Ok(());
+                };
+                match self.ports.read_sampling(pid, &name, now) {
+                    Ok(result) => {
+                        let hart = self.cluster.core_mut(core);
+                        match result {
+                            Some((data, _age)) => {
+                                let mut raw = [0u8; 4];
+                                raw[..data.len().min(4)]
+                                    .copy_from_slice(&data[..data.len().min(4)]);
+                                hart.set_reg(1, u32::from_le_bytes(raw));
+                                hart.set_reg(2, 1);
+                            }
+                            None => {
+                                hart.set_reg(1, 0);
+                                hart.set_reg(2, 0);
+                            }
+                        }
                     }
-                    None => {
-                        hart.set_reg(1, 0);
-                        hart.set_reg(2, 0);
+                    Err(e) => {
+                        let action = self.report_hm(
+                            now,
+                            HmEvent::IllegalHypercall,
+                            Some(pid),
+                            e.to_string(),
+                        );
+                        self.apply_hm_action(pid, Some(core), action);
                     }
                 }
             }
             Hypercall::RecvQueuing => {
                 let idx = self.cluster.core(core).reg(1);
-                let msg = self
-                    .port_name(pid, idx)
-                    .and_then(|name| self.ports.read_queuing(pid, &name).ok())
-                    .flatten();
-                let hart = self.cluster.core_mut(core);
-                match msg {
-                    Some(m) => {
-                        let mut raw = [0u8; 4];
-                        raw[..m.data.len().min(4)].copy_from_slice(&m.data[..m.data.len().min(4)]);
-                        hart.set_reg(1, u32::from_le_bytes(raw));
-                        hart.set_reg(2, 1);
+                let Some(name) = self.port_name(pid, idx) else {
+                    let action = self.report_hm(
+                        now,
+                        HmEvent::IllegalHypercall,
+                        Some(pid),
+                        format!("bad port index {idx}"),
+                    );
+                    self.apply_hm_action(pid, Some(core), action);
+                    return Ok(());
+                };
+                match self.ports.read_queuing(pid, &name) {
+                    Ok(msg) => {
+                        let hart = self.cluster.core_mut(core);
+                        match msg {
+                            Some(m) => {
+                                let mut raw = [0u8; 4];
+                                raw[..m.data.len().min(4)]
+                                    .copy_from_slice(&m.data[..m.data.len().min(4)]);
+                                hart.set_reg(1, u32::from_le_bytes(raw));
+                                hart.set_reg(2, 1);
+                            }
+                            None => {
+                                hart.set_reg(1, 0);
+                                hart.set_reg(2, 0);
+                            }
+                        }
                     }
-                    None => {
-                        hart.set_reg(1, 0);
-                        hart.set_reg(2, 0);
+                    Err(e) => {
+                        let action = self.report_hm(
+                            now,
+                            HmEvent::IllegalHypercall,
+                            Some(pid),
+                            e.to_string(),
+                        );
+                        self.apply_hm_action(pid, Some(core), action);
                     }
                 }
             }
@@ -990,6 +1142,55 @@ mod tests {
             "victim schedule unaffected: {:?}",
             hv.stats(victim)
         );
+        assert!(!hv.is_system_halted());
+    }
+
+    #[test]
+    fn protection_keys_contain_cross_domain_guest() {
+        use crate::config::IsolationMode;
+        // two guests under protection keys: the rogue reads an address
+        // inside the victim's (key-tagged) region — covered by the union
+        // table, so only the domain key stands between them
+        let mut cfg = XngConfig::new("keys");
+        let rogue = cfg.add_partition(PartitionConfig::new("rogue").with_memory(MemRegion {
+            base: layout::SRAM_BASE,
+            size: 0x1000,
+            writable: true,
+        }));
+        let victim = cfg.add_partition(PartitionConfig::new("victim").with_memory(MemRegion {
+            base: layout::SRAM_BASE + 0x1000,
+            size: 0x1000,
+            writable: true,
+        }));
+        cfg.set_plan(
+            0,
+            Plan::new(vec![Slot::new(rogue, 1000), Slot::new(victim, 1000)]),
+        );
+        cfg.isolation = IsolationMode::ProtectionKeys;
+        let mut hv = Hypervisor::new(cfg).unwrap();
+        let attack = assemble(&format!(
+            "lui r1, {hi}\nlw r2, 0x1000(r1)\nhalt",
+            hi = layout::SRAM_BASE >> 16
+        ))
+        .unwrap();
+        hv.attach_guest(rogue, layout::SRAM_BASE, vec![(layout::SRAM_BASE, attack)])
+            .unwrap();
+        let spin = assemble("spin:\necall 0x08\njal r0, spin").unwrap();
+        hv.attach_guest(
+            victim,
+            layout::SRAM_BASE + 0x1000,
+            vec![(layout::SRAM_BASE + 0x1000, spin)],
+        )
+        .unwrap();
+        hv.run(10_000).unwrap();
+        let s = hv.stats(rogue);
+        assert!(s.traps >= 1, "cross-domain read trapped: {s:?}");
+        assert!(s.isolation_traps >= 1, "attributed as an isolation trap");
+        assert_eq!(hv.stats(victim).isolation_traps, 0);
+        let iso = hv.isolation_stats();
+        assert!(iso.gate_crossings >= 2, "every dispatch crosses the gate");
+        assert_eq!(iso.mpu_reprograms, 1, "union table installed once");
+        assert!(iso.gate_cross_cycles > 0);
         assert!(!hv.is_system_halted());
     }
 

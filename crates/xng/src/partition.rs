@@ -213,6 +213,10 @@ pub struct PartitionStats {
     pub overruns: u64,
     /// Watchdog expiries attributed to this partition.
     pub watchdog_expiries: u64,
+    /// Spatial-isolation traps (MPU faults and protection-domain faults)
+    /// attributed to this partition — the subset of `traps` that
+    /// represents attempted cross-partition access.
+    pub isolation_traps: u64,
 }
 
 impl PartitionRt {

@@ -1,0 +1,168 @@
+//! Adversarial fuzzing of the hypervisor's guest-facing surface.
+//!
+//! Every probe here is hostile by construction: undefined `ecall`
+//! immediates, out-of-range port indices on all four port hypercalls, and
+//! cross-domain memory access under protection keys. The invariant is
+//! uniform — each probe must land as an attributed health-monitor event
+//! (never a panic, never a silent success), and the system must keep
+//! scheduling.
+
+use hermes_cpu::isa::assemble;
+use hermes_cpu::memmap::layout;
+use hermes_rtl::rng::DetRng;
+use hermes_xng::config::{IsolationMode, MemRegion, PartitionConfig, Plan, Slot, XngConfig};
+use hermes_xng::health::HmEvent;
+use hermes_xng::hypercall::Hypercall;
+use hermes_xng::hypervisor::Hypervisor;
+use hermes_xng::PartitionId;
+
+/// A single-guest hypervisor with tight slots for fast probe turnaround.
+fn probe_hv() -> (Hypervisor, PartitionId) {
+    let mut cfg = XngConfig::new("probe");
+    let g = cfg.add_partition(PartitionConfig::new("probe").with_memory(MemRegion {
+        base: layout::SRAM_BASE,
+        size: 0x1000,
+        writable: true,
+    }));
+    cfg.set_plan(0, Plan::new(vec![Slot::new(g, 60)]));
+    cfg.context_switch_cycles = 1;
+    (Hypervisor::new(cfg).unwrap(), g)
+}
+
+/// Load `asm` into the probe partition and run until the health log grows
+/// (returning the number of new entries) or a frame budget expires.
+fn run_probe(hv: &mut Hypervisor, pid: PartitionId, asm: &str) -> usize {
+    let prog = assemble(asm).expect("probe assembles");
+    hv.attach_guest(pid, layout::SRAM_BASE, vec![(layout::SRAM_BASE, prog)])
+        .unwrap();
+    let baseline = hv.health().log().len();
+    for _ in 0..40 {
+        hv.run(10).unwrap();
+        if hv.health().log().len() > baseline {
+            break;
+        }
+    }
+    hv.health().log().len() - baseline
+}
+
+#[test]
+fn fuzzed_undefined_hypercalls_trap_and_never_panic() {
+    let (mut hv, pid) = probe_hv();
+    let mut rng = DetRng::new(0xC0FF_EE15);
+    let mut probed = 0u32;
+    for _ in 0..96 {
+        let mut code = (rng.next_u32() & 0xFFFF) as u16;
+        if Hypercall::decode(code).is_some() {
+            // force into the undefined space (all defined codes are
+            // below 0x12, so the high bit guarantees None)
+            code |= 0x8000;
+        }
+        assert!(Hypercall::decode(code).is_none());
+        let before = hv.health().count_for(HmEvent::IllegalHypercall, pid);
+        let grew = run_probe(&mut hv, pid, &format!("ecall {code:#x}\nhalt"));
+        assert!(grew > 0, "hypercall {code:#x} produced no health event");
+        assert!(
+            hv.health().count_for(HmEvent::IllegalHypercall, pid) > before,
+            "hypercall {code:#x} not attributed as IllegalHypercall"
+        );
+        assert!(!hv.is_system_halted());
+        probed += 1;
+    }
+    assert_eq!(probed, 96);
+    // every probe is accounted: no silent successes anywhere in the sweep
+    assert!(hv.health().count_for(HmEvent::IllegalHypercall, pid) >= probed as usize);
+}
+
+#[test]
+fn out_of_range_port_indices_trap_on_all_four_port_hypercalls() {
+    let (mut hv, pid) = probe_hv();
+    let mut rng = DetRng::new(0x0BAD_70AD);
+    let port_calls = [
+        Hypercall::WriteSampling,
+        Hypercall::ReadSampling,
+        Hypercall::SendQueuing,
+        Hypercall::RecvQueuing,
+    ];
+    for round in 0..8 {
+        for hc in port_calls {
+            // the probe partition declares zero ports, so every index is
+            // out of range; sweep both small and huge values
+            let idx = if round % 2 == 0 {
+                rng.below(16) as u32
+            } else {
+                rng.next_u32() | 0x8000_0000
+            };
+            let before = hv.health().count_for(HmEvent::IllegalHypercall, pid);
+            let asm = format!(
+                "lui r1, {hi:#x}\nori r1, r1, {lo:#x}\necall {code:#x}\nhalt",
+                hi = idx >> 16,
+                lo = idx & 0xFFFF,
+                code = hc.code(),
+            );
+            let grew = run_probe(&mut hv, pid, &asm);
+            assert!(grew > 0, "{hc:?} index {idx} produced no health event");
+            let log = hv.health().log();
+            let entry = &log[log.len() - 1];
+            assert_eq!(entry.event, HmEvent::IllegalHypercall, "{hc:?} index {idx}");
+            assert_eq!(entry.partition, Some(pid));
+            assert!(
+                entry.detail.contains("bad port index"),
+                "{hc:?}: detail `{}`",
+                entry.detail
+            );
+            assert!(
+                hv.health().count_for(HmEvent::IllegalHypercall, pid) > before
+            );
+            assert!(!hv.is_system_halted());
+        }
+    }
+}
+
+#[test]
+fn cross_domain_probe_lands_as_domain_fault_under_keys() {
+    let mut cfg = XngConfig::new("keys");
+    let rogue = cfg.add_partition(PartitionConfig::new("rogue").with_memory(MemRegion {
+        base: layout::SRAM_BASE,
+        size: 0x1000,
+        writable: true,
+    }));
+    let victim = cfg.add_partition(PartitionConfig::new("victim").with_memory(MemRegion {
+        base: layout::SRAM_BASE + 0x1000,
+        size: 0x1000,
+        writable: true,
+    }));
+    cfg.set_plan(0, Plan::new(vec![Slot::new(rogue, 60), Slot::new(victim, 60)]));
+    cfg.context_switch_cycles = 1;
+    cfg.isolation = IsolationMode::ProtectionKeys;
+    let mut hv = Hypervisor::new(cfg).unwrap();
+    let attack = assemble(&format!(
+        "lui r1, {hi:#x}\nori r1, r1, 0x1000\nlw r2, (r1)\nhalt",
+        hi = layout::SRAM_BASE >> 16
+    ))
+    .unwrap();
+    hv.attach_guest(rogue, layout::SRAM_BASE, vec![(layout::SRAM_BASE, attack)])
+        .unwrap();
+    let spin = assemble("spin:\necall 0x08\njal r0, spin").unwrap();
+    hv.attach_guest(
+        victim,
+        layout::SRAM_BASE + 0x1000,
+        vec![(layout::SRAM_BASE + 0x1000, spin)],
+    )
+    .unwrap();
+    hv.run(2_000).unwrap();
+    assert!(hv.stats(rogue).isolation_traps >= 1);
+    assert!(
+        hv.health()
+            .log()
+            .iter()
+            .any(|e| e.event == HmEvent::PartitionTrap
+                && e.partition == Some(rogue)
+                && e.detail.contains("DomainFault")),
+        "cross-domain probe attributed as DomainFault: {:?}",
+        hv.health().log()
+    );
+    assert_eq!(hv.stats(victim).isolation_traps, 0, "victim never blamed");
+    let iso = hv.isolation_stats();
+    assert!(iso.gate_crossings >= 2);
+    assert_eq!(iso.mpu_reprograms, 1, "union table installed once per core");
+}
