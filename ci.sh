@@ -13,8 +13,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 # wall-clock lines.
 EXP=target/release/experiments
 strip_timing() { grep -v "completed in" "$1" > "$1.stripped"; }
-"$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 > /tmp/hermes_serial.txt
-"$EXP" --jobs 4 e1 e2 e7 e10 e14 e15 > /tmp/hermes_par.txt
+"$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 > /tmp/hermes_serial.txt
+"$EXP" --jobs 4 e1 e2 e7 e10 e14 e15 e16 > /tmp/hermes_par.txt
 strip_timing /tmp/hermes_serial.txt
 strip_timing /tmp/hermes_par.txt
 diff /tmp/hermes_serial.txt.stripped /tmp/hermes_par.txt.stripped \
@@ -23,17 +23,30 @@ diff /tmp/hermes_serial.txt.stripped /tmp/hermes_par.txt.stripped \
 # Settle-mode golden gate: event-driven settling is a speed knob, never a
 # results knob. Re-render the same experiments with event-driven settle
 # disabled and require byte-identical text.
-HERMES_EVENT_SETTLE=off "$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 > /tmp/hermes_fullsettle.txt
+HERMES_EVENT_SETTLE=off "$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 > /tmp/hermes_fullsettle.txt
 strip_timing /tmp/hermes_fullsettle.txt
 diff /tmp/hermes_serial.txt.stripped /tmp/hermes_fullsettle.txt.stripped \
   || { echo "ci: output diverged between event-driven and full settle" >&2; exit 1; }
+
+# Packed-settle golden gate: word-parallel bit-packing is likewise a speed
+# knob. Re-render with the packed engine disabled and require byte-identical
+# text; a malformed knob value must be rejected up front, not defaulted.
+HERMES_PACKED_SETTLE=off "$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 > /tmp/hermes_scalarsettle.txt
+strip_timing /tmp/hermes_scalarsettle.txt
+diff /tmp/hermes_serial.txt.stripped /tmp/hermes_scalarsettle.txt.stripped \
+  || { echo "ci: output diverged between packed and scalar settle" >&2; exit 1; }
+if HERMES_PACKED_SETTLE=banana "$EXP" --list > /dev/null 2>&1; then
+  echo "ci: HERMES_PACKED_SETTLE=banana must be rejected" >&2; exit 1
+fi
+HERMES_PACKED_SETTLE=on "$EXP" --list > /dev/null \
+  || { echo "ci: HERMES_PACKED_SETTLE=on must be accepted" >&2; exit 1; }
 
 # Trace determinism gate: the flight recorder is part of the determinism
 # contract. Record the same experiments serial and 4-wide, strip the
 # wall-clock side channel (every wall-derived field sits on a line whose
 # key starts with "wall), and require byte-identical documents.
-"$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 --trace /tmp/hermes_trace_serial.json > /dev/null
-"$EXP" --jobs 4 e1 e2 e7 e10 e14 e15 --trace /tmp/hermes_trace_par.json > /dev/null
+"$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 --trace /tmp/hermes_trace_serial.json > /dev/null
+"$EXP" --jobs 4 e1 e2 e7 e10 e14 e15 e16 --trace /tmp/hermes_trace_par.json > /dev/null
 grep -q '"schema": "hermes-trace/v1"' /tmp/hermes_trace_serial.json \
   || { echo "ci: trace document missing hermes-trace/v1 schema" >&2; exit 1; }
 grep -v '"wall' /tmp/hermes_trace_serial.json > /tmp/hermes_trace_serial.stripped
@@ -46,9 +59,12 @@ test -s /tmp/hermes_trace_serial.chrome.json \
 # CLI surface: --list prints every id without running anything, the
 # output flags refuse to run with nothing selected, and --jobs rejects
 # zero or unparsable worker counts instead of silently defaulting.
-"$EXP" --list | grep -q '^e13 ' || { echo "ci: --list missing e13" >&2; exit 1; }
-"$EXP" --list | grep -q '^e14 ' || { echo "ci: --list missing e14" >&2; exit 1; }
-"$EXP" --list | grep -q '^e15 ' || { echo "ci: --list missing e15" >&2; exit 1; }
+# (Capture once and grep the variable: piping straight into `grep -q`
+# races an EPIPE panic in the binary when grep exits on first match.)
+LIST=$("$EXP" --list)
+for id in e13 e14 e15 e16; do
+  grep -q "^$id " <<< "$LIST" || { echo "ci: --list missing $id" >&2; exit 1; }
+done
 if "$EXP" --list --trace /tmp/never.json > /dev/null 2>&1; then
   echo "ci: --list --trace must be rejected" >&2; exit 1
 fi
@@ -142,6 +158,31 @@ for row in tables["e15d"]["rows"]:
     assert int(row["attempts"]) == int(row["attributed"]), f"unattributed fuzz: {row}"
     assert int(row["silent"]) == 0, f"silent fuzzed hypercall: {row}"
 print("ci: e15 zero-silent-leak gate holds")
+PY
+
+# E16 smoke: the word-parallel + partitioned simulation experiment must
+# run end to end, emit schema'd JSON, pack lanes and partition the tiled
+# fabric, checksum identically across the worker sweep, and clear the
+# headline perf gate: the packed event-driven engine >= 10x the hashmap
+# baseline on the one-active-tile SoC scenario.
+"$EXP" e16 --json /tmp/hermes_e16_smoke.json > /dev/null
+python3 - <<'PY' 2>/dev/null || grep -q '"schema": "hermes-bench/v1"' /tmp/hermes_e16_smoke.json
+import json
+doc = json.load(open('/tmp/hermes_e16_smoke.json'))
+assert doc["schema"] == "hermes-bench/v1"
+tables = {t["id"]: t for e in doc["experiments"] for t in e["tables"]}
+soc = [r for r in tables["e16a"]["rows"] if r["design"] != "acc"]
+assert soc and all(int(r["packed_lanes"]) > 0 for r in soc), "tiled fabric must pack lanes"
+assert all(int(r["partitions"]) > 1 for r in soc), "tiled fabric must partition"
+sweep = tables["e16d"]["rows"]
+assert len(sweep) >= 3, "e16d must sweep at least 3 worker counts"
+assert len({r["state_fnv"] for r in sweep}) == 1, "state checksum differs across jobs"
+gate = [r for r in tables["e16_wall"]["rows"]
+        if r["scenario"] == "soc-one-active" and r["engine"] == "packed-event"]
+assert len(gate) == 1, "missing the one-active packed-event gate row"
+speedup = float(gate[0]["speedup_vs_hashmap"])
+assert speedup >= 10.0, f"perf gate: {speedup:.2f}x < 10x vs hashmap baseline"
+print(f"ci: e16 perf gate holds ({speedup:.1f}x vs pre-dense baseline)")
 PY
 
 echo "ci: OK"

@@ -26,6 +26,13 @@ use hermes_bench::trace;
 use hermes_obs::{ClockDomain, Recorder};
 
 fn main() {
+    // Fail fast on a malformed HERMES_PACKED_SETTLE before any experiment
+    // runs — a typo silently selecting the wrong settle engine would
+    // invalidate a whole benchmark run.
+    if let Err(e) = hermes_rtl::sim::packed_settle_env() {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
     let mut filter: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;

@@ -25,7 +25,8 @@ use std::time::Instant;
 /// The pre-optimization netlist simulator, kept verbatim (minus tracing)
 /// as the measurement baseline: `HashMap`-keyed sequential state and a
 /// full cell-table walk with per-cycle allocations in every step.
-struct BaselineSimulator<'n> {
+/// Public so E16 can measure the same baseline on scaled workloads.
+pub struct BaselineSimulator<'n> {
     netlist: &'n Netlist,
     values: Vec<u64>,
     reg_state: HashMap<CellId, u64>,
@@ -34,7 +35,8 @@ struct BaselineSimulator<'n> {
 }
 
 impl<'n> BaselineSimulator<'n> {
-    fn new(netlist: &'n Netlist) -> Self {
+    /// Build and settle (baseline counterpart of [`Simulator::new`]).
+    pub fn new(netlist: &'n Netlist) -> Self {
         let order = netlist.combinational_order().expect("validated netlist");
         let mut reg_state = HashMap::new();
         let mut ram_state = HashMap::new();
@@ -62,17 +64,20 @@ impl<'n> BaselineSimulator<'n> {
         sim
     }
 
-    fn poke(&mut self, name: &str, value: u64) {
+    /// Drive a primary input by name and re-settle.
+    pub fn poke(&mut self, name: &str, value: u64) {
         let id = self.netlist.net_by_name(name).expect("input exists");
         self.values[id.0 as usize] = mask(value, self.netlist.net(id).width);
         self.settle();
     }
 
-    fn peek_net(&self, id: NetId) -> u64 {
+    /// Read a net's settled value.
+    pub fn peek_net(&self, id: NetId) -> u64 {
         self.values[id.0 as usize]
     }
 
-    fn step(&mut self) {
+    /// Advance one clock cycle.
+    pub fn step(&mut self) {
         let mut next_regs: Vec<(CellId, u64)> = Vec::new();
         let mut ram_writes: Vec<(CellId, Vec<(usize, u64)>)> = Vec::new();
         let mut ram_reads: Vec<(CellId, u64, u64)> = Vec::new();

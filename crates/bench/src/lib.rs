@@ -1,7 +1,7 @@
 //! # hermes-bench
 //!
 //! The experiment harness: one module per experiment of EXPERIMENTS.md
-//! (E1–E15), each regenerating the corresponding table. The paper itself is
+//! (E1–E16), each regenerating the corresponding table. The paper itself is
 //! a project report with architecture figures rather than result tables;
 //! each experiment therefore reproduces the *measurable claim* behind a
 //! figure or section, as mapped in DESIGN.md.
@@ -35,6 +35,7 @@ pub mod e12_observability;
 pub mod e13_eventdriven;
 pub mod e14_serving;
 pub mod e15_isolation;
+pub mod e16_wordparallel;
 pub mod hdl_check;
 pub mod json;
 pub mod kernels;
@@ -129,6 +130,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e15",
             "Adversarial spatial isolation (zero-silent-leak gate)",
             e15_isolation::run_traced,
+        ),
+        (
+            "e16",
+            "Word-parallel bit-packed settle + rank-partitioned parallel simulation",
+            e16_wordparallel::run_traced,
         ),
     ]
 }

@@ -37,6 +37,22 @@ fn e10_parallel_matches_serial() {
     assert_eq!(serial, parallel);
 }
 
+/// E16 exercises the rank-partitioned settle engine itself: its tables
+/// (engine equivalence verdicts, state checksums) must not move with the
+/// worker count, and neither may the perf-gate scenario's cycle counts.
+#[test]
+fn e16_parallel_matches_serial() {
+    let serial = hermes_bench::e16_wordparallel::run_with_jobs(1).text;
+    let parallel = hermes_bench::e16_wordparallel::run_with_jobs(4).text;
+    let strip = |text: &str| {
+        text.lines()
+            .filter(|l| !l.contains("completed in"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&serial), strip(&parallel));
+}
+
 /// The flight recorder holds the same contract as the tables: a trace
 /// taken serial must be bit-identical to one taken 4-wide (the wall
 /// channel is off here; ci.sh additionally gates the wall-stripped

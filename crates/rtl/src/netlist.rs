@@ -270,6 +270,46 @@ impl Netlist {
         Ok(id)
     }
 
+    /// Build a netlist containing `copies` independent instances of this
+    /// module side by side, every net and cell of copy `k` prefixed
+    /// `u<k>_`. Each copy's primary inputs and outputs stay primary, so a
+    /// single simulator steps all instances in lock-step. This is how E16
+    /// builds its convolution-scale workloads: replicated kernel netlists
+    /// large enough to exercise the word-parallel and rank-partitioned
+    /// settle paths beyond what any single HLS kernel reaches.
+    pub fn tiled(&self, copies: usize) -> Netlist {
+        let mut out = Netlist::new(format!("{}_x{copies}", self.name));
+        let mut is_input = vec![false; self.nets.len()];
+        for id in &self.inputs {
+            is_input[id.0 as usize] = true;
+        }
+        for k in 0..copies {
+            let map: Vec<NetId> = self
+                .nets
+                .iter()
+                .enumerate()
+                .map(|(i, net)| {
+                    let name = format!("u{k}_{}", net.name);
+                    if is_input[i] {
+                        out.add_input(name, net.width)
+                    } else {
+                        out.add_net(name, net.width)
+                    }
+                })
+                .collect();
+            for cell in &self.cells {
+                let ins: Vec<NetId> = cell.inputs.iter().map(|n| map[n.0 as usize]).collect();
+                let outs: Vec<NetId> = cell.outputs.iter().map(|n| map[n.0 as usize]).collect();
+                out.add_cell(format!("u{k}_{}", cell.name), cell.op.clone(), &ins, &outs)
+                    .expect("tiled cell mirrors an already-validated arity");
+            }
+            for n in &self.outputs {
+                out.mark_output(map[n.0 as usize]);
+            }
+        }
+        out
+    }
+
     /// Look up a net by name.
     pub fn net_by_name(&self, name: &str) -> Option<NetId> {
         self.net_names.get(name).copied()
@@ -478,6 +518,29 @@ mod tests {
     #[test]
     fn validates_clean_netlist() {
         adder_reg().validate().expect("clean netlist validates");
+    }
+
+    #[test]
+    fn tiled_replicates_structure() {
+        let base = adder_reg();
+        let tiled = base.tiled(5);
+        assert_eq!(tiled.net_count(), 5 * base.net_count());
+        assert_eq!(tiled.cell_count(), 5 * base.cell_count());
+        assert_eq!(tiled.inputs().len(), 5 * base.inputs().len());
+        assert_eq!(tiled.outputs().len(), 5 * base.outputs().len());
+        tiled.validate().expect("tiled netlist stays structurally valid");
+        // instance prefixes resolve to distinct nets
+        let a0 = tiled.net_by_name("u0_a").expect("copy 0 input exists");
+        let a4 = tiled.net_by_name("u4_a").expect("copy 4 input exists");
+        assert_ne!(a0, a4);
+        assert_eq!(tiled.net(a0).width, 8);
+    }
+
+    #[test]
+    fn tiled_zero_copies_is_empty() {
+        let tiled = adder_reg().tiled(0);
+        assert_eq!(tiled.net_count(), 0);
+        assert_eq!(tiled.cell_count(), 0);
     }
 
     #[test]

@@ -14,6 +14,21 @@
 use crate::component::Comparison;
 use crate::netlist::{CellId, CellOp, Netlist, NetId};
 use crate::{mask, sign_extend, RtlError};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Groups smaller than this stay scalar: packing pays a gather/scatter
+/// tax per word, which only amortizes across enough lanes.
+const MIN_PACK_LANES: usize = 8;
+
+/// Target op count per partition of the rank-partitioned settle plan.
+const PART_TARGET: usize = 256;
+
+/// Default minimum scheduled op count before a settle pass takes the
+/// partitioned path. Deliberately jobs-independent: whether a pass is
+/// partitioned must never depend on the worker count, or counters and
+/// traces would diverge between `--jobs 1` and `--jobs 4`.
+const PAR_SETTLE_GRAIN: usize = 4096;
 
 /// Cycle-accurate simulator over a validated [`Netlist`].
 ///
@@ -35,10 +50,31 @@ use crate::{mask, sign_extend, RtlError};
 /// [`Self::set_event_driven`] / the `HERMES_EVENT_SETTLE` environment
 /// variable (`off`/`0` disables) force the full path for A/B comparisons.
 /// Both paths produce bit-identical `values`, register state, and traces.
-#[derive(Debug, Clone)]
+///
+/// Two further engines layer on top of the event-driven scan (E16):
+///
+/// * **Word-parallel lanes** — at build time, independent 1-bit ops of
+///   identical boolean form at the same topological rank are bit-packed
+///   up to 64 to a `u64` word and evaluated as one bitwise instruction
+///   (classic compiled-code simulation). The scalar `values` array stays
+///   authoritative — lanes scatter on change — so peeks, traces,
+///   registers, and scalar consumers are untouched. `HERMES_PACKED_SETTLE`
+///   (strict `on`/`off`) or [`Self::new_with_packing`] select the engine.
+/// * **Rank-partitioned parallel settle** — the program is sorted
+///   rank-major and cut into contiguous partitions per rank; passes big
+///   enough to amortize coordination fan the partitions of each rank out
+///   through `hermes-par` workers separated by a spin barrier per rank.
+///   Same-rank ops never depend on each other, marks only travel to
+///   higher ranks, and the plan plus the engagement decision are
+///   jobs-independent, so any worker count is bit-identical to serial.
+#[derive(Debug)]
 pub struct Simulator<'n> {
     netlist: &'n Netlist,
-    values: Vec<u64>,
+    /// Settled net values. Relaxed atomics so partitioned settle workers
+    /// can share the array without locks (same-rank ops write disjoint
+    /// nets and read only lower ranks); plain load/store on the serial
+    /// paths, compiled to ordinary moves.
+    values: Vec<AtomicU64>,
     /// Dense register state, one slot per `Register` cell (see `seq_slot`).
     reg_state: Vec<u64>,
     /// Dense RAM state, one memory per `RamTdp` cell (see `seq_slot`).
@@ -50,31 +86,117 @@ pub struct Simulator<'n> {
     regs: Vec<RegInfo>,
     /// Precomputed RAM descriptors, in cell order.
     rams: Vec<RamInfo>,
-    /// Precompiled settle program in topological order.
+    /// Precompiled settle program in rank-major topological order (stable
+    /// by compile order within a rank). Packed words sit at the rank of
+    /// their lanes.
     ops: Vec<SettleOp>,
+    /// Op-index boundary of each topological rank: rank `r` spans
+    /// `ops[rank_start[r]..rank_start[r + 1]]`.
+    rank_start: Vec<u32>,
+    /// Partition plan: contiguous `(start, end)` op ranges, rank-major.
+    /// Built once at compile time, independent of the worker count.
+    parts: Vec<(u32, u32)>,
+    /// Partition-index range `(first, end)` of each rank in `parts`.
+    rank_parts: Vec<(u32, u32)>,
+    /// Packed-word table; `packed_nets` holds each word's lane input net
+    /// ids (slot-major) followed by its lane output net ids, and
+    /// `packed_vals` mirrors the last computed output word so aligned
+    /// consumers read one word instead of gathering 64 bits.
+    packed: Vec<PackedWord>,
+    packed_nets: Vec<u32>,
+    packed_vals: Vec<AtomicU64>,
+    /// Scalar-equivalent program weight: a packed word counts one per
+    /// lane, so work metrics stay comparable across packing modes.
+    program_weight: u64,
+    /// Total lanes across all packed words (occupancy numerator).
+    packed_lanes: u32,
+    /// Whether the word-parallel engine was applied at compile time.
+    packed_enabled: bool,
     /// CSR fanout index: ops reading net `n` are
     /// `fanout_ops[fanout_start[n]..fanout_start[n + 1]]` (ascending).
     fanout_start: Vec<u32>,
     fanout_ops: Vec<u32>,
-    /// Per-op "queued this pass" flag (guards at-most-once evaluation).
-    dirty: Vec<bool>,
+    /// Per-op "queued this pass" bitmap, one bit per op in 64-op words
+    /// (`dirty[op / 64]` bit `op % 64`): the event scan skips 64 clean
+    /// ops per load instead of one. Atomic so partitioned workers can
+    /// mark fanout directly; marking is idempotent, and partitions
+    /// sharing a boundary word stay correct through `fetch_or`/
+    /// `fetch_and` on disjoint bits.
+    dirty: Vec<AtomicU64>,
     /// Watermark window of queued op indices: the next event-driven pass
     /// scans `dirty[dirty_lo..=dirty_hi]`. Empty when `lo > hi`
     /// (`u32::MAX`/`0` sentinels).
     dirty_lo: u32,
     dirty_hi: u32,
+    /// Number of currently queued ops (partition-engagement signal).
+    dirty_count: u32,
     /// Next settle must evaluate the full program (construction, reset).
     needs_full: bool,
     /// Event-driven settling enabled (see `HERMES_EVENT_SETTLE`).
     event_driven: bool,
+    /// Worker count for engaged partitioned passes. A pure throughput
+    /// knob: results, counters, and traces are identical at any value.
+    settle_jobs: usize,
+    /// Minimum scheduled op count before a pass engages the partitioned
+    /// path (see [`PAR_SETTLE_GRAIN`]; tests lower it via
+    /// [`Self::set_partition_grain`] to exercise the path on small nets).
+    par_grain: usize,
     /// Reusable per-step buffer of next register values.
     next_regs: Vec<u64>,
     cycle: u64,
     /// Total settle passes executed (steps, pokes, resets).
     settle_passes: u64,
-    /// Total settle ops *evaluated* across all passes.
+    /// Total settle ops *evaluated* across all passes (lane-weighted).
     settle_ops: u64,
+    /// Lane-weighted ops evaluated by partitioned passes.
+    settle_parallel_ops: u64,
+    /// Settle passes that took the partitioned path.
+    settle_parallel_passes: u64,
     trace: Option<Trace>,
+}
+
+impl Clone for Simulator<'_> {
+    fn clone(&self) -> Self {
+        let copy_u64 = |v: &[AtomicU64]| -> Vec<AtomicU64> {
+            v.iter().map(|x| AtomicU64::new(x.load(Ordering::Relaxed))).collect()
+        };
+        Simulator {
+            netlist: self.netlist,
+            values: copy_u64(&self.values),
+            reg_state: self.reg_state.clone(),
+            ram_state: self.ram_state.clone(),
+            seq_slot: self.seq_slot.clone(),
+            regs: self.regs.clone(),
+            rams: self.rams.clone(),
+            ops: self.ops.clone(),
+            rank_start: self.rank_start.clone(),
+            parts: self.parts.clone(),
+            rank_parts: self.rank_parts.clone(),
+            packed: self.packed.clone(),
+            packed_nets: self.packed_nets.clone(),
+            packed_vals: copy_u64(&self.packed_vals),
+            program_weight: self.program_weight,
+            packed_lanes: self.packed_lanes,
+            packed_enabled: self.packed_enabled,
+            fanout_start: self.fanout_start.clone(),
+            fanout_ops: self.fanout_ops.clone(),
+            dirty: copy_u64(&self.dirty),
+            dirty_lo: self.dirty_lo,
+            dirty_hi: self.dirty_hi,
+            dirty_count: self.dirty_count,
+            needs_full: self.needs_full,
+            event_driven: self.event_driven,
+            settle_jobs: self.settle_jobs,
+            par_grain: self.par_grain,
+            next_regs: self.next_regs.clone(),
+            cycle: self.cycle,
+            settle_passes: self.settle_passes,
+            settle_ops: self.settle_ops,
+            settle_parallel_ops: self.settle_parallel_ops,
+            settle_parallel_passes: self.settle_parallel_passes,
+            trace: self.trace.clone(),
+        }
+    }
 }
 
 /// Precomputed per-register data for the clock-edge phase.
@@ -153,6 +275,10 @@ enum SettleKind {
     ZeroExtend,
     /// `aux` holds the input width.
     SignExtend,
+    /// A word-parallel evaluation of up to 64 packed 1-bit lanes: `a`
+    /// holds the [`PackedWord`] index, `aux` the lane count. Fanout edges
+    /// come from the lane input nets, not the `a`/`b`/`c` slots.
+    Packed,
 }
 
 impl SettleOp {
@@ -160,7 +286,7 @@ impl SettleOp {
     /// hold 0 and must not contribute fanout edges).
     fn input_count(&self) -> usize {
         match self.kind {
-            SettleKind::Const => 0,
+            SettleKind::Const | SettleKind::Packed => 0,
             SettleKind::Not
             | SettleKind::Slice
             | SettleKind::ZeroExtend
@@ -169,6 +295,65 @@ impl SettleOp {
             _ => 2,
         }
     }
+}
+
+/// Boolean form of a [`PackedWord`]: every lane evaluates this op. Only
+/// forms whose 1-bit semantics equal a word-wide bitwise expression are
+/// packable; comparisons lower through [`Comparison::bit_apply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PackKind {
+    And,
+    Or,
+    Xor,
+    Not,
+    Mux,
+    Cmp(Comparison),
+}
+
+impl PackKind {
+    /// Live input slots per lane (sel/else/then for `Mux`).
+    fn slots(self) -> usize {
+        match self {
+            PackKind::Not => 1,
+            PackKind::Mux => 3,
+            _ => 2,
+        }
+    }
+}
+
+/// One word of up to 64 bit-packed lanes, all evaluating the same
+/// [`PackKind`] at the same topological rank. Lane `l` of input slot `s`
+/// reads net `packed_nets[ins + s*lanes + l]`; lane `l` writes net
+/// `packed_nets[outs + l]`. When a slot's lanes are exactly the output
+/// lanes of one earlier word at matching bit positions (`src[s]`), the
+/// evaluator reads that word's cached output directly — the aligned fast
+/// path that makes a replicated design cost one ALU op per 64 instances.
+#[derive(Debug, Clone, Copy)]
+struct PackedWord {
+    kind: PackKind,
+    /// Lane count (1..=64).
+    lanes: u32,
+    /// Base of the slot-major lane input net ids in `packed_nets`.
+    ins: u32,
+    /// Base of the lane output net ids in `packed_nets`.
+    outs: u32,
+    /// Per-slot aligned source word index, or `u32::MAX` to gather.
+    src: [u32; 3],
+    /// Low `lanes` bits set.
+    lane_mask: u64,
+}
+
+/// Output of [`Simulator::compile_program`]: the rank-major settle
+/// program plus its packing tables and partition plan.
+struct CompiledProgram {
+    ops: Vec<SettleOp>,
+    rank_start: Vec<u32>,
+    parts: Vec<(u32, u32)>,
+    rank_parts: Vec<(u32, u32)>,
+    packed: Vec<PackedWord>,
+    packed_nets: Vec<u32>,
+    program_weight: u64,
+    packed_lanes: u32,
 }
 
 /// A recorded value-change trace (VCD-lite) of selected nets.
@@ -203,11 +388,26 @@ impl<'n> Simulator<'n> {
     /// Build a simulator after validating the netlist.
     ///
     /// All registers start at 0 and RAMs at their declared init contents.
+    /// The word-parallel engine is selected by `HERMES_PACKED_SETTLE`
+    /// (default on); use [`Self::new_with_packing`] to pin it explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any structural error from [`Netlist::validate`], and
+    /// [`RtlError::BadEnvKnob`] if `HERMES_PACKED_SETTLE` is set to
+    /// something other than `on`/`1`/`true`/`off`/`0`/`false`.
+    pub fn new(netlist: &'n Netlist) -> Result<Self, RtlError> {
+        Self::new_with_packing(netlist, packed_settle_env()?)
+    }
+
+    /// Build a simulator with the word-parallel engine pinned on or off,
+    /// ignoring the environment — the A/B hook for differential tests and
+    /// experiments whose output must not depend on ambient knobs.
     ///
     /// # Errors
     ///
     /// Propagates any structural error from [`Netlist::validate`].
-    pub fn new(netlist: &'n Netlist) -> Result<Self, RtlError> {
+    pub fn new_with_packing(netlist: &'n Netlist, packed: bool) -> Result<Self, RtlError> {
         netlist.validate()?;
         let order = netlist.combinational_order()?;
         let mut reg_state = Vec::new();
@@ -262,30 +462,47 @@ impl<'n> Simulator<'n> {
                 _ => {}
             }
         }
-        let ops = Self::compile_settle_ops(netlist, &order);
-        let (fanout_start, fanout_ops) = Self::compile_fanout(netlist.net_count(), &ops);
+        let scalar_ops = Self::compile_settle_ops(netlist, &order);
+        let prog = Self::compile_program(netlist, scalar_ops, packed);
+        let (fanout_start, fanout_ops) =
+            Self::compile_fanout(netlist.net_count(), &prog.ops, &prog.packed, &prog.packed_nets);
         let next_regs = vec![0; regs.len()];
-        let dirty = vec![false; ops.len()];
+        let dirty = (0..prog.ops.len().div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        let packed_vals = (0..prog.packed.len()).map(|_| AtomicU64::new(0)).collect();
         let mut sim = Simulator {
             netlist,
-            values: vec![0; netlist.net_count()],
+            values: (0..netlist.net_count()).map(|_| AtomicU64::new(0)).collect(),
             reg_state,
             ram_state,
             seq_slot,
             regs,
             rams,
-            ops,
+            ops: prog.ops,
+            rank_start: prog.rank_start,
+            parts: prog.parts,
+            rank_parts: prog.rank_parts,
+            packed: prog.packed,
+            packed_nets: prog.packed_nets,
+            packed_vals,
+            program_weight: prog.program_weight,
+            packed_lanes: prog.packed_lanes,
+            packed_enabled: packed,
             fanout_start,
             fanout_ops,
             dirty,
             dirty_lo: u32::MAX,
             dirty_hi: 0,
+            dirty_count: 0,
             needs_full: true,
             event_driven: env_event_driven(),
+            settle_jobs: hermes_par::jobs(),
+            par_grain: PAR_SETTLE_GRAIN,
             next_regs,
             cycle: 0,
             settle_passes: 0,
             settle_ops: 0,
+            settle_parallel_ops: 0,
+            settle_parallel_passes: 0,
             trace: None,
         };
         sim.settle();
@@ -294,11 +511,25 @@ impl<'n> Simulator<'n> {
 
     /// Build the CSR net→op fanout index over the compiled program: for
     /// every live input slot of every op, one edge from the input net to
-    /// the op. Op indices within a net's list ascend (topological rank).
-    fn compile_fanout(net_count: usize, ops: &[SettleOp]) -> (Vec<u32>, Vec<u32>) {
+    /// the op. A packed op contributes one edge per lane input net.
+    fn compile_fanout(
+        net_count: usize,
+        ops: &[SettleOp],
+        packed: &[PackedWord],
+        packed_nets: &[u32],
+    ) -> (Vec<u32>, Vec<u32>) {
+        let op_inputs = |op: &SettleOp| -> Vec<u32> {
+            if op.kind == SettleKind::Packed {
+                let pw = &packed[op.a as usize];
+                let n = pw.kind.slots() * pw.lanes as usize;
+                packed_nets[pw.ins as usize..pw.ins as usize + n].to_vec()
+            } else {
+                [op.a, op.b, op.c][..op.input_count()].to_vec()
+            }
+        };
         let mut counts = vec![0u32; net_count + 1];
         for op in ops {
-            for &net in &[op.a, op.b, op.c][..op.input_count()] {
+            for net in op_inputs(op) {
                 counts[net as usize + 1] += 1;
             }
         }
@@ -309,12 +540,199 @@ impl<'n> Simulator<'n> {
         let mut cursor = counts;
         let mut fanout_ops = vec![0u32; *fanout_start.last().unwrap_or(&0) as usize];
         for (idx, op) in ops.iter().enumerate() {
-            for &net in &[op.a, op.b, op.c][..op.input_count()] {
+            for net in op_inputs(op) {
                 fanout_ops[cursor[net as usize] as usize] = idx as u32;
                 cursor[net as usize] += 1;
             }
         }
         (fanout_start, fanout_ops)
+    }
+
+    /// Whether `op` may join a packed word, and under which group tag.
+    /// Bitwise forms commute with the 1-bit output mask, so only the
+    /// output must be 1 bit wide; comparisons additionally need 1-bit
+    /// inputs (`aux == 1`) for [`Comparison::bit_apply`] to be exact.
+    fn packable_tag(op: &SettleOp) -> Option<u8> {
+        if op.mask != 1 {
+            return None;
+        }
+        match op.kind {
+            SettleKind::And => Some(0),
+            SettleKind::Or => Some(1),
+            SettleKind::Xor => Some(2),
+            SettleKind::Not => Some(3),
+            SettleKind::Mux => Some(4),
+            SettleKind::Cmp(c) if op.aux == 1 => Some(match c {
+                Comparison::Eq => 5,
+                Comparison::Ne => 6,
+                Comparison::LtU => 7,
+                Comparison::LtS => 8,
+                Comparison::GeU => 9,
+                Comparison::GeS => 10,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Lower the topologically ordered scalar program into the final
+    /// settle program: compute per-op ranks, bit-pack same-form 1-bit ops
+    /// at equal rank into 64-lane words (when `pack`), re-sort rank-major,
+    /// and cut the rank-major program into the partition plan.
+    fn compile_program(netlist: &Netlist, ops: Vec<SettleOp>, pack: bool) -> CompiledProgram {
+        let program_weight = ops.len() as u64;
+        // Rank of every op: 1 + max rank of its producers. `ops` is in
+        // topological order, so producers always resolve first.
+        let mut net_rank = vec![0u32; netlist.net_count()];
+        let mut rank = vec![0u32; ops.len()];
+        for (i, op) in ops.iter().enumerate() {
+            let mut r = 0;
+            for &net in &[op.a, op.b, op.c][..op.input_count()] {
+                r = r.max(net_rank[net as usize]);
+            }
+            rank[i] = r;
+            net_rank[op.out as usize] = r + 1;
+        }
+
+        // Group packable ops by (rank, boolean form) and carve 64-lane
+        // words. BTreeMap iteration ascends by rank, so a word's input
+        // words are always created first (inputs live at lower ranks) and
+        // `lane_of` can resolve aligned slots.
+        let mut packed: Vec<PackedWord> = Vec::new();
+        let mut packed_nets: Vec<u32> = Vec::new();
+        let mut packed_lanes = 0u32;
+        let mut in_word = vec![false; ops.len()];
+        // (rank, order key, op) triples to sort rank-major
+        let mut emitted: Vec<(u32, u32, SettleOp)> = Vec::new();
+        if pack {
+            let mut groups: BTreeMap<(u32, u8), Vec<u32>> = BTreeMap::new();
+            for (i, op) in ops.iter().enumerate() {
+                if let Some(tag) = Self::packable_tag(op) {
+                    groups.entry((rank[i], tag)).or_default().push(i as u32);
+                }
+            }
+            // net id -> (word index << 6) | lane bit, for output lanes
+            let mut lane_of = vec![u64::MAX; netlist.net_count()];
+            for ((r, _tag), members) in &groups {
+                if members.len() < MIN_PACK_LANES {
+                    continue;
+                }
+                for chunk in members.chunks(64) {
+                    let lanes = chunk.len();
+                    let kind = match ops[chunk[0] as usize].kind {
+                        SettleKind::And => PackKind::And,
+                        SettleKind::Or => PackKind::Or,
+                        SettleKind::Xor => PackKind::Xor,
+                        SettleKind::Not => PackKind::Not,
+                        SettleKind::Mux => PackKind::Mux,
+                        SettleKind::Cmp(c) => PackKind::Cmp(c),
+                        _ => unreachable!("packable_tag admits only boolean forms"),
+                    };
+                    let slots = kind.slots();
+                    let ins = packed_nets.len() as u32;
+                    let mut src = [u32::MAX; 3];
+                    for (s, slot_src) in src.iter_mut().enumerate().take(slots) {
+                        let slot_net = |oi: u32| {
+                            let op = &ops[oi as usize];
+                            [op.a, op.b, op.c][s]
+                        };
+                        for &oi in chunk {
+                            packed_nets.push(slot_net(oi));
+                        }
+                        // aligned iff every lane reads bit `l` of one word
+                        let mut aligned = None;
+                        for (l, &oi) in chunk.iter().enumerate() {
+                            let lo = lane_of[slot_net(oi) as usize];
+                            if lo == u64::MAX || (lo & 63) != l as u64 {
+                                aligned = None;
+                                break;
+                            }
+                            let word = (lo >> 6) as u32;
+                            match aligned {
+                                None if l == 0 => aligned = Some(word),
+                                Some(w) if w == word => {}
+                                _ => {
+                                    aligned = None;
+                                    break;
+                                }
+                            }
+                        }
+                        *slot_src = aligned.unwrap_or(u32::MAX);
+                    }
+                    let outs = packed_nets.len() as u32;
+                    let widx = packed.len() as u32;
+                    for (l, &oi) in chunk.iter().enumerate() {
+                        let out = ops[oi as usize].out;
+                        packed_nets.push(out);
+                        lane_of[out as usize] = (u64::from(widx) << 6) | l as u64;
+                        in_word[oi as usize] = true;
+                    }
+                    let lane_mask = mask(u64::MAX, lanes as u32);
+                    packed.push(PackedWord {
+                        kind,
+                        lanes: lanes as u32,
+                        ins,
+                        outs,
+                        src,
+                        lane_mask,
+                    });
+                    packed_lanes += lanes as u32;
+                    emitted.push((
+                        *r,
+                        chunk[0],
+                        SettleOp {
+                            kind: SettleKind::Packed,
+                            a: widx,
+                            b: 0,
+                            c: 0,
+                            out: ops[chunk[0] as usize].out,
+                            mask: lane_mask,
+                            aux: lanes as u64,
+                        },
+                    ));
+                }
+            }
+        }
+        for (i, op) in ops.into_iter().enumerate() {
+            if !in_word[i] {
+                emitted.push((rank[i], i as u32, op));
+            }
+        }
+        emitted.sort_by_key(|&(r, key, _)| (r, key));
+
+        // Rank boundaries over the sorted program, then fixed-size
+        // contiguous partitions within each rank.
+        let nranks = emitted.last().map_or(0, |&(r, _, _)| r as usize + 1);
+        let mut rank_start = vec![0u32; nranks + 1];
+        for &(r, _, _) in &emitted {
+            rank_start[r as usize + 1] += 1;
+        }
+        for i in 1..rank_start.len() {
+            rank_start[i] += rank_start[i - 1];
+        }
+        let mut parts: Vec<(u32, u32)> = Vec::new();
+        let mut rank_parts: Vec<(u32, u32)> = Vec::with_capacity(nranks);
+        for r in 0..nranks {
+            let (s, e) = (rank_start[r] as usize, rank_start[r + 1] as usize);
+            let first = parts.len() as u32;
+            let mut p = s;
+            while p < e {
+                let q = (p + PART_TARGET).min(e);
+                parts.push((p as u32, q as u32));
+                p = q;
+            }
+            rank_parts.push((first, parts.len() as u32));
+        }
+
+        CompiledProgram {
+            ops: emitted.into_iter().map(|(_, _, op)| op).collect(),
+            rank_start,
+            parts,
+            rank_parts,
+            packed,
+            packed_nets,
+            program_weight,
+            packed_lanes,
+        }
     }
 
     /// Lower the topologically ordered combinational cells into the compact
@@ -411,10 +829,85 @@ impl<'n> Simulator<'n> {
         self.settle_ops
     }
 
-    /// Length of the compiled combinational settle program (the per-pass
-    /// op count a full, non-event-driven evaluation pays).
+    /// Length of the compiled combinational settle program in *scalar*
+    /// ops (the per-pass op count a full, non-event-driven evaluation
+    /// pays). Bit-packing folds lanes into shared words but each lane
+    /// still counts as one op here, so this figure — and every
+    /// `settle_ops` identity built on it — is packing-invariant.
     pub fn settle_program_len(&self) -> usize {
+        self.program_weight as usize
+    }
+
+    /// Number of program *words* actually walked per full pass: scalar
+    /// ops plus one entry per packed 64-lane word.
+    pub fn settle_words(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Number of packed 64-lane words in the compiled program.
+    pub fn packed_words(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Total 1-bit lanes folded into packed words.
+    pub fn packed_lanes(&self) -> usize {
+        self.packed_lanes as usize
+    }
+
+    /// Mean packed-word lane occupancy in permille (0 when nothing
+    /// packed): 1000 means every packed word carries a full 64 lanes.
+    pub fn lane_occupancy_permille(&self) -> u64 {
+        if self.packed.is_empty() {
+            0
+        } else {
+            self.packed_lanes as u64 * 1000 / (self.packed.len() as u64 * 64)
+        }
+    }
+
+    /// Number of partitions in the rank-partitioned settle plan.
+    pub fn settle_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of topological ranks in the compiled program.
+    pub fn settle_ranks(&self) -> usize {
+        self.rank_parts.len()
+    }
+
+    /// Lane-weighted ops evaluated by partitioned (parallel-capable)
+    /// passes. A subset of [`settle_ops`](Self::settle_ops), and — like
+    /// every counter — identical at any worker count.
+    pub fn settle_parallel_ops(&self) -> u64 {
+        self.settle_parallel_ops
+    }
+
+    /// Settle passes that engaged the partitioned path.
+    pub fn settle_parallel_passes(&self) -> u64 {
+        self.settle_parallel_passes
+    }
+
+    /// Whether word-parallel bit-packing was applied at compile time.
+    pub fn packed(&self) -> bool {
+        self.packed_enabled
+    }
+
+    /// Worker count used by partitioned settle passes.
+    pub fn settle_jobs(&self) -> usize {
+        self.settle_jobs
+    }
+
+    /// Set the worker count for partitioned settle passes. A pure
+    /// throughput knob: values, traces, and counters are identical for
+    /// any setting.
+    pub fn set_settle_jobs(&mut self, jobs: usize) {
+        self.settle_jobs = jobs.max(1);
+    }
+
+    /// Lower the scheduled-op threshold at which a pass engages the
+    /// partitioned path (default tuned for real workloads; tests drop it
+    /// to 1 to force engagement on small netlists).
+    pub fn set_partition_grain(&mut self, min_ops: usize) {
+        self.par_grain = min_ops.max(1);
     }
 
     /// Whether event-driven (activity-gated) settling is enabled.
@@ -437,12 +930,14 @@ impl<'n> Simulator<'n> {
         obs.counter_add(sub, "cycles", self.cycle);
         obs.counter_add(sub, "settle_passes", self.settle_passes);
         obs.counter_add(sub, "settle_ops", self.settle_ops);
-        obs.counter_add(
-            sub,
-            "settle_ops_full",
-            self.settle_passes * self.ops.len() as u64,
-        );
-        obs.gauge_set(sub, "settle_program_len", self.ops.len() as i64);
+        obs.counter_add(sub, "settle_ops_full", self.settle_passes * self.program_weight);
+        obs.counter_add(sub, "settle_parallel_ops", self.settle_parallel_ops);
+        obs.counter_add(sub, "settle_parallel_passes", self.settle_parallel_passes);
+        obs.gauge_set(sub, "settle_program_len", self.program_weight as i64);
+        obs.gauge_set(sub, "settle_partitions", self.parts.len() as i64);
+        obs.gauge_set(sub, "settle_packed_words", self.packed.len() as i64);
+        obs.gauge_set(sub, "settle_packed_lanes", self.packed_lanes as i64);
+        obs.gauge_set(sub, "settle_lane_occupancy", self.lane_occupancy_permille() as i64);
         obs.gauge_set(sub, "nets", self.netlist.net_count() as i64);
         obs.instant(
             sub,
@@ -478,19 +973,19 @@ impl<'n> Simulator<'n> {
             .netlist
             .net_by_name(name)
             .ok_or_else(|| RtlError::UnknownName { name: name.into() })?;
-        Ok(self.values[id.0 as usize])
+        Ok(self.values[id.0 as usize].load(Ordering::Relaxed))
     }
 
     /// Read a net's settled value by id.
     pub fn peek_net(&self, id: NetId) -> u64 {
-        self.values[id.0 as usize]
+        self.values[id.0 as usize].load(Ordering::Relaxed)
     }
 
     /// Drive a primary input by id.
     pub fn poke_net(&mut self, id: NetId, value: u64) {
         let new = mask(value, self.netlist.net(id).width);
-        if self.values[id.0 as usize] != new {
-            self.values[id.0 as usize] = new;
+        if self.values[id.0 as usize].load(Ordering::Relaxed) != new {
+            self.values[id.0 as usize].store(new, Ordering::Relaxed);
             self.mark_net(id.0);
         }
         self.settle();
@@ -521,9 +1016,10 @@ impl<'n> Simulator<'n> {
         // next-values go into the persistent scratch buffer — the hot path
         // allocates nothing.
         for r in &self.regs {
-            let load = r.en == u32::MAX || self.values[r.en as usize] & 1 == 1;
+            let load = r.en == u32::MAX
+                || self.values[r.en as usize].load(Ordering::Relaxed) & 1 == 1;
             self.next_regs[r.slot as usize] = if load {
-                self.values[r.d as usize] & r.mask
+                self.values[r.d as usize].load(Ordering::Relaxed) & r.mask
             } else {
                 self.reg_state[r.slot as usize]
             };
@@ -534,8 +1030,8 @@ impl<'n> Simulator<'n> {
         for i in 0..self.regs.len() {
             let r = self.regs[i];
             let q = self.reg_state[r.slot as usize];
-            if self.values[r.q as usize] != q {
-                self.values[r.q as usize] = q;
+            if self.values[r.q as usize].load(Ordering::Relaxed) != q {
+                self.values[r.q as usize].store(q, Ordering::Relaxed);
                 self.mark_net(r.q);
             }
         }
@@ -546,12 +1042,13 @@ impl<'n> Simulator<'n> {
         for i in 0..self.rams.len() {
             let r = self.rams[i];
             let depth = r.depth as usize;
-            let addr_a = self.values[r.inputs[0] as usize] as usize % depth;
-            let wd_a = self.values[r.inputs[1] as usize];
-            let we_a = self.values[r.inputs[2] as usize] & 1 == 1;
-            let addr_b = self.values[r.inputs[3] as usize] as usize % depth;
-            let wd_b = self.values[r.inputs[4] as usize];
-            let we_b = self.values[r.inputs[5] as usize] & 1 == 1;
+            let port = |n: u32| self.values[n as usize].load(Ordering::Relaxed);
+            let addr_a = port(r.inputs[0]) as usize % depth;
+            let wd_a = port(r.inputs[1]);
+            let we_a = port(r.inputs[2]) & 1 == 1;
+            let addr_b = port(r.inputs[3]) as usize % depth;
+            let wd_b = port(r.inputs[4]);
+            let we_b = port(r.inputs[5]) & 1 == 1;
             let mem = &mut self.ram_state[r.slot as usize];
             // read-first semantics on both ports
             let (ra, rb) = (mem[addr_a], mem[addr_b]);
@@ -561,12 +1058,12 @@ impl<'n> Simulator<'n> {
             if we_b {
                 mem[addr_b] = wd_b & r.mask;
             }
-            if self.values[r.ra as usize] != ra {
-                self.values[r.ra as usize] = ra;
+            if self.values[r.ra as usize].load(Ordering::Relaxed) != ra {
+                self.values[r.ra as usize].store(ra, Ordering::Relaxed);
                 self.mark_net(r.ra);
             }
-            if self.values[r.rb as usize] != rb {
-                self.values[r.rb as usize] = rb;
+            if self.values[r.rb as usize].load(Ordering::Relaxed) != rb {
+                self.values[r.rb as usize].store(rb, Ordering::Relaxed);
                 self.mark_net(r.rb);
             }
         }
@@ -576,7 +1073,7 @@ impl<'n> Simulator<'n> {
             let row = trace
                 .nets
                 .iter()
-                .map(|&n| self.values[n.0 as usize])
+                .map(|&n| self.values[n.0 as usize].load(Ordering::Relaxed))
                 .collect();
             trace.rows.push((self.cycle, row));
         }
@@ -660,48 +1157,81 @@ impl<'n> Simulator<'n> {
         let hi = self.fanout_start[net as usize + 1] as usize;
         for k in lo..hi {
             let op = self.fanout_ops[k];
-            self.dirty[op as usize] = true;
-            self.dirty_lo = self.dirty_lo.min(op);
-            self.dirty_hi = self.dirty_hi.max(op);
+            let (w, bit) = (op as usize / 64, 1u64 << (op % 64));
+            let word = self.dirty[w].load(Ordering::Relaxed);
+            if word & bit == 0 {
+                self.dirty[w].store(word | bit, Ordering::Relaxed);
+                self.dirty_count += 1;
+                self.dirty_lo = self.dirty_lo.min(op);
+                self.dirty_hi = self.dirty_hi.max(op);
+            }
         }
     }
 
-    /// One settle pass: event-driven scan of the dirty window, or a
-    /// full-program evaluation on the first pass after construction/reset
-    /// (and always when event-driven settling is disabled).
+    /// One settle pass. Full-program evaluation on the first pass after
+    /// construction/reset (and always when event-driven settling is
+    /// disabled), otherwise an event-driven scan of the dirty window.
+    /// Either shape engages the rank-partitioned path when it schedules
+    /// enough ops to amortize coordination — a decision made from the
+    /// scheduled op count alone, never from the worker count, so every
+    /// counter and trace is identical at any `--jobs` value.
     fn settle(&mut self) {
         self.settle_passes += 1;
-        if self.needs_full || !self.event_driven {
+        let full = self.needs_full || !self.event_driven;
+        if full {
             self.needs_full = false;
             // a full pass covers every queued op — drop the marks
             if self.dirty_lo <= self.dirty_hi {
-                for i in self.dirty_lo as usize..=self.dirty_hi as usize {
-                    self.dirty[i] = false;
+                for w in self.dirty_lo as usize / 64..=self.dirty_hi as usize / 64 {
+                    self.dirty[w].store(0, Ordering::Relaxed);
                 }
                 self.dirty_lo = u32::MAX;
                 self.dirty_hi = 0;
+                self.dirty_count = 0;
             }
+        }
+        let scheduled = if full { self.ops.len() } else { self.dirty_count as usize };
+        if self.parts.len() > 1 && scheduled >= self.par_grain {
+            self.settle_partitioned(full);
+        } else if full {
             self.settle_full();
         } else {
             self.settle_event();
         }
     }
 
-    /// Evaluate the entire compiled program in topological order.
+    /// Evaluate the entire compiled program in rank-major order.
     fn settle_full(&mut self) {
-        self.settle_ops += self.ops.len() as u64;
+        self.settle_ops += self.program_weight;
         // Sequential outputs first: registers continuously drive their state.
         for r in &self.regs {
-            self.values[r.q as usize] = self.reg_state[r.slot as usize];
+            self.values[r.q as usize].store(self.reg_state[r.slot as usize], Ordering::Relaxed);
         }
-        let values = &mut self.values;
         for op in &self.ops {
-            values[op.out as usize] = eval_op(values, op);
+            if op.kind == SettleKind::Packed {
+                let (pw, new, mut changed) = eval_packed(
+                    op.a as usize,
+                    &self.packed,
+                    &self.packed_nets,
+                    &self.packed_vals,
+                    &self.values,
+                );
+                // scatter changed lanes; the full path never marks
+                while changed != 0 {
+                    let l = changed.trailing_zeros();
+                    let net = self.packed_nets[(pw.outs + l) as usize];
+                    self.values[net as usize].store((new >> l) & 1, Ordering::Relaxed);
+                    changed &= changed - 1;
+                }
+            } else {
+                let v = eval_op_with(|n| self.values[n as usize].load(Ordering::Relaxed), op);
+                self.values[op.out as usize].store(v, Ordering::Relaxed);
+            }
         }
     }
 
     /// Scan the dirty window in topological-rank order. Ranks only grow
-    /// along fanout edges (the program is topologically sorted), so a mark
+    /// along fanout edges (the program is rank-major sorted), so a mark
     /// made during the scan always lands ahead of the cursor — raising
     /// `dirty_hi` at most — and each queued op is reached after all of its
     /// dirty predecessors. Every op is evaluated at most once per pass,
@@ -710,66 +1240,417 @@ impl<'n> Simulator<'n> {
     /// usually a small slice of the program, and the per-visited-op cost
     /// is one branch instead of heap maintenance.
     fn settle_event(&mut self) {
-        let mut i = self.dirty_lo as usize;
+        let mut wi = self.dirty_lo as usize / 64;
         // `dirty_hi` is re-read every iteration: evaluated ops may extend
-        // the window forward (never backward) by marking their fanout.
-        while i as u32 <= self.dirty_hi {
-            if self.dirty[i] {
-                self.dirty[i] = false;
-                let op = self.ops[i];
-                let v = eval_op(&self.values, &op);
+        // the window forward (never backward) by marking their fanout —
+        // into higher bits of the current word or into later words.
+        loop {
+            if wi > self.dirty_hi as usize / 64 {
+                break;
+            }
+            let word = self.dirty[wi].load(Ordering::Relaxed);
+            if word == 0 {
+                wi += 1;
+                continue;
+            }
+            let b = word.trailing_zeros();
+            self.dirty[wi].store(word & !(1u64 << b), Ordering::Relaxed);
+            let i = wi * 64 + b as usize;
+            let op = self.ops[i];
+            if op.kind == SettleKind::Packed {
+                let (pw, new, mut changed) = eval_packed(
+                    op.a as usize,
+                    &self.packed,
+                    &self.packed_nets,
+                    &self.packed_vals,
+                    &self.values,
+                );
+                self.settle_ops += u64::from(pw.lanes);
+                while changed != 0 {
+                    let l = changed.trailing_zeros();
+                    let net = self.packed_nets[(pw.outs + l) as usize];
+                    self.values[net as usize].store((new >> l) & 1, Ordering::Relaxed);
+                    self.mark_net(net);
+                    changed &= changed - 1;
+                }
+            } else {
+                let v = eval_op_with(|n| self.values[n as usize].load(Ordering::Relaxed), &op);
                 self.settle_ops += 1;
-                if self.values[op.out as usize] != v {
-                    self.values[op.out as usize] = v;
+                if self.values[op.out as usize].load(Ordering::Relaxed) != v {
+                    self.values[op.out as usize].store(v, Ordering::Relaxed);
                     self.mark_net(op.out);
                 }
             }
-            i += 1;
         }
         self.dirty_lo = u32::MAX;
         self.dirty_hi = 0;
+        self.dirty_count = 0;
+    }
+
+    /// Engaged pass: walk the partition plan rank by rank, fanning each
+    /// rank's partitions out across `settle_jobs` cooperating workers
+    /// (one dedicated thread per worker via
+    /// [`hermes_par::par_map_indexed_jobs`]). `jobs == 1` runs the very
+    /// same walk inline — identical evaluated set, identical counters —
+    /// so the worker count stays a pure throughput knob. The evaluated
+    /// set itself is worker-invariant: marks travel only to higher ranks,
+    /// every dirty op of a rank is claimed exactly once through the
+    /// shared partition cursor, and the per-rank barrier orders all
+    /// cross-rank reads after their writes.
+    fn settle_partitioned(&mut self, full: bool) {
+        self.settle_parallel_passes += 1;
+        if full {
+            for r in &self.regs {
+                self.values[r.q as usize]
+                    .store(self.reg_state[r.slot as usize], Ordering::Relaxed);
+            }
+        }
+        let jobs = self.settle_jobs.max(1);
+        let shared = PassShared {
+            ops: &self.ops,
+            packed: &self.packed,
+            packed_nets: &self.packed_nets,
+            packed_vals: &self.packed_vals,
+            values: &self.values,
+            fanout_start: &self.fanout_start,
+            fanout_ops: &self.fanout_ops,
+            dirty: &self.dirty,
+            rank_start: &self.rank_start,
+            parts: &self.parts,
+            rank_parts: &self.rank_parts,
+            full,
+            lo_init: self.dirty_lo,
+            pass_hi: AtomicU32::new(if full { 0 } else { self.dirty_hi }),
+            cur_rank: AtomicUsize::new(0),
+            part_cursor: AtomicUsize::new(0),
+            barrier: SpinBarrier::new(jobs),
+        };
+        // The evaluated *set* is deterministic, so its lane-weighted sum
+        // is too, regardless of how workers split the partitions.
+        let evaluated: u64 = if jobs == 1 {
+            shared.worker(0)
+        } else {
+            hermes_par::par_map_indexed_jobs(jobs, jobs, |w| shared.worker(w))
+                .expect("partitioned settle worker panicked")
+                .into_iter()
+                .sum()
+        };
+        self.settle_ops += evaluated;
+        self.settle_parallel_ops += evaluated;
+        if !full {
+            self.dirty_lo = u32::MAX;
+            self.dirty_hi = 0;
+            self.dirty_count = 0;
+        }
     }
 }
 
-/// Evaluate one compiled settle op against the current net values.
+/// Shared state of one partitioned settle pass (see
+/// [`Simulator::settle_partitioned`] for the protocol and its
+/// determinism argument).
+struct PassShared<'a> {
+    ops: &'a [SettleOp],
+    packed: &'a [PackedWord],
+    packed_nets: &'a [u32],
+    packed_vals: &'a [AtomicU64],
+    values: &'a [AtomicU64],
+    fanout_start: &'a [u32],
+    fanout_ops: &'a [u32],
+    dirty: &'a [AtomicU64],
+    rank_start: &'a [u32],
+    parts: &'a [(u32, u32)],
+    rank_parts: &'a [(u32, u32)],
+    /// Full-program pass (no dirty filtering, no marking).
+    full: bool,
+    /// Event pass: initial low watermark (ops below it cannot be dirty).
+    lo_init: u32,
+    /// Event pass: high watermark, raised by marks as ranks evaluate.
+    pass_hi: AtomicU32,
+    /// Rank currently being evaluated (`usize::MAX` ends the pass).
+    cur_rank: AtomicUsize,
+    /// Shared claim cursor over the current rank's partition indices.
+    part_cursor: AtomicUsize,
+    barrier: SpinBarrier,
+}
+
+impl PassShared<'_> {
+    /// One cooperating worker. Worker 0 is the leader: between barriers it
+    /// publishes the next rank that can hold queued work and resets the
+    /// partition cursor; everyone (leader included) then claims
+    /// partitions until the rank drains.
+    fn worker(&self, w: usize) -> u64 {
+        let nranks = self.rank_parts.len();
+        let mut evaluated = 0u64;
+        let mut next = 0usize;
+        loop {
+            if w == 0 {
+                if !self.full {
+                    // skip ranks fully below the initial dirty window, and
+                    // stop once no mark at or past this rank can exist
+                    while next < nranks && self.rank_start[next + 1] <= self.lo_init {
+                        next += 1;
+                    }
+                    if next < nranks
+                        && self.rank_start[next] > self.pass_hi.load(Ordering::Relaxed)
+                    {
+                        next = nranks;
+                    }
+                }
+                let r = if next < nranks { next } else { usize::MAX };
+                if r != usize::MAX {
+                    self.part_cursor
+                        .store(self.rank_parts[r].0 as usize, Ordering::Relaxed);
+                }
+                self.cur_rank.store(r, Ordering::Release);
+            }
+            self.barrier.wait();
+            let r = self.cur_rank.load(Ordering::Acquire);
+            if r == usize::MAX {
+                break;
+            }
+            let pend = self.rank_parts[r].1 as usize;
+            loop {
+                let p = self.part_cursor.fetch_add(1, Ordering::Relaxed);
+                if p >= pend {
+                    break;
+                }
+                evaluated += self.eval_partition(p);
+            }
+            self.barrier.wait();
+            next = r + 1;
+        }
+        evaluated
+    }
+
+    /// Evaluate one partition (a contiguous op range within one rank).
+    fn eval_partition(&self, p: usize) -> u64 {
+        let (s, e) = self.parts[p];
+        let mut evaluated = 0u64;
+        for i in s as usize..e as usize {
+            if !self.full {
+                if (i as u32) < self.lo_init {
+                    continue;
+                }
+                let (w, bit) = (i / 64, 1u64 << (i % 64));
+                if self.dirty[w].load(Ordering::Relaxed) & bit == 0 {
+                    continue;
+                }
+                // this partition was claimed by exactly one worker and
+                // marks never target the rank being evaluated, but a
+                // boundary *word* can span partitions/ranks — clear only
+                // our bit, atomically
+                self.dirty[w].fetch_and(!bit, Ordering::Relaxed);
+            }
+            let op = &self.ops[i];
+            if op.kind == SettleKind::Packed {
+                let (pw, new, mut changed) = eval_packed(
+                    op.a as usize,
+                    self.packed,
+                    self.packed_nets,
+                    self.packed_vals,
+                    self.values,
+                );
+                evaluated += u64::from(pw.lanes);
+                while changed != 0 {
+                    let l = changed.trailing_zeros();
+                    let net = self.packed_nets[(pw.outs + l) as usize];
+                    self.values[net as usize].store((new >> l) & 1, Ordering::Relaxed);
+                    if !self.full {
+                        self.mark(net);
+                    }
+                    changed &= changed - 1;
+                }
+            } else {
+                let v = eval_op_with(|n| self.values[n as usize].load(Ordering::Relaxed), op);
+                evaluated += 1;
+                if self.values[op.out as usize].load(Ordering::Relaxed) != v {
+                    self.values[op.out as usize].store(v, Ordering::Relaxed);
+                    if !self.full {
+                        self.mark(op.out);
+                    }
+                }
+            }
+        }
+        evaluated
+    }
+
+    /// Mark `net`'s fanout dirty and raise the pass watermark. Idempotent
+    /// `fetch_or`s: two workers marking the same op agree on the bit.
+    fn mark(&self, net: u32) {
+        let lo = self.fanout_start[net as usize] as usize;
+        let hi = self.fanout_start[net as usize + 1] as usize;
+        for k in lo..hi {
+            let op = self.fanout_ops[k];
+            self.dirty[op as usize / 64].fetch_or(1u64 << (op % 64), Ordering::Relaxed);
+            self.pass_hi.fetch_max(op, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Read the `HERMES_PACKED_SETTLE` environment knob. Unset means packed
+/// (`true`); `on`/`1`/`true` and `off`/`0`/`false` (case-insensitive,
+/// trimmed) select explicitly. Unlike the lenient `HERMES_EVENT_SETTLE`
+/// knob this one is strict — any other value is
+/// [`RtlError::BadEnvKnob`], because a typo silently selecting the wrong
+/// engine would invalidate a benchmark run.
+///
+/// # Errors
+///
+/// Returns [`RtlError::BadEnvKnob`] for values outside the vocabulary.
+pub fn packed_settle_env() -> Result<bool, RtlError> {
+    parse_packed_knob(std::env::var("HERMES_PACKED_SETTLE").ok().as_deref())
+}
+
+/// Parse a `HERMES_PACKED_SETTLE` value (`None` = unset = packed).
+/// Split out from [`packed_settle_env`] so the vocabulary is testable
+/// without mutating process-global environment state.
+pub fn parse_packed_knob(raw: Option<&str>) -> Result<bool, RtlError> {
+    match raw {
+        None => Ok(true),
+        Some(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "on" | "1" | "true" => Ok(true),
+            "off" | "0" | "false" => Ok(false),
+            _ => Err(RtlError::BadEnvKnob {
+                name: "HERMES_PACKED_SETTLE".into(),
+                value: raw.into(),
+            }),
+        },
+    }
+}
+
+/// Sense-reversing spin barrier for the per-rank synchronization of
+/// partitioned settle workers. Engaged passes are large by construction
+/// (thousands of scheduled ops per rank round), so spinning beats parking
+/// and the barrier crossing stays in the nanosecond range.
+struct SpinBarrier {
+    total: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        SpinBarrier {
+            total,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        if self.total <= 1 {
+            return;
+        }
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            // last arriver: reset the count *before* releasing the
+            // generation, so early risers of the next round see zero
+            self.count.store(0, Ordering::Relaxed);
+            self.generation
+                .store(generation.wrapping_add(1), Ordering::Release);
+        } else {
+            // bounded spin, then yield: on a fully-loaded or single-core
+            // host a pure spin burns whole scheduler quanta per crossing
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                if spins < 64 {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Evaluate one packed word: read each input slot (aligned word read or
+/// bit gather), apply the boolean form once across all lanes, and publish
+/// the new output word. Returns the word descriptor, the new value, and
+/// the changed-lane bitmask; the caller scatters changed lanes into
+/// `values` (and marks fanout on event-driven paths).
 #[inline]
-fn eval_op(values: &[u64], op: &SettleOp) -> u64 {
-    let a = values[op.a as usize];
+fn eval_packed(
+    w: usize,
+    packed: &[PackedWord],
+    packed_nets: &[u32],
+    packed_vals: &[AtomicU64],
+    values: &[AtomicU64],
+) -> (PackedWord, u64, u64) {
+    let pw = packed[w];
+    let lanes = pw.lanes as usize;
+    let slot = |s: usize| -> u64 {
+        if pw.src[s] != u32::MAX {
+            // aligned fast path: the slot's lanes are bit 0..lanes of one
+            // earlier word, whose cached output is always current
+            packed_vals[pw.src[s] as usize].load(Ordering::Relaxed)
+        } else {
+            let base = pw.ins as usize + s * lanes;
+            let mut word = 0u64;
+            for l in 0..lanes {
+                word |=
+                    (values[packed_nets[base + l] as usize].load(Ordering::Relaxed) & 1) << l;
+            }
+            word
+        }
+    };
+    let v = match pw.kind {
+        PackKind::And => slot(0) & slot(1),
+        PackKind::Or => slot(0) | slot(1),
+        PackKind::Xor => slot(0) ^ slot(1),
+        PackKind::Not => !slot(0),
+        PackKind::Mux => {
+            let sel = slot(0);
+            (sel & slot(2)) | (!sel & slot(1))
+        }
+        PackKind::Cmp(c) => c.bit_apply(slot(0), slot(1)),
+    };
+    let new = v & pw.lane_mask;
+    let old = packed_vals[w].load(Ordering::Relaxed);
+    packed_vals[w].store(new, Ordering::Relaxed);
+    (pw, new, old ^ new)
+}
+
+/// Evaluate one compiled scalar settle op, reading inputs through `read`
+/// (a plain indexed load serially; the same relaxed atomic load inside
+/// partitioned workers).
+#[inline]
+fn eval_op_with<R: Fn(u32) -> u64>(read: R, op: &SettleOp) -> u64 {
+    let a = read(op.a);
     let v = match op.kind {
-        SettleKind::Add => a.wrapping_add(values[op.b as usize]),
-        SettleKind::Sub => a.wrapping_sub(values[op.b as usize]),
-        SettleKind::Mul => a.wrapping_mul(values[op.b as usize]),
+        SettleKind::Add => a.wrapping_add(read(op.b)),
+        SettleKind::Sub => a.wrapping_sub(read(op.b)),
+        SettleKind::Mul => a.wrapping_mul(read(op.b)),
         // division by zero yields all-ones, matching the component model
-        SettleKind::Div => a.checked_div(values[op.b as usize]).unwrap_or(u64::MAX),
+        SettleKind::Div => a.checked_div(read(op.b)).unwrap_or(u64::MAX),
         SettleKind::Mod => {
-            let d = values[op.b as usize];
+            let d = read(op.b);
             if d == 0 {
                 a
             } else {
                 a % d
             }
         }
-        SettleKind::And => a & values[op.b as usize],
-        SettleKind::Or => a | values[op.b as usize],
-        SettleKind::Xor => a ^ values[op.b as usize],
+        SettleKind::And => a & read(op.b),
+        SettleKind::Or => a | read(op.b),
+        SettleKind::Xor => a ^ read(op.b),
         SettleKind::Not => !a,
-        SettleKind::Shl => a << values[op.b as usize].min(63),
-        SettleKind::ShrL => a >> values[op.b as usize].min(63),
-        SettleKind::ShrA => {
-            (sign_extend(a, op.aux as u32) >> values[op.b as usize].min(63)) as u64
-        }
-        SettleKind::Cmp(c) => c.apply(a, values[op.b as usize], op.aux as u32) as u64,
+        SettleKind::Shl => a << read(op.b).min(63),
+        SettleKind::ShrL => a >> read(op.b).min(63),
+        SettleKind::ShrA => (sign_extend(a, op.aux as u32) >> read(op.b).min(63)) as u64,
+        SettleKind::Cmp(c) => c.apply(a, read(op.b), op.aux as u32) as u64,
         SettleKind::Mux => {
             if a & 1 == 1 {
-                values[op.c as usize]
+                read(op.c)
             } else {
-                values[op.b as usize]
+                read(op.b)
             }
         }
         SettleKind::Const => op.aux,
         SettleKind::Slice => a >> op.aux,
         SettleKind::ZeroExtend => a,
         SettleKind::SignExtend => sign_extend(a, op.aux as u32) as u64,
+        SettleKind::Packed => unreachable!("packed ops route through eval_packed"),
     };
     v & op.mask
 }
@@ -1097,5 +1978,227 @@ mod tests {
         sim.poke("a", 0x8034).unwrap();
         assert_eq!(sim.peek("hi").unwrap(), 0x80);
         assert_eq!(sim.peek("sx").unwrap(), 0xFF80);
+    }
+
+    #[test]
+    fn packed_knob_vocabulary() {
+        for ok_on in ["on", "1", "true", " ON ", "True"] {
+            assert_eq!(parse_packed_knob(Some(ok_on)), Ok(true), "{ok_on}");
+        }
+        for ok_off in ["off", "0", "false", " OFF ", "False"] {
+            assert_eq!(parse_packed_knob(Some(ok_off)), Ok(false), "{ok_off}");
+        }
+        assert_eq!(parse_packed_knob(None), Ok(true));
+        for bad in ["banana", "", "2", "yes", "no"] {
+            match parse_packed_knob(Some(bad)) {
+                Err(RtlError::BadEnvKnob { name, value }) => {
+                    assert_eq!(name, "HERMES_PACKED_SETTLE");
+                    assert_eq!(value, bad);
+                }
+                other => panic!("{bad:?} must be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    /// A bit-blasted fabric: `lanes` independent 1-bit slices, each with
+    /// an identical mix of packable forms (Xor, Not, Mux, Cmp) plus a
+    /// per-lane register. With `lanes >= 64` each form fills at least one
+    /// full packed word.
+    fn bit_fabric(lanes: usize) -> Netlist {
+        let mut nl = Netlist::new("bits");
+        for i in 0..lanes {
+            let a = nl.add_input(format!("a{i}"), 1);
+            let b = nl.add_input(format!("b{i}"), 1);
+            let x = nl.add_net(format!("x{i}"), 1);
+            let y = nl.add_net(format!("y{i}"), 1);
+            let m = nl.add_net(format!("m{i}"), 1);
+            let c = nl.add_net(format!("c{i}"), 1);
+            let q = nl.add_net(format!("q{i}"), 1);
+            nl.add_cell(format!("xor{i}"), CellOp::Xor, &[a, b], &[x])
+                .unwrap();
+            nl.add_cell(format!("not{i}"), CellOp::Not, &[x], &[y])
+                .unwrap();
+            nl.add_cell(format!("mux{i}"), CellOp::Mux, &[a, x, y], &[m])
+                .unwrap();
+            nl.add_cell(
+                format!("cmp{i}"),
+                CellOp::Cmp(Comparison::LtU),
+                &[a, b],
+                &[c],
+            )
+            .unwrap();
+            nl.add_cell(
+                format!("reg{i}"),
+                CellOp::Register {
+                    has_enable: false,
+                    has_reset: true,
+                },
+                &[m],
+                &[q],
+            )
+            .unwrap();
+            nl.mark_output(q);
+            nl.mark_output(c);
+        }
+        nl
+    }
+
+    /// Packing folds groups of identical 1-bit ops into 64-lane words:
+    /// the walked program shrinks while the scalar-op weight (and every
+    /// counter identity built on it) is preserved.
+    #[test]
+    fn packing_compiles_wide_one_bit_groups() {
+        let nl = bit_fabric(80);
+        let packed = Simulator::new_with_packing(&nl, true).unwrap();
+        let scalar = Simulator::new_with_packing(&nl, false).unwrap();
+        assert!(packed.packed());
+        assert!(!scalar.packed());
+        assert_eq!(packed.settle_program_len(), scalar.settle_program_len());
+        assert_eq!(packed.settle_program_len(), 80 * 4);
+        // 4 forms × 80 lanes → 4 full words + 4 remainder words of 16
+        assert_eq!(packed.packed_words(), 8);
+        assert_eq!(packed.packed_lanes(), 80 * 4);
+        assert_eq!(packed.settle_words(), 8);
+        assert_eq!(scalar.packed_words(), 0);
+        assert_eq!(scalar.settle_words(), 80 * 4);
+        // occupancy: 320 lanes over 8 words = 62.5%
+        assert_eq!(packed.lane_occupancy_permille(), 625);
+    }
+
+    /// Packed, scalar, and full-settle evaluation stay bit-identical
+    /// through pokes, steps, and resets; the full path's op counter keeps
+    /// the packing-invariant `passes × program_len` identity.
+    #[test]
+    fn packed_matches_scalar_and_full() {
+        let nl = bit_fabric(70);
+        let mut packed = Simulator::new_with_packing(&nl, true).unwrap();
+        let mut scalar = Simulator::new_with_packing(&nl, false).unwrap();
+        let mut full = Simulator::new_with_packing(&nl, true).unwrap();
+        full.set_event_driven(false);
+        let mut rng = crate::rng::DetRng::new(0xE16);
+        for cycle in 0..200u32 {
+            if cycle % 3 == 0 {
+                let i = (rng.next_u64() % 70) as usize;
+                let v = rng.next_u64() & 1;
+                for s in [&mut packed, &mut scalar, &mut full] {
+                    s.poke(&format!("a{i}"), v).unwrap();
+                    s.poke(&format!("b{i}"), v ^ 1).unwrap();
+                }
+            }
+            if cycle == 97 {
+                for s in [&mut packed, &mut scalar, &mut full] {
+                    s.reset();
+                }
+            }
+            for s in [&mut packed, &mut scalar, &mut full] {
+                s.step().unwrap();
+            }
+            for (nid, _) in nl.nets() {
+                let v = packed.peek_net(nid);
+                assert_eq!(v, scalar.peek_net(nid), "net {nid} vs scalar");
+                assert_eq!(v, full.peek_net(nid), "net {nid} vs full");
+            }
+        }
+        assert_eq!(packed.settle_passes(), scalar.settle_passes());
+        assert_eq!(
+            full.settle_ops(),
+            full.settle_passes() * full.settle_program_len() as u64,
+            "lane-weighted counting keeps the full-pass identity"
+        );
+    }
+
+    /// The partitioned path is a pure throughput knob: forcing engagement
+    /// at any worker count reproduces the serial simulator's values and
+    /// counters exactly.
+    #[test]
+    fn partitioned_settle_matches_serial_at_any_jobs() {
+        let nl = bit_fabric(96);
+        let mut serial = Simulator::new_with_packing(&nl, true).unwrap();
+        let mut sims: Vec<Simulator> = [1usize, 2, 4]
+            .iter()
+            .map(|&jobs| {
+                let mut s = Simulator::new_with_packing(&nl, true).unwrap();
+                s.set_partition_grain(1);
+                s.set_settle_jobs(jobs);
+                s
+            })
+            .collect();
+        assert!(sims[0].settle_partitions() > 1);
+        let mut rng = crate::rng::DetRng::new(0xBEEF);
+        for cycle in 0..120u32 {
+            let i = (rng.next_u64() % 96) as usize;
+            let v = rng.next_u64() & 1;
+            serial.poke(&format!("a{i}"), v).unwrap();
+            for s in &mut sims {
+                s.poke(&format!("a{i}"), v).unwrap();
+            }
+            if cycle == 60 {
+                serial.reset();
+                for s in &mut sims {
+                    s.reset();
+                }
+            }
+            serial.step().unwrap();
+            for s in &mut sims {
+                s.step().unwrap();
+            }
+            for (nid, _) in nl.nets() {
+                let want = serial.peek_net(nid);
+                for s in &sims {
+                    assert_eq!(s.peek_net(nid), want, "net {nid} jobs {}", s.settle_jobs());
+                }
+            }
+        }
+        for s in &sims {
+            assert!(s.settle_parallel_passes() > 0, "grain 1 must engage");
+            assert_eq!(s.settle_passes(), serial.settle_passes());
+            assert_eq!(s.settle_ops(), serial.settle_ops(), "jobs {}", s.settle_jobs());
+            assert_eq!(s.settle_parallel_ops(), sims[0].settle_parallel_ops());
+        }
+    }
+
+    /// Deep scalar chains partition by rank without deadlock or
+    /// reordering even when every rank holds a single op.
+    #[test]
+    fn partitioned_deep_chain_is_correct() {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a", 8);
+        let mut cur = a;
+        for i in 0..300 {
+            let y = nl.add_net(format!("n{i}"), 8);
+            nl.add_cell(format!("not{i}"), CellOp::Not, &[cur], &[y])
+                .unwrap();
+            cur = y;
+        }
+        nl.mark_output(cur);
+        let mut sim = Simulator::new_with_packing(&nl, true).unwrap();
+        sim.set_partition_grain(1);
+        sim.set_settle_jobs(4);
+        assert!(sim.settle_ranks() >= 300);
+        sim.poke("a", 0x5A).unwrap();
+        // even number of NOTs → identity
+        assert_eq!(sim.peek_net(cur), 0x5A);
+        sim.poke("a", 0x00).unwrap();
+        assert_eq!(sim.peek_net(cur), 0x00);
+        assert!(sim.settle_parallel_passes() > 0);
+    }
+
+    /// Simulator::clone preserves all state, including packed words and
+    /// dirty bookkeeping.
+    #[test]
+    fn clone_preserves_packed_state() {
+        let nl = bit_fabric(64);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.poke("a3", 1).unwrap();
+        sim.step().unwrap();
+        let mut twin = sim.clone();
+        sim.poke("b7", 1).unwrap();
+        twin.poke("b7", 1).unwrap();
+        sim.step().unwrap();
+        twin.step().unwrap();
+        for (nid, _) in nl.nets() {
+            assert_eq!(sim.peek_net(nid), twin.peek_net(nid), "net {nid}");
+        }
+        assert_eq!(sim.settle_ops(), twin.settle_ops());
     }
 }
