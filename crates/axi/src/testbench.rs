@@ -42,6 +42,13 @@ impl BusStats {
     /// subsystem `sub`, plus one `Cpu`-clocked instant summarizing the run
     /// at the final bus cycle.
     pub fn obs_export(&self, obs: &hermes_obs::Recorder, sub: &str) {
+        self.obs_export_ctx(obs, sub, hermes_obs::TraceCtx::untraced());
+    }
+
+    /// [`Self::obs_export`] with a causal trace context: the summary
+    /// instant links into `ctx`'s trace, so a request trace that crosses
+    /// the bus (serve → DMA measurement → AXI) stays one connected tree.
+    pub fn obs_export_ctx(&self, obs: &hermes_obs::Recorder, sub: &str, ctx: hermes_obs::TraceCtx) {
         obs.counter_add(sub, "cycles", self.cycles);
         obs.counter_add(sub, "bytes_read", self.bytes_read);
         obs.counter_add(sub, "bytes_written", self.bytes_written);
@@ -55,7 +62,7 @@ impl BusStats {
             // fixed buckets in bus cycles: latency profile of read bursts
             obs.observe(sub, "read_latency", &[8, 16, 32, 64, 128, 256], mean);
         }
-        obs.instant(
+        obs.trace_instant(
             sub,
             "bus-stats",
             hermes_obs::ClockDomain::Cpu,
@@ -65,6 +72,7 @@ impl BusStats {
                 ("slverrs", self.slverrs.to_string()),
                 ("timeouts", self.timeouts.to_string()),
             ],
+            ctx,
         );
     }
 }

@@ -7,6 +7,7 @@
 //! cargo run --release -p hermes-bench --bin experiments --list # ids+titles
 //! cargo run --release -p hermes-bench --bin experiments e11 --json BENCH_hermes.json
 //! cargo run --release -p hermes-bench --bin experiments e1 e2 --trace t.json
+//! cargo run --release -p hermes-bench --bin experiments e17 --profile p.json
 //! cargo run --release -p hermes-bench --bin experiments e2 --jobs 1   # pin workers
 //! ```
 //!
@@ -20,22 +21,38 @@
 //! channel is on for trace runs; every wall-derived field sits on a
 //! `"wall`-prefixed key so the deterministic channels diff clean across
 //! worker counts (`grep -v '"wall'`).
+//!
+//! `--profile <path>` runs the deterministic post-hoc profiler over the
+//! same recorder and writes the `hermes-profile/v1` document (per-span
+//! self-time, per-request critical paths, segment totals) to `<path>`
+//! plus a collapsed-stack flamegraph to `<path minus .json>.folded`.
+//! Profiles carry no wall channel at all: two profiles from the same
+//! selection diff byte-identical at any worker count, no stripping
+//! needed. `HERMES_TRACE_SAMPLE=<permille>` bounds how many serve
+//! requests record causal traces (strictly parsed, 0..=1000).
 
 use hermes_bench::json::Json;
+use hermes_bench::profile_export;
 use hermes_bench::trace;
 use hermes_obs::{ClockDomain, Recorder};
 
 fn main() {
-    // Fail fast on a malformed HERMES_PACKED_SETTLE before any experiment
-    // runs — a typo silently selecting the wrong settle engine would
-    // invalidate a whole benchmark run.
+    // Fail fast on a malformed HERMES_PACKED_SETTLE or HERMES_TRACE_SAMPLE
+    // before any experiment runs — a typo silently selecting the wrong
+    // settle engine or sampling rate would invalidate a whole benchmark
+    // run.
     if let Err(e) = hermes_rtl::sim::packed_settle_env() {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = hermes_obs::env::trace_sample_env() {
         eprintln!("{e}");
         std::process::exit(1);
     }
     let mut filter: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut list = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,6 +68,13 @@ fn main() {
                 Some(path) => trace_path = Some(path),
                 None => {
                     eprintln!("--trace requires a file path");
+                    std::process::exit(1);
+                }
+            },
+            "--profile" => match args.next() {
+                Some(path) => profile_path = Some(path),
+                None => {
+                    eprintln!("--profile requires a file path");
                     std::process::exit(1);
                 }
             },
@@ -86,8 +110,8 @@ fn main() {
         .filter(|(id, _, _)| filter.is_empty() || filter.iter().any(|f| f == id))
         .collect();
     if list {
-        if json_path.is_some() || trace_path.is_some() {
-            eprintln!("--list runs nothing; combine it with neither --json nor --trace");
+        if json_path.is_some() || trace_path.is_some() || profile_path.is_some() {
+            eprintln!("--list runs nothing; combine it with none of --json/--trace/--profile");
             std::process::exit(1);
         }
         for (id, title, _) in &selected {
@@ -95,15 +119,19 @@ fn main() {
         }
         return;
     }
-    if selected.is_empty() && (json_path.is_some() || trace_path.is_some()) {
-        eprintln!("--json/--trace need at least one experiment to run");
+    if selected.is_empty() && (json_path.is_some() || trace_path.is_some() || profile_path.is_some())
+    {
+        eprintln!("--json/--trace/--profile need at least one experiment to run");
         std::process::exit(1);
     }
 
-    // the session recorder: wall channel on and a deep ring when tracing,
-    // a one-branch no-op otherwise
+    // the session recorder: a deep ring when tracing or profiling (the
+    // wall side channel only when tracing — profiles must diff clean with
+    // no stripping), a one-branch no-op otherwise
     let session = if trace_path.is_some() {
         Recorder::with_wall().with_capacity(1 << 16)
+    } else if profile_path.is_some() {
+        Recorder::new().with_capacity(1 << 16)
     } else {
         Recorder::disabled()
     };
@@ -169,5 +197,20 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {path} and {chrome}");
+    }
+    if let Some(path) = profile_path {
+        let prof = hermes_obs::profile::profile(&session.snapshot());
+        let body = profile_export::profile_document(&prof).render();
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        let folded = profile_export::folded_path(&path);
+        let body = profile_export::folded_stacks(&prof);
+        if let Err(e) = std::fs::write(&folded, body) {
+            eprintln!("failed to write {folded}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path} and {folded}");
     }
 }

@@ -34,16 +34,17 @@ use hermes_serve::workload::{self, ClassProfile, WorkloadConfig};
 const INPUTS: usize = 6;
 const HIDDEN: usize = 8;
 const OUTPUTS: usize = 3;
-/// Offered loads swept, in percent of the pool's saturation rate.
-const LOADS: [u64; 5] = [50, 80, 100, 150, 200];
+/// Offered loads swept, in percent of the pool's saturation rate
+/// (shared with E17, which replays the same sweep under tracing + SLOs).
+pub(crate) const LOADS: [u64; 5] = [50, 80, 100, 150, 200];
 /// Requests offered per sweep point.
 const REQUESTS: usize = 400;
 /// Workload seed (arrivals, tenants, payloads).
-const SEED: u64 = 14;
+pub(crate) const SEED: u64 = 14;
 
 /// Build the measured MLP accelerator model: per-item cycles from one
 /// cycle-accurate co-simulation, DMA cycles from one AXI round trip.
-fn mlp_model() -> AcceleratorModel {
+pub(crate) fn mlp_model() -> AcceleratorModel {
     let design = HlsFlow::new()
         .unroll_limit(0)
         .compile(ai::MLP_SOURCE)
@@ -68,7 +69,7 @@ fn mlp_model() -> AcceleratorModel {
     .with_measured_dma((INPUTS + OUTPUTS) * 4)
 }
 
-fn serve_cfg() -> ServeConfig {
+pub(crate) fn serve_cfg() -> ServeConfig {
     ServeConfig {
         queue_depth: 64,
         tenant_quota: 24,
@@ -82,7 +83,7 @@ fn serve_cfg() -> ServeConfig {
 /// Workload shaped to the measured model: the mean inter-arrival gap at
 /// 100% equals the pool's per-item service time at full batches, and
 /// deadline budgets scale with the single-item service time.
-fn workload_cfg(model: &AcceleratorModel, cfg: &ServeConfig) -> WorkloadConfig {
+pub(crate) fn workload_cfg(model: &AcceleratorModel, cfg: &ServeConfig) -> WorkloadConfig {
     let svc1 = model.service_cycles(1);
     let full = model.service_cycles(cfg.batch_max);
     // saturation: instances * batch_max items per `full` ticks

@@ -1,7 +1,7 @@
 //! # hermes-bench
 //!
 //! The experiment harness: one module per experiment of EXPERIMENTS.md
-//! (E1–E16), each regenerating the corresponding table. The paper itself is
+//! (E1–E17), each regenerating the corresponding table. The paper itself is
 //! a project report with architecture figures rather than result tables;
 //! each experiment therefore reproduces the *measurable claim* behind a
 //! figure or section, as mapped in DESIGN.md.
@@ -36,9 +36,11 @@ pub mod e13_eventdriven;
 pub mod e14_serving;
 pub mod e15_isolation;
 pub mod e16_wordparallel;
+pub mod e17_tracing;
 pub mod hdl_check;
 pub mod json;
 pub mod kernels;
+pub mod profile_export;
 pub mod table;
 pub mod trace;
 
@@ -135,6 +137,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e16",
             "Word-parallel bit-packed settle + rank-partitioned parallel simulation",
             e16_wordparallel::run_traced,
+        ),
+        (
+            "e17",
+            "Causal tracing, critical-path profiling, SLO burn-rate alerting",
+            e17_tracing::run_traced,
         ),
     ]
 }

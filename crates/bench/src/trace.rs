@@ -86,6 +86,7 @@ pub fn trace_document(rec: &Recorder) -> Json {
     Json::obj(vec![
         ("schema", Json::Str("hermes-trace/v1".into())),
         ("wall_channel", Json::Bool(rec.wall_enabled())),
+        ("dropped_events", Json::Int(snap.dropped_total() as i64)),
         ("subsystems", Json::Arr(subsystems)),
         ("counters", Json::Arr(counters)),
         ("gauges", Json::Arr(gauges)),
@@ -104,6 +105,15 @@ fn event_json(ev: &Event) -> Json {
     ];
     if let EventKind::Span { dur } = ev.kind {
         pairs.push(("dur", Json::Int(dur as i64)));
+    }
+    if let Some(link) = ev.trace {
+        pairs.push(("trace_id", Json::Int(link.trace_id as i64)));
+        if link.span_id != 0 {
+            pairs.push(("span_id", Json::Int(link.span_id as i64)));
+        }
+        if link.parent_span != 0 {
+            pairs.push(("parent_span", Json::Int(link.parent_span as i64)));
+        }
     }
     if !ev.args.is_empty() {
         pairs.push((
@@ -234,6 +244,19 @@ mod tests {
         let stripped: Vec<&str> = doc.lines().filter(|l| !l.contains("\"wall")).collect();
         assert!(!stripped.iter().any(|l| l.contains("wall")));
         assert!(doc.lines().any(|l| l.contains("\"wall_ns\"")));
+    }
+
+    #[test]
+    fn trace_links_and_drop_totals_are_exported() {
+        let r = Recorder::new();
+        let ctx = r.mint_trace();
+        let root = r.trace_span("s", "request", ClockDomain::Cpu, 0, 10, &[], WallMark::none(), ctx);
+        r.trace_span("s", "seg", ClockDomain::Cpu, 0, 10, &[], WallMark::none(), ctx.child(root));
+        let doc = trace_document(&r).render();
+        assert!(doc.contains("\"trace_id\""));
+        assert!(doc.contains("\"span_id\""));
+        assert!(doc.contains("\"parent_span\""));
+        assert!(doc.contains("\"dropped_events\": 0"));
     }
 
     #[test]

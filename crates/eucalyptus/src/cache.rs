@@ -67,10 +67,8 @@ pub fn bypassed() -> bool {
     if BYPASS.load(Ordering::Relaxed) {
         return true;
     }
-    match std::env::var("HERMES_CHAR_CACHE") {
-        Ok(v) => matches!(v.trim().to_ascii_lowercase().as_str(), "off" | "0" | "false"),
-        Err(_) => false,
-    }
+    let raw = std::env::var("HERMES_CHAR_CACHE").ok();
+    !hermes_obs::env::bool_lenient("HERMES_CHAR_CACHE", raw.as_deref(), true)
 }
 
 /// FNV-1a over a canonical rendering of every device-profile field

@@ -1,0 +1,203 @@
+//! Shared environment-knob parsing.
+//!
+//! Every `HERMES_*` knob in the workspace goes through this module so the
+//! accepted vocabulary is identical everywhere. Two disciplines exist, on
+//! purpose:
+//!
+//! - **Strict** ([`bool_strict`], [`permille_strict`]): a value outside
+//!   the vocabulary is an error. Used where a typo would silently select
+//!   the wrong engine or sample rate and invalidate a whole run
+//!   (`HERMES_PACKED_SETTLE`, `HERMES_TRACE_SAMPLE`).
+//! - **Lenient** ([`bool_lenient`], [`usize_positive`] at its call
+//!   sites): an unrecognized value falls back to a documented default —
+//!   but never *silently*: the fallback is recorded through
+//!   [`warnings::warn_once`] so it surfaces in trace documents and once
+//!   on stderr. Used for long-standing knobs whose callers tolerate
+//!   garbage (`HERMES_EVENT_SETTLE`, `HERMES_JOBS`, `HERMES_CHAR_CACHE`).
+
+use crate::warnings;
+use std::fmt;
+
+/// The trace-sampling knob: permille (0..=1000) of minted traces whose
+/// events are recorded. Strict parse; unset means 1000 (sample all).
+pub const TRACE_SAMPLE_VAR: &str = "HERMES_TRACE_SAMPLE";
+
+/// An environment knob held a value outside its accepted vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvKnobError {
+    /// The environment variable name.
+    pub name: String,
+    /// The rejected value.
+    pub value: String,
+    /// What the knob accepts, for the message.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for EnvKnobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}={:?} is not a recognized setting (use {})",
+            self.name, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvKnobError {}
+
+/// The shared on/off vocabulary: `Some(true)` for `on`/`1`/`true`,
+/// `Some(false)` for `off`/`0`/`false` (trimmed, case-insensitive),
+/// `None` for anything else.
+fn bool_vocab(raw: &str) -> Option<bool> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "on" | "1" | "true" => Some(true),
+        "off" | "0" | "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// Strict boolean knob: unset means `default`, a value outside the
+/// on/off vocabulary is an error.
+///
+/// # Errors
+///
+/// [`EnvKnobError`] when the value is outside `on`/`1`/`true` /
+/// `off`/`0`/`false`.
+pub fn bool_strict(name: &str, raw: Option<&str>, default: bool) -> Result<bool, EnvKnobError> {
+    match raw {
+        None => Ok(default),
+        Some(raw) => bool_vocab(raw).ok_or_else(|| EnvKnobError {
+            name: name.to_string(),
+            value: raw.to_string(),
+            expected: "on/1/true or off/0/false",
+        }),
+    }
+}
+
+/// Lenient boolean knob: unset means `default`; a value outside the
+/// on/off vocabulary also means `default`, but is surfaced once through
+/// the warning sink instead of being swallowed.
+pub fn bool_lenient(name: &str, raw: Option<&str>, default: bool) -> bool {
+    match raw {
+        None => default,
+        Some(raw) => bool_vocab(raw).unwrap_or_else(|| {
+            let state = if default { "on" } else { "off" };
+            let msg = format!(
+                "{name}={:?} is not a recognized setting (use on/1/true or off/0/false); \
+                 defaulting to {state}",
+                raw.trim()
+            );
+            if warnings::warn_once(name, &msg) {
+                eprintln!("warning: {msg}");
+            }
+            default
+        }),
+    }
+}
+
+/// Positive-integer knob (worker counts): unset means `None`, zero and
+/// unparsable values are errors — the *caller* decides whether to treat
+/// the error strictly (CLI flags) or fall back with a warning
+/// (`HERMES_JOBS` resolution).
+///
+/// # Errors
+///
+/// [`EnvKnobError`] on zero or an unparsable value.
+pub fn usize_positive(name: &str, raw: Option<&str>) -> Result<Option<usize>, EnvKnobError> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(EnvKnobError {
+            name: name.to_string(),
+            value: trimmed.to_string(),
+            expected: "a positive integer (0 requests zero workers)",
+        }),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(EnvKnobError {
+            name: name.to_string(),
+            value: trimmed.to_string(),
+            expected: "a positive integer",
+        }),
+    }
+}
+
+/// Strict permille knob (0..=1000): unset means `default`, anything
+/// unparsable or above 1000 is an error.
+///
+/// # Errors
+///
+/// [`EnvKnobError`] on an unparsable value or one above 1000.
+pub fn permille_strict(name: &str, raw: Option<&str>, default: u64) -> Result<u64, EnvKnobError> {
+    let Some(raw) = raw else { return Ok(default) };
+    let trimmed = raw.trim();
+    match trimmed.parse::<u64>() {
+        Ok(v) if v <= 1000 => Ok(v),
+        _ => Err(EnvKnobError {
+            name: name.to_string(),
+            value: trimmed.to_string(),
+            expected: "an integer permille in 0..=1000",
+        }),
+    }
+}
+
+/// Read `HERMES_TRACE_SAMPLE` from the process environment (strict;
+/// unset means 1000 = sample every trace).
+///
+/// # Errors
+///
+/// [`EnvKnobError`] when the variable is set to anything but an integer
+/// permille in `0..=1000`.
+pub fn trace_sample_env() -> Result<u64, EnvKnobError> {
+    let raw = std::env::var(TRACE_SAMPLE_VAR).ok();
+    permille_strict(TRACE_SAMPLE_VAR, raw.as_deref(), 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_bool_accepts_the_vocabulary_and_rejects_the_rest() {
+        for (v, want) in [("on", true), ("1", true), ("TRUE", true), (" off ", false), ("0", false)] {
+            assert_eq!(bool_strict("K", Some(v), false), Ok(want));
+        }
+        assert_eq!(bool_strict("K", None, true), Ok(true));
+        let err = bool_strict("K", Some("banana"), true).unwrap_err();
+        assert_eq!(err.name, "K");
+        assert_eq!(err.value, "banana");
+        assert!(err.to_string().contains("on/1/true"));
+    }
+
+    #[test]
+    fn lenient_bool_falls_back_with_a_warning() {
+        assert!(bool_lenient("HERMES_TEST_LENIENT", Some("yes-please"), true));
+        let warned = crate::warnings::snapshot()
+            .into_iter()
+            .find(|(k, _)| k == "HERMES_TEST_LENIENT")
+            .expect("fallback is surfaced");
+        assert!(warned.1.contains("yes-please"));
+        // recognized values never warn
+        assert!(!bool_lenient("HERMES_TEST_LENIENT_OK", Some("off"), true));
+        assert!(!crate::warnings::snapshot().iter().any(|(k, _)| k == "HERMES_TEST_LENIENT_OK"));
+    }
+
+    #[test]
+    fn usize_positive_contract() {
+        assert_eq!(usize_positive("J", None), Ok(None));
+        assert_eq!(usize_positive("J", Some(" 16 ")), Ok(Some(16)));
+        assert!(usize_positive("J", Some("0")).unwrap_err().to_string().contains("zero"));
+        assert!(usize_positive("J", Some("many")).is_err());
+    }
+
+    #[test]
+    fn permille_strict_contract() {
+        assert_eq!(permille_strict("S", None, 1000), Ok(1000));
+        assert_eq!(permille_strict("S", Some("0"), 1000), Ok(0));
+        assert_eq!(permille_strict("S", Some(" 125 "), 1000), Ok(125));
+        assert_eq!(permille_strict("S", Some("1000"), 1000), Ok(1000));
+        for bad in ["1001", "-1", "12.5", "banana", ""] {
+            let err = permille_strict("S", Some(bad), 1000).unwrap_err();
+            assert!(err.to_string().contains("0..=1000"), "{err}");
+        }
+    }
+}

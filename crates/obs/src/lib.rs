@@ -32,6 +32,9 @@
 //! recording call after a single branch, so instrumentation can stay in
 //! hot paths unconditionally.
 
+pub mod env;
+pub mod profile;
+pub mod slo;
 pub mod warnings;
 
 use std::collections::HashMap;
@@ -95,6 +98,82 @@ impl EventKind {
     }
 }
 
+/// Salt folded into span-id sequences so span ids and trace ids minted
+/// from the same recorder domain never collide numerically.
+const SPAN_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// FNV-1a over two words, pinned away from zero (`0` is the "untraced"
+/// sentinel everywhere). Used to mix a recorder's domain number with a
+/// per-recorder sequence so ids minted by different children are unique
+/// while staying a pure function of construction order — the property
+/// that keeps traces byte-identical across worker counts.
+fn fnv_mix(domain: u64, seq: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in domain.to_le_bytes().into_iter().chain(seq.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h.max(1)
+}
+
+/// Causal trace identity minted at a request boundary (admission, a
+/// measurement campaign, a partition activation) and propagated through
+/// every layer the work touches. Copy it freely — it is two words.
+///
+/// `trace_id == 0` means "untraced": recording calls taking a `TraceCtx`
+/// degrade to their plain equivalents, so call sites stay unconditional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// The request-scoped trace id (`0` = untraced).
+    pub trace_id: u64,
+    /// The span this work is causally nested under (`0` = trace root).
+    pub parent_span: u64,
+}
+
+impl TraceCtx {
+    /// The inert context: recording with it is a plain (untraced) record.
+    pub const fn untraced() -> Self {
+        TraceCtx { trace_id: 0, parent_span: 0 }
+    }
+
+    /// Whether this context carries a real trace id.
+    pub fn is_traced(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// The same trace, nested under `span_id` (as returned by
+    /// [`Recorder::trace_span`]).
+    #[must_use]
+    pub fn child(&self, span_id: u64) -> TraceCtx {
+        TraceCtx { trace_id: self.trace_id, parent_span: span_id }
+    }
+
+    /// Deterministic sampling decision: whether this trace falls inside a
+    /// `permille`-per-1000 sample. Keyed on a hash of the trace id — not
+    /// on any counter — so the sampled subset is identical at any worker
+    /// count and any interleaving. Untraced contexts never sample in.
+    pub fn sampled(&self, permille: u64) -> bool {
+        if self.trace_id == 0 {
+            return false;
+        }
+        if permille >= 1000 {
+            return true;
+        }
+        fnv_mix(self.trace_id, 0x5a) % 1000 < permille
+    }
+}
+
+/// The causal-trace linkage carried by a traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceLink {
+    /// The trace this event belongs to (never `0` on a stored link).
+    pub trace_id: u64,
+    /// This event's own span id (`0` for instants, which are leaves).
+    pub span_id: u64,
+    /// The enclosing span (`0` = this event is a trace root).
+    pub parent_span: u64,
+}
+
 /// One recorded event.
 #[derive(Debug, Clone)]
 pub struct Event {
@@ -111,6 +190,8 @@ pub struct Event {
     pub ts: u64,
     /// Key/value payload (values pre-rendered to strings by the caller).
     pub args: Vec<(String, String)>,
+    /// Causal-trace linkage (`None` for untraced events).
+    pub trace: Option<TraceLink>,
     /// Wall-clock side channel: span duration (spans) or nanoseconds since
     /// the recorder's epoch (instants). `None` unless the recorder was
     /// built with [`Recorder::with_wall`]. Stripped from deterministic
@@ -207,12 +288,33 @@ impl Histogram {
     /// keeps tail percentiles finite. Returns `None` on an empty
     /// histogram.
     ///
+    /// Total observations (same value as the public `count` field, as a
+    /// readout for generic metric consumers).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values (readout form of the public `sum` field).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observed value in fixed-point thousandths (`sum * 1000 /
+    /// count`), or `None` on an empty histogram. Integer arithmetic so the
+    /// readout is byte-stable across platforms.
+    pub fn mean_x1000(&self) -> Option<u64> {
+        self.sum.saturating_mul(1000).checked_div(self.count)
+    }
+
     /// [`max`]: Histogram::max
     pub fn percentile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
+        // clamp out-of-range (and NaN, which fails every comparison)
+        // quantiles instead of silently misbehaving: q <= 0 reads the
+        // first observation, q >= 1 the max, NaN behaves like 0
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cum = 0u64;
@@ -251,10 +353,21 @@ struct Metrics {
     gauge_idx: HashMap<String, usize>,
     hists: Vec<(String, String, Histogram)>,
     hist_idx: HashMap<String, usize>,
+    /// Reusable composite-key buffer for index lookups: steady-state
+    /// metric updates (the serving hot path observes a histogram per
+    /// served request) allocate nothing — the key is only cloned out on
+    /// a metric's first touch.
+    scratch: String,
 }
 
-fn metric_key(sub: &str, name: &str) -> String {
-    format!("{sub}\u{1f}{name}")
+impl Metrics {
+    /// Build the `sub`/`name` composite key in the scratch buffer.
+    fn fill_key(&mut self, sub: &str, name: &str) {
+        self.scratch.clear();
+        self.scratch.push_str(sub);
+        self.scratch.push('\u{1f}');
+        self.scratch.push_str(name);
+    }
 }
 
 #[derive(Debug, Default)]
@@ -266,6 +379,12 @@ struct State {
     next_seq: u64,
     /// Total events ever recorded (including ones since dropped).
     total_events: u64,
+    /// Trace ids minted so far ([`Recorder::mint_trace`]).
+    next_trace_seq: u64,
+    /// Span ids minted so far ([`Recorder::trace_span`]).
+    next_span_seq: u64,
+    /// Child domains allocated so far ([`Recorder::child`]).
+    next_child_domain: u64,
 }
 
 #[derive(Debug)]
@@ -273,6 +392,11 @@ struct Inner {
     enabled: bool,
     wall: bool,
     capacity: usize,
+    /// Trace-id domain: `0` for a root recorder, a deterministic mix of
+    /// the parent's domain and the child index for children — so ids
+    /// minted by independent children never collide yet depend only on
+    /// construction order, never on scheduling.
+    domain: u64,
     epoch: Instant,
     state: Mutex<State>,
 }
@@ -303,12 +427,13 @@ impl Default for Recorder {
 }
 
 impl Recorder {
-    fn build(enabled: bool, wall: bool, capacity: usize) -> Self {
+    fn build(enabled: bool, wall: bool, capacity: usize, domain: u64) -> Self {
         Recorder {
             inner: Arc::new(Inner {
                 enabled,
                 wall,
                 capacity,
+                domain,
                 epoch: Instant::now(),
                 state: Mutex::new(State::default()),
             }),
@@ -317,24 +442,24 @@ impl Recorder {
 
     /// An enabled recorder with the deterministic channels only.
     pub fn new() -> Self {
-        Recorder::build(true, false, DEFAULT_RING_CAPACITY)
+        Recorder::build(true, false, DEFAULT_RING_CAPACITY, 0)
     }
 
     /// An enabled recorder that additionally captures the wall-clock side
     /// channel (`wall_ns` on every event).
     pub fn with_wall() -> Self {
-        Recorder::build(true, true, DEFAULT_RING_CAPACITY)
+        Recorder::build(true, true, DEFAULT_RING_CAPACITY, 0)
     }
 
     /// A recorder whose every recording call is a no-op after one branch.
     pub fn disabled() -> Self {
-        Recorder::build(false, false, DEFAULT_RING_CAPACITY)
+        Recorder::build(false, false, DEFAULT_RING_CAPACITY, 0)
     }
 
     /// Same configuration, different ring capacity (events per subsystem).
     #[must_use]
     pub fn with_capacity(self, capacity: usize) -> Self {
-        Recorder::build(self.inner.enabled, self.inner.wall, capacity.max(1))
+        Recorder::build(self.inner.enabled, self.inner.wall, capacity.max(1), self.inner.domain)
     }
 
     /// Whether recording calls store anything.
@@ -352,8 +477,36 @@ impl Recorder {
     /// in input order. A child of a disabled recorder is disabled.
     ///
     /// [`absorb`]: Recorder::absorb
+    ///
+    /// Each child gets its own trace-id domain, allocated from the
+    /// parent's deterministic sequence: the k-th child of a given
+    /// recorder always mints the same trace/span ids, no matter how the
+    /// children are scheduled.
     pub fn child(&self) -> Recorder {
-        Recorder::build(self.inner.enabled, self.inner.wall, self.inner.capacity)
+        if !self.inner.enabled {
+            return Recorder::build(false, false, self.inner.capacity, 0);
+        }
+        let n = {
+            let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.next_child_domain += 1;
+            st.next_child_domain
+        };
+        let domain = fnv_mix(self.inner.domain, n);
+        Recorder::build(self.inner.enabled, self.inner.wall, self.inner.capacity, domain)
+    }
+
+    /// Mint a fresh [`TraceCtx`] rooted at this recorder. Ids come from a
+    /// per-recorder sequence mixed with the recorder's domain, so the n-th
+    /// mint of the k-th child is a pure function of (k, n) — stable under
+    /// [`Recorder::child`]/[`Recorder::absorb`] and therefore identical at
+    /// any worker count. A disabled recorder mints the untraced context.
+    pub fn mint_trace(&self) -> TraceCtx {
+        if !self.inner.enabled {
+            return TraceCtx::untraced();
+        }
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.next_trace_seq += 1;
+        TraceCtx { trace_id: fnv_mix(self.inner.domain, st.next_trace_seq), parent_span: 0 }
     }
 
     /// Start a wall-clock measurement for a later [`Recorder::span`].
@@ -375,8 +528,25 @@ impl Recorder {
     }
 
     fn push(&self, sub: &str, ev: Event) {
+        self.push_alloc(sub, ev, false);
+    }
+
+    /// Append one event under a single lock acquisition; when
+    /// `alloc_span` is set, also allocate the next span id (stamped into
+    /// the event's trace link) so span-id order always matches event
+    /// order. Returns the allocated span id (`0` otherwise).
+    fn push_alloc(&self, sub: &str, mut ev: Event, alloc_span: bool) -> u64 {
         let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        let mut ev = ev;
+        let span_id = if alloc_span {
+            st.next_span_seq += 1;
+            let id = fnv_mix(self.inner.domain ^ SPAN_SALT, st.next_span_seq);
+            if let Some(link) = ev.trace.as_mut() {
+                link.span_id = id;
+            }
+            id
+        } else {
+            0
+        };
         ev.seq = st.next_seq;
         st.next_seq += 1;
         st.total_events += 1;
@@ -389,8 +559,20 @@ impl Recorder {
         if buf.events.len() >= cap {
             buf.events.pop_front();
             buf.dropped += 1;
+            if buf.dropped == 1 {
+                // surface truncation exactly once per subsystem so a
+                // clipped trace is never mistaken for a complete one
+                warnings::warn_once(
+                    &format!("obs-ring-drop:{sub}"),
+                    &format!(
+                        "subsystem {sub:?} event ring reached capacity {cap}; \
+                         oldest events are being dropped (trace truncated)"
+                    ),
+                );
+            }
         }
         buf.events.push_back(ev);
+        span_id
     }
 
     /// Record a span: an interval starting at `ts` lasting `dur` ticks of
@@ -422,9 +604,55 @@ impl Recorder {
                 clock,
                 ts,
                 args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+                trace: None,
                 wall_ns,
             },
         );
+    }
+
+    /// Record a span carrying causal-trace linkage from `ctx`; returns the
+    /// span's freshly allocated id (hand `ctx.child(id)` to nested work).
+    /// With an untraced `ctx` this records a plain span and returns `0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn trace_span(
+        &self,
+        sub: &str,
+        name: &str,
+        clock: ClockDomain,
+        ts: u64,
+        dur: u64,
+        args: &[(&str, String)],
+        mark: WallMark,
+        ctx: TraceCtx,
+    ) -> u64 {
+        if !self.inner.enabled {
+            return 0;
+        }
+        if !ctx.is_traced() {
+            self.span(sub, name, clock, ts, dur, args, mark);
+            return 0;
+        }
+        let wall_ns = mark
+            .0
+            .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        self.push_alloc(
+            sub,
+            Event {
+                seq: 0,
+                name: name.to_string(),
+                kind: EventKind::Span { dur },
+                clock,
+                ts,
+                args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+                trace: Some(TraceLink {
+                    trace_id: ctx.trace_id,
+                    span_id: 0, // stamped by push_alloc
+                    parent_span: ctx.parent_span,
+                }),
+                wall_ns,
+            },
+            true,
+        )
     }
 
     /// Record a point event at `ts` in `clock`.
@@ -442,6 +670,46 @@ impl Recorder {
                 clock,
                 ts,
                 args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+                trace: None,
+                wall_ns,
+            },
+        );
+    }
+
+    /// Record a point event carrying causal-trace linkage from `ctx`
+    /// (a leaf: instants get no span id). With an untraced `ctx` this
+    /// records a plain instant.
+    pub fn trace_instant(
+        &self,
+        sub: &str,
+        name: &str,
+        clock: ClockDomain,
+        ts: u64,
+        args: &[(&str, String)],
+        ctx: TraceCtx,
+    ) {
+        if !self.inner.enabled {
+            return;
+        }
+        if !ctx.is_traced() {
+            self.instant(sub, name, clock, ts, args);
+            return;
+        }
+        let wall_ns = self.now_wall();
+        self.push(
+            sub,
+            Event {
+                seq: 0,
+                name: name.to_string(),
+                kind: EventKind::Instant,
+                clock,
+                ts,
+                args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+                trace: Some(TraceLink {
+                    trace_id: ctx.trace_id,
+                    span_id: 0,
+                    parent_span: ctx.parent_span,
+                }),
                 wall_ns,
             },
         );
@@ -462,6 +730,7 @@ impl Recorder {
                 clock: ClockDomain::Seq,
                 ts: 0,
                 args: vec![("message".to_string(), message.to_string())],
+                trace: None,
                 wall_ns,
             },
         );
@@ -473,11 +742,12 @@ impl Recorder {
             return;
         }
         let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        let key = metric_key(sub, name);
         let m = &mut st.metrics;
-        match m.counter_idx.get(&key) {
+        m.fill_key(sub, name);
+        match m.counter_idx.get(&m.scratch) {
             Some(&i) => m.counters[i].2 += delta,
             None => {
+                let key = m.scratch.clone();
                 m.counter_idx.insert(key, m.counters.len());
                 m.counters.push((sub.to_string(), name.to_string(), delta));
             }
@@ -490,11 +760,12 @@ impl Recorder {
             return;
         }
         let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        let key = metric_key(sub, name);
         let m = &mut st.metrics;
-        match m.gauge_idx.get(&key) {
+        m.fill_key(sub, name);
+        match m.gauge_idx.get(&m.scratch) {
             Some(&i) => m.gauges[i].2 = v,
             None => {
+                let key = m.scratch.clone();
                 m.gauge_idx.insert(key, m.gauges.len());
                 m.gauges.push((sub.to_string(), name.to_string(), v));
             }
@@ -508,13 +779,14 @@ impl Recorder {
             return;
         }
         let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
-        let key = metric_key(sub, name);
         let m = &mut st.metrics;
-        match m.hist_idx.get(&key) {
+        m.fill_key(sub, name);
+        match m.hist_idx.get(&m.scratch) {
             Some(&i) => m.hists[i].2.observe(v),
             None => {
                 let mut h = Histogram::new(bounds);
                 h.observe(v);
+                let key = m.scratch.clone();
                 m.hist_idx.insert(key, m.hists.len());
                 m.hists.push((sub.to_string(), name.to_string(), h));
             }
@@ -572,10 +844,11 @@ impl Recorder {
             let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
             let m = &mut st.metrics;
             for (sub, name, h) in &taken.metrics.hists {
-                let key = metric_key(sub, name);
-                match m.hist_idx.get(&key) {
+                m.fill_key(sub, name);
+                match m.hist_idx.get(&m.scratch) {
                     Some(&i) => m.hists[i].2.merge(h),
                     None => {
+                        let key = m.scratch.clone();
                         m.hist_idx.insert(key, m.hists.len());
                         m.hists.push((sub.clone(), name.clone(), h.clone()));
                     }
@@ -652,6 +925,13 @@ impl Snapshot {
     /// Total registered metrics (counters + gauges + histograms).
     pub fn metric_count(&self) -> usize {
         self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Total events dropped from rings across all subsystems — non-zero
+    /// means the event streams (and anything derived from them, like a
+    /// profile) are truncated.
+    pub fn dropped_total(&self) -> u64 {
+        self.subsystems.iter().map(|s| s.dropped).sum()
     }
 }
 
@@ -839,6 +1119,134 @@ mod tests {
         assert_eq!(a.percentile(0.50), Some(100));
         assert_eq!(a.percentile(0.95), Some(100 + 100 * 45 / 50));
         assert_eq!(a.max, 200);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_quantiles() {
+        let mut h = Histogram::new(&[25, 50, 75, 100]);
+        for v in 1..=100 {
+            h.observe(v);
+        }
+        // out-of-range and non-finite quantiles clamp instead of
+        // misbehaving: below 0 reads like the smallest rank, above 1 the max
+        assert_eq!(h.percentile(-3.0), h.percentile(0.0));
+        assert_eq!(h.percentile(42.0), h.percentile(1.0));
+        assert_eq!(h.percentile(f64::INFINITY), Some(100));
+        assert_eq!(h.percentile(f64::NEG_INFINITY), h.percentile(0.0));
+        assert_eq!(h.percentile(f64::NAN), h.percentile(0.0));
+        // and the empty histogram still answers None for every input
+        let empty = Histogram::new(&[10]);
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.percentile(q), None);
+        }
+    }
+
+    #[test]
+    fn histogram_readouts() {
+        let empty = Histogram::new(&[10]);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.sum(), 0);
+        assert_eq!(empty.mean_x1000(), None);
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(4);
+        h.observe(5);
+        h.observe(6);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 15);
+        assert_eq!(h.mean_x1000(), Some(5000));
+    }
+
+    #[test]
+    fn ring_drop_is_warned_once_and_surfaced_in_snapshot() {
+        let r = Recorder::new().with_capacity(2);
+        r.instant("droppy-sub", "a", ClockDomain::Seq, 0, &[]);
+        r.instant("droppy-sub", "b", ClockDomain::Seq, 1, &[]);
+        assert!(!warnings::snapshot().iter().any(|(k, _)| k.contains("droppy-sub")));
+        r.instant("droppy-sub", "c", ClockDomain::Seq, 2, &[]);
+        r.instant("droppy-sub", "d", ClockDomain::Seq, 3, &[]);
+        let hits: Vec<_> = warnings::snapshot()
+            .into_iter()
+            .filter(|(k, _)| k == "obs-ring-drop:droppy-sub")
+            .collect();
+        assert_eq!(hits.len(), 1, "exactly one warning per subsystem");
+        assert!(hits[0].1.contains("truncated"));
+        assert_eq!(r.snapshot().dropped_total(), 2);
+    }
+
+    #[test]
+    fn mint_trace_ids_are_stable_and_domain_unique() {
+        let mk = || {
+            let parent = Recorder::new();
+            let c1 = parent.child();
+            let c2 = parent.child();
+            (parent.mint_trace(), c1.mint_trace(), c1.mint_trace(), c2.mint_trace())
+        };
+        let (p, a1, a2, b1) = mk();
+        // stable: rebuilding the same recorder tree re-mints the same ids
+        assert_eq!((p, a1, a2, b1), mk());
+        // unique: ids from distinct domains/sequences never collide
+        let ids = [p.trace_id, a1.trace_id, a2.trace_id, b1.trace_id];
+        let mut dedup = ids.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "{ids:?}");
+        assert!(ids.iter().all(|&id| id != 0));
+        // disabled recorders mint the untraced context
+        assert_eq!(Recorder::disabled().mint_trace(), TraceCtx::untraced());
+    }
+
+    #[test]
+    fn trace_spans_link_parent_and_child() {
+        let r = Recorder::new();
+        let ctx = r.mint_trace();
+        let root = r.trace_span("s", "request", ClockDomain::Cpu, 0, 10, &[], WallMark::none(), ctx);
+        assert_ne!(root, 0);
+        let leaf =
+            r.trace_span("s", "service", ClockDomain::Cpu, 2, 5, &[], WallMark::none(), ctx.child(root));
+        r.trace_instant("s", "done", ClockDomain::Cpu, 10, &[], ctx.child(leaf));
+        let snap = r.snapshot();
+        let evs = &snap.subsystems[0].events;
+        let l0 = evs[0].trace.expect("root linked");
+        let l1 = evs[1].trace.expect("child linked");
+        let l2 = evs[2].trace.expect("instant linked");
+        assert_eq!(l0.parent_span, 0);
+        assert_eq!(l0.span_id, root);
+        assert_eq!(l1.parent_span, root);
+        assert_eq!(l1.span_id, leaf);
+        assert_eq!((l2.parent_span, l2.span_id), (leaf, 0));
+        assert!([l0, l1, l2].iter().all(|l| l.trace_id == ctx.trace_id));
+        // untraced ctx degrades to a plain event and returns no span id
+        let r2 = Recorder::new();
+        let none = r2.trace_span(
+            "s",
+            "x",
+            ClockDomain::Seq,
+            0,
+            1,
+            &[],
+            WallMark::none(),
+            TraceCtx::untraced(),
+        );
+        assert_eq!(none, 0);
+        assert!(r2.snapshot().subsystems[0].events[0].trace.is_none());
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_the_trace_id() {
+        let r = Recorder::new();
+        let ctxs: Vec<TraceCtx> = (0..200).map(|_| r.mint_trace()).collect();
+        for permille in [0u64, 125, 500, 1000] {
+            let picked: Vec<bool> = ctxs.iter().map(|c| c.sampled(permille)).collect();
+            let again: Vec<bool> = ctxs.iter().map(|c| c.sampled(permille)).collect();
+            assert_eq!(picked, again);
+            let n = picked.iter().filter(|&&b| b).count();
+            match permille {
+                0 => assert_eq!(n, 0),
+                1000 => assert_eq!(n, ctxs.len()),
+                _ => assert!(n > 0 && n < ctxs.len(), "permille {permille} picked {n}"),
+            }
+        }
+        assert!(!TraceCtx::untraced().sampled(1000), "untraced never samples in");
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Deterministic post-hoc profiler over a recorder [`Snapshot`].
+//!
+//! Works entirely on simulated-clock spans and their causal-trace links
+//! ([`crate::TraceLink`]), so the same snapshot always yields the same
+//! profile, byte for byte, at any worker count:
+//!
+//! - **Per-span self-time**: a span's duration minus the summed duration
+//!   of its direct children (linked via `parent_span`), aggregated per
+//!   `(subsystem, name, clock)`.
+//! - **Top-k hot spans**: the aggregate rows sorted by self-time.
+//! - **Per-request critical paths**: every trace-root span with its
+//!   direct child segments, plus the accounting flag `exact` — whether
+//!   the segment durations sum to the root's end-to-end duration. The
+//!   serving engine emits roots whose segments (queue wait, batch
+//!   overhead, service, DMA, stall) are constructed to sum exactly.
+//! - **Collapsed stacks**: `root;child;leaf self_time` lines, the
+//!   classic flamegraph input format.
+//!
+//! Instants are leaves with no duration; they never contribute time.
+
+use crate::{EventKind, Snapshot};
+use std::collections::HashMap;
+
+/// Aggregate timing of one `(subsystem, name, clock)` span family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Subsystem the spans were recorded under.
+    pub subsystem: String,
+    /// Span name.
+    pub name: String,
+    /// Clock-domain short name (families never mix clocks).
+    pub clock: &'static str,
+    /// Number of spans in the family.
+    pub count: u64,
+    /// Summed span durations (ticks).
+    pub total: u64,
+    /// Summed self-time: duration minus direct traced children (ticks).
+    pub self_time: u64,
+}
+
+/// One segment of a request's critical-path decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment name (e.g. `queue-wait`, `service`, `dma`).
+    pub name: String,
+    /// Segment duration in ticks of the root's clock.
+    pub dur: u64,
+}
+
+/// The critical-path decomposition of one trace root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestPath {
+    /// The trace the root belongs to.
+    pub trace_id: u64,
+    /// Root span name (the serving engine uses `request`).
+    pub name: String,
+    /// Root start tick.
+    pub start: u64,
+    /// Root duration — for serve roots, the end-to-end latency.
+    pub latency: u64,
+    /// Direct child segments in recording order.
+    pub segments: Vec<Segment>,
+    /// Whether the segment durations sum exactly to `latency`
+    /// (vacuously true for roots without segments).
+    pub exact: bool,
+}
+
+/// The result of one profiling pass (see [`profile`]).
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Span families sorted by self-time (desc), then subsystem/name.
+    pub spans: Vec<SpanStat>,
+    /// Trace-root decompositions in event order.
+    pub requests: Vec<RequestPath>,
+    /// Collapsed stacks (`a;b;c`, summed self-time), sorted by stack.
+    pub folded: Vec<(String, u64)>,
+    /// Events dropped from rings before the snapshot was taken —
+    /// non-zero means this profile is computed from a truncated record.
+    pub dropped_events: u64,
+}
+
+impl Profile {
+    /// The `k` hottest span families by self-time.
+    pub fn hot(&self, k: usize) -> &[SpanStat] {
+        &self.spans[..k.min(self.spans.len())]
+    }
+
+    /// `(exact, total)` counts over request roots named `name` — the
+    /// critical-path accounting gate: `exact == total` means every such
+    /// request's segments summed to its end-to-end latency.
+    pub fn exact_paths(&self, name: &str) -> (u64, u64) {
+        let mut exact = 0;
+        let mut total = 0;
+        for r in &self.requests {
+            if r.name == name {
+                total += 1;
+                if r.exact {
+                    exact += 1;
+                }
+            }
+        }
+        (exact, total)
+    }
+
+    /// Summed duration per segment name across all request roots, in
+    /// first-seen order — the fleet-level "where does latency go" view.
+    pub fn segment_totals(&self) -> Vec<(String, u64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut sums: HashMap<String, u64> = HashMap::new();
+        for r in &self.requests {
+            for s in &r.segments {
+                if !sums.contains_key(&s.name) {
+                    order.push(s.name.clone());
+                }
+                *sums.entry(s.name.clone()).or_insert(0) += s.dur;
+            }
+        }
+        order.into_iter().map(|n| (n.clone(), sums[&n])).collect()
+    }
+}
+
+/// Run the profiling pass over a snapshot.
+pub fn profile(snap: &Snapshot) -> Profile {
+    // one linear pass collecting every span with its location
+    struct Row<'a> {
+        sub: &'a str,
+        name: &'a str,
+        clock: &'static str,
+        ts: u64,
+        dur: u64,
+        trace: Option<crate::TraceLink>,
+    }
+    let mut rows: Vec<Row<'_>> = Vec::new();
+    for sub in &snap.subsystems {
+        for ev in &sub.events {
+            if let EventKind::Span { dur } = ev.kind {
+                rows.push(Row {
+                    sub: &sub.name,
+                    name: &ev.name,
+                    clock: ev.clock.as_str(),
+                    ts: ev.ts,
+                    dur,
+                    trace: ev.trace,
+                });
+            }
+        }
+    }
+
+    // direct children per parent span id (in event order), and their
+    // summed duration for self-time subtraction
+    let mut children: HashMap<u64, Vec<Segment>> = HashMap::new();
+    let mut child_dur: HashMap<u64, u64> = HashMap::new();
+    for r in &rows {
+        if let Some(link) = r.trace {
+            if link.parent_span != 0 {
+                *child_dur.entry(link.parent_span).or_insert(0) += r.dur;
+                children
+                    .entry(link.parent_span)
+                    .or_default()
+                    .push(Segment { name: r.name.to_string(), dur: r.dur });
+            }
+        }
+    }
+
+    // span-id -> (label, parent) for stack reconstruction
+    let mut by_id: HashMap<u64, (String, u64)> = HashMap::new();
+    for r in &rows {
+        if let Some(link) = r.trace {
+            if link.span_id != 0 {
+                by_id.insert(link.span_id, (format!("{}:{}", r.sub, r.name), link.parent_span));
+            }
+        }
+    }
+
+    // aggregate per (sub, name, clock) in first-seen order
+    let mut order: Vec<(String, String, &'static str)> = Vec::new();
+    let mut agg: HashMap<(String, String, &'static str), (u64, u64, u64)> = HashMap::new();
+    let mut folded_sums: HashMap<String, u64> = HashMap::new();
+    let mut requests: Vec<RequestPath> = Vec::new();
+    for r in &rows {
+        let self_time = match r.trace {
+            Some(link) if link.span_id != 0 => {
+                r.dur.saturating_sub(child_dur.get(&link.span_id).copied().unwrap_or(0))
+            }
+            _ => r.dur,
+        };
+        let key = (r.sub.to_string(), r.name.to_string(), r.clock);
+        if !agg.contains_key(&key) {
+            order.push(key.clone());
+        }
+        let e = agg.entry(key).or_insert((0, 0, 0));
+        e.0 += 1;
+        e.1 += r.dur;
+        e.2 += self_time;
+
+        // collapsed stack: walk the parent chain (bounded; a parent id
+        // that fell out of the ring truncates the stack at that frame)
+        if self_time > 0 {
+            let mut frames = vec![format!("{}:{}", r.sub, r.name)];
+            if let Some(link) = r.trace {
+                let mut up = link.parent_span;
+                let mut depth = 0;
+                while up != 0 && depth < 64 {
+                    match by_id.get(&up) {
+                        Some((label, parent)) => {
+                            frames.push(label.clone());
+                            up = *parent;
+                        }
+                        None => break,
+                    }
+                    depth += 1;
+                }
+            }
+            frames.reverse();
+            *folded_sums.entry(frames.join(";")).or_insert(0) += self_time;
+        }
+
+        // trace roots become request paths
+        if let Some(link) = r.trace {
+            if link.parent_span == 0 && link.span_id != 0 {
+                let segments: Vec<Segment> =
+                    children.get(&link.span_id).cloned().unwrap_or_default();
+                let sum: u64 = segments.iter().map(|s| s.dur).sum();
+                let exact = segments.is_empty() || sum == r.dur;
+                requests.push(RequestPath {
+                    trace_id: link.trace_id,
+                    name: r.name.to_string(),
+                    start: r.ts,
+                    latency: r.dur,
+                    segments,
+                    exact,
+                });
+            }
+        }
+    }
+
+    let mut spans: Vec<SpanStat> = order
+        .into_iter()
+        .map(|key| {
+            let (count, total, self_time) = agg[&key];
+            SpanStat { subsystem: key.0, name: key.1, clock: key.2, count, total, self_time }
+        })
+        .collect();
+    spans.sort_by(|a, b| {
+        b.self_time
+            .cmp(&a.self_time)
+            .then_with(|| a.subsystem.cmp(&b.subsystem))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+
+    let mut folded: Vec<(String, u64)> = folded_sums.into_iter().collect();
+    folded.sort_by(|a, b| a.0.cmp(&b.0));
+
+    Profile { spans, requests, folded, dropped_events: snap.dropped_total() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClockDomain, Recorder, WallMark};
+
+    /// Build the canonical request shape the serving engine emits.
+    fn serve_like() -> Recorder {
+        let r = Recorder::new();
+        let ctx = r.mint_trace();
+        let root =
+            r.trace_span("serve", "request", ClockDomain::Cpu, 100, 50, &[], WallMark::none(), ctx);
+        let c = ctx.child(root);
+        r.trace_span("serve", "queue-wait", ClockDomain::Cpu, 100, 20, &[], WallMark::none(), c);
+        r.trace_span("serve", "batch-overhead", ClockDomain::Cpu, 120, 5, &[], WallMark::none(), c);
+        r.trace_span("serve", "service", ClockDomain::Cpu, 125, 15, &[], WallMark::none(), c);
+        r.trace_span("serve", "dma", ClockDomain::Cpu, 140, 10, &[], WallMark::none(), c);
+        r
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let p = profile(&serve_like().snapshot());
+        let root = p.spans.iter().find(|s| s.name == "request").expect("root aggregated");
+        assert_eq!(root.total, 50);
+        assert_eq!(root.self_time, 0, "fully decomposed root has no self-time");
+        let svc = p.spans.iter().find(|s| s.name == "service").expect("leaf");
+        assert_eq!(svc.self_time, 15);
+    }
+
+    #[test]
+    fn request_paths_are_exact_when_segments_sum() {
+        let p = profile(&serve_like().snapshot());
+        assert_eq!(p.exact_paths("request"), (1, 1));
+        let req = &p.requests[0];
+        assert_eq!(req.latency, 50);
+        assert_eq!(req.segments.len(), 4);
+        assert!(req.exact);
+        assert_eq!(
+            p.segment_totals(),
+            vec![
+                ("queue-wait".to_string(), 20),
+                ("batch-overhead".to_string(), 5),
+                ("service".to_string(), 15),
+                ("dma".to_string(), 10),
+            ]
+        );
+
+        // a root whose children do NOT cover it is flagged inexact
+        let r = Recorder::new();
+        let ctx = r.mint_trace();
+        let root =
+            r.trace_span("s", "request", ClockDomain::Cpu, 0, 100, &[], WallMark::none(), ctx);
+        r.trace_span("s", "service", ClockDomain::Cpu, 0, 30, &[], WallMark::none(), ctx.child(root));
+        let p = profile(&r.snapshot());
+        assert_eq!(p.exact_paths("request"), (0, 1));
+    }
+
+    #[test]
+    fn folded_stacks_walk_parent_chains() {
+        let r = serve_like();
+        // an untraced span folds as a single frame
+        r.span("hls", "compile", ClockDomain::Seq, 0, 7, &[], WallMark::none());
+        let p = profile(&r.snapshot());
+        let stacks: Vec<&str> = p.folded.iter().map(|(s, _)| s.as_str()).collect();
+        assert!(stacks.contains(&"serve:request;serve:service"), "{stacks:?}");
+        assert!(stacks.contains(&"hls:compile"), "{stacks:?}");
+        // root has zero self-time, so no bare "serve:request" line
+        assert!(!stacks.contains(&"serve:request"), "{stacks:?}");
+        let svc = p.folded.iter().find(|(s, _)| s.ends_with("serve:service")).unwrap();
+        assert_eq!(svc.1, 15);
+    }
+
+    #[test]
+    fn profile_is_deterministic_and_tracks_drops() {
+        let a = profile(&serve_like().snapshot());
+        let b = profile(&serve_like().snapshot());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.dropped_events, 0);
+        let r = Recorder::new().with_capacity(2);
+        for i in 0..5 {
+            r.span("s", "x", ClockDomain::Seq, i, 1, &[], WallMark::none());
+        }
+        assert_eq!(profile(&r.snapshot()).dropped_events, 3);
+    }
+}

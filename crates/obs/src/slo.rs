@@ -1,0 +1,438 @@
+//! Declarative SLOs evaluated as multi-window burn rates on the
+//! simulated clock.
+//!
+//! An [`SloSpec`] names an objective (deadline-hit ratio, availability,
+//! or a p99-style latency bound) with an error budget. Each request
+//! outcome is classified good/bad and folded into two sliding windows —
+//! a long one that measures sustained burn and a short one that makes
+//! alerts responsive and lets them de-assert quickly. The **burn rate**
+//! is the observed error rate over the window divided by the budget
+//! rate (×100, integer): burning budget exactly as fast as allowed is
+//! 100. An alert pages only when *both* windows exceed the page
+//! threshold — the classic multi-window multi-burn-rate construction —
+//! so one unlucky short window never pages, and a long-past incident
+//! stops paging as soon as the short window clears.
+//!
+//! Everything is integer arithmetic on simulated ticks: the whole
+//! engine is a pure function of the outcome stream, so alert verdicts
+//! are byte-identical at any worker count.
+
+/// Buckets per sliding window (ring reuse; higher = finer expiry).
+const WINDOW_BUCKETS: u64 = 8;
+
+/// Alert severity, ordered (`Ok < Warn < Page`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum AlertState {
+    /// Burn is within budget.
+    #[default]
+    Ok,
+    /// Both windows exceed the warn threshold.
+    Warn,
+    /// Both windows exceed the page threshold.
+    Page,
+}
+
+impl AlertState {
+    /// Stable label used in reports and traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertState::Ok => "ok",
+            AlertState::Warn => "warn",
+            AlertState::Page => "page",
+        }
+    }
+
+    /// Gauge encoding (`0`/`1`/`2`) for metric export.
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            AlertState::Ok => 0,
+            AlertState::Warn => 1,
+            AlertState::Page => 2,
+        }
+    }
+}
+
+/// The outcome of one request, as the SLO engine sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Completed by its deadline.
+    pub served: bool,
+    /// Turned away at admission (never entered service).
+    pub rejected: bool,
+    /// End-to-end latency in ticks, when served.
+    pub latency: Option<u64>,
+}
+
+/// What an SLO promises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloObjective {
+    /// At least `min_permille` of *admitted* requests complete by their
+    /// deadline (rejections are an admission-policy question, not a
+    /// deadline miss — they are excluded from this objective).
+    DeadlineHitRatio {
+        /// Minimum served share of admitted requests, permille.
+        min_permille: u64,
+    },
+    /// At least `min_permille` of *offered* requests are served
+    /// (rejections count against availability).
+    Availability {
+        /// Minimum served share of offered requests, permille.
+        min_permille: u64,
+    },
+    /// At most 1% of admitted requests exceed `max_ticks` end-to-end —
+    /// a p99 latency bound expressed as a 10-permille error budget so it
+    /// composes with burn-rate alerting. A shed request has unbounded
+    /// latency and counts as a miss.
+    P99LatencyBound {
+        /// Latency bound in ticks.
+        max_ticks: u64,
+    },
+}
+
+impl SloObjective {
+    /// The error budget in permille (the allowed bad-request rate).
+    pub fn budget_permille(self) -> u64 {
+        match self {
+            SloObjective::DeadlineHitRatio { min_permille }
+            | SloObjective::Availability { min_permille } => {
+                (1000 - min_permille.min(999)).max(1)
+            }
+            SloObjective::P99LatencyBound { .. } => 10,
+        }
+    }
+
+    /// Classify one outcome: `Some(true)` = bad, `Some(false)` = good,
+    /// `None` = not applicable to this objective.
+    pub fn classify(self, outcome: &RequestOutcome) -> Option<bool> {
+        match self {
+            SloObjective::DeadlineHitRatio { .. } => {
+                if outcome.rejected {
+                    None
+                } else {
+                    Some(!outcome.served)
+                }
+            }
+            SloObjective::Availability { .. } => Some(!outcome.served),
+            SloObjective::P99LatencyBound { max_ticks } => {
+                if outcome.rejected {
+                    None
+                } else if outcome.served {
+                    Some(outcome.latency.unwrap_or(0) > max_ticks)
+                } else {
+                    Some(true)
+                }
+            }
+        }
+    }
+
+    /// Stable label used in reports and traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloObjective::DeadlineHitRatio { .. } => "deadline-hit-ratio",
+            SloObjective::Availability { .. } => "availability",
+            SloObjective::P99LatencyBound { .. } => "p99-latency-bound",
+        }
+    }
+}
+
+/// One declarative SLO: objective, windows, and alert thresholds.
+#[derive(Debug, Clone)]
+pub struct SloSpec {
+    /// Spec name (stable key in verdicts, gauges, reports).
+    pub name: String,
+    /// The promised objective.
+    pub objective: SloObjective,
+    /// Long (sustained-burn) window, ticks.
+    pub long_window: u64,
+    /// Short (responsiveness) window, ticks.
+    pub short_window: u64,
+    /// Warn when both windows burn at or above this (×100; 100 = burning
+    /// exactly at budget rate).
+    pub warn_burn_x100: u64,
+    /// Page when both windows burn at or above this.
+    pub page_burn_x100: u64,
+}
+
+impl SloSpec {
+    /// A spec with the conventional defaults: short window = 1/12 of the
+    /// long one, warn at 1× budget burn, page at 2×.
+    pub fn new(name: &str, objective: SloObjective, long_window: u64) -> Self {
+        let long_window = long_window.max(WINDOW_BUCKETS);
+        SloSpec {
+            name: name.to_string(),
+            objective,
+            long_window,
+            short_window: (long_window / 12).max(WINDOW_BUCKETS),
+            warn_burn_x100: 100,
+            page_burn_x100: 200,
+        }
+    }
+}
+
+/// A bucketed sliding window over the simulated clock: counts good/bad
+/// outcomes per epoch bucket and expires whole buckets as time advances.
+#[derive(Debug, Clone)]
+struct BurnWindow {
+    bucket: u64,
+    /// `(epoch, bad, total)` per slot, indexed by `epoch % len`.
+    slots: Vec<(u64, u64, u64)>,
+}
+
+impl BurnWindow {
+    fn new(window: u64) -> Self {
+        BurnWindow {
+            bucket: (window / WINDOW_BUCKETS).max(1),
+            slots: vec![(0, 0, 0); WINDOW_BUCKETS as usize],
+        }
+    }
+
+    fn record(&mut self, ts: u64, bad: bool) {
+        let epoch = ts / self.bucket;
+        let idx = (epoch % WINDOW_BUCKETS) as usize;
+        let slot = &mut self.slots[idx];
+        if slot.0 != epoch {
+            *slot = (epoch, 0, 0);
+        }
+        slot.2 += 1;
+        if bad {
+            slot.1 += 1;
+        }
+    }
+
+    /// Burn rate ×100 over the window ending at `ts`: observed error
+    /// permille divided by the budget permille. Empty windows burn 0.
+    fn burn_x100(&self, ts: u64, budget_permille: u64) -> u64 {
+        let epoch = ts / self.bucket;
+        let min_epoch = epoch.saturating_sub(WINDOW_BUCKETS - 1);
+        let (mut bad, mut total) = (0u64, 0u64);
+        for &(e, b, t) in &self.slots {
+            if e >= min_epoch && e <= epoch {
+                bad += b;
+                total += t;
+            }
+        }
+        if total == 0 {
+            return 0;
+        }
+        let error_permille = bad * 1000 / total;
+        error_permille * 100 / budget_permille.max(1)
+    }
+}
+
+/// One alert-state transition, emitted when a spec changes state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloVerdict {
+    /// The spec that transitioned.
+    pub spec: String,
+    /// Simulated tick of the transition.
+    pub at: u64,
+    /// Previous state.
+    pub from: AlertState,
+    /// New state.
+    pub to: AlertState,
+    /// Short-window burn ×100 at the transition.
+    pub short_burn_x100: u64,
+    /// Long-window burn ×100 at the transition.
+    pub long_burn_x100: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    spec: SloSpec,
+    short: BurnWindow,
+    long: BurnWindow,
+    state: AlertState,
+    worst: AlertState,
+}
+
+/// Evaluates a set of [`SloSpec`]s over a request-outcome stream.
+#[derive(Debug, Clone, Default)]
+pub struct SloEngine {
+    entries: Vec<Entry>,
+    verdicts: Vec<SloVerdict>,
+}
+
+impl SloEngine {
+    /// An engine over `specs` (all start in [`AlertState::Ok`]).
+    pub fn new(specs: Vec<SloSpec>) -> Self {
+        SloEngine {
+            entries: specs
+                .into_iter()
+                .map(|spec| Entry {
+                    short: BurnWindow::new(spec.short_window),
+                    long: BurnWindow::new(spec.long_window),
+                    state: AlertState::Ok,
+                    worst: AlertState::Ok,
+                    spec,
+                })
+                .collect(),
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Fold one outcome at simulated tick `ts` into every applicable
+    /// spec and re-evaluate; returns the transitions this outcome caused
+    /// (usually none).
+    pub fn record(&mut self, ts: u64, outcome: &RequestOutcome) -> Vec<SloVerdict> {
+        let mut transitions = Vec::new();
+        for e in &mut self.entries {
+            let Some(bad) = e.spec.objective.classify(outcome) else {
+                continue;
+            };
+            e.short.record(ts, bad);
+            e.long.record(ts, bad);
+            let budget = e.spec.objective.budget_permille();
+            let short = e.short.burn_x100(ts, budget);
+            let long = e.long.burn_x100(ts, budget);
+            let next = if short >= e.spec.page_burn_x100 && long >= e.spec.page_burn_x100 {
+                AlertState::Page
+            } else if short >= e.spec.warn_burn_x100 && long >= e.spec.warn_burn_x100 {
+                AlertState::Warn
+            } else {
+                AlertState::Ok
+            };
+            if next != e.state {
+                let v = SloVerdict {
+                    spec: e.spec.name.clone(),
+                    at: ts,
+                    from: e.state,
+                    to: next,
+                    short_burn_x100: short,
+                    long_burn_x100: long,
+                };
+                transitions.push(v.clone());
+                self.verdicts.push(v);
+                e.state = next;
+                e.worst = e.worst.max(next);
+            }
+        }
+        transitions
+    }
+
+    /// Current `(spec name, state)` per spec, in spec order.
+    pub fn states(&self) -> Vec<(&str, AlertState)> {
+        self.entries.iter().map(|e| (e.spec.name.as_str(), e.state)).collect()
+    }
+
+    /// The worst state each spec ever reached, in spec order — the gate
+    /// E17 asserts ("the alert fired / never fired during this run").
+    pub fn worst_states(&self) -> Vec<(&str, AlertState)> {
+        self.entries.iter().map(|e| (e.spec.name.as_str(), e.worst)).collect()
+    }
+
+    /// Every transition so far, in emission order.
+    pub fn verdicts(&self) -> &[SloVerdict] {
+        &self.verdicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn served(latency: u64) -> RequestOutcome {
+        RequestOutcome { served: true, rejected: false, latency: Some(latency) }
+    }
+    fn shed() -> RequestOutcome {
+        RequestOutcome { served: false, rejected: false, latency: None }
+    }
+    fn rejected() -> RequestOutcome {
+        RequestOutcome { served: false, rejected: true, latency: None }
+    }
+
+    fn deadline_spec() -> SloSpec {
+        // 5% budget, long window 1200 ticks (short = 100)
+        SloSpec::new("deadline", SloObjective::DeadlineHitRatio { min_permille: 950 }, 1200)
+    }
+
+    #[test]
+    fn healthy_stream_never_alerts() {
+        let mut slo = SloEngine::new(vec![deadline_spec()]);
+        for i in 0..500u64 {
+            assert!(slo.record(i * 10, &served(40)).is_empty());
+        }
+        assert_eq!(slo.states()[0].1, AlertState::Ok);
+        assert_eq!(slo.worst_states()[0].1, AlertState::Ok);
+        assert!(slo.verdicts().is_empty());
+    }
+
+    #[test]
+    fn sustained_overload_pages_and_deasserts_after_recovery() {
+        let mut slo = SloEngine::new(vec![deadline_spec()]);
+        let mut t = 0;
+        // healthy warm-up
+        for _ in 0..200 {
+            slo.record(t, &served(40));
+            t += 10;
+        }
+        // sustained 30% shed: burn 300/50 = 6x >> 2x page on both windows
+        for i in 0..400u64 {
+            let o = if i % 10 < 3 { shed() } else { served(40) };
+            slo.record(t, &o);
+            t += 10;
+        }
+        assert_eq!(slo.states()[0].1, AlertState::Page, "sustained burn must page");
+        // recovery: healthy traffic long enough to clear both windows
+        for _ in 0..2000 {
+            slo.record(t, &served(40));
+            t += 10;
+        }
+        assert_eq!(slo.states()[0].1, AlertState::Ok, "alert de-asserts after recovery");
+        let worst = slo.worst_states()[0].1;
+        assert_eq!(worst, AlertState::Page, "worst state remembers the incident");
+        // transitions are monotone in time and alternate coherently
+        let v = slo.verdicts();
+        assert!(!v.is_empty());
+        assert!(v.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(v.last().unwrap().to, AlertState::Ok);
+    }
+
+    #[test]
+    fn one_bad_short_window_does_not_page() {
+        let mut slo = SloEngine::new(vec![deadline_spec()]);
+        let mut t = 0;
+        for _ in 0..500 {
+            slo.record(t, &served(40));
+            t += 10;
+        }
+        // a short burst of sheds inside one short window; the long
+        // window stays far under budget
+        for _ in 0..4 {
+            slo.record(t, &shed());
+            t += 2;
+        }
+        assert_ne!(slo.states()[0].1, AlertState::Page, "transient burst must not page");
+    }
+
+    #[test]
+    fn objectives_classify_rejections_differently() {
+        let dl = SloObjective::DeadlineHitRatio { min_permille: 950 };
+        let av = SloObjective::Availability { min_permille: 900 };
+        let p99 = SloObjective::P99LatencyBound { max_ticks: 100 };
+        assert_eq!(dl.classify(&rejected()), None);
+        assert_eq!(av.classify(&rejected()), Some(true));
+        assert_eq!(p99.classify(&rejected()), None);
+        assert_eq!(dl.classify(&shed()), Some(true));
+        assert_eq!(p99.classify(&shed()), Some(true));
+        assert_eq!(p99.classify(&served(99)), Some(false));
+        assert_eq!(p99.classify(&served(101)), Some(true));
+        assert_eq!(dl.budget_permille(), 50);
+        assert_eq!(av.budget_permille(), 100);
+        assert_eq!(p99.budget_permille(), 10);
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let run = || {
+            let mut slo = SloEngine::new(vec![deadline_spec()]);
+            let mut t = 0;
+            for i in 0..1000u64 {
+                let o = if i % 7 == 0 { shed() } else { served(30 + i % 50) };
+                slo.record(t, &o);
+                t += 3 + i % 5;
+            }
+            format!("{:?} {:?}", slo.states(), slo.verdicts())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -63,13 +63,10 @@ impl std::error::Error for ParError {}
 ///
 /// Returns a description of why the value is unusable.
 pub fn parse_jobs(raw: Option<&str>) -> Result<Option<usize>, String> {
-    let Some(raw) = raw else { return Ok(None) };
-    let trimmed = raw.trim();
-    match trimmed.parse::<usize>() {
-        Ok(0) => Err(format!("HERMES_JOBS={trimmed} requests zero workers")),
-        Ok(n) => Ok(Some(n)),
-        Err(_) => Err(format!("HERMES_JOBS={trimmed:?} is not an integer")),
-    }
+    // the shared strict parser supplies the vocabulary and message; the
+    // lenient fallback-with-warning lives in `jobs()`, where resolution
+    // (not parsing) decides what a bad value means
+    hermes_obs::env::usize_positive("HERMES_JOBS", raw).map_err(|e| e.to_string())
 }
 
 fn machine_parallelism() -> usize {
@@ -464,7 +461,7 @@ mod tests {
     fn parse_jobs_rejects_unparsable() {
         for bad in ["abc", "-2", "4.5", ""] {
             let err = parse_jobs(Some(bad)).unwrap_err();
-            assert!(err.contains("not an integer"), "{bad:?} -> {err}");
+            assert!(err.contains("a positive integer"), "{bad:?} -> {err}");
         }
     }
 

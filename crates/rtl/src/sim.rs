@@ -1505,17 +1505,8 @@ pub fn packed_settle_env() -> Result<bool, RtlError> {
 /// Split out from [`packed_settle_env`] so the vocabulary is testable
 /// without mutating process-global environment state.
 pub fn parse_packed_knob(raw: Option<&str>) -> Result<bool, RtlError> {
-    match raw {
-        None => Ok(true),
-        Some(raw) => match raw.trim().to_ascii_lowercase().as_str() {
-            "on" | "1" | "true" => Ok(true),
-            "off" | "0" | "false" => Ok(false),
-            _ => Err(RtlError::BadEnvKnob {
-                name: "HERMES_PACKED_SETTLE".into(),
-                value: raw.into(),
-            }),
-        },
-    }
+    hermes_obs::env::bool_strict("HERMES_PACKED_SETTLE", raw, true)
+        .map_err(|e| RtlError::BadEnvKnob { name: e.name, value: e.value })
 }
 
 /// Sense-reversing spin barrier for the per-rank synchronization of
@@ -1656,15 +1647,11 @@ fn eval_op_with<R: Fn(u32) -> u64>(read: R, op: &SettleOp) -> u64 {
 }
 
 /// Resolve the `HERMES_EVENT_SETTLE` knob: `off`/`0`/`false` (any case)
-/// disables event-driven settling; anything else (or unset) enables it.
+/// disables event-driven settling; unset (or, leniently, anything
+/// unrecognized — surfaced once through the warning sink) enables it.
 fn env_event_driven() -> bool {
-    match std::env::var("HERMES_EVENT_SETTLE") {
-        Ok(v) => !matches!(
-            v.trim().to_ascii_lowercase().as_str(),
-            "off" | "0" | "false"
-        ),
-        Err(_) => true,
-    }
+    let raw = std::env::var("HERMES_EVENT_SETTLE").ok();
+    hermes_obs::env::bool_lenient("HERMES_EVENT_SETTLE", raw.as_deref(), true)
 }
 
 /// Convenience helper implementing [`Comparison`] lookup for simulator users.

@@ -17,7 +17,9 @@ use crate::queue::Backlog;
 use crate::request::{RejectReason, Request, ShedReason, Verdict};
 use crate::{fnv1a_words, Tick};
 use hermes_chaos::plan::{FaultKind, FaultPlan};
-use hermes_obs::{ClockDomain, Histogram, Recorder};
+use hermes_obs::slo::{RequestOutcome, SloEngine};
+use hermes_obs::{ClockDomain, Histogram, Recorder, TraceCtx, WallMark};
+use std::collections::HashMap;
 
 /// Batch-size histogram bounds (items).
 const BATCH_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
@@ -49,6 +51,12 @@ pub struct ServeConfig {
     /// Worker threads for payload evaluation; `0` uses the global
     /// `hermes_par` setting. A throughput knob, never a results knob.
     pub jobs: usize,
+    /// Permille of minted traces whose events are recorded (the
+    /// `HERMES_TRACE_SAMPLE` knob). A trace context is minted for *every*
+    /// arrival regardless — sampling decides recording, never identity —
+    /// so trace ids are byte-identical across sample rates and worker
+    /// counts.
+    pub trace_sample_permille: u64,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +70,7 @@ impl Default for ServeConfig {
             instances: 2,
             compute_bound: 4,
             jobs: 0,
+            trace_sample_permille: 1000,
         }
     }
 }
@@ -205,6 +214,11 @@ pub struct ServeEngine {
     pool: Pool,
     plan: Option<FaultPlan>,
     obs: Recorder,
+    slo: Option<SloEngine>,
+    /// Trace contexts of in-flight *sampled* requests, keyed by request
+    /// id. Contexts are minted for every arrival (identity is sampling-
+    /// independent) but only sampled ones are kept and recorded.
+    traces: HashMap<u64, TraceCtx>,
     now: Tick,
     // accounting
     verdicts: Vec<(u64, Verdict)>,
@@ -237,6 +251,8 @@ impl ServeEngine {
             pool: Pool::new(cfg.instances),
             plan: None,
             obs: Recorder::disabled(),
+            slo: None,
+            traces: HashMap::new(),
             now: 0,
             cursor: 0,
             verdicts: Vec::with_capacity(arrivals.len()),
@@ -277,6 +293,21 @@ impl ServeEngine {
     pub fn with_recorder(mut self, obs: Recorder) -> Self {
         self.obs = obs;
         self
+    }
+
+    /// Attach an SLO engine: every verdict is fed to it on the simulated
+    /// clock, alert-state transitions are recorded as `slo` instants, and
+    /// the current state of each spec is exported as an `alert_<spec>`
+    /// gauge.
+    #[must_use]
+    pub fn with_slo(mut self, slo: SloEngine) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// The attached SLO engine (inspect states/verdicts after `run`).
+    pub fn slo(&self) -> Option<&SloEngine> {
+        self.slo.as_ref()
     }
 
     /// The attached recorder (absorb it into a parent after `run`).
@@ -337,15 +368,25 @@ impl ServeEngine {
             let req = self.arrivals[self.cursor].clone();
             self.cursor += 1;
             let id = req.id;
+            // mint for every arrival — identity must not depend on the
+            // sample rate — but only sampled contexts are kept/recorded
+            let ctx = self.obs.mint_trace();
+            if ctx.is_traced() && ctx.sampled(self.cfg.trace_sample_permille) {
+                self.traces.insert(id, ctx);
+                // no args: the trace link is the identity, and the root
+                // span emitted at completion carries id/class — sampled
+                // admission stays cheap (~one ring push per arrival)
+                self.obs.trace_instant("serve", "arrive", ClockDomain::Cpu, now, &[], ctx);
+            }
             match self.backlog.offer(req) {
                 Ok(()) => {}
                 Err(RejectReason::QueueFull) => {
                     self.rejected_queue_full += 1;
-                    self.verdicts.push((id, Verdict::Rejected(RejectReason::QueueFull)));
+                    self.settle(id, Verdict::Rejected(RejectReason::QueueFull));
                 }
                 Err(RejectReason::TenantQuota) => {
                     self.rejected_quota += 1;
-                    self.verdicts.push((id, Verdict::Rejected(RejectReason::TenantQuota)));
+                    self.settle(id, Verdict::Rejected(RejectReason::TenantQuota));
                 }
             }
         }
@@ -354,8 +395,7 @@ impl ServeEngine {
             self.shed_expired += 1;
             let class = self.class_of(&req);
             self.class_shed[class] += 1;
-            self.verdicts
-                .push((req.id, Verdict::Shed(ShedReason::DeadlineExpired)));
+            self.settle(req.id, Verdict::Shed(ShedReason::DeadlineExpired));
         }
 
         self.dispatch();
@@ -386,8 +426,7 @@ impl ServeEngine {
                             self.shed_would_miss += 1;
                             let c = self.class_of(&req);
                             self.class_shed[c] += 1;
-                            self.verdicts
-                                .push((req.id, Verdict::Shed(ShedReason::WouldMissDeadline)));
+                            self.settle(req.id, Verdict::Shed(ShedReason::WouldMissDeadline));
                         }
                     } else {
                         break;
@@ -416,6 +455,21 @@ impl ServeEngine {
                 self.batch_items += requests.len() as u64;
                 self.obs
                     .observe("serve", "batch_size", &BATCH_BOUNDS, requests.len() as u64);
+                for req in &requests {
+                    if let Some(&ctx) = self.traces.get(&req.id) {
+                        // instance only: id and batch size ride on the
+                        // root span; the dispatch instant pins *where*
+                        // and *when* the request left the queue
+                        self.obs.trace_instant(
+                            "serve",
+                            "dispatch",
+                            ClockDomain::Cpu,
+                            now,
+                            &[("instance", instance.to_string())],
+                            ctx,
+                        );
+                    }
+                }
                 self.pool.dispatch(
                     instance,
                     Batch {
@@ -459,12 +513,12 @@ impl ServeEngine {
                     self.shed_compute += 1;
                     let class = self.class_of(req);
                     self.class_shed[class] += 1;
-                    self.verdicts
-                        .push((req.id, Verdict::Shed(ShedReason::ComputeFailed)));
+                    self.settle(req.id, Verdict::Shed(ShedReason::ComputeFailed));
                 }
                 return;
             }
         };
+        let k = batch.requests.len();
         for (req, out) in batch.requests.iter().zip(outputs.iter()) {
             if batch.finish <= req.deadline {
                 let latency = batch.finish - req.arrival;
@@ -472,21 +526,131 @@ impl ServeEngine {
                 let class = self.class_of(req);
                 self.class_served[class] += 1;
                 self.class_latency[class].observe(latency);
-                self.obs.observe(
-                    "serve",
-                    &format!("latency_class{class}"),
-                    &LATENCY_BOUNDS,
-                    latency,
-                );
+                // static names for the common class counts: one histogram
+                // observe per served request must not allocate
+                const CLASS_HIST: [&str; 4] =
+                    ["latency_class0", "latency_class1", "latency_class2", "latency_class3"];
+                match CLASS_HIST.get(class) {
+                    Some(name) => self.obs.observe("serve", name, &LATENCY_BOUNDS, latency),
+                    None => self.obs.observe(
+                        "serve",
+                        &format!("latency_class{class}"),
+                        &LATENCY_BOUNDS,
+                        latency,
+                    ),
+                }
                 self.checksum = fnv1a_words(self.checksum, out);
-                self.verdicts.push((req.id, Verdict::Served { latency }));
+                self.trace_request_path(req, &batch, k, latency);
+                self.settle(req.id, Verdict::Served { latency });
             } else {
                 self.shed_late += 1;
                 let class = self.class_of(req);
                 self.class_shed[class] += 1;
-                self.verdicts
-                    .push((req.id, Verdict::Shed(ShedReason::CompletedLate)));
+                self.settle(req.id, Verdict::Shed(ShedReason::CompletedLate));
             }
+        }
+    }
+
+    /// Emit the causal trace of one served request: a `request` root span
+    /// covering arrival→completion, decomposed into child segments —
+    /// queue wait, batch overhead, accelerator service, DMA, and any
+    /// fault-induced stall — that sum to the end-to-end latency *exactly*
+    /// (the profiler's critical-path invariant). Zero-length segments are
+    /// elided; elision never breaks the sum.
+    fn trace_request_path(&self, req: &Request, batch: &Batch, k: usize, latency: u64) {
+        let Some(&ctx) = self.traces.get(&req.id) else {
+            return;
+        };
+        let root = self.obs.trace_span(
+            "serve",
+            "request",
+            ClockDomain::Cpu,
+            req.arrival,
+            latency,
+            &[
+                ("id", req.id.to_string()),
+                ("class", req.class.to_string()),
+                ("batch", k.to_string()),
+            ],
+            WallMark::none(),
+            ctx,
+        );
+        let child = ctx.child(root);
+        let k64 = k as u64;
+        let queue_wait = batch.dispatched - req.arrival;
+        let service = self.model.per_item * k64;
+        let dma = self.model.dma_per_item * k64;
+        let stall = (batch.finish - batch.dispatched) - self.model.service_cycles(k);
+        let mut t = req.arrival;
+        for (name, dur) in [
+            ("queue-wait", queue_wait),
+            ("batch-overhead", self.model.batch_overhead),
+            ("service", service),
+            ("dma", dma),
+            ("stall", stall),
+        ] {
+            if dur > 0 {
+                self.obs
+                    .trace_span("serve", name, ClockDomain::Cpu, t, dur, &[], WallMark::none(), child);
+                t += dur;
+            }
+        }
+        debug_assert_eq!(t - req.arrival, latency, "segments must sum to latency");
+    }
+
+    /// Final accounting for one request: retire its trace context
+    /// (emitting a terminal instant for non-served outcomes), record the
+    /// verdict, and feed the SLO engine on the simulated clock —
+    /// emitting an `slo` instant and refreshing the `alert_<spec>` gauge
+    /// on every alert-state transition.
+    fn settle(&mut self, id: u64, verdict: Verdict) {
+        let ctx = self.traces.remove(&id).unwrap_or_default();
+        if ctx.is_traced() {
+            let terminal = match verdict {
+                Verdict::Rejected(r) => Some(("reject", r.as_str())),
+                Verdict::Shed(r) => Some(("shed", r.as_str())),
+                Verdict::Served { .. } => None, // the root span is the terminator
+            };
+            if let Some((name, reason)) = terminal {
+                self.obs.trace_instant(
+                    "serve",
+                    name,
+                    ClockDomain::Cpu,
+                    self.now,
+                    &[("id", id.to_string()), ("reason", reason.to_string())],
+                    ctx,
+                );
+            }
+        }
+        self.verdicts.push((id, verdict));
+        let outcome = match verdict {
+            Verdict::Served { latency } => RequestOutcome {
+                served: true,
+                rejected: false,
+                latency: Some(latency),
+            },
+            Verdict::Shed(_) => RequestOutcome { served: false, rejected: false, latency: None },
+            Verdict::Rejected(_) => RequestOutcome { served: false, rejected: true, latency: None },
+        };
+        let transitions = match self.slo.as_mut() {
+            Some(slo) => slo.record(self.now, &outcome),
+            None => Vec::new(),
+        };
+        for t in transitions {
+            self.obs.instant(
+                "slo",
+                "alert-transition",
+                ClockDomain::Cpu,
+                self.now,
+                &[
+                    ("spec", t.spec.clone()),
+                    ("from", t.from.as_str().to_string()),
+                    ("to", t.to.as_str().to_string()),
+                    ("short_burn_x100", t.short_burn_x100.to_string()),
+                    ("long_burn_x100", t.long_burn_x100.to_string()),
+                ],
+            );
+            self.obs.gauge_set("slo", &format!("alert_{}", t.spec), t.to.as_gauge());
         }
     }
 
@@ -775,6 +939,127 @@ mod tests {
             share0 >= share1,
             "priority inverted: {share0} vs {share1} ({report:?})"
         );
+    }
+
+    #[test]
+    fn traced_run_has_exact_critical_paths_for_every_served_request() {
+        let run = |jobs: usize| {
+            let wl = WorkloadConfig::default().at_load_pct(150);
+            let arrivals = workload::generate(9, &wl);
+            let mut engine = ServeEngine::new(
+                ServeConfig { jobs, ..ServeConfig::default() },
+                model(),
+                arrivals,
+            )
+            .with_recorder(Recorder::new());
+            let report = engine.run();
+            (report, engine.recorder().snapshot())
+        };
+        let (report, snap) = run(1);
+        let prof = hermes_obs::profile::profile(&snap);
+        let (exact, total) = prof.exact_paths("request");
+        assert_eq!(total, report.served, "one root span per served request");
+        assert_eq!(exact, total, "every critical path must sum to its latency exactly");
+        assert!(prof.spans.iter().any(|s| s.name == "queue-wait"));
+        assert!(prof.spans.iter().any(|s| s.name == "service"));
+        // byte-identical across worker counts
+        let (_, snap4) = run(4);
+        let prof4 = hermes_obs::profile::profile(&snap4);
+        assert_eq!(format!("{prof:?}"), format!("{prof4:?}"));
+    }
+
+    #[test]
+    fn sampling_bounds_recording_but_never_identity() {
+        let run = |permille: u64| {
+            let wl = WorkloadConfig::default().at_load_pct(120);
+            let arrivals = workload::generate(17, &wl);
+            let mut engine = ServeEngine::new(
+                ServeConfig { trace_sample_permille: permille, ..ServeConfig::default() },
+                model(),
+                arrivals,
+            )
+            .with_recorder(Recorder::new());
+            let report = engine.run();
+            let snap = engine.recorder().snapshot();
+            let traced: usize = snap
+                .subsystems
+                .iter()
+                .flat_map(|s| s.events.iter())
+                .filter(|e| e.trace.is_some())
+                .count();
+            (report, engine.verdicts().to_vec(), traced)
+        };
+        let (r_full, v_full, t_full) = run(1000);
+        let (r_half, v_half, t_half) = run(500);
+        let (r_none, v_none, t_none) = run(0);
+        // sampling is an observability knob, never a results knob
+        assert_eq!(r_full, r_half);
+        assert_eq!(r_full, r_none);
+        assert_eq!(v_full, v_half);
+        assert_eq!(v_full, v_none);
+        // and it really does bound the recording volume
+        assert_eq!(t_none, 0);
+        assert!(t_half > 0 && t_half < t_full, "{t_half} vs {t_full}");
+    }
+
+    #[test]
+    fn slo_pages_under_sustained_overload_and_stays_ok_when_healthy() {
+        use hermes_obs::slo::{AlertState, SloObjective, SloSpec};
+        let run = |load_pct: u64| {
+            let wl = WorkloadConfig::default().at_load_pct(load_pct);
+            let arrivals = workload::generate(23, &wl);
+            let makespan_hint = arrivals.last().unwrap().arrival;
+            // overload at the admission queue manifests as rejections, so
+            // availability (which counts them) is the objective that sees it
+            let specs = vec![SloSpec::new(
+                "avail",
+                SloObjective::Availability { min_permille: 950 },
+                (makespan_hint / 4).max(8),
+            )];
+            let mut engine = ServeEngine::new(ServeConfig::default(), model(), arrivals)
+                .with_recorder(Recorder::new())
+                .with_slo(hermes_obs::slo::SloEngine::new(specs));
+            let report = engine.run();
+            let worst = engine.slo().unwrap().worst_states()[0].1;
+            let transitions = engine.slo().unwrap().verdicts().len();
+            let snap = engine.recorder().snapshot();
+            let gauged = snap
+                .gauges
+                .iter()
+                .any(|(sub, name, _)| sub == "slo" && name == "alert_avail");
+            (report, worst, transitions, gauged)
+        };
+        let (healthy, worst_ok, trans_ok, _) = run(50);
+        assert!(healthy.accounted());
+        assert_eq!(worst_ok, AlertState::Ok, "light load must never alert");
+        assert_eq!(trans_ok, 0);
+        let (overload, worst_bad, trans_bad, gauged) = run(300);
+        assert!(overload.accounted());
+        assert_eq!(worst_bad, AlertState::Page, "sustained overload must page");
+        assert!(trans_bad > 0);
+        assert!(gauged, "alert state exported as a gauge on transition");
+    }
+
+    #[test]
+    fn slo_feed_is_identical_across_jobs() {
+        use hermes_obs::slo::{SloObjective, SloSpec};
+        let run = |jobs: usize| {
+            let wl = WorkloadConfig::default().at_load_pct(250);
+            let arrivals = workload::generate(31, &wl);
+            let mut engine = ServeEngine::new(
+                ServeConfig { jobs, queue_depth: 16, ..ServeConfig::default() },
+                model(),
+                arrivals,
+            )
+            .with_slo(hermes_obs::slo::SloEngine::new(vec![SloSpec::new(
+                "avail",
+                SloObjective::Availability { min_permille: 900 },
+                2000,
+            )]));
+            engine.run();
+            format!("{:?}", engine.slo().unwrap().verdicts())
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

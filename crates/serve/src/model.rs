@@ -91,10 +91,61 @@ impl AcceleratorModel {
         })
     }
 
+    /// [`Self::from_design`] with a causal trace context: the measurement
+    /// co-simulation is recorded as a trace-linked `hls`/`cosim` span, so
+    /// the model's provenance (which co-sim priced it) is part of the
+    /// causal tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the measurement simulation's failure.
+    pub fn from_design_traced(
+        design: Design,
+        representative_args: &[i64],
+        batch_overhead: u64,
+        obs: &hermes_obs::Recorder,
+        ctx: hermes_obs::TraceCtx,
+    ) -> Result<Self, HlsError> {
+        let measured = design.simulate_traced(representative_args, obs, ctx)?;
+        Ok(AcceleratorModel {
+            name: design.name().to_string(),
+            batch_overhead,
+            per_item: measured.cycles.max(1),
+            dma_per_item: 0,
+            compute: Arc::new(move |args: &[i64]| {
+                let r = design
+                    .simulate(args)
+                    .unwrap_or_else(|e| panic!("serve compute simulation failed: {e}"));
+                vec![r.return_value.unwrap_or(0)]
+            }),
+        })
+    }
+
     /// Price per-item data movement by timing one write+read round trip of
     /// `bytes_per_item` through the AXI bus model (deterministic cycles).
     #[must_use]
-    pub fn with_measured_dma(mut self, bytes_per_item: usize) -> Self {
+    pub fn with_measured_dma(self, bytes_per_item: usize) -> Self {
+        self.measure_dma(bytes_per_item, None)
+    }
+
+    /// [`Self::with_measured_dma`] with a causal trace context: the bus
+    /// statistics of the measurement round trip are exported through the
+    /// recorder with a trace-linked summary instant (subsystem `dma`).
+    #[must_use]
+    pub fn with_measured_dma_traced(
+        self,
+        bytes_per_item: usize,
+        obs: &hermes_obs::Recorder,
+        ctx: hermes_obs::TraceCtx,
+    ) -> Self {
+        self.measure_dma(bytes_per_item, Some((obs, ctx)))
+    }
+
+    fn measure_dma(
+        mut self,
+        bytes_per_item: usize,
+        trace: Option<(&hermes_obs::Recorder, hermes_obs::TraceCtx)>,
+    ) -> Self {
         let bytes = bytes_per_item.clamp(1, 32 * 1024);
         let mut tb = AxiTestbench::new(64 * 1024, MemoryTiming::default());
         let block = vec![0xA5u8; bytes];
@@ -105,6 +156,9 @@ impl AcceleratorModel {
             .read_blocking(0, bytes)
             .expect("DMA measurement read fits the slave");
         self.dma_per_item = wrote + read;
+        if let Some((obs, ctx)) = trace {
+            tb.stats().obs_export_ctx(obs, "dma", ctx);
+        }
         self
     }
 

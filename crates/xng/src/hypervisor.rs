@@ -19,7 +19,7 @@ use crate::{PartitionId, XngError};
 use hermes_cpu::cluster::{Cluster, CORE_COUNT};
 use hermes_cpu::hart::{Event, TrapCause};
 use hermes_cpu::mpu::{reprogram_cost, MpuRegion, Privilege, GATE_CROSS_CYCLES};
-use hermes_obs::{ClockDomain, Recorder};
+use hermes_obs::{ClockDomain, Recorder, TraceCtx};
 
 /// Flight-recorder subsystem name used by the hypervisor.
 const OBS_SUB: &str = "xng";
@@ -84,6 +84,9 @@ pub struct Hypervisor {
     key_installed: [bool; CORE_COUNT],
     /// Flight recorder (disabled by default; see [`Hypervisor::set_obs`]).
     obs: Recorder,
+    /// Causal trace context attached to dispatch instants (see
+    /// [`Hypervisor::set_trace_ctx`]).
+    trace: TraceCtx,
 }
 
 impl Hypervisor {
@@ -121,6 +124,7 @@ impl Hypervisor {
             isolation_stats: IsolationStats::default(),
             key_installed: [false; CORE_COUNT],
             obs: Recorder::disabled(),
+            trace: TraceCtx::untraced(),
             config,
         })
     }
@@ -130,6 +134,14 @@ impl Hypervisor {
     /// the `Hv` clock domain (the ARINC-653-style schedule timeline).
     pub fn set_obs(&mut self, obs: Recorder) {
         self.obs = obs;
+    }
+
+    /// Attach (or clear, with `None`) a causal trace context: subsequent
+    /// partition-dispatch (`context-switch`) instants link into that
+    /// trace, tying a serve request's causal tree to the XNG schedule
+    /// timeline that ran its partition.
+    pub fn set_trace_ctx(&mut self, ctx: Option<TraceCtx>) {
+        self.trace = ctx.unwrap_or_default();
     }
 
     /// The attached flight recorder (disabled unless [`set_obs`] was
@@ -631,7 +643,7 @@ impl Hypervisor {
             return Ok(());
         }
         self.obs.counter_add(OBS_SUB, "context_switches", 1);
-        self.obs.instant(
+        self.obs.trace_instant(
             OBS_SUB,
             "context-switch",
             ClockDomain::Hv,
@@ -641,6 +653,7 @@ impl Hypervisor {
                 ("partition", pid.0.to_string()),
                 ("slot", self.cores[core].slot_idx.to_string()),
             ],
+            self.trace,
         );
         // arm the watchdog at first dispatch; liveness kicks push it out
         if self.watchdogs[pid.0 as usize].is_none() {
@@ -1000,6 +1013,46 @@ mod tests {
         assert!(sa.activations >= 3, "a activated {}", sa.activations);
         assert!(sb.activations >= 3);
         assert!((sa.activations as i64 - sb.activations as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn dispatch_instants_link_into_an_attached_trace() {
+        let (mut hv, a, b) = two_native_partitions();
+        for pid in [a, b] {
+            hv.attach_native(pid, native_task("t", |c| {
+                c.consume(100);
+                Ok(())
+            }))
+            .unwrap();
+        }
+        let obs = Recorder::new();
+        let ctx = obs.mint_trace();
+        hv.set_obs(obs.clone());
+        hv.set_trace_ctx(Some(ctx));
+        hv.run(9_600).unwrap();
+        let snap = obs.snapshot();
+        let switches: Vec<_> = snap
+            .subsystems
+            .iter()
+            .flat_map(|s| s.events.iter())
+            .filter(|e| e.name == "context-switch")
+            .collect();
+        assert!(!switches.is_empty());
+        assert!(
+            switches.iter().all(|e| e.trace.is_some_and(|t| t.trace_id == ctx.trace_id)),
+            "every dispatch links into the attached trace"
+        );
+        // clearing the context restores plain instants
+        hv.set_trace_ctx(None);
+        hv.run(hv.time() + 3_200).unwrap();
+        let snap = obs.snapshot();
+        assert!(
+            snap.subsystems
+                .iter()
+                .flat_map(|s| s.events.iter())
+                .any(|e| e.name == "context-switch" && e.trace.is_none()),
+            "untraced dispatches follow the clear"
+        );
     }
 
     #[test]
