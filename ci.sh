@@ -41,6 +41,21 @@ fi
 HERMES_PACKED_SETTLE=on "$EXP" --list > /dev/null \
   || { echo "ci: HERMES_PACKED_SETTLE=on must be accepted" >&2; exit 1; }
 
+# Event-kernel golden gate: the unified timer-wheel scheduler is a
+# host-work knob, never a results knob. Re-render the same experiments
+# with the kernel disabled (sorted-reference scheduler / per-tick
+# polling loops) and require byte-identical text; a malformed knob value
+# must be rejected up front, not defaulted.
+HERMES_EVENT_KERNEL=off "$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 > /tmp/hermes_pollsched.txt
+strip_timing /tmp/hermes_pollsched.txt
+diff /tmp/hermes_serial.txt.stripped /tmp/hermes_pollsched.txt.stripped \
+  || { echo "ci: output diverged between event kernel and polling schedulers" >&2; exit 1; }
+if HERMES_EVENT_KERNEL=banana "$EXP" --list > /dev/null 2>&1; then
+  echo "ci: HERMES_EVENT_KERNEL=banana must be rejected" >&2; exit 1
+fi
+HERMES_EVENT_KERNEL=on "$EXP" --list > /dev/null \
+  || { echo "ci: HERMES_EVENT_KERNEL=on must be accepted" >&2; exit 1; }
+
 # Trace determinism gate: the flight recorder is part of the determinism
 # contract. Record the same experiments serial and 4-wide, strip the
 # wall-clock side channel (every wall-derived field sits on a line whose
@@ -62,7 +77,7 @@ test -s /tmp/hermes_trace_serial.chrome.json \
 # (Capture once and grep the variable: piping straight into `grep -q`
 # races an EPIPE panic in the binary when grep exits on first match.)
 LIST=$("$EXP" --list)
-for id in e13 e14 e15 e16 e17; do
+for id in e13 e14 e15 e16 e17 e18; do
   grep -q "^$id " <<< "$LIST" || { echo "ci: --list missing $id" >&2; exit 1; }
 done
 if "$EXP" --list --trace /tmp/never.json > /dev/null 2>&1; then
@@ -242,6 +257,37 @@ assert {"hls", "dma", "xng"} <= chain, f"cross-layer trace incomplete: {chain}"
 print("ci: e17 critical-path + SLO gates hold")
 PY
 
+# E18 smoke: the unified-event-kernel experiment must run end to end,
+# emit schema'd JSON, fast-forward in every layer, clear the >=10x
+# cross-layer polled-tick reduction gate (the gate is algorithmic —
+# counted scheduler passes, not wall clock — so it is safe to assert on
+# a live run even on this single shared core), keep the off-knob replay
+# byte-identical, and leave no timer unaccounted on the wheel.
+"$EXP" e18 --jobs 1 --json /tmp/hermes_e18_smoke.json > /dev/null
+python3 - <<'PY' 2>/dev/null || grep -q '"schema": "hermes-bench/v1"' /tmp/hermes_e18_smoke.json
+import json
+doc = json.load(open('/tmp/hermes_e18_smoke.json'))
+assert doc["schema"] == "hermes-bench/v1"
+tables = {t["id"]: t for e in doc["experiments"] for t in e["tables"]}
+rows = {r["layer"]: r for r in tables["e18a"]["rows"]}
+assert {"serve", "xng", "axi", "total"} <= set(rows), f"e18a layers missing: {set(rows)}"
+for name, row in rows.items():
+    if name != "total":
+        assert int(row["skipped"]) > 0, f"{name} leg never fast-forwarded: {row}"
+total = rows["total"]
+assert int(total["polled"]) + int(total["skipped"]) == int(total["span_ticks"])
+reduction = int(total["reduction_x"])
+assert reduction >= 10, f"perf gate: {reduction}x < 10x polled-tick reduction"
+wheel = {r["layer"]: r for r in tables["e18b"]["rows"]}
+for name, row in wheel.items():
+    assert int(row["posted"]) >= int(row["popped"]) + int(row["cancelled"]), \
+        f"wheel over-drained: {row}"
+assert int(wheel["total"]["cascades"]) > 0, "overflow calendar never cascaded"
+for row in tables["e18c"]["rows"]:
+    assert row["identical"] == "yes", f"event-kernel knob moved results: {row}"
+print(f"ci: e18 event-kernel gate holds ({reduction}x polled-tick reduction)")
+PY
+
 # Committed-baseline gate: the checked-in BENCH_hermes.json must carry
 # the E17 rows, and its sampled-tracing overhead row (16 permille) must
 # stay under 5% vs the untraced recorder — the HERMES_TRACE_SAMPLE knob
@@ -258,6 +304,18 @@ assert pct < 5, f"committed sampled-tracing overhead {pct}% >= 5%"
 sweep = tables["e17a"]["rows"]
 assert any(r["alert"] == "page" for r in sweep), "committed e17a never pages"
 print(f"ci: committed sampled-tracing overhead {pct}% < 5%")
+PY
+
+# The committed baseline must also carry the E18 rows with the >=10x
+# cross-layer polled-tick reduction intact.
+python3 - <<'PY' 2>/dev/null || grep -q '"e18a"' BENCH_hermes.json
+import json
+doc = json.load(open('BENCH_hermes.json'))
+tables = {t["id"]: t for e in doc["experiments"] for t in e["tables"]}
+total = next(r for r in tables["e18a"]["rows"] if r["layer"] == "total")
+reduction = int(total["reduction_x"])
+assert reduction >= 10, f"committed e18 reduction {reduction}x < 10x"
+print(f"ci: committed e18 polled-tick reduction {reduction}x >= 10x")
 PY
 
 echo "ci: OK"

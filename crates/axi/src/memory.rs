@@ -213,6 +213,61 @@ impl AxiMemory {
         self.write_resp_out.pop_front()
     }
 
+    /// How many consecutive [`step`](Self::step) calls from this state are
+    /// provably pure countdown — no beat emitted, no response queued, no
+    /// commit — so a cycle-stepped harness may cross them in one
+    /// [`advance_quiet`](Self::advance_quiet). `0` means the next step can
+    /// do observable work (or output is already queued and should be
+    /// drained); `u64::MAX` means the slave is completely idle and only
+    /// the cycle counter would advance.
+    pub fn quiet_cycles(&self) -> u64 {
+        if !self.read_out.is_empty() || !self.write_resp_out.is_empty() {
+            return 0;
+        }
+        if self.faults.stall_cycles > 0 {
+            // a frozen slave does nothing until the stall drains (head-of-
+            // line countdowns do not age underneath it)
+            return u64::from(self.faults.stall_cycles);
+        }
+        let read_quiet = self
+            .reads
+            .front()
+            .map(|front| u64::from(front.countdown));
+        let write_quiet = self.writes.front().map(|front| match front.countdown {
+            // the absorb step itself mutates state observably enough
+            // (latency computation, fault consumption) to poll it
+            None => 0,
+            Some(n) => u64::from(n),
+        });
+        match (read_quiet, write_quiet) {
+            (Some(r), Some(w)) => r.min(w),
+            (Some(r), None) => r,
+            (None, Some(w)) => w,
+            (None, None) => u64::MAX,
+        }
+    }
+
+    /// Cross `k` quiet cycles in one call: advances the cycle counter and
+    /// ages exactly the counters `k` consecutive [`step`](Self::step)
+    /// calls would have aged. Callers must keep `k` within
+    /// [`quiet_cycles`](Self::quiet_cycles).
+    pub fn advance_quiet(&mut self, k: u64) {
+        debug_assert!(k <= self.quiet_cycles(), "advance crosses observable work");
+        self.cycles += k;
+        if self.faults.stall_cycles > 0 {
+            self.faults.stall_cycles -= k as u32;
+            return;
+        }
+        if let Some(front) = self.reads.front_mut() {
+            front.countdown -= k as u32;
+        }
+        if let Some(front) = self.writes.front_mut() {
+            if let Some(n) = &mut front.countdown {
+                *n -= k as u32;
+            }
+        }
+    }
+
     fn in_range(&self, burst: &Burst) -> bool {
         let end = burst.beat_addr(burst.beats - 1) + u64::from(burst.beat_bytes);
         end <= self.data.len() as u64 && burst.beat_addr(0) < self.data.len() as u64

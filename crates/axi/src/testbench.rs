@@ -11,6 +11,7 @@ use crate::master::AxiMaster;
 use crate::memory::{AxiMemory, MemoryTiming};
 use crate::transaction::Response;
 use crate::AxiError;
+use hermes_kernel::{DomainId, DomainRegistry, Scheduler, WheelStats};
 
 /// Aggregated traffic statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -121,6 +122,37 @@ impl BusStats {
     }
 }
 
+/// A timer posted into the event kernel during a blocking wait: either
+/// the end of the slave's provably-quiet gap or the caller's timeout /
+/// idle-budget deadline. The earlier one wins the wait quantum; the
+/// loser is cancelled so it cannot linger as a stale entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AxiTimer {
+    /// The slave can do observable work again (latency/stall drained).
+    MemoryReady,
+    /// The caller's timeout or idle budget expires.
+    Deadline,
+}
+
+/// Event-kernel domain ids for the bus timers; `(time, domain, seq)`
+/// tie-break makes a gap ending exactly at the deadline resolve to the
+/// memory wake deterministically.
+#[derive(Debug)]
+struct AxiDomains {
+    memory: DomainId,
+    timeout: DomainId,
+}
+
+impl AxiDomains {
+    fn register() -> Self {
+        let mut reg = DomainRegistry::new();
+        AxiDomains {
+            memory: reg.register("axi.memory"),
+            timeout: reg.register("axi.timeout"),
+        }
+    }
+}
+
 /// The testbench harness.
 #[derive(Debug)]
 pub struct AxiTestbench {
@@ -132,6 +164,16 @@ pub struct AxiTestbench {
     pub timeout_cycles: u64,
     /// Optional retry policy (off by default — errors surface immediately).
     pub retry: Option<RetryPolicy>,
+    /// Whether blocking waits fast-forward quiet slave cycles through the
+    /// unified event kernel (`HERMES_EVENT_KERNEL`, DESIGN.md §14).
+    event_kernel: bool,
+    /// Persistent wait-timer scheduler (wheel or reference, per the knob).
+    sched: Scheduler<AxiTimer>,
+    domains: AxiDomains,
+    /// Bus cycles advanced one step at a time.
+    ticks_polled: u64,
+    /// Bus cycles crossed by quiet-gap fast-forward.
+    ticks_skipped: u64,
 }
 
 impl AxiTestbench {
@@ -143,6 +185,7 @@ impl AxiTestbench {
 
     /// Build a testbench with an explicit bus width in bytes.
     pub fn with_bus_width(mem_size: usize, timing: MemoryTiming, bus_bytes: u8) -> Self {
+        let event_kernel = hermes_kernel::event_kernel_enabled();
         AxiTestbench {
             master: AxiMaster::new(bus_bytes),
             memory: AxiMemory::new(mem_size, timing),
@@ -150,6 +193,11 @@ impl AxiTestbench {
             stats: BusStats::default(),
             timeout_cycles: 1_000_000,
             retry: None,
+            event_kernel,
+            sched: Scheduler::new(event_kernel),
+            domains: AxiDomains::register(),
+            ticks_polled: 0,
+            ticks_skipped: 0,
         }
     }
 
@@ -157,6 +205,31 @@ impl AxiTestbench {
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = Some(policy);
         self
+    }
+
+    /// Override the `HERMES_EVENT_KERNEL` default (builder style). Tests
+    /// and experiments pass the knob explicitly — process-global env
+    /// mutation is racy under the multithreaded test harness.
+    pub fn with_event_kernel(mut self, on: bool) -> Self {
+        self.event_kernel = on;
+        self.sched = Scheduler::new(on);
+        self
+    }
+
+    /// Bus cycles advanced one step at a time (the polled work the event
+    /// kernel could not skip).
+    pub fn ticks_polled(&self) -> u64 {
+        self.ticks_polled
+    }
+
+    /// Bus cycles crossed by quiet-gap fast-forward.
+    pub fn ticks_skipped(&self) -> u64 {
+        self.ticks_skipped
+    }
+
+    /// Event-kernel scheduler counters (posted/popped/cancelled/…).
+    pub fn kernel_stats(&self) -> &WheelStats {
+        self.sched.stats()
     }
 
     /// Direct (zero-time) access to the slave memory for initialization.
@@ -183,6 +256,53 @@ impl AxiTestbench {
         self.memory.step();
         self.checker.tick();
         self.stats.cycles += 1;
+        self.ticks_polled += 1;
+    }
+
+    /// One scheduling quantum inside a blocking wait: advance the bus
+    /// toward `stop` (the absolute cycle where the caller's timeout check
+    /// or idle budget fires) and return the cycles advanced.
+    ///
+    /// With the event kernel on and the slave provably quiet, the quiet
+    /// gap's end and the deadline are posted as timers; the earlier pop
+    /// wins, the loser is cancelled, and the whole span up to the winner
+    /// is crossed in one bulk advance. Otherwise — knob off, or the slave
+    /// can do observable work next cycle — this is exactly one [`step`].
+    fn advance_toward(&mut self, stop: u64) -> u64 {
+        let now = self.stats.cycles;
+        if self.event_kernel && now < stop {
+            let quiet = self.memory.quiet_cycles();
+            if quiet > 0 {
+                let mem = (quiet < u64::MAX - now).then(|| {
+                    self.sched
+                        .post(now + quiet, self.domains.memory, AxiTimer::MemoryReady)
+                        .expect("quiet gap ends in the future")
+                });
+                let deadline = self
+                    .sched
+                    .post(stop, self.domains.timeout, AxiTimer::Deadline)
+                    .expect("deadline is in the future");
+                let ev = self.sched.pop_next().expect("a timer was just posted");
+                match ev.payload {
+                    AxiTimer::MemoryReady => {
+                        self.sched.cancel(deadline);
+                    }
+                    AxiTimer::Deadline => {
+                        if let Some(token) = mem {
+                            self.sched.cancel(token);
+                        }
+                    }
+                }
+                let k = ev.time - now;
+                self.memory.advance_quiet(k);
+                self.checker.tick_n(k);
+                self.stats.cycles += k;
+                self.ticks_skipped += k;
+                return k;
+            }
+        }
+        self.step();
+        1
     }
 
     /// Whether an error is worth re-issuing the transaction for.
@@ -207,14 +327,15 @@ impl AxiTestbench {
     fn recover_bus(&mut self) {
         let mut waited = 0u64;
         while self.memory.busy() {
-            self.step();
+            let stop = self.stats.cycles + (self.timeout_cycles + 1 - waited);
+            let k = self.advance_toward(stop);
             while let Some(beat) = self.memory.pop_read_beat() {
                 self.checker.on_read_beat(&beat);
             }
             while let Some(resp) = self.memory.pop_write_response() {
                 self.checker.on_write_response(&resp);
             }
-            waited += 1;
+            waited += k;
             if waited > self.timeout_cycles {
                 break;
             }
@@ -268,8 +389,8 @@ impl AxiTestbench {
             // wait for AR acceptance
             let mut waited = 0u64;
             while !self.memory.push_read(plan.burst.clone()) {
-                self.step();
-                waited += 1;
+                let stop = self.stats.cycles + (self.timeout_cycles + 1 - waited);
+                waited += self.advance_toward(stop);
                 if waited > self.timeout_cycles {
                     return Err(AxiError::Timeout { cycles: waited });
                 }
@@ -281,7 +402,7 @@ impl AxiTestbench {
             let mut raw = Vec::with_capacity(plan.burst.total_bytes() as usize);
             let mut beats_seen = 0u16;
             while beats_seen < plan.burst.beats {
-                self.step();
+                self.advance_toward(issue_cycle + self.timeout_cycles + 1);
                 while let Some(beat) = self.memory.pop_read_beat() {
                     self.checker.on_read_beat(&beat);
                     match beat.resp {
@@ -350,8 +471,8 @@ impl AxiTestbench {
         for (burst, beats) in plans {
             let mut waited = 0u64;
             while !self.memory.aw_ready() {
-                self.step();
-                waited += 1;
+                let stop = self.stats.cycles + (self.timeout_cycles + 1 - waited);
+                waited += self.advance_toward(stop);
                 if waited > self.timeout_cycles {
                     return Err(AxiError::Timeout { cycles: waited });
                 }
@@ -366,7 +487,7 @@ impl AxiTestbench {
             // wait for B
             let issue = self.stats.cycles;
             loop {
-                self.step();
+                self.advance_toward(issue + self.timeout_cycles + 1);
                 if let Some(resp) = self.memory.pop_write_response() {
                     self.checker.on_write_response(&resp);
                     match resp.resp {
@@ -386,10 +507,12 @@ impl AxiTestbench {
     }
 
     /// Let the bus idle for `n` cycles (models compute phases between
-    /// transfers).
+    /// transfers). With the event kernel on and a quiescent slave this is
+    /// a single bulk advance.
     pub fn idle(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step();
+        let stop = self.stats.cycles + n;
+        while self.stats.cycles < stop {
+            self.advance_toward(stop);
         }
     }
 }
@@ -532,6 +655,82 @@ mod tests {
         let err = tb.read_blocking(10_000, 4).unwrap_err();
         assert!(matches!(err, AxiError::Decode { .. }));
         assert_eq!(tb.stats().retries, 0);
+    }
+
+    /// Run the same fault-laden traffic pattern (SLVERRs, a stall long
+    /// enough to trip timeouts, retries with backoff, idle compute gaps)
+    /// with the event kernel forced off and on; every observable — data,
+    /// per-op cycle costs, cumulative stats, violations — must match
+    /// exactly.
+    fn drive(kernel: bool) -> (AxiTestbench, Vec<u64>) {
+        let mut tb = AxiTestbench::new(8192, MemoryTiming::slow())
+            .with_retry(RetryPolicy {
+                max_retries: 3,
+                backoff_base: 16,
+            })
+            .with_event_kernel(kernel);
+        tb.timeout_cycles = 200;
+        let mut costs = Vec::new();
+        tb.memory_mut().poke(0x100, &[0x5A; 64]);
+        costs.push(tb.write_blocking(0x400, &[7u8; 48]).unwrap());
+        tb.memory_mut().inject_read_slverr(2);
+        let (data, c) = tb.read_blocking(0x100, 64).unwrap();
+        assert_eq!(data, vec![0x5A; 64]);
+        costs.push(c);
+        tb.idle(500);
+        tb.memory_mut().inject_stall(700); // > timeout_cycles: trips a timeout
+        let (data, c) = tb.read_blocking(0x400, 48).unwrap();
+        assert_eq!(data, vec![7u8; 48]);
+        costs.push(c);
+        tb.memory_mut().inject_write_slverr(1);
+        costs.push(tb.write_blocking(0x800, &[9u8; 32]).unwrap());
+        (tb, costs)
+    }
+
+    #[test]
+    fn event_kernel_bus_timing_is_bit_identical() {
+        let (off, costs_off) = drive(false);
+        let (on, costs_on) = drive(true);
+        assert_eq!(costs_off, costs_on, "per-operation cycle costs");
+        assert_eq!(off.stats(), on.stats(), "cumulative bus statistics");
+        assert_eq!(off.violations().len(), on.violations().len());
+        assert_eq!(off.ticks_skipped(), 0, "knob off never skips");
+        assert!(on.ticks_skipped() > 0, "quiet gaps fast-forwarded");
+        assert_eq!(
+            on.ticks_polled() + on.ticks_skipped(),
+            off.ticks_polled(),
+            "every bus cycle is either polled or skipped"
+        );
+    }
+
+    #[test]
+    fn event_kernel_cancels_the_losing_wait_timer() {
+        let (on, _) = drive(true);
+        let ks = on.kernel_stats();
+        assert!(ks.posted > 0 && ks.popped > 0);
+        assert!(
+            ks.cancelled > 0,
+            "each wait quantum cancels its losing timer: {ks:?}"
+        );
+        assert_eq!(
+            ks.posted,
+            ks.popped + ks.cancelled,
+            "no timer lingers: every post is popped or cancelled"
+        );
+    }
+
+    #[test]
+    fn event_kernel_skips_most_latency_cycles() {
+        let mut tb = AxiTestbench::new(4096, MemoryTiming::slow()).with_event_kernel(true);
+        tb.write_blocking(0, &[1u8; 256]).unwrap();
+        tb.read_blocking(0, 256).unwrap();
+        tb.idle(10_000);
+        assert!(
+            tb.ticks_skipped() > tb.ticks_polled(),
+            "slow memory + idle is mostly quiet: polled {} skipped {}",
+            tb.ticks_polled(),
+            tb.ticks_skipped()
+        );
     }
 
     #[test]

@@ -49,6 +49,10 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(1);
     }
+    if let Err(e) = hermes_kernel::event_kernel_env() {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
     let mut filter: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;

@@ -1,7 +1,7 @@
 //! # hermes-bench
 //!
 //! The experiment harness: one module per experiment of EXPERIMENTS.md
-//! (E1–E17), each regenerating the corresponding table. The paper itself is
+//! (E1–E18), each regenerating the corresponding table. The paper itself is
 //! a project report with architecture figures rather than result tables;
 //! each experiment therefore reproduces the *measurable claim* behind a
 //! figure or section, as mapped in DESIGN.md.
@@ -37,6 +37,7 @@ pub mod e14_serving;
 pub mod e15_isolation;
 pub mod e16_wordparallel;
 pub mod e17_tracing;
+pub mod e18_eventkernel;
 pub mod hdl_check;
 pub mod json;
 pub mod kernels;
@@ -142,6 +143,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e17",
             "Causal tracing, critical-path profiling, SLO burn-rate alerting",
             e17_tracing::run_traced,
+        ),
+        (
+            "e18",
+            "Unified event kernel: cross-layer fast-forward (polled-tick reduction)",
+            e18_eventkernel::run_traced,
         ),
     ]
 }

@@ -53,6 +53,37 @@ fn e16_parallel_matches_serial() {
     assert_eq!(strip(&serial), strip(&parallel));
 }
 
+/// E18's serving leg fans payload work over the worker pool; like every
+/// other experiment its tables (tick ledgers, wheel counters, identity
+/// verdicts) must not move with the worker count.
+#[test]
+fn e18_parallel_matches_serial() {
+    let serial = hermes_bench::e18_eventkernel::run_with_jobs(1).text;
+    let parallel = hermes_bench::e18_eventkernel::run_with_jobs(4).text;
+    assert_eq!(serial, parallel);
+}
+
+/// The `HERMES_EVENT_KERNEL` knob holds the same contract as the worker
+/// count: it moves *when work happens on the host*, never *what the
+/// simulation computes*. Replay E18's serving leg (E14-shaped: chaos on
+/// the pool) and hypervisor leg (E10-shaped: crashes, restarts, an
+/// expiring watchdog) with the kernel forced on and off through the
+/// explicit API overrides (no racy env mutation) and require
+/// byte-identical outcomes.
+#[test]
+fn event_kernel_knob_never_moves_results() {
+    let (r_off, _) = hermes_bench::e18_eventkernel::serve_run(1, false);
+    let (r_on, _) = hermes_bench::e18_eventkernel::serve_run(1, true);
+    assert_eq!(r_off, r_on, "serve reports identical across the knob");
+    assert_eq!(r_off.render(), r_on.render(), "serve renders byte-identical");
+
+    let off = hermes_bench::e18_eventkernel::xng_run(false);
+    let on = hermes_bench::e18_eventkernel::xng_run(true);
+    assert_eq!(off.time(), on.time(), "hypervisor clocks agree");
+    assert_eq!(off.hm_escalations, on.hm_escalations);
+    assert_eq!(off.health().log(), on.health().log(), "HM timeline identical");
+}
+
 /// The flight recorder holds the same contract as the tables: a trace
 /// taken serial must be bit-identical to one taken 4-wide (the wall
 /// channel is off here; ci.sh additionally gates the wall-stripped

@@ -1,0 +1,70 @@
+//! The `HERMES_EVENT_KERNEL` knob.
+//!
+//! Strict discipline (PR 8, `hermes-obs::env`): a typo must never
+//! silently select the wrong scheduler and invalidate a golden run.
+//! Binaries call [`event_kernel_env`] up front and refuse to start on a
+//! malformed value; library call sites that cannot surface an error use
+//! [`event_kernel_enabled`], which falls back to the default **loudly**
+//! (once, through the shared warning sink).
+
+use hermes_obs::env::{bool_lenient, bool_strict, EnvKnobError};
+
+/// The scheduler-selection knob: `on` (default) runs every event-stepped
+/// loop on the unified timer wheel, `off` runs the sorted reference
+/// scheduler and the legacy per-cycle polling loops. A results no-op by
+/// contract — CI diffs both paths byte-for-byte.
+pub const EVENT_KERNEL_VAR: &str = "HERMES_EVENT_KERNEL";
+
+/// Parse a raw knob value (`None` = unset = on).
+///
+/// Split out from [`event_kernel_env`] so the vocabulary is testable
+/// without touching the process environment.
+///
+/// # Errors
+///
+/// [`EnvKnobError`] when the value is outside `on`/`1`/`true` /
+/// `off`/`0`/`false`.
+pub fn parse_event_kernel_knob(raw: Option<&str>) -> Result<bool, EnvKnobError> {
+    bool_strict(EVENT_KERNEL_VAR, raw, true)
+}
+
+/// Read the knob strictly from the environment.
+///
+/// # Errors
+///
+/// [`EnvKnobError`] on a malformed value (binaries reject it up front).
+pub fn event_kernel_env() -> Result<bool, EnvKnobError> {
+    parse_event_kernel_knob(std::env::var(EVENT_KERNEL_VAR).ok().as_deref())
+}
+
+/// Lenient library-side read: a malformed value falls back to `on` with
+/// a one-shot warning. Engines constructed without an explicit override
+/// use this; the experiment binaries have already validated strictly.
+pub fn event_kernel_enabled() -> bool {
+    bool_lenient(
+        EVENT_KERNEL_VAR,
+        std::env::var(EVENT_KERNEL_VAR).ok().as_deref(),
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_is_strict_and_defaults_on() {
+        assert_eq!(parse_event_kernel_knob(None), Ok(true));
+        for on in ["on", "1", "true", " ON "] {
+            assert_eq!(parse_event_kernel_knob(Some(on)), Ok(true), "{on}");
+        }
+        for off in ["off", "0", "false", "OFF"] {
+            assert_eq!(parse_event_kernel_knob(Some(off)), Ok(false), "{off}");
+        }
+        for bad in ["banana", "yes", "2", ""] {
+            let err = parse_event_kernel_knob(Some(bad)).unwrap_err();
+            assert_eq!(err.name, EVENT_KERNEL_VAR);
+            assert_eq!(err.value, bad);
+        }
+    }
+}

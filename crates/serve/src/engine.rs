@@ -10,6 +10,16 @@
 //! only parallelizes batch payload evaluation through
 //! [`hermes_par::par_map_bounded_jobs`], whose results come back in input
 //! order, so reports are byte-identical across `--jobs`.
+//!
+//! Wake times come from the unified event kernel (`hermes-kernel`,
+//! DESIGN.md §14): every phase posts its next due tick as a timer, the
+//! chaos [`FaultPlan`] posts its whole timeline up front, and the run
+//! loop pops the earliest timer that still matches the current state
+//! (timers are validated at pop, so superseded ones are skipped, never
+//! acted on). The `HERMES_EVENT_KERNEL` knob selects the timer wheel or
+//! the sorted reference scheduler; both pop in the identical
+//! `(time, domain, seq)` order, so the knob is a speed choice, never a
+//! results choice.
 
 use crate::model::AcceleratorModel;
 use crate::pool::{Batch, Pool};
@@ -17,6 +27,7 @@ use crate::queue::Backlog;
 use crate::request::{RejectReason, Request, ShedReason, Verdict};
 use crate::{fnv1a_words, Tick};
 use hermes_chaos::plan::{FaultKind, FaultPlan};
+use hermes_kernel::{DomainId, DomainRegistry, Scheduler, WheelStats};
 use hermes_obs::slo::{RequestOutcome, SloEngine};
 use hermes_obs::{ClockDomain, Histogram, Recorder, TraceCtx, WallMark};
 use std::collections::HashMap;
@@ -204,6 +215,59 @@ impl ServeReport {
     }
 }
 
+/// The serve-clock timers the engine posts into the event kernel. Each
+/// is validated against the live state at pop time: a popped timer whose
+/// kind no longer predicts that tick is superseded and skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServeTimer {
+    /// Next request arrival (always fires: arrivals never move).
+    Arrival,
+    /// Next pool transition: batch completion or instance recovery.
+    Pool,
+    /// A scheduled chaos fault (the whole plan posts up front).
+    Chaos,
+    /// Earliest queued deadline expires (sheds at deadline + 1).
+    Expiry,
+    /// A class's batch window ages out.
+    Window(usize),
+    /// A class head's last safe dispatch tick.
+    Safe(usize),
+}
+
+/// Last posted due time per timer kind — a timer already pending for
+/// the same tick is not re-posted (pending is guaranteed: the kernel
+/// hand trails the serve clock, so a memoized future tick is unpopped).
+#[derive(Debug, Clone, Default)]
+struct TimerMemo {
+    arrival: Option<Tick>,
+    pool: Option<Tick>,
+    expiry: Option<Tick>,
+    window: Vec<Option<Tick>>,
+    safe: Vec<Option<Tick>>,
+}
+
+/// The kernel domains of the serve clock, in same-tick priority order.
+struct ServeDomains {
+    arrival: DomainId,
+    pool: DomainId,
+    chaos: DomainId,
+    expiry: DomainId,
+    batch: DomainId,
+}
+
+impl ServeDomains {
+    fn register() -> Self {
+        let mut reg = DomainRegistry::new();
+        ServeDomains {
+            arrival: reg.register("arrival"),
+            pool: reg.register("pool"),
+            chaos: reg.register("chaos"),
+            expiry: reg.register("expiry"),
+            batch: reg.register("batch"),
+        }
+    }
+}
+
 /// The deadline-aware serving engine.
 pub struct ServeEngine {
     cfg: ServeConfig,
@@ -220,6 +284,14 @@ pub struct ServeEngine {
     /// independent) but only sampled ones are kept and recorded.
     traces: HashMap<u64, TraceCtx>,
     now: Tick,
+    /// Timer-wheel path when on, sorted reference when off; identical
+    /// pop order either way.
+    event_kernel: bool,
+    memo: TimerMemo,
+    /// Ticks the engine actually woke on (== processed steps).
+    wakes: u64,
+    /// Scheduler counters of the last `run` (E18 exports these).
+    kernel_stats: WheelStats,
     // accounting
     verdicts: Vec<(u64, Verdict)>,
     served: u64,
@@ -254,6 +326,14 @@ impl ServeEngine {
             slo: None,
             traces: HashMap::new(),
             now: 0,
+            event_kernel: hermes_kernel::event_kernel_enabled(),
+            memo: TimerMemo {
+                window: vec![None; classes],
+                safe: vec![None; classes],
+                ..TimerMemo::default()
+            },
+            wakes: 0,
+            kernel_stats: WheelStats::default(),
             cursor: 0,
             verdicts: Vec::with_capacity(arrivals.len()),
             served: 0,
@@ -305,9 +385,30 @@ impl ServeEngine {
         self
     }
 
+    /// Override the `HERMES_EVENT_KERNEL` selection for this engine:
+    /// `true` schedules wakes on the timer wheel, `false` on the sorted
+    /// reference. Results are byte-identical either way (tests assert
+    /// it without racing the process environment).
+    #[must_use]
+    pub fn with_event_kernel(mut self, on: bool) -> Self {
+        self.event_kernel = on;
+        self
+    }
+
     /// The attached SLO engine (inspect states/verdicts after `run`).
     pub fn slo(&self) -> Option<&SloEngine> {
         self.slo.as_ref()
+    }
+
+    /// Ticks the engine woke on during `run` (each wake runs one full
+    /// phased step; every other tick of the makespan was skipped).
+    pub fn wakes(&self) -> u64 {
+        self.wakes
+    }
+
+    /// Scheduler counters of the last `run` (wheel occupancy, cascades).
+    pub fn kernel_stats(&self) -> &WheelStats {
+        &self.kernel_stats
     }
 
     /// The attached recorder (absorb it into a parent after `run`).
@@ -330,10 +431,31 @@ impl ServeEngine {
     }
 
     /// Run to completion: every offered request ends in a verdict.
+    ///
+    /// The loop is timer-driven: after each phased step the engine posts
+    /// the next due tick of every phase into the kernel, then pops wake
+    /// candidates until one still matches the live state. The first
+    /// live timer is exactly the minimum pending event tick, so the
+    /// serve clock advances event to event with no per-tick polling.
     pub fn run(&mut self) -> ServeReport {
+        let mut sched: Scheduler<ServeTimer> = Scheduler::new(self.event_kernel);
+        let domains = ServeDomains::register();
+        // chaos has a single timeline: the whole plan posts up front
+        // instead of being peeked every step
+        if let Some(plan) = &self.plan {
+            for cycle in plan.pending_cycles() {
+                if cycle > 0 {
+                    sched
+                        .post(cycle, domains.chaos, ServeTimer::Chaos)
+                        .expect("fault timeline is in the future");
+                }
+            }
+        }
         loop {
             self.step();
-            match self.next_event_tick() {
+            self.wakes += 1;
+            self.post_timers(&mut sched, &domains);
+            match self.next_wake(&mut sched) {
                 Some(t) => {
                     debug_assert!(t > self.now, "event clock must advance");
                     self.now = t;
@@ -341,6 +463,7 @@ impl ServeEngine {
                 None => break,
             }
         }
+        self.kernel_stats = *sched.stats();
         self.finalize()
     }
 
@@ -692,43 +815,95 @@ impl ServeEngine {
         }
     }
 
-    /// Tick of the next pending event strictly after `now`, or `None`
-    /// when the run is complete.
-    fn next_event_tick(&self) -> Option<Tick> {
+    /// Post one timer kind's current due tick, unless it is not in the
+    /// future or the same tick is already pending for that kind.
+    fn post_timer(
+        sched: &mut Scheduler<ServeTimer>,
+        memo: &mut Option<Tick>,
+        due: Option<Tick>,
+        now: Tick,
+        domain: DomainId,
+        timer: ServeTimer,
+    ) {
+        if let Some(t) = due {
+            if t > now && *memo != Some(t) {
+                sched.post(t, domain, timer).expect("future timer posts");
+                *memo = Some(t);
+            }
+        }
+    }
+
+    /// Post the next due tick of every phase after a step. Superseded
+    /// timers (the state moved on) stay in the kernel and are skipped at
+    /// pop by [`Self::next_wake`]'s liveness check.
+    fn post_timers(&mut self, sched: &mut Scheduler<ServeTimer>, d: &ServeDomains) {
         let now = self.now;
         let svc1 = self.model.service_cycles(1);
-        let mut next: Option<Tick> = None;
-        let mut consider = |t: Tick| {
-            if t > now {
-                next = Some(next.map_or(t, |n| n.min(t)));
-            }
-        };
-        if let Some(r) = self.arrivals.get(self.cursor) {
-            consider(r.arrival);
-        }
-        if let Some(t) = self.pool.next_transition() {
-            consider(t);
-        }
-        if let Some(plan) = &self.plan {
-            // chaos events matter only while work remains
-            if !(self.backlog.is_empty() && self.cursor >= self.arrivals.len()) {
-                if let Some(c) = plan.peek_cycle() {
-                    consider(c);
-                }
-            }
-        }
-        if let Some(d) = self.backlog.earliest_deadline() {
-            consider(d + 1); // expiry: deadline < now sheds
-        }
+        let arrival = self.arrivals.get(self.cursor).map(|r| r.arrival);
+        Self::post_timer(sched, &mut self.memo.arrival, arrival, now, d.arrival, ServeTimer::Arrival);
+        let pool = self.pool.next_transition();
+        Self::post_timer(sched, &mut self.memo.pool, pool, now, d.pool, ServeTimer::Pool);
+        // expiry: deadline < now sheds, so the wake lands at deadline + 1
+        let expiry = self.backlog.earliest_deadline().map(|dl| dl + 1);
+        Self::post_timer(sched, &mut self.memo.expiry, expiry, now, d.expiry, ServeTimer::Expiry);
         for class in 0..self.backlog.class_count() {
-            if let Some(oldest) = self.backlog.oldest_arrival(class) {
-                consider(oldest + self.cfg.batch_window);
+            let window = self.backlog.oldest_arrival(class).map(|o| o + self.cfg.batch_window);
+            Self::post_timer(
+                sched,
+                &mut self.memo.window[class],
+                window,
+                now,
+                d.batch,
+                ServeTimer::Window(class),
+            );
+            // last safe dispatch of the class head
+            let safe = self.backlog.head_deadline(class).map(|h| h.saturating_sub(svc1));
+            Self::post_timer(
+                sched,
+                &mut self.memo.safe[class],
+                safe,
+                now,
+                d.batch,
+                ServeTimer::Safe(class),
+            );
+        }
+    }
+
+    /// Whether a popped timer still predicts tick `t` — i.e. its kind's
+    /// current due tick is exactly `t`. Chaos timers additionally only
+    /// matter while work remains (the engine never wakes just to apply a
+    /// fault to an empty, finished system).
+    fn timer_live(&self, timer: ServeTimer, t: Tick) -> bool {
+        let svc1 = self.model.service_cycles(1);
+        match timer {
+            ServeTimer::Arrival => self.arrivals.get(self.cursor).map(|r| r.arrival) == Some(t),
+            ServeTimer::Pool => self.pool.next_transition() == Some(t),
+            ServeTimer::Chaos => {
+                !(self.backlog.is_empty() && self.cursor >= self.arrivals.len())
+                    && self.plan.as_ref().and_then(FaultPlan::peek_cycle) == Some(t)
             }
-            if let Some(head) = self.backlog.head_deadline(class) {
-                consider(head.saturating_sub(svc1)); // last safe dispatch
+            ServeTimer::Expiry => self.backlog.earliest_deadline().map(|d| d + 1) == Some(t),
+            ServeTimer::Window(class) => {
+                self.backlog.oldest_arrival(class).map(|o| o + self.cfg.batch_window) == Some(t)
+            }
+            ServeTimer::Safe(class) => {
+                self.backlog.head_deadline(class).map(|h| h.saturating_sub(svc1)) == Some(t)
             }
         }
-        next
+    }
+
+    /// Pop the next wake tick: the earliest pending timer that is still
+    /// live. Every phase's current due tick is pending (posted after the
+    /// last step), so the first live pop is exactly the minimum pending
+    /// event tick strictly after `now`; `None` means the run is done.
+    fn next_wake(&mut self, sched: &mut Scheduler<ServeTimer>) -> Option<Tick> {
+        while let Some(ev) = sched.pop_next() {
+            // a timer at or behind the serve clock is always superseded
+            if ev.time > self.now && self.timer_live(ev.payload, ev.time) {
+                return Some(ev.time);
+            }
+        }
+        None
     }
 
     fn finalize(&mut self) -> ServeReport {

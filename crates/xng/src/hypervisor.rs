@@ -7,6 +7,17 @@
 //! guest vCPU (guest partitions) or invokes the native task once (native
 //! partitions). Guest `ecall`s are serviced as hypercalls; guest traps are
 //! routed to the health monitor.
+//!
+//! The per-cycle engine is exact but wasteful when every core is quiet
+//! (native partitions between activations, yielded or halted guests):
+//! nothing can happen until the next slot boundary or watchdog deadline.
+//! With the unified event kernel enabled (`HERMES_EVENT_KERNEL`, default
+//! on — see DESIGN.md §14), [`Hypervisor::run`] posts those deadlines
+//! into a [`hermes_kernel::Scheduler`] and fast-forwards quiet gaps in
+//! one `bulk_advance` instead of polling every tick. Every popped timer
+//! is validated against live state before it is trusted, so the schedule
+//! — dispatch instants, watchdog expiries, HM escalations, statistics —
+//! is bit-identical to the polling engine.
 
 use crate::config::{IsolationMode, XngConfig};
 use crate::health::{HealthMonitor, HmAction, HmEvent};
@@ -19,6 +30,7 @@ use crate::{PartitionId, XngError};
 use hermes_cpu::cluster::{Cluster, CORE_COUNT};
 use hermes_cpu::hart::{Event, TrapCause};
 use hermes_cpu::mpu::{reprogram_cost, MpuRegion, Privilege, GATE_CROSS_CYCLES};
+use hermes_kernel::{DomainId, DomainRegistry, Scheduler, WheelStats};
 use hermes_obs::{ClockDomain, Recorder, TraceCtx};
 
 /// Flight-recorder subsystem name used by the hypervisor.
@@ -54,6 +66,68 @@ struct CoreSched {
     cycles_at_dispatch: u64,
 }
 
+/// A timer posted into the event kernel. The payload carries only the
+/// timer's identity — its due time is recomputed from live hypervisor
+/// state at pop, so stale entries (superseded by a mode change, failover,
+/// or watchdog kick) are recognised and discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum XngTimer {
+    /// `switching` on this core reaches zero (slot dispatch).
+    Dispatch(usize),
+    /// This core's current slot elapses (retire + next-slot switch).
+    Retire(usize),
+    /// This partition's liveness watchdog deadline.
+    Watchdog(usize),
+}
+
+/// Event-kernel domain ids for the hypervisor's timer classes; the
+/// `(time, domain, seq)` tie-break keeps same-tick pops deterministic.
+struct XngDomains {
+    dispatch: DomainId,
+    retire: DomainId,
+    watchdog: DomainId,
+}
+
+impl XngDomains {
+    fn register() -> Self {
+        let mut reg = DomainRegistry::new();
+        XngDomains {
+            dispatch: reg.register("xng.dispatch"),
+            retire: reg.register("xng.retire"),
+            watchdog: reg.register("xng.watchdog"),
+        }
+    }
+}
+
+/// Last posted due time per timer, so an unchanged deadline is not
+/// reposted every wake. A memoised time `t > now` is guaranteed to still
+/// be pending in the scheduler: pops only consume entries up to the
+/// winning wake, which becomes the new `now`.
+struct XngMemo {
+    dispatch: [Option<u64>; CORE_COUNT],
+    retire: [Option<u64>; CORE_COUNT],
+    watchdog: Vec<Option<u64>>,
+}
+
+impl XngMemo {
+    fn new(partitions: usize) -> Self {
+        XngMemo {
+            dispatch: [None; CORE_COUNT],
+            retire: [None; CORE_COUNT],
+            watchdog: vec![None; partitions],
+        }
+    }
+
+    /// Forget every memoised post. Used when pending entries may have
+    /// been consumed without becoming the current time (a budget-capped
+    /// advance): reposting duplicates is harmless, missing a wake is not.
+    fn clear(&mut self) {
+        self.dispatch = [None; CORE_COUNT];
+        self.retire = [None; CORE_COUNT];
+        self.watchdog.iter_mut().for_each(|w| *w = None);
+    }
+}
+
 /// The hypervisor.
 pub struct Hypervisor {
     config: XngConfig,
@@ -87,6 +161,17 @@ pub struct Hypervisor {
     /// Causal trace context attached to dispatch instants (see
     /// [`Hypervisor::set_trace_ctx`]).
     trace: TraceCtx,
+    /// Whether [`run`](Hypervisor::run) fast-forwards quiet gaps through
+    /// the unified event kernel (DESIGN.md §14).
+    event_kernel: bool,
+    /// The persistent timer scheduler (wheel or reference, per the knob).
+    sched: Scheduler<XngTimer>,
+    domains: XngDomains,
+    memo: XngMemo,
+    /// Ticks executed by the full per-cycle engine.
+    ticks_polled: u64,
+    /// Quiet ticks fast-forwarded without entering the engine.
+    ticks_skipped: u64,
 }
 
 impl Hypervisor {
@@ -108,6 +193,8 @@ impl Hypervisor {
             ..CoreSched::default()
         };
         let watchdogs = vec![None; config.partitions.len()];
+        let event_kernel = hermes_kernel::event_kernel_enabled();
+        let memo = XngMemo::new(config.partitions.len());
         Ok(Hypervisor {
             cluster: Cluster::new(),
             ports,
@@ -125,8 +212,40 @@ impl Hypervisor {
             key_installed: [false; CORE_COUNT],
             obs: Recorder::disabled(),
             trace: TraceCtx::untraced(),
+            event_kernel,
+            sched: Scheduler::new(event_kernel),
+            domains: XngDomains::register(),
+            memo,
+            ticks_polled: 0,
+            ticks_skipped: 0,
             config,
         })
+    }
+
+    /// Override the `HERMES_EVENT_KERNEL` default for this hypervisor
+    /// (tests and experiments pass it explicitly — process-global env
+    /// mutation is racy under the multithreaded test harness). Resets the
+    /// scheduler: pending timers are re-derived from live state.
+    pub fn set_event_kernel(&mut self, on: bool) {
+        self.event_kernel = on;
+        self.sched = Scheduler::new(on);
+        self.memo.clear();
+    }
+
+    /// Ticks that ran the full per-cycle engine.
+    pub fn ticks_polled(&self) -> u64 {
+        self.ticks_polled
+    }
+
+    /// Quiet ticks fast-forwarded by the event kernel instead of being
+    /// polled.
+    pub fn ticks_skipped(&self) -> u64 {
+        self.ticks_skipped
+    }
+
+    /// Event-kernel scheduler counters (posted/popped/cascades/occupancy).
+    pub fn kernel_stats(&self) -> &WheelStats {
+        self.sched.stats()
     }
 
     /// Attach a flight recorder: every partition dispatch
@@ -379,17 +498,216 @@ impl Hypervisor {
     /// Run for `cycles` hypervisor cycles (stops early if the health
     /// monitor halts the system).
     ///
+    /// With the event kernel enabled, quiet stretches — no core active,
+    /// no mode change pending, nothing due this tick — are crossed in one
+    /// bulk advance to the next scheduled timer instead of one engine
+    /// pass per cycle. The observable schedule is identical either way.
+    ///
     /// # Errors
     ///
     /// Propagates CPU substrate errors.
     pub fn run(&mut self, cycles: u64) -> Result<(), XngError> {
-        for _ in 0..cycles {
+        let mut remaining = cycles;
+        while remaining > 0 {
             if self.hm.system_halted {
                 break;
             }
+            if self.event_kernel && self.idle_now() && !self.due_now() {
+                self.post_timers();
+                let horizon = self.time + remaining;
+                let k = match self.next_wake(horizon) {
+                    Some(wake) => wake - self.time,
+                    // nothing fires in (now, horizon]: the whole budget
+                    // is quiet time
+                    None => remaining,
+                };
+                self.bulk_advance(k);
+                self.ticks_skipped += k;
+                remaining -= k;
+                continue;
+            }
             self.tick()?;
+            self.ticks_polled += 1;
+            remaining -= 1;
         }
         Ok(())
+    }
+
+    /// Whether this tick is pure time: no core can make progress and no
+    /// state transition is pending. (A halted partition with an armed
+    /// watchdog is excluded conservatively — the next engine pass disarms
+    /// it, then fast-forwarding resumes.)
+    fn idle_now(&self) -> bool {
+        self.pending_mode.is_none()
+            && !self.cluster.any_active()
+            && !self
+                .watchdogs
+                .iter()
+                .enumerate()
+                .any(|(i, w)| w.is_some() && self.partitions[i].mode == PartitionMode::Halted)
+    }
+
+    /// Whether any timer fires on the *current* tick (those are never
+    /// posted — the kernel only holds strictly-future times — so the
+    /// engine must run now).
+    fn due_now(&self) -> bool {
+        for core in 0..CORE_COUNT {
+            if self.config.plans[core].slots.is_empty() {
+                continue;
+            }
+            let cs = &self.cores[core];
+            if cs.switching > 0 {
+                if cs.switching == 1 {
+                    return true;
+                }
+            } else {
+                let slot = self.config.plans[core].slots[cs.slot_idx];
+                if cs.elapsed + 1 >= slot.duration {
+                    return true;
+                }
+            }
+        }
+        self.watchdogs.iter().enumerate().any(|(i, w)| {
+            w.is_some_and(|d| d <= self.time)
+                && self.partitions[i].mode != PartitionMode::Halted
+        })
+    }
+
+    /// Post every strictly-future timer deadline into the scheduler,
+    /// memo-deduplicated so an unchanged deadline is posted once.
+    fn post_timers(&mut self) {
+        let now = self.time;
+        for core in 0..CORE_COUNT {
+            if self.config.plans[core].slots.is_empty() {
+                continue;
+            }
+            let cs = &self.cores[core];
+            if cs.switching > 0 {
+                let due = now + cs.switching - 1;
+                Self::post_timer(
+                    &mut self.sched,
+                    &mut self.memo.dispatch[core],
+                    due,
+                    now,
+                    self.domains.dispatch,
+                    XngTimer::Dispatch(core),
+                );
+            } else {
+                let slot = self.config.plans[core].slots[cs.slot_idx];
+                let due = now + slot.duration.saturating_sub(cs.elapsed + 1);
+                Self::post_timer(
+                    &mut self.sched,
+                    &mut self.memo.retire[core],
+                    due,
+                    now,
+                    self.domains.retire,
+                    XngTimer::Retire(core),
+                );
+            }
+        }
+        for i in 0..self.watchdogs.len() {
+            let Some(deadline) = self.watchdogs[i] else {
+                continue;
+            };
+            if self.partitions[i].mode == PartitionMode::Halted {
+                continue;
+            }
+            Self::post_timer(
+                &mut self.sched,
+                &mut self.memo.watchdog[i],
+                deadline,
+                now,
+                self.domains.watchdog,
+                XngTimer::Watchdog(i),
+            );
+        }
+    }
+
+    fn post_timer(
+        sched: &mut Scheduler<XngTimer>,
+        memo: &mut Option<u64>,
+        due: u64,
+        now: u64,
+        domain: DomainId,
+        timer: XngTimer,
+    ) {
+        if due > now && *memo != Some(due) {
+            sched
+                .post(due, domain, timer)
+                .expect("timer deadline is in the future");
+            *memo = Some(due);
+        }
+    }
+
+    /// Whether a popped timer still reflects live state: its due time,
+    /// recomputed now, must equal the posted time.
+    fn timer_live(&self, timer: XngTimer, t: u64) -> bool {
+        match timer {
+            XngTimer::Dispatch(core) => {
+                let cs = &self.cores[core];
+                !self.config.plans[core].slots.is_empty()
+                    && cs.switching > 0
+                    && self.time + cs.switching - 1 == t
+            }
+            XngTimer::Retire(core) => {
+                let cs = &self.cores[core];
+                if self.config.plans[core].slots.is_empty() || cs.switching > 0 {
+                    return false;
+                }
+                let slot = self.config.plans[core].slots[cs.slot_idx];
+                self.time + slot.duration.saturating_sub(cs.elapsed + 1) == t
+            }
+            XngTimer::Watchdog(pid) => {
+                self.watchdogs[pid] == Some(t)
+                    && self.partitions[pid].mode != PartitionMode::Halted
+            }
+        }
+    }
+
+    /// Pop until a live timer surfaces; its time is the next tick where
+    /// anything can happen. Stale pops (superseded deadlines) are
+    /// discarded — validation makes them harmless. Entries beyond
+    /// `horizon` (the farthest this `run` may advance) are left pending,
+    /// so the kernel's hand never runs ahead of hypervisor time and every
+    /// memoised post stays either pending or behind `now`.
+    fn next_wake(&mut self, horizon: u64) -> Option<u64> {
+        loop {
+            match self.sched.peek_time() {
+                None => return None,
+                Some(t) if t > horizon => return None,
+                Some(_) => {
+                    let ev = self.sched.pop_next().expect("peeked entry pops");
+                    if ev.time > self.time && self.timer_live(ev.payload, ev.time) {
+                        return Some(ev.time);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Apply `k` quiet ticks at once: exactly the state every skipped
+    /// engine pass would have touched — per-core slot clocks, the cluster
+    /// cycle counter, and system time. Callers guarantee nothing fires in
+    /// the crossed interval, so `switching` stays positive and `elapsed`
+    /// stays short of the slot duration.
+    fn bulk_advance(&mut self, k: u64) {
+        for core in 0..CORE_COUNT {
+            if self.config.plans[core].slots.is_empty() {
+                continue;
+            }
+            let slot = self.config.plans[core].slots[self.cores[core].slot_idx];
+            let cs = &mut self.cores[core];
+            if cs.switching > 0 {
+                debug_assert!(k < cs.switching, "advance crosses a dispatch");
+                cs.switching -= k;
+            } else {
+                debug_assert!(cs.elapsed + k < slot.duration, "advance crosses a retire");
+                cs.elapsed += k;
+            }
+        }
+        self.cluster.cycles += k;
+        self.cluster.bus.shared_accesses_this_cycle = 0;
+        self.time += k;
     }
 
     fn tick(&mut self) -> Result<(), XngError> {
@@ -1441,6 +1759,128 @@ mod tests {
         assert_eq!(hv.stats(a).restarts, 2, "restart budget fully spent first");
         assert_eq!(hv.hm_escalations, 1);
         assert!(hv.stats(b).activations > 5, "healthy partition unaffected");
+    }
+
+    /// Build the same watchdog + restart-limit + guest scenario twice —
+    /// event kernel forced off (per-cycle polling) and on (fast-forward)
+    /// — and require the observable schedule to be bit-identical.
+    fn kernel_equivalence_pair() -> (Hypervisor, Hypervisor) {
+        let build = || {
+            let mut cfg = XngConfig::new("eq");
+            let a = cfg.add_partition(PartitionConfig::new("silent").with_watchdog(1_500));
+            let b = cfg.add_partition(PartitionConfig::new("flaky").with_restart_limit(3));
+            let g = cfg.add_partition(PartitionConfig::new("guest").with_memory(MemRegion {
+                base: layout::SRAM_BASE,
+                size: 0x1000,
+                writable: true,
+            }));
+            cfg.set_plan(
+                0,
+                Plan::new(vec![Slot::new(a, 900), Slot::new(b, 700), Slot::new(g, 1_100)]),
+            );
+            cfg.set_plan(1, Plan::new(vec![Slot::new(b, 1_300)]));
+            let mut hv = Hypervisor::new(cfg).unwrap();
+            hv.attach_native(b, native_task("flaky", |c| {
+                c.consume(40);
+                if c.now() > 4_000 && c.now() < 9_000 {
+                    Err("boom".into())
+                } else {
+                    Ok(())
+                }
+            }))
+            .unwrap();
+            let prog = assemble("spin:\necall 0x08\njal r0, spin").unwrap();
+            hv.attach_guest(g, layout::SRAM_BASE, vec![(layout::SRAM_BASE, prog)])
+                .unwrap();
+            (hv, a, b, g)
+        };
+        let (mut off, ..) = build();
+        off.set_event_kernel(false);
+        let (mut on, ..) = build();
+        on.set_event_kernel(true);
+        (off, on)
+    }
+
+    #[test]
+    fn event_kernel_schedule_is_bit_identical_to_polling() {
+        let (mut off, mut on) = kernel_equivalence_pair();
+        // several run() calls with awkward budgets exercise the horizon
+        // cap: timers due beyond one call's budget must fire on the next
+        for budget in [777u64, 1, 4_321, 9_999, 2, 15_000] {
+            off.run(budget).unwrap();
+            on.run(budget).unwrap();
+            assert_eq!(off.time(), on.time());
+        }
+        for p in 0..3u32 {
+            let pid = PartitionId(p);
+            assert_eq!(off.stats(pid), on.stats(pid), "partition {p} stats");
+            assert_eq!(off.mode(pid), on.mode(pid), "partition {p} mode");
+        }
+        assert_eq!(off.hm_escalations, on.hm_escalations);
+        assert_eq!(
+            off.health().log(),
+            on.health().log(),
+            "HM timeline identical, expiry instants included"
+        );
+        assert_eq!(off.cluster().cycles, on.cluster().cycles);
+        assert_eq!(off.ticks_skipped(), 0, "polling engine never skips");
+        assert!(on.ticks_skipped() > 0, "fast-forward engaged");
+        assert_eq!(
+            on.ticks_polled() + on.ticks_skipped(),
+            off.ticks_polled(),
+            "every tick is either polled or skipped"
+        );
+    }
+
+    #[test]
+    fn event_kernel_skips_most_quiet_ticks() {
+        let (mut off, mut on) = kernel_equivalence_pair();
+        off.run(40_000).unwrap();
+        on.run(40_000).unwrap();
+        assert!(
+            on.ticks_polled() * 10 <= off.ticks_polled(),
+            "native/yielded schedule is ≥90% quiet: polled {} of {}",
+            on.ticks_polled(),
+            off.ticks_polled()
+        );
+        let ks = on.kernel_stats();
+        assert!(ks.posted > 0 && ks.popped > 0);
+    }
+
+    #[test]
+    fn mode_change_matches_under_event_kernel() {
+        let build = |kernel: bool| {
+            let mut cfg = XngConfig::new("modes");
+            let a = cfg.add_partition(PartitionConfig::new("nominal"));
+            let b = cfg.add_partition(PartitionConfig::new("safe"));
+            cfg.set_plan(0, Plan::new(vec![Slot::new(a, 2_000)]));
+            let mut safe_plans = vec![Plan::default(); CORE_COUNT];
+            safe_plans[0] = Plan::new(vec![Slot::new(b, 2_000)]);
+            let mode = cfg.add_mode("safe", safe_plans);
+            let mut hv = Hypervisor::new(cfg).unwrap();
+            hv.set_event_kernel(kernel);
+            hv.attach_native(a, native_task("nominal", |c| {
+                c.consume(10);
+                Ok(())
+            }))
+            .unwrap();
+            hv.attach_native(b, native_task("safe", |c| {
+                c.consume(10);
+                Ok(())
+            }))
+            .unwrap();
+            hv.run(10_000).unwrap();
+            hv.request_mode_change(mode).unwrap();
+            hv.run(10_000).unwrap();
+            hv
+        };
+        let (off, on) = (build(false), build(true));
+        for p in 0..2u32 {
+            assert_eq!(off.stats(PartitionId(p)), on.stats(PartitionId(p)));
+        }
+        assert_eq!(off.mode_changes, on.mode_changes);
+        assert_eq!(off.time(), on.time());
+        assert!(on.ticks_skipped() > 0);
     }
 
     #[test]
