@@ -13,8 +13,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 # wall-clock lines.
 EXP=target/release/experiments
 strip_timing() { grep -v "completed in" "$1" > "$1.stripped"; }
-"$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 > /tmp/hermes_serial.txt
-"$EXP" --jobs 4 e1 e2 e7 e10 e14 e15 e16 > /tmp/hermes_par.txt
+"$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 e19 > /tmp/hermes_serial.txt
+"$EXP" --jobs 4 e1 e2 e7 e10 e14 e15 e16 e19 > /tmp/hermes_par.txt
 strip_timing /tmp/hermes_serial.txt
 strip_timing /tmp/hermes_par.txt
 diff /tmp/hermes_serial.txt.stripped /tmp/hermes_par.txt.stripped \
@@ -22,8 +22,10 @@ diff /tmp/hermes_serial.txt.stripped /tmp/hermes_par.txt.stripped \
 
 # Settle-mode golden gate: event-driven settling is a speed knob, never a
 # results knob. Re-render the same experiments with event-driven settle
-# disabled and require byte-identical text.
-HERMES_EVENT_SETTLE=off "$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 > /tmp/hermes_fullsettle.txt
+# disabled and require byte-identical text. (E19 is RTL-free, so the settle
+# knobs cannot touch it; it rides along only so the diff baseline matches
+# the jobs-gate run list.)
+HERMES_EVENT_SETTLE=off "$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 e19 > /tmp/hermes_fullsettle.txt
 strip_timing /tmp/hermes_fullsettle.txt
 diff /tmp/hermes_serial.txt.stripped /tmp/hermes_fullsettle.txt.stripped \
   || { echo "ci: output diverged between event-driven and full settle" >&2; exit 1; }
@@ -31,7 +33,7 @@ diff /tmp/hermes_serial.txt.stripped /tmp/hermes_fullsettle.txt.stripped \
 # Packed-settle golden gate: word-parallel bit-packing is likewise a speed
 # knob. Re-render with the packed engine disabled and require byte-identical
 # text; a malformed knob value must be rejected up front, not defaulted.
-HERMES_PACKED_SETTLE=off "$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 > /tmp/hermes_scalarsettle.txt
+HERMES_PACKED_SETTLE=off "$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 e19 > /tmp/hermes_scalarsettle.txt
 strip_timing /tmp/hermes_scalarsettle.txt
 diff /tmp/hermes_serial.txt.stripped /tmp/hermes_scalarsettle.txt.stripped \
   || { echo "ci: output diverged between packed and scalar settle" >&2; exit 1; }
@@ -46,7 +48,7 @@ HERMES_PACKED_SETTLE=on "$EXP" --list > /dev/null \
 # with the kernel disabled (sorted-reference scheduler / per-tick
 # polling loops) and require byte-identical text; a malformed knob value
 # must be rejected up front, not defaulted.
-HERMES_EVENT_KERNEL=off "$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 > /tmp/hermes_pollsched.txt
+HERMES_EVENT_KERNEL=off "$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 e19 > /tmp/hermes_pollsched.txt
 strip_timing /tmp/hermes_pollsched.txt
 diff /tmp/hermes_serial.txt.stripped /tmp/hermes_pollsched.txt.stripped \
   || { echo "ci: output diverged between event kernel and polling schedulers" >&2; exit 1; }
@@ -60,8 +62,8 @@ HERMES_EVENT_KERNEL=on "$EXP" --list > /dev/null \
 # contract. Record the same experiments serial and 4-wide, strip the
 # wall-clock side channel (every wall-derived field sits on a line whose
 # key starts with "wall), and require byte-identical documents.
-"$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 --trace /tmp/hermes_trace_serial.json > /dev/null
-"$EXP" --jobs 4 e1 e2 e7 e10 e14 e15 e16 --trace /tmp/hermes_trace_par.json > /dev/null
+"$EXP" --jobs 1 e1 e2 e7 e10 e14 e15 e16 e19 --trace /tmp/hermes_trace_serial.json > /dev/null
+"$EXP" --jobs 4 e1 e2 e7 e10 e14 e15 e16 e19 --trace /tmp/hermes_trace_par.json > /dev/null
 grep -q '"schema": "hermes-trace/v1"' /tmp/hermes_trace_serial.json \
   || { echo "ci: trace document missing hermes-trace/v1 schema" >&2; exit 1; }
 grep -v '"wall' /tmp/hermes_trace_serial.json > /tmp/hermes_trace_serial.stripped
@@ -77,7 +79,7 @@ test -s /tmp/hermes_trace_serial.chrome.json \
 # (Capture once and grep the variable: piping straight into `grep -q`
 # races an EPIPE panic in the binary when grep exits on first match.)
 LIST=$("$EXP" --list)
-for id in e13 e14 e15 e16 e17 e18; do
+for id in e13 e14 e15 e16 e17 e18 e19; do
   grep -q "^$id " <<< "$LIST" || { echo "ci: --list missing $id" >&2; exit 1; }
 done
 if "$EXP" --list --trace /tmp/never.json > /dev/null 2>&1; then
@@ -288,6 +290,45 @@ for row in tables["e18c"]["rows"]:
 print(f"ci: e18 event-kernel gate holds ({reduction}x polled-tick reduction)")
 PY
 
+# E19 smoke: the sharded-fleet experiment must run end to end, emit
+# schema'd JSON, sweep 4/8/16 shards over at least a million requests,
+# account every request on every row (served + shed + rejected +
+# balancer_shed == offered — under shard-kill chaos too: evacuated work
+# is re-routed, never lost), keep the routing skew under the 1.5x gate,
+# and show the autoscaler taking at least one scale-up and one completed
+# drain-then-kill scale-down.
+"$EXP" e19 --jobs 1 --json /tmp/hermes_e19_smoke.json > /dev/null
+python3 - <<'PY' 2>/dev/null || grep -q '"schema": "hermes-bench/v1"' /tmp/hermes_e19_smoke.json
+import json
+doc = json.load(open('/tmp/hermes_e19_smoke.json'))
+assert doc["schema"] == "hermes-bench/v1"
+tables = {t["id"]: t for e in doc["experiments"] for t in e["tables"]}
+def accounted(row):
+    total = (int(row["served"]) + int(row["shed"]) + int(row["rejected"])
+             + int(row.get("balancer_shed", 0)))
+    assert total == int(row["offered"]), f"fleet accounting broken: {row}"
+sweep = tables["e19a"]["rows"]
+assert {int(r["shards"]) for r in sweep} == {4, 8, 16}, "e19a must sweep 4/8/16 shards"
+assert sum(int(r["offered"]) for r in sweep) >= 1_000_000, "e19a must offer >= 1M requests"
+for row in sweep:
+    accounted(row)
+    assert int(row["skew_x100"]) <= 150, f"routing skew gate: {row}"
+chaos = {r["campaign"]: r for r in tables["e19b"]["rows"]}
+for row in chaos.values():
+    accounted(row)
+    assert row["accounted"] == "yes", f"fleet chaos unaccounted: {row}"
+kill = next(r for r in chaos.values() if int(r["kills"]) > 0)
+assert int(kill["rerouted"]) > 0, f"kills must evacuate live work: {kill}"
+assert int(kill["revives"]) > 0, f"victims must rejoin the ring: {kill}"
+scale = tables["e19c"]["rows"][0]
+accounted(scale)
+assert int(scale["scale_ups"]) >= 1, f"autoscaler never scaled up: {scale}"
+assert int(scale["scale_downs"]) >= 1, f"autoscaler never drained down: {scale}"
+ident = tables["e19d"]["rows"]
+assert len({r["checksum"] for r in ident}) == 1, "fleet checksum differs across jobs/kernel"
+print("ci: e19 fleet accounting, skew, and elasticity gates hold")
+PY
+
 # Committed-baseline gate: the checked-in BENCH_hermes.json must carry
 # the E17 rows, and its sampled-tracing overhead row (16 permille) must
 # stay under 5% vs the untraced recorder — the HERMES_TRACE_SAMPLE knob
@@ -316,6 +357,21 @@ total = next(r for r in tables["e18a"]["rows"] if r["layer"] == "total")
 reduction = int(total["reduction_x"])
 assert reduction >= 10, f"committed e18 reduction {reduction}x < 10x"
 print(f"ci: committed e18 polled-tick reduction {reduction}x >= 10x")
+PY
+
+# The committed baseline must also carry the E19 rows: a >=1M-request
+# fleet sweep whose 8-shard point keeps the consistent-hash + po2c
+# routing skew within 1.5x of even.
+python3 - <<'PY' 2>/dev/null || grep -q '"e19a"' BENCH_hermes.json
+import json
+doc = json.load(open('BENCH_hermes.json'))
+tables = {t["id"]: t for e in doc["experiments"] for t in e["tables"]}
+sweep = tables["e19a"]["rows"]
+assert sum(int(r["offered"]) for r in sweep) >= 1_000_000, "committed e19a under 1M requests"
+eight = next(r for r in sweep if int(r["shards"]) == 8)
+skew = int(eight["skew_x100"])
+assert skew <= 150, f"committed e19 routing skew {skew} > 150"
+print(f"ci: committed e19 8-shard routing skew {skew} <= 150")
 PY
 
 echo "ci: OK"

@@ -1,7 +1,7 @@
 //! # hermes-bench
 //!
 //! The experiment harness: one module per experiment of EXPERIMENTS.md
-//! (E1–E18), each regenerating the corresponding table. The paper itself is
+//! (E1–E19), each regenerating the corresponding table. The paper itself is
 //! a project report with architecture figures rather than result tables;
 //! each experiment therefore reproduces the *measurable claim* behind a
 //! figure or section, as mapped in DESIGN.md.
@@ -38,6 +38,7 @@ pub mod e15_isolation;
 pub mod e16_wordparallel;
 pub mod e17_tracing;
 pub mod e18_eventkernel;
+pub mod e19_fleet;
 pub mod hdl_check;
 pub mod json;
 pub mod kernels;
@@ -148,6 +149,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e18",
             "Unified event kernel: cross-layer fast-forward (polled-tick reduction)",
             e18_eventkernel::run_traced,
+        ),
+        (
+            "e19",
+            "Sharded serving fleet (routing, autoscaling, cross-shard failover)",
+            e19_fleet::run_traced,
         ),
     ]
 }

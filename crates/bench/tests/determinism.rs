@@ -63,6 +63,28 @@ fn e18_parallel_matches_serial() {
     assert_eq!(serial, parallel);
 }
 
+/// E19's fleet fans every shard's payload work over the worker pool; its
+/// chaos+scaler replay (the E19d point, public as `identity_run`) must
+/// not move with the worker count. The full experiment is additionally
+/// diffed at `--jobs 1` vs `--jobs 4` by the ci.sh release-binary gate.
+#[test]
+fn e19_parallel_matches_serial() {
+    let serial = hermes_bench::e19_fleet::identity_run(1, true);
+    let parallel = hermes_bench::e19_fleet::identity_run(4, true);
+    assert_eq!(serial, parallel, "fleet reports identical across jobs");
+    assert_eq!(serial.render(), parallel.render(), "fleet renders byte-identical");
+}
+
+/// The fleet steps on the kernel timer wheel; forcing the reference
+/// scheduler instead must not move results either.
+#[test]
+fn e19_event_kernel_knob_never_moves_results() {
+    let on = hermes_bench::e19_fleet::identity_run(1, true);
+    let off = hermes_bench::e19_fleet::identity_run(1, false);
+    assert_eq!(on, off, "fleet reports identical across the knob");
+    assert_eq!(on.render(), off.render(), "fleet renders byte-identical");
+}
+
 /// The `HERMES_EVENT_KERNEL` knob holds the same contract as the worker
 /// count: it moves *when work happens on the host*, never *what the
 /// simulation computes*. Replay E18's serving leg (E14-shaped: chaos on

@@ -28,6 +28,9 @@ pub enum Subsystem {
     /// A hostile guest partition probing the hypervisor's isolation
     /// boundaries (see [`crate::hostile`]).
     HostilePartition,
+    /// A whole serving shard — an entire `hermes-serve` engine with its
+    /// queue and pool — in a fleet (`hermes-fleet`).
+    ServingShard,
 }
 
 /// What a hostile partition probes (see [`FaultKind::HostileProbe`]).
@@ -136,6 +139,15 @@ pub enum FaultKind {
         /// Stall length in serve ticks.
         cycles: u32,
     },
+    /// A whole serving shard dies: its queued and in-flight requests must
+    /// be evacuated and re-routed to surviving shards, and the shard
+    /// stays down for `down_cycles` before rejoining the ring.
+    ShardKill {
+        /// Fleet shard index (modulo the live shard count at apply time).
+        shard: u8,
+        /// How long the shard stays down, in fleet ticks.
+        down_cycles: u32,
+    },
     /// A hostile partition fires one adversarial probe at its next
     /// activation. The campaign driver compiles the probe into guest
     /// machine code (see [`crate::hostile`]).
@@ -163,6 +175,7 @@ impl FaultKind {
             FaultKind::Seu { .. } => Subsystem::PartitionMemory,
             FaultKind::TaskPanic => Subsystem::Task,
             FaultKind::PoolKill { .. } | FaultKind::PoolStall { .. } => Subsystem::AcceleratorPool,
+            FaultKind::ShardKill { .. } => Subsystem::ServingShard,
             FaultKind::HostileProbe { .. } => Subsystem::HostilePartition,
         }
     }
@@ -211,6 +224,13 @@ pub struct FaultPlanConfig {
     pub pool_instances: u8,
     /// Hostile-partition probe count (isolation campaigns; 0 elsewhere).
     pub hostile_probes: u32,
+    /// Whole-shard kills (fleet campaigns; 0 elsewhere).
+    pub shard_kills: u32,
+    /// Maximum shard downtime, in fleet ticks.
+    pub shard_down_max: u32,
+    /// Fleet size the shard indices are drawn from (modulo at apply time,
+    /// so a plan stays valid for smaller fleets).
+    pub shard_count: u8,
 }
 
 impl Default for FaultPlanConfig {
@@ -235,6 +255,10 @@ impl Default for FaultPlanConfig {
             // likewise off by default: hostile probes only appear in
             // explicit isolation campaigns
             hostile_probes: 0,
+            // and shard kills only in explicit fleet campaigns
+            shard_kills: 0,
+            shard_down_max: 4000,
+            shard_count: 8,
         }
     }
 }
@@ -260,6 +284,9 @@ impl FaultPlanConfig {
             pool_down_max: down_max.max(1),
             pool_instances: instances.max(1),
             hostile_probes: 0,
+            shard_kills: 0,
+            shard_down_max: 1,
+            shard_count: 1,
         }
     }
 
@@ -268,6 +295,21 @@ impl FaultPlanConfig {
     pub fn hostile_only(duration: u64, probes: u32) -> Self {
         FaultPlanConfig {
             hostile_probes: probes,
+            ..FaultPlanConfig::pool_only(duration, 0, 0, 1, 1)
+        }
+    }
+
+    /// A fleet-campaign config: only whole-shard kills, every other
+    /// category zeroed. `shards` is the fleet size kill targets are drawn
+    /// from. Because shard faults draw after every other category, adding
+    /// them to an existing pool/hostile config (struct-update syntax on
+    /// [`FaultPlanConfig::pool_only`]) never perturbs that config's
+    /// schedule.
+    pub fn shard_only(duration: u64, kills: u32, down_max: u32, shards: u8) -> Self {
+        FaultPlanConfig {
+            shard_kills: kills,
+            shard_down_max: down_max.max(1),
+            shard_count: shards.max(1),
             ..FaultPlanConfig::pool_only(duration, 0, 0, 1, 1)
         }
     }
@@ -380,6 +422,18 @@ impl FaultPlan {
                 },
             });
         }
+        // shard kills draw last of all — the newest category always
+        // appends to the draw order, so every existing campaign (classic,
+        // pool, hostile) keeps its exact historical schedule
+        for _ in 0..cfg.shard_kills {
+            events.push(FaultEvent {
+                cycle: at(&mut rng),
+                kind: FaultKind::ShardKill {
+                    shard: rng.below(u64::from(cfg.shard_count.max(1))) as u8,
+                    down_cycles: rng.range_u64(1, u64::from(cfg.shard_down_max.max(2))) as u32,
+                },
+            });
+        }
         events.sort_by_key(|e| e.cycle);
         FaultPlan {
             events,
@@ -472,7 +526,8 @@ mod tests {
             + cfg.task_panics
             + cfg.pool_kills
             + cfg.pool_stalls
-            + cfg.hostile_probes) as usize;
+            + cfg.hostile_probes
+            + cfg.shard_kills) as usize;
         assert_eq!(plan.events().len(), want);
         assert_eq!(plan.count(Subsystem::Flash), (cfg.flash_bitrot + cfg.flash_stuck_pages) as usize);
     }
@@ -547,6 +602,56 @@ mod tests {
             .events()
             .iter()
             .all(|e| e.kind.subsystem() == Subsystem::HostilePartition && e.cycle < 50_000));
+    }
+
+    #[test]
+    fn shard_kills_default_off_and_preserve_every_earlier_stream() {
+        let base = FaultPlanConfig::default();
+        assert_eq!(FaultPlan::generate(23, &base).count(Subsystem::ServingShard), 0);
+        // shard kills draw last: enabling them perturbs no earlier
+        // category, whatever mix of categories is already on
+        let mixed = FaultPlanConfig {
+            pool_kills: 3,
+            pool_stalls: 2,
+            hostile_probes: 4,
+            ..base
+        };
+        let fleet = FaultPlanConfig { shard_kills: 5, ..mixed };
+        let before = FaultPlan::generate(23, &mixed);
+        let after = FaultPlan::generate(23, &fleet);
+        assert_eq!(after.count(Subsystem::ServingShard), 5);
+        let sans_shard = |p: &FaultPlan| {
+            let mut v: Vec<FaultEvent> = p
+                .events()
+                .iter()
+                .filter(|e| e.kind.subsystem() != Subsystem::ServingShard)
+                .copied()
+                .collect();
+            v.sort_by_key(|e| (e.cycle, format!("{:?}", e.kind)));
+            v
+        };
+        assert_eq!(sans_shard(&before), sans_shard(&after));
+        // pool_only composes the same way: adding shard kills on top of a
+        // serving campaign keeps the pool schedule byte-identical (the
+        // E14 seed-99 campaign must replay exactly under a fleet config)
+        let serving = FaultPlanConfig::pool_only(80_000, 6, 4, 500, 2);
+        let with_shards = FaultPlanConfig { shard_kills: 3, shard_down_max: 900, shard_count: 8, ..serving };
+        let p_serving = FaultPlan::generate(99, &serving);
+        let p_fleet = FaultPlan::generate(99, &with_shards);
+        assert_eq!(sans_shard(&p_serving), sans_shard(&p_fleet));
+        // shard_only draws only shard kills, in range
+        let only = FaultPlan::generate(7, &FaultPlanConfig::shard_only(60_000, 9, 700, 8));
+        assert_eq!(only.events().len(), 9);
+        for ev in only.events() {
+            match ev.kind {
+                FaultKind::ShardKill { shard, down_cycles } => {
+                    assert!(shard < 8);
+                    assert!((1..700).contains(&down_cycles));
+                    assert!(ev.cycle < 60_000);
+                }
+                _ => panic!("unexpected kind {:?}", ev.kind),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! The consistent-hash ring mapping tenant keys to shards.
+//!
+//! Each shard contributes `vnodes` virtual points on a 64-bit circle; a
+//! key routes to the shard owning the first point at or after the key's
+//! hash (wrapping). The classic guarantee follows: adding a shard steals
+//! keys only *for the new shard*, and removing one redistributes only
+//! *its own* keys — every other tenant keeps its home, which is what
+//! keeps per-tenant queue state and cache affinity stable across
+//! scale-up, scale-down, and failover.
+
+use crate::mix64;
+
+/// A consistent-hash ring over shard indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted virtual points: `(hash, shard)`.
+    points: Vec<(u64, usize)>,
+    /// Virtual nodes contributed per shard.
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// An empty ring whose shards will contribute `vnodes` points each
+    /// (at least one).
+    pub fn new(vnodes: usize) -> Self {
+        HashRing { points: Vec::new(), vnodes: vnodes.max(1) }
+    }
+
+    fn point(shard: usize, vnode: usize) -> u64 {
+        // two rounds keep shard and vnode contributions independent
+        mix64(mix64(shard as u64 ^ 0x51bb_a7e5_0f2e_a11d) ^ (vnode as u64))
+    }
+
+    /// Add `shard`'s virtual points (idempotent).
+    pub fn add(&mut self, shard: usize) {
+        if self.contains(shard) {
+            return;
+        }
+        for v in 0..self.vnodes {
+            let p = (Self::point(shard, v), shard);
+            let at = self.points.partition_point(|&q| q < p);
+            self.points.insert(at, p);
+        }
+    }
+
+    /// Remove every point of `shard` (idempotent).
+    pub fn remove(&mut self, shard: usize) {
+        self.points.retain(|&(_, s)| s != shard);
+    }
+
+    /// Whether `shard` currently contributes points.
+    pub fn contains(&self, shard: usize) -> bool {
+        self.points.iter().any(|&(_, s)| s == shard)
+    }
+
+    /// Whether no shard is routable.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The shard owning `key`: the first point at or after `key`'s
+    /// position, wrapping past the top. `None` on an empty ring.
+    pub fn shard_for(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let at = self.points.partition_point(|&(h, _)| h < key);
+        let (_, shard) = self.points[at % self.points.len()];
+        Some(shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> Vec<u64> {
+        (0..512u64).map(|t| mix64(t ^ 0xfee1_dead)).collect()
+    }
+
+    #[test]
+    fn routes_every_key_and_is_deterministic() {
+        let mut ring = HashRing::new(64);
+        for s in 0..4 {
+            ring.add(s);
+        }
+        for k in keys() {
+            let a = ring.shard_for(k).expect("non-empty ring routes");
+            assert_eq!(Some(a), ring.shard_for(k));
+            assert!(a < 4);
+        }
+        assert_eq!(ring.shard_for(1), ring.clone().shard_for(1));
+    }
+
+    #[test]
+    fn empty_ring_routes_nothing() {
+        let ring = HashRing::new(8);
+        assert!(ring.is_empty());
+        assert_eq!(ring.shard_for(42), None);
+    }
+
+    #[test]
+    fn scale_up_moves_keys_only_to_the_new_shard() {
+        let mut ring = HashRing::new(64);
+        for s in 0..8 {
+            ring.add(s);
+        }
+        let before: Vec<usize> = keys().iter().map(|&k| ring.shard_for(k).unwrap()).collect();
+        ring.add(8);
+        let mut moved = 0;
+        for (k, &old) in keys().iter().zip(&before) {
+            let new = ring.shard_for(*k).unwrap();
+            if new != old {
+                assert_eq!(new, 8, "a moved key may only move to the new shard");
+                moved += 1;
+            }
+        }
+        // the new shard takes roughly 1/9 of the keys, never the majority
+        assert!(moved > 0, "scale-up must take some keys");
+        assert!(moved < keys().len() / 4, "scale-up moved too much: {moved}");
+    }
+
+    #[test]
+    fn removal_redistributes_only_the_dead_shards_keys() {
+        let mut ring = HashRing::new(64);
+        for s in 0..8 {
+            ring.add(s);
+        }
+        let before: Vec<usize> = keys().iter().map(|&k| ring.shard_for(k).unwrap()).collect();
+        ring.remove(3);
+        assert!(!ring.contains(3));
+        for (k, &old) in keys().iter().zip(&before) {
+            let new = ring.shard_for(*k).unwrap();
+            if old != 3 {
+                assert_eq!(new, old, "a surviving shard's keys must not move");
+            } else {
+                assert_ne!(new, 3, "the dead shard's keys must move off it");
+            }
+        }
+        // re-adding restores the exact original mapping
+        ring.add(3);
+        let after: Vec<usize> = keys().iter().map(|&k| ring.shard_for(k).unwrap()).collect();
+        assert_eq!(after, before, "re-add restores the original ownership");
+    }
+
+    #[test]
+    fn vnodes_bound_the_load_spread() {
+        let mut ring = HashRing::new(128);
+        for s in 0..8 {
+            ring.add(s);
+        }
+        let mut per = [0u64; 8];
+        for k in keys() {
+            per[ring.shard_for(k).unwrap()] += 1;
+        }
+        let max = *per.iter().max().unwrap();
+        let mean = keys().len() as u64 / 8;
+        assert!(
+            max * 100 <= mean * 160,
+            "key spread too skewed: {per:?} (max {max}, mean {mean})"
+        );
+    }
+}

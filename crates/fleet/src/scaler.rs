@@ -1,0 +1,269 @@
+//! The histogram-driven autoscaler: a deterministic state machine over
+//! the fleet's windowed p99 deadline-pressure signal.
+//!
+//! Every `eval_interval` fleet ticks the engine hands the scaler one
+//! [`FleetSample`]: the p99 of the served-latency observations *added
+//! since the last evaluation* (a bucket-count delta over the merged
+//! per-shard histograms — see `FleetEngine::latency_window`), plus queue
+//! and occupancy gauges. Scale-up requires `up_consecutive` consecutive
+//! hot evaluations (sustained burn, not a blip); scale-down requires
+//! `down_consecutive` consecutive cold ones and begins with a *drain* —
+//! the victim shard leaves the ring, finishes what it holds, and only
+//! then is retired (drain-then-kill, so elasticity never breaks the
+//! accounting invariant). A cooldown after every action keeps the machine
+//! from flapping.
+
+/// Autoscaler thresholds and bounds.
+#[derive(Debug, Clone)]
+pub struct ScalerConfig {
+    /// Fleet ticks between evaluations.
+    pub eval_interval: u64,
+    /// Windowed p99 served latency at or above this is a burn signal.
+    pub p99_slo: u64,
+    /// Minimum served observations in a window for the p99 to count
+    /// (tiny windows are noise, never a scaling signal).
+    pub min_window: u64,
+    /// Queued requests per live shard at or above this is a burn signal
+    /// even without latency evidence (saturated shards serve nothing, so
+    /// latency alone can look deceptively healthy).
+    pub queue_high: usize,
+    /// Busy instances at or below this fraction of all instances
+    /// (x100) with an empty queue is an idle signal.
+    pub idle_low_x100: u64,
+    /// Consecutive hot evaluations before scaling up.
+    pub up_consecutive: u32,
+    /// Consecutive cold evaluations before draining a shard.
+    pub down_consecutive: u32,
+    /// Evaluations to sit out after any action.
+    pub cooldown_evals: u32,
+    /// Never drain below this many live shards.
+    pub min_shards: usize,
+    /// Never grow above this many shards.
+    pub max_shards: usize,
+}
+
+impl Default for ScalerConfig {
+    fn default() -> Self {
+        ScalerConfig {
+            eval_interval: 2000,
+            p99_slo: 2000,
+            min_window: 16,
+            queue_high: 32,
+            idle_low_x100: 25,
+            up_consecutive: 2,
+            down_consecutive: 2,
+            cooldown_evals: 2,
+            min_shards: 1,
+            max_shards: 8,
+        }
+    }
+}
+
+/// One evaluation window's inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetSample {
+    /// p99 of served latencies observed in this window (`None` when the
+    /// window served nothing).
+    pub window_p99: Option<u64>,
+    /// Served observations in this window.
+    pub window_served: u64,
+    /// Requests queued (or pending admission) across live shards.
+    pub queued: usize,
+    /// Busy accelerator instances across live shards.
+    pub busy: usize,
+    /// Total accelerator instances across live shards.
+    pub slots: usize,
+    /// Live (routable) shards.
+    pub live_shards: usize,
+    /// Shards currently draining toward retirement.
+    pub draining: usize,
+}
+
+/// What the fleet should do after an evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleAction {
+    /// Add one shard to the ring.
+    Up,
+    /// Drain one shard off the ring, retiring it once quiescent.
+    Down,
+}
+
+/// The autoscaler state machine.
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    cfg: ScalerConfig,
+    up_streak: u32,
+    down_streak: u32,
+    cooldown: u32,
+}
+
+impl Autoscaler {
+    /// A scaler in the steady state.
+    pub fn new(cfg: ScalerConfig) -> Self {
+        Autoscaler { cfg, up_streak: 0, down_streak: 0, cooldown: 0 }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &ScalerConfig {
+        &self.cfg
+    }
+
+    /// Evaluate one window. Pure tick/integer arithmetic — no clocks, no
+    /// randomness — so the action stream is replayable.
+    pub fn evaluate(&mut self, s: &FleetSample) -> Option<ScaleAction> {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            self.up_streak = 0;
+            self.down_streak = 0;
+            return None;
+        }
+        let burn = s.window_served >= self.cfg.min_window
+            && s.window_p99.is_some_and(|p| p >= self.cfg.p99_slo);
+        let pressure = s.queued >= self.cfg.queue_high * s.live_shards.max(1);
+        let hot = burn || pressure;
+        let cold = s.queued == 0 && s.busy as u64 * 100 <= s.slots as u64 * self.cfg.idle_low_x100;
+        if hot {
+            self.up_streak += 1;
+            self.down_streak = 0;
+            if self.up_streak >= self.cfg.up_consecutive
+                && s.live_shards + s.draining < self.cfg.max_shards
+            {
+                self.up_streak = 0;
+                self.cooldown = self.cfg.cooldown_evals;
+                return Some(ScaleAction::Up);
+            }
+        } else if cold {
+            self.down_streak += 1;
+            self.up_streak = 0;
+            // one drain at a time: a draining shard is already shrinking
+            // capacity, acting again on the same evidence would flap
+            if self.down_streak >= self.cfg.down_consecutive
+                && s.draining == 0
+                && s.live_shards > self.cfg.min_shards
+            {
+                self.down_streak = 0;
+                self.cooldown = self.cfg.cooldown_evals;
+                return Some(ScaleAction::Down);
+            }
+        } else {
+            self.up_streak = 0;
+            self.down_streak = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_sample() -> FleetSample {
+        FleetSample {
+            window_p99: Some(5000),
+            window_served: 100,
+            queued: 0,
+            busy: 4,
+            slots: 4,
+            live_shards: 2,
+            draining: 0,
+        }
+    }
+
+    fn cold_sample() -> FleetSample {
+        FleetSample {
+            window_p99: None,
+            window_served: 0,
+            queued: 0,
+            busy: 0,
+            slots: 4,
+            live_shards: 2,
+            draining: 0,
+        }
+    }
+
+    #[test]
+    fn sustained_burn_scales_up_after_streak_then_cools_down() {
+        let mut sc = Autoscaler::new(ScalerConfig { up_consecutive: 3, ..ScalerConfig::default() });
+        assert_eq!(sc.evaluate(&hot_sample()), None);
+        assert_eq!(sc.evaluate(&hot_sample()), None);
+        assert_eq!(sc.evaluate(&hot_sample()), Some(ScaleAction::Up));
+        // cooldown absorbs further evidence
+        assert_eq!(sc.evaluate(&hot_sample()), None);
+        assert_eq!(sc.evaluate(&hot_sample()), None);
+        // then the streak must rebuild from zero
+        assert_eq!(sc.evaluate(&hot_sample()), None);
+        assert_eq!(sc.evaluate(&hot_sample()), None);
+        assert_eq!(sc.evaluate(&hot_sample()), Some(ScaleAction::Up));
+    }
+
+    #[test]
+    fn a_blip_never_scales() {
+        let mut sc = Autoscaler::new(ScalerConfig { up_consecutive: 2, ..ScalerConfig::default() });
+        assert_eq!(sc.evaluate(&hot_sample()), None);
+        // one healthy window resets the streak
+        let healthy = FleetSample { window_p99: Some(100), queued: 8, ..hot_sample() };
+        assert_eq!(sc.evaluate(&healthy), None);
+        assert_eq!(sc.evaluate(&hot_sample()), None, "streak rebuilt from zero");
+    }
+
+    #[test]
+    fn queue_pressure_alone_is_a_burn_signal() {
+        let mut sc = Autoscaler::new(ScalerConfig {
+            up_consecutive: 1,
+            cooldown_evals: 0,
+            ..ScalerConfig::default()
+        });
+        let saturated = FleetSample {
+            window_p99: None,
+            window_served: 0,
+            queued: 200,
+            ..hot_sample()
+        };
+        assert_eq!(sc.evaluate(&saturated), Some(ScaleAction::Up));
+    }
+
+    #[test]
+    fn sustained_idle_drains_but_respects_min_shards_and_single_drain() {
+        let mut sc = Autoscaler::new(ScalerConfig {
+            down_consecutive: 2,
+            cooldown_evals: 0,
+            min_shards: 1,
+            ..ScalerConfig::default()
+        });
+        assert_eq!(sc.evaluate(&cold_sample()), None);
+        assert_eq!(sc.evaluate(&cold_sample()), Some(ScaleAction::Down));
+        // while one shard is draining, no second drain
+        let draining = FleetSample { draining: 1, ..cold_sample() };
+        assert_eq!(sc.evaluate(&draining), None);
+        assert_eq!(sc.evaluate(&draining), None);
+        // at the floor, no drain at all
+        let floor = FleetSample { live_shards: 1, ..cold_sample() };
+        assert_eq!(sc.evaluate(&floor), None);
+        assert_eq!(sc.evaluate(&floor), None);
+    }
+
+    #[test]
+    fn max_shards_bounds_growth_including_draining_capacity() {
+        let mut sc = Autoscaler::new(ScalerConfig {
+            up_consecutive: 1,
+            cooldown_evals: 0,
+            max_shards: 2,
+            ..ScalerConfig::default()
+        });
+        assert_eq!(sc.evaluate(&hot_sample()), None, "2 live == max, no growth");
+        let with_drain = FleetSample { live_shards: 1, draining: 1, ..hot_sample() };
+        assert_eq!(sc.evaluate(&with_drain), None, "draining still counts toward max");
+    }
+
+    #[test]
+    fn tiny_windows_are_not_latency_evidence() {
+        let mut sc = Autoscaler::new(ScalerConfig {
+            up_consecutive: 1,
+            cooldown_evals: 0,
+            min_window: 50,
+            ..ScalerConfig::default()
+        });
+        let sparse = FleetSample { window_served: 3, queued: 0, ..hot_sample() };
+        assert_eq!(sc.evaluate(&sparse), None, "3 observations cannot prove burn");
+    }
+}

@@ -277,6 +277,23 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Merge a whole set of histograms into one (fleet-level aggregation:
+    /// per-shard latency histograms fold into a single distribution the
+    /// autoscaler reads p99 from). Geometry comes from the first
+    /// histogram; later mismatched geometries fold into the overflow
+    /// bucket exactly as [`Histogram::merge`] does. An empty slice yields
+    /// an empty zero-bucket histogram.
+    pub fn merge_all(hists: &[&Histogram]) -> Histogram {
+        let Some((first, rest)) = hists.split_first() else {
+            return Histogram::new(&[]);
+        };
+        let mut out = (*first).clone();
+        for h in rest {
+            out.merge(h);
+        }
+        out
+    }
+
     /// Deterministic percentile readout from the fixed buckets.
     ///
     /// Locates the rank-`ceil(q · count)` observation (`q` clamped to
@@ -397,6 +414,12 @@ struct Inner {
     /// minted by independent children never collide yet depend only on
     /// construction order, never on scheduling.
     domain: u64,
+    /// Subsystem-name namespace: every recorded subsystem is stored as
+    /// `"<ns>/<sub>"` when non-empty ([`Recorder::child_named`]), so a
+    /// fleet of shard recorders absorbs into one snapshot without name
+    /// collisions. Names are fully qualified at record time; absorbing
+    /// never re-prefixes.
+    ns: String,
     epoch: Instant,
     state: Mutex<State>,
 }
@@ -427,13 +450,14 @@ impl Default for Recorder {
 }
 
 impl Recorder {
-    fn build(enabled: bool, wall: bool, capacity: usize, domain: u64) -> Self {
+    fn build(enabled: bool, wall: bool, capacity: usize, domain: u64, ns: String) -> Self {
         Recorder {
             inner: Arc::new(Inner {
                 enabled,
                 wall,
                 capacity,
                 domain,
+                ns,
                 epoch: Instant::now(),
                 state: Mutex::new(State::default()),
             }),
@@ -442,24 +466,41 @@ impl Recorder {
 
     /// An enabled recorder with the deterministic channels only.
     pub fn new() -> Self {
-        Recorder::build(true, false, DEFAULT_RING_CAPACITY, 0)
+        Recorder::build(true, false, DEFAULT_RING_CAPACITY, 0, String::new())
     }
 
     /// An enabled recorder that additionally captures the wall-clock side
     /// channel (`wall_ns` on every event).
     pub fn with_wall() -> Self {
-        Recorder::build(true, true, DEFAULT_RING_CAPACITY, 0)
+        Recorder::build(true, true, DEFAULT_RING_CAPACITY, 0, String::new())
     }
 
     /// A recorder whose every recording call is a no-op after one branch.
     pub fn disabled() -> Self {
-        Recorder::build(false, false, DEFAULT_RING_CAPACITY, 0)
+        Recorder::build(false, false, DEFAULT_RING_CAPACITY, 0, String::new())
     }
 
     /// Same configuration, different ring capacity (events per subsystem).
     #[must_use]
     pub fn with_capacity(self, capacity: usize) -> Self {
-        Recorder::build(self.inner.enabled, self.inner.wall, capacity.max(1), self.inner.domain)
+        Recorder::build(
+            self.inner.enabled,
+            self.inner.wall,
+            capacity.max(1),
+            self.inner.domain,
+            self.inner.ns.clone(),
+        )
+    }
+
+    /// The subsystem name as this recorder stores it: prefixed with the
+    /// namespace when one is set, borrowed untouched otherwise (the hot
+    /// path of un-namespaced recorders allocates nothing here).
+    fn scoped<'a>(&self, sub: &'a str) -> std::borrow::Cow<'a, str> {
+        if self.inner.ns.is_empty() {
+            std::borrow::Cow::Borrowed(sub)
+        } else {
+            std::borrow::Cow::Owned(format!("{}/{sub}", self.inner.ns))
+        }
     }
 
     /// Whether recording calls store anything.
@@ -483,8 +524,29 @@ impl Recorder {
     /// recorder always mints the same trace/span ids, no matter how the
     /// children are scheduled.
     pub fn child(&self) -> Recorder {
+        self.child_scoped(self.inner.ns.clone())
+    }
+
+    /// A [`child`](Recorder::child) whose recorded subsystem names are
+    /// prefixed `"<name>/"` (nested under this recorder's own namespace,
+    /// if any) — the fleet pattern: give each shard
+    /// `fleet_obs.child_named("shard3")`, let its engine record plain
+    /// `"serve"` metrics, and absorb every shard into one snapshot whose
+    /// `shard3/serve` entries never collide. Namespacing happens at
+    /// record time, so absorbing is the same in-input-order merge as for
+    /// unnamed children.
+    pub fn child_named(&self, name: &str) -> Recorder {
+        let ns = if self.inner.ns.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{name}", self.inner.ns)
+        };
+        self.child_scoped(ns)
+    }
+
+    fn child_scoped(&self, ns: String) -> Recorder {
         if !self.inner.enabled {
-            return Recorder::build(false, false, self.inner.capacity, 0);
+            return Recorder::build(false, false, self.inner.capacity, 0, String::new());
         }
         let n = {
             let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -492,7 +554,7 @@ impl Recorder {
             st.next_child_domain
         };
         let domain = fnv_mix(self.inner.domain, n);
-        Recorder::build(self.inner.enabled, self.inner.wall, self.inner.capacity, domain)
+        Recorder::build(self.inner.enabled, self.inner.wall, self.inner.capacity, domain, ns)
     }
 
     /// Mint a fresh [`TraceCtx`] rooted at this recorder. Ids come from a
@@ -596,7 +658,7 @@ impl Recorder {
             .0
             .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
         self.push(
-            sub,
+            &self.scoped(sub),
             Event {
                 seq: 0,
                 name: name.to_string(),
@@ -636,7 +698,7 @@ impl Recorder {
             .0
             .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
         self.push_alloc(
-            sub,
+            &self.scoped(sub),
             Event {
                 seq: 0,
                 name: name.to_string(),
@@ -662,7 +724,7 @@ impl Recorder {
         }
         let wall_ns = self.now_wall();
         self.push(
-            sub,
+            &self.scoped(sub),
             Event {
                 seq: 0,
                 name: name.to_string(),
@@ -697,7 +759,7 @@ impl Recorder {
         }
         let wall_ns = self.now_wall();
         self.push(
-            sub,
+            &self.scoped(sub),
             Event {
                 seq: 0,
                 name: name.to_string(),
@@ -722,7 +784,7 @@ impl Recorder {
         }
         let wall_ns = self.now_wall();
         self.push(
-            sub,
+            &self.scoped(sub),
             Event {
                 seq: 0,
                 name: "warning".to_string(),
@@ -741,15 +803,16 @@ impl Recorder {
         if !self.inner.enabled {
             return;
         }
+        let sub = self.scoped(sub);
         let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         let m = &mut st.metrics;
-        m.fill_key(sub, name);
+        m.fill_key(&sub, name);
         match m.counter_idx.get(&m.scratch) {
             Some(&i) => m.counters[i].2 += delta,
             None => {
                 let key = m.scratch.clone();
                 m.counter_idx.insert(key, m.counters.len());
-                m.counters.push((sub.to_string(), name.to_string(), delta));
+                m.counters.push((sub.into_owned(), name.to_string(), delta));
             }
         }
     }
@@ -759,15 +822,16 @@ impl Recorder {
         if !self.inner.enabled {
             return;
         }
+        let sub = self.scoped(sub);
         let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         let m = &mut st.metrics;
-        m.fill_key(sub, name);
+        m.fill_key(&sub, name);
         match m.gauge_idx.get(&m.scratch) {
             Some(&i) => m.gauges[i].2 = v,
             None => {
                 let key = m.scratch.clone();
                 m.gauge_idx.insert(key, m.gauges.len());
-                m.gauges.push((sub.to_string(), name.to_string(), v));
+                m.gauges.push((sub.into_owned(), name.to_string(), v));
             }
         }
     }
@@ -778,9 +842,10 @@ impl Recorder {
         if !self.inner.enabled {
             return;
         }
+        let sub = self.scoped(sub);
         let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         let m = &mut st.metrics;
-        m.fill_key(sub, name);
+        m.fill_key(&sub, name);
         match m.hist_idx.get(&m.scratch) {
             Some(&i) => m.hists[i].2.observe(v),
             None => {
@@ -788,7 +853,7 @@ impl Recorder {
                 h.observe(v);
                 let key = m.scratch.clone();
                 m.hist_idx.insert(key, m.hists.len());
-                m.hists.push((sub.to_string(), name.to_string(), h));
+                m.hists.push((sub.into_owned(), name.to_string(), h));
             }
         }
     }
@@ -834,15 +899,34 @@ impl Recorder {
                 }
             }
         }
-        for (sub, name, v) in &taken.metrics.counters {
-            self.counter_add(sub, name, *v);
-        }
-        for (sub, name, v) in &taken.metrics.gauges {
-            self.gauge_set(sub, name, *v);
-        }
+        // metric names were fully qualified when the child recorded them
+        // (child_named prefixes at record time), so the merge is raw —
+        // never re-scoped through this recorder's own namespace
         {
             let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
             let m = &mut st.metrics;
+            for (sub, name, v) in &taken.metrics.counters {
+                m.fill_key(sub, name);
+                match m.counter_idx.get(&m.scratch) {
+                    Some(&i) => m.counters[i].2 += v,
+                    None => {
+                        let key = m.scratch.clone();
+                        m.counter_idx.insert(key, m.counters.len());
+                        m.counters.push((sub.clone(), name.clone(), *v));
+                    }
+                }
+            }
+            for (sub, name, v) in &taken.metrics.gauges {
+                m.fill_key(sub, name);
+                match m.gauge_idx.get(&m.scratch) {
+                    Some(&i) => m.gauges[i].2 = *v,
+                    None => {
+                        let key = m.scratch.clone();
+                        m.gauge_idx.insert(key, m.gauges.len());
+                        m.gauges.push((sub.clone(), name.clone(), *v));
+                    }
+                }
+            }
             for (sub, name, h) in &taken.metrics.hists {
                 m.fill_key(sub, name);
                 match m.hist_idx.get(&m.scratch) {
@@ -1247,6 +1331,109 @@ mod tests {
             }
         }
         assert!(!TraceCtx::untraced().sampled(1000), "untraced never samples in");
+    }
+
+    #[test]
+    fn merge_all_folds_a_fleet_of_histograms() {
+        assert_eq!(Histogram::merge_all(&[]).count, 0);
+        let mut shards: Vec<Histogram> = (0..4).map(|_| Histogram::new(&[100, 200])).collect();
+        for (i, h) in shards.iter_mut().enumerate() {
+            for v in 1..=50u64 {
+                h.observe(v + 50 * i as u64);
+            }
+        }
+        let refs: Vec<&Histogram> = shards.iter().collect();
+        let merged = Histogram::merge_all(&refs);
+        assert_eq!(merged.count, 200);
+        assert_eq!(merged.max, 200);
+        // identical to the pairwise merge in any grouping
+        let mut pairwise = shards[0].clone();
+        for h in &shards[1..] {
+            pairwise.merge(h);
+        }
+        assert_eq!(merged, pairwise);
+        assert_eq!(merged.percentile(0.50), pairwise.percentile(0.50));
+    }
+
+    #[test]
+    fn child_named_namespaces_events_and_metrics() {
+        let fleet = Recorder::new();
+        let s0 = fleet.child_named("shard0");
+        let s1 = fleet.child_named("shard1");
+        s0.instant("serve", "arrive", ClockDomain::Cpu, 1, &[]);
+        s0.counter_add("serve", "served", 5);
+        s0.observe("serve", "latency", &[10, 100], 42);
+        s1.counter_add("serve", "served", 7);
+        // absorb order is the deterministic merge order
+        fleet.absorb(&s0);
+        fleet.absorb(&s1);
+        let snap = fleet.snapshot();
+        assert_eq!(snap.subsystems[0].name, "shard0/serve");
+        let counters: Vec<_> = snap
+            .counters
+            .iter()
+            .map(|(s, n, v)| (s.as_str(), n.as_str(), *v))
+            .collect();
+        assert_eq!(
+            counters,
+            vec![("shard0/serve", "served", 5), ("shard1/serve", "served", 7)],
+            "per-shard counters never collide"
+        );
+        assert_eq!(snap.histograms[0].0, "shard0/serve");
+        // nesting composes namespaces
+        let nested = s1.child_named("pool");
+        nested.counter_add("slots", "busy", 1);
+        fleet.absorb(&nested);
+        let snap = fleet.snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(s, n, _)| s == "shard1/pool/slots" && n == "busy"));
+        // a plain child of a named child inherits the namespace
+        let sibling = s0.child();
+        sibling.counter_add("serve", "served", 1);
+        fleet.absorb(&sibling);
+        let snap = fleet.snapshot();
+        let served0: u64 = snap
+            .counters
+            .iter()
+            .filter(|(s, n, _)| s == "shard0/serve" && n == "served")
+            .map(|&(_, _, v)| v)
+            .sum();
+        assert_eq!(served0, 6);
+    }
+
+    #[test]
+    fn child_named_snapshot_is_independent_of_recording_interleave() {
+        // the fleet discipline: shards record "concurrently" in any
+        // interleave; absorbing in shard order yields one deterministic
+        // snapshot — the jobs=1 ≡ jobs=4 identity at the recorder level
+        let run = |flip: bool| {
+            let fleet = Recorder::new();
+            let shards: Vec<Recorder> =
+                (0..4).map(|i| fleet.child_named(&format!("shard{i}"))).collect();
+            let record = |i: usize| {
+                let s = &shards[i];
+                let ctx = s.mint_trace();
+                s.trace_instant("serve", "arrive", ClockDomain::Cpu, i as u64, &[], ctx);
+                s.counter_add("serve", "served", i as u64 + 1);
+                s.observe("serve", "latency", &[10, 100], 7 * (i as u64 + 1));
+            };
+            if flip {
+                for i in (0..4).rev() {
+                    record(i);
+                }
+            } else {
+                for i in 0..4 {
+                    record(i);
+                }
+            }
+            for s in &shards {
+                fleet.absorb(s);
+            }
+            format!("{:?}", fleet.snapshot())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

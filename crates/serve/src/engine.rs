@@ -122,6 +122,8 @@ pub struct ServeReport {
     pub rejected_queue_full: u64,
     /// Rejected at admission: tenant quota.
     pub rejected_quota: u64,
+    /// Rejected at admission: the engine was draining.
+    pub rejected_draining: u64,
     /// Requests re-queued out of killed batches (still accounted once).
     pub requeued: u64,
     /// Batches dispatched.
@@ -153,7 +155,7 @@ impl ServeReport {
 
     /// Total rejected requests.
     pub fn rejected(&self) -> u64 {
-        self.rejected_queue_full + self.rejected_quota
+        self.rejected_queue_full + self.rejected_quota + self.rejected_draining
     }
 
     /// The accounting invariant: every offered request ended in exactly
@@ -179,7 +181,7 @@ impl ServeReport {
         let mut s = String::new();
         s.push_str(&format!(
             "serve: offered {} served {} shed {} (expired {}, would-miss {}, late {}, compute {}) \
-             rejected {} (queue-full {}, quota {})\n",
+             rejected {} (queue-full {}, quota {}, draining {})\n",
             self.offered,
             self.served,
             self.shed(),
@@ -190,6 +192,7 @@ impl ServeReport {
             self.rejected(),
             self.rejected_queue_full,
             self.rejected_quota,
+            self.rejected_draining,
         ));
         let mean_batch_x100 = (self.batch_items * 100).checked_div(self.batches).unwrap_or(0);
         s.push_str(&format!(
@@ -213,6 +216,16 @@ impl ServeReport {
         s.push_str(&format!("output-checksum {:#018x}\n", self.output_checksum));
         s
     }
+}
+
+/// What an engine still held when [`ServeEngine::drain`] was called:
+/// the residue it must finish before it can be retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainResidue {
+    /// Requests still queued in the backlog.
+    pub queued: usize,
+    /// Requests in flight on pool instances.
+    pub in_flight: usize,
 }
 
 /// The serve-clock timers the engine posts into the event kernel. Each
@@ -274,6 +287,13 @@ pub struct ServeEngine {
     model: AcceleratorModel,
     arrivals: Vec<Request>,
     cursor: usize,
+    /// Externally submitted requests (fleet routing) waiting for the next
+    /// step's admission phase — admitted through the exact same path as
+    /// internal arrivals so an externally stepped engine is byte-identical
+    /// to `run`.
+    incoming: Vec<Request>,
+    /// Draining: admit nothing new, finish what is held.
+    draining: bool,
     backlog: Backlog,
     pool: Pool,
     plan: Option<FaultPlan>,
@@ -294,6 +314,11 @@ pub struct ServeEngine {
     kernel_stats: WheelStats,
     // accounting
     verdicts: Vec<(u64, Verdict)>,
+    /// Requests this engine is accountable for: every admission-phase
+    /// entry increments it, a failover evacuation (the request moves to
+    /// another shard) decrements it. Equal to `arrivals.len()` for a
+    /// plain `run`.
+    offered: u64,
     served: u64,
     shed_expired: u64,
     shed_would_miss: u64,
@@ -301,6 +326,7 @@ pub struct ServeEngine {
     shed_compute: u64,
     rejected_queue_full: u64,
     rejected_quota: u64,
+    rejected_draining: u64,
     requeued: u64,
     batches: u64,
     batch_items: u64,
@@ -335,7 +361,10 @@ impl ServeEngine {
             wakes: 0,
             kernel_stats: WheelStats::default(),
             cursor: 0,
+            incoming: Vec::new(),
+            draining: false,
             verdicts: Vec::with_capacity(arrivals.len()),
+            offered: 0,
             served: 0,
             shed_expired: 0,
             shed_would_miss: 0,
@@ -343,6 +372,7 @@ impl ServeEngine {
             shed_compute: 0,
             rejected_queue_full: 0,
             rejected_quota: 0,
+            rejected_draining: 0,
             requeued: 0,
             batches: 0,
             batch_items: 0,
@@ -416,10 +446,155 @@ impl ServeEngine {
         &self.obs
     }
 
+    /// Replace the recorder in place (the fleet re-wires shard recorders
+    /// when a recorder is attached after the shards were spawned).
+    pub fn set_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
+    }
+
+    /// In-place form of [`Self::with_event_kernel`] (fleet wiring).
+    pub fn set_event_kernel(&mut self, on: bool) {
+        self.event_kernel = on;
+    }
+
     /// One verdict per offered request, in decision order (accounting
     /// audit trail; never contains duplicates).
     pub fn verdicts(&self) -> &[(u64, Verdict)] {
         &self.verdicts
+    }
+
+    // ---- fleet stepping API -------------------------------------------
+    //
+    // A fleet drives shard engines externally instead of calling `run`:
+    // it submits routed requests, advances each shard at exactly the
+    // ticks `next_due` predicts (plus delivery ticks), and collects the
+    // report with `finish`. Because submissions drain through the same
+    // admission phase as internal arrivals, a single externally stepped
+    // shard is byte-identical to a bare `run` over the same stream.
+
+    /// Submit a routed request; it is admitted in the next step's
+    /// admission phase (after any internal arrivals, in submit order).
+    pub fn submit(&mut self, req: Request) {
+        self.incoming.push(req);
+    }
+
+    /// Advance the serve clock to `t` (monotonic) and process one full
+    /// phased step there — the externally driven equivalent of one `run`
+    /// wake.
+    pub fn advance(&mut self, t: Tick) {
+        debug_assert!(t >= self.now, "serve clock is monotonic");
+        self.now = t;
+        self.step();
+        self.wakes += 1;
+    }
+
+    /// The earliest tick strictly after `now` at which this engine has
+    /// work due — the externally driven equivalent of the timers `run`
+    /// would post. `None` means the engine is idle until new work is
+    /// submitted.
+    pub fn next_due(&self) -> Option<Tick> {
+        let now = self.now;
+        let svc1 = self.model.service_cycles(1);
+        let mut due: Option<Tick> = None;
+        let mut consider = |t: Option<Tick>| {
+            if let Some(t) = t {
+                if t > now && due.is_none_or(|d| t < d) {
+                    due = Some(t);
+                }
+            }
+        };
+        consider(self.arrivals.get(self.cursor).map(|r| r.arrival));
+        consider(self.pool.next_transition());
+        if !(self.backlog.is_empty() && self.cursor >= self.arrivals.len()) {
+            consider(self.plan.as_ref().and_then(FaultPlan::peek_cycle));
+        }
+        consider(self.backlog.earliest_deadline().map(|d| d + 1));
+        for class in 0..self.backlog.class_count() {
+            consider(self.backlog.oldest_arrival(class).map(|o| o + self.cfg.batch_window));
+            consider(self.backlog.head_deadline(class).map(|h| h.saturating_sub(svc1)));
+        }
+        due
+    }
+
+    /// Stop admitting: every subsequent submission or internal arrival is
+    /// rejected as draining, while queued and in-flight work keeps being
+    /// served. Returns the residue still held at the drain point.
+    pub fn drain(&mut self) -> DrainResidue {
+        self.draining = true;
+        DrainResidue {
+            queued: self.backlog.len() + self.incoming.len(),
+            in_flight: self.pool.in_flight_requests(),
+        }
+    }
+
+    /// Whether the engine holds no work at all (drained shards quiesce
+    /// before retirement).
+    pub fn quiescent(&self) -> bool {
+        self.cursor >= self.arrivals.len()
+            && self.incoming.is_empty()
+            && self.backlog.is_empty()
+            && self.pool.busy_count() == 0
+    }
+
+    /// Failover evacuation: pull every queued, pending, and in-flight
+    /// request out of the engine (deterministic order: backlog classes in
+    /// EDF order, then pending submissions, then pool batches in instance
+    /// order) and stop accounting for them — the fleet re-routes them to
+    /// surviving shards, where they are offered again. Trace contexts of
+    /// evacuated requests are dropped; the destination mints fresh ones.
+    pub fn evacuate(&mut self) -> Vec<Request> {
+        let mut out = Vec::new();
+        for class in 0..self.backlog.class_count() {
+            let n = self.backlog.class_len(class);
+            out.extend(self.backlog.take(class, n));
+        }
+        out.append(&mut self.incoming);
+        for batch in self.pool.evacuate() {
+            out.extend(batch.requests);
+        }
+        for req in &out {
+            self.offered -= 1;
+            self.traces.remove(&req.id);
+        }
+        out
+    }
+
+    /// Queue pressure the balancer routes on: queued plus not-yet-admitted
+    /// submissions.
+    pub fn queued_hint(&self) -> usize {
+        self.backlog.len() + self.incoming.len()
+    }
+
+    /// Whether submitted requests are waiting for the next step's
+    /// admission phase (the fleet must advance the engine to deliver them).
+    pub fn has_incoming(&self) -> bool {
+        !self.incoming.is_empty()
+    }
+
+    /// The engine's current serve-clock tick.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Per-class served-latency histograms (the scaler's p99 input).
+    pub fn class_latency(&self) -> &[Histogram] {
+        &self.class_latency
+    }
+
+    /// Instances in this engine's pool.
+    pub fn pool_size(&self) -> usize {
+        self.pool.size()
+    }
+
+    /// Instances currently serving a batch.
+    pub fn pool_busy(&self) -> usize {
+        self.pool.busy_count()
+    }
+
+    /// Finish an externally stepped engine: final accounting and the
+    /// report (the counterpart of the tail of `run`). Call once.
+    pub fn finish(&mut self) -> ServeReport {
+        self.finalize()
     }
 
     fn effective_jobs(&self) -> usize {
@@ -490,27 +665,14 @@ impl ServeEngine {
         while self.cursor < self.arrivals.len() && self.arrivals[self.cursor].arrival <= now {
             let req = self.arrivals[self.cursor].clone();
             self.cursor += 1;
-            let id = req.id;
-            // mint for every arrival — identity must not depend on the
-            // sample rate — but only sampled contexts are kept/recorded
-            let ctx = self.obs.mint_trace();
-            if ctx.is_traced() && ctx.sampled(self.cfg.trace_sample_permille) {
-                self.traces.insert(id, ctx);
-                // no args: the trace link is the identity, and the root
-                // span emitted at completion carries id/class — sampled
-                // admission stays cheap (~one ring push per arrival)
-                self.obs.trace_instant("serve", "arrive", ClockDomain::Cpu, now, &[], ctx);
-            }
-            match self.backlog.offer(req) {
-                Ok(()) => {}
-                Err(RejectReason::QueueFull) => {
-                    self.rejected_queue_full += 1;
-                    self.settle(id, Verdict::Rejected(RejectReason::QueueFull));
-                }
-                Err(RejectReason::TenantQuota) => {
-                    self.rejected_quota += 1;
-                    self.settle(id, Verdict::Rejected(RejectReason::TenantQuota));
-                }
+            self.admit(req);
+        }
+        // externally submitted (fleet-routed) requests enter through the
+        // same admission phase, after internal arrivals, in submit order
+        if !self.incoming.is_empty() {
+            let incoming = std::mem::take(&mut self.incoming);
+            for req in incoming {
+                self.admit(req);
             }
         }
 
@@ -524,6 +686,43 @@ impl ServeEngine {
         self.dispatch();
         self.obs
             .gauge_set("serve", "queue_depth", self.backlog.len() as i64);
+    }
+
+    /// The admission phase for one request: count it offered, mint its
+    /// trace context, and either queue it or settle a rejection verdict.
+    /// Internal arrivals and fleet-submitted requests share this path, so
+    /// the verdict stream is identical however requests reach the engine.
+    fn admit(&mut self, req: Request) {
+        let now = self.now;
+        let id = req.id;
+        self.offered += 1;
+        // mint for every arrival — identity must not depend on the
+        // sample rate — but only sampled contexts are kept/recorded
+        let ctx = self.obs.mint_trace();
+        if ctx.is_traced() && ctx.sampled(self.cfg.trace_sample_permille) {
+            self.traces.insert(id, ctx);
+            // no args: the trace link is the identity, and the root
+            // span emitted at completion carries id/class — sampled
+            // admission stays cheap (~one ring push per arrival)
+            self.obs.trace_instant("serve", "arrive", ClockDomain::Cpu, now, &[], ctx);
+        }
+        if self.draining {
+            self.rejected_draining += 1;
+            self.settle(id, Verdict::Rejected(RejectReason::Draining));
+            return;
+        }
+        match self.backlog.offer(req) {
+            Ok(()) => {}
+            Err(RejectReason::QueueFull) => {
+                self.rejected_queue_full += 1;
+                self.settle(id, Verdict::Rejected(RejectReason::QueueFull));
+            }
+            Err(RejectReason::TenantQuota) => {
+                self.rejected_quota += 1;
+                self.settle(id, Verdict::Rejected(RejectReason::TenantQuota));
+            }
+            Err(RejectReason::Draining) => unreachable!("backlog never rejects as draining"),
+        }
     }
 
     fn class_of(&self, req: &Request) -> usize {
@@ -908,7 +1107,7 @@ impl ServeEngine {
 
     fn finalize(&mut self) -> ServeReport {
         self.pool.account_until(self.now);
-        let offered = self.arrivals.len() as u64;
+        let offered = self.offered;
         let per_class = (0..self.class_served.len())
             .map(|c| {
                 let h = &self.class_latency[c];
@@ -931,6 +1130,7 @@ impl ServeEngine {
             shed_compute: self.shed_compute,
             rejected_queue_full: self.rejected_queue_full,
             rejected_quota: self.rejected_quota,
+            rejected_draining: self.rejected_draining,
             requeued: self.requeued,
             batches: self.batches,
             batch_items: self.batch_items,
@@ -1235,6 +1435,117 @@ mod tests {
             format!("{:?}", engine.slo().unwrap().verdicts())
         };
         assert_eq!(run(1), run(4));
+    }
+
+    /// Drive an engine externally the way a fleet shard is driven: submit
+    /// each request at its arrival tick, advance at every due/delivery
+    /// tick until both the stream and the engine are exhausted.
+    fn pump(e: &mut ServeEngine, reqs: &[Request]) {
+        let mut i = 0;
+        loop {
+            let next_arrival = reqs.get(i).map(|r| r.arrival);
+            let t = match (next_arrival, e.next_due()) {
+                (Some(a), Some(d)) => a.min(d),
+                (Some(a), None) => a,
+                (None, Some(d)) => d,
+                (None, None) => break,
+            };
+            let t = t.max(e.now());
+            while reqs.get(i).is_some_and(|r| r.arrival <= t) {
+                e.submit(reqs[i].clone());
+                i += 1;
+            }
+            e.advance(t);
+        }
+    }
+
+    #[test]
+    fn externally_stepped_engine_matches_run_byte_identically() {
+        for (load, seed) in [(60, 5), (150, 5), (250, 12)] {
+            let wl = WorkloadConfig::default().at_load_pct(load);
+            let arrivals = workload::generate(seed, &wl);
+            let mut bare = ServeEngine::new(ServeConfig::default(), model(), arrivals.clone());
+            let baseline = bare.run();
+            let mut ext = ServeEngine::new(ServeConfig::default(), model(), Vec::new());
+            pump(&mut ext, &arrivals);
+            let report = ext.finish();
+            assert_eq!(report, baseline, "load {load} seed {seed}");
+            assert_eq!(report.render(), baseline.render());
+            assert_eq!(ext.verdicts(), bare.verdicts());
+        }
+    }
+
+    #[test]
+    fn drain_stops_admission_and_preserves_accounting() {
+        let wl = WorkloadConfig::default().at_load_pct(200);
+        let arrivals = workload::generate(8, &wl);
+        let half = arrivals.len() / 2;
+        let mut e = ServeEngine::new(ServeConfig::default(), model(), Vec::new());
+        // feed the first half only up to its last arrival tick, so work
+        // is still queued/in flight when the drain lands
+        let mut i = 0;
+        let cutoff = arrivals[half - 1].arrival;
+        while i < half {
+            let t = arrivals[i].arrival;
+            while i < half && arrivals[i].arrival <= t {
+                e.submit(arrivals[i].clone());
+                i += 1;
+            }
+            e.advance(t);
+            if t >= cutoff {
+                break;
+            }
+        }
+        let residue = e.drain();
+        assert!(
+            residue.queued + residue.in_flight > 0,
+            "drain landed on live work: {residue:?}"
+        );
+        // the residue finishes without new admissions
+        while let Some(t) = e.next_due() {
+            e.advance(t);
+        }
+        assert!(e.quiescent(), "drained engine quiesces");
+        // late submissions are rejected as draining, still accounted
+        let late = &arrivals[half..];
+        for r in late {
+            e.submit(r.clone());
+        }
+        let t = e.now() + 1;
+        e.advance(t);
+        let report = e.finish();
+        assert!(report.accounted(), "{report:?}");
+        assert_eq!(report.rejected_draining, late.len() as u64);
+        assert!(report.served > 0);
+        assert!(report.render().contains("draining"));
+    }
+
+    #[test]
+    fn evacuate_hands_back_unsettled_work_and_keeps_accounting() {
+        let wl = WorkloadConfig::default().at_load_pct(250);
+        let arrivals = workload::generate(4, &wl);
+        let half = arrivals.len() / 2;
+        let mut e = ServeEngine::new(ServeConfig::default(), model(), Vec::new());
+        let mut i = 0;
+        while i < half {
+            let t = arrivals[i].arrival;
+            while i < half && arrivals[i].arrival <= t {
+                e.submit(arrivals[i].clone());
+                i += 1;
+            }
+            e.advance(t);
+        }
+        let submitted = half as u64;
+        let evacuated = e.evacuate();
+        assert!(!evacuated.is_empty(), "overloaded engine held work");
+        assert!(e.quiescent(), "evacuation empties the engine");
+        let settled: HashSet<u64> = e.verdicts().iter().map(|&(id, _)| id).collect();
+        for req in &evacuated {
+            assert!(!settled.contains(&req.id), "evacuated work has no verdict here");
+        }
+        let report = e.finish();
+        assert!(report.accounted(), "{report:?}");
+        assert_eq!(report.offered + evacuated.len() as u64, submitted);
     }
 
     #[test]

@@ -168,6 +168,33 @@ impl Pool {
         }
     }
 
+    /// Failover evacuation: pull every in-flight batch off the pool (in
+    /// instance order), freeing the slots. Used when a whole shard dies
+    /// and its work must move to surviving shards — the batches' members
+    /// are re-routed, never dropped.
+    pub fn evacuate(&mut self) -> Vec<Batch> {
+        let mut out = Vec::new();
+        for slot in &mut self.slots {
+            if matches!(slot, Slot::Busy(_)) {
+                if let Slot::Busy(b) = std::mem::replace(slot, Slot::Idle) {
+                    out.push(b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total requests riding on busy instances right now.
+    pub fn in_flight_requests(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                Slot::Busy(b) => b.requests.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// Number of busy instances (queue-depth/occupancy gauge input).
     pub fn busy_count(&self) -> usize {
         self.slots

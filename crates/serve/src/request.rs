@@ -30,6 +30,9 @@ pub enum RejectReason {
     QueueFull,
     /// The request's tenant is at its quota of queued requests.
     TenantQuota,
+    /// The engine is draining (scale-down or shutdown): it finishes what
+    /// it holds but admits nothing new.
+    Draining,
 }
 
 impl RejectReason {
@@ -38,6 +41,7 @@ impl RejectReason {
         match self {
             RejectReason::QueueFull => "queue-full",
             RejectReason::TenantQuota => "tenant-quota",
+            RejectReason::Draining => "draining",
         }
     }
 }
